@@ -1,0 +1,159 @@
+//! The shared baseline interface.
+
+use rex_cluster::metrics::MigrationStats;
+use rex_cluster::{Assignment, BalanceReport, ClusterError, Instance, MigrationPlan};
+use std::time::Duration;
+
+/// A load-balancing method that transforms an instance's initial placement
+/// into a (hopefully) better one.
+pub trait Rebalancer {
+    /// Stable method name for tables.
+    fn name(&self) -> &str;
+
+    /// Rebalances the instance.
+    fn rebalance(&self, inst: &Instance) -> Result<RebalanceResult, ClusterError>;
+}
+
+/// What a baseline produces.
+#[derive(Clone, Debug)]
+pub struct RebalanceResult {
+    /// The final placement.
+    pub assignment: Assignment,
+    /// The migration schedule reaching it, if the method produces one that
+    /// respects transient constraints. [`FfdRepacker`] deliberately ignores
+    /// them, so its plan may be absent.
+    ///
+    /// [`FfdRepacker`]: crate::FfdRepacker
+    pub plan: Option<MigrationPlan>,
+    /// True when `plan` is present and verified.
+    pub schedulable: bool,
+    /// Balance report of the initial placement.
+    pub initial_report: BalanceReport,
+    /// Balance report of the final placement.
+    pub final_report: BalanceReport,
+    /// Migration cost summary (zeroed when no plan exists).
+    pub migration: MigrationStats,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl RebalanceResult {
+    /// Relative peak-load improvement over the initial placement.
+    pub fn peak_improvement(&self) -> f64 {
+        self.final_report.peak_improvement_over(&self.initial_report)
+    }
+
+    /// Builds the result from the pieces every baseline ends with.
+    pub fn finish(
+        inst: &Instance,
+        assignment: Assignment,
+        plan: Option<MigrationPlan>,
+        elapsed: Duration,
+    ) -> Self {
+        let initial = Assignment::from_initial(inst);
+        let migration = match &plan {
+            Some(p) => MigrationStats::compute(inst, p),
+            None => MigrationStats {
+                shards_moved: assignment.moved_count(&inst.initial),
+                total_moves: 0,
+                extra_hops: 0,
+                traffic: 0.0,
+                batches: 0,
+            },
+        };
+        Self {
+            schedulable: plan.is_some(),
+            initial_report: BalanceReport::compute(inst, &initial),
+            final_report: BalanceReport::compute(inst, &assignment),
+            migration,
+            elapsed,
+            plan,
+            assignment,
+        }
+    }
+}
+
+/// Whether a single move of shard `s` (demand `d`) from `f` to `t` is
+/// transiently feasible right now, executed as its own batch: the target
+/// must hold `(1+α)·d` extra and the source `α·d` extra.
+pub fn single_move_feasible(
+    inst: &Instance,
+    asg: &Assignment,
+    s: rex_cluster::ShardId,
+    t: rex_cluster::MachineId,
+) -> bool {
+    let f = asg.machine_of(s);
+    if f == t {
+        return false;
+    }
+    let d = inst.demand(s);
+    let inflight = d.scaled(1.0 + inst.alpha);
+    let overhead = d.scaled(inst.alpha);
+    asg.usage(t).fits_after_add(&inflight, inst.capacity(t))
+        && asg.usage(f).fits_after_add(&overhead, inst.capacity(f))
+}
+
+/// Machines a no-exchange baseline may place shards on: the original fleet
+/// (exchange machines stay vacant, so the return quota is satisfied by
+/// construction).
+pub fn eligible_machines(inst: &Instance, use_exchange: bool) -> Vec<rex_cluster::MachineId> {
+    inst.machines
+        .iter()
+        .filter(|m| use_exchange || !m.exchange)
+        .map(|m| m.id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_cluster::{InstanceBuilder, MachineId, ShardId};
+
+    fn inst(alpha: f64) -> Instance {
+        let mut b = InstanceBuilder::new(1).alpha(alpha);
+        let m0 = b.machine(&[10.0]);
+        let _m1 = b.machine(&[10.0]);
+        let _x = b.exchange_machine(&[10.0]);
+        b.shard(&[6.0], 1.0, m0);
+        b.shard(&[6.0], 1.0, MachineId(1));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_move_feasible_respects_alpha() {
+        let tight = inst(0.8);
+        let asg = Assignment::from_initial(&tight);
+        // Moving shard 0 onto m1: m1 must hold 6 + 1.8*6 = 16.8 > 10.
+        assert!(!single_move_feasible(&tight, &asg, ShardId(0), MachineId(1)));
+        // Onto the vacant exchange machine: 1.8*6 = 10.8 > 10 — also blocked.
+        assert!(!single_move_feasible(&tight, &asg, ShardId(0), MachineId(2)));
+        let loose = inst(0.0);
+        let asg = Assignment::from_initial(&loose);
+        assert!(single_move_feasible(&loose, &asg, ShardId(0), MachineId(2)));
+        assert!(!single_move_feasible(&loose, &asg, ShardId(0), MachineId(1)));
+    }
+
+    #[test]
+    fn self_move_is_never_feasible() {
+        let i = inst(0.0);
+        let asg = Assignment::from_initial(&i);
+        assert!(!single_move_feasible(&i, &asg, ShardId(0), MachineId(0)));
+    }
+
+    #[test]
+    fn eligible_machines_excludes_exchange_by_default() {
+        let i = inst(0.0);
+        assert_eq!(eligible_machines(&i, false), vec![MachineId(0), MachineId(1)]);
+        assert_eq!(eligible_machines(&i, true).len(), 3);
+    }
+
+    #[test]
+    fn finish_without_plan_marks_unschedulable() {
+        let i = inst(0.0);
+        let asg = Assignment::from_initial(&i);
+        let r = RebalanceResult::finish(&i, asg, None, Duration::ZERO);
+        assert!(!r.schedulable);
+        assert_eq!(r.migration.total_moves, 0);
+        assert_eq!(r.peak_improvement(), 0.0);
+    }
+}

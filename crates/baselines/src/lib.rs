@@ -1,0 +1,35 @@
+//! # rex-baselines
+//!
+//! Baseline load-balancing methods the paper's SRA is evaluated against.
+//! The abstract names no specific citation ("the state-of-art load
+//! balancing method"); per DESIGN.md we substitute the strongest
+//! published-practice rebalancers that do **not** use exchange machines:
+//!
+//! * [`GreedyRebalancer`] — hottest-to-coolest shard moves with per-move
+//!   transient checks: the "commonly used load balancing approach" of the
+//!   paper's opening sentence,
+//! * [`LocalSearchRebalancer`] — steepest-descent over move and swap
+//!   neighborhoods, transient-checked: a faithful stand-in for the
+//!   local-search line the same group published around this paper,
+//! * [`FfdRepacker`] — first-fit-decreasing full repack **ignoring**
+//!   transient constraints: an idealized quality bound showing how much
+//!   balance is locked away by transient feasibility,
+//! * [`RandomWalkRebalancer`] — random transiently-feasible moves (sanity
+//!   floor).
+//!
+//! All baselines speak the same [`Rebalancer`] interface and produce a
+//! [`RebalanceResult`] whose schedule (when one exists) verifies under the
+//! cluster simulator — so headline comparisons against SRA are
+//! apples-to-apples.
+
+pub mod common;
+pub mod ffd;
+pub mod greedy;
+pub mod local_search;
+pub mod random_walk;
+
+pub use common::{RebalanceResult, Rebalancer};
+pub use ffd::FfdRepacker;
+pub use greedy::GreedyRebalancer;
+pub use local_search::LocalSearchRebalancer;
+pub use random_walk::RandomWalkRebalancer;

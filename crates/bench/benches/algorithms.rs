@@ -1,0 +1,66 @@
+//! Criterion end-to-end benchmarks: SRA and the baselines on a small
+//! instance (sized so a full solve fits in a Criterion sample), plus the
+//! exact solver on a tiny one.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use rex_baselines::{GreedyRebalancer, LocalSearchRebalancer, Rebalancer};
+use rex_core::{solve, SraConfig};
+use rex_solver::{branch_and_bound, ExactConfig};
+use rex_workload::synthetic::{generate, DemandFamily, Placement, SynthConfig};
+
+fn small_instance() -> rex_cluster::Instance {
+    generate(&SynthConfig {
+        n_machines: 12,
+        n_exchange: 2,
+        n_shards: 96,
+        stringency: 0.8,
+        family: DemandFamily::Correlated,
+        placement: Placement::Hotspot(0.4),
+        seed: 41,
+        ..Default::default()
+    })
+    .expect("generate")
+}
+
+fn bench_sra(c: &mut Criterion) {
+    let inst = small_instance();
+    let mut group = c.benchmark_group("end-to-end");
+    group.sample_size(10);
+    group.bench_function("sra_1000_iters", |b| {
+        b.iter(|| {
+            solve(black_box(&inst), &SraConfig { iters: 1_000, seed: 1, ..Default::default() })
+                .unwrap()
+        })
+    });
+    group.bench_function("greedy", |b| {
+        b.iter(|| GreedyRebalancer::default().rebalance(black_box(&inst)).unwrap())
+    });
+    group.bench_function("local_search", |b| {
+        b.iter(|| LocalSearchRebalancer::default().rebalance(black_box(&inst)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let inst = generate(&SynthConfig {
+        n_machines: 4,
+        n_exchange: 1,
+        n_shards: 10,
+        stringency: 0.75,
+        family: DemandFamily::Uniform,
+        placement: Placement::Hotspot(0.5),
+        seed: 43,
+        ..Default::default()
+    })
+    .expect("generate");
+    let mut group = c.benchmark_group("exact");
+    group.sample_size(10);
+    group.bench_function("branch_and_bound_tiny", |b| {
+        b.iter(|| branch_and_bound(black_box(&inst), &ExactConfig::default()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sra, bench_exact);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! **E3 / Figure 3 — what the exchange machines buy.**
+//!
+//! Two workloads:
+//!
+//! 1. **swap-locked** (the distilled mechanism; see
+//!    `rex_workload::special::swap_locked`): a provably better placement
+//!    exists, but *no schedule can reach it without an exchange machine* —
+//!    improvement jumps from 0 at k = 0 to the optimum at k ≥ 1, and the
+//!    schedule's batch count keeps falling as k grows (parallel staging).
+//! 2. **correlated hotspot** (a generic workload): cool machines provide
+//!    natural staging space, so balance is k-insensitive — the honest
+//!    negative control showing the exchange is about *scheduling freedom*,
+//!    not extra capacity.
+
+use rex_bench::{f4, pct, run_all_methods, scaled, Table};
+use rex_core::solve;
+use rex_workload::special::swap_locked;
+use rex_workload::synthetic::{generate, DemandFamily, Placement, SynthConfig};
+
+fn main() {
+    let iters = scaled(8_000) as u64;
+    let ks: Vec<usize> = if rex_bench::quick() { vec![0, 1, 2] } else { vec![0, 1, 2, 4, 6, 8] };
+
+    // Part 1: the locked construction.
+    let pairs = rex_bench::scaled_fleet(24) / 2;
+    let mut t1 = Table::new(&[
+        "k (exchange)",
+        "method",
+        "final peak",
+        "improvement",
+        "batches",
+    ]);
+    for &k in &ks {
+        let inst = swap_locked(pairs, k, 7).expect("swap-locked generates");
+        let res = solve(&inst, &rex_bench::sra_cfg(iters, 7)).expect("solve");
+        t1.row(vec![
+            k.to_string(),
+            "SRA".into(),
+            f4(res.final_report.peak),
+            pct(res.peak_improvement()),
+            res.migration.batches.to_string(),
+        ]);
+        for m in run_all_methods(&inst, iters, 7) {
+            if m.name == "SRA" || m.name == "random-walk" || m.name == "ffd-repack" {
+                continue;
+            }
+            t1.row(vec![k.to_string(), m.name, f4(m.peak), pct(m.improvement), "—".into()]);
+        }
+    }
+    t1.print("E3a / Figure 3 — swap-locked fleet: improvement unlocks at k = 1");
+    println!("\nExpected shape: every method is stuck at k = 0 (peak ≈ 0.96); SRA reaches the 0.88 optimum for every k ≥ 1, with batch count falling as k grows; the no-exchange baselines stay stuck at every k.");
+
+    // Part 2: the generic hotspot control.
+    let machines = rex_bench::scaled_fleet(24);
+    let shards = scaled(240);
+    let mut t2 = Table::new(&["k (exchange)", "method", "final peak", "improvement"]);
+    for &k in &ks {
+        let inst = generate(&SynthConfig {
+            n_machines: machines,
+            n_exchange: k,
+            n_shards: shards,
+            stringency: 0.85,
+            family: DemandFamily::Correlated,
+            placement: Placement::Hotspot(0.4),
+            seed: 7,
+            ..Default::default()
+        })
+        .expect("generate");
+        for m in run_all_methods(&inst, iters, 7) {
+            if m.name == "random-walk" {
+                continue;
+            }
+            t2.row(vec![k.to_string(), m.name, f4(m.peak), pct(m.improvement)]);
+        }
+    }
+    t2.print("E3b — generic hotspot control: cool machines already provide staging");
+    println!("\nExpected shape: SRA beats the baselines at every k but is k-insensitive here — with idle machines in the fleet, staging space is free and the exchange adds scheduling parallelism (see E5's batch counts), not reachability.");
+}

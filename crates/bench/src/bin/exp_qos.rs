@@ -1,0 +1,89 @@
+//! **E11 — serving quality during the migration.**
+//!
+//! The schedule is not free while it runs: in-flight copies load both
+//! endpoints, and queries fan out to *all* shards, so the straggler
+//! machine sets the response time. This experiment compares, on the same
+//! instance and the same final placement, how schedule shape trades
+//! migration makespan against transient latency:
+//!
+//! * SRA with unlimited batch width (fastest),
+//! * SRA with narrow batches (gentlest),
+//! * the greedy baseline's one-move-at-a-time schedule.
+
+use rex_bench::{f2, scaled, Table};
+use rex_baselines::{GreedyRebalancer, Rebalancer};
+use rex_cluster::migration::timeline::{time_plan, TimelineConfig};
+use rex_cluster::{plan_migration, PlannerConfig};
+use rex_core::solve;
+use rex_searchsim::qos::{qos_of_plan, QosConfig};
+use rex_workload::synthetic::{generate, DemandFamily, Placement, SynthConfig};
+
+fn main() {
+    let inst = generate(&SynthConfig {
+        n_machines: rex_bench::scaled_fleet(24),
+        n_exchange: 3,
+        n_shards: scaled(240),
+        stringency: 0.8,
+        alpha: 0.2,
+        family: DemandFamily::Correlated,
+        placement: Placement::Hotspot(0.4),
+        seed: 37,
+        ..Default::default()
+    })
+    .expect("generate");
+    let iters = scaled(8_000) as u64;
+    let qos_cfg = QosConfig::default();
+    let tl_cfg = TimelineConfig { machine_bandwidth: 1.0, batch_overhead_secs: 2.0 };
+
+    let mut t = Table::new(&[
+        "schedule",
+        "final peak",
+        "batches",
+        "makespan (s)",
+        "latency before",
+        "worst during",
+        "latency after",
+        "degradation",
+    ]);
+
+    // SRA target, rescheduled under different batch caps.
+    let res = solve(&inst, &rex_bench::sra_cfg(iters, 37)).expect("solve");
+    for (name, cap) in [("SRA (wide batches)", 0usize), ("SRA (single-move batches)", 1)] {
+        let cfg = PlannerConfig { max_batch_moves: cap, ..Default::default() };
+        let plan = plan_migration(&inst, &inst.initial, res.assignment.placement(), &cfg)
+            .expect("SRA's target stays plannable under a narrower batch cap");
+        let q = qos_of_plan(&inst, &plan, &qos_cfg);
+        let tl = time_plan(&inst, &plan, &tl_cfg);
+        t.row(vec![
+            name.into(),
+            f2(res.final_report.peak),
+            plan.n_batches().to_string(),
+            f2(tl.makespan_secs),
+            f2(q.before),
+            f2(q.worst_during),
+            f2(q.after),
+            format!("{:.2}x", q.degradation()),
+        ]);
+    }
+
+    // Greedy's own (single-move) schedule toward its own, weaker target.
+    let g = GreedyRebalancer::default().rebalance(&inst).expect("greedy");
+    if let Some(plan) = &g.plan {
+        let q = qos_of_plan(&inst, plan, &qos_cfg);
+        let tl = time_plan(&inst, plan, &tl_cfg);
+        t.row(vec![
+            "greedy (its own target)".into(),
+            f2(g.final_report.peak),
+            plan.n_batches().to_string(),
+            f2(tl.makespan_secs),
+            f2(q.before),
+            f2(q.worst_during),
+            f2(q.after),
+            format!("{:.2}x", q.degradation()),
+        ]);
+    }
+
+    t.print("E11 — query-latency profile while the migration runs");
+    println!("\nLatencies are the relative straggler model 1/(1−ρ), fan-out over all machines.");
+    println!("Expected shape: wide batches finish far sooner at a modestly higher transient worst-case; greedy degrades little but also fixes little (its final latency stays high).");
+}

@@ -1,0 +1,51 @@
+//! # rex-cluster
+//!
+//! Cluster substrate for the resource-exchange shard-reassignment system.
+//!
+//! This crate models a search-engine datacenter at the granularity the paper
+//! operates on:
+//!
+//! * [`resources::ResourceVec`] — fixed-capacity multi-dimensional resource
+//!   vectors (CPU, memory, disk, …) with allocation-free arithmetic,
+//! * [`Machine`] / [`Shard`] — capacity and demand carriers,
+//! * [`Instance`] — a complete problem instance: machines (including the
+//!   borrowed, initially-vacant *exchange machines*), shards, the initial
+//!   placement, the number of vacant machines that must be returned, and the
+//!   transient migration-overhead factor,
+//! * [`Assignment`] — a mutable placement with incrementally maintained
+//!   per-machine usage, supporting O(D) moves and load queries,
+//! * [`migration`] — the transient-resource-aware migration planner and the
+//!   independent step simulator that verifies any produced schedule,
+//! * [`metrics`] — balance metrics (peak load, imbalance, Jain fairness) and
+//!   migration statistics.
+//!
+//! Everything downstream (`rex-core`'s SRA, the baselines, the solver, the
+//! benches) is built on these types.
+
+pub mod assignment;
+pub mod error;
+pub mod instance;
+pub mod machine;
+pub mod metrics;
+pub mod migration;
+pub mod objective;
+pub mod resources;
+pub mod shard;
+
+pub use assignment::Assignment;
+pub use error::ClusterError;
+pub use instance::{Instance, InstanceBuilder};
+pub use machine::{Machine, MachineId};
+pub use metrics::BalanceReport;
+pub use migration::{plan_migration, verify_schedule, MigrationPlan, Move, PlannerConfig};
+pub use objective::{Objective, ObjectiveKind};
+pub use resources::{ResourceVec, MAX_DIMS};
+pub use shard::{Shard, ShardId};
+
+/// Numerical tolerance used for all capacity comparisons.
+///
+/// Resource quantities are modelled as `f64`; sums of many shard demands
+/// accumulate rounding error, so every "fits within capacity" test allows
+/// this absolute slack. It is deliberately tiny relative to realistic
+/// capacities (which are O(1)..O(10^6)).
+pub const EPS: f64 = 1e-9;

@@ -1,0 +1,89 @@
+//! Machines: capacity carriers, including the borrowed *exchange machines*.
+
+use crate::resources::ResourceVec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense machine identifier: index into [`crate::Instance::machines`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct MachineId(pub u32);
+
+impl MachineId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl From<usize> for MachineId {
+    fn from(i: usize) -> Self {
+        MachineId(u32::try_from(i).expect("machine index exceeds u32"))
+    }
+}
+
+/// A physical machine in the datacenter.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    /// Dense identifier (must equal the machine's index in the instance).
+    pub id: MachineId,
+    /// Per-dimension capacity.
+    pub capacity: ResourceVec,
+    /// True if this machine is one of the borrowed exchange machines
+    /// (initially vacant; lent by the operator, the same *number* of vacant
+    /// machines must be returned after reassignment).
+    pub exchange: bool,
+}
+
+impl Machine {
+    /// Creates an ordinary (non-exchange) machine.
+    pub fn new(id: impl Into<MachineId>, capacity: ResourceVec) -> Self {
+        Self { id: id.into(), capacity, exchange: false }
+    }
+
+    /// Creates a borrowed exchange machine (initially vacant).
+    pub fn exchange(id: impl Into<MachineId>, capacity: ResourceVec) -> Self {
+        Self { id: id.into(), capacity, exchange: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let id: MachineId = 7usize.into();
+        assert_eq!(id.idx(), 7);
+        assert_eq!(format!("{id}"), "m7");
+        assert_eq!(format!("{id:?}"), "m7");
+    }
+
+    #[test]
+    fn constructors_set_exchange_flag() {
+        let cap = ResourceVec::from_slice(&[1.0]);
+        assert!(!Machine::new(0usize, cap).exchange);
+        assert!(Machine::exchange(1usize, cap).exchange);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = Machine::exchange(3usize, ResourceVec::from_slice(&[1.0, 2.0]));
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Machine = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

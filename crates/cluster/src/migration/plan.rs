@@ -1,0 +1,708 @@
+//! The migration planner: batched greedy scheduling with two-hop staging.
+
+use super::{MigrationPlan, Move};
+use crate::assignment::Assignment;
+use crate::error::ClusterError;
+use crate::instance::Instance;
+use crate::machine::MachineId;
+use crate::resources::ResourceVec;
+use crate::shard::ShardId;
+
+/// Planner tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct PlannerConfig {
+    /// Maximum concurrent moves per batch (`0` = unlimited). Real
+    /// datacenters cap concurrent index copies to bound network pressure.
+    pub max_batch_moves: usize,
+    /// Budget for total executed moves, as a multiple of the minimum
+    /// required move count. Staging hops consume budget; exceeding it means
+    /// the planner is cycling and reports a deadlock instead.
+    pub move_budget_factor: f64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        // A source-blocked shard costs up to three moves (park a
+        // co-resident, migrate, return), so stringent instances need a
+        // budget well above the naive 1× diff size.
+        Self { max_batch_moves: 0, move_budget_factor: 6.0 }
+    }
+}
+
+/// One pending relocation: shard `s` must end up on `target`.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    shard: ShardId,
+    target: MachineId,
+    /// True for the homecoming leg of a source-freeing parking: the shard
+    /// was temporarily evicted to free copy headroom on `target` and must
+    /// eventually return there. Returns are deferred while `target` still
+    /// has source-blocked departures, otherwise the parked shard would
+    /// bounce home immediately and undo the freeing (a livelock).
+    is_return: bool,
+}
+
+/// Plans a transient-feasible migration schedule from `initial` to `target`.
+///
+/// Both placements must have one entry per shard. The target placement is
+/// *not* required to satisfy the vacancy quota here (callers check that with
+/// [`Assignment::check_target`]); the planner only guarantees that the
+/// returned schedule respects capacities at every instant and ends exactly
+/// at `target`.
+///
+/// # Errors
+///
+/// [`ClusterError::PlanningDeadlock`] if no transient-feasible schedule is
+/// found within the move budget. This genuinely happens in stringent
+/// environments without exchange machines — it is the phenomenon the paper
+/// is about, not a planner bug.
+pub fn plan_migration(
+    inst: &Instance,
+    initial: &[MachineId],
+    target: &[MachineId],
+    cfg: &PlannerConfig,
+) -> Result<MigrationPlan, ClusterError> {
+    if initial.len() != inst.n_shards() || target.len() != inst.n_shards() {
+        return Err(ClusterError::BadPlacementLength {
+            expected: inst.n_shards(),
+            found: initial.len().min(target.len()),
+        });
+    }
+
+    let mut cur = Assignment::from_placement(inst, initial.to_vec())?;
+
+    // Collect required relocations, largest demand first: big shards are the
+    // hardest to place, scheduling them early leaves the most flexibility.
+    let mut pending: Vec<Pending> = (0..inst.n_shards())
+        .filter(|&i| initial[i] != target[i])
+        .map(|i| Pending { shard: ShardId::from(i), target: target[i], is_return: false })
+        .collect();
+    pending.sort_by(|a, b| {
+        let da = inst.shards[a.shard.idx()].demand.norm();
+        let db = inst.shards[b.shard.idx()].demand.norm();
+        db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let min_moves = pending.len();
+    let budget = ((min_moves as f64) * cfg.move_budget_factor).ceil() as usize + 8;
+    let mut executed = 0usize;
+    let mut plan = MigrationPlan::default();
+    // Each shard may be parked on an intermediate host at most once: its
+    // blockage is resolved by *other* machines draining, not by shuttling
+    // it between staging hosts.
+    let mut staged = vec![false; inst.n_shards()];
+
+    while !pending.is_empty() {
+        let batch = collect_batch(inst, &cur, &pending, cfg);
+        if !batch.is_empty() {
+            // Commit the batch, retiring completed relocations.
+            for mv in &batch {
+                cur.move_shard(inst, mv.shard, mv.to);
+                executed += 1;
+            }
+            let done: Vec<ShardId> = batch.iter().map(|mv| mv.shard).collect();
+            pending.retain(|p| !done.contains(&p.shard) || cur.machine_of(p.shard) != p.target);
+            plan.batches.push(batch);
+        } else {
+            // Deadlock: every pending move is transiently infeasible. First
+            // try parking a pending shard on an intermediate machine with
+            // headroom (target-side staging); if that fails, free a blocked
+            // move's *source* by parking a co-resident shard elsewhere and
+            // scheduling its return (source-side staging, only relevant
+            // when alpha > 0 charges copy overhead on the source).
+            if let Some(mv) = find_staging_move(inst, &cur, &pending, &staged) {
+                staged[mv.shard.idx()] = true;
+                cur.move_shard(inst, mv.shard, mv.to);
+                executed += 1;
+                plan.batches.push(vec![mv]);
+            } else if let Some(mv) = find_source_freeing_move(inst, &cur, &pending) {
+                cur.move_shard(inst, mv.shard, mv.to);
+                executed += 1;
+                // The parked shard must end where the target says: back on
+                // the machine it came from (it was not part of the diff).
+                pending.push(Pending { shard: mv.shard, target: mv.from, is_return: true });
+                plan.batches.push(vec![mv]);
+            } else if let Some(mv) = find_held_arrival(inst, &cur, &pending) {
+                // Every remaining blockage is a *hold* protecting a machine
+                // whose own departures cannot be freed anyway: release the
+                // smallest held arrival so the rest of the plan proceeds.
+                cur.move_shard(inst, mv.shard, mv.to);
+                executed += 1;
+                pending.retain(|p| p.shard != mv.shard || cur.machine_of(p.shard) != p.target);
+                plan.batches.push(vec![mv]);
+            } else {
+                // Debugging aid: REX_PLAN_TRACE=1 dumps why each pending
+                // move is blocked at the moment of the deadlock.
+                if std::env::var("REX_PLAN_TRACE").map(|v| v == "1").unwrap_or(false) {
+                    trace_deadlock(inst, &cur, &pending);
+                }
+                return Err(ClusterError::PlanningDeadlock { remaining_moves: pending.len() });
+            }
+        }
+        if executed > budget {
+            if std::env::var("REX_PLAN_TRACE").map(|v| v == "1").unwrap_or(false) {
+                eprintln!("--- planner move budget exhausted ({executed} > {budget}) ---");
+                for (i, b) in plan.batches.iter().enumerate().rev().take(12) {
+                    let s: Vec<String> =
+                        b.iter().map(|m| format!("{}:{}→{}", m.shard, m.from, m.to)).collect();
+                    eprintln!("  batch {i}: {}", s.join(", "));
+                }
+                trace_deadlock(inst, &cur, &pending);
+            }
+            return Err(ClusterError::PlanningDeadlock { remaining_moves: pending.len() });
+        }
+    }
+    Ok(plan)
+}
+
+/// Greedily packs a batch of concurrently executable moves.
+///
+/// A move of shard `s` (demand `d`) from `f` to `t` is admissible given the
+/// moves already in the batch iff
+///
+/// * `usage(t) + batch_extra(t) + (1+α)·d ≤ C(t)` — target holds the
+///   arriving replica plus copy overhead, and
+/// * `usage(f) + batch_extra(f) + α·d ≤ C(f)` — source still holds the
+///   shard (already inside `usage(f)`) plus copy overhead.
+fn collect_batch(
+    inst: &Instance,
+    cur: &Assignment,
+    pending: &[Pending],
+    cfg: &PlannerConfig,
+) -> Vec<Move> {
+    let alpha = inst.alpha;
+    // Machines that still have a source-blocked ordinary departure: no
+    // arrival may land on them this batch. Arriving first would consume the
+    // very headroom the departure's copy overhead needs (and parked shards
+    // would bounce straight home, undoing the freeing) — departures come
+    // first on congested machines.
+    let hold_arrivals = blocked_sources(inst, cur, pending);
+    let mut extra: Vec<ResourceVec> = vec![ResourceVec::zero(inst.dims); inst.n_machines()];
+    let mut batch = Vec::new();
+    for p in pending {
+        if cfg.max_batch_moves != 0 && batch.len() >= cfg.max_batch_moves {
+            break;
+        }
+        let from = cur.machine_of(p.shard);
+        if from == p.target {
+            continue; // already resolved by an earlier staging hop
+        }
+        if hold_arrivals[p.target.idx()] {
+            continue; // arrival deferred until the target's departures clear
+        }
+        let d = &inst.shards[p.shard.idx()].demand;
+        let inflight = d.scaled(1.0 + alpha);
+        let overhead = d.scaled(alpha);
+
+        let t = p.target.idx();
+        let f = from.idx();
+        let target_ok = {
+            let mut u = *cur.usage(p.target);
+            u += &extra[t];
+            u.fits_after_add(&inflight, inst.capacity(p.target))
+        };
+        let source_ok = {
+            let mut u = *cur.usage(from);
+            u += &extra[f];
+            u.fits_after_add(&overhead, inst.capacity(from))
+        };
+        if target_ok && source_ok {
+            extra[t] += &inflight;
+            extra[f] += &overhead;
+            batch.push(Move { shard: p.shard, from, to: p.target });
+        }
+    }
+    batch
+}
+
+/// Machines with a source-blocked ordinary (non-return) pending departure:
+/// `out[m]` is true when some shard must leave `m` but `m` lacks the `α·d`
+/// copy headroom right now. Such machines must not receive arrivals or host
+/// parked shards until their departures clear.
+fn blocked_sources(inst: &Instance, cur: &Assignment, pending: &[Pending]) -> Vec<bool> {
+    let mut out = vec![false; inst.n_machines()];
+    if inst.alpha <= 0.0 {
+        return out;
+    }
+    for p in pending {
+        if p.is_return {
+            continue;
+        }
+        let from = cur.machine_of(p.shard);
+        if from == p.target {
+            continue;
+        }
+        let overhead = inst.shards[p.shard.idx()].demand.scaled(inst.alpha);
+        if !cur.usage(from).fits_after_add(&overhead, inst.capacity(from)) {
+            out[from.idx()] = true;
+        }
+    }
+    out
+}
+
+/// Picks a two-hop staging move that breaks a deadlock: parks some pending
+/// shard on an intermediate machine with transient headroom. Vacant
+/// machines (the exchange machines, in particular) are preferred; among
+/// admissible hosts the one with the lowest resulting load is chosen, so
+/// staging perturbs the balance as little as possible.
+fn find_staging_move(
+    inst: &Instance,
+    cur: &Assignment,
+    pending: &[Pending],
+    staged: &[bool],
+) -> Option<Move> {
+    let alpha = inst.alpha;
+    let blocked = blocked_sources(inst, cur, pending);
+    for p in pending {
+        if p.is_return || staged[p.shard.idx()] {
+            continue; // parked shards wait for departures; re-staging them
+                      // would circle them around the fleet forever
+        }
+        let from = cur.machine_of(p.shard);
+        if from == p.target {
+            continue;
+        }
+        let d = &inst.shards[p.shard.idx()].demand;
+        let inflight = d.scaled(1.0 + alpha);
+        let overhead = d.scaled(alpha);
+
+        // Stage only moves whose target is *physically* full right now.
+        // A move that fits but was held back (its target has blocked
+        // departures) needs patience, not staging — staging it would
+        // ping-pong the shard between intermediate hosts forever.
+        if cur.usage(p.target).fits_after_add(&inflight, inst.capacity(p.target)) {
+            continue;
+        }
+        // Source must be able to bear the copy overhead at all.
+        if !cur.usage(from).fits_after_add(&overhead, inst.capacity(from)) {
+            continue;
+        }
+
+        let mut best: Option<(bool, f64, MachineId)> = None; // (vacant, -load, id)
+        for mid in 0..inst.n_machines() {
+            let v = MachineId::from(mid);
+            if v == from || v == p.target || blocked[v.idx()] {
+                continue;
+            }
+            if !cur.usage(v).fits_after_add(&inflight, inst.capacity(v)) {
+                continue;
+            }
+            let mut u = *cur.usage(v);
+            u += d;
+            let load_after = u.max_ratio(inst.capacity(v));
+            let key = (cur.is_vacant(v), -load_after, v);
+            let better = match &best {
+                None => true,
+                Some((bv, bl, _)) => (key.0, key.1) > (*bv, *bl),
+            };
+            if better {
+                best = Some(key);
+            }
+        }
+        if let Some((_, _, v)) = best {
+            return Some(Move { shard: p.shard, from, to: v });
+        }
+    }
+    None
+}
+
+/// Source-side staging: a pending move can be blocked because its *source*
+/// lacks the `α·d` copy headroom (only possible when `alpha > 0`). Parking
+/// a co-resident shard elsewhere frees exactly its demand on the source.
+/// Prefers a parking that single-handedly unblocks the move; the parked
+/// shard is scheduled to return afterwards (the caller appends that pending
+/// entry), so the final placement is unchanged.
+fn find_source_freeing_move(
+    inst: &Instance,
+    cur: &Assignment,
+    pending: &[Pending],
+) -> Option<Move> {
+    if inst.alpha <= 0.0 {
+        return None; // sources can never block without copy overhead
+    }
+    let alpha = inst.alpha;
+    let blocked = blocked_sources(inst, cur, pending);
+    let pending_shards: Vec<ShardId> = pending.iter().map(|p| p.shard).collect();
+    for p in pending {
+        if p.is_return {
+            continue; // returns resolve via departures, not more parking
+        }
+        let from = cur.machine_of(p.shard);
+        if from == p.target {
+            continue;
+        }
+        let d = &inst.shards[p.shard.idx()].demand;
+        let overhead = d.scaled(alpha);
+        // Only source-blocked moves are candidates here.
+        if cur.usage(from).fits_after_add(&overhead, inst.capacity(from)) {
+            continue;
+        }
+        // Co-resident shards that are not themselves pending (pending ones
+        // are handled by target-side staging), largest-unblocking first.
+        let mut best: Option<(bool, f64, Move)> = None; // (unblocks, -d_norm, move)
+        for &s in cur.shards_on(from) {
+            if s == p.shard || pending_shards.contains(&s) {
+                continue;
+            }
+            let ds = &inst.shards[s.idx()].demand;
+            let inflight = ds.scaled(1.0 + alpha);
+            let s_overhead = ds.scaled(alpha);
+            // Moving s itself must be transiently possible from this source.
+            if !cur.usage(from).fits_after_add(&s_overhead, inst.capacity(from)) {
+                continue;
+            }
+            // Does parking s free enough for p's overhead?
+            let mut after = *cur.usage(from);
+            after.saturating_sub_assign(ds);
+            let unblocks = after.fits_after_add(&overhead, inst.capacity(from));
+            // Find the best host for s.
+            let mut host: Option<(bool, f64, MachineId)> = None;
+            for mid in 0..inst.n_machines() {
+                let v = MachineId::from(mid);
+                // Never park on the blocked move's own target (the parked
+                // shard would consume exactly the room the move needs) nor
+                // on another blocked source.
+                if v == from
+                    || v == p.target
+                    || blocked[v.idx()]
+                    || !cur.usage(v).fits_after_add(&inflight, inst.capacity(v))
+                {
+                    continue;
+                }
+                let mut u = *cur.usage(v);
+                u += ds;
+                let load_after = u.max_ratio(inst.capacity(v));
+                let key = (cur.is_vacant(v), -load_after, v);
+                if host.is_none_or(|(bv, bl, _)| (key.0, key.1) > (bv, bl)) {
+                    host = Some(key);
+                }
+            }
+            if let Some((_, _, v)) = host {
+                let key = (unblocks, ds.norm(), Move { shard: s, from, to: v });
+                let better = match &best {
+                    None => true,
+                    Some((bu, bn, _)) => (key.0, key.1) > (*bu, *bn),
+                };
+                if better {
+                    best = Some(key);
+                }
+            }
+        }
+        if let Some((_, _, mv)) = best {
+            return Some(mv);
+        }
+    }
+    None
+}
+
+/// Last-resort progress: a pending move (return or ordinary) that is
+/// physically feasible on both sides *right now* and was only skipped by
+/// the arrival hold. Smallest demand first, so the protected machine is
+/// perturbed as little as possible.
+fn find_held_arrival(inst: &Instance, cur: &Assignment, pending: &[Pending]) -> Option<Move> {
+    let alpha = inst.alpha;
+    let mut best: Option<(f64, Move)> = None;
+    for p in pending {
+        let from = cur.machine_of(p.shard);
+        if from == p.target {
+            continue;
+        }
+        let d = &inst.shards[p.shard.idx()].demand;
+        let inflight = d.scaled(1.0 + alpha);
+        let overhead = d.scaled(alpha);
+        if cur.usage(p.target).fits_after_add(&inflight, inst.capacity(p.target))
+            && cur.usage(from).fits_after_add(&overhead, inst.capacity(from))
+        {
+            let key = d.norm();
+            if best.as_ref().is_none_or(|(b, _)| key < *b) {
+                best = Some((key, Move { shard: p.shard, from, to: p.target }));
+            }
+        }
+    }
+    best.map(|(_, mv)| mv)
+}
+
+/// Prints a per-move blockage report to stderr (enabled by
+/// `REX_PLAN_TRACE=1`; see the deadlock branch of [`plan_migration`]).
+fn trace_deadlock(inst: &Instance, cur: &Assignment, pending: &[Pending]) {
+    eprintln!("--- planner deadlock: {} moves pending ---", pending.len());
+    if let Err(e) = cur.validate_consistency(inst) {
+        eprintln!("  !! assignment state inconsistent: {e}");
+    }
+    // Composition of the first blocked source, to diagnose why no parking
+    // cascade freed it.
+    if let Some(p) = pending.iter().find(|p| !p.is_return) {
+        let from = cur.machine_of(p.shard);
+        let free = cur.usage(from).headroom(inst.capacity(from));
+        eprintln!("  composition of {from} (free {free:?}):");
+        for &s in cur.shards_on(from) {
+            let pend = pending.iter().any(|q| q.shard == s);
+            eprintln!(
+                "    {s} d={:?} alpha_d={:?} pending={pend}",
+                inst.demand(s),
+                inst.demand(s).scaled(inst.alpha)
+            );
+        }
+    }
+    for p in pending.iter().take(16) {
+        let from = cur.machine_of(p.shard);
+        let d = &inst.shards[p.shard.idx()].demand;
+        let inflight = d.scaled(1.0 + inst.alpha);
+        let overhead = d.scaled(inst.alpha);
+        let tgt_ok = cur.usage(p.target).fits_after_add(&inflight, inst.capacity(p.target));
+        let src_ok = cur.usage(from).fits_after_add(&overhead, inst.capacity(from));
+        eprintln!(
+            "  {} {}→{} d={:?} | target_ok={} (usage {:?}) source_ok={} (usage {:?})",
+            p.shard,
+            from,
+            p.target,
+            d,
+            tgt_ok,
+            cur.usage(p.target),
+            src_ok,
+            cur.usage(from),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::migration::verify_schedule;
+
+    /// Two machines, swap two shards that jointly can't fit: needs staging.
+    fn swap_instance(with_exchange: bool) -> Instance {
+        let mut b = InstanceBuilder::new(1).alpha(0.0).k_return(0);
+        let m0 = b.machine(&[10.0]);
+        let m1 = b.machine(&[10.0]);
+        if with_exchange {
+            b.exchange_machine(&[10.0]);
+        }
+        b.shard(&[8.0], 1.0, m0);
+        b.shard(&[8.0], 1.0, m1);
+        b.build().unwrap()
+    }
+
+    fn swap_target(_inst: &Instance) -> Vec<MachineId> {
+        vec![MachineId(1), MachineId(0)]
+    }
+
+    #[test]
+    fn direct_swap_deadlocks_without_exchange() {
+        let inst = swap_instance(false);
+        let target = swap_target(&inst);
+        let err = plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default());
+        assert!(matches!(err, Err(ClusterError::PlanningDeadlock { .. })));
+    }
+
+    #[test]
+    fn swap_succeeds_with_exchange_machine() {
+        let inst = swap_instance(true);
+        let target = swap_target(&inst);
+        let plan = plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default()).unwrap();
+        verify_schedule(&inst, &inst.initial, &target, &plan).unwrap();
+        assert!(plan.extra_hops() >= 1, "a staging hop was required");
+    }
+
+    #[test]
+    fn noop_migration_is_empty() {
+        let inst = swap_instance(true);
+        let plan =
+            plan_migration(&inst, &inst.initial, &inst.initial, &PlannerConfig::default()).unwrap();
+        assert_eq!(plan.n_moves(), 0);
+    }
+
+    #[test]
+    fn easy_moves_are_batched_together() {
+        let mut b = InstanceBuilder::new(1);
+        let m0 = b.machine(&[100.0]);
+        let m1 = b.machine(&[100.0]);
+        for _ in 0..4 {
+            b.shard(&[1.0], 1.0, m0);
+        }
+        let inst = b.build().unwrap();
+        let target = vec![m1; 4];
+        let plan = plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default()).unwrap();
+        verify_schedule(&inst, &inst.initial, &target, &plan).unwrap();
+        assert_eq!(plan.n_batches(), 1, "all four moves fit concurrently");
+        assert_eq!(plan.n_moves(), 4);
+    }
+
+    #[test]
+    fn batch_size_cap_is_respected() {
+        let mut b = InstanceBuilder::new(1);
+        let m0 = b.machine(&[100.0]);
+        let m1 = b.machine(&[100.0]);
+        for _ in 0..4 {
+            b.shard(&[1.0], 1.0, m0);
+        }
+        let inst = b.build().unwrap();
+        let target = vec![m1; 4];
+        let cfg = PlannerConfig { max_batch_moves: 1, ..Default::default() };
+        let plan = plan_migration(&inst, &inst.initial, &target, &cfg).unwrap();
+        verify_schedule(&inst, &inst.initial, &target, &plan).unwrap();
+        assert_eq!(plan.n_batches(), 4);
+        assert!(plan.batches.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn alpha_overhead_blocks_tight_moves() {
+        // Target has exactly room for d but not for (1+α)·d.
+        let mut b = InstanceBuilder::new(1).alpha(0.5);
+        let m0 = b.machine(&[10.0]);
+        let _m1 = b.machine(&[10.0]);
+        b.shard(&[4.0], 1.0, m0); // stays
+        b.shard(&[4.5], 1.0, MachineId(1)); // occupies target: free = 5.5 < 1.5*4
+        b.shard(&[4.0], 1.0, m0); // wants to move to m1
+        let inst = b.build().unwrap();
+        let mut target = inst.initial.clone();
+        target[2] = MachineId(1);
+        let res = plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default());
+        assert!(matches!(res, Err(ClusterError::PlanningDeadlock { .. })));
+    }
+
+    #[test]
+    fn alpha_overhead_allows_loose_moves() {
+        let mut b = InstanceBuilder::new(1).alpha(0.5);
+        let m0 = b.machine(&[10.0]);
+        let m1 = b.machine(&[10.0]);
+        b.shard(&[4.0], 1.0, m0);
+        let inst = b.build().unwrap();
+        let target = vec![m1];
+        let plan = plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default()).unwrap();
+        verify_schedule(&inst, &inst.initial, &target, &plan).unwrap();
+    }
+
+    #[test]
+    fn source_freeing_unblocks_alpha_blocked_evacuation() {
+        // m0 (cap 10) holds big=8 and small=1.5 (free 0.5). With α=0.2 the
+        // big shard needs 1.6 free at its source — blocked until the small
+        // shard is parked elsewhere. The planner must park the small shard,
+        // move the big one, and bring the small one home.
+        let mut b = InstanceBuilder::new(1).alpha(0.2);
+        let m0 = b.machine(&[10.0]);
+        let m1 = b.machine(&[10.0]);
+        let _m2 = b.machine(&[10.0]); // parking space for the small shard
+        let big = b.shard(&[8.0], 1.0, m0);
+        let _small = b.shard(&[1.5], 1.0, m0);
+        let inst = b.build().unwrap();
+        let mut target = inst.initial.clone();
+        target[big.idx()] = m1;
+        let plan = plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default())
+            .expect("source-freeing staging must unblock this");
+        verify_schedule(&inst, &inst.initial, &target, &plan).unwrap();
+        assert!(plan.n_moves() >= 3, "park + big move + return, got {}", plan.n_moves());
+    }
+
+    #[test]
+    fn source_freeing_not_used_when_alpha_zero() {
+        // Same geometry but α=0: no source blocking, direct move suffices.
+        let mut b = InstanceBuilder::new(1).alpha(0.0);
+        let m0 = b.machine(&[10.0]);
+        let m1 = b.machine(&[10.0]);
+        let big = b.shard(&[8.0], 1.0, m0);
+        let _small = b.shard(&[1.5], 1.0, m0);
+        let inst = b.build().unwrap();
+        let mut target = inst.initial.clone();
+        target[big.idx()] = m1;
+        let plan =
+            plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default()).unwrap();
+        assert_eq!(plan.n_moves(), 1);
+    }
+
+    #[test]
+    fn sealed_machine_targets_fail_cleanly() {
+        // m0 holds two large shards and no parkable co-resident: its free
+        // space (0.5) cannot bear either departure's α·d (≈0.95), so any
+        // target that moves them is undeliverable — the planner must say so.
+        let mut b = InstanceBuilder::new(1).alpha(0.2);
+        let m0 = b.machine(&[10.0]);
+        let m1 = b.machine(&[10.0]);
+        let big = b.shard(&[4.8], 1.0, m0);
+        let _big2 = b.shard(&[4.7], 1.0, m0);
+        let inst = b.build().unwrap();
+        let mut target = inst.initial.clone();
+        target[big.idx()] = m1;
+        assert!(matches!(
+            plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default()),
+            Err(ClusterError::PlanningDeadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn departures_precede_arrivals_on_congested_machines() {
+        // m0 (cap 10): big=8 + small=1.5, free 0.5. Target: big leaves to
+        // m1 AND a 1.0-shard arrives from m2. Arriving first would fill m0
+        // past the point where the big's parking/departure can proceed;
+        // the planner must sequence departures (with the small parked on
+        // m2/m1) before the arrival.
+        let mut b = InstanceBuilder::new(1).alpha(0.2);
+        let m0 = b.machine(&[10.0]);
+        let m1 = b.machine(&[10.0]);
+        let m2 = b.machine(&[10.0]);
+        let big = b.shard(&[8.0], 1.0, m0);
+        let _small = b.shard(&[1.5], 1.0, m0);
+        let incoming = b.shard(&[1.0], 1.0, m2);
+        let inst = b.build().unwrap();
+        let mut target = inst.initial.clone();
+        target[big.idx()] = m1;
+        target[incoming.idx()] = m0;
+        let plan = plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default())
+            .expect("orderable with departures first");
+        verify_schedule(&inst, &inst.initial, &target, &plan).unwrap();
+        // The big's departure (or its parking) must come before the arrival
+        // onto m0.
+        let mut big_left_at = None;
+        let mut arrived_at = None;
+        for (i, batch) in plan.batches.iter().enumerate() {
+            for mv in batch {
+                if mv.shard == big && mv.from == m0 {
+                    big_left_at = Some(i);
+                }
+                if mv.shard == incoming && mv.to == m0 {
+                    arrived_at = Some(i);
+                }
+            }
+        }
+        assert!(
+            big_left_at.unwrap() <= arrived_at.unwrap(),
+            "departure batch {big_left_at:?} must not follow arrival batch {arrived_at:?}"
+        );
+    }
+
+    #[test]
+    fn shards_are_staged_at_most_once() {
+        // Large random-ish scenario: verify no shard appears in more than
+        // two extra staging hops (park + return) — the staged-once rule.
+        let mut b = InstanceBuilder::new(1).alpha(0.1);
+        let machines: Vec<MachineId> = (0..6).map(|_| b.machine(&[10.0])).collect();
+        for i in 0..18 {
+            b.shard(&[1.0 + (i % 3) as f64], 1.0, machines[i % 6]);
+        }
+        let inst = b.build().unwrap();
+        // Rotate every shard one machine to the right.
+        let target: Vec<MachineId> = inst
+            .initial
+            .iter()
+            .map(|m| MachineId::from((m.idx() + 1) % 6))
+            .collect();
+        if let Ok(plan) = plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default())
+        {
+            verify_schedule(&inst, &inst.initial, &target, &plan).unwrap();
+            use std::collections::HashMap;
+            let mut counts: HashMap<crate::shard::ShardId, usize> = HashMap::new();
+            for mv in plan.moves() {
+                *counts.entry(mv.shard).or_default() += 1;
+            }
+            assert!(counts.values().all(|&c| c <= 3), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        let inst = swap_instance(true);
+        let res = plan_migration(&inst, &inst.initial[..1], &swap_target(&inst), &PlannerConfig::default());
+        assert!(matches!(res, Err(ClusterError::BadPlacementLength { .. })));
+    }
+}

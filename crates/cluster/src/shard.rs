@@ -1,0 +1,87 @@
+//! Index shards: demand carriers.
+
+use crate::resources::ResourceVec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense shard identifier: index into [`crate::Instance::shards`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ShardId(pub u32);
+
+impl ShardId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<usize> for ShardId {
+    fn from(i: usize) -> Self {
+        ShardId(u32::try_from(i).expect("shard index exceeds u32"))
+    }
+}
+
+/// An index shard of the search engine.
+///
+/// The demand vector combines *dynamic* resources driven by the query
+/// traffic the shard serves (CPU) and *static* resources driven by the index
+/// itself (memory, disk). `move_cost` is the cost of migrating the shard
+/// once — in a search engine this is dominated by the bytes of index data
+/// copied over the network.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Shard {
+    /// Dense identifier (must equal the shard's index in the instance).
+    pub id: ShardId,
+    /// Per-dimension resource demand while hosted on a machine.
+    pub demand: ResourceVec,
+    /// One-time cost of migrating this shard (index bytes, abstract units).
+    pub move_cost: f64,
+}
+
+impl Shard {
+    /// Creates a shard; `move_cost` must be finite and non-negative.
+    pub fn new(id: impl Into<ShardId>, demand: ResourceVec, move_cost: f64) -> Self {
+        assert!(move_cost.is_finite() && move_cost >= 0.0, "move_cost must be finite and >= 0");
+        Self { id: id.into(), demand, move_cost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let id: ShardId = 11usize.into();
+        assert_eq!(id.idx(), 11);
+        assert_eq!(format!("{id}"), "s11");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_move_cost() {
+        Shard::new(0usize, ResourceVec::zero(2), -1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Shard::new(5usize, ResourceVec::from_slice(&[0.2, 0.4]), 12.5);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Shard = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based tests for the cluster substrate.
+//!
+//! The central property: **any plan the planner emits is accepted by the
+//! independent step simulator**, across randomly generated instances and
+//! randomly generated feasible target placements. The planner and the
+//! verifier implement the transient semantics separately, so agreement here
+//! is strong evidence both are right.
+
+use proptest::prelude::*;
+use rex_cluster::{
+    plan_migration, verify_schedule, Assignment, ClusterError, Instance, InstanceBuilder,
+    MachineId, PlannerConfig, ResourceVec, ShardId,
+};
+
+/// Strategy: a random instance with `n_machines` machines (plus `n_exchange`
+/// exchange machines), `n_shards` shards with random demands that initially
+/// fit, and a random overhead factor.
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        2usize..6,        // loaded machines
+        0usize..3,        // exchange machines
+        1usize..16,       // shards
+        1usize..4,        // dims
+        0u64..u64::MAX,   // seed
+        prop_oneof![Just(0.0), Just(0.1), Just(0.5)],
+    )
+        .prop_map(|(nm, nx, ns, dims, seed, alpha)| {
+            build_instance(nm, nx, ns, dims, seed, alpha)
+        })
+}
+
+fn build_instance(
+    nm: usize,
+    nx: usize,
+    ns: usize,
+    dims: usize,
+    seed: u64,
+    alpha: f64,
+) -> Instance {
+    use rand::prelude::*;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new(dims).alpha(alpha).label("prop");
+    // Heterogeneous fleet: capacities vary 2x across machines.
+    let caps: Vec<Vec<f64>> = (0..nm)
+        .map(|_| (0..dims).map(|_| rng.random_range(70.0..140.0)).collect())
+        .collect();
+    let machines: Vec<MachineId> = caps.iter().map(|c| b.machine(c)).collect();
+    for _ in 0..nx {
+        b.exchange_machine(&vec![100.0; dims]);
+    }
+    // Place shards greedily on whichever machine still has room; demands are
+    // small enough relative to capacity that this always succeeds.
+    let mut usage = vec![vec![0.0f64; dims]; nm];
+    for _ in 0..ns {
+        let demand: Vec<f64> =
+            (0..dims).map(|_| rng.random_range(1.0..70.0 / (ns as f64).max(4.0))).collect();
+        let host = (0..nm)
+            .find(|&m| (0..dims).all(|r| usage[m][r] + demand[r] <= caps[m][r]))
+            .expect("demands sized to always fit somewhere");
+        for r in 0..dims {
+            usage[host][r] += demand[r];
+        }
+        b.shard(&demand, rng.random_range(0.5..10.0), machines[host]);
+    }
+    b.build().expect("constructed instance must validate")
+}
+
+/// Random capacity-feasible target placement derived from the initial one by
+/// random feasible relocations (may land shards on exchange machines).
+fn random_target(inst: &Instance, seed: u64, moves: usize) -> Vec<MachineId> {
+    use rand::prelude::*;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut asg = Assignment::from_initial(inst);
+    for _ in 0..moves {
+        let s = ShardId::from(rng.random_range(0..inst.n_shards()));
+        let m = MachineId::from(rng.random_range(0..inst.n_machines()));
+        if asg.fits(inst, s, m) {
+            asg.move_shard(inst, s, m);
+        }
+    }
+    asg.into_placement()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Planner output always verifies; deadlock is the only allowed failure.
+    #[test]
+    fn planner_output_always_verifies(inst in arb_instance(), seed in 0u64..u64::MAX) {
+        let target = random_target(&inst, seed, 2 * inst.n_shards());
+        match plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default()) {
+            Ok(plan) => {
+                verify_schedule(&inst, &inst.initial, &target, &plan)
+                    .expect("planner-produced schedule must verify");
+            }
+            Err(ClusterError::PlanningDeadlock { .. }) => {
+                // Legitimate in stringent cases; nothing further to check.
+            }
+            Err(e) => panic!("unexpected planner error: {e}"),
+        }
+    }
+
+    /// The identity migration always plans to an empty schedule.
+    #[test]
+    fn identity_migration_is_empty(inst in arb_instance()) {
+        let plan = plan_migration(&inst, &inst.initial, &inst.initial, &PlannerConfig::default())
+            .expect("identity must plan");
+        prop_assert_eq!(plan.n_moves(), 0);
+    }
+
+    /// Assignment bookkeeping survives arbitrary move sequences.
+    #[test]
+    fn assignment_consistency_under_random_moves(
+        inst in arb_instance(),
+        seed in 0u64..u64::MAX,
+    ) {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut asg = Assignment::from_initial(&inst);
+        for _ in 0..200 {
+            let s = ShardId::from(rng.random_range(0..inst.n_shards()));
+            let m = MachineId::from(rng.random_range(0..inst.n_machines()));
+            asg.move_shard(&inst, s, m);
+        }
+        asg.validate_consistency(&inst).unwrap();
+        // Usage must equal recomputed usage from placement exactly enough
+        // for loads to agree.
+        let fresh = Assignment::from_placement(&inst, asg.placement().to_vec()).unwrap();
+        for m in 0..inst.n_machines() {
+            let mid = MachineId::from(m);
+            prop_assert!(
+                (asg.machine_load(&inst, mid) - fresh.machine_load(&inst, mid)).abs() < 1e-6
+            );
+        }
+    }
+
+    /// ResourceVec add/sub round-trips within tolerance.
+    #[test]
+    fn resource_vec_add_sub_roundtrip(
+        a in proptest::collection::vec(0.0f64..1e6, 1..8),
+        b in proptest::collection::vec(0.0f64..1e6, 1..8),
+    ) {
+        let n = a.len().min(b.len());
+        let va = ResourceVec::from_slice(&a[..n]);
+        let vb = ResourceVec::from_slice(&b[..n]);
+        let back = (va + vb) - vb;
+        prop_assert!(back.approx_eq(&va, 1e-6));
+    }
+
+    /// max_ratio is monotone: adding demand never lowers the load.
+    #[test]
+    fn max_ratio_monotone(
+        u in proptest::collection::vec(0.0f64..100.0, 1..8),
+        d in proptest::collection::vec(0.0f64..100.0, 1..8),
+    ) {
+        let n = u.len().min(d.len());
+        let cap = ResourceVec::splat(n, 200.0);
+        let vu = ResourceVec::from_slice(&u[..n]);
+        let vd = ResourceVec::from_slice(&d[..n]);
+        let before = vu.max_ratio(&cap);
+        let after = (vu + vd).max_ratio(&cap);
+        prop_assert!(after + 1e-12 >= before);
+    }
+
+    /// Tampering with any single move's destination breaks verification
+    /// against the original target: either a later move's source no longer
+    /// matches (`InconsistentMove`), a machine transiently overflows, or
+    /// the final placement is wrong. The verifier must never accept a
+    /// tampered schedule as reaching the original target.
+    #[test]
+    fn verifier_rejects_tampered_plans(
+        inst in arb_instance(),
+        seed in 0u64..u64::MAX,
+        pick in any::<u64>(),
+    ) {
+        let target = random_target(&inst, seed, inst.n_shards());
+        let Ok(plan) = plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default())
+        else { return Ok(()) };
+        if plan.n_moves() == 0 {
+            return Ok(());
+        }
+        let mut tampered = plan.clone();
+        // Pick one move and redirect it to a different machine.
+        let flat: Vec<(usize, usize)> = tampered
+            .batches
+            .iter()
+            .enumerate()
+            .flat_map(|(b, moves)| (0..moves.len()).map(move |i| (b, i)))
+            .collect();
+        let (b, i) = flat[(pick % flat.len() as u64) as usize];
+        let mv = tampered.batches[b][i];
+        let new_to = MachineId::from((mv.to.idx() + 1) % inst.n_machines());
+        if new_to == mv.from {
+            return Ok(()); // would become a self-move; ambiguous, skip
+        }
+        tampered.batches[b][i].to = new_to;
+        prop_assert!(
+            verify_schedule(&inst, &inst.initial, &target, &tampered).is_err(),
+            "tampered move {mv:?} → {new_to} must not verify"
+        );
+    }
+
+    /// A verified schedule's final usage is capacity-feasible, hence the
+    /// target assignment is too.
+    #[test]
+    fn verified_targets_are_feasible(inst in arb_instance(), seed in 0u64..u64::MAX) {
+        let target = random_target(&inst, seed, inst.n_shards());
+        if let Ok(plan) =
+            plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default())
+        {
+            verify_schedule(&inst, &inst.initial, &target, &plan).unwrap();
+            let asg = Assignment::from_placement(&inst, target).unwrap();
+            prop_assert!(asg.is_capacity_feasible(&inst));
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Destroy operators: choose which shards to detach.
+//!
+//! Each operator detaches between one and `cap` shards, scaling with the
+//! engine-supplied intensity. The cap keeps destroy size bounded on large
+//! instances — repairing hundreds of shards per iteration would dominate
+//! the iteration budget without improving search quality.
+
+use crate::problem::{SraPartial, SraProblem};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::RngExt;
+use rex_cluster::{Assignment, MachineId, ShardId};
+use rex_lns::Destroy;
+
+/// Number of shards to remove given intensity, instance size, and cap.
+///
+/// The lower bound of three (when the instance has that many shards)
+/// matters: under the vacancy quota the solution space is disconnected for
+/// single-shard moves — a pairwise swap through an exchange machine needs
+/// both parties detached in the same iteration, or every intermediate
+/// state violates either capacity or the vacancy count and is rejected.
+fn removal_count(n_shards: usize, intensity: f64, cap: usize) -> usize {
+    let floor = 3.min(n_shards);
+    (((n_shards as f64) * intensity).ceil() as usize)
+        .clamp(floor, cap.max(floor).min(n_shards))
+}
+
+/// Detaches a uniformly random subset of shards.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomRemoval {
+    /// Maximum shards detached per invocation.
+    pub cap: usize,
+}
+
+impl Destroy<SraProblem<'_>> for RandomRemoval {
+    fn name(&self) -> &str {
+        "random-removal"
+    }
+
+    fn destroy(
+        &self,
+        p: &SraProblem<'_>,
+        sol: &Assignment,
+        intensity: f64,
+        rng: &mut StdRng,
+    ) -> SraPartial {
+        let n = p.inst.n_shards();
+        let k = removal_count(n, intensity, self.cap);
+        let mut asg = sol.clone();
+        let picks = rand::seq::index::sample(rng, n, k);
+        let mut removed = Vec::with_capacity(k);
+        for i in picks {
+            let s = ShardId::from(i);
+            asg.detach_shard(p.inst, s);
+            removed.push(s);
+        }
+        SraPartial { asg, removed }
+    }
+}
+
+/// Detaches shards from the hottest machines: repeatedly picks one of the
+/// top-3 most-loaded machines and detaches its largest shard. This is the
+/// operator that directly attacks the peak-load objective.
+#[derive(Clone, Copy, Debug)]
+pub struct WorstMachineRemoval {
+    /// Maximum shards detached per invocation.
+    pub cap: usize,
+}
+
+impl Destroy<SraProblem<'_>> for WorstMachineRemoval {
+    fn name(&self) -> &str {
+        "worst-machine"
+    }
+
+    fn destroy(
+        &self,
+        p: &SraProblem<'_>,
+        sol: &Assignment,
+        intensity: f64,
+        rng: &mut StdRng,
+    ) -> SraPartial {
+        let inst = p.inst;
+        let k = removal_count(inst.n_shards(), intensity, self.cap);
+        let mut asg = sol.clone();
+        let mut removed = Vec::with_capacity(k);
+        for _ in 0..k {
+            // Rank occupied machines by current load; sample among the top 3
+            // so repeated invocations explore different evacuation patterns.
+            let mut hot: Vec<(f64, MachineId)> = (0..inst.n_machines())
+                .map(MachineId::from)
+                .filter(|&m| !asg.shards_on(m).is_empty())
+                .map(|m| (asg.machine_load(inst, m), m))
+                .collect();
+            if hot.is_empty() {
+                break;
+            }
+            hot.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            let pick = rng.random_range(0..hot.len().min(3));
+            let machine = hot[pick].1;
+            // Detach the shard with the largest demand norm on that machine.
+            let s = *asg
+                .shards_on(machine)
+                .iter()
+                .max_by(|a, b| {
+                    inst.demand(**a)
+                        .norm()
+                        .partial_cmp(&inst.demand(**b).norm())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("machine is occupied");
+            asg.detach_shard(inst, s);
+            removed.push(s);
+        }
+        SraPartial { asg, removed }
+    }
+}
+
+/// Shaw-style related removal: detaches shards whose demand vectors are
+/// similar to a random seed shard's. Similar shards are interchangeable, so
+/// re-inserting a related group gives the repair real room to rearrange.
+#[derive(Clone, Copy, Debug)]
+pub struct RelatedRemoval {
+    /// Maximum shards detached per invocation.
+    pub cap: usize,
+}
+
+impl Destroy<SraProblem<'_>> for RelatedRemoval {
+    fn name(&self) -> &str {
+        "related-removal"
+    }
+
+    fn destroy(
+        &self,
+        p: &SraProblem<'_>,
+        sol: &Assignment,
+        intensity: f64,
+        rng: &mut StdRng,
+    ) -> SraPartial {
+        let inst = p.inst;
+        let n = inst.n_shards();
+        let k = removal_count(n, intensity, self.cap);
+        let seed = ShardId::from(rng.random_range(0..n));
+        let seed_demand = *inst.demand(seed);
+
+        // Rank all shards by distance to the seed, then detach a random k of
+        // the nearest 2k (the randomization prevents the operator from
+        // detaching the identical set every time).
+        let mut ranked: Vec<(f64, u32)> = (0..n as u32)
+            .map(|i| (seed_demand.distance(inst.demand(ShardId(i))), i))
+            .collect();
+        let pool = (2 * k).min(n);
+        ranked.select_nth_unstable_by(pool - 1, |a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut pool_ids: Vec<u32> = ranked[..pool].iter().map(|&(_, i)| i).collect();
+        pool_ids.shuffle(rng);
+
+        let mut asg = sol.clone();
+        let mut removed = Vec::with_capacity(k);
+        for &i in pool_ids.iter().take(k) {
+            let s = ShardId(i);
+            asg.detach_shard(inst, s);
+            removed.push(s);
+        }
+        SraPartial { asg, removed }
+    }
+}
+
+/// Evacuates one occupied machine entirely.
+///
+/// This is the **resource-exchange move**: with the machine empty, the
+/// repair pass may leave it vacant, making it eligible for return in place
+/// of a borrowed exchange machine — the membership exchange the paper's
+/// scheme allows. Machines with fewer shards are preferred (cheaper to
+/// evacuate); exchange machines can be evacuated too, which undoes an
+/// earlier occupation.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineExchangeRemoval {
+    /// Upper bound on the number of shards the chosen machine may host.
+    pub cap: usize,
+}
+
+impl Destroy<SraProblem<'_>> for MachineExchangeRemoval {
+    fn name(&self) -> &str {
+        "machine-exchange"
+    }
+
+    fn destroy(
+        &self,
+        p: &SraProblem<'_>,
+        sol: &Assignment,
+        _intensity: f64,
+        rng: &mut StdRng,
+    ) -> SraPartial {
+        let inst = p.inst;
+        // Candidates: occupied machines with at most `cap` shards.
+        let mut candidates: Vec<MachineId> = (0..inst.n_machines())
+            .map(MachineId::from)
+            .filter(|&m| {
+                let c = sol.shards_on(m).len();
+                c > 0 && c <= self.cap.max(1)
+            })
+            .collect();
+        let mut asg = sol.clone();
+        if candidates.is_empty() {
+            // Degenerate: fall back to detaching a single random shard so
+            // the iteration still proposes something.
+            let s = ShardId::from(rng.random_range(0..inst.n_shards()));
+            asg.detach_shard(inst, s);
+            return SraPartial { asg, removed: vec![s] };
+        }
+        candidates.shuffle(rng);
+        let machine = candidates[0];
+        let removed: Vec<ShardId> = asg.shards_on(machine).to_vec();
+        for &s in &removed {
+            asg.detach_shard(inst, s);
+        }
+        SraPartial { asg, removed }
+    }
+}
+
+/// The full default destroy portfolio used by SRA.
+pub fn default_destroys<'a>(cap: usize) -> Vec<Box<dyn Destroy<SraProblem<'a>>>> {
+    vec![
+        Box::new(RandomRemoval { cap }),
+        Box::new(WorstMachineRemoval { cap }),
+        Box::new(RelatedRemoval { cap }),
+        Box::new(MachineExchangeRemoval { cap }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rex_cluster::{Instance, InstanceBuilder, Objective};
+
+    fn inst() -> Instance {
+        let mut b = InstanceBuilder::new(2).label("d");
+        let m0 = b.machine(&[10.0, 10.0]);
+        let m1 = b.machine(&[10.0, 10.0]);
+        let _x = b.exchange_machine(&[10.0, 10.0]);
+        b.shard(&[4.0, 1.0], 1.0, m0);
+        b.shard(&[3.0, 2.0], 1.0, m0);
+        b.shard(&[1.0, 1.0], 1.0, m1);
+        b.shard(&[1.5, 0.5], 1.0, m1);
+        b.build().unwrap()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn removal_count_bounds() {
+        assert_eq!(removal_count(100, 0.1, 50), 10);
+        // Floor of three: single-shard destroys cannot express swaps.
+        assert_eq!(removal_count(100, 0.001, 50), 3);
+        assert_eq!(removal_count(100, 0.9, 20), 20);
+        assert_eq!(removal_count(5, 1.0, 100), 5);
+        assert_eq!(removal_count(2, 0.1, 100), 2);
+    }
+
+    #[test]
+    fn random_removal_detaches_requested_count() {
+        let inst = inst();
+        let p = SraProblem::new(&inst, Objective::default());
+        let sol = Assignment::from_initial(&inst);
+        let partial = RandomRemoval { cap: 10 }.destroy(&p, &sol, 0.75, &mut rng());
+        assert_eq!(partial.removed.len(), 3);
+        for &s in &partial.removed {
+            assert!(partial.asg.is_detached(s));
+        }
+        partial.asg.validate_consistency(&inst).unwrap();
+    }
+
+    #[test]
+    fn worst_machine_targets_hot_machine() {
+        let inst = inst(); // m0 load 0.7, m1 load 0.25
+        let p = SraProblem::new(&inst, Objective::default());
+        let sol = Assignment::from_initial(&inst);
+        // With only two occupied machines, top-3 sampling may pick either,
+        // but over many draws the hot machine must dominate.
+        let mut from_hot = 0;
+        let mut r = rng();
+        for _ in 0..50 {
+            let partial = WorstMachineRemoval { cap: 1 }.destroy(&p, &sol, 0.1, &mut r);
+            // The connectivity floor (3) overrides a smaller cap.
+            assert_eq!(partial.removed.len(), 3);
+            if inst.initial[partial.removed[0].idx()] == MachineId(0) {
+                from_hot += 1;
+            }
+        }
+        assert!(from_hot > 10, "hot machine should be targeted often, got {from_hot}");
+    }
+
+    #[test]
+    fn related_removal_picks_similar_shards() {
+        // Two clusters of identical shards; removing ~half must stay inside
+        // one cluster when the seed is in it.
+        let mut b = InstanceBuilder::new(2);
+        let m0 = b.machine(&[100.0, 100.0]);
+        let _m1 = b.machine(&[100.0, 100.0]);
+        for _ in 0..6 {
+            b.shard(&[5.0, 0.0], 1.0, m0);
+        }
+        for _ in 0..6 {
+            b.shard(&[0.0, 5.0], 1.0, m0);
+        }
+        let inst = b.build().unwrap();
+        let p = SraProblem::new(&inst, Objective::default());
+        let sol = Assignment::from_initial(&inst);
+        // k = 3 (floor), candidate pool = 6 nearest = exactly one cluster.
+        let partial = RelatedRemoval { cap: 3 }.destroy(&p, &sol, 0.1, &mut rng());
+        assert_eq!(partial.removed.len(), 3);
+        let kinds: Vec<usize> = partial.removed.iter().map(|s| s.idx() / 6).collect();
+        assert!(
+            kinds.windows(2).all(|w| w[0] == w[1]),
+            "related removal must stay within one demand cluster: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn machine_exchange_empties_exactly_one_machine() {
+        let inst = inst();
+        let p = SraProblem::new(&inst, Objective::default());
+        let sol = Assignment::from_initial(&inst);
+        let partial = MachineExchangeRemoval { cap: 8 }.destroy(&p, &sol, 0.5, &mut rng());
+        // All removed shards come from the same, now-vacant machine.
+        let origins: Vec<MachineId> =
+            partial.removed.iter().map(|s| inst.initial[s.idx()]).collect();
+        assert!(origins.windows(2).all(|w| w[0] == w[1]));
+        assert!(partial.asg.is_vacant(origins[0]));
+        partial.asg.validate_consistency(&inst).unwrap();
+    }
+
+    #[test]
+    fn machine_exchange_falls_back_when_no_small_machine() {
+        let inst = inst(); // both occupied machines host 2 shards
+        let p = SraProblem::new(&inst, Objective::default());
+        let sol = Assignment::from_initial(&inst);
+        let partial = MachineExchangeRemoval { cap: 1 }.destroy(&p, &sol, 0.5, &mut rng());
+        assert_eq!(partial.removed.len(), 1);
+    }
+
+    #[test]
+    fn default_portfolio_has_four_operators() {
+        let ops = default_destroys(32);
+        let names: Vec<&str> = ops.iter().map(|o| o.name()).collect();
+        assert_eq!(
+            names,
+            vec!["random-removal", "worst-machine", "related-removal", "machine-exchange"]
+        );
+    }
+}

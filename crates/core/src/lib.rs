@@ -1,0 +1,42 @@
+//! # rex-core
+//!
+//! **SRA — the Shard Reassignment Algorithm** of *"Improving Load Balance
+//! via Resource Exchange in Large-Scale Search Engines"* (ICPP 2020),
+//! reconstructed from the paper's abstract (see the repository's DESIGN.md
+//! for the source-text caveat).
+//!
+//! SRA approximates the paper's integer program with a large neighborhood
+//! search over shard placements:
+//!
+//! * the incumbent is a complete [`rex_cluster::Assignment`];
+//! * **destroy operators** ([`destroy`]) detach a subset of shards — at
+//!   random, from the hottest machines, by demand similarity (Shaw), or by
+//!   evacuating one machine entirely (the *machine-exchange* move that lets
+//!   an originally-loaded machine be handed back in place of a borrowed
+//!   one);
+//! * **repair operators** ([`repair`]) re-insert the detached shards
+//!   greedily, by regret-2 priority, or with randomized sampling — all of
+//!   them refusing insertions that would overload a machine or leave fewer
+//!   than `k_return` vacant machines;
+//! * the **acceptance criterion** (simulated annealing by default) and
+//!   adaptive operator weights come from `rex-lns`;
+//! * the final incumbent must admit a **transient-feasible migration
+//!   schedule** (planned and independently verified by
+//!   `rex-cluster::migration`); if planning deadlocks, SRA re-runs the
+//!   search with per-candidate plannability checks, which can never end
+//!   worse than the (trivially plannable) initial placement.
+//!
+//! Entry point: [`sra::solve`] (serial or parallel portfolio, controlled by
+//! [`sra::SraConfig::workers`]).
+
+pub mod destroy;
+pub mod problem;
+pub mod repair;
+pub mod sra;
+
+pub use destroy::{
+    default_destroys, MachineExchangeRemoval, RandomRemoval, RelatedRemoval, WorstMachineRemoval,
+};
+pub use problem::{SraPartial, SraProblem};
+pub use repair::{default_repairs, GreedyBestFit, RandomizedGreedy, Regret2Insert};
+pub use sra::{solve, solve_with_drain, AcceptanceKind, SraConfig, SraResult};

@@ -1,0 +1,356 @@
+//! Repair operators: re-insert detached shards.
+//!
+//! All repairs share the same hard rules, enforced through
+//! [`SraProblem::insertion_score`] and the vacancy budget:
+//!
+//! * never overload a machine,
+//! * never occupy a vacant machine when doing so would leave fewer than
+//!   `k_return` vacancies (the exchange compensation would become
+//!   impossible),
+//! * a repair that cannot place every detached shard returns `None` and the
+//!   iteration is discarded.
+
+use crate::problem::{SraPartial, SraProblem};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rex_cluster::{Assignment, MachineId, ShardId};
+use rex_lns::Repair;
+
+/// Shared insertion state: tracks how many vacancies may still be consumed.
+struct InsertCtx {
+    vacancy_budget: usize,
+}
+
+impl InsertCtx {
+    fn new(p: &SraProblem<'_>, asg: &Assignment) -> Self {
+        Self { vacancy_budget: p.vacancy_budget(asg) }
+    }
+
+    /// Whether machine `m` may receive a shard right now.
+    fn allowed(&self, asg: &Assignment, m: MachineId) -> bool {
+        !asg.is_vacant(m) || self.vacancy_budget > 0
+    }
+
+    /// Registers that a shard was placed on `m` (must be called *before*
+    /// the attach mutates vacancy state).
+    fn consume(&mut self, asg: &Assignment, m: MachineId) {
+        if asg.is_vacant(m) {
+            self.vacancy_budget -= 1;
+        }
+    }
+}
+
+/// Best feasible machine for `s` under the insertion score; ties broken by
+/// machine id for determinism.
+fn best_machine(
+    p: &SraProblem<'_>,
+    asg: &Assignment,
+    ctx: &InsertCtx,
+    s: ShardId,
+) -> Option<(MachineId, f64)> {
+    let mut best: Option<(MachineId, f64)> = None;
+    for i in 0..p.inst.n_machines() {
+        let m = MachineId::from(i);
+        if !ctx.allowed(asg, m) {
+            continue;
+        }
+        if let Some(score) = p.insertion_score(asg, s, m) {
+            let better = match best {
+                None => true,
+                Some((_, b)) => score < b,
+            };
+            if better {
+                best = Some((m, score));
+            }
+        }
+    }
+    best
+}
+
+/// Sorts detached shards by decreasing demand norm (hardest first).
+fn sort_big_first(p: &SraProblem<'_>, removed: &mut [ShardId]) {
+    removed.sort_by(|&a, &b| {
+        p.inst
+            .demand(b)
+            .norm()
+            .partial_cmp(&p.inst.demand(a).norm())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+}
+
+/// Greedy best-fit: inserts shards, largest first, each on the machine with
+/// the lowest insertion score.
+#[derive(Clone, Copy, Debug)]
+pub struct GreedyBestFit;
+
+impl Repair<SraProblem<'_>> for GreedyBestFit {
+    fn name(&self) -> &str {
+        "greedy-best-fit"
+    }
+
+    fn repair(
+        &self,
+        p: &SraProblem<'_>,
+        mut partial: SraPartial,
+        _rng: &mut StdRng,
+    ) -> Option<Assignment> {
+        sort_big_first(p, &mut partial.removed);
+        let mut ctx = InsertCtx::new(p, &partial.asg);
+        for s in partial.removed {
+            let (m, _) = best_machine(p, &partial.asg, &ctx, s)?;
+            ctx.consume(&partial.asg, m);
+            partial.asg.attach_shard(p.inst, s, m);
+        }
+        Some(partial.asg)
+    }
+}
+
+/// Regret-2 insertion: repeatedly inserts the shard that would lose the
+/// most by *not* getting its best machine (difference between its best and
+/// second-best scores). Shards with a single feasible machine have infinite
+/// regret and go first.
+#[derive(Clone, Copy, Debug)]
+pub struct Regret2Insert;
+
+impl Repair<SraProblem<'_>> for Regret2Insert {
+    fn name(&self) -> &str {
+        "regret-2"
+    }
+
+    fn repair(
+        &self,
+        p: &SraProblem<'_>,
+        mut partial: SraPartial,
+        _rng: &mut StdRng,
+    ) -> Option<Assignment> {
+        let mut ctx = InsertCtx::new(p, &partial.asg);
+        while !partial.removed.is_empty() {
+            let mut pick: Option<(usize, MachineId, f64)> = None; // (idx, best machine, regret)
+            for (idx, &s) in partial.removed.iter().enumerate() {
+                // Best and second-best scores for this shard.
+                let mut b1: Option<(MachineId, f64)> = None;
+                let mut b2: Option<f64> = None;
+                for i in 0..p.inst.n_machines() {
+                    let m = MachineId::from(i);
+                    if !ctx.allowed(&partial.asg, m) {
+                        continue;
+                    }
+                    if let Some(score) = p.insertion_score(&partial.asg, s, m) {
+                        match b1 {
+                            None => b1 = Some((m, score)),
+                            Some((_, s1)) if score < s1 => {
+                                b2 = Some(s1);
+                                b1 = Some((m, score));
+                            }
+                            Some(_) => match b2 {
+                                None => b2 = Some(score),
+                                Some(s2) if score < s2 => b2 = Some(score),
+                                _ => {}
+                            },
+                        }
+                    }
+                }
+                let (m, s1) = b1?; // a shard with no feasible machine fails the repair
+                let regret = match b2 {
+                    Some(s2) => s2 - s1,
+                    None => f64::INFINITY, // only one option: most urgent
+                };
+                let better = match pick {
+                    None => true,
+                    Some((_, _, r)) => regret > r,
+                };
+                if better {
+                    pick = Some((idx, m, regret));
+                }
+            }
+            let (idx, m, _) = pick?;
+            let s = partial.removed.swap_remove(idx);
+            ctx.consume(&partial.asg, m);
+            partial.asg.attach_shard(p.inst, s, m);
+        }
+        Some(partial.asg)
+    }
+}
+
+/// Randomized greedy: like best-fit but each shard samples `sample`
+/// candidate machines and takes the best of the sample. Adds the
+/// diversification pure best-fit lacks, at a fraction of its cost on large
+/// fleets.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomizedGreedy {
+    /// Number of machines sampled per shard.
+    pub sample: usize,
+}
+
+impl Repair<SraProblem<'_>> for RandomizedGreedy {
+    fn name(&self) -> &str {
+        "randomized-greedy"
+    }
+
+    fn repair(
+        &self,
+        p: &SraProblem<'_>,
+        mut partial: SraPartial,
+        rng: &mut StdRng,
+    ) -> Option<Assignment> {
+        sort_big_first(p, &mut partial.removed);
+        let mut ctx = InsertCtx::new(p, &partial.asg);
+        let n = p.inst.n_machines();
+        for s in partial.removed {
+            let mut best: Option<(MachineId, f64)> = None;
+            for _ in 0..self.sample.max(1) {
+                let m = MachineId::from(rng.random_range(0..n));
+                if !ctx.allowed(&partial.asg, m) {
+                    continue;
+                }
+                if let Some(score) = p.insertion_score(&partial.asg, s, m) {
+                    let better = match best {
+                        None => true,
+                        Some((_, b)) => score < b,
+                    };
+                    if better {
+                        best = Some((m, score));
+                    }
+                }
+            }
+            // Fall back to the full scan when sampling found nothing — the
+            // shard may genuinely have only a few feasible hosts.
+            let (m, _) = match best {
+                Some(x) => x,
+                None => best_machine(p, &partial.asg, &ctx, s)?,
+            };
+            ctx.consume(&partial.asg, m);
+            partial.asg.attach_shard(p.inst, s, m);
+        }
+        Some(partial.asg)
+    }
+}
+
+/// The full default repair portfolio used by SRA.
+pub fn default_repairs<'a>() -> Vec<Box<dyn Repair<SraProblem<'a>>>> {
+    vec![
+        Box::new(GreedyBestFit),
+        Box::new(Regret2Insert),
+        Box::new(RandomizedGreedy { sample: 8 }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rex_cluster::{Instance, InstanceBuilder, Objective, ObjectiveKind};
+    use rex_lns::LnsProblem;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    fn inst() -> Instance {
+        let mut b = InstanceBuilder::new(1).label("r");
+        let m0 = b.machine(&[10.0]);
+        let m1 = b.machine(&[10.0]);
+        let _x = b.exchange_machine(&[10.0]);
+        b.shard(&[6.0], 1.0, m0);
+        b.shard(&[3.0], 1.0, m0);
+        b.shard(&[2.0], 1.0, m1);
+        b.build().unwrap()
+    }
+
+    fn detach_all(p: &SraProblem<'_>) -> SraPartial {
+        let mut asg = Assignment::from_initial(p.inst);
+        let removed: Vec<ShardId> = (0..p.inst.n_shards()).map(ShardId::from).collect();
+        for &s in &removed {
+            asg.detach_shard(p.inst, s);
+        }
+        SraPartial { asg, removed }
+    }
+
+    #[test]
+    fn greedy_best_fit_balances() {
+        let inst = inst();
+        let p = SraProblem::new(&inst, Objective::pure(ObjectiveKind::PeakLoad));
+        let sol = GreedyBestFit.repair(&p, detach_all(&p), &mut rng()).unwrap();
+        assert!(p.is_feasible(&sol));
+        // Greedy LPT on {6,3,2} over two usable machines (one must stay
+        // vacant): 6 | 3+2 → peak 0.6.
+        assert!((sol.peak_load(&inst) - 0.6).abs() < 1e-9, "peak={}", sol.peak_load(&inst));
+    }
+
+    #[test]
+    fn repairs_respect_vacancy_quota() {
+        let inst = inst(); // k_return = 1
+        let p = SraProblem::new(&inst, Objective::pure(ObjectiveKind::PeakLoad));
+        for repair in default_repairs() {
+            let sol = repair.repair(&p, detach_all(&p), &mut rng()).unwrap();
+            assert!(
+                sol.vacant_count() >= inst.k_return,
+                "{} violated the vacancy quota",
+                repair.name()
+            );
+        }
+    }
+
+    #[test]
+    fn regret2_produces_feasible_balanced_solution() {
+        let inst = inst();
+        let p = SraProblem::new(&inst, Objective::pure(ObjectiveKind::PeakLoad));
+        let sol = Regret2Insert.repair(&p, detach_all(&p), &mut rng()).unwrap();
+        assert!(p.is_feasible(&sol));
+        assert!(sol.peak_load(&inst) <= 0.9 + 1e-9);
+    }
+
+    #[test]
+    fn randomized_greedy_is_feasible_across_seeds() {
+        let inst = inst();
+        let p = SraProblem::new(&inst, Objective::pure(ObjectiveKind::PeakLoad));
+        for seed in 0..10 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let sol = RandomizedGreedy { sample: 2 }.repair(&p, detach_all(&p), &mut r).unwrap();
+            assert!(p.is_feasible(&sol), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn repair_fails_when_shard_cannot_fit() {
+        // m0 (cap 20) hosts F=11 and B=9; m1 (cap 8) hosts G=5. Detach B
+        // and cram G onto m0: now B fits nowhere (m0: 16+9 > 20, m1: 9 > 8),
+        // so every repair must report failure.
+        let mut b = InstanceBuilder::new(1);
+        let m0 = b.machine(&[20.0]);
+        let m1 = b.machine(&[8.0]);
+        b.shard(&[11.0], 1.0, m0); // F
+        let shard_b = b.shard(&[9.0], 1.0, m0); // B
+        let g = b.shard(&[5.0], 1.0, m1); // G
+        let inst = b.build().unwrap();
+        let p = SraProblem::new(&inst, Objective::default());
+        let mut asg = Assignment::from_initial(&inst);
+        asg.detach_shard(&inst, shard_b);
+        asg.move_shard(&inst, g, MachineId(0));
+        for repair in default_repairs() {
+            let partial = SraPartial { asg: asg.clone(), removed: vec![shard_b] };
+            assert!(
+                repair.repair(&p, partial, &mut rng()).is_none(),
+                "{} should fail",
+                repair.name()
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let inst = inst();
+        let p = SraProblem::new(&inst, Objective::pure(ObjectiveKind::PeakLoad));
+        let a = GreedyBestFit.repair(&p, detach_all(&p), &mut rng()).unwrap();
+        let b = GreedyBestFit.repair(&p, detach_all(&p), &mut rng()).unwrap();
+        assert_eq!(a.placement(), b.placement());
+    }
+
+    #[test]
+    fn default_portfolio_names() {
+        let ops = default_repairs();
+        let names: Vec<&str> = ops.iter().map(|o| o.name()).collect();
+        assert_eq!(names, vec!["greedy-best-fit", "regret-2", "randomized-greedy"]);
+    }
+}

@@ -1,0 +1,446 @@
+//! The ALNS iteration engine.
+
+use crate::accept::Acceptance;
+use crate::problem::{Destroy, LnsProblem, Repair};
+use crate::weights::{IterationOutcome, OperatorWeights};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct LnsConfig {
+    /// Maximum number of destroy/repair iterations.
+    pub max_iters: u64,
+    /// Optional wall-clock budget; checked every 64 iterations.
+    pub time_limit: Option<Duration>,
+    /// Destroy intensity is drawn uniformly from this `(min, max)` range
+    /// each iteration (interpreted by the destroy operators, typically as
+    /// the fraction of elements to remove).
+    pub intensity: (f64, f64),
+    /// ALNS weight-smoothing factor ρ (see [`OperatorWeights`]).
+    pub rho: f64,
+    /// Iterations per ALNS weight-update segment.
+    pub segment_len: u64,
+    /// Record the best-objective trajectory (for convergence plots).
+    pub log_trajectory: bool,
+}
+
+impl Default for LnsConfig {
+    fn default() -> Self {
+        Self {
+            max_iters: 5_000,
+            time_limit: None,
+            intensity: (0.05, 0.35),
+            rho: 0.8,
+            segment_len: 100,
+            log_trajectory: false,
+        }
+    }
+}
+
+/// One point of the best-objective trajectory.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct TrajectoryPoint {
+    /// Iteration at which the best improved.
+    pub iteration: u64,
+    /// Wall-clock seconds since the run started.
+    pub elapsed_secs: f64,
+    /// New best objective value.
+    pub objective: f64,
+}
+
+/// Per-operator usage statistics.
+#[derive(Clone, Debug, Serialize)]
+pub struct OperatorStat {
+    /// Operator name.
+    pub name: String,
+    /// Times the operator was drawn.
+    pub uses: u64,
+    /// Global bests the operator produced.
+    pub bests: u64,
+    /// Final adaptive weight.
+    pub weight: f64,
+}
+
+/// Aggregate statistics of a finished search.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct EngineStats {
+    /// Candidates accepted as the new incumbent.
+    pub accepted: u64,
+    /// Candidates rejected by the acceptance criterion.
+    pub rejected: u64,
+    /// Iterations where the repair operator returned no solution.
+    pub repair_failures: u64,
+    /// Candidates rejected because they violated hard constraints.
+    pub infeasible: u64,
+    /// Candidates that strictly improved the incumbent.
+    pub improved: u64,
+    /// Times a new global best was found.
+    pub new_bests: u64,
+    /// Times a candidate beat the best objective but was refused by the
+    /// problem's `accept_best` gate (e.g. SRA's plannability check).
+    pub best_gate_rejections: u64,
+    /// Destroy-operator statistics (same order as passed to the engine).
+    pub destroy_ops: Vec<OperatorStat>,
+    /// Repair-operator statistics.
+    pub repair_ops: Vec<OperatorStat>,
+}
+
+/// Result of a search run.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome<S> {
+    /// Best feasible solution found (never worse than the initial one).
+    pub best: S,
+    /// Its objective value.
+    pub best_objective: f64,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Usage statistics.
+    pub stats: EngineStats,
+    /// Best-objective trajectory (empty unless `log_trajectory`).
+    pub trajectory: Vec<TrajectoryPoint>,
+}
+
+/// The ALNS engine: owns the operator portfolio and acceptance criterion,
+/// borrows the problem.
+pub struct LnsEngine<'a, P: LnsProblem> {
+    problem: &'a P,
+    destroys: Vec<Box<dyn Destroy<P>>>,
+    repairs: Vec<Box<dyn Repair<P>>>,
+    acceptance: Box<dyn Acceptance>,
+    config: LnsConfig,
+}
+
+impl<'a, P: LnsProblem> LnsEngine<'a, P> {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    /// If either operator list is empty, or the intensity range is not
+    /// within `(0, 1]` with `min <= max`.
+    pub fn new(
+        problem: &'a P,
+        destroys: Vec<Box<dyn Destroy<P>>>,
+        repairs: Vec<Box<dyn Repair<P>>>,
+        acceptance: Box<dyn Acceptance>,
+        config: LnsConfig,
+    ) -> Self {
+        assert!(!destroys.is_empty(), "need at least one destroy operator");
+        assert!(!repairs.is_empty(), "need at least one repair operator");
+        let (lo, hi) = config.intensity;
+        assert!(lo > 0.0 && hi <= 1.0 && lo <= hi, "bad intensity range ({lo}, {hi})");
+        Self { problem, destroys, repairs, acceptance, config }
+    }
+
+    /// Runs the search from `initial` (must be feasible) with the given
+    /// deterministic seed.
+    pub fn run(mut self, initial: P::Solution, seed: u64) -> SearchOutcome<P::Solution> {
+        assert!(
+            self.problem.is_feasible(&initial),
+            "LNS must start from a feasible solution"
+        );
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dweights = OperatorWeights::new(self.destroys.len(), self.config.rho, self.config.segment_len);
+        let mut rweights = OperatorWeights::new(self.repairs.len(), self.config.rho, self.config.segment_len);
+        let mut stats = EngineStats::default();
+        let mut trajectory = Vec::new();
+
+        let mut current = initial.clone();
+        let mut f_current = self.problem.objective(&current);
+        let mut best = initial;
+        let mut f_best = f_current;
+        if self.config.log_trajectory {
+            trajectory.push(TrajectoryPoint { iteration: 0, elapsed_secs: 0.0, objective: f_best });
+        }
+
+        let (ilo, ihi) = self.config.intensity;
+        let mut iters = 0u64;
+        while iters < self.config.max_iters {
+            if iters.is_multiple_of(64) {
+                if let Some(limit) = self.config.time_limit {
+                    if start.elapsed() >= limit {
+                        break;
+                    }
+                }
+            }
+            iters += 1;
+
+            let di = dweights.pick(&mut rng);
+            let ri = rweights.pick(&mut rng);
+            let intensity = if ilo < ihi { rng.random_range(ilo..ihi) } else { ilo };
+
+            let partial = self.destroys[di].destroy(self.problem, &current, intensity, &mut rng);
+            let outcome = match self.repairs[ri].repair(self.problem, partial, &mut rng) {
+                None => {
+                    stats.repair_failures += 1;
+                    IterationOutcome::Rejected
+                }
+                Some(candidate) => {
+                    if !self.problem.is_feasible(&candidate) {
+                        stats.infeasible += 1;
+                        IterationOutcome::Rejected
+                    } else {
+                        let f_cand = self.problem.objective(&candidate);
+                        if self.acceptance.accept(f_cand, f_current, f_best, &mut rng) {
+                            stats.accepted += 1;
+                            let gate_ok = f_cand < f_best && {
+                                let ok = self.problem.accept_best(&candidate);
+                                if !ok {
+                                    stats.best_gate_rejections += 1;
+                                }
+                                ok
+                            };
+                            let outcome = if gate_ok {
+                                stats.new_bests += 1;
+                                best = candidate.clone();
+                                f_best = f_cand;
+                                if self.config.log_trajectory {
+                                    trajectory.push(TrajectoryPoint {
+                                        iteration: iters,
+                                        elapsed_secs: start.elapsed().as_secs_f64(),
+                                        objective: f_best,
+                                    });
+                                }
+                                IterationOutcome::NewBest
+                            } else if f_cand < f_current {
+                                stats.improved += 1;
+                                IterationOutcome::Improved
+                            } else {
+                                IterationOutcome::Accepted
+                            };
+                            current = candidate;
+                            f_current = f_cand;
+                            outcome
+                        } else {
+                            stats.rejected += 1;
+                            IterationOutcome::Rejected
+                        }
+                    }
+                }
+            };
+            self.acceptance.step();
+            dweights.record(di, outcome);
+            rweights.record(ri, outcome);
+        }
+
+        stats.destroy_ops = self
+            .destroys
+            .iter()
+            .enumerate()
+            .map(|(i, d)| OperatorStat {
+                name: d.name().to_string(),
+                uses: dweights.uses(i),
+                bests: dweights.bests(i),
+                weight: dweights.weight(i),
+            })
+            .collect();
+        stats.repair_ops = self
+            .repairs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| OperatorStat {
+                name: r.name().to_string(),
+                uses: rweights.uses(i),
+                bests: rweights.bests(i),
+                weight: rweights.weight(i),
+            })
+            .collect();
+
+        SearchOutcome {
+            best,
+            best_objective: f_best,
+            iterations: iters,
+            elapsed: start.elapsed(),
+            stats,
+            trajectory,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accept::{HillClimb, SimulatedAnnealing};
+    use crate::toy::{GreedyInsert, PartitionProblem, RandomRemove, WorstBinRemove};
+
+    fn engine_on(problem: &PartitionProblem, iters: u64) -> LnsEngine<'_, PartitionProblem> {
+        LnsEngine::new(
+            problem,
+            vec![Box::new(RandomRemove), Box::new(WorstBinRemove)],
+            vec![Box::new(GreedyInsert)],
+            Box::new(SimulatedAnnealing::for_normalized_loads(iters as usize)),
+            LnsConfig { max_iters: iters, log_trajectory: true, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn improves_a_bad_partition() {
+        let problem = PartitionProblem::random(40, 4, 123);
+        let initial = problem.all_in_first_bin();
+        let f0 = problem.objective(&initial);
+        let out = engine_on(&problem, 3_000).run(initial, 7);
+        assert!(out.best_objective < f0 * 0.5, "f0={f0} best={}", out.best_objective);
+        assert!(problem.is_feasible(&out.best));
+    }
+
+    #[test]
+    fn result_never_worse_than_initial() {
+        for seed in 0..5 {
+            let problem = PartitionProblem::random(20, 3, seed);
+            let initial = problem.all_in_first_bin();
+            let f0 = problem.objective(&initial);
+            let out = engine_on(&problem, 200).run(initial, seed);
+            assert!(out.best_objective <= f0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let problem = PartitionProblem::random(30, 3, 5);
+        let initial = problem.all_in_first_bin();
+        let a = engine_on(&problem, 500).run(initial.clone(), 99);
+        let b = engine_on(&problem, 500).run(initial, 99);
+        assert_eq!(a.best_objective, b.best_objective);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.stats.accepted, b.stats.accepted);
+    }
+
+    #[test]
+    fn trajectory_is_monotone_decreasing() {
+        let problem = PartitionProblem::random(40, 4, 11);
+        let out = engine_on(&problem, 2_000).run(problem.all_in_first_bin(), 3);
+        assert!(!out.trajectory.is_empty());
+        for w in out.trajectory.windows(2) {
+            assert!(w[1].objective < w[0].objective);
+            assert!(w[1].iteration >= w[0].iteration);
+        }
+    }
+
+    #[test]
+    fn stats_account_for_all_iterations() {
+        let problem = PartitionProblem::random(25, 3, 2);
+        let out = engine_on(&problem, 1_000).run(problem.all_in_first_bin(), 4);
+        let s = &out.stats;
+        assert_eq!(
+            s.accepted + s.rejected + s.repair_failures + s.infeasible,
+            out.iterations
+        );
+        let uses: u64 = s.destroy_ops.iter().map(|o| o.uses).sum();
+        assert_eq!(uses, out.iterations);
+        assert_eq!(s.destroy_ops.len(), 2);
+        assert_eq!(s.repair_ops.len(), 1);
+        assert_eq!(s.repair_ops[0].name, "greedy-insert");
+    }
+
+    #[test]
+    fn time_limit_stops_early() {
+        let problem = PartitionProblem::random(50, 4, 8);
+        let engine = LnsEngine::new(
+            &problem,
+            vec![Box::new(RandomRemove) as Box<dyn Destroy<PartitionProblem>>],
+            vec![Box::new(GreedyInsert) as Box<dyn Repair<PartitionProblem>>],
+            Box::new(HillClimb),
+            LnsConfig {
+                max_iters: u64::MAX / 2,
+                time_limit: Some(Duration::from_millis(50)),
+                ..Default::default()
+            },
+        );
+        let start = Instant::now();
+        let out = engine.run(problem.all_in_first_bin(), 1);
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert!(out.iterations > 0);
+    }
+
+    #[test]
+    fn accept_best_gate_filters_bests() {
+        /// Wraps the toy problem, refusing any best with an odd bin for
+        /// item 0 — the engine must then keep the best among even-bin
+        /// solutions only.
+        struct Gated(PartitionProblem);
+        impl crate::problem::LnsProblem for Gated {
+            type Solution = Vec<usize>;
+            type Partial = (Vec<usize>, Vec<usize>);
+            fn objective(&self, s: &Vec<usize>) -> f64 {
+                self.0.objective(s)
+            }
+            fn is_feasible(&self, s: &Vec<usize>) -> bool {
+                self.0.is_feasible(s)
+            }
+            fn accept_best(&self, s: &Vec<usize>) -> bool {
+                s[0].is_multiple_of(2)
+            }
+        }
+        struct D2;
+        impl crate::problem::Destroy<Gated> for D2 {
+            fn name(&self) -> &str {
+                "d"
+            }
+            fn destroy(
+                &self,
+                p: &Gated,
+                sol: &Vec<usize>,
+                i: f64,
+                rng: &mut rand::rngs::StdRng,
+            ) -> (Vec<usize>, Vec<usize>) {
+                RandomRemove.destroy(&p.0, sol, i, rng)
+            }
+        }
+        struct R2;
+        impl crate::problem::Repair<Gated> for R2 {
+            fn name(&self) -> &str {
+                "r"
+            }
+            fn repair(
+                &self,
+                p: &Gated,
+                partial: (Vec<usize>, Vec<usize>),
+                rng: &mut rand::rngs::StdRng,
+            ) -> Option<Vec<usize>> {
+                GreedyInsert.repair(&p.0, partial, rng)
+            }
+        }
+        let gated = Gated(PartitionProblem::random(30, 3, 4));
+        let engine = LnsEngine::new(
+            &gated,
+            vec![Box::new(D2) as Box<dyn Destroy<Gated>>],
+            vec![Box::new(R2) as Box<dyn Repair<Gated>>],
+            Box::new(SimulatedAnnealing::for_normalized_loads(1_000)),
+            LnsConfig { max_iters: 1_000, ..Default::default() },
+        );
+        let out = engine.run(gated.0.all_in_first_bin(), 6);
+        assert_eq!(out.best[0] % 2, 0, "gated best must satisfy accept_best");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_operator_lists() {
+        let problem = PartitionProblem::random(5, 2, 1);
+        let _ = LnsEngine::new(
+            &problem,
+            Vec::new(),
+            vec![Box::new(GreedyInsert) as Box<dyn Repair<PartitionProblem>>],
+            Box::new(HillClimb),
+            LnsConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_infeasible_start() {
+        let problem = PartitionProblem::random(5, 2, 1);
+        let bad = problem.infeasible_solution();
+        let engine = LnsEngine::new(
+            &problem,
+            vec![Box::new(RandomRemove) as Box<dyn Destroy<PartitionProblem>>],
+            vec![Box::new(GreedyInsert) as Box<dyn Repair<PartitionProblem>>],
+            Box::new(HillClimb),
+            LnsConfig::default(),
+        );
+        let _ = engine.run(bad, 0);
+    }
+}

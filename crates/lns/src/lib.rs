@@ -1,0 +1,39 @@
+//! # rex-lns
+//!
+//! A generic **adaptive large neighborhood search** (ALNS) framework — the
+//! metaheuristic substrate under the paper's SRA algorithm.
+//!
+//! LNS repeatedly *destroys* part of an incumbent solution and *repairs* it,
+//! accepting or rejecting the result; the adaptive variant learns which
+//! destroy/repair operator pairs are productive via roulette-wheel weights
+//! (Ropke & Pisinger). This crate keeps all of that machinery generic so the
+//! ablation benches can swap acceptance criteria and operator sets without
+//! touching the domain logic in `rex-core`:
+//!
+//! * [`problem::LnsProblem`], [`problem::Destroy`], [`problem::Repair`] —
+//!   the domain interface,
+//! * [`accept`] — hill-climbing, simulated annealing, record-to-record,
+//! * [`weights::OperatorWeights`] — adaptive operator selection,
+//! * [`engine::LnsEngine`] — the iteration loop, with a best-objective
+//!   trajectory recorder for convergence plots,
+//! * [`portfolio`] — a rayon-parallel multi-start runner with a
+//!   deterministic reduction,
+//! * [`toy`] — a tiny number-partitioning problem used by the tests and the
+//!   documentation examples.
+//!
+//! Determinism: every run is driven by a caller-supplied `u64` seed; the
+//! portfolio derives worker seeds as `seed ⊕ worker` and reduces with an
+//! order-independent minimum, so parallel results are reproducible.
+
+pub mod accept;
+pub mod engine;
+pub mod portfolio;
+pub mod problem;
+pub mod toy;
+pub mod weights;
+
+pub use accept::{Acceptance, HillClimb, RecordToRecord, SimulatedAnnealing};
+pub use engine::{EngineStats, LnsConfig, LnsEngine, SearchOutcome, TrajectoryPoint};
+pub use portfolio::{portfolio_search, PortfolioConfig, PortfolioOutcome};
+pub use problem::{Destroy, LnsProblem, Repair};
+pub use weights::OperatorWeights;

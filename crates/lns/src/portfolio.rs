@@ -1,0 +1,190 @@
+//! Parallel multi-start portfolio search.
+//!
+//! Runs `workers` independent ALNS searches over rayon and keeps the best
+//! result. Worker seeds derive deterministically from the base seed, and
+//! the reduction is an order-independent minimum (ties broken by worker
+//! index), so the outcome is reproducible regardless of thread scheduling —
+//! the determinism discipline the HPC guides call for.
+
+use crate::accept::Acceptance;
+use crate::engine::{LnsConfig, LnsEngine, SearchOutcome};
+use crate::problem::{Destroy, LnsProblem, Repair};
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// Portfolio tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct PortfolioConfig {
+    /// Number of independent workers.
+    pub workers: usize,
+    /// Engine configuration shared by all workers.
+    pub engine: LnsConfig,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        Self { workers: 4, engine: LnsConfig::default() }
+    }
+}
+
+/// Per-worker result summary.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct WorkerResult {
+    /// Worker index.
+    pub worker: usize,
+    /// Best objective the worker reached.
+    pub objective: f64,
+    /// Iterations the worker executed.
+    pub iterations: u64,
+}
+
+/// Result of a portfolio run.
+#[derive(Clone, Debug)]
+pub struct PortfolioOutcome<S> {
+    /// Best solution across all workers.
+    pub best: S,
+    /// Its objective value.
+    pub best_objective: f64,
+    /// Index of the winning worker.
+    pub winner: usize,
+    /// Summary of every worker's run.
+    pub worker_results: Vec<WorkerResult>,
+}
+
+/// Deterministic per-worker seed derivation (splitmix-style odd multiplier).
+pub fn worker_seed(base: u64, worker: usize) -> u64 {
+    base ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(worker as u64 + 1))
+}
+
+/// Runs `cfg.workers` independent searches in parallel and returns the best.
+///
+/// The operator and acceptance factories are invoked once per worker so each
+/// worker owns private operator state.
+pub fn portfolio_search<P>(
+    problem: &P,
+    initial: &P::Solution,
+    base_seed: u64,
+    cfg: &PortfolioConfig,
+    make_destroys: impl Fn() -> Vec<Box<dyn Destroy<P>>> + Sync,
+    make_repairs: impl Fn() -> Vec<Box<dyn Repair<P>>> + Sync,
+    make_acceptance: impl Fn() -> Box<dyn Acceptance> + Sync,
+) -> PortfolioOutcome<P::Solution>
+where
+    P: LnsProblem + Sync,
+    P::Solution: Sync,
+{
+    assert!(cfg.workers >= 1, "portfolio needs at least one worker");
+    let outcomes: Vec<(usize, SearchOutcome<P::Solution>)> = (0..cfg.workers)
+        .into_par_iter()
+        .map(|w| {
+            let engine = LnsEngine::new(
+                problem,
+                make_destroys(),
+                make_repairs(),
+                make_acceptance(),
+                cfg.engine,
+            );
+            (w, engine.run(initial.clone(), worker_seed(base_seed, w)))
+        })
+        .collect();
+
+    let worker_results: Vec<WorkerResult> = outcomes
+        .iter()
+        .map(|(w, o)| WorkerResult { worker: *w, objective: o.best_objective, iterations: o.iterations })
+        .collect();
+
+    let (winner, best_outcome) = outcomes
+        .into_iter()
+        .min_by(|(wa, a), (wb, b)| {
+            a.best_objective
+                .partial_cmp(&b.best_objective)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(wa.cmp(wb))
+        })
+        .expect("at least one worker");
+
+    PortfolioOutcome {
+        best: best_outcome.best,
+        best_objective: best_outcome.best_objective,
+        winner,
+        worker_results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accept::SimulatedAnnealing;
+    use crate::toy::{GreedyInsert, PartitionProblem, RandomRemove, WorstBinRemove};
+
+    fn run(workers: usize, seed: u64) -> PortfolioOutcome<Vec<usize>> {
+        let problem = PartitionProblem::random(40, 4, 77);
+        let initial = problem.all_in_first_bin();
+        let cfg = PortfolioConfig {
+            workers,
+            engine: LnsConfig { max_iters: 1_500, ..Default::default() },
+        };
+        portfolio_search(
+            &problem,
+            &initial,
+            seed,
+            &cfg,
+            || vec![Box::new(RandomRemove), Box::new(WorstBinRemove)],
+            || vec![Box::new(GreedyInsert)],
+            || Box::new(SimulatedAnnealing::for_normalized_loads(1_500)),
+        )
+    }
+
+    #[test]
+    fn portfolio_finds_good_solutions() {
+        let out = run(4, 1);
+        assert!(out.best_objective < 1.3, "got {}", out.best_objective);
+        assert_eq!(out.worker_results.len(), 4);
+    }
+
+    #[test]
+    fn portfolio_is_deterministic() {
+        let a = run(4, 42);
+        let b = run(4, 42);
+        assert_eq!(a.best_objective, b.best_objective);
+        assert_eq!(a.winner, b.winner);
+        for (x, y) in a.worker_results.iter().zip(&b.worker_results) {
+            assert_eq!(x.objective, y.objective);
+        }
+    }
+
+    #[test]
+    fn best_matches_min_of_workers() {
+        let out = run(6, 9);
+        let min = out
+            .worker_results
+            .iter()
+            .map(|w| w.objective)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(out.best_objective, min);
+    }
+
+    #[test]
+    fn more_workers_never_hurt() {
+        // With the same base seed, worker 0's run is identical, so the best
+        // over a superset of workers is at least as good.
+        let small = run(1, 5);
+        let large = run(4, 5);
+        assert!(large.best_objective <= small.best_objective + 1e-12);
+    }
+
+    #[test]
+    fn worker_seeds_are_distinct() {
+        let seeds: Vec<u64> = (0..16).map(|w| worker_seed(123, w)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_workers_panics() {
+        run(0, 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! A miniature number-partitioning problem.
+//!
+//! Assign `n` weighted items to `k` bins, minimizing the maximum bin sum —
+//! the 1-dimensional skeleton of the shard-reassignment problem. It exists
+//! so the framework can be tested (and its documentation exemplified)
+//! without dragging in the cluster domain.
+
+use crate::problem::{Destroy, LnsProblem, Repair};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Sentinel bin index marking an unassigned item inside a partial solution.
+const UNASSIGNED: usize = usize::MAX;
+
+/// The problem: items with weights, `bins` bins, minimize the max bin sum.
+#[derive(Clone, Debug)]
+pub struct PartitionProblem {
+    /// Item weights (positive).
+    pub items: Vec<f64>,
+    /// Number of bins.
+    pub bins: usize,
+}
+
+impl PartitionProblem {
+    /// A random instance with `n` items in `(0.5, 10.5)` and `bins` bins.
+    pub fn random(n: usize, bins: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let items = (0..n).map(|_| rng.random_range(0.5..10.5)).collect();
+        Self { items, bins }
+    }
+
+    /// The pessimal feasible start: everything in bin 0.
+    pub fn all_in_first_bin(&self) -> Vec<usize> {
+        vec![0; self.items.len()]
+    }
+
+    /// An intentionally infeasible solution (for negative tests).
+    pub fn infeasible_solution(&self) -> Vec<usize> {
+        let mut s = self.all_in_first_bin();
+        if let Some(first) = s.first_mut() {
+            *first = self.bins; // out of range
+        }
+        s
+    }
+
+    fn bin_sums(&self, sol: &[usize]) -> Vec<f64> {
+        let mut sums = vec![0.0; self.bins];
+        for (i, &b) in sol.iter().enumerate() {
+            if b != UNASSIGNED {
+                sums[b] += self.items[i];
+            }
+        }
+        sums
+    }
+}
+
+impl LnsProblem for PartitionProblem {
+    type Solution = Vec<usize>;
+    type Partial = (Vec<usize>, Vec<usize>);
+
+    fn objective(&self, sol: &Self::Solution) -> f64 {
+        // Normalize by the perfectly balanced value so objectives sit near 1.
+        let total: f64 = self.items.iter().sum();
+        let ideal = total / self.bins as f64;
+        let peak = self.bin_sums(sol).into_iter().fold(0.0, f64::max);
+        if ideal > 0.0 {
+            peak / ideal
+        } else {
+            0.0
+        }
+    }
+
+    fn is_feasible(&self, sol: &Self::Solution) -> bool {
+        sol.len() == self.items.len() && sol.iter().all(|&b| b < self.bins)
+    }
+}
+
+/// Removes a random `intensity` fraction of items.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomRemove;
+
+impl Destroy<PartitionProblem> for RandomRemove {
+    fn name(&self) -> &str {
+        "random-remove"
+    }
+
+    fn destroy(
+        &self,
+        problem: &PartitionProblem,
+        sol: &Vec<usize>,
+        intensity: f64,
+        rng: &mut StdRng,
+    ) -> (Vec<usize>, Vec<usize>) {
+        let n = problem.items.len();
+        let k = ((n as f64 * intensity).ceil() as usize).clamp(1, n);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        let mut partial = sol.clone();
+        let removed: Vec<usize> = order.into_iter().take(k).collect();
+        for &i in &removed {
+            partial[i] = UNASSIGNED;
+        }
+        (partial, removed)
+    }
+}
+
+/// Empties the currently fullest bin.
+#[derive(Clone, Copy, Debug)]
+pub struct WorstBinRemove;
+
+impl Destroy<PartitionProblem> for WorstBinRemove {
+    fn name(&self) -> &str {
+        "worst-bin-remove"
+    }
+
+    fn destroy(
+        &self,
+        problem: &PartitionProblem,
+        sol: &Vec<usize>,
+        _intensity: f64,
+        _rng: &mut StdRng,
+    ) -> (Vec<usize>, Vec<usize>) {
+        let sums = problem.bin_sums(sol);
+        let worst = sums
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let mut partial = sol.clone();
+        let mut removed = Vec::new();
+        for (i, b) in partial.iter_mut().enumerate() {
+            if *b == worst {
+                *b = UNASSIGNED;
+                removed.push(i);
+            }
+        }
+        (partial, removed)
+    }
+}
+
+/// Reinserts removed items, heaviest first, into the lightest bin.
+#[derive(Clone, Copy, Debug)]
+pub struct GreedyInsert;
+
+impl Repair<PartitionProblem> for GreedyInsert {
+    fn name(&self) -> &str {
+        "greedy-insert"
+    }
+
+    fn repair(
+        &self,
+        problem: &PartitionProblem,
+        (mut partial, mut removed): (Vec<usize>, Vec<usize>),
+        _rng: &mut StdRng,
+    ) -> Option<Vec<usize>> {
+        removed.sort_by(|&a, &b| problem.items[b].partial_cmp(&problem.items[a]).unwrap());
+        let mut sums = problem.bin_sums(&partial);
+        for i in removed {
+            let lightest = sums
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(b, _)| b)?;
+            partial[i] = lightest;
+            sums[lightest] += problem.items[i];
+        }
+        Some(partial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_instance_shape() {
+        let p = PartitionProblem::random(10, 3, 1);
+        assert_eq!(p.items.len(), 10);
+        assert!(p.items.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn objective_of_balanced_is_one() {
+        let p = PartitionProblem { items: vec![1.0, 1.0], bins: 2 };
+        assert!((p.objective(&vec![0, 1]) - 1.0).abs() < 1e-12);
+        assert!((p.objective(&vec![0, 0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feasibility() {
+        let p = PartitionProblem::random(4, 2, 1);
+        assert!(p.is_feasible(&p.all_in_first_bin()));
+        assert!(!p.is_feasible(&p.infeasible_solution()));
+        assert!(!p.is_feasible(&vec![0])); // wrong length
+    }
+
+    #[test]
+    fn random_remove_respects_intensity() {
+        let p = PartitionProblem::random(10, 2, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (partial, removed) = RandomRemove.destroy(&p, &p.all_in_first_bin(), 0.3, &mut rng);
+        assert_eq!(removed.len(), 3);
+        assert_eq!(partial.iter().filter(|&&b| b == UNASSIGNED).count(), 3);
+    }
+
+    #[test]
+    fn worst_bin_remove_empties_fullest() {
+        let p = PartitionProblem { items: vec![5.0, 1.0, 1.0], bins: 2 };
+        let sol = vec![0, 1, 1]; // bin0=5, bin1=2
+        let mut rng = StdRng::seed_from_u64(3);
+        let (partial, removed) = WorstBinRemove.destroy(&p, &sol, 0.5, &mut rng);
+        assert_eq!(removed, vec![0]);
+        assert_eq!(partial[0], UNASSIGNED);
+    }
+
+    #[test]
+    fn greedy_insert_completes_and_balances() {
+        let p = PartitionProblem { items: vec![4.0, 3.0, 2.0, 1.0], bins: 2 };
+        let partial = vec![UNASSIGNED; 4];
+        let removed = vec![0, 1, 2, 3];
+        let mut rng = StdRng::seed_from_u64(4);
+        let sol = GreedyInsert.repair(&p, (partial, removed), &mut rng).unwrap();
+        assert!(p.is_feasible(&sol));
+        // LPT on {4,3,2,1} into 2 bins gives 5/5: perfectly balanced.
+        assert!((p.objective(&sol) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,78 @@
+//! Instance (de)serialization: experiments read and write instances as JSON
+//! so every benchmark input is an inspectable, reproducible artifact.
+
+use rex_cluster::Instance;
+use std::io;
+use std::path::Path;
+
+/// Serializes an instance to a JSON string.
+pub fn to_json(inst: &Instance) -> String {
+    serde_json::to_string_pretty(inst).expect("instances always serialize")
+}
+
+/// Parses an instance from JSON and validates it.
+pub fn from_json(json: &str) -> Result<Instance, String> {
+    let inst: Instance = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    inst.validate().map_err(|e| e.to_string())?;
+    Ok(inst)
+}
+
+/// Writes an instance to a file.
+pub fn save(inst: &Instance, path: &Path) -> io::Result<()> {
+    std::fs::write(path, to_json(inst))
+}
+
+/// Reads an instance from a file.
+pub fn load(path: &Path) -> io::Result<Instance> {
+    let json = std::fs::read_to_string(path)?;
+    from_json(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, SynthConfig};
+
+    fn small() -> Instance {
+        generate(&SynthConfig { n_machines: 4, n_shards: 20, ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let inst = small();
+        let back = from_json(&to_json(&inst)).unwrap();
+        assert_eq!(back.initial, inst.initial);
+        assert_eq!(back.label, inst.label);
+        assert_eq!(back.k_return, inst.k_return);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(from_json("not json").is_err());
+        assert!(from_json("{}").is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_invalid_instances() {
+        let mut inst = small();
+        inst.k_return = 999;
+        assert!(from_json(&serde_json::to_string(&inst).unwrap()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("rex-workload-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.json");
+        let inst = small();
+        save(&inst, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.initial, inst.initial);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load(Path::new("/nonexistent/rex.json")).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Special-structure instances with provable properties.
+//!
+//! [`swap_locked`] is the distilled form of the paper's motivating
+//! scenario: a fleet where a strictly better placement exists, every
+//! method can see it, and **no schedule can reach it without an exchange
+//! machine**. It makes the value of the exchange a theorem rather than a
+//! tendency, and the experiments use it for the k-sweep (E3).
+
+use rex_cluster::{ClusterError, Instance, InstanceBuilder};
+
+/// Per-pair shard sizes of the locked construction (hot machine, cool
+/// machine), capacities 1.0, `alpha = 0.1`:
+///
+/// * hot:  `{0.50, 0.28, 0.18}` → load 0.96, slack 0.04
+/// * cool: `{0.36, 0.20, 0.24}` → load 0.80, slack 0.20
+///
+/// The unique improving rearrangement swaps hot's 0.28 with cool's 0.20,
+/// balancing the pair at 0.88 / 0.88. Why it is locked without exchange:
+///
+/// * an arriving shard `d` needs `1.1·d` free; the largest slack anywhere
+///   is 0.20, so nothing of size > 0.18 can move **anywhere**,
+/// * the only ≤ 0.18 shard is hot's 0.18; moving it to any cool machine
+///   yields load 0.98 — strictly worse, and once there, nothing unlocks,
+/// * therefore every capacity-feasible, schedule-deliverable placement at
+///   `k = 0` has peak ≥ 0.96: all methods are stuck at the initial peak.
+///
+/// With one vacant exchange machine the swap routes through it (park 0.28,
+/// move 0.20, complete), and `k` machines unlock `k` pairs concurrently —
+/// improvement jumps at `k = 1` and the schedule's batch count falls with
+/// `k`.
+///
+/// A deterministic ±0.002 per-pair jitter (seeded) breaks exact ties
+/// without disturbing any of the inequalities above.
+pub fn swap_locked(
+    n_pairs: usize,
+    n_exchange: usize,
+    seed: u64,
+) -> Result<Instance, ClusterError> {
+    assert!(n_pairs >= 1, "need at least one pair");
+    let mut b = InstanceBuilder::new(1).alpha(0.1).label(format!(
+        "swap-locked(pairs={n_pairs},x={n_exchange},seed={seed})"
+    ));
+    // Deterministic tiny jitter in [-0.002, 0.002].
+    let jitter = |p: u64, slot: u64| -> f64 {
+        let h = (seed ^ p.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ slot.wrapping_mul(0xD1B5_4A32_D192_ED03))
+            .wrapping_mul(0x2545_F491_4F6C_DD1D);
+        ((h >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.004
+    };
+    let mut machines = Vec::with_capacity(2 * n_pairs);
+    for _ in 0..2 * n_pairs {
+        machines.push(b.machine(&[1.0]));
+    }
+    for _ in 0..n_exchange {
+        b.exchange_machine(&[1.0]);
+    }
+    for p in 0..n_pairs {
+        let hot = machines[2 * p];
+        let cool = machines[2 * p + 1];
+        let pj = p as u64;
+        for (slot, &size) in [0.50, 0.28, 0.18].iter().enumerate() {
+            let d = size + jitter(pj, slot as u64);
+            b.shard(&[d], d, hot);
+        }
+        for (slot, &size) in [0.36, 0.20, 0.24].iter().enumerate() {
+            let d = size + jitter(pj, 10 + slot as u64);
+            b.shard(&[d], d, cool);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_cluster::Assignment;
+
+    #[test]
+    fn construction_shape() {
+        let inst = swap_locked(4, 2, 7).unwrap();
+        assert_eq!(inst.n_machines(), 10);
+        assert_eq!(inst.n_exchange(), 2);
+        assert_eq!(inst.n_shards(), 24);
+        assert_eq!(inst.k_return, 2);
+        let asg = Assignment::from_initial(&inst);
+        let peak = asg.peak_load(&inst);
+        assert!((0.955..0.965).contains(&peak), "hot machines near 0.96, got {peak}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = swap_locked(3, 1, 5).unwrap();
+        let b = swap_locked(3, 1, 5).unwrap();
+        let c = swap_locked(3, 1, 6).unwrap();
+        for (x, y) in a.shards.iter().zip(&b.shards) {
+            assert!(x.demand.approx_eq(&y.demand, 0.0));
+        }
+        assert!(a.shards.iter().zip(&c.shards).any(|(x, y)| !x.demand.approx_eq(&y.demand, 0.0)));
+    }
+
+    #[test]
+    fn jitter_preserves_the_locking_inequalities() {
+        let inst = swap_locked(16, 0, 99).unwrap();
+        let asg = Assignment::from_initial(&inst);
+        for p in 0..16usize {
+            let hot = rex_cluster::MachineId::from(2 * p);
+            let cool = rex_cluster::MachineId::from(2 * p + 1);
+            let hot_slack = 1.0 - asg.usage(hot)[0];
+            let cool_slack = 1.0 - asg.usage(cool)[0];
+            // Largest slack must stay below 1.1 × the smallest "big" shard
+            // (anything ≥ ~0.20), keeping arrivals blocked.
+            assert!(cool_slack < 1.1 * 0.198, "pair {p}: cool slack {cool_slack}");
+            assert!(hot_slack < 0.05, "pair {p}: hot slack {hot_slack}");
+            // The 0.18 shard must remain the only one that fits anywhere.
+            for &s in asg.shards_on(hot).iter().chain(asg.shards_on(cool)) {
+                let d = inst.demand(s)[0];
+                if d < 0.19 {
+                    assert!(1.1 * d < cool_slack + 0.01);
+                } else {
+                    assert!(1.1 * d > cool_slack, "shard {d} would fit: not locked");
+                }
+            }
+        }
+    }
+}

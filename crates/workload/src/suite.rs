@@ -1,0 +1,111 @@
+//! The named workload suite the experiment binaries iterate over.
+
+use crate::synthetic::{generate, DemandFamily, MachineProfile, Placement, SynthConfig};
+use rex_cluster::Instance;
+
+/// One suite entry: a name and a generator (parameterized by seed so the
+/// benches can average over repetitions).
+pub struct SuiteEntry {
+    /// Stable workload name (appears in experiment tables).
+    pub name: &'static str,
+    /// Generator.
+    pub generate: Box<dyn Fn(u64) -> Instance + Send + Sync>,
+}
+
+/// The standard synthetic suite used by the headline experiments: the
+/// demand families at the given fleet shape and stringency with a hotspot
+/// start (the situation a rebalancer is called for), plus a drifted start
+/// and a heterogeneous two-tier fleet.
+pub fn standard_suite(
+    n_machines: usize,
+    n_exchange: usize,
+    n_shards: usize,
+    stringency: f64,
+) -> Vec<SuiteEntry> {
+    let mk = move |family: DemandFamily, placement: Placement| {
+        move |seed: u64| {
+            generate(&SynthConfig {
+                n_machines,
+                n_exchange,
+                n_shards,
+                stringency,
+                family,
+                placement,
+                seed,
+                ..Default::default()
+            })
+            .expect("suite instances must generate")
+        }
+    };
+    vec![
+        SuiteEntry {
+            name: "uniform",
+            generate: Box::new(mk(DemandFamily::Uniform, Placement::Hotspot(0.4))),
+        },
+        SuiteEntry {
+            name: "zipf",
+            generate: Box::new(mk(DemandFamily::Zipf, Placement::Hotspot(0.4))),
+        },
+        SuiteEntry {
+            name: "correlated",
+            generate: Box::new(mk(DemandFamily::Correlated, Placement::Hotspot(0.4))),
+        },
+        SuiteEntry {
+            name: "big-shards",
+            generate: Box::new(mk(DemandFamily::BigShards, Placement::Hotspot(0.4))),
+        },
+        SuiteEntry {
+            name: "drift",
+            generate: Box::new(mk(DemandFamily::Correlated, Placement::Drift)),
+        },
+        SuiteEntry {
+            name: "two-tier",
+            generate: Box::new(move |seed: u64| {
+                generate(&SynthConfig {
+                    n_machines,
+                    n_exchange,
+                    n_shards,
+                    stringency,
+                    family: DemandFamily::Correlated,
+                    placement: Placement::Hotspot(0.4),
+                    profile: MachineProfile::TwoTier { big_fraction: 0.25, ratio: 2.0 },
+                    seed,
+                    ..Default::default()
+                })
+                .expect("suite instances must generate")
+            }),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_generates_valid_instances() {
+        for entry in standard_suite(8, 2, 64, 0.7) {
+            let inst = (entry.generate)(1);
+            inst.validate().unwrap();
+            assert_eq!(inst.n_machines(), 10, "{}", entry.name);
+            assert_eq!(inst.n_shards(), 64, "{}", entry.name);
+        }
+    }
+
+    #[test]
+    fn suite_families() {
+        let names: Vec<&str> = standard_suite(4, 1, 20, 0.6).iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            vec!["uniform", "zipf", "correlated", "big-shards", "drift", "two-tier"]
+        );
+    }
+
+    #[test]
+    fn seeds_vary_instances() {
+        let suite = standard_suite(4, 1, 30, 0.6);
+        let a = (suite[0].generate)(1);
+        let b = (suite[0].generate)(2);
+        assert_ne!(a.initial, b.initial);
+    }
+}

@@ -1,0 +1,495 @@
+//! Synthetic instance families.
+//!
+//! A generator is a triple: a **demand family** (how shard demand vectors
+//! are drawn), a **placement policy** (how the initial — deliberately
+//! imbalanced — placement is constructed), and the scalar knobs in
+//! [`SynthConfig`]. Machines are homogeneous with unit capacity; demands
+//! are normalized so the loaded fleet's aggregate utilization in each
+//! dimension equals `stringency`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rex_cluster::{ClusterError, Instance, InstanceBuilder, MachineId};
+use serde::{Deserialize, Serialize};
+
+/// How shard demand vectors are drawn (before normalization).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DemandFamily {
+    /// Uniform in `(0.5, 1.5)` per dimension, independent.
+    Uniform,
+    /// Power-law sizes: shard `i` has weight `1/(i+1)^0.9`, all dimensions
+    /// scaled together with ±20% jitter (heavy tail, high correlation).
+    Zipf,
+    /// A latent "size" drives all dimensions plus independent noise
+    /// (moderate correlation — the shape searchsim produces).
+    Correlated,
+    /// A few huge shards (25–40% of a machine) among small ones: the
+    /// adversarial case where transient constraints bite hardest.
+    BigShards,
+}
+
+/// Capacity structure of the fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum MachineProfile {
+    /// Every machine has unit capacity.
+    Homogeneous,
+    /// A fraction of machines are `ratio`× larger (two hardware
+    /// generations in one fleet — the regime where membership exchange
+    /// pays: a strong vacant machine can permanently replace a weak one).
+    TwoTier {
+        /// Fraction of *loaded* machines that are big.
+        big_fraction: f64,
+        /// Capacity multiplier of the big tier (> 1).
+        ratio: f64,
+    },
+    /// Loaded machines are unit-capacity; exchange machines are `factor`×
+    /// larger (the operator lends next-generation hardware).
+    BigExchange {
+        /// Capacity multiplier of the exchange machines (> 1).
+        factor: f64,
+    },
+}
+
+/// How the initial placement is constructed.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Best-fit decreasing on peak dimension: a *balanced* start (useful
+    /// as a control: there is little for any rebalancer to do).
+    BalancedBfd,
+    /// Concentrates load: the given fraction of machines is filled to
+    /// near-capacity first-fit before the rest are touched — the classic
+    /// "traffic drifted onto the old machines" hotspot.
+    Hotspot(f64),
+    /// Best-fit decreasing ignoring dimension 0: balanced by index size
+    /// (dims 1..) but drifted in CPU (dim 0). Requires `dims >= 2`.
+    Drift,
+}
+
+/// Generator knobs.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Number of loaded machines.
+    pub n_machines: usize,
+    /// Number of borrowed exchange machines appended.
+    pub n_exchange: usize,
+    /// Number of shards.
+    pub n_shards: usize,
+    /// Resource dimensions.
+    pub dims: usize,
+    /// Target aggregate utilization of the loaded fleet per dimension.
+    pub stringency: f64,
+    /// Transient migration-overhead factor.
+    pub alpha: f64,
+    /// Demand family.
+    pub family: DemandFamily,
+    /// Placement policy.
+    pub placement: Placement,
+    /// Fleet capacity structure.
+    pub profile: MachineProfile,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            n_machines: 16,
+            n_exchange: 2,
+            n_shards: 160,
+            dims: 3,
+            stringency: 0.75,
+            alpha: 0.1,
+            family: DemandFamily::Correlated,
+            placement: Placement::Hotspot(0.4),
+            profile: MachineProfile::Homogeneous,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-machine capacity scale factors implied by the profile: first the
+/// loaded machines, then the exchange machines.
+fn capacity_scales(cfg: &SynthConfig) -> (Vec<f64>, Vec<f64>) {
+    match cfg.profile {
+        MachineProfile::Homogeneous => (vec![1.0; cfg.n_machines], vec![1.0; cfg.n_exchange]),
+        MachineProfile::TwoTier { big_fraction, ratio } => {
+            assert!((0.0..=1.0).contains(&big_fraction) && ratio > 1.0);
+            let n_big = ((cfg.n_machines as f64) * big_fraction).round() as usize;
+            let mut loaded = vec![ratio; n_big.min(cfg.n_machines)];
+            loaded.resize(cfg.n_machines, 1.0);
+            (loaded, vec![1.0; cfg.n_exchange])
+        }
+        MachineProfile::BigExchange { factor } => {
+            assert!(factor > 1.0);
+            (vec![1.0; cfg.n_machines], vec![factor; cfg.n_exchange])
+        }
+    }
+}
+
+/// Generates an instance.
+///
+/// # Errors
+/// Propagates instance validation errors; generation itself panics only on
+/// nonsensical parameters (zero counts, stringency outside `(0,1)`).
+pub fn generate(cfg: &SynthConfig) -> Result<Instance, ClusterError> {
+    assert!(cfg.n_machines > 0 && cfg.n_shards > 0 && cfg.dims >= 1);
+    assert!(cfg.stringency > 0.0 && cfg.stringency < 1.0, "stringency must be in (0,1)");
+    if cfg.placement == Placement::Drift {
+        assert!(cfg.dims >= 2, "Drift placement needs >= 2 dimensions");
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Raw demands, then per-dimension normalization to the target total —
+    // with individual demands capped at MAX_SHARD_FRAC of a machine so
+    // heavy-tailed families stay placeable. Clamping and rescaling
+    // alternate until both the total and the cap hold.
+    const MAX_SHARD_FRAC: f64 = 0.45;
+    let (loaded_scales, exchange_scales) = capacity_scales(cfg);
+    let loaded_capacity: f64 = loaded_scales.iter().sum();
+    // Shards must stay placeable on the *smallest* machine.
+    let min_scale = loaded_scales.iter().cloned().fold(f64::INFINITY, f64::min);
+    let shard_cap = MAX_SHARD_FRAC * min_scale;
+    let mut demands = draw_demands(cfg, &mut rng);
+    let target = loaded_capacity * cfg.stringency;
+    assert!(
+        target <= cfg.n_shards as f64 * shard_cap,
+        "too few shards to reach the target utilization under the per-shard cap"
+    );
+    for r in 0..cfg.dims {
+        for _ in 0..32 {
+            let total: f64 = demands.iter().map(|d| d[r]).sum();
+            let scale = target / total;
+            let mut clamped = false;
+            for d in &mut demands {
+                d[r] *= scale;
+                if d[r] > shard_cap {
+                    d[r] = shard_cap;
+                    clamped = true;
+                }
+            }
+            if !clamped {
+                break;
+            }
+        }
+    }
+
+    let placement = match place(cfg, &demands, &loaded_scales, &mut rng) {
+        Some(p) => p,
+        None => {
+            // The decorated placement (hotspot/drift) can fail on tight
+            // multi-dimensional packings; fall back to a plain balanced
+            // best-fit-decreasing start, which packs whenever anything
+            // reasonable does.
+            let fallback = SynthConfig { placement: Placement::BalancedBfd, ..*cfg };
+            place(&fallback, &demands, &loaded_scales, &mut rng).ok_or(
+                rex_cluster::ClusterError::BadReturnCount {
+                    k_return: cfg.n_exchange,
+                    machines: cfg.n_machines,
+                },
+            )?
+        }
+    };
+
+    let mut b = InstanceBuilder::new(cfg.dims).alpha(cfg.alpha).label(format!(
+        "synth({:?},{:?},m={},x={},s={},u={:.2},seed={})",
+        cfg.family,
+        cfg.placement,
+        cfg.n_machines,
+        cfg.n_exchange,
+        cfg.n_shards,
+        cfg.stringency,
+        cfg.seed
+    ));
+    let machines: Vec<MachineId> = loaded_scales
+        .iter()
+        .map(|&c| b.machine(&vec![c; cfg.dims]))
+        .collect();
+    for &c in &exchange_scales {
+        b.exchange_machine(&vec![c; cfg.dims]);
+    }
+    for (i, d) in demands.iter().enumerate() {
+        // Move cost: the shard's index footprint (last dimension = disk).
+        let move_cost = d[cfg.dims - 1].max(1e-9);
+        b.shard(d, move_cost, machines[placement[i]]);
+    }
+    b.build()
+}
+
+/// Raw (un-normalized) demand vectors per family.
+fn draw_demands(cfg: &SynthConfig, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let n = cfg.n_shards;
+    let dims = cfg.dims;
+    match cfg.family {
+        DemandFamily::Uniform => (0..n)
+            .map(|_| (0..dims).map(|_| rng.random_range(0.5..1.5)).collect())
+            .collect(),
+        DemandFamily::Zipf => (0..n)
+            .map(|i| {
+                let base = 1.0 / ((i + 1) as f64).powf(0.9);
+                (0..dims).map(|_| base * rng.random_range(0.8..1.2)).collect()
+            })
+            .collect(),
+        DemandFamily::Correlated => (0..n)
+            .map(|_| {
+                let size = rng.random_range(0.2..2.0f64).powi(2);
+                (0..dims).map(|_| 0.7 * size + 0.3 * rng.random_range(0.1..1.0)).collect()
+            })
+            .collect(),
+        DemandFamily::BigShards => (0..n)
+            .map(|i| {
+                // Every 10th shard is an order of magnitude larger.
+                let base = if i % 10 == 0 { rng.random_range(8.0..12.0) } else { rng.random_range(0.5..1.5) };
+                (0..dims).map(|_| base * rng.random_range(0.9..1.1)).collect()
+            })
+            .collect(),
+    }
+}
+
+/// Builds the initial placement (machine index per shard).
+fn place(
+    cfg: &SynthConfig,
+    demands: &[Vec<f64>],
+    scales: &[f64],
+    rng: &mut StdRng,
+) -> Option<Vec<usize>> {
+    let m = cfg.n_machines;
+    let dims = cfg.dims;
+    let mut order: Vec<usize> = (0..demands.len()).collect();
+    let peak = |d: &[f64]| d.iter().cloned().fold(0.0f64, f64::max);
+    order.sort_by(|&a, &b| {
+        peak(&demands[b]).partial_cmp(&peak(&demands[a])).unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut usage = vec![vec![0.0f64; dims]; m];
+    let mut placement = vec![0usize; demands.len()];
+    let fits = |usage: &[Vec<f64>], host: usize, d: &[f64], headroom: f64| -> bool {
+        (0..dims).all(|r| usage[host][r] + d[r] <= headroom * scales[host])
+    };
+
+    let assign = |i: usize, host: usize, usage: &mut Vec<Vec<f64>>, placement: &mut Vec<usize>| {
+        for r in 0..dims {
+            usage[host][r] += demands[i][r];
+        }
+        placement[i] = host;
+    };
+
+    match cfg.placement {
+        Placement::BalancedBfd => {
+            for &i in &order {
+                let host = (0..m)
+                    .filter(|&h| fits(&usage, h, &demands[i], 1.0))
+                    .min_by(|&a, &b| {
+                        (peak(&usage[a]) / scales[a])
+                            .partial_cmp(&(peak(&usage[b]) / scales[b]))
+                            .unwrap()
+                    })
+                    ?;
+                assign(i, host, &mut usage, &mut placement);
+            }
+        }
+        Placement::Hotspot(frac) => {
+            let hot = ((m as f64 * frac).ceil() as usize).clamp(1, m);
+            for &i in &order {
+                // First fit into the hot set (up to 93% full), overflow
+                // best-fit into the rest. The 7% headroom keeps hot
+                // machines *serviceable*: filling further would seal them
+                // outright under the α·d departure overhead (with α = 0.2
+                // even a 0.35-demand shard could no longer leave), turning
+                // every instance into one with an unimprovable floor.
+                let host = (0..hot)
+                    .find(|&h| fits(&usage, h, &demands[i], 0.93))
+                    .or_else(|| {
+                        (0..m)
+                            .filter(|&h| fits(&usage, h, &demands[i], 1.0))
+                            .min_by(|&a, &b| {
+                                (peak(&usage[a]) / scales[a])
+                                    .partial_cmp(&(peak(&usage[b]) / scales[b]))
+                                    .unwrap()
+                            })
+                    })
+                    ?;
+                assign(i, host, &mut usage, &mut placement);
+            }
+        }
+        Placement::Drift => {
+            for &i in &order {
+                let tail_peak = |u: &[f64]| u[1..].iter().cloned().fold(0.0f64, f64::max);
+                // Balanced on dims 1.. with a small random tie-breaker;
+                // dim 0 is ignored (it "changed since the layout").
+                let host = (0..m)
+                    .filter(|&h| fits(&usage, h, &demands[i], 1.0))
+                    .min_by(|&a, &b| {
+                        (tail_peak(&usage[a]) / scales[a], rng.random::<f64>())
+                            .partial_cmp(&(tail_peak(&usage[b]) / scales[b], 0.5))
+                            .unwrap()
+                    })
+                    ?;
+                assign(i, host, &mut usage, &mut placement);
+            }
+        }
+    }
+    Some(placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_cluster::{Assignment, BalanceReport};
+
+    fn base(family: DemandFamily, placement: Placement) -> SynthConfig {
+        SynthConfig { family, placement, seed: 5, ..Default::default() }
+    }
+
+    #[test]
+    fn all_families_generate_valid_instances() {
+        for family in [
+            DemandFamily::Uniform,
+            DemandFamily::Zipf,
+            DemandFamily::Correlated,
+            DemandFamily::BigShards,
+        ] {
+            let inst = generate(&base(family, Placement::Hotspot(0.4))).unwrap();
+            inst.validate().unwrap();
+            assert_eq!(inst.n_shards(), 160);
+            assert_eq!(inst.n_exchange(), 2);
+        }
+    }
+
+    #[test]
+    fn stringency_is_exact_on_loaded_fleet() {
+        let inst = generate(&base(DemandFamily::Uniform, Placement::BalancedBfd)).unwrap();
+        for r in 0..inst.dims {
+            let util = inst.total_demand()[r] / 16.0;
+            assert!((util - 0.75).abs() < 1e-9, "dim {r}: {util}");
+        }
+    }
+
+    #[test]
+    fn hotspot_start_is_imbalanced_and_balanced_start_is_not() {
+        let hot = generate(&base(DemandFamily::Correlated, Placement::Hotspot(0.4))).unwrap();
+        let bal = generate(&base(DemandFamily::Correlated, Placement::BalancedBfd)).unwrap();
+        let rep = |i: &Instance| BalanceReport::compute(i, &Assignment::from_initial(i));
+        let (rh, rb) = (rep(&hot), rep(&bal));
+        assert!(
+            rh.imbalance > rb.imbalance + 0.05,
+            "hotspot {} vs balanced {}",
+            rh.imbalance,
+            rb.imbalance
+        );
+        assert!(rh.peak > 0.9, "hot machines should be nearly full, peak={}", rh.peak);
+    }
+
+    #[test]
+    fn drift_start_is_cpu_imbalanced() {
+        let inst = generate(&base(DemandFamily::Correlated, Placement::Drift)).unwrap();
+        let asg = Assignment::from_initial(&inst);
+        // CPU (dim 0) utilizations vary; index dims are tight.
+        let cpu: Vec<f64> =
+            (0..16).map(|m| asg.usage(rex_cluster::MachineId::from(m))[0]).collect();
+        let max = cpu.iter().cloned().fold(0.0f64, f64::max);
+        let min = cpu.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max > min * 1.1, "cpu spread expected: {cpu:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&base(DemandFamily::Zipf, Placement::Hotspot(0.3))).unwrap();
+        let b = generate(&base(DemandFamily::Zipf, Placement::Hotspot(0.3))).unwrap();
+        assert_eq!(a.initial, b.initial);
+        let c = generate(&SynthConfig { seed: 6, ..base(DemandFamily::Zipf, Placement::Hotspot(0.3)) })
+            .unwrap();
+        assert_ne!(a.initial, c.initial);
+    }
+
+    #[test]
+    fn zipf_family_is_heavy_tailed() {
+        let inst = generate(&base(DemandFamily::Zipf, Placement::BalancedBfd)).unwrap();
+        let mut peaks: Vec<f64> =
+            inst.shards.iter().map(|s| s.demand.as_slice().iter().cloned().fold(0.0f64, f64::max)).collect();
+        peaks.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        // The head is clamped at MAX_SHARD_FRAC, so the tail ratio is
+        // bounded but must still be clearly heavy.
+        assert!(peaks[0] > 5.0 * peaks[peaks.len() / 2], "head {} median {}", peaks[0], peaks[peaks.len() / 2]);
+    }
+
+    #[test]
+    fn big_shards_family_has_bimodal_sizes() {
+        let inst = generate(&base(DemandFamily::BigShards, Placement::BalancedBfd)).unwrap();
+        let sizes: Vec<f64> = inst.shards.iter().map(|s| s.demand[0]).collect();
+        let max = sizes.iter().cloned().fold(0.0f64, f64::max);
+        let median = {
+            let mut s = sizes.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s[s.len() / 2]
+        };
+        assert!(max > 5.0 * median);
+    }
+
+    #[test]
+    fn two_tier_profile_sizes_machines() {
+        let cfg = SynthConfig {
+            profile: MachineProfile::TwoTier { big_fraction: 0.25, ratio: 2.0 },
+            ..base(DemandFamily::Uniform, Placement::BalancedBfd)
+        };
+        let inst = generate(&cfg).unwrap();
+        let bigs = inst
+            .machines
+            .iter()
+            .filter(|m| !m.exchange && (m.capacity[0] - 2.0).abs() < 1e-12)
+            .count();
+        assert_eq!(bigs, 4, "25% of 16 loaded machines are big");
+        // Aggregate utilization over the loaded fleet stays at target.
+        let loaded_cap: f64 = inst
+            .machines
+            .iter()
+            .filter(|m| !m.exchange)
+            .map(|m| m.capacity[0])
+            .sum();
+        assert!((inst.total_demand()[0] / loaded_cap - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn big_exchange_profile_sizes_loaner_machines() {
+        let cfg = SynthConfig {
+            profile: MachineProfile::BigExchange { factor: 2.5 },
+            ..base(DemandFamily::Correlated, Placement::Hotspot(0.4))
+        };
+        let inst = generate(&cfg).unwrap();
+        for m in &inst.machines {
+            if m.exchange {
+                assert!((m.capacity[0] - 2.5).abs() < 1e-12);
+            } else {
+                assert!((m.capacity[0] - 1.0).abs() < 1e-12);
+            }
+        }
+        inst.validate().unwrap();
+    }
+
+    #[test]
+    fn heterogeneous_placements_respect_capacity() {
+        use rex_cluster::Assignment;
+        for placement in [Placement::BalancedBfd, Placement::Hotspot(0.4), Placement::Drift] {
+            let cfg = SynthConfig {
+                profile: MachineProfile::TwoTier { big_fraction: 0.5, ratio: 3.0 },
+                ..base(DemandFamily::Zipf, placement)
+            };
+            let inst = generate(&cfg).unwrap();
+            let asg = Assignment::from_initial(&inst);
+            assert!(asg.is_capacity_feasible(&inst), "{placement:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn drift_requires_two_dims() {
+        let cfg = SynthConfig { dims: 1, ..base(DemandFamily::Uniform, Placement::Drift) };
+        let _ = generate(&cfg);
+    }
+
+    #[test]
+    #[should_panic]
+    fn stringency_one_is_rejected() {
+        let cfg = SynthConfig { stringency: 1.0, ..Default::default() };
+        let _ = generate(&cfg);
+    }
+}

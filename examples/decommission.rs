@@ -1,0 +1,49 @@
+//! Decommissioning under load: drain two machines out of a busy fleet.
+//!
+//! Two old machines must be handed back to the hardware team. Their shards
+//! have to migrate away — under the same transient constraints as any
+//! rebalancing — while the rest of the fleet stays balanced. A replacement
+//! machine joins the fleet (an exchange machine with `k_return = 0`: a
+//! permanent transfer, not a loan) to absorb part of the displaced load.
+//!
+//! ```sh
+//! cargo run --example decommission
+//! ```
+
+use resource_exchange::cluster::{InstanceBuilder, MachineId};
+use resource_exchange::core::{solve_with_drain, SraConfig};
+
+fn main() {
+    let mut b = InstanceBuilder::new(2).alpha(0.1).k_return(0).label("decommission");
+    let machines: Vec<MachineId> = (0..8).map(|_| b.machine(&[10.0, 10.0])).collect();
+    let _x = b.exchange_machine(&[10.0, 10.0]);
+
+    // ~70% utilization, slightly uneven.
+    for i in 0..48 {
+        let host = machines[i % 8];
+        b.shard(&[1.0 + 0.2 * ((i % 3) as f64), 1.1], 1.0, host);
+    }
+    let inst = b.build().expect("valid instance");
+
+    let drain = [machines[0], machines[5]];
+    println!("draining {drain:?} out of an 8-machine fleet (+1 replacement)…");
+    let res = solve_with_drain(
+        &inst,
+        &SraConfig { iters: 6_000, seed: 11, ..Default::default() },
+        &drain,
+    )
+    .expect("drain must be feasible here");
+
+    println!("initial: {}", res.initial_report);
+    println!("final:   {}", res.final_report);
+    for m in drain {
+        assert!(res.assignment.is_vacant(m));
+        println!("{m} is vacant and ready to unrack");
+    }
+    println!(
+        "schedule: {} moves in {} batches",
+        res.migration.total_moves, res.migration.batches
+    );
+    assert!(res.returned_machines.is_empty(), "permanent transfer: nothing to hand back");
+    assert!(res.final_report.peak < 0.9, "the replacement keeps the fleet serviceable");
+}

@@ -1,0 +1,53 @@
+//! Quickstart: rebalance a small hotspotted cluster with one borrowed
+//! exchange machine.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use resource_exchange::cluster::InstanceBuilder;
+use resource_exchange::core::{solve, SraConfig};
+
+fn main() {
+    // A 4-machine fleet where traffic drifted onto m0/m1, plus one
+    // borrowed (initially vacant) exchange machine. Migrating a shard
+    // transiently costs 10% extra on both ends (alpha = 0.1).
+    let mut b = InstanceBuilder::new(2).alpha(0.1).label("quickstart");
+    let m0 = b.machine(&[10.0, 10.0]);
+    let m1 = b.machine(&[10.0, 10.0]);
+    let m2 = b.machine(&[10.0, 10.0]);
+    let m3 = b.machine(&[10.0, 10.0]);
+    let _x = b.exchange_machine(&[10.0, 10.0]);
+
+    // Hot machines: ~90% full. Cool machines: ~20%.
+    for _ in 0..6 {
+        b.shard(&[1.5, 1.0], 1.0, m0);
+        b.shard(&[1.5, 1.0], 1.0, m1);
+    }
+    b.shard(&[2.0, 1.0], 1.0, m2);
+    b.shard(&[2.0, 1.0], 1.0, m3);
+    let inst = b.build().expect("valid instance");
+
+    let result = solve(&inst, &SraConfig { iters: 5_000, seed: 1, ..Default::default() })
+        .expect("SRA solves valid instances");
+
+    println!("initial: {}", result.initial_report);
+    println!("final:   {}", result.final_report);
+    println!(
+        "peak improved by {:.1}% with {} moves in {} batches ({} staging hops)",
+        100.0 * result.peak_improvement(),
+        result.migration.total_moves,
+        result.migration.batches,
+        result.migration.extra_hops,
+    );
+    println!("machines returned to the operator: {:?}", result.returned_machines);
+
+    println!("\nmigration schedule:");
+    for (i, batch) in result.plan.batches.iter().enumerate() {
+        let moves: Vec<String> =
+            batch.iter().map(|m| format!("{}:{}→{}", m.shard, m.from, m.to)).collect();
+        println!("  batch {i}: {}", moves.join(", "));
+    }
+
+    assert!(result.final_report.peak < result.initial_report.peak);
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every reconstructed table/figure into results/.
+# Usage: scripts/run_experiments.sh [--quick]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--quick" ]]; then
+    export REX_QUICK=1
+fi
+
+cargo build --release -p rex-bench --bins
+mkdir -p results
+
+for exp in workloads headline exchange_sweep convergence migration \
+           scalability optgap stringency ablation alpha qos longrun; do
+    echo "=== exp_${exp} ==="
+    ./target/release/exp_${exp} | tee "results/exp_${exp}.md"
+done
+
+echo "All experiment outputs written to results/."

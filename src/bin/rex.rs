@@ -1,0 +1,343 @@
+//! `rex` — the command-line front end.
+//!
+//! ```text
+//! rex generate --family correlated --machines 24 --exchange 3 --shards 240 \
+//!              --stringency 0.8 --alpha 0.1 --seed 1 --out inst.json
+//! rex inspect  --inst inst.json
+//! rex solve    --inst inst.json --iters 8000 --workers 4 --out solution.json
+//! rex baseline --inst inst.json --method greedy
+//! rex verify   --inst inst.json --solution solution.json
+//! ```
+//!
+//! Instances and solutions are JSON artifacts (bit-exact f64 round-trips),
+//! so a solve on one machine can be verified on another.
+
+use resource_exchange::baselines::{
+    FfdRepacker, GreedyRebalancer, LocalSearchRebalancer, Rebalancer,
+};
+use resource_exchange::cluster::{
+    verify_schedule, Assignment, BalanceReport, Instance, MachineId, MigrationPlan,
+};
+use resource_exchange::core::{solve_with_drain, SraConfig};
+use resource_exchange::workload::io;
+use resource_exchange::workload::synthetic::{generate, DemandFamily, MachineProfile, Placement, SynthConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// A solved reassignment, as stored on disk.
+#[derive(Serialize, Deserialize)]
+struct SolutionFile {
+    /// Final placement (machine per shard).
+    placement: Vec<MachineId>,
+    /// The migration schedule reaching it.
+    plan: MigrationPlan,
+    /// Machines handed back.
+    returned: Vec<MachineId>,
+}
+
+/// Minimal `--key value` argument map (flags must all take a value).
+fn parse_args(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{}`", args[i]))?;
+        let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+        out.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn get<'a>(args: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    args.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+}
+
+fn get_or<'a>(args: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'a str {
+    args.get(key).map(String::as_str).unwrap_or(default)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("cannot parse `{s}` as {what}"))
+}
+
+fn load_instance(args: &HashMap<String, String>) -> Result<Instance, String> {
+    let path = get(args, "inst")?;
+    io::load(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn cmd_generate(args: &HashMap<String, String>) -> Result<(), String> {
+    let family = match get_or(args, "family", "correlated") {
+        "uniform" => DemandFamily::Uniform,
+        "zipf" => DemandFamily::Zipf,
+        "correlated" => DemandFamily::Correlated,
+        "big-shards" => DemandFamily::BigShards,
+        other => return Err(format!("unknown family `{other}`")),
+    };
+    let placement = match get_or(args, "placement", "hotspot") {
+        "hotspot" => Placement::Hotspot(parse(get_or(args, "hot-fraction", "0.4"), "f64")?),
+        "balanced" => Placement::BalancedBfd,
+        "drift" => Placement::Drift,
+        other => return Err(format!("unknown placement `{other}`")),
+    };
+    let cfg = SynthConfig {
+        n_machines: parse(get_or(args, "machines", "16"), "usize")?,
+        n_exchange: parse(get_or(args, "exchange", "2"), "usize")?,
+        n_shards: parse(get_or(args, "shards", "160"), "usize")?,
+        dims: parse(get_or(args, "dims", "3"), "usize")?,
+        stringency: parse(get_or(args, "stringency", "0.75"), "f64")?,
+        alpha: parse(get_or(args, "alpha", "0.1"), "f64")?,
+        seed: parse(get_or(args, "seed", "0"), "u64")?,
+        family,
+        placement,
+        profile: match get_or(args, "profile", "homogeneous") {
+            "homogeneous" => MachineProfile::Homogeneous,
+            "two-tier" => MachineProfile::TwoTier { big_fraction: 0.25, ratio: 2.0 },
+            "big-exchange" => MachineProfile::BigExchange { factor: 2.0 },
+            other => return Err(format!("unknown profile `{other}`")),
+        },
+    };
+    let inst = generate(&cfg).map_err(|e| e.to_string())?;
+    let out = get(args, "out")?;
+    io::save(&inst, Path::new(out)).map_err(|e| e.to_string())?;
+    println!("wrote {} ({} machines, {} shards) to {out}", inst.label, inst.n_machines(), inst.n_shards());
+    Ok(())
+}
+
+fn cmd_inspect(args: &HashMap<String, String>) -> Result<(), String> {
+    let inst = load_instance(args)?;
+    let asg = Assignment::from_initial(&inst);
+    let report = BalanceReport::compute(&inst, &asg);
+    println!("label:      {}", inst.label);
+    println!("machines:   {} (+{} exchange)", inst.n_machines() - inst.n_exchange(), inst.n_exchange());
+    println!("shards:     {}", inst.n_shards());
+    println!("dims:       {}", inst.dims);
+    println!("k_return:   {}", inst.k_return);
+    println!("alpha:      {}", inst.alpha);
+    println!("stringency: {:.4}", inst.stringency());
+    println!("initial:    {report}");
+    Ok(())
+}
+
+fn cmd_solve(args: &HashMap<String, String>) -> Result<(), String> {
+    let inst = load_instance(args)?;
+    let cfg = SraConfig {
+        iters: parse(get_or(args, "iters", "10000"), "u64")?,
+        workers: parse(get_or(args, "workers", "1"), "usize")?,
+        seed: parse(get_or(args, "seed", "42"), "u64")?,
+        ..Default::default()
+    };
+    // --drain 3,7 marks machines 3 and 7 for decommission.
+    let drain: Vec<MachineId> = match args.get("drain") {
+        None => Vec::new(),
+        Some(list) => list
+            .split(',')
+            .map(|x| parse::<u32>(x.trim(), "machine id").map(MachineId))
+            .collect::<Result<_, _>>()?,
+    };
+    let res = solve_with_drain(&inst, &cfg, &drain).map_err(|e| e.to_string())?;
+    if !drain.is_empty() {
+        println!("drained: {drain:?}");
+    }
+    println!("initial: {}", res.initial_report);
+    println!("final:   {}", res.final_report);
+    println!(
+        "improvement {:.1}%, migration: {}, returned {:?}",
+        100.0 * res.peak_improvement(),
+        res.migration,
+        res.returned_machines
+    );
+    if let Some(out) = args.get("out") {
+        let file = SolutionFile {
+            placement: res.assignment.placement().to_vec(),
+            plan: res.plan,
+            returned: res.returned_machines,
+        };
+        std::fs::write(out, serde_json::to_string_pretty(&file).map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+        println!("solution written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_baseline(args: &HashMap<String, String>) -> Result<(), String> {
+    let inst = load_instance(args)?;
+    let method: Box<dyn Rebalancer> = match get_or(args, "method", "greedy") {
+        "greedy" => Box::new(GreedyRebalancer::default()),
+        "local-search" => Box::new(LocalSearchRebalancer::default()),
+        "ffd" => Box::new(FfdRepacker::default()),
+        other => return Err(format!("unknown method `{other}`")),
+    };
+    let res = method.rebalance(&inst).map_err(|e| e.to_string())?;
+    println!("method:  {}", method.name());
+    println!("initial: {}", res.initial_report);
+    println!("final:   {}", res.final_report);
+    println!(
+        "improvement {:.1}%, schedulable: {}, migration: {}",
+        100.0 * res.peak_improvement(),
+        res.schedulable,
+        res.migration
+    );
+    Ok(())
+}
+
+fn cmd_verify(args: &HashMap<String, String>) -> Result<(), String> {
+    let inst = load_instance(args)?;
+    let path = get(args, "solution")?;
+    let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let sol: SolutionFile = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    verify_schedule(&inst, &inst.initial, &sol.placement, &sol.plan).map_err(|e| e.to_string())?;
+    let asg = Assignment::from_placement(&inst, sol.placement).map_err(|e| e.to_string())?;
+    asg.check_target(&inst).map_err(|e| e.to_string())?;
+    for m in &sol.returned {
+        if !asg.is_vacant(*m) {
+            return Err(format!("returned machine {m} is not vacant"));
+        }
+    }
+    if sol.returned.len() < inst.k_return {
+        return Err(format!("only {} machines returned, {} required", sol.returned.len(), inst.k_return));
+    }
+    println!("OK: schedule verifies, target feasible, {} machines returned", sol.returned.len());
+    println!("final: {}", BalanceReport::compute(&inst, &asg));
+    Ok(())
+}
+
+const USAGE: &str = "usage: rex <generate|inspect|solve|baseline|verify> [--flag value]...
+  generate --out FILE [--family uniform|zipf|correlated|big-shards]
+           [--placement hotspot|balanced|drift] [--machines N] [--exchange N]
+           [--shards N] [--dims N] [--stringency F] [--alpha F] [--seed N]
+           [--profile homogeneous|two-tier|big-exchange]
+  inspect  --inst FILE
+  solve    --inst FILE [--iters N] [--workers N] [--seed N] [--out FILE]
+           [--drain M1,M2,...]   (machines to decommission: must end vacant)
+  baseline --inst FILE [--method greedy|local-search|ffd]
+  verify   --inst FILE --solution FILE";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = parse_args(rest).and_then(|args| match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "inspect" => cmd_inspect(&args),
+        "solve" => cmd_solve(&args),
+        "baseline" => cmd_baseline(&args),
+        "verify" => cmd_verify(&args),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn parse_args_happy_path() {
+        let a = parse_args(&["--inst".into(), "x.json".into(), "--iters".into(), "5".into()])
+            .unwrap();
+        assert_eq!(get(&a, "inst").unwrap(), "x.json");
+        assert_eq!(get_or(&a, "iters", "1"), "5");
+        assert_eq!(get_or(&a, "missing", "d"), "d");
+    }
+
+    #[test]
+    fn parse_args_rejects_bad_shapes() {
+        assert!(parse_args(&["positional".into()]).is_err());
+        assert!(parse_args(&["--dangling".into()]).is_err());
+    }
+
+    #[test]
+    fn generate_solve_verify_roundtrip() {
+        let dir = std::env::temp_dir().join("rex-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst_path = dir.join("inst.json");
+        let sol_path = dir.join("sol.json");
+
+        cmd_generate(&args(&[
+            ("out", inst_path.to_str().unwrap()),
+            ("machines", "6"),
+            ("exchange", "1"),
+            ("shards", "30"),
+            ("seed", "3"),
+        ]))
+        .unwrap();
+
+        let common = [("inst", inst_path.to_str().unwrap())];
+        cmd_inspect(&args(&common)).unwrap();
+
+        cmd_solve(&args(&[
+            ("inst", inst_path.to_str().unwrap()),
+            ("iters", "500"),
+            ("out", sol_path.to_str().unwrap()),
+        ]))
+        .unwrap();
+
+        cmd_verify(&args(&[
+            ("inst", inst_path.to_str().unwrap()),
+            ("solution", sol_path.to_str().unwrap()),
+        ]))
+        .unwrap();
+
+        cmd_baseline(&args(&[
+            ("inst", inst_path.to_str().unwrap()),
+            ("method", "greedy"),
+        ]))
+        .unwrap();
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_rejects_tampered_solutions() {
+        let dir = std::env::temp_dir().join("rex-cli-tamper");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst_path = dir.join("inst.json");
+        let sol_path = dir.join("sol.json");
+        cmd_generate(&args(&[
+            ("out", inst_path.to_str().unwrap()),
+            ("machines", "4"),
+            ("exchange", "1"),
+            ("shards", "16"),
+        ]))
+        .unwrap();
+        cmd_solve(&args(&[
+            ("inst", inst_path.to_str().unwrap()),
+            ("iters", "300"),
+            ("out", sol_path.to_str().unwrap()),
+        ]))
+        .unwrap();
+        // Tamper: claim a different final placement than the plan reaches.
+        let mut sol: SolutionFile =
+            serde_json::from_str(&std::fs::read_to_string(&sol_path).unwrap()).unwrap();
+        sol.placement[0] = MachineId(if sol.placement[0].0 == 0 { 1 } else { 0 });
+        std::fs::write(&sol_path, serde_json::to_string(&sol).unwrap()).unwrap();
+        assert!(cmd_verify(&args(&[
+            ("inst", inst_path.to_str().unwrap()),
+            ("solution", sol_path.to_str().unwrap()),
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_family_is_rejected() {
+        let e = cmd_generate(&args(&[("out", "/tmp/x.json"), ("family", "nope")]));
+        assert!(e.is_err());
+    }
+}
