@@ -40,7 +40,8 @@ pub struct RebalanceResult {
 impl RebalanceResult {
     /// Relative peak-load improvement over the initial placement.
     pub fn peak_improvement(&self) -> f64 {
-        self.final_report.peak_improvement_over(&self.initial_report)
+        self.final_report
+            .peak_improvement_over(&self.initial_report)
     }
 
     /// Builds the result from the pieces every baseline ends with.
@@ -124,13 +125,28 @@ mod tests {
         let tight = inst(0.8);
         let asg = Assignment::from_initial(&tight);
         // Moving shard 0 onto m1: m1 must hold 6 + 1.8*6 = 16.8 > 10.
-        assert!(!single_move_feasible(&tight, &asg, ShardId(0), MachineId(1)));
+        assert!(!single_move_feasible(
+            &tight,
+            &asg,
+            ShardId(0),
+            MachineId(1)
+        ));
         // Onto the vacant exchange machine: 1.8*6 = 10.8 > 10 — also blocked.
-        assert!(!single_move_feasible(&tight, &asg, ShardId(0), MachineId(2)));
+        assert!(!single_move_feasible(
+            &tight,
+            &asg,
+            ShardId(0),
+            MachineId(2)
+        ));
         let loose = inst(0.0);
         let asg = Assignment::from_initial(&loose);
         assert!(single_move_feasible(&loose, &asg, ShardId(0), MachineId(2)));
-        assert!(!single_move_feasible(&loose, &asg, ShardId(0), MachineId(1)));
+        assert!(!single_move_feasible(
+            &loose,
+            &asg,
+            ShardId(0),
+            MachineId(1)
+        ));
     }
 
     #[test]
@@ -143,7 +159,10 @@ mod tests {
     #[test]
     fn eligible_machines_excludes_exchange_by_default() {
         let i = inst(0.0);
-        assert_eq!(eligible_machines(&i, false), vec![MachineId(0), MachineId(1)]);
+        assert_eq!(
+            eligible_machines(&i, false),
+            vec![MachineId(0), MachineId(1)]
+        );
         assert_eq!(eligible_machines(&i, true).len(), 3);
     }
 

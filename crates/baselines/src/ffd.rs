@@ -17,15 +17,13 @@ use std::time::Instant;
 /// stringent instances it routinely deadlocks, and the result is returned
 /// with `schedulable = false` — that gap is the paper's motivation made
 /// visible.
-#[derive(Clone, Copy, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct FfdRepacker {
     /// Whether exchange machines may be used.
     pub use_exchange: bool,
     /// Planner used for the (best-effort) schedulability attempt.
     pub planner: PlannerConfig,
 }
-
 
 impl Rebalancer for FfdRepacker {
     fn name(&self) -> &str {
@@ -105,7 +103,11 @@ mod tests {
         let inst = b.build().unwrap();
         let r = FfdRepacker::default().rebalance(&inst).unwrap();
         // Total 16 over two machines → ideal 0.8; FFD achieves it here.
-        assert!((r.final_report.peak - 0.8).abs() < 1e-9, "peak={}", r.final_report.peak);
+        assert!(
+            (r.final_report.peak - 0.8).abs() < 1e-9,
+            "peak={}",
+            r.final_report.peak
+        );
     }
 
     #[test]
@@ -142,9 +144,12 @@ mod tests {
         let without = FfdRepacker::default().rebalance(&inst).unwrap();
         assert!(without.assignment.is_vacant(MachineId(2)));
         assert!((without.final_report.peak - 0.5).abs() < 1e-9);
-        let with = FfdRepacker { use_exchange: true, ..Default::default() }
-            .rebalance(&inst)
-            .unwrap();
+        let with = FfdRepacker {
+            use_exchange: true,
+            ..Default::default()
+        }
+        .rebalance(&inst)
+        .unwrap();
         assert!((with.final_report.peak - 0.3).abs() < 1e-9);
     }
 
@@ -179,7 +184,11 @@ mod tests {
         let m0 = b.machine(&[10.0, 8.0]);
         let m1 = b.machine(&[9.0, 10.0]);
         for i in 0..8 {
-            b.shard(&[0.5 + 0.25 * (i as f64), 1.0], 1.0, if i % 2 == 0 { m0 } else { m1 });
+            b.shard(
+                &[0.5 + 0.25 * (i as f64), 1.0],
+                1.0,
+                if i % 2 == 0 { m0 } else { m1 },
+            );
         }
         let inst = b.build().unwrap();
         let a = FfdRepacker::default().rebalance(&inst).unwrap();

@@ -1,9 +1,7 @@
 //! The greedy rebalancer: the "commonly used" datacenter practice.
 
 use crate::common::{eligible_machines, single_move_feasible, RebalanceResult, Rebalancer};
-use rex_cluster::{
-    verify_schedule, Assignment, ClusterError, Instance, MigrationPlan, Move,
-};
+use rex_cluster::{verify_schedule, Assignment, ClusterError, Instance, MigrationPlan, Move};
 use std::time::Instant;
 
 /// Repeatedly moves one shard off the currently hottest machine onto the
@@ -24,7 +22,10 @@ pub struct GreedyRebalancer {
 
 impl Default for GreedyRebalancer {
     fn default() -> Self {
-        Self { max_moves: 10_000, use_exchange: false }
+        Self {
+            max_moves: 10_000,
+            use_exchange: false,
+        }
     }
 }
 
@@ -87,14 +88,23 @@ impl Rebalancer for GreedyRebalancer {
             match best {
                 Some((s, t, _)) => {
                     let from = asg.move_shard(inst, s, t);
-                    plan.batches.push(vec![Move { shard: s, from, to: t }]);
+                    plan.batches.push(vec![Move {
+                        shard: s,
+                        from,
+                        to: t,
+                    }]);
                 }
                 None => break, // local optimum (or transient-blocked)
             }
         }
 
         verify_schedule(inst, &inst.initial, asg.placement(), &plan)?;
-        Ok(RebalanceResult::finish(inst, asg, Some(plan), start.elapsed()))
+        Ok(RebalanceResult::finish(
+            inst,
+            asg,
+            Some(plan),
+            start.elapsed(),
+        ))
     }
 }
 
@@ -120,7 +130,11 @@ mod tests {
         let r = GreedyRebalancer::default().rebalance(&inst).unwrap();
         assert!(r.schedulable);
         // 8 unit shards over two usable machines → 4/4.
-        assert!((r.final_report.peak - 0.4).abs() < 1e-9, "peak={}", r.final_report.peak);
+        assert!(
+            (r.final_report.peak - 0.4).abs() < 1e-9,
+            "peak={}",
+            r.final_report.peak
+        );
         assert!(r.peak_improvement() > 0.4);
     }
 
@@ -134,9 +148,12 @@ mod tests {
     #[test]
     fn greedy_can_use_exchange_when_allowed() {
         let inst = skewed(0.0);
-        let r = GreedyRebalancer { use_exchange: true, ..Default::default() }
-            .rebalance(&inst)
-            .unwrap();
+        let r = GreedyRebalancer {
+            use_exchange: true,
+            ..Default::default()
+        }
+        .rebalance(&inst)
+        .unwrap();
         // 8 shards over three machines → peak 3/10.
         assert!((r.final_report.peak - 0.3).abs() < 1e-9);
     }
@@ -144,7 +161,12 @@ mod tests {
     #[test]
     fn greedy_respects_move_budget() {
         let inst = skewed(0.0);
-        let r = GreedyRebalancer { max_moves: 2, ..Default::default() }.rebalance(&inst).unwrap();
+        let r = GreedyRebalancer {
+            max_moves: 2,
+            ..Default::default()
+        }
+        .rebalance(&inst)
+        .unwrap();
         assert!(r.migration.total_moves <= 2);
     }
 

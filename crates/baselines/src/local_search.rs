@@ -27,7 +27,12 @@ pub struct LocalSearchRebalancer {
 
 impl Default for LocalSearchRebalancer {
     fn default() -> Self {
-        Self { max_steps: 10_000, top_sources: 3, allow_swaps: true, use_exchange: false }
+        Self {
+            max_steps: 10_000,
+            top_sources: 3,
+            allow_swaps: true,
+            use_exchange: false,
+        }
     }
 }
 
@@ -64,11 +69,20 @@ impl LocalSearchRebalancer {
         uf.saturating_sub_assign(d);
         let mut ut = *asg.usage(t);
         ut += d;
-        Some((uf.max_ratio(inst.capacity(f)), ut.max_ratio(inst.capacity(t))))
+        Some((
+            uf.max_ratio(inst.capacity(f)),
+            ut.max_ratio(inst.capacity(t)),
+        ))
     }
 
     /// Whether a swap of `a` (on `ma`) and `b` (on `mb`) fits capacity-wise.
-    fn swap_fits(&self, inst: &Instance, asg: &Assignment, a: ShardId, b: ShardId) -> Option<(f64, f64)> {
+    fn swap_fits(
+        &self,
+        inst: &Instance,
+        asg: &Assignment,
+        a: ShardId,
+        b: ShardId,
+    ) -> Option<(f64, f64)> {
         let ma = asg.machine_of(a);
         let mb = asg.machine_of(b);
         if ma == mb {
@@ -85,7 +99,10 @@ impl LocalSearchRebalancer {
         if !ua.fits_within(inst.capacity(ma)) || !ub.fits_within(inst.capacity(mb)) {
             return None;
         }
-        Some((ua.max_ratio(inst.capacity(ma)), ub.max_ratio(inst.capacity(mb))))
+        Some((
+            ua.max_ratio(inst.capacity(ma)),
+            ub.max_ratio(inst.capacity(mb)),
+        ))
     }
 
     /// Tries to execute a swap as two sequential moves, in either order.
@@ -107,8 +124,16 @@ impl LocalSearchRebalancer {
                 trial.move_shard(inst, b, ma);
                 *asg = trial;
                 return Some(vec![
-                    vec![Move { shard: a, from: ma, to: mb }],
-                    vec![Move { shard: b, from: mb, to: ma }],
+                    vec![Move {
+                        shard: a,
+                        from: ma,
+                        to: mb,
+                    }],
+                    vec![Move {
+                        shard: b,
+                        from: mb,
+                        to: ma,
+                    }],
                 ]);
             }
         }
@@ -120,8 +145,16 @@ impl LocalSearchRebalancer {
                 trial.move_shard(inst, a, mb);
                 *asg = trial;
                 return Some(vec![
-                    vec![Move { shard: b, from: mb, to: ma }],
-                    vec![Move { shard: a, from: ma, to: mb }],
+                    vec![Move {
+                        shard: b,
+                        from: mb,
+                        to: ma,
+                    }],
+                    vec![Move {
+                        shard: a,
+                        from: ma,
+                        to: mb,
+                    }],
                 ]);
             }
         }
@@ -145,11 +178,16 @@ impl Rebalancer for LocalSearchRebalancer {
             let peak = self.peak(inst, &asg, &machines);
 
             // Sources: the hottest machines.
-            let mut by_load: Vec<(f64, MachineId)> =
-                machines.iter().map(|&m| (asg.machine_load(inst, m), m)).collect();
+            let mut by_load: Vec<(f64, MachineId)> = machines
+                .iter()
+                .map(|&m| (asg.machine_load(inst, m), m))
+                .collect();
             by_load.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
-            let sources: Vec<MachineId> =
-                by_load.iter().take(self.top_sources).map(|&(_, m)| m).collect();
+            let sources: Vec<MachineId> = by_load
+                .iter()
+                .take(self.top_sources)
+                .map(|&(_, m)| m)
+                .collect();
 
             // Collect improving steps, best (lowest local peak) first. A
             // step must strictly reduce the max load of the two machines it
@@ -172,8 +210,7 @@ impl Rebalancer for LocalSearchRebalancer {
                         let pair_before = load_h.max(asg.machine_load(inst, t));
                         if let Some((lh, lt)) = self.move_loads(inst, &asg, s, t) {
                             let local = lh.max(lt);
-                            if local + 1e-12 < pair_before
-                                && single_move_feasible(inst, &asg, s, t)
+                            if local + 1e-12 < pair_before && single_move_feasible(inst, &asg, s, t)
                             {
                                 candidates.push((local, Step::Move(s, t)));
                             }
@@ -205,7 +242,11 @@ impl Rebalancer for LocalSearchRebalancer {
                 match step {
                     Step::Move(s, t) => {
                         let from = asg.move_shard(inst, s, t);
-                        plan.batches.push(vec![Move { shard: s, from, to: t }]);
+                        plan.batches.push(vec![Move {
+                            shard: s,
+                            from,
+                            to: t,
+                        }]);
                         applied = true;
                     }
                     Step::Swap(a, b) => match self.apply_swap(inst, &mut asg, a, b) {
@@ -224,7 +265,12 @@ impl Rebalancer for LocalSearchRebalancer {
         }
 
         verify_schedule(inst, &inst.initial, asg.placement(), &plan)?;
-        Ok(RebalanceResult::finish(inst, asg, Some(plan), start.elapsed()))
+        Ok(RebalanceResult::finish(
+            inst,
+            asg,
+            Some(plan),
+            start.elapsed(),
+        ))
     }
 }
 
@@ -266,10 +312,16 @@ mod tests {
         b.shard(&[2.0], 1.0, m1);
         let inst = b.build().unwrap();
 
-        let no_swaps = LocalSearchRebalancer { allow_swaps: false, ..Default::default() }
-            .rebalance(&inst)
-            .unwrap();
-        assert!((no_swaps.final_report.peak - 0.9).abs() < 1e-9, "moves alone cannot improve");
+        let no_swaps = LocalSearchRebalancer {
+            allow_swaps: false,
+            ..Default::default()
+        }
+        .rebalance(&inst)
+        .unwrap();
+        assert!(
+            (no_swaps.final_report.peak - 0.9).abs() < 1e-9,
+            "moves alone cannot improve"
+        );
 
         let with_swaps = LocalSearchRebalancer::default().rebalance(&inst).unwrap();
         assert!(
@@ -302,9 +354,12 @@ mod tests {
             b.shard(&[1.0], 1.0, m0);
         }
         let inst = b.build().unwrap();
-        let r = LocalSearchRebalancer { max_steps: 3, ..Default::default() }
-            .rebalance(&inst)
-            .unwrap();
+        let r = LocalSearchRebalancer {
+            max_steps: 3,
+            ..Default::default()
+        }
+        .rebalance(&inst)
+        .unwrap();
         assert!(r.migration.total_moves <= 6); // ≤ 2 moves per step
     }
 

@@ -3,7 +3,9 @@
 use crate::common::{eligible_machines, single_move_feasible, RebalanceResult, Rebalancer};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use rex_cluster::{verify_schedule, Assignment, ClusterError, Instance, Move, MigrationPlan, ShardId};
+use rex_cluster::{
+    verify_schedule, Assignment, ClusterError, Instance, MigrationPlan, Move, ShardId,
+};
 use std::time::Instant;
 
 /// Applies `moves` random transiently-feasible shard moves. Any serious
@@ -20,7 +22,11 @@ pub struct RandomWalkRebalancer {
 
 impl Default for RandomWalkRebalancer {
     fn default() -> Self {
-        Self { moves: 100, seed: 0, use_exchange: false }
+        Self {
+            moves: 100,
+            seed: 0,
+            use_exchange: false,
+        }
     }
 }
 
@@ -45,12 +51,21 @@ impl Rebalancer for RandomWalkRebalancer {
                 && single_move_feasible(inst, &asg, s, t)
             {
                 let from = asg.move_shard(inst, s, t);
-                plan.batches.push(vec![Move { shard: s, from, to: t }]);
+                plan.batches.push(vec![Move {
+                    shard: s,
+                    from,
+                    to: t,
+                }]);
             }
         }
 
         verify_schedule(inst, &inst.initial, asg.placement(), &plan)?;
-        Ok(RebalanceResult::finish(inst, asg, Some(plan), start.elapsed()))
+        Ok(RebalanceResult::finish(
+            inst,
+            asg,
+            Some(plan),
+            start.elapsed(),
+        ))
     }
 }
 
@@ -79,10 +94,25 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = RandomWalkRebalancer { seed: 7, ..Default::default() }.rebalance(&inst()).unwrap();
-        let b = RandomWalkRebalancer { seed: 7, ..Default::default() }.rebalance(&inst()).unwrap();
+        let a = RandomWalkRebalancer {
+            seed: 7,
+            ..Default::default()
+        }
+        .rebalance(&inst())
+        .unwrap();
+        let b = RandomWalkRebalancer {
+            seed: 7,
+            ..Default::default()
+        }
+        .rebalance(&inst())
+        .unwrap();
         assert_eq!(a.assignment.placement(), b.assignment.placement());
-        let c = RandomWalkRebalancer { seed: 8, ..Default::default() }.rebalance(&inst()).unwrap();
+        let c = RandomWalkRebalancer {
+            seed: 8,
+            ..Default::default()
+        }
+        .rebalance(&inst())
+        .unwrap();
         // Different seeds usually differ (not guaranteed, but true here).
         assert_ne!(a.assignment.placement(), c.assignment.placement());
     }
@@ -90,14 +120,24 @@ mod tests {
     #[test]
     fn never_touches_exchange_machines_by_default() {
         let inst = inst();
-        let r = RandomWalkRebalancer { moves: 500, ..Default::default() }.rebalance(&inst).unwrap();
+        let r = RandomWalkRebalancer {
+            moves: 500,
+            ..Default::default()
+        }
+        .rebalance(&inst)
+        .unwrap();
         assert!(r.assignment.is_vacant(MachineId(2)));
     }
 
     #[test]
     fn zero_moves_is_identity() {
         let inst = inst();
-        let r = RandomWalkRebalancer { moves: 0, ..Default::default() }.rebalance(&inst).unwrap();
+        let r = RandomWalkRebalancer {
+            moves: 0,
+            ..Default::default()
+        }
+        .rebalance(&inst)
+        .unwrap();
         assert_eq!(r.assignment.placement(), &inst.initial[..]);
         assert_eq!(r.migration.total_moves, 0);
     }

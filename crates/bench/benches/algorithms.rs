@@ -3,11 +3,11 @@
 //! exact solver on a tiny one.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use rex_baselines::{GreedyRebalancer, LocalSearchRebalancer, Rebalancer};
 use rex_core::{solve, SraConfig};
 use rex_solver::{branch_and_bound, ExactConfig};
 use rex_workload::synthetic::{generate, DemandFamily, Placement, SynthConfig};
+use std::hint::black_box;
 
 fn small_instance() -> rex_cluster::Instance {
     generate(&SynthConfig {
@@ -29,15 +29,30 @@ fn bench_sra(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("sra_1000_iters", |b| {
         b.iter(|| {
-            solve(black_box(&inst), &SraConfig { iters: 1_000, seed: 1, ..Default::default() })
-                .unwrap()
+            solve(
+                black_box(&inst),
+                &SraConfig {
+                    iters: 1_000,
+                    seed: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
         })
     });
     group.bench_function("greedy", |b| {
-        b.iter(|| GreedyRebalancer::default().rebalance(black_box(&inst)).unwrap())
+        b.iter(|| {
+            GreedyRebalancer::default()
+                .rebalance(black_box(&inst))
+                .unwrap()
+        })
     });
     group.bench_function("local_search", |b| {
-        b.iter(|| LocalSearchRebalancer::default().rebalance(black_box(&inst)).unwrap())
+        b.iter(|| {
+            LocalSearchRebalancer::default()
+                .rebalance(black_box(&inst))
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -3,7 +3,6 @@
 //! inverted-index search.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
 use rex_cluster::{
     plan_migration, Assignment, MachineId, Objective, PlannerConfig, ResourceVec, ShardId,
 };
@@ -11,6 +10,7 @@ use rex_core::SraProblem;
 use rex_searchsim::corpus::{Corpus, CorpusConfig};
 use rex_searchsim::index::{InvertedIndex, QueryMode};
 use rex_workload::synthetic::{generate, DemandFamily, Placement, SynthConfig};
+use std::hint::black_box;
 
 fn medium_instance() -> rex_cluster::Instance {
     generate(&SynthConfig {
@@ -124,8 +124,12 @@ fn bench_index_search(c: &mut Criterion) {
 fn bench_compress(c: &mut Criterion) {
     use rex_searchsim::compress::CompressedPostings;
     use rex_searchsim::index::Posting;
-    let list: Vec<Posting> =
-        (0..10_000u32).map(|i| Posting { doc: i * 7, tf: 1 + i % 5 }).collect();
+    let list: Vec<Posting> = (0..10_000u32)
+        .map(|i| Posting {
+            doc: i * 7,
+            tf: 1 + i % 5,
+        })
+        .collect();
     c.bench_function("compress/encode_10k", |bench| {
         bench.iter(|| CompressedPostings::compress(black_box(&list)))
     });
@@ -135,27 +139,113 @@ fn bench_compress(c: &mut Criterion) {
     });
 }
 
+/// Head-to-head iteration throughput of the clone-based ALNS engine vs the
+/// allocation-free in-place engine on a stringent 16-machine / 120-shard
+/// instance — the size where per-iteration clones of the assignment (plus
+/// its per-machine usage vectors) dominate the clone engine's profile.
+fn bench_lns_iteration_throughput(c: &mut Criterion) {
+    use rex_core::{
+        default_destroys, default_destroys_in_place, default_repairs, default_repairs_in_place,
+    };
+    use rex_lns::{InPlaceEngine, LnsConfig, LnsEngine, LnsProblem, SimulatedAnnealing};
+
+    let inst = generate(&SynthConfig {
+        n_machines: 16,
+        n_exchange: 2,
+        n_shards: 120,
+        stringency: 0.85,
+        family: DemandFamily::Correlated,
+        placement: Placement::Hotspot(0.4),
+        seed: 11,
+        ..Default::default()
+    })
+    .expect("generate");
+    // Plannability gating of new bests is disabled: `plan_migration` costs
+    // the same in both engines and would drown the per-iteration work this
+    // bench isolates.
+    let problem = SraProblem::new(&inst, Objective::default()).without_plan_checks();
+    let initial = Assignment::from_initial(&inst);
+    assert!(
+        LnsProblem::is_feasible(&problem, &initial),
+        "benchmark start must be feasible"
+    );
+
+    const ITERS: u64 = 2_000;
+    let cfg = LnsConfig {
+        max_iters: ITERS,
+        intensity: (0.02, 0.25),
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("lns_hot_loop");
+    group.sample_size(10);
+    group.bench_function("clone_engine_2k_iters", |bench| {
+        bench.iter(|| {
+            let engine = LnsEngine::new(
+                &problem,
+                default_destroys(64),
+                default_repairs(),
+                Box::new(SimulatedAnnealing::for_normalized_loads(ITERS as usize)),
+                cfg,
+            );
+            black_box(engine.run(initial.clone(), 42).best_objective)
+        })
+    });
+    group.bench_function("in_place_engine_2k_iters", |bench| {
+        bench.iter(|| {
+            let engine = InPlaceEngine::new(
+                &problem,
+                default_destroys_in_place(64),
+                default_repairs_in_place(),
+                Box::new(SimulatedAnnealing::for_normalized_loads(ITERS as usize)),
+                cfg,
+            );
+            black_box(engine.run(initial.clone(), 42).best_objective)
+        })
+    });
+    group.finish();
+}
+
 fn bench_qos_and_timeline(c: &mut Criterion) {
     use rex_cluster::migration::timeline::{time_plan, TimelineConfig};
     use rex_cluster::plan_migration;
     use rex_searchsim::qos::{qos_of_plan, QosConfig};
     let inst = medium_instance();
-    let mut asg = Assignment::from_initial(&inst);
-    for i in 0..(inst.n_shards() / 10) {
-        let s = ShardId::from(i * 10);
-        let m = MachineId::from(i % inst.n_machines());
-        if asg.fits(&inst, s, m) {
-            asg.move_shard(&inst, s, m);
-        }
-    }
-    let target = asg.into_placement();
-    let plan = plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default())
-        .expect("plannable");
+    // The hand-built perturbation is not guaranteed plannable (the greedy
+    // packing can paint the planner into a deadlock), so back off to
+    // smaller perturbations until one plans. The identity target (empty
+    // plan) terminates the search in the worst case.
+    let plan = [10usize, 20, 40, 80, usize::MAX]
+        .iter()
+        .find_map(|&stride| {
+            let mut asg = Assignment::from_initial(&inst);
+            let n_moves = if stride == usize::MAX {
+                0
+            } else {
+                inst.n_shards() / stride
+            };
+            for i in 0..n_moves {
+                let s = ShardId::from(i * stride);
+                let m = MachineId::from(i % inst.n_machines());
+                if asg.fits(&inst, s, m) {
+                    asg.move_shard(&inst, s, m);
+                }
+            }
+            let target = asg.into_placement();
+            plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default()).ok()
+        })
+        .expect("identity target is always plannable");
     c.bench_function("migration/qos_profile", |bench| {
         bench.iter(|| qos_of_plan(black_box(&inst), black_box(&plan), &QosConfig::default()))
     });
     c.bench_function("migration/timeline", |bench| {
-        bench.iter(|| time_plan(black_box(&inst), black_box(&plan), &TimelineConfig::default()))
+        bench.iter(|| {
+            time_plan(
+                black_box(&inst),
+                black_box(&plan),
+                &TimelineConfig::default(),
+            )
+        })
     });
 }
 
@@ -167,6 +257,7 @@ criterion_group!(
     bench_planner,
     bench_index_search,
     bench_compress,
+    bench_lns_iteration_throughput,
     bench_qos_and_timeline
 );
 criterion_main!(benches);

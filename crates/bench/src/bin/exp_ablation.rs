@@ -47,7 +47,10 @@ fn run<'a>(problem: &SraProblem<'a>, ds: Vec<D<'a>>, rs: Vec<R<'a>>, iters: u64,
         ds,
         rs,
         Box::new(SimulatedAnnealing::for_normalized_loads(iters as usize)),
-        LnsConfig { max_iters: iters, ..Default::default() },
+        LnsConfig {
+            max_iters: iters,
+            ..Default::default()
+        },
     );
     let initial = Assignment::from_initial(problem.inst);
     let out = engine.run(initial, seed);
@@ -84,7 +87,12 @@ fn main() {
     };
 
     push("full SRA".into(), full);
-    for op in ["random-removal", "worst-machine", "related-removal", "machine-exchange"] {
+    for op in [
+        "random-removal",
+        "worst-machine",
+        "related-removal",
+        "machine-exchange",
+    ] {
         let obj = run(&problem, destroys(Some(op)), repairs(None), iters, seed);
         push(format!("without destroy `{op}`"), obj);
     }
@@ -104,21 +112,32 @@ fn main() {
             destroys(None),
             repairs(None),
             Box::new(SimulatedAnnealing::for_normalized_loads(iters as usize)),
-            LnsConfig { max_iters: iters, ..Default::default() },
+            LnsConfig {
+                max_iters: iters,
+                ..Default::default()
+            },
         );
         let out = engine.run(Assignment::from_initial(&inst), seed);
         let (peak, msq) = out.best.load_stats(&inst);
-        push("without plateau smoothing".into(), peak + problem.smoothing * msq);
+        push(
+            "without plateau smoothing".into(),
+            peak + problem.smoothing * msq,
+        );
     }
     {
         let ungated = SraProblem::new(&inst, Objective::pure(rex_cluster::ObjectiveKind::PeakLoad))
             .without_plan_checks();
         let obj = run(&ungated, destroys(None), repairs(None), iters, seed);
         // NOTE: this best may be undeliverable — that is the point.
-        push("without plannability gate (may be undeliverable)".into(), obj);
+        push(
+            "without plannability gate (may be undeliverable)".into(),
+            obj,
+        );
     }
 
     t.print("E9 / Table 5 — SRA operator ablation (same instance and seed)");
-    println!("\nAcceptance-criterion ablation is covered by E4's per-criterion convergence series.");
+    println!(
+        "\nAcceptance-criterion ablation is covered by E4's per-criterion convergence series."
+    );
     println!("Expected shape: removing `worst-machine` or `machine-exchange` hurts most; single-repair variants trail the adaptive portfolio.");
 }

@@ -15,8 +15,11 @@ fn main() {
     let machines = rex_bench::scaled_fleet(24);
     let shards = scaled(240);
     let iters = scaled(8_000) as u64;
-    let alphas: Vec<f64> =
-        if rex_bench::quick() { vec![0.0, 0.2] } else { vec![0.0, 0.05, 0.1, 0.2, 0.3, 0.5] };
+    let alphas: Vec<f64> = if rex_bench::quick() {
+        vec![0.0, 0.2]
+    } else {
+        vec![0.0, 0.05, 0.1, 0.2, 0.3, 0.5]
+    };
 
     let mut t = Table::new(&[
         "alpha",
@@ -61,7 +64,11 @@ fn main() {
                 f4(m.peak),
                 pct(m.improvement),
                 "—".into(),
-                if m.schedulable { "yes".into() } else { "NO".into() },
+                if m.schedulable {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
         }
     }

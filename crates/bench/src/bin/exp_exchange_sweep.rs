@@ -19,7 +19,11 @@ use rex_workload::synthetic::{generate, DemandFamily, Placement, SynthConfig};
 
 fn main() {
     let iters = scaled(8_000) as u64;
-    let ks: Vec<usize> = if rex_bench::quick() { vec![0, 1, 2] } else { vec![0, 1, 2, 4, 6, 8] };
+    let ks: Vec<usize> = if rex_bench::quick() {
+        vec![0, 1, 2]
+    } else {
+        vec![0, 1, 2, 4, 6, 8]
+    };
 
     // Part 1: the locked construction.
     let pairs = rex_bench::scaled_fleet(24) / 2;
@@ -44,7 +48,13 @@ fn main() {
             if m.name == "SRA" || m.name == "random-walk" || m.name == "ffd-repack" {
                 continue;
             }
-            t1.row(vec![k.to_string(), m.name, f4(m.peak), pct(m.improvement), "—".into()]);
+            t1.row(vec![
+                k.to_string(),
+                m.name,
+                f4(m.peak),
+                pct(m.improvement),
+                "—".into(),
+            ]);
         }
     }
     t1.print("E3a / Figure 3 — swap-locked fleet: improvement unlocks at k = 1");

@@ -30,8 +30,16 @@ fn main() {
     for entry in standard_suite(machines, machines / 8, shards, 0.8) {
         // Accumulate per-method across seeds.
         #[allow(clippy::type_complexity)] // one-off accumulator row
-        let mut acc: Vec<(String, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, bool)> =
-            Vec::new();
+        let mut acc: Vec<(
+            String,
+            Vec<f64>,
+            Vec<f64>,
+            Vec<f64>,
+            Vec<f64>,
+            Vec<f64>,
+            Vec<f64>,
+            bool,
+        )> = Vec::new();
         for &seed in &seeds {
             let inst = (entry.generate)(seed);
             for m in run_all_methods(&inst, iters, seed) {

@@ -34,7 +34,11 @@ fn run_policy(
     threshold: Option<f64>,
 ) -> PolicyOutcome {
     let mut inst = base.clone();
-    let mut out = PolicyOutcome { peaks: Vec::new(), traffic: 0.0, rebalances: 0 };
+    let mut out = PolicyOutcome {
+        peaks: Vec::new(),
+        traffic: 0.0,
+        rebalances: 0,
+    };
     for epoch in 0..epochs {
         let pre_peak = Assignment::from_initial(&inst).peak_load(&inst);
         let should_run = threshold.is_none_or(|t| pre_peak > t);
@@ -42,7 +46,10 @@ fn run_policy(
             let cfg = SraConfig {
                 iters,
                 seed: 1000 + epoch as u64,
-                objective: Objective { kind: ObjectiveKind::PeakLoad, lambda },
+                objective: Objective {
+                    kind: ObjectiveKind::PeakLoad,
+                    lambda,
+                },
                 ..Default::default()
             };
             let res = solve(&inst, &cfg).expect("solve");
@@ -60,7 +67,10 @@ fn run_policy(
         let (next, _) = next_epoch(
             &inst,
             &placement,
-            &DriftConfig { sigma: 0.25, target_utilization: 0.78 },
+            &DriftConfig {
+                sigma: 0.25,
+                target_utilization: 0.78,
+            },
             42 + epoch as u64,
         )
         .expect("drift");
@@ -109,7 +119,9 @@ fn main() {
         ]);
     }
 
-    t.print(&format!("E12 — {epochs} epochs of traffic drift under three operating policies"));
+    t.print(&format!(
+        "E12 — {epochs} epochs of traffic drift under three operating policies"
+    ));
     println!("\nAll policies see the identical drift sequence; they differ only in when/how they rebalance.");
     println!("Expected shape: eager holds the best balance at the highest churn; move-averse cuts traffic sharply for a small balance cost; threshold rides near the alarm line with the least frequent (but then large) migrations.");
 }

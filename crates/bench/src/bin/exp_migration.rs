@@ -14,7 +14,11 @@ fn main() {
     let machines = rex_bench::scaled_fleet(24);
     let shards = scaled(240);
     let iters = scaled(8_000) as u64;
-    let ks: Vec<usize> = if rex_bench::quick() { vec![0, 2] } else { vec![0, 1, 2, 4, 6, 8] };
+    let ks: Vec<usize> = if rex_bench::quick() {
+        vec![0, 2]
+    } else {
+        vec![0, 1, 2, 4, 6, 8]
+    };
 
     let mut t = Table::new(&[
         "k (exchange)",
@@ -28,7 +32,10 @@ fn main() {
         "serial (s)",
     ]);
     // One traffic unit per second per NIC, 2 s of coordination per batch.
-    let tl_cfg = TimelineConfig { machine_bandwidth: 1.0, batch_overhead_secs: 2.0 };
+    let tl_cfg = TimelineConfig {
+        machine_bandwidth: 1.0,
+        batch_overhead_secs: 2.0,
+    };
 
     for &k in &ks {
         let inst = generate(&SynthConfig {
@@ -42,8 +49,14 @@ fn main() {
             ..Default::default()
         })
         .expect("generate");
-        let res = solve(&inst, &SraConfig { seed: 13, ..rex_bench::sra_cfg(iters, 13) })
-            .expect("solve");
+        let res = solve(
+            &inst,
+            &SraConfig {
+                seed: 13,
+                ..rex_bench::sra_cfg(iters, 13)
+            },
+        )
+        .expect("solve");
         let tl = time_plan(&inst, &res.plan, &tl_cfg);
         t.row(vec![
             k.to_string(),

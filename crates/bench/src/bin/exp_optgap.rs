@@ -5,9 +5,9 @@
 //! the proven optimum, SRA's result, and the gaps.
 
 use rex_bench::{f4, pct, scaled, Table};
-use rex_core::{solve, SraConfig};
 use rex_cluster::Objective;
 use rex_cluster::{plan_migration, PlannerConfig};
+use rex_core::{solve, SraConfig};
 use rex_solver::{branch_and_bound, peak_lower_bound, ExactConfig};
 use rex_workload::synthetic::{generate, DemandFamily, Placement, SynthConfig};
 
@@ -49,7 +49,11 @@ fn main() {
         let lb = peak_lower_bound(&inst);
         let exact = branch_and_bound(
             &inst,
-            &ExactConfig { max_nodes: 20_000_000, lambda: 0.0, ..Default::default() },
+            &ExactConfig {
+                max_nodes: 20_000_000,
+                lambda: 0.0,
+                ..Default::default()
+            },
         )
         .expect("exact");
         let sra = solve(
@@ -67,15 +71,27 @@ fn main() {
         // The IP (like the paper's) optimizes the *target*; the optimum may
         // be unreachable by any transient-feasible schedule — SRA's gap on
         // such rows is the price of deliverability, not a search miss.
-        let deliverable =
-            plan_migration(&inst, &inst.initial, &exact.placement, &PlannerConfig::default())
-                .is_ok();
+        let deliverable = plan_migration(
+            &inst,
+            &inst.initial,
+            &exact.placement,
+            &PlannerConfig::default(),
+        )
+        .is_ok();
         t.row(vec![
             format!("m={m},x={x},s={s}"),
             f4(lb),
             f4(exact.peak),
-            if exact.proven_optimal { "yes".into() } else { "no".into() },
-            if deliverable { "yes".into() } else { "NO".into() },
+            if exact.proven_optimal {
+                "yes".into()
+            } else {
+                "no".into()
+            },
+            if deliverable {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
             f4(sra.final_report.peak),
             pct(gap),
             exact.nodes.to_string(),
@@ -83,6 +99,8 @@ fn main() {
     }
 
     t.print("E7 / Table 4 — SRA vs exact optimum on tiny instances");
-    println!("\nExpected shape: SRA within a few percent of the proven optimum on deliverable rows.");
+    println!(
+        "\nExpected shape: SRA within a few percent of the proven optimum on deliverable rows."
+    );
     println!("Note: the exact solver optimizes the target placement (the IP's scope); SRA additionally guarantees a verified migration schedule, so on rows whose optimum is NOT deliverable, SRA's \"gap\" is the price of transient feasibility, not a search miss.");
 }

@@ -10,8 +10,8 @@
 //! * SRA with narrow batches (gentlest),
 //! * the greedy baseline's one-move-at-a-time schedule.
 
-use rex_bench::{f2, scaled, Table};
 use rex_baselines::{GreedyRebalancer, Rebalancer};
+use rex_bench::{f2, scaled, Table};
 use rex_cluster::migration::timeline::{time_plan, TimelineConfig};
 use rex_cluster::{plan_migration, PlannerConfig};
 use rex_core::solve;
@@ -33,7 +33,10 @@ fn main() {
     .expect("generate");
     let iters = scaled(8_000) as u64;
     let qos_cfg = QosConfig::default();
-    let tl_cfg = TimelineConfig { machine_bandwidth: 1.0, batch_overhead_secs: 2.0 };
+    let tl_cfg = TimelineConfig {
+        machine_bandwidth: 1.0,
+        batch_overhead_secs: 2.0,
+    };
 
     let mut t = Table::new(&[
         "schedule",
@@ -48,8 +51,14 @@ fn main() {
 
     // SRA target, rescheduled under different batch caps.
     let res = solve(&inst, &rex_bench::sra_cfg(iters, 37)).expect("solve");
-    for (name, cap) in [("SRA (wide batches)", 0usize), ("SRA (single-move batches)", 1)] {
-        let cfg = PlannerConfig { max_batch_moves: cap, ..Default::default() };
+    for (name, cap) in [
+        ("SRA (wide batches)", 0usize),
+        ("SRA (single-move batches)", 1),
+    ] {
+        let cfg = PlannerConfig {
+            max_batch_moves: cap,
+            ..Default::default()
+        };
         let plan = plan_migration(&inst, &inst.initial, res.assignment.placement(), &cfg)
             .expect("SRA's target stays plannable under a narrower batch cap");
         let q = qos_of_plan(&inst, &plan, &qos_cfg);
@@ -67,7 +76,9 @@ fn main() {
     }
 
     // Greedy's own (single-move) schedule toward its own, weaker target.
-    let g = GreedyRebalancer::default().rebalance(&inst).expect("greedy");
+    let g = GreedyRebalancer::default()
+        .rebalance(&inst)
+        .expect("greedy");
     if let Some(plan) = &g.plan {
         let q = qos_of_plan(&inst, plan, &qos_cfg);
         let tl = time_plan(&inst, plan, &tl_cfg);

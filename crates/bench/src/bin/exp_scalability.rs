@@ -46,7 +46,10 @@ fn main() {
         for workers in [1usize, 4] {
             let res = solve(
                 &inst,
-                &SraConfig { workers, ..rex_bench::sra_cfg(iters, 17) },
+                &SraConfig {
+                    workers,
+                    ..rex_bench::sra_cfg(iters, 17)
+                },
             )
             .expect("solve");
             let secs = res.elapsed.as_secs_f64();

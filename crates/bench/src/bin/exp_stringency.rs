@@ -12,8 +12,11 @@ fn main() {
     let machines = rex_bench::scaled_fleet(24);
     let shards = scaled(240);
     let iters = scaled(8_000) as u64;
-    let utils: Vec<f64> =
-        if rex_bench::quick() { vec![0.6, 0.9] } else { vec![0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95] };
+    let utils: Vec<f64> = if rex_bench::quick() {
+        vec![0.6, 0.9]
+    } else {
+        vec![0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95]
+    };
 
     let mut t = Table::new(&[
         "utilization",
@@ -47,7 +50,11 @@ fn main() {
                 f4(m.peak),
                 pct(m.improvement),
                 m.moves.to_string(),
-                if m.schedulable { "yes".into() } else { "NO".into() },
+                if m.schedulable {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
         }
     }

@@ -14,7 +14,9 @@ use std::fmt::Write as _;
 
 /// True when quick (smoke) mode is requested via `REX_QUICK=1`.
 pub fn quick() -> bool {
-    std::env::var("REX_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("REX_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Scales an iteration/size knob down in quick mode.
@@ -46,7 +48,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header count).
@@ -59,7 +64,15 @@ impl Table {
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "| {} |", self.headers.join(" | "));
-        let _ = writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
         for r in &self.rows {
             let _ = writeln!(out, "| {} |", r.join(" | "));
         }
@@ -152,10 +165,16 @@ pub fn run_all_methods(inst: &Instance, sra_iters: u64, seed: u64) -> Vec<Method
         Box::new(GreedyRebalancer::default()),
         Box::new(LocalSearchRebalancer::default()),
         Box::new(FfdRepacker::default()),
-        Box::new(RandomWalkRebalancer { moves: 200, seed, ..Default::default() }),
+        Box::new(RandomWalkRebalancer {
+            moves: 200,
+            seed,
+            ..Default::default()
+        }),
     ];
     for b in baselines {
-        let r = b.rebalance(inst).expect("baselines must run on valid instances");
+        let r = b
+            .rebalance(inst)
+            .expect("baselines must run on valid instances");
         out.push(MethodOutcome {
             name: b.name().into(),
             peak: r.final_report.peak,
@@ -210,9 +229,17 @@ mod tests {
         .unwrap();
         let rows = run_all_methods(&inst, 300, 1);
         let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
-        assert_eq!(names, vec!["SRA", "greedy", "local-search", "ffd-repack", "random-walk"]);
+        assert_eq!(
+            names,
+            vec!["SRA", "greedy", "local-search", "ffd-repack", "random-walk"]
+        );
         for r in &rows {
-            assert!(r.peak > 0.0 && r.peak <= 1.0 + 1e-9, "{}: peak {}", r.name, r.peak);
+            assert!(
+                r.peak > 0.0 && r.peak <= 1.0 + 1e-9,
+                "{}: peak {}",
+                r.name,
+                r.peak
+            );
         }
     }
 

@@ -23,6 +23,83 @@ use crate::shard::ShardId;
 /// placement entry holds this sentinel. Complete solutions never contain it.
 pub const DETACHED: MachineId = MachineId(u32::MAX);
 
+/// An undo log over [`Assignment`] edits.
+///
+/// The in-place LNS hot loop destroys and repairs **one** working
+/// assignment instead of cloning a candidate every iteration. Each
+/// [`Assignment::detach_shard_logged`] / [`Assignment::attach_shard_logged`]
+/// call records enough state here that [`Assignment::revert`] can undo the
+/// whole burst of edits; [`UndoLog::commit`] instead makes the edits the
+/// new baseline. All buffers are reused across bursts, so a
+/// destroy→repair→revert cycle performs no allocations in steady state.
+///
+/// Reverts are **bit-exact**: along with the move list, the log snapshots
+/// each touched machine's usage vector on first touch and restores it
+/// verbatim. Replaying inverse arithmetic would not be exact — f64
+/// addition does not cancel (`(u - d) + d ≠ u` in general) — and the
+/// search relies on a rejected candidate leaving the incumbent truly
+/// untouched.
+#[derive(Clone, Debug, Default)]
+pub struct UndoLog {
+    /// Edits in application order: the shard and the machine it was on
+    /// *before* the edit ([`DETACHED`] for attaches).
+    moves: Vec<(ShardId, MachineId)>,
+    /// First-touch usage snapshots of machines modified this burst.
+    snapshots: Vec<(MachineId, ResourceVec)>,
+    /// `stamp[m] == epoch` ⇔ machine `m` is already snapshotted this burst.
+    stamp: Vec<u64>,
+    /// Current burst number (starts at 1 so a zeroed stamp means never
+    /// touched).
+    epoch: u64,
+}
+
+impl UndoLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self {
+            moves: Vec::new(),
+            snapshots: Vec::new(),
+            stamp: Vec::new(),
+            epoch: 1,
+        }
+    }
+
+    /// True when no edits have been recorded since the last commit/revert.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// Number of edits recorded since the last commit/revert.
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Machines touched by the edits of the current burst (each reported
+    /// once, in first-touch order).
+    pub fn touched_machines(&self) -> impl Iterator<Item = MachineId> + '_ {
+        self.snapshots.iter().map(|&(m, _)| m)
+    }
+
+    /// Forgets all recorded edits, making the assignment's current state
+    /// the new baseline. O(#edits), no deallocation.
+    pub fn commit(&mut self) {
+        self.moves.clear();
+        self.snapshots.clear();
+        self.epoch += 1;
+    }
+
+    fn snapshot(&mut self, m: MachineId, usage: &ResourceVec) {
+        let i = m.idx();
+        if self.stamp.len() <= i {
+            self.stamp.resize(i + 1, 0);
+        }
+        if self.stamp[i] != self.epoch {
+            self.stamp[i] = self.epoch;
+            self.snapshots.push((m, *usage));
+        }
+    }
+}
+
 /// A placement of every shard onto a machine, with derived per-machine state.
 #[derive(Clone, Debug)]
 pub struct Assignment {
@@ -47,7 +124,10 @@ impl Assignment {
     /// its shape (length and machine ids). Capacity feasibility is *not*
     /// checked here — algorithms routinely pass through transiently
     /// infeasible states; use [`Assignment::check_target`] for full checks.
-    pub fn from_placement(inst: &Instance, placement: Vec<MachineId>) -> Result<Self, ClusterError> {
+    pub fn from_placement(
+        inst: &Instance,
+        placement: Vec<MachineId>,
+    ) -> Result<Self, ClusterError> {
         if placement.len() != inst.n_shards() {
             return Err(ClusterError::BadPlacementLength {
                 expected: inst.n_shards(),
@@ -56,7 +136,10 @@ impl Assignment {
         }
         for (i, &m) in placement.iter().enumerate() {
             if m.idx() >= inst.n_machines() {
-                return Err(ClusterError::UnknownMachine { shard: ShardId::from(i), machine: m });
+                return Err(ClusterError::UnknownMachine {
+                    shard: ShardId::from(i),
+                    machine: m,
+                });
             }
         }
         Ok(Self::from_placement_unchecked(inst, placement))
@@ -72,7 +155,12 @@ impl Assignment {
             pos[i] = shards_on[m.idx()].len() as u32;
             shards_on[m.idx()].push(sid);
         }
-        Self { placement, usage, shards_on, pos }
+        Self {
+            placement,
+            usage,
+            shards_on,
+            pos,
+        }
     }
 
     /// The machine currently hosting shard `s`.
@@ -128,7 +216,10 @@ impl Assignment {
     /// machine it already occupies is a no-op.
     pub fn move_shard(&mut self, inst: &Instance, s: ShardId, to: MachineId) -> MachineId {
         let from = self.placement[s.idx()];
-        assert_ne!(from, DETACHED, "cannot move detached shard {s}; use attach_shard");
+        assert_ne!(
+            from, DETACHED,
+            "cannot move detached shard {s}; use attach_shard"
+        );
         if from == to {
             return from;
         }
@@ -184,12 +275,70 @@ impl Assignment {
     /// # Panics
     /// If the shard is not currently detached.
     pub fn attach_shard(&mut self, inst: &Instance, s: ShardId, to: MachineId) {
-        assert_eq!(self.placement[s.idx()], DETACHED, "shard {s} is not detached");
+        assert_eq!(
+            self.placement[s.idx()],
+            DETACHED,
+            "shard {s} is not detached"
+        );
         debug_assert!(to.idx() < inst.n_machines());
         self.pos[s.idx()] = self.shards_on[to.idx()].len() as u32;
         self.shards_on[to.idx()].push(s);
         self.usage[to.idx()] += &inst.shards[s.idx()].demand;
         self.placement[s.idx()] = to;
+    }
+
+    /// [`Assignment::detach_shard`], recording the edit in `log` so
+    /// [`Assignment::revert`] can undo it.
+    pub fn detach_shard_logged(
+        &mut self,
+        inst: &Instance,
+        s: ShardId,
+        log: &mut UndoLog,
+    ) -> MachineId {
+        let from = self.placement[s.idx()];
+        assert_ne!(from, DETACHED, "shard {s} is already detached");
+        log.snapshot(from, &self.usage[from.idx()]);
+        log.moves.push((s, from));
+        self.detach_shard(inst, s)
+    }
+
+    /// [`Assignment::attach_shard`], recording the edit in `log` so
+    /// [`Assignment::revert`] can undo it.
+    pub fn attach_shard_logged(
+        &mut self,
+        inst: &Instance,
+        s: ShardId,
+        to: MachineId,
+        log: &mut UndoLog,
+    ) {
+        assert_eq!(
+            self.placement[s.idx()],
+            DETACHED,
+            "shard {s} is not detached"
+        );
+        log.snapshot(to, &self.usage[to.idx()]);
+        log.moves.push((s, DETACHED));
+        self.attach_shard(inst, s, to);
+    }
+
+    /// Undoes every edit recorded in `log` since its last commit, leaving
+    /// the assignment **bit-identical** to its state at that point
+    /// (placement, shard lists, position index, and cached usage vectors —
+    /// usage is restored from the log's first-touch snapshots rather than
+    /// recomputed). Shard-list *order* on touched machines may differ; the
+    /// lists are documented as unordered. The log is left empty.
+    pub fn revert(&mut self, inst: &Instance, log: &mut UndoLog) {
+        while let Some((s, prev)) = log.moves.pop() {
+            if prev == DETACHED {
+                self.detach_shard(inst, s); // the edit was an attach
+            } else {
+                self.attach_shard(inst, s, prev); // the edit was a detach
+            }
+        }
+        for (m, u) in log.snapshots.drain(..) {
+            self.usage[m.idx()] = u;
+        }
+        log.epoch += 1;
     }
 
     /// True if shard `s` is currently detached.
@@ -270,7 +419,11 @@ impl Assignment {
 
     /// Number of shards placed differently from a reference placement.
     pub fn moved_count(&self, reference: &[MachineId]) -> usize {
-        self.placement.iter().zip(reference).filter(|(a, b)| a != b).count()
+        self.placement
+            .iter()
+            .zip(reference)
+            .filter(|(a, b)| a != b)
+            .count()
     }
 
     /// Full target-feasibility check: capacity on every machine and at
@@ -283,7 +436,10 @@ impl Assignment {
         }
         let vacant = self.vacant_count();
         if vacant < inst.k_return {
-            return Err(ClusterError::VacancyShortfall { required: inst.k_return, found: vacant });
+            return Err(ClusterError::VacancyShortfall {
+                required: inst.k_return,
+                found: vacant,
+            });
         }
         Ok(())
     }
@@ -316,8 +472,11 @@ impl Assignment {
                 ));
             }
             let count: usize = self.shards_on[i].len();
-            let expect =
-                self.placement.iter().filter(|&&m| m != DETACHED && m.idx() == i).count();
+            let expect = self
+                .placement
+                .iter()
+                .filter(|&&m| m != DETACHED && m.idx() == i)
+                .count();
             if count != expect {
                 return Err(format!("shard list length mismatch on machine {i}"));
             }
@@ -427,7 +586,10 @@ mod tests {
         a.move_shard(&inst, ShardId(0), MachineId(2));
         assert!(matches!(
             a.check_target(&inst),
-            Err(ClusterError::VacancyShortfall { required: 1, found: 0 })
+            Err(ClusterError::VacancyShortfall {
+                required: 1,
+                found: 0
+            })
         ));
         // Vacate m1 to restore the quota.
         a.move_shard(&inst, ShardId(2), MachineId(0));
@@ -498,6 +660,94 @@ mod tests {
         a.detach_shard(&inst, ShardId(2));
         assert!(a.is_vacant(MachineId(1)));
         assert_eq!(a.vacant_count(), 2);
+    }
+
+    #[test]
+    fn undo_log_revert_is_bit_exact() {
+        let inst = tiny();
+        let mut a = Assignment::from_initial(&inst);
+        let before_placement = a.placement().to_vec();
+        let before_usage: Vec<ResourceVec> = (0..inst.n_machines())
+            .map(|m| *a.usage(MachineId::from(m)))
+            .collect();
+
+        let mut log = UndoLog::new();
+        a.detach_shard_logged(&inst, ShardId(0), &mut log);
+        a.detach_shard_logged(&inst, ShardId(2), &mut log);
+        a.attach_shard_logged(&inst, ShardId(0), MachineId(2), &mut log);
+        a.attach_shard_logged(&inst, ShardId(2), MachineId(0), &mut log);
+        assert_eq!(log.len(), 4);
+        assert!(!log.is_empty());
+        let touched: Vec<MachineId> = log.touched_machines().collect();
+        assert_eq!(touched, vec![MachineId(0), MachineId(1), MachineId(2)]);
+
+        a.revert(&inst, &mut log);
+        assert!(log.is_empty());
+        assert_eq!(a.placement(), &before_placement[..]);
+        for (m, before) in before_usage.iter().enumerate() {
+            // Bit-exact, not approximate: the snapshots were restored.
+            assert_eq!(
+                a.usage(MachineId::from(m)).as_slice(),
+                before.as_slice(),
+                "usage differs on machine {m}"
+            );
+        }
+        a.validate_consistency(&inst).unwrap();
+    }
+
+    #[test]
+    fn undo_log_commit_keeps_edits() {
+        let inst = tiny();
+        let mut a = Assignment::from_initial(&inst);
+        let mut log = UndoLog::new();
+        a.detach_shard_logged(&inst, ShardId(0), &mut log);
+        a.attach_shard_logged(&inst, ShardId(0), MachineId(2), &mut log);
+        log.commit();
+        assert!(log.is_empty());
+        assert_eq!(a.machine_of(ShardId(0)), MachineId(2));
+        // A revert after the commit must be a no-op.
+        a.revert(&inst, &mut log);
+        assert_eq!(a.machine_of(ShardId(0)), MachineId(2));
+        a.validate_consistency(&inst).unwrap();
+    }
+
+    #[test]
+    fn undo_log_survives_many_random_bursts() {
+        use rand::prelude::*;
+        let inst = tiny();
+        let mut a = Assignment::from_initial(&inst);
+        let mut log = UndoLog::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for burst in 0..200 {
+            let before_placement = a.placement().to_vec();
+            let before_usage: Vec<ResourceVec> = (0..inst.n_machines())
+                .map(|m| *a.usage(MachineId::from(m)))
+                .collect();
+            // Detach a random subset, re-attach everywhere.
+            let k = rng.random_range(1..=inst.n_shards());
+            let picks = rand::seq::index::sample(&mut rng, inst.n_shards(), k);
+            for i in &picks {
+                a.detach_shard_logged(&inst, ShardId::from(*i), &mut log);
+            }
+            for i in &picks {
+                let m = MachineId::from(rng.random_range(0..inst.n_machines()));
+                a.attach_shard_logged(&inst, ShardId::from(*i), m, &mut log);
+            }
+            if burst % 2 == 0 {
+                a.revert(&inst, &mut log);
+                assert_eq!(a.placement(), &before_placement[..], "burst {burst}");
+                for (m, before) in before_usage.iter().enumerate() {
+                    assert_eq!(
+                        a.usage(MachineId::from(m)).as_slice(),
+                        before.as_slice(),
+                        "burst {burst}, machine {m}"
+                    );
+                }
+            } else {
+                log.commit();
+            }
+            a.validate_consistency(&inst).unwrap();
+        }
     }
 
     #[test]

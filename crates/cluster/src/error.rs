@@ -9,7 +9,11 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq)]
 pub enum ClusterError {
     /// The instance has inconsistent dimensionalities.
-    DimensionMismatch { expected: usize, found: usize, what: &'static str },
+    DimensionMismatch {
+        expected: usize,
+        found: usize,
+        what: &'static str,
+    },
     /// A machine's `id` field does not match its index.
     BadMachineId { index: usize, id: MachineId },
     /// A shard's `id` field does not match its index.
@@ -50,7 +54,11 @@ impl fmt::Display for ClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         use ClusterError::*;
         match self {
-            DimensionMismatch { expected, found, what } => {
+            DimensionMismatch {
+                expected,
+                found,
+                what,
+            } => {
                 write!(f, "{what}: expected {expected} dims, found {found}")
             }
             BadMachineId { index, id } => write!(f, "machine at index {index} has id {id}"),
@@ -59,7 +67,10 @@ impl fmt::Display for ClusterError {
                 write!(f, "shard {shard} placed on unknown machine {machine}")
             }
             ShardOnExchangeMachine { shard, machine } => {
-                write!(f, "shard {shard} initially placed on exchange machine {machine}")
+                write!(
+                    f,
+                    "shard {shard} initially placed on exchange machine {machine}"
+                )
             }
             InitialOverload { machine } => {
                 write!(f, "initial placement overloads machine {machine}")
@@ -68,23 +79,38 @@ impl fmt::Display for ClusterError {
                 write!(f, "k_return={k_return} exceeds machine count {machines}")
             }
             InsufficientVacancy { k_return, vacant } => {
-                write!(f, "need {k_return} vacant machines initially, found {vacant}")
+                write!(
+                    f,
+                    "need {k_return} vacant machines initially, found {vacant}"
+                )
             }
             BadPlacementLength { expected, found } => {
-                write!(f, "placement has {found} entries, instance has {expected} shards")
+                write!(
+                    f,
+                    "placement has {found} entries, instance has {expected} shards"
+                )
             }
             VacancyShortfall { required, found } => {
-                write!(f, "target leaves {found} machines vacant, {required} must be returned")
+                write!(
+                    f,
+                    "target leaves {found} machines vacant, {required} must be returned"
+                )
             }
             TargetOverload { machine } => write!(f, "target placement overloads {machine}"),
             PlanningDeadlock { remaining_moves } => {
-                write!(f, "migration planning deadlocked with {remaining_moves} moves pending")
+                write!(
+                    f,
+                    "migration planning deadlocked with {remaining_moves} moves pending"
+                )
             }
             TransientViolation { batch, machine } => {
                 write!(f, "batch {batch} transiently overloads machine {machine}")
             }
             InconsistentMove { batch, shard } => {
-                write!(f, "batch {batch} moves shard {shard} from a machine it is not on")
+                write!(
+                    f,
+                    "batch {batch} moves shard {shard} from a machine it is not on"
+                )
             }
             WrongFinalPlacement { shard } => {
                 write!(f, "schedule leaves shard {shard} off its target machine")
@@ -104,7 +130,10 @@ mod tests {
     fn display_is_informative() {
         let e = ClusterError::PlanningDeadlock { remaining_moves: 3 };
         assert!(e.to_string().contains("3 moves pending"));
-        let e = ClusterError::TransientViolation { batch: 2, machine: MachineId(4) };
+        let e = ClusterError::TransientViolation {
+            batch: 2,
+            machine: MachineId(4),
+        };
         assert!(e.to_string().contains("batch 2"));
         assert!(e.to_string().contains("m4"));
     }

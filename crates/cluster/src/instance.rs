@@ -51,7 +51,11 @@ impl Instance {
 
     /// Identifiers of the borrowed exchange machines.
     pub fn exchange_machines(&self) -> Vec<MachineId> {
-        self.machines.iter().filter(|m| m.exchange).map(|m| m.id).collect()
+        self.machines
+            .iter()
+            .filter(|m| m.exchange)
+            .map(|m| m.id)
+            .collect()
     }
 
     /// Number of borrowed exchange machines.
@@ -144,10 +148,16 @@ impl Instance {
         for (i, &m) in self.initial.iter().enumerate() {
             let sid = ShardId::from(i);
             if m.idx() >= self.machines.len() {
-                return Err(ClusterError::UnknownMachine { shard: sid, machine: m });
+                return Err(ClusterError::UnknownMachine {
+                    shard: sid,
+                    machine: m,
+                });
             }
             if self.machines[m.idx()].exchange {
-                return Err(ClusterError::ShardOnExchangeMachine { shard: sid, machine: m });
+                return Err(ClusterError::ShardOnExchangeMachine {
+                    shard: sid,
+                    machine: m,
+                });
             }
             usage[m.idx()] += &self.shards[i].demand;
         }
@@ -158,7 +168,10 @@ impl Instance {
         }
         let vacant = usage.iter().filter(|u| u.is_zero()).count();
         if vacant < self.k_return {
-            return Err(ClusterError::InsufficientVacancy { k_return: self.k_return, vacant });
+            return Err(ClusterError::InsufficientVacancy {
+                k_return: self.k_return,
+                vacant,
+            });
         }
         Ok(())
     }
@@ -180,7 +193,12 @@ pub struct InstanceBuilder {
 impl InstanceBuilder {
     /// Starts a builder for instances with `dims` resource dimensions.
     pub fn new(dims: usize) -> Self {
-        Self { dims, alpha: 0.0, label: String::from("unnamed"), ..Default::default() }
+        Self {
+            dims,
+            alpha: 0.0,
+            label: String::from("unnamed"),
+            ..Default::default()
+        }
     }
 
     /// Sets the human-readable label.
@@ -205,21 +223,24 @@ impl InstanceBuilder {
     /// Adds an ordinary machine; returns its id.
     pub fn machine(&mut self, capacity: &[f64]) -> MachineId {
         let id = MachineId::from(self.machines.len());
-        self.machines.push(Machine::new(id, ResourceVec::from_slice(capacity)));
+        self.machines
+            .push(Machine::new(id, ResourceVec::from_slice(capacity)));
         id
     }
 
     /// Adds a borrowed exchange machine; returns its id.
     pub fn exchange_machine(&mut self, capacity: &[f64]) -> MachineId {
         let id = MachineId::from(self.machines.len());
-        self.machines.push(Machine::exchange(id, ResourceVec::from_slice(capacity)));
+        self.machines
+            .push(Machine::exchange(id, ResourceVec::from_slice(capacity)));
         id
     }
 
     /// Adds a shard initially placed on `on`; returns its id.
     pub fn shard(&mut self, demand: &[f64], move_cost: f64, on: MachineId) -> ShardId {
         let id = ShardId::from(self.shards.len());
-        self.shards.push(Shard::new(id, ResourceVec::from_slice(demand), move_cost));
+        self.shards
+            .push(Shard::new(id, ResourceVec::from_slice(demand), move_cost));
         self.initial.push(on);
         id
     }
@@ -282,7 +303,10 @@ mod tests {
         let mut b = InstanceBuilder::new(1);
         let x = b.exchange_machine(&[10.0]);
         b.shard(&[1.0], 1.0, x);
-        assert!(matches!(b.build(), Err(ClusterError::ShardOnExchangeMachine { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(ClusterError::ShardOnExchangeMachine { .. })
+        ));
     }
 
     #[test]
@@ -290,7 +314,10 @@ mod tests {
         let mut b = InstanceBuilder::new(1);
         let m = b.machine(&[1.0]);
         b.shard(&[2.0], 1.0, m);
-        assert!(matches!(b.build(), Err(ClusterError::InitialOverload { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(ClusterError::InitialOverload { .. })
+        ));
     }
 
     #[test]
@@ -298,7 +325,10 @@ mod tests {
         let mut b = InstanceBuilder::new(1);
         let _ = b.machine(&[1.0]);
         b.shard(&[0.5], 1.0, MachineId(9));
-        assert!(matches!(b.build(), Err(ClusterError::UnknownMachine { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(ClusterError::UnknownMachine { .. })
+        ));
     }
 
     #[test]
@@ -306,7 +336,10 @@ mod tests {
         let mut b = InstanceBuilder::new(1).k_return(1);
         let m = b.machine(&[1.0]);
         b.shard(&[0.5], 1.0, m);
-        assert!(matches!(b.build(), Err(ClusterError::InsufficientVacancy { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(ClusterError::InsufficientVacancy { .. })
+        ));
     }
 
     #[test]
@@ -321,7 +354,10 @@ mod tests {
     fn rejects_dim_mismatch() {
         let mut inst = tiny();
         inst.machines[0].capacity = ResourceVec::from_slice(&[1.0]);
-        assert!(matches!(inst.validate(), Err(ClusterError::DimensionMismatch { .. })));
+        assert!(matches!(
+            inst.validate(),
+            Err(ClusterError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod objective;
 pub mod resources;
 pub mod shard;
 
-pub use assignment::Assignment;
+pub use assignment::{Assignment, UndoLog};
 pub use error::ClusterError;
 pub use instance::{Instance, InstanceBuilder};
 pub use machine::{Machine, MachineId};

@@ -51,12 +51,20 @@ pub struct Machine {
 impl Machine {
     /// Creates an ordinary (non-exchange) machine.
     pub fn new(id: impl Into<MachineId>, capacity: ResourceVec) -> Self {
-        Self { id: id.into(), capacity, exchange: false }
+        Self {
+            id: id.into(),
+            capacity,
+            exchange: false,
+        }
     }
 
     /// Creates a borrowed exchange machine (initially vacant).
     pub fn exchange(id: impl Into<MachineId>, capacity: ResourceVec) -> Self {
-        Self { id: id.into(), capacity, exchange: true }
+        Self {
+            id: id.into(),
+            capacity,
+            exchange: true,
+        }
     }
 }
 

@@ -46,9 +46,21 @@ impl BalanceReport {
         let var = (sumsq / n - mean * mean).max(0.0);
         let peak = loads.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let min = loads.iter().cloned().fold(f64::INFINITY, f64::min);
-        let jain = if sumsq > 0.0 { sum * sum / (n * sumsq) } else { 1.0 };
+        let jain = if sumsq > 0.0 {
+            sum * sum / (n * sumsq)
+        } else {
+            1.0
+        };
         let imbalance = if mean > 0.0 { peak / mean } else { 1.0 };
-        Self { peak, min, mean, stddev: var.sqrt(), jain, imbalance, n_machines: loads.len() }
+        Self {
+            peak,
+            min,
+            mean,
+            stddev: var.sqrt(),
+            jain,
+            imbalance,
+            n_machines: loads.len(),
+        }
     }
 
     /// Relative improvement of `self` over `other` in peak load
@@ -186,9 +198,21 @@ mod tests {
         let inst = b.build().unwrap();
         let plan = MigrationPlan {
             batches: vec![
-                vec![Move { shard: ShardId(0), from: MachineId(0), to: MachineId(2) }],
-                vec![Move { shard: ShardId(1), from: MachineId(0), to: MachineId(1) }],
-                vec![Move { shard: ShardId(0), from: MachineId(2), to: MachineId(1) }],
+                vec![Move {
+                    shard: ShardId(0),
+                    from: MachineId(0),
+                    to: MachineId(2),
+                }],
+                vec![Move {
+                    shard: ShardId(1),
+                    from: MachineId(0),
+                    to: MachineId(1),
+                }],
+                vec![Move {
+                    shard: ShardId(0),
+                    from: MachineId(2),
+                    to: MachineId(1),
+                }],
             ],
         };
         let s = MigrationStats::compute(&inst, &plan);

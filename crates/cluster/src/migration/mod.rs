@@ -117,10 +117,22 @@ mod tests {
 
         let plan = MigrationPlan {
             batches: vec![
-                vec![Move { shard: ShardId(0), from: m0, to: m1 }],
+                vec![Move {
+                    shard: ShardId(0),
+                    from: m0,
+                    to: m1,
+                }],
                 vec![
-                    Move { shard: ShardId(1), from: m0, to: m1 },
-                    Move { shard: ShardId(0), from: m1, to: m0 },
+                    Move {
+                        shard: ShardId(1),
+                        from: m0,
+                        to: m1,
+                    },
+                    Move {
+                        shard: ShardId(0),
+                        from: m1,
+                        to: m0,
+                    },
                 ],
             ],
         };

@@ -25,7 +25,10 @@ impl Default for PlannerConfig {
         // A source-blocked shard costs up to three moves (park a
         // co-resident, migrate, return), so stringent instances need a
         // budget well above the naive 1× diff size.
-        Self { max_batch_moves: 0, move_budget_factor: 6.0 }
+        Self {
+            max_batch_moves: 0,
+            move_budget_factor: 6.0,
+        }
     }
 }
 
@@ -75,7 +78,11 @@ pub fn plan_migration(
     // hardest to place, scheduling them early leaves the most flexibility.
     let mut pending: Vec<Pending> = (0..inst.n_shards())
         .filter(|&i| initial[i] != target[i])
-        .map(|i| Pending { shard: ShardId::from(i), target: target[i], is_return: false })
+        .map(|i| Pending {
+            shard: ShardId::from(i),
+            target: target[i],
+            is_return: false,
+        })
         .collect();
     pending.sort_by(|a, b| {
         let da = inst.shards[a.shard.idx()].demand.norm();
@@ -120,7 +127,11 @@ pub fn plan_migration(
                 executed += 1;
                 // The parked shard must end where the target says: back on
                 // the machine it came from (it was not part of the diff).
-                pending.push(Pending { shard: mv.shard, target: mv.from, is_return: true });
+                pending.push(Pending {
+                    shard: mv.shard,
+                    target: mv.from,
+                    is_return: true,
+                });
                 plan.batches.push(vec![mv]);
             } else if let Some(mv) = find_held_arrival(inst, &cur, &pending) {
                 // Every remaining blockage is a *hold* protecting a machine
@@ -133,23 +144,35 @@ pub fn plan_migration(
             } else {
                 // Debugging aid: REX_PLAN_TRACE=1 dumps why each pending
                 // move is blocked at the moment of the deadlock.
-                if std::env::var("REX_PLAN_TRACE").map(|v| v == "1").unwrap_or(false) {
+                if std::env::var("REX_PLAN_TRACE")
+                    .map(|v| v == "1")
+                    .unwrap_or(false)
+                {
                     trace_deadlock(inst, &cur, &pending);
                 }
-                return Err(ClusterError::PlanningDeadlock { remaining_moves: pending.len() });
+                return Err(ClusterError::PlanningDeadlock {
+                    remaining_moves: pending.len(),
+                });
             }
         }
         if executed > budget {
-            if std::env::var("REX_PLAN_TRACE").map(|v| v == "1").unwrap_or(false) {
+            if std::env::var("REX_PLAN_TRACE")
+                .map(|v| v == "1")
+                .unwrap_or(false)
+            {
                 eprintln!("--- planner move budget exhausted ({executed} > {budget}) ---");
                 for (i, b) in plan.batches.iter().enumerate().rev().take(12) {
-                    let s: Vec<String> =
-                        b.iter().map(|m| format!("{}:{}→{}", m.shard, m.from, m.to)).collect();
+                    let s: Vec<String> = b
+                        .iter()
+                        .map(|m| format!("{}:{}→{}", m.shard, m.from, m.to))
+                        .collect();
                     eprintln!("  batch {i}: {}", s.join(", "));
                 }
                 trace_deadlock(inst, &cur, &pending);
             }
-            return Err(ClusterError::PlanningDeadlock { remaining_moves: pending.len() });
+            return Err(ClusterError::PlanningDeadlock {
+                remaining_moves: pending.len(),
+            });
         }
     }
     Ok(plan)
@@ -209,7 +232,11 @@ fn collect_batch(
         if target_ok && source_ok {
             extra[t] += &inflight;
             extra[f] += &overhead;
-            batch.push(Move { shard: p.shard, from, to: p.target });
+            batch.push(Move {
+                shard: p.shard,
+                from,
+                to: p.target,
+            });
         }
     }
     batch
@@ -233,7 +260,10 @@ fn blocked_sources(inst: &Instance, cur: &Assignment, pending: &[Pending]) -> Ve
             continue;
         }
         let overhead = inst.shards[p.shard.idx()].demand.scaled(inst.alpha);
-        if !cur.usage(from).fits_after_add(&overhead, inst.capacity(from)) {
+        if !cur
+            .usage(from)
+            .fits_after_add(&overhead, inst.capacity(from))
+        {
             out[from.idx()] = true;
         }
     }
@@ -270,11 +300,17 @@ fn find_staging_move(
         // A move that fits but was held back (its target has blocked
         // departures) needs patience, not staging — staging it would
         // ping-pong the shard between intermediate hosts forever.
-        if cur.usage(p.target).fits_after_add(&inflight, inst.capacity(p.target)) {
+        if cur
+            .usage(p.target)
+            .fits_after_add(&inflight, inst.capacity(p.target))
+        {
             continue;
         }
         // Source must be able to bear the copy overhead at all.
-        if !cur.usage(from).fits_after_add(&overhead, inst.capacity(from)) {
+        if !cur
+            .usage(from)
+            .fits_after_add(&overhead, inst.capacity(from))
+        {
             continue;
         }
 
@@ -300,7 +336,11 @@ fn find_staging_move(
             }
         }
         if let Some((_, _, v)) = best {
-            return Some(Move { shard: p.shard, from, to: v });
+            return Some(Move {
+                shard: p.shard,
+                from,
+                to: v,
+            });
         }
     }
     None
@@ -334,7 +374,10 @@ fn find_source_freeing_move(
         let d = &inst.shards[p.shard.idx()].demand;
         let overhead = d.scaled(alpha);
         // Only source-blocked moves are candidates here.
-        if cur.usage(from).fits_after_add(&overhead, inst.capacity(from)) {
+        if cur
+            .usage(from)
+            .fits_after_add(&overhead, inst.capacity(from))
+        {
             continue;
         }
         // Co-resident shards that are not themselves pending (pending ones
@@ -348,7 +391,10 @@ fn find_source_freeing_move(
             let inflight = ds.scaled(1.0 + alpha);
             let s_overhead = ds.scaled(alpha);
             // Moving s itself must be transiently possible from this source.
-            if !cur.usage(from).fits_after_add(&s_overhead, inst.capacity(from)) {
+            if !cur
+                .usage(from)
+                .fits_after_add(&s_overhead, inst.capacity(from))
+            {
                 continue;
             }
             // Does parking s free enough for p's overhead?
@@ -378,7 +424,15 @@ fn find_source_freeing_move(
                 }
             }
             if let Some((_, _, v)) = host {
-                let key = (unblocks, ds.norm(), Move { shard: s, from, to: v });
+                let key = (
+                    unblocks,
+                    ds.norm(),
+                    Move {
+                        shard: s,
+                        from,
+                        to: v,
+                    },
+                );
                 let better = match &best {
                     None => true,
                     Some((bu, bn, _)) => (key.0, key.1) > (*bu, *bn),
@@ -410,12 +464,23 @@ fn find_held_arrival(inst: &Instance, cur: &Assignment, pending: &[Pending]) -> 
         let d = &inst.shards[p.shard.idx()].demand;
         let inflight = d.scaled(1.0 + alpha);
         let overhead = d.scaled(alpha);
-        if cur.usage(p.target).fits_after_add(&inflight, inst.capacity(p.target))
-            && cur.usage(from).fits_after_add(&overhead, inst.capacity(from))
+        if cur
+            .usage(p.target)
+            .fits_after_add(&inflight, inst.capacity(p.target))
+            && cur
+                .usage(from)
+                .fits_after_add(&overhead, inst.capacity(from))
         {
             let key = d.norm();
             if best.as_ref().is_none_or(|(b, _)| key < *b) {
-                best = Some((key, Move { shard: p.shard, from, to: p.target }));
+                best = Some((
+                    key,
+                    Move {
+                        shard: p.shard,
+                        from,
+                        to: p.target,
+                    },
+                ));
             }
         }
     }
@@ -449,8 +514,12 @@ fn trace_deadlock(inst: &Instance, cur: &Assignment, pending: &[Pending]) {
         let d = &inst.shards[p.shard.idx()].demand;
         let inflight = d.scaled(1.0 + inst.alpha);
         let overhead = d.scaled(inst.alpha);
-        let tgt_ok = cur.usage(p.target).fits_after_add(&inflight, inst.capacity(p.target));
-        let src_ok = cur.usage(from).fits_after_add(&overhead, inst.capacity(from));
+        let tgt_ok = cur
+            .usage(p.target)
+            .fits_after_add(&inflight, inst.capacity(p.target));
+        let src_ok = cur
+            .usage(from)
+            .fits_after_add(&overhead, inst.capacity(from));
         eprintln!(
             "  {} {}→{} d={:?} | target_ok={} (usage {:?}) source_ok={} (usage {:?})",
             p.shard,
@@ -500,7 +569,8 @@ mod tests {
     fn swap_succeeds_with_exchange_machine() {
         let inst = swap_instance(true);
         let target = swap_target(&inst);
-        let plan = plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default()).unwrap();
+        let plan =
+            plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default()).unwrap();
         verify_schedule(&inst, &inst.initial, &target, &plan).unwrap();
         assert!(plan.extra_hops() >= 1, "a staging hop was required");
     }
@@ -508,8 +578,13 @@ mod tests {
     #[test]
     fn noop_migration_is_empty() {
         let inst = swap_instance(true);
-        let plan =
-            plan_migration(&inst, &inst.initial, &inst.initial, &PlannerConfig::default()).unwrap();
+        let plan = plan_migration(
+            &inst,
+            &inst.initial,
+            &inst.initial,
+            &PlannerConfig::default(),
+        )
+        .unwrap();
         assert_eq!(plan.n_moves(), 0);
     }
 
@@ -523,7 +598,8 @@ mod tests {
         }
         let inst = b.build().unwrap();
         let target = vec![m1; 4];
-        let plan = plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default()).unwrap();
+        let plan =
+            plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default()).unwrap();
         verify_schedule(&inst, &inst.initial, &target, &plan).unwrap();
         assert_eq!(plan.n_batches(), 1, "all four moves fit concurrently");
         assert_eq!(plan.n_moves(), 4);
@@ -539,7 +615,10 @@ mod tests {
         }
         let inst = b.build().unwrap();
         let target = vec![m1; 4];
-        let cfg = PlannerConfig { max_batch_moves: 1, ..Default::default() };
+        let cfg = PlannerConfig {
+            max_batch_moves: 1,
+            ..Default::default()
+        };
         let plan = plan_migration(&inst, &inst.initial, &target, &cfg).unwrap();
         verify_schedule(&inst, &inst.initial, &target, &plan).unwrap();
         assert_eq!(plan.n_batches(), 4);
@@ -570,7 +649,8 @@ mod tests {
         b.shard(&[4.0], 1.0, m0);
         let inst = b.build().unwrap();
         let target = vec![m1];
-        let plan = plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default()).unwrap();
+        let plan =
+            plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default()).unwrap();
         verify_schedule(&inst, &inst.initial, &target, &plan).unwrap();
     }
 
@@ -592,7 +672,11 @@ mod tests {
         let plan = plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default())
             .expect("source-freeing staging must unblock this");
         verify_schedule(&inst, &inst.initial, &target, &plan).unwrap();
-        assert!(plan.n_moves() >= 3, "park + big move + return, got {}", plan.n_moves());
+        assert!(
+            plan.n_moves() >= 3,
+            "park + big move + return, got {}",
+            plan.n_moves()
+        );
     }
 
     #[test]
@@ -687,8 +771,7 @@ mod tests {
             .iter()
             .map(|m| MachineId::from((m.idx() + 1) % 6))
             .collect();
-        if let Ok(plan) = plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default())
-        {
+        if let Ok(plan) = plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default()) {
             verify_schedule(&inst, &inst.initial, &target, &plan).unwrap();
             use std::collections::HashMap;
             let mut counts: HashMap<crate::shard::ShardId, usize> = HashMap::new();
@@ -702,7 +785,12 @@ mod tests {
     #[test]
     fn rejects_bad_lengths() {
         let inst = swap_instance(true);
-        let res = plan_migration(&inst, &inst.initial[..1], &swap_target(&inst), &PlannerConfig::default());
+        let res = plan_migration(
+            &inst,
+            &inst.initial[..1],
+            &swap_target(&inst),
+            &PlannerConfig::default(),
+        );
         assert!(matches!(res, Err(ClusterError::BadPlacementLength { .. })));
     }
 }

@@ -54,7 +54,10 @@ pub fn verify_schedule(
                 || placement[mv.shard.idx()] != mv.from
                 || seen.contains(&mv.shard)
             {
-                return Err(ClusterError::InconsistentMove { batch: bi, shard: mv.shard });
+                return Err(ClusterError::InconsistentMove {
+                    batch: bi,
+                    shard: mv.shard,
+                });
             }
             seen.push(mv.shard);
         }
@@ -91,7 +94,9 @@ pub fn verify_schedule(
 
     for (i, (&got, &want)) in placement.iter().zip(target).enumerate() {
         if got != want {
-            return Err(ClusterError::WrongFinalPlacement { shard: ShardId::from(i) });
+            return Err(ClusterError::WrongFinalPlacement {
+                shard: ShardId::from(i),
+            });
         }
     }
     for m in &inst.machines {
@@ -118,7 +123,11 @@ mod tests {
     }
 
     fn mv(s: u32, f: u32, t: u32) -> Move {
-        Move { shard: ShardId(s), from: MachineId(f), to: MachineId(t) }
+        Move {
+            shard: ShardId(s),
+            from: MachineId(f),
+            to: MachineId(t),
+        }
     }
 
     #[test]
@@ -128,7 +137,9 @@ mod tests {
         let m1 = b.machine(&[10.0]);
         b.shard(&[4.0], 1.0, m0);
         let inst = b.build().unwrap();
-        let plan = MigrationPlan { batches: vec![vec![mv(0, 0, 1)]] };
+        let plan = MigrationPlan {
+            batches: vec![vec![mv(0, 0, 1)]],
+        };
         verify_schedule(&inst, &inst.initial, &[m1], &plan).unwrap();
     }
 
@@ -136,7 +147,9 @@ mod tests {
     fn rejects_transient_overload_in_swap() {
         // 6 + 6 = 12 > 10 on each side: a direct simultaneous swap violates.
         let inst = two_machines(0.0);
-        let plan = MigrationPlan { batches: vec![vec![mv(0, 0, 1), mv(1, 1, 0)]] };
+        let plan = MigrationPlan {
+            batches: vec![vec![mv(0, 0, 1), mv(1, 1, 0)]],
+        };
         let target = vec![MachineId(1), MachineId(0)];
         assert!(matches!(
             verify_schedule(&inst, &inst.initial, &target, &plan),
@@ -147,7 +160,9 @@ mod tests {
     #[test]
     fn rejects_wrong_source() {
         let inst = two_machines(0.0);
-        let plan = MigrationPlan { batches: vec![vec![mv(0, 1, 0)]] };
+        let plan = MigrationPlan {
+            batches: vec![vec![mv(0, 1, 0)]],
+        };
         assert!(matches!(
             verify_schedule(&inst, &inst.initial, &inst.initial, &plan),
             Err(ClusterError::InconsistentMove { .. })
@@ -157,7 +172,9 @@ mod tests {
     #[test]
     fn rejects_self_move() {
         let inst = two_machines(0.0);
-        let plan = MigrationPlan { batches: vec![vec![mv(0, 0, 0)]] };
+        let plan = MigrationPlan {
+            batches: vec![vec![mv(0, 0, 0)]],
+        };
         assert!(matches!(
             verify_schedule(&inst, &inst.initial, &inst.initial, &plan),
             Err(ClusterError::InconsistentMove { .. })
@@ -172,7 +189,9 @@ mod tests {
         let _m2 = b.machine(&[10.0]);
         b.shard(&[1.0], 1.0, m0);
         let inst = b.build().unwrap();
-        let plan = MigrationPlan { batches: vec![vec![mv(0, 0, 1), mv(0, 0, 2)]] };
+        let plan = MigrationPlan {
+            batches: vec![vec![mv(0, 0, 1), mv(0, 0, 2)]],
+        };
         assert!(matches!(
             verify_schedule(&inst, &inst.initial, &[MachineId(2)], &plan),
             Err(ClusterError::InconsistentMove { .. })
@@ -195,7 +214,9 @@ mod tests {
         // cap 10, source shard 6 moving with α=0.4: source bears 6+2.4=8.4 ok;
         // target bears existing 6 + 1.4*6 = 14.4 > 10 → violation.
         let inst = two_machines(0.4);
-        let plan = MigrationPlan { batches: vec![vec![mv(0, 0, 1)]] };
+        let plan = MigrationPlan {
+            batches: vec![vec![mv(0, 0, 1)]],
+        };
         let target = vec![MachineId(1), MachineId(1)];
         assert!(matches!(
             verify_schedule(&inst, &inst.initial, &target, &plan),

@@ -23,7 +23,10 @@ pub struct TimelineConfig {
 
 impl Default for TimelineConfig {
     fn default() -> Self {
-        Self { machine_bandwidth: 1.0, batch_overhead_secs: 0.0 }
+        Self {
+            machine_bandwidth: 1.0,
+            batch_overhead_secs: 0.0,
+        }
     }
 }
 
@@ -60,7 +63,11 @@ pub fn time_plan(inst: &Instance, plan: &MigrationPlan, cfg: &TimelineConfig) ->
         batch_secs.push(busiest / cfg.machine_bandwidth + cfg.batch_overhead_secs);
     }
     let makespan_secs = batch_secs.iter().sum();
-    Timeline { batch_secs, makespan_secs, serial_secs: serial }
+    Timeline {
+        batch_secs,
+        makespan_secs,
+        serial_secs: serial,
+    }
 }
 
 #[cfg(test)]
@@ -82,14 +89,27 @@ mod tests {
     }
 
     fn mv(s: u32, f: u32, t: u32) -> Move {
-        Move { shard: ShardId(s), from: MachineId(f), to: MachineId(t) }
+        Move {
+            shard: ShardId(s),
+            from: MachineId(f),
+            to: MachineId(t),
+        }
     }
 
     #[test]
     fn single_move_duration() {
         let inst = inst();
-        let plan = MigrationPlan { batches: vec![vec![mv(0, 0, 1)]] };
-        let tl = time_plan(&inst, &plan, &TimelineConfig { machine_bandwidth: 2.0, ..Default::default() });
+        let plan = MigrationPlan {
+            batches: vec![vec![mv(0, 0, 1)]],
+        };
+        let tl = time_plan(
+            &inst,
+            &plan,
+            &TimelineConfig {
+                machine_bandwidth: 2.0,
+                ..Default::default()
+            },
+        );
         assert_eq!(tl.batch_secs, vec![2.0]); // 4 bytes at 2 B/s
         assert_eq!(tl.makespan_secs, 2.0);
         assert_eq!(tl.serial_secs, 2.0); // zero overhead configured
@@ -99,7 +119,9 @@ mod tests {
     fn concurrent_moves_share_the_source_nic() {
         let inst = inst();
         // Both shards leave m0 in one batch: m0's NIC carries 6 bytes.
-        let plan = MigrationPlan { batches: vec![vec![mv(0, 0, 1), mv(1, 0, 2)]] };
+        let plan = MigrationPlan {
+            batches: vec![vec![mv(0, 0, 1), mv(1, 0, 2)]],
+        };
         let tl = time_plan(&inst, &plan, &TimelineConfig::default());
         assert_eq!(tl.makespan_secs, 6.0);
         // Serial execution would also take 6.0 here (same NIC bottleneck).
@@ -117,7 +139,9 @@ mod tests {
         b.shard(&[1.0], 3.0, m1);
         let inst = b.build().unwrap();
         // m0→m2 and m1→m3 touch disjoint NICs: batch = max(4, 3) = 4.
-        let plan = MigrationPlan { batches: vec![vec![mv(0, 0, 2), mv(1, 1, 3)]] };
+        let plan = MigrationPlan {
+            batches: vec![vec![mv(0, 0, 2), mv(1, 1, 3)]],
+        };
         let tl = time_plan(&inst, &plan, &TimelineConfig::default());
         assert_eq!(tl.makespan_secs, 4.0);
         assert_eq!(tl.serial_secs, 7.0);
@@ -130,7 +154,10 @@ mod tests {
         let plan = MigrationPlan {
             batches: vec![vec![mv(0, 0, 1)], vec![mv(1, 0, 2)]],
         };
-        let cfg = TimelineConfig { machine_bandwidth: 1.0, batch_overhead_secs: 0.5 };
+        let cfg = TimelineConfig {
+            machine_bandwidth: 1.0,
+            batch_overhead_secs: 0.5,
+        };
         let tl = time_plan(&inst, &plan, &cfg);
         assert_eq!(tl.batch_secs, vec![4.5, 2.5]);
         assert_eq!(tl.makespan_secs, 7.0);
@@ -150,7 +177,10 @@ mod tests {
     #[should_panic]
     fn zero_bandwidth_panics() {
         let inst = inst();
-        let cfg = TimelineConfig { machine_bandwidth: 0.0, ..Default::default() };
+        let cfg = TimelineConfig {
+            machine_bandwidth: 0.0,
+            ..Default::default()
+        };
         let _ = time_plan(&inst, &MigrationPlan::default(), &cfg);
     }
 }

@@ -35,7 +35,10 @@ pub struct Objective {
 
 impl Default for Objective {
     fn default() -> Self {
-        Self { kind: ObjectiveKind::PeakLoad, lambda: 0.01 }
+        Self {
+            kind: ObjectiveKind::PeakLoad,
+            lambda: 0.01,
+        }
     }
 }
 
@@ -65,7 +68,11 @@ impl Objective {
             return balance;
         }
         let total: f64 = inst.shards.iter().map(|s| s.move_cost).sum();
-        let cost = if total > 0.0 { asg.migration_cost(inst, reference) / total } else { 0.0 };
+        let cost = if total > 0.0 {
+            asg.migration_cost(inst, reference) / total
+        } else {
+            0.0
+        };
         balance + self.lambda * cost
     }
 }
@@ -109,8 +116,14 @@ mod tests {
         let inst = inst();
         let mut asg = Assignment::from_initial(&inst);
         asg.move_shard(&inst, ShardId(1), MachineId(1));
-        let free = Objective { kind: ObjectiveKind::PeakLoad, lambda: 0.0 };
-        let taxed = Objective { kind: ObjectiveKind::PeakLoad, lambda: 1.0 };
+        let free = Objective {
+            kind: ObjectiveKind::PeakLoad,
+            lambda: 0.0,
+        };
+        let taxed = Objective {
+            kind: ObjectiveKind::PeakLoad,
+            lambda: 1.0,
+        };
         let v0 = free.value(&inst, &asg, &inst.initial);
         let v1 = taxed.value(&inst, &asg, &inst.initial);
         // One of two shards moved, each with cost 1.0 → normalized cost 0.5.
@@ -121,7 +134,10 @@ mod tests {
     fn no_move_no_penalty() {
         let inst = inst();
         let asg = Assignment::from_initial(&inst);
-        let taxed = Objective { kind: ObjectiveKind::PeakLoad, lambda: 5.0 };
+        let taxed = Objective {
+            kind: ObjectiveKind::PeakLoad,
+            lambda: 5.0,
+        };
         let pure = Objective::pure(ObjectiveKind::PeakLoad);
         assert_eq!(
             taxed.value(&inst, &asg, &inst.initial),

@@ -20,9 +20,8 @@ use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub, SubAssign};
 pub const MAX_DIMS: usize = 8;
 
 /// Conventional names for the first dimensions, used by report printers.
-pub const DIM_NAMES: [&str; MAX_DIMS] = [
-    "cpu", "mem", "disk", "net", "iops", "gpu", "aux1", "aux2",
-];
+pub const DIM_NAMES: [&str; MAX_DIMS] =
+    ["cpu", "mem", "disk", "net", "iops", "gpu", "aux1", "aux2"];
 
 /// A multi-dimensional resource quantity (capacity, demand, or usage).
 #[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -38,8 +37,14 @@ impl ResourceVec {
     /// If `dims` is zero or exceeds [`MAX_DIMS`].
     #[inline]
     pub fn zero(dims: usize) -> Self {
-        assert!((1..=MAX_DIMS).contains(&dims), "dims must be in 1..={MAX_DIMS}, got {dims}");
-        Self { dims: dims as u8, vals: [0.0; MAX_DIMS] }
+        assert!(
+            (1..=MAX_DIMS).contains(&dims),
+            "dims must be in 1..={MAX_DIMS}, got {dims}"
+        );
+        Self {
+            dims: dims as u8,
+            vals: [0.0; MAX_DIMS],
+        }
     }
 
     /// Builds a vector from a slice of components.
@@ -50,7 +55,10 @@ impl ResourceVec {
     pub fn from_slice(vals: &[f64]) -> Self {
         let mut v = Self::zero(vals.len());
         for (i, &x) in vals.iter().enumerate() {
-            assert!(x.is_finite() && x >= 0.0, "component {i} must be finite and >= 0, got {x}");
+            assert!(
+                x.is_finite() && x >= 0.0,
+                "component {i} must be finite and >= 0, got {x}"
+            );
             v.vals[i] = x;
         }
         v

@@ -55,8 +55,15 @@ pub struct Shard {
 impl Shard {
     /// Creates a shard; `move_cost` must be finite and non-negative.
     pub fn new(id: impl Into<ShardId>, demand: ResourceVec, move_cost: f64) -> Self {
-        assert!(move_cost.is_finite() && move_cost >= 0.0, "move_cost must be finite and >= 0");
-        Self { id: id.into(), demand, move_cost }
+        assert!(
+            move_cost.is_finite() && move_cost >= 0.0,
+            "move_cost must be finite and >= 0"
+        );
+        Self {
+            id: id.into(),
+            demand,
+            move_cost,
+        }
     }
 }
 

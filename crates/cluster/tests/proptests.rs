@@ -17,26 +17,17 @@ use rex_cluster::{
 /// fit, and a random overhead factor.
 fn arb_instance() -> impl Strategy<Value = Instance> {
     (
-        2usize..6,        // loaded machines
-        0usize..3,        // exchange machines
-        1usize..16,       // shards
-        1usize..4,        // dims
-        0u64..u64::MAX,   // seed
+        2usize..6,      // loaded machines
+        0usize..3,      // exchange machines
+        1usize..16,     // shards
+        1usize..4,      // dims
+        0u64..u64::MAX, // seed
         prop_oneof![Just(0.0), Just(0.1), Just(0.5)],
     )
-        .prop_map(|(nm, nx, ns, dims, seed, alpha)| {
-            build_instance(nm, nx, ns, dims, seed, alpha)
-        })
+        .prop_map(|(nm, nx, ns, dims, seed, alpha)| build_instance(nm, nx, ns, dims, seed, alpha))
 }
 
-fn build_instance(
-    nm: usize,
-    nx: usize,
-    ns: usize,
-    dims: usize,
-    seed: u64,
-    alpha: f64,
-) -> Instance {
+fn build_instance(nm: usize, nx: usize, ns: usize, dims: usize, seed: u64, alpha: f64) -> Instance {
     use rand::prelude::*;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut b = InstanceBuilder::new(dims).alpha(alpha).label("prop");
@@ -52,8 +43,9 @@ fn build_instance(
     // small enough relative to capacity that this always succeeds.
     let mut usage = vec![vec![0.0f64; dims]; nm];
     for _ in 0..ns {
-        let demand: Vec<f64> =
-            (0..dims).map(|_| rng.random_range(1.0..70.0 / (ns as f64).max(4.0))).collect();
+        let demand: Vec<f64> = (0..dims)
+            .map(|_| rng.random_range(1.0..70.0 / (ns as f64).max(4.0)))
+            .collect();
         let host = (0..nm)
             .find(|&m| (0..dims).all(|r| usage[m][r] + demand[r] <= caps[m][r]))
             .expect("demands sized to always fit somewhere");

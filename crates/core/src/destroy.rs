@@ -6,11 +6,12 @@
 //! the iteration budget without improving search quality.
 
 use crate::problem::{SraPartial, SraProblem};
+use crate::state::SraState;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::RngExt;
 use rex_cluster::{Assignment, MachineId, ShardId};
-use rex_lns::Destroy;
+use rex_lns::{Destroy, DestroyInPlace};
 
 /// Number of shards to remove given intensity, instance size, and cap.
 ///
@@ -21,8 +22,7 @@ use rex_lns::Destroy;
 /// state violates either capacity or the vacancy count and is rejected.
 fn removal_count(n_shards: usize, intensity: f64, cap: usize) -> usize {
     let floor = 3.min(n_shards);
-    (((n_shards as f64) * intensity).ceil() as usize)
-        .clamp(floor, cap.max(floor).min(n_shards))
+    (((n_shards as f64) * intensity).ceil() as usize).clamp(floor, cap.max(floor).min(n_shards))
 }
 
 /// Detaches a uniformly random subset of shards.
@@ -207,7 +207,10 @@ impl Destroy<SraProblem<'_>> for MachineExchangeRemoval {
             // the iteration still proposes something.
             let s = ShardId::from(rng.random_range(0..inst.n_shards()));
             asg.detach_shard(inst, s);
-            return SraPartial { asg, removed: vec![s] };
+            return SraPartial {
+                asg,
+                removed: vec![s],
+            };
         }
         candidates.shuffle(rng);
         let machine = candidates[0];
@@ -221,6 +224,149 @@ impl Destroy<SraProblem<'_>> for MachineExchangeRemoval {
 
 /// The full default destroy portfolio used by SRA.
 pub fn default_destroys<'a>(cap: usize) -> Vec<Box<dyn Destroy<SraProblem<'a>>>> {
+    vec![
+        Box::new(RandomRemoval { cap }),
+        Box::new(WorstMachineRemoval { cap }),
+        Box::new(RelatedRemoval { cap }),
+        Box::new(MachineExchangeRemoval { cap }),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// In-place variants: same selection policies, but they edit one SraState
+// (recording every detach in its undo log) and draw all scratch space from
+// the state's persistent buffers, so the steady-state hot loop allocates
+// nothing.
+
+impl DestroyInPlace<SraProblem<'_>> for RandomRemoval {
+    fn name(&self) -> &str {
+        "random-removal"
+    }
+
+    fn destroy(&self, p: &SraProblem<'_>, state: &mut SraState, intensity: f64, rng: &mut StdRng) {
+        let n = p.inst.n_shards();
+        let k = removal_count(n, intensity, self.cap);
+        // Partial Fisher–Yates over the persistent index pool: the first
+        // `k` entries become a uniform k-subset.
+        let mut pool = std::mem::take(&mut state.pool);
+        pool.clear();
+        pool.extend(0..n as u32);
+        for i in 0..k {
+            let j = rng.random_range(i..n);
+            pool.swap(i, j);
+            state.detach(p, ShardId(pool[i]));
+        }
+        state.pool = pool;
+    }
+}
+
+impl DestroyInPlace<SraProblem<'_>> for WorstMachineRemoval {
+    fn name(&self) -> &str {
+        "worst-machine"
+    }
+
+    fn destroy(&self, p: &SraProblem<'_>, state: &mut SraState, intensity: f64, rng: &mut StdRng) {
+        let inst = p.inst;
+        let k = removal_count(inst.n_shards(), intensity, self.cap);
+        let mut hot = std::mem::take(&mut state.scored);
+        for _ in 0..k {
+            // Rank occupied machines by the *cached* load (kept current by
+            // `detach`); sample among the top 3 as in the clone variant.
+            hot.clear();
+            hot.extend(
+                (0..inst.n_machines())
+                    .filter(|&i| !state.asg.shards_on(MachineId::from(i)).is_empty())
+                    .map(|i| (state.loads[i], i as u32)),
+            );
+            if hot.is_empty() {
+                break;
+            }
+            hot.sort_unstable_by(|a, b| {
+                b.0.partial_cmp(&a.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.1.cmp(&b.1))
+            });
+            let pick = rng.random_range(0..hot.len().min(3));
+            let machine = MachineId::from(hot[pick].1 as usize);
+            let s = *state
+                .asg
+                .shards_on(machine)
+                .iter()
+                .max_by(|a, b| {
+                    inst.demand(**a)
+                        .norm()
+                        .partial_cmp(&inst.demand(**b).norm())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("machine is occupied");
+            state.detach(p, s);
+        }
+        state.scored = hot;
+    }
+}
+
+impl DestroyInPlace<SraProblem<'_>> for RelatedRemoval {
+    fn name(&self) -> &str {
+        "related-removal"
+    }
+
+    fn destroy(&self, p: &SraProblem<'_>, state: &mut SraState, intensity: f64, rng: &mut StdRng) {
+        let inst = p.inst;
+        let n = inst.n_shards();
+        let k = removal_count(n, intensity, self.cap);
+        let seed = ShardId::from(rng.random_range(0..n));
+        let seed_demand = *inst.demand(seed);
+
+        let mut ranked = std::mem::take(&mut state.scored);
+        ranked.clear();
+        ranked.extend((0..n as u32).map(|i| (seed_demand.distance(inst.demand(ShardId(i))), i)));
+        let pool = (2 * k).min(n);
+        ranked.select_nth_unstable_by(pool - 1, |a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        ranked[..pool].shuffle(rng);
+        for &(_, raw) in ranked.iter().take(k) {
+            state.detach(p, ShardId(raw));
+        }
+        state.scored = ranked;
+    }
+}
+
+impl DestroyInPlace<SraProblem<'_>> for MachineExchangeRemoval {
+    fn name(&self) -> &str {
+        "machine-exchange"
+    }
+
+    fn destroy(&self, p: &SraProblem<'_>, state: &mut SraState, _intensity: f64, rng: &mut StdRng) {
+        let inst = p.inst;
+        let mut candidates = std::mem::take(&mut state.pool);
+        candidates.clear();
+        candidates.extend((0..inst.n_machines() as u32).filter(|&i| {
+            let c = state.asg.shards_on(MachineId::from(i as usize)).len();
+            c > 0 && c <= self.cap.max(1)
+        }));
+        if candidates.is_empty() {
+            let s = ShardId::from(rng.random_range(0..inst.n_shards()));
+            state.detach(p, s);
+        } else {
+            // Shuffle-then-take-first, matching the clone variant's RNG
+            // draw pattern so both paths follow the same search trajectory
+            // for a given seed.
+            candidates.shuffle(rng);
+            let machine = MachineId::from(candidates[0] as usize);
+            candidates.clear();
+            candidates.extend(state.asg.shards_on(machine).iter().map(|s| s.idx() as u32));
+            for &raw in &candidates {
+                state.detach(p, ShardId(raw));
+            }
+        }
+        state.pool = candidates;
+    }
+}
+
+/// The in-place default destroy portfolio (same policies as
+/// [`default_destroys`]).
+pub fn default_destroys_in_place<'a>(cap: usize) -> Vec<Box<dyn DestroyInPlace<SraProblem<'a>>>> {
     vec![
         Box::new(RandomRemoval { cap }),
         Box::new(WorstMachineRemoval { cap }),
@@ -266,7 +412,7 @@ mod tests {
         let inst = inst();
         let p = SraProblem::new(&inst, Objective::default());
         let sol = Assignment::from_initial(&inst);
-        let partial = RandomRemoval { cap: 10 }.destroy(&p, &sol, 0.75, &mut rng());
+        let partial = Destroy::destroy(&RandomRemoval { cap: 10 }, &p, &sol, 0.75, &mut rng());
         assert_eq!(partial.removed.len(), 3);
         for &s in &partial.removed {
             assert!(partial.asg.is_detached(s));
@@ -284,14 +430,17 @@ mod tests {
         let mut from_hot = 0;
         let mut r = rng();
         for _ in 0..50 {
-            let partial = WorstMachineRemoval { cap: 1 }.destroy(&p, &sol, 0.1, &mut r);
+            let partial = Destroy::destroy(&WorstMachineRemoval { cap: 1 }, &p, &sol, 0.1, &mut r);
             // The connectivity floor (3) overrides a smaller cap.
             assert_eq!(partial.removed.len(), 3);
             if inst.initial[partial.removed[0].idx()] == MachineId(0) {
                 from_hot += 1;
             }
         }
-        assert!(from_hot > 10, "hot machine should be targeted often, got {from_hot}");
+        assert!(
+            from_hot > 10,
+            "hot machine should be targeted often, got {from_hot}"
+        );
     }
 
     #[test]
@@ -311,7 +460,7 @@ mod tests {
         let p = SraProblem::new(&inst, Objective::default());
         let sol = Assignment::from_initial(&inst);
         // k = 3 (floor), candidate pool = 6 nearest = exactly one cluster.
-        let partial = RelatedRemoval { cap: 3 }.destroy(&p, &sol, 0.1, &mut rng());
+        let partial = Destroy::destroy(&RelatedRemoval { cap: 3 }, &p, &sol, 0.1, &mut rng());
         assert_eq!(partial.removed.len(), 3);
         let kinds: Vec<usize> = partial.removed.iter().map(|s| s.idx() / 6).collect();
         assert!(
@@ -325,10 +474,19 @@ mod tests {
         let inst = inst();
         let p = SraProblem::new(&inst, Objective::default());
         let sol = Assignment::from_initial(&inst);
-        let partial = MachineExchangeRemoval { cap: 8 }.destroy(&p, &sol, 0.5, &mut rng());
+        let partial = Destroy::destroy(
+            &MachineExchangeRemoval { cap: 8 },
+            &p,
+            &sol,
+            0.5,
+            &mut rng(),
+        );
         // All removed shards come from the same, now-vacant machine.
-        let origins: Vec<MachineId> =
-            partial.removed.iter().map(|s| inst.initial[s.idx()]).collect();
+        let origins: Vec<MachineId> = partial
+            .removed
+            .iter()
+            .map(|s| inst.initial[s.idx()])
+            .collect();
         assert!(origins.windows(2).all(|w| w[0] == w[1]));
         assert!(partial.asg.is_vacant(origins[0]));
         partial.asg.validate_consistency(&inst).unwrap();
@@ -339,7 +497,13 @@ mod tests {
         let inst = inst(); // both occupied machines host 2 shards
         let p = SraProblem::new(&inst, Objective::default());
         let sol = Assignment::from_initial(&inst);
-        let partial = MachineExchangeRemoval { cap: 1 }.destroy(&p, &sol, 0.5, &mut rng());
+        let partial = Destroy::destroy(
+            &MachineExchangeRemoval { cap: 1 },
+            &p,
+            &sol,
+            0.5,
+            &mut rng(),
+        );
         assert_eq!(partial.removed.len(), 1);
     }
 
@@ -349,7 +513,51 @@ mod tests {
         let names: Vec<&str> = ops.iter().map(|o| o.name()).collect();
         assert_eq!(
             names,
-            vec!["random-removal", "worst-machine", "related-removal", "machine-exchange"]
+            vec![
+                "random-removal",
+                "worst-machine",
+                "related-removal",
+                "machine-exchange"
+            ]
         );
+    }
+
+    #[test]
+    fn in_place_portfolio_mirrors_names() {
+        let ops = default_destroys_in_place(32);
+        let names: Vec<&str> = ops.iter().map(|o| o.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "random-removal",
+                "worst-machine",
+                "related-removal",
+                "machine-exchange"
+            ]
+        );
+    }
+
+    #[test]
+    fn in_place_destroys_detach_and_revert_cleanly() {
+        use rex_lns::LnsProblemInPlace;
+        let inst = inst();
+        let p = SraProblem::new(&inst, Objective::default());
+        let mut state = p.make_state(Assignment::from_initial(&inst));
+        let before = state.solution().placement().to_vec();
+        let mut r = rng();
+        for op in &default_destroys_in_place(8) {
+            op.destroy(&p, &mut state, 0.5, &mut r);
+            assert!(
+                !state.removed().is_empty(),
+                "{} detached nothing",
+                op.name()
+            );
+            for &s in state.removed() {
+                assert!(state.solution().is_detached(s));
+            }
+            state.solution().validate_consistency(&inst).unwrap();
+            LnsProblemInPlace::revert(&p, &mut state);
+            assert_eq!(state.solution().placement(), before.as_slice());
+        }
     }
 }

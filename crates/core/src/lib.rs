@@ -20,6 +20,11 @@
 //!   than `k_return` vacant machines;
 //! * the **acceptance criterion** (simulated annealing by default) and
 //!   adaptive operator weights come from `rex-lns`;
+//! * the hot loop runs **in place** over an [`state::SraState`]: operators
+//!   mutate one working assignment under an undo log, the objective is
+//!   tracked incrementally (delta evaluation with periodic
+//!   resynchronization), and rejected candidates are reverted instead of
+//!   being re-cloned — see DESIGN.md's "Hot path & delta evaluation";
 //! * the final incumbent must admit a **transient-feasible migration
 //!   schedule** (planned and independently verified by
 //!   `rex-cluster::migration`); if planning deadlocks, SRA re-runs the
@@ -33,10 +38,15 @@ pub mod destroy;
 pub mod problem;
 pub mod repair;
 pub mod sra;
+pub mod state;
 
 pub use destroy::{
-    default_destroys, MachineExchangeRemoval, RandomRemoval, RelatedRemoval, WorstMachineRemoval,
+    default_destroys, default_destroys_in_place, MachineExchangeRemoval, RandomRemoval,
+    RelatedRemoval, WorstMachineRemoval,
 };
 pub use problem::{SraPartial, SraProblem};
-pub use repair::{default_repairs, GreedyBestFit, RandomizedGreedy, Regret2Insert};
+pub use repair::{
+    default_repairs, default_repairs_in_place, GreedyBestFit, RandomizedGreedy, Regret2Insert,
+};
 pub use sra::{solve, solve_with_drain, AcceptanceKind, SraConfig, SraResult};
+pub use state::SraState;

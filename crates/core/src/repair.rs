@@ -11,10 +11,11 @@
 //!   iteration is discarded.
 
 use crate::problem::{SraPartial, SraProblem};
+use crate::state::{RegretEntry, SraState, REGRET_ABSENT, REGRET_UNKNOWN};
 use rand::rngs::StdRng;
 use rand::RngExt;
 use rex_cluster::{Assignment, MachineId, ShardId};
-use rex_lns::Repair;
+use rex_lns::{Repair, RepairInPlace};
 
 /// Shared insertion state: tracks how many vacancies may still be consumed.
 struct InsertCtx {
@@ -23,7 +24,14 @@ struct InsertCtx {
 
 impl InsertCtx {
     fn new(p: &SraProblem<'_>, asg: &Assignment) -> Self {
-        Self { vacancy_budget: p.vacancy_budget(asg) }
+        Self {
+            vacancy_budget: p.vacancy_budget(asg),
+        }
+    }
+
+    /// For the in-place path, which has the budget cached on the state.
+    fn with_budget(vacancy_budget: usize) -> Self {
+        Self { vacancy_budget }
     }
 
     /// Whether machine `m` may receive a shard right now.
@@ -74,6 +82,18 @@ fn sort_big_first(p: &SraProblem<'_>, removed: &mut [ShardId]) {
             .demand(b)
             .norm()
             .partial_cmp(&p.inst.demand(a).norm())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+}
+
+/// [`sort_big_first`] against the state's cached demand norms — same keys
+/// (the norm is a pure function of the static demand), same order.
+fn sort_big_first_cached(state: &SraState, removed: &mut [ShardId]) {
+    let norms = &state.demand_norm;
+    removed.sort_by(|&a, &b| {
+        norms[b.idx()]
+            .partial_cmp(&norms[a.idx()])
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
@@ -236,6 +256,393 @@ pub fn default_repairs<'a>() -> Vec<Box<dyn Repair<SraProblem<'a>>>> {
     ]
 }
 
+// ---------------------------------------------------------------------------
+// In-place variants: identical insertion policies over the state's cached
+// vacancy budget. Each takes the state's `removed` buffer, attaches through
+// `SraState::attach` (undo-logged, caches updated), and hands the buffer
+// back — on failure with the unplaced tail still listed, so the engine's
+// revert sees a consistent state.
+
+impl RepairInPlace<SraProblem<'_>> for GreedyBestFit {
+    fn name(&self) -> &str {
+        "greedy-best-fit"
+    }
+
+    fn repair(&self, p: &SraProblem<'_>, state: &mut SraState, _rng: &mut StdRng) -> bool {
+        let mut removed = std::mem::take(&mut state.removed);
+        sort_big_first_cached(state, &mut removed);
+        rebuild_order(state, p.inst.n_machines());
+        let mut ctx = InsertCtx::with_budget(state.vacancy_budget());
+        for (idx, &s) in removed.iter().enumerate() {
+            let Some((m, _)) = best_machine_cached(p, state, &ctx, s) else {
+                removed.drain(..idx);
+                state.removed = removed;
+                return false;
+            };
+            ctx.consume(&state.asg, m);
+            state.attach(p, s, m);
+            reposition(state, m);
+        }
+        removed.clear();
+        state.removed = removed;
+        true
+    }
+}
+
+/// Rebuilds the repair scan order: machine ids sorted by `(load, id)`
+/// ascending, from the state's cached loads. Called once per in-place
+/// repair invocation.
+fn rebuild_order(state: &mut SraState, n_machines: usize) {
+    let mut order = std::mem::take(&mut state.order);
+    order.clear();
+    order.extend(0..n_machines as u32);
+    let loads = &state.loads;
+    order.sort_unstable_by(|&a, &b| {
+        loads[a as usize]
+            .partial_cmp(&loads[b as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    state.order = order;
+}
+
+/// Restores the `(load, id)` invariant after machine `m`'s load grew: a
+/// single bubble pass to the right.
+fn reposition(state: &mut SraState, m: MachineId) {
+    let raw = m.idx() as u32;
+    let Some(mut i) = state.order.iter().position(|&x| x == raw) else {
+        return;
+    };
+    while i + 1 < state.order.len() {
+        let next = state.order[i + 1] as usize;
+        let (lm, ln) = (state.loads[raw as usize], state.loads[next]);
+        if ln < lm || (ln == lm && (next as u32) < raw) {
+            state.order.swap(i, i + 1);
+            i += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+/// In-place twin of [`best_machine`]: same value minimization, but driven
+/// by the load-sorted scan order with an early break. The true score of a
+/// machine is its load *after* adding the shard's demand plus the
+/// migration penalty, so `loads[m] + penalty` lower-bounds it (rounded
+/// addition is monotone); once that bound reaches the running best, every
+/// later machine in load order is beaten too. The shard's initial machine
+/// is visited first — it is the only one whose penalty is zero. Ties on
+/// score may resolve to a different (equally scored) machine than the
+/// clone-based id-order scan; selection stays deterministic.
+fn best_machine_cached(
+    p: &SraProblem<'_>,
+    state: &SraState,
+    ctx: &InsertCtx,
+    s: ShardId,
+) -> Option<(MachineId, f64)> {
+    let init_m = p.inst.initial[s.idx()];
+    let mut best: Option<(MachineId, f64)> = None;
+    if ctx.allowed(&state.asg, init_m) {
+        if let Some(score) = p.insertion_score(&state.asg, s, init_m) {
+            best = Some((init_m, score));
+        }
+    }
+    let pen = state.pen[s.idx()];
+    for &raw in &state.order {
+        let m = MachineId::from(raw as usize);
+        if m == init_m {
+            continue;
+        }
+        if let Some((_, b)) = best {
+            if state.loads[raw as usize] + pen >= b {
+                break; // later machines have equal or larger loads
+            }
+        }
+        if !ctx.allowed(&state.asg, m) {
+            continue;
+        }
+        if let Some(score) = p.insertion_score(&state.asg, s, m) {
+            let better = match best {
+                None => true,
+                Some((_, b)) => score < b,
+            };
+            if better {
+                best = Some((m, score));
+            }
+        }
+    }
+    best
+}
+
+/// Top-3 scan for one shard over the load-sorted order (initial machine
+/// first), breaking once the load lower bound reaches the running third
+/// slot — so every machine left unvisited (or visited but outscored)
+/// provably scores at least the final `s[2]`, which is the invariant the
+/// cascade update relies on. `None` means no feasible machine (the repair
+/// must fail).
+fn scan_regret(
+    p: &SraProblem<'_>,
+    state: &SraState,
+    ctx: &InsertCtx,
+    s: ShardId,
+) -> Option<RegretEntry> {
+    let mut e = RegretEntry {
+        m: [REGRET_ABSENT; 3],
+        s: [f64::INFINITY; 3],
+    };
+    let init_m = p.inst.initial[s.idx()];
+    let pen = state.pen[s.idx()];
+    let consider = |m: MachineId, e: &mut RegretEntry| {
+        if !ctx.allowed(&state.asg, m) {
+            return;
+        }
+        if let Some(score) = p.insertion_score(&state.asg, s, m) {
+            let raw = m.idx() as u32;
+            if score < e.s[0] {
+                (e.m[2], e.s[2]) = (e.m[1], e.s[1]);
+                (e.m[1], e.s[1]) = (e.m[0], e.s[0]);
+                (e.m[0], e.s[0]) = (raw, score);
+            } else if score < e.s[1] {
+                (e.m[2], e.s[2]) = (e.m[1], e.s[1]);
+                (e.m[1], e.s[1]) = (raw, score);
+            } else if score < e.s[2] {
+                (e.m[2], e.s[2]) = (raw, score);
+            }
+        }
+    };
+    consider(init_m, &mut e);
+    for &raw in &state.order {
+        let m = MachineId::from(raw as usize);
+        if m == init_m {
+            continue;
+        }
+        if state.loads[raw as usize] + pen >= e.s[2] {
+            break; // cannot displace any slot, nor can any later machine
+        }
+        consider(m, &mut e);
+    }
+    if e.m[0] == REGRET_ABSENT {
+        None
+    } else {
+        Some(e)
+    }
+}
+
+/// Rebuilds a regret entry after machine `m` — occupying slot `k` — grew,
+/// without rescanning: the surviving slots keep exact values (their
+/// machines' usage is untouched), `m` is re-scored once, and the old
+/// `s[2]` remains a lower bound on every machine outside the old entry.
+/// Slots stay exact while their value does not exceed that bound; a third
+/// slot that would, degrades to [`REGRET_UNKNOWN`] carrying the bound.
+/// Returns `None` when the exact best/second-best can no longer be derived
+/// locally and a full rescan is required.
+fn cascade(
+    p: &SraProblem<'_>,
+    state: &SraState,
+    s: ShardId,
+    e: &RegretEntry,
+    k: usize,
+    m: MachineId,
+) -> Option<RegretEntry> {
+    let bound = e.s[2];
+    let mut cand_m = [0u32; 4];
+    let mut cand_s = [0.0f64; 4];
+    let mut n = 0usize;
+    for j in 0..3 {
+        if j != k && e.m[j] != REGRET_ABSENT && e.m[j] != REGRET_UNKNOWN {
+            cand_m[n] = e.m[j];
+            cand_s[n] = e.s[j];
+            n += 1;
+        }
+    }
+    // Re-score `m` (it just received a shard, so it is non-vacant and
+    // always allowed) and insert it after any value-equal survivors, so
+    // ties resolve deterministically toward the established slots.
+    if let Some(ns) = p.insertion_score(&state.asg, s, m) {
+        let mut pos = n;
+        while pos > 0 && ns < cand_s[pos - 1] {
+            pos -= 1;
+        }
+        for j in (pos..n).rev() {
+            cand_m[j + 1] = cand_m[j];
+            cand_s[j + 1] = cand_s[j];
+        }
+        cand_m[pos] = m.idx() as u32;
+        cand_s[pos] = ns;
+        n += 1;
+    }
+    if bound.is_infinite() {
+        // The original scan never broke early, so the candidates are the
+        // complete feasible set and missing slots are exact ABSENTs.
+        if n == 0 {
+            return None; // nothing feasible left; the rescan confirms & fails
+        }
+        let mut ne = RegretEntry {
+            m: [REGRET_ABSENT; 3],
+            s: [f64::INFINITY; 3],
+        };
+        for j in 0..n.min(3) {
+            (ne.m[j], ne.s[j]) = (cand_m[j], cand_s[j]);
+        }
+        return Some(ne);
+    }
+    if n < 2 || cand_s[1] > bound {
+        return None; // top-2 not provably exact any more
+    }
+    let third_exact = n >= 3 && cand_s[2] <= bound;
+    Some(RegretEntry {
+        m: [
+            cand_m[0],
+            cand_m[1],
+            if third_exact {
+                cand_m[2]
+            } else {
+                REGRET_UNKNOWN
+            },
+        ],
+        s: [
+            cand_s[0],
+            cand_s[1],
+            if third_exact { cand_s[2] } else { bound },
+        ],
+    })
+}
+
+impl RepairInPlace<SraProblem<'_>> for Regret2Insert {
+    fn name(&self) -> &str {
+        "regret-2"
+    }
+
+    /// Incremental variant of the clone-based regret loop, selecting the
+    /// exact same insertions: an attach on machine `m` only changes scores
+    /// *on* `m` (and only for the worse — usage grows monotonically), so a
+    /// shard whose cached best and second-best live elsewhere keeps a
+    /// bit-identical entry and is not rescanned. The per-round cost drops
+    /// from `O(removed · machines)` to a handful of rescans, except when
+    /// the vacancy budget reaches zero — that flips the allowed-set for
+    /// every vacant machine, so everything is rescanned once.
+    fn repair(&self, p: &SraProblem<'_>, state: &mut SraState, _rng: &mut StdRng) -> bool {
+        let mut removed = std::mem::take(&mut state.removed);
+        let mut entries = std::mem::take(&mut state.regret);
+        rebuild_order(state, p.inst.n_machines());
+        let mut ctx = InsertCtx::with_budget(state.vacancy_budget());
+        entries.clear();
+        for &s in &removed {
+            let Some(e) = scan_regret(p, state, &ctx, s) else {
+                state.removed = removed;
+                state.regret = entries;
+                return false;
+            };
+            entries.push(e);
+        }
+        while !removed.is_empty() {
+            let mut pick = 0usize;
+            let mut best_regret = f64::NEG_INFINITY;
+            for (idx, e) in entries.iter().enumerate() {
+                let regret = e.s[1] - e.s[0]; // INFINITY - finite = INFINITY
+                if idx == 0 || regret > best_regret {
+                    pick = idx;
+                    best_regret = regret;
+                }
+            }
+            let m = MachineId::from(entries[pick].m[0] as usize);
+            let s = removed.swap_remove(pick);
+            entries.swap_remove(pick);
+            let was_vacant = state.asg.is_vacant(m);
+            ctx.consume(&state.asg, m);
+            state.attach(p, s, m);
+            reposition(state, m);
+            let rescan_all = was_vacant && ctx.vacancy_budget == 0;
+            let m_raw = m.idx() as u32;
+            for i in 0..removed.len() {
+                if !rescan_all {
+                    let e = entries[i];
+                    let Some(k) = e.m.iter().position(|&x| x == m_raw) else {
+                        continue; // scores elsewhere are untouched
+                    };
+                    if let Some(ne) = cascade(p, state, removed[i], &e, k, m) {
+                        entries[i] = ne;
+                        continue;
+                    }
+                }
+                let Some(e) = scan_regret(p, state, &ctx, removed[i]) else {
+                    state.removed = removed;
+                    state.regret = entries;
+                    return false;
+                };
+                entries[i] = e;
+            }
+        }
+        entries.clear();
+        state.removed = removed;
+        state.regret = entries;
+        true
+    }
+}
+
+impl RepairInPlace<SraProblem<'_>> for RandomizedGreedy {
+    fn name(&self) -> &str {
+        "randomized-greedy"
+    }
+
+    fn repair(&self, p: &SraProblem<'_>, state: &mut SraState, rng: &mut StdRng) -> bool {
+        let mut removed = std::mem::take(&mut state.removed);
+        sort_big_first_cached(state, &mut removed);
+        rebuild_order(state, p.inst.n_machines());
+        let mut ctx = InsertCtx::with_budget(state.vacancy_budget());
+        let n = p.inst.n_machines();
+        for (idx, &s) in removed.iter().enumerate() {
+            let mut best: Option<(MachineId, f64)> = None;
+            for _ in 0..self.sample.max(1) {
+                let m = MachineId::from(rng.random_range(0..n));
+                if !ctx.allowed(&state.asg, m) {
+                    continue;
+                }
+                if let Some((_, b)) = best {
+                    let pen = if m == p.inst.initial[s.idx()] {
+                        0.0
+                    } else {
+                        state.pen[s.idx()]
+                    };
+                    if state.loads[m.idx()] + pen >= b {
+                        continue;
+                    }
+                }
+                if let Some(score) = p.insertion_score(&state.asg, s, m) {
+                    if best.is_none_or(|(_, b)| score < b) {
+                        best = Some((m, score));
+                    }
+                }
+            }
+            let found = match best {
+                Some(x) => Some(x),
+                None => best_machine_cached(p, state, &ctx, s),
+            };
+            let Some((m, _)) = found else {
+                removed.drain(..idx);
+                state.removed = removed;
+                return false;
+            };
+            ctx.consume(&state.asg, m);
+            state.attach(p, s, m);
+            reposition(state, m);
+        }
+        removed.clear();
+        state.removed = removed;
+        true
+    }
+}
+
+/// The in-place default repair portfolio (same policies as
+/// [`default_repairs`]).
+pub fn default_repairs_in_place<'a>() -> Vec<Box<dyn RepairInPlace<SraProblem<'a>>>> {
+    vec![
+        Box::new(GreedyBestFit),
+        Box::new(Regret2Insert),
+        Box::new(RandomizedGreedy { sample: 8 }),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,11 +678,15 @@ mod tests {
     fn greedy_best_fit_balances() {
         let inst = inst();
         let p = SraProblem::new(&inst, Objective::pure(ObjectiveKind::PeakLoad));
-        let sol = GreedyBestFit.repair(&p, detach_all(&p), &mut rng()).unwrap();
+        let sol = Repair::repair(&GreedyBestFit, &p, detach_all(&p), &mut rng()).unwrap();
         assert!(p.is_feasible(&sol));
         // Greedy LPT on {6,3,2} over two usable machines (one must stay
         // vacant): 6 | 3+2 → peak 0.6.
-        assert!((sol.peak_load(&inst) - 0.6).abs() < 1e-9, "peak={}", sol.peak_load(&inst));
+        assert!(
+            (sol.peak_load(&inst) - 0.6).abs() < 1e-9,
+            "peak={}",
+            sol.peak_load(&inst)
+        );
     }
 
     #[test]
@@ -296,7 +707,7 @@ mod tests {
     fn regret2_produces_feasible_balanced_solution() {
         let inst = inst();
         let p = SraProblem::new(&inst, Objective::pure(ObjectiveKind::PeakLoad));
-        let sol = Regret2Insert.repair(&p, detach_all(&p), &mut rng()).unwrap();
+        let sol = Repair::repair(&Regret2Insert, &p, detach_all(&p), &mut rng()).unwrap();
         assert!(p.is_feasible(&sol));
         assert!(sol.peak_load(&inst) <= 0.9 + 1e-9);
     }
@@ -307,7 +718,8 @@ mod tests {
         let p = SraProblem::new(&inst, Objective::pure(ObjectiveKind::PeakLoad));
         for seed in 0..10 {
             let mut r = StdRng::seed_from_u64(seed);
-            let sol = RandomizedGreedy { sample: 2 }.repair(&p, detach_all(&p), &mut r).unwrap();
+            let sol = Repair::repair(&RandomizedGreedy { sample: 2 }, &p, detach_all(&p), &mut r)
+                .unwrap();
             assert!(p.is_feasible(&sol), "seed {seed}");
         }
     }
@@ -329,7 +741,10 @@ mod tests {
         asg.detach_shard(&inst, shard_b);
         asg.move_shard(&inst, g, MachineId(0));
         for repair in default_repairs() {
-            let partial = SraPartial { asg: asg.clone(), removed: vec![shard_b] };
+            let partial = SraPartial {
+                asg: asg.clone(),
+                removed: vec![shard_b],
+            };
             assert!(
                 repair.repair(&p, partial, &mut rng()).is_none(),
                 "{} should fail",
@@ -342,8 +757,8 @@ mod tests {
     fn greedy_is_deterministic() {
         let inst = inst();
         let p = SraProblem::new(&inst, Objective::pure(ObjectiveKind::PeakLoad));
-        let a = GreedyBestFit.repair(&p, detach_all(&p), &mut rng()).unwrap();
-        let b = GreedyBestFit.repair(&p, detach_all(&p), &mut rng()).unwrap();
+        let a = Repair::repair(&GreedyBestFit, &p, detach_all(&p), &mut rng()).unwrap();
+        let b = Repair::repair(&GreedyBestFit, &p, detach_all(&p), &mut rng()).unwrap();
         assert_eq!(a.placement(), b.placement());
     }
 
@@ -351,6 +766,70 @@ mod tests {
     fn default_portfolio_names() {
         let ops = default_repairs();
         let names: Vec<&str> = ops.iter().map(|o| o.name()).collect();
-        assert_eq!(names, vec!["greedy-best-fit", "regret-2", "randomized-greedy"]);
+        assert_eq!(
+            names,
+            vec!["greedy-best-fit", "regret-2", "randomized-greedy"]
+        );
+    }
+
+    #[test]
+    fn in_place_portfolio_mirrors_names() {
+        let ops = default_repairs_in_place();
+        let names: Vec<&str> = ops.iter().map(|o| o.name()).collect();
+        assert_eq!(
+            names,
+            vec!["greedy-best-fit", "regret-2", "randomized-greedy"]
+        );
+    }
+
+    #[test]
+    fn in_place_repairs_complete_detached_states() {
+        use rex_lns::{LnsProblem, LnsProblemInPlace};
+        let inst = inst();
+        let p = SraProblem::new(&inst, Objective::pure(ObjectiveKind::PeakLoad));
+        for repair in default_repairs_in_place() {
+            let mut state = p.make_state(Assignment::from_initial(&inst));
+            for i in 0..inst.n_shards() {
+                state.detach(&p, ShardId::from(i));
+            }
+            let ok = repair.repair(&p, &mut state, &mut rng());
+            assert!(ok, "{} failed on a repairable state", repair.name());
+            assert!(state.removed().is_empty());
+            assert!(p.state_feasible(&state), "{}", repair.name());
+            assert!(
+                LnsProblem::is_feasible(&p, state.solution()),
+                "{} produced an infeasible solution",
+                repair.name()
+            );
+            state.solution().validate_consistency(&inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn in_place_repair_failure_leaves_revertible_state() {
+        use rex_lns::LnsProblemInPlace;
+        // Same unrepairable configuration as `repair_fails_when_shard_cannot_fit`.
+        let mut b = InstanceBuilder::new(1);
+        let m0 = b.machine(&[20.0]);
+        let m1 = b.machine(&[8.0]);
+        b.shard(&[11.0], 1.0, m0);
+        let shard_b = b.shard(&[9.0], 1.0, m0);
+        let g = b.shard(&[5.0], 1.0, m1);
+        let inst = b.build().unwrap();
+        let p = SraProblem::new(&inst, Objective::default());
+        let mut asg = Assignment::from_initial(&inst);
+        asg.move_shard(&inst, g, MachineId(0));
+        let before = asg.placement().to_vec();
+        for repair in default_repairs_in_place() {
+            let mut state = p.make_state(asg.clone());
+            state.detach(&p, shard_b);
+            assert!(
+                !repair.repair(&p, &mut state, &mut rng()),
+                "{} should fail",
+                repair.name()
+            );
+            LnsProblemInPlace::revert(&p, &mut state);
+            assert_eq!(state.solution().placement(), before.as_slice());
+        }
     }
 }

@@ -1,16 +1,16 @@
 //! The SRA driver: search → plan → verify → report.
 
-use crate::destroy::default_destroys;
+use crate::destroy::default_destroys_in_place;
 use crate::problem::SraProblem;
-use crate::repair::default_repairs;
-use rex_cluster::{
-    plan_migration, verify_schedule, Assignment, BalanceReport, ClusterError, Instance,
-    MachineId, MigrationPlan, Objective, PlannerConfig,
-};
+use crate::repair::default_repairs_in_place;
 use rex_cluster::metrics::MigrationStats;
+use rex_cluster::{
+    plan_migration, verify_schedule, Assignment, BalanceReport, ClusterError, Instance, MachineId,
+    MigrationPlan, Objective, PlannerConfig,
+};
 use rex_lns::{
-    portfolio_search, Acceptance, EngineStats, HillClimb, LnsConfig, LnsEngine, LnsProblem,
-    PortfolioConfig, RecordToRecord, SimulatedAnnealing, TrajectoryPoint,
+    portfolio_search_in_place, Acceptance, EngineStats, HillClimb, InPlaceEngine, LnsConfig,
+    LnsProblem, PortfolioConfig, RecordToRecord, SimulatedAnnealing, TrajectoryPoint,
 };
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -115,7 +115,8 @@ pub struct SraResult {
 impl SraResult {
     /// Relative peak-load improvement over the initial placement.
     pub fn peak_improvement(&self) -> f64 {
-        self.final_report.peak_improvement_over(&self.initial_report)
+        self.final_report
+            .peak_improvement_over(&self.initial_report)
     }
 }
 
@@ -170,7 +171,10 @@ pub fn solve_with_drain(
                 let strict = SraProblem::new(inst, cfg.objective)
                     .with_drain(drain)
                     .with_plan_every(cfg.planner);
-                let strict_cfg = SraConfig { iters: (cfg.iters / 4).max(500), ..*cfg };
+                let strict_cfg = SraConfig {
+                    iters: (cfg.iters / 4).max(500),
+                    ..*cfg
+                };
                 let (b2, it2, stats2, traj2) =
                     run_search(&strict, &strict_cfg, cfg.seed.wrapping_add(1))?;
                 let plan = plan_migration(inst, &inst.initial, b2.placement(), &cfg.planner)
@@ -212,7 +216,9 @@ pub fn solve_with_drain(
     })
 }
 
-/// Runs the serial engine or the parallel portfolio.
+/// Runs the serial engine or the parallel portfolio. Both paths use the
+/// allocation-free in-place protocol (`InPlaceEngine` over `SraState`); the
+/// clone-based engine remains available for the ablation benches.
 fn run_search(
     problem: &SraProblem<'_>,
     cfg: &SraConfig,
@@ -227,24 +233,27 @@ fn run_search(
         ..Default::default()
     };
     if cfg.workers <= 1 {
-        let engine = LnsEngine::new(
+        let engine = InPlaceEngine::new(
             problem,
-            default_destroys(cfg.destroy_cap),
-            default_repairs(),
+            default_destroys_in_place(cfg.destroy_cap),
+            default_repairs_in_place(),
             cfg.acceptance.build(cfg.iters),
             lns_cfg,
         );
         let out = engine.run(initial, seed);
         Ok((out.best, out.iterations, Some(out.stats), out.trajectory))
     } else {
-        let pcfg = PortfolioConfig { workers: cfg.workers, engine: lns_cfg };
-        let out = portfolio_search(
+        let pcfg = PortfolioConfig {
+            workers: cfg.workers,
+            engine: lns_cfg,
+        };
+        let out = portfolio_search_in_place(
             problem,
             &initial,
             seed,
             &pcfg,
-            || default_destroys(cfg.destroy_cap),
-            default_repairs,
+            || default_destroys_in_place(cfg.destroy_cap),
+            default_repairs_in_place,
             || cfg.acceptance.build(cfg.iters),
         );
         let iters = out.worker_results.iter().map(|w| w.iterations).sum();
@@ -274,7 +283,7 @@ fn starting_solution(problem: &SraProblem<'_>) -> Result<Assignment, ClusterErro
             Ok(asg)
         } else {
             Err(ClusterError::VacancyShortfall {
-                required: inst.k_return,
+                required: problem.reserved_vacancies(),
                 found: asg.vacant_count(),
             })
         };
@@ -305,7 +314,7 @@ fn starting_solution(problem: &SraProblem<'_>) -> Result<Assignment, ClusterErro
         }
         let Some((m, _)) = best else {
             return Err(ClusterError::VacancyShortfall {
-                required: inst.k_return,
+                required: problem.reserved_vacancies(),
                 found: asg.vacant_count(),
             });
         };
@@ -316,7 +325,7 @@ fn starting_solution(problem: &SraProblem<'_>) -> Result<Assignment, ClusterErro
     }
     if !problem.is_feasible(&asg) {
         return Err(ClusterError::VacancyShortfall {
-            required: inst.k_return,
+            required: problem.reserved_vacancies(),
             found: asg.vacant_count(),
         });
     }
@@ -401,19 +410,29 @@ mod tests {
     #[test]
     fn parallel_solve_works_and_is_deterministic() {
         let inst = imbalanced();
-        let cfg = SraConfig { workers: 3, ..quick_cfg() };
+        let cfg = SraConfig {
+            workers: 3,
+            ..quick_cfg()
+        };
         let a = solve(&inst, &cfg).unwrap();
         let b = solve(&inst, &cfg).unwrap();
         assert_eq!(a.objective_value, b.objective_value);
         assert!(a.final_report.peak <= a.initial_report.peak);
-        assert!(a.stats.is_none(), "portfolio runs do not carry engine stats");
+        assert!(
+            a.stats.is_none(),
+            "portfolio runs do not carry engine stats"
+        );
     }
 
     #[test]
     fn never_worse_than_initial() {
         for seed in 0..4 {
             let inst = imbalanced();
-            let cfg = SraConfig { seed, iters: 300, ..quick_cfg() };
+            let cfg = SraConfig {
+                seed,
+                iters: 300,
+                ..quick_cfg()
+            };
             let res = solve(&inst, &cfg).unwrap();
             assert!(res.final_report.peak <= res.initial_report.peak + 1e-9);
         }
@@ -422,7 +441,10 @@ mod tests {
     #[test]
     fn trajectory_recorded_when_requested() {
         let inst = imbalanced();
-        let cfg = SraConfig { log_trajectory: true, ..quick_cfg() };
+        let cfg = SraConfig {
+            log_trajectory: true,
+            ..quick_cfg()
+        };
         let res = solve(&inst, &cfg).unwrap();
         assert!(!res.trajectory.is_empty());
         assert!(res.stats.is_some());
@@ -466,9 +488,16 @@ mod tests {
             AcceptanceKind::HillClimb,
             AcceptanceKind::RecordToRecord(0.02),
         ] {
-            let cfg = SraConfig { acceptance: acc, iters: 500, ..quick_cfg() };
+            let cfg = SraConfig {
+                acceptance: acc,
+                iters: 500,
+                ..quick_cfg()
+            };
             let res = solve(&inst, &cfg).unwrap();
-            assert!(res.final_report.peak <= res.initial_report.peak + 1e-9, "{acc:?}");
+            assert!(
+                res.final_report.peak <= res.initial_report.peak + 1e-9,
+                "{acc:?}"
+            );
         }
     }
 
@@ -476,7 +505,10 @@ mod tests {
     fn drain_empties_the_drained_machine() {
         let inst = imbalanced(); // m0 hot, m1 cool, m2 exchange
         let res = solve_with_drain(&inst, &quick_cfg(), &[MachineId(0)]).unwrap();
-        assert!(res.assignment.is_vacant(MachineId(0)), "drained machine must end vacant");
+        assert!(
+            res.assignment.is_vacant(MachineId(0)),
+            "drained machine must end vacant"
+        );
         res.assignment.check_target(&inst).unwrap();
         // The returned machine is never the drained one.
         assert!(!res.returned_machines.contains(&MachineId(0)));

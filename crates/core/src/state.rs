@@ -1,0 +1,486 @@
+//! The in-place search state for SRA: one working assignment plus the
+//! incremental caches that make delta objective evaluation cheap.
+//!
+//! The clone-based hot loop copies the whole `Assignment` every iteration
+//! and re-derives peak load, mean-square load, and migration cost from
+//! scratch — `O(shards + machines·dims)` per candidate. [`SraState`]
+//! instead tracks those quantities incrementally under the edits of one
+//! destroy/repair burst:
+//!
+//! * `loads[m]` — the normalized load of every machine, refreshed in
+//!   `O(dims)` whenever a shard is detached from / attached to `m`;
+//! * `sumsq` — `Σ loads²` (un-normalized), updated as
+//!   `sumsq += new² − old²`;
+//! * `peak` — maintained eagerly while loads only grow past it, marked
+//!   dirty when a peak-holding machine loses load and lazily rescanned on
+//!   the next objective evaluation;
+//! * `mig_cost` — the total move cost of shards placed off their initial
+//!   machine, adjusted by `±move_cost` on detach/attach;
+//! * `vacant` — the number of vacant machines, adjusted on transitions.
+//!
+//! Rejections restore the committed baseline **bit-exactly**: the
+//! [`rex_cluster::UndoLog`] restores placements and snapshots first-touch
+//! usage vectors, per-machine loads are recomputed from those restored
+//! usages (a pure function, hence bit-identical), and the scalar
+//! accumulators are copied back from the [`ScalarBase`] taken at the last
+//! commit. Accumulator drift (`sumsq`, `mig_cost` are running sums of
+//! floating-point deltas) is bounded by a full resynchronization every
+//! [`RESYNC_EVERY`] commits.
+
+use crate::problem::SraProblem;
+use rex_cluster::{plan_migration, Assignment, Instance, MachineId, ShardId, UndoLog};
+use rex_lns::{LnsProblem, LnsProblemInPlace};
+
+/// Full cache resynchronization period, in commits. Each accumulator
+/// update contributes at most one rounding error (~1e-16 relative), so a
+/// few thousand commits keep the drift orders of magnitude below the 1e-9
+/// tolerance the tests assert.
+const RESYNC_EVERY: u32 = 4096;
+
+/// Scalar accumulators snapshotted at each commit, restored on revert.
+#[derive(Clone, Copy, Debug)]
+struct ScalarBase {
+    peak: f64,
+    peak_dirty: bool,
+    sumsq: f64,
+    mig_cost: f64,
+    vacant: usize,
+}
+
+/// Mutable search state for the in-place SRA hot loop.
+///
+/// Operators access it through [`SraState::detach`] / [`SraState::attach`]
+/// (which keep every cache coherent and feed the undo log) and the
+/// read-only accessors; the engine drives revert/commit through
+/// [`LnsProblemInPlace`].
+pub struct SraState {
+    pub(crate) asg: Assignment,
+    /// Detached shards awaiting re-insertion (the in-place `SraPartial`).
+    pub(crate) removed: Vec<ShardId>,
+    pub(crate) undo: UndoLog,
+    /// Cached normalized load per machine.
+    pub(crate) loads: Vec<f64>,
+    peak: f64,
+    peak_dirty: bool,
+    /// Un-normalized `Σ loads²`.
+    sumsq: f64,
+    /// Total move cost of shards currently off their initial machine.
+    mig_cost: f64,
+    /// Cached vacant-machine count.
+    vacant: usize,
+    /// `k_return` plus the number of draining machines (fixed per run).
+    reserved: usize,
+    base: ScalarBase,
+    commits_since_resync: u32,
+    /// Machine-id scratch used by revert (touched-machine list).
+    touched: Vec<MachineId>,
+    /// Index scratch for destroy operators (shard/machine pools).
+    pub(crate) pool: Vec<u32>,
+    /// Scoring scratch for destroy operators.
+    pub(crate) scored: Vec<(f64, u32)>,
+    /// Best/second-best cache for the incremental regret-2 repair.
+    pub(crate) regret: Vec<RegretEntry>,
+    /// Per-shard migration penalty (`insertion_penalty`, assignment-free):
+    /// together with `loads` it lower-bounds any insertion score, letting
+    /// repair scans skip machines that cannot beat the running incumbent.
+    pub(crate) pen: Vec<f64>,
+    /// Machine ids sorted by `(load, id)` ascending — the repair scan
+    /// order. Rebuilt at the start of each in-place repair, repositioned
+    /// after each attach.
+    pub(crate) order: Vec<u32>,
+    /// Cached `inst.demand(s).norm()` per shard (static).
+    pub(crate) demand_norm: Vec<f64>,
+}
+
+/// Cached top-3 insertion choices of one detached shard, sorted by score.
+/// Slots 0 and 1 (best / second-best) are always value-exact — they define
+/// the regret. Slot 2 may be [`REGRET_ABSENT`] (provably no third feasible
+/// machine) or [`REGRET_UNKNOWN`] (not tracked; its score then stores a
+/// lower bound on every machine outside the entry). Invariant: any machine
+/// not named in `m` scores at least `s[2]`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RegretEntry {
+    pub(crate) m: [u32; 3],
+    pub(crate) s: [f64; 3],
+}
+
+/// Slot sentinel: no such feasible machine exists (score `INFINITY`).
+pub(crate) const REGRET_ABSENT: u32 = u32::MAX;
+/// Slot sentinel: a third-best exists but is not tracked; the slot's score
+/// is a lower bound on it (and on all other unscanned machines).
+pub(crate) const REGRET_UNKNOWN: u32 = u32::MAX - 1;
+
+impl SraState {
+    fn new(p: &SraProblem<'_>, asg: Assignment) -> Self {
+        let inst = p.inst;
+        let n = inst.n_machines();
+        let mut state = Self {
+            asg,
+            removed: Vec::with_capacity(inst.n_shards().min(256)),
+            undo: UndoLog::new(),
+            loads: vec![0.0; n],
+            peak: 0.0,
+            peak_dirty: false,
+            sumsq: 0.0,
+            mig_cost: 0.0,
+            vacant: 0,
+            reserved: p.reserved_vacancies(),
+            base: ScalarBase {
+                peak: 0.0,
+                peak_dirty: false,
+                sumsq: 0.0,
+                mig_cost: 0.0,
+                vacant: 0,
+            },
+            commits_since_resync: 0,
+            touched: Vec::new(),
+            pool: Vec::new(),
+            scored: Vec::new(),
+            regret: Vec::new(),
+            pen: (0..inst.n_shards())
+                .map(|i| p.insertion_penalty(ShardId::from(i)))
+                .collect(),
+            order: Vec::with_capacity(n),
+            demand_norm: (0..inst.n_shards())
+                .map(|i| inst.demand(ShardId::from(i)).norm())
+                .collect(),
+        };
+        state.resync(inst);
+        state.save_base();
+        state
+    }
+
+    /// The current working assignment.
+    pub fn solution(&self) -> &Assignment {
+        &self.asg
+    }
+
+    /// Shards detached by the current burst, not yet re-inserted.
+    pub fn removed(&self) -> &[ShardId] {
+        &self.removed
+    }
+
+    /// Cached normalized machine loads (index = machine id).
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Cached vacant-machine count.
+    pub fn vacant_count(&self) -> usize {
+        self.vacant
+    }
+
+    /// The vacancy budget for a repair pass, from the cached vacant count
+    /// (the in-place equivalent of [`SraProblem::vacancy_budget`]).
+    pub fn vacancy_budget(&self) -> usize {
+        self.vacant.saturating_sub(self.reserved)
+    }
+
+    /// Detaches `s`, logging the edit and pushing it onto `removed`.
+    pub(crate) fn detach(&mut self, p: &SraProblem<'_>, s: ShardId) {
+        let inst = p.inst;
+        let from = self.asg.detach_shard_logged(inst, s, &mut self.undo);
+        self.refresh_load(inst, from);
+        if self.asg.is_vacant(from) {
+            self.vacant += 1;
+        }
+        if from != inst.initial[s.idx()] {
+            self.mig_cost -= inst.shards[s.idx()].move_cost;
+        }
+        self.removed.push(s);
+    }
+
+    /// Attaches detached shard `s` to `m`, logging the edit. The caller
+    /// owns the `removed` bookkeeping (repairs drain the list).
+    pub(crate) fn attach(&mut self, p: &SraProblem<'_>, s: ShardId, m: MachineId) {
+        let inst = p.inst;
+        if self.asg.is_vacant(m) {
+            self.vacant -= 1;
+        }
+        self.asg.attach_shard_logged(inst, s, m, &mut self.undo);
+        self.refresh_load(inst, m);
+        if m != inst.initial[s.idx()] {
+            self.mig_cost += inst.shards[s.idx()].move_cost;
+        }
+    }
+
+    /// Recomputes `loads[m]` from the assignment's usage and folds the
+    /// change into `sumsq` and the (lazily maintained) peak.
+    fn refresh_load(&mut self, inst: &Instance, m: MachineId) {
+        let i = m.idx();
+        let old = self.loads[i];
+        let new = self.asg.usage(m).max_ratio(inst.capacity(m));
+        self.loads[i] = new;
+        self.sumsq += new * new - old * old;
+        if !self.peak_dirty {
+            if new >= self.peak {
+                self.peak = new; // grew past the peak: still exact
+            } else if old >= self.peak {
+                self.peak_dirty = true; // the peak holder shrank: rescan later
+            }
+        }
+    }
+
+    /// The current peak load, rescanning the cached loads if stale.
+    fn current_peak(&mut self) -> f64 {
+        if self.peak_dirty {
+            self.peak = self.loads.iter().copied().fold(0.0, f64::max);
+            self.peak_dirty = false;
+        }
+        self.peak
+    }
+
+    /// Rebuilds every cache from the assignment (drift resynchronization).
+    fn resync(&mut self, inst: &Instance) {
+        let mut sumsq = 0.0;
+        for i in 0..inst.n_machines() {
+            let m = MachineId::from(i);
+            let l = self.asg.usage(m).max_ratio(inst.capacity(m));
+            self.loads[i] = l;
+            sumsq += l * l;
+        }
+        self.sumsq = sumsq;
+        self.peak = self.loads.iter().copied().fold(0.0, f64::max);
+        self.peak_dirty = false;
+        self.vacant = self.asg.vacant_count();
+        self.mig_cost = self
+            .asg
+            .placement()
+            .iter()
+            .zip(&inst.initial)
+            .enumerate()
+            .filter(|&(i, (a, b))| a != b && !self.asg.is_detached(ShardId::from(i)))
+            .map(|(i, _)| inst.shards[i].move_cost)
+            .sum();
+    }
+
+    fn save_base(&mut self) {
+        self.base = ScalarBase {
+            peak: self.peak,
+            peak_dirty: self.peak_dirty,
+            sumsq: self.sumsq,
+            mig_cost: self.mig_cost,
+            vacant: self.vacant,
+        };
+    }
+}
+
+impl LnsProblemInPlace for SraProblem<'_> {
+    type State = SraState;
+
+    fn make_state(&self, sol: Assignment) -> SraState {
+        SraState::new(self, sol)
+    }
+
+    fn state_objective(&self, state: &mut SraState) -> f64 {
+        let n = self.inst.n_machines() as f64;
+        let balance = match self.objective.kind {
+            rex_cluster::ObjectiveKind::PeakLoad => state.current_peak(),
+            rex_cluster::ObjectiveKind::L2Imbalance => (state.sumsq / n).sqrt(),
+        };
+        let mut value = balance;
+        let total = self.total_move_cost();
+        if self.objective.lambda != 0.0 && total > 0.0 {
+            value += self.objective.lambda * state.mig_cost / total;
+        }
+        if self.smoothing > 0.0 {
+            value += self.smoothing * state.sumsq / n;
+        }
+        value
+    }
+
+    fn state_feasible(&self, state: &SraState) -> bool {
+        if !state.removed.is_empty() || state.vacant < state.reserved {
+            return false;
+        }
+        // Inductive invariant: the committed baseline is feasible, so only
+        // machines this burst touched can have gone over capacity or
+        // violated the drain condition.
+        for m in state.undo.touched_machines() {
+            if !state.asg.usage(m).fits_within(self.inst.capacity(m)) {
+                return false;
+            }
+            if self.is_drained(m) && !state.asg.is_vacant(m) {
+                return false;
+            }
+        }
+        if self.plan_every {
+            plan_migration(
+                self.inst,
+                &self.inst.initial,
+                state.asg.placement(),
+                &self.planner,
+            )
+            .is_ok()
+        } else {
+            true
+        }
+    }
+
+    fn state_accept_best(&self, state: &SraState) -> bool {
+        self.accept_best(&state.asg)
+    }
+
+    fn snapshot(&self, state: &SraState) -> Assignment {
+        state.asg.clone()
+    }
+
+    fn revert(&self, state: &mut SraState) {
+        let inst = self.inst;
+        let mut touched = std::mem::take(&mut state.touched);
+        touched.clear();
+        touched.extend(state.undo.touched_machines());
+        state.asg.revert(inst, &mut state.undo);
+        for &m in &touched {
+            // Pure function of the bit-exactly restored usage → bit-exact.
+            state.loads[m.idx()] = state.asg.usage(m).max_ratio(inst.capacity(m));
+        }
+        state.touched = touched;
+        state.peak = state.base.peak;
+        state.peak_dirty = state.base.peak_dirty;
+        state.sumsq = state.base.sumsq;
+        state.mig_cost = state.base.mig_cost;
+        state.vacant = state.base.vacant;
+        state.removed.clear();
+    }
+
+    fn commit(&self, state: &mut SraState) {
+        debug_assert!(state.removed.is_empty(), "committing an incomplete state");
+        state.undo.commit();
+        state.commits_since_resync += 1;
+        if state.commits_since_resync >= RESYNC_EVERY {
+            state.resync(self.inst);
+            state.commits_since_resync = 0;
+        }
+        state.save_base();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use rex_cluster::{InstanceBuilder, Objective, ObjectiveKind};
+
+    fn inst() -> rex_cluster::Instance {
+        let mut b = InstanceBuilder::new(2).label("state");
+        let m0 = b.machine(&[10.0, 10.0]);
+        let m1 = b.machine(&[10.0, 10.0]);
+        let m2 = b.machine(&[10.0, 10.0]);
+        let _x = b.exchange_machine(&[10.0, 10.0]);
+        b.shard(&[4.0, 1.0], 2.0, m0);
+        b.shard(&[3.0, 2.0], 1.0, m0);
+        b.shard(&[1.0, 1.0], 1.5, m1);
+        b.shard(&[1.5, 0.5], 1.0, m1);
+        b.shard(&[2.0, 2.0], 1.0, m2);
+        b.build().unwrap()
+    }
+
+    fn full_objective(p: &SraProblem<'_>, asg: &Assignment) -> f64 {
+        LnsProblem::objective(p, asg)
+    }
+
+    #[test]
+    fn make_state_matches_full_objective() {
+        let inst = inst();
+        let p = SraProblem::new(&inst, Objective::default());
+        let asg = Assignment::from_initial(&inst);
+        let full = full_objective(&p, &asg);
+        let mut state = p.make_state(asg);
+        assert!((p.state_objective(&mut state) - full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn revert_restores_bit_exactly() {
+        let inst = inst();
+        let p = SraProblem::new(&inst, Objective::default());
+        let mut state = p.make_state(Assignment::from_initial(&inst));
+        let before_placement = state.asg.placement().to_vec();
+        let before_loads = state.loads.clone();
+        let before_obj = p.state_objective(&mut state);
+
+        state.detach(&p, ShardId(0));
+        state.detach(&p, ShardId(2));
+        let removed: Vec<ShardId> = state.removed.drain(..).collect();
+        for s in removed {
+            state.attach(&p, s, MachineId(2));
+        }
+        assert_ne!(state.asg.placement(), before_placement.as_slice());
+
+        LnsProblemInPlace::revert(&p, &mut state);
+        assert_eq!(state.asg.placement(), before_placement.as_slice());
+        assert_eq!(state.loads, before_loads, "loads must restore bit-exactly");
+        assert_eq!(p.state_objective(&mut state), before_obj);
+        state.asg.validate_consistency(&inst).unwrap();
+    }
+
+    #[test]
+    fn delta_objective_tracks_full_recompute_over_random_edits() {
+        let inst = inst();
+        for kind in [ObjectiveKind::PeakLoad, ObjectiveKind::L2Imbalance] {
+            let p = SraProblem::new(&inst, Objective { kind, lambda: 0.3 });
+            let mut state = p.make_state(Assignment::from_initial(&inst));
+            let mut rng = StdRng::seed_from_u64(7);
+            for round in 0..500 {
+                let s = ShardId::from(rng.random_range(0..inst.n_shards()));
+                state.detach(&p, s);
+                // Reattach somewhere it fits (possibly where it came from).
+                let mut target = None;
+                for mi in 0..inst.n_machines() {
+                    let m = MachineId::from(mi);
+                    if state.asg.fits(&inst, s, m) {
+                        target = Some(m);
+                        if rng.random_range(0..2) == 1 {
+                            break;
+                        }
+                    }
+                }
+                state.removed.clear();
+                state.attach(&p, s, target.expect("shard fits somewhere"));
+                let delta = p.state_objective(&mut state);
+                let full = full_objective(&p, &state.asg);
+                assert!(
+                    (delta - full).abs() < 1e-9,
+                    "round {round}: delta {delta} vs full {full}"
+                );
+                if round % 3 == 0 {
+                    LnsProblemInPlace::revert(&p, &mut state);
+                } else {
+                    LnsProblemInPlace::commit(&p, &mut state);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_feasibility_agrees_with_clone_check() {
+        let inst = inst();
+        let p = SraProblem::new(&inst, Objective::default());
+        let mut state = p.make_state(Assignment::from_initial(&inst));
+        assert_eq!(p.state_feasible(&state), p.is_feasible(&state.asg));
+
+        // Incomplete state is infeasible.
+        state.detach(&p, ShardId(0));
+        assert!(!p.state_feasible(&state));
+
+        // Occupying the reserved vacancy is infeasible.
+        let s = state.removed.pop().unwrap();
+        state.attach(&p, s, MachineId(3));
+        assert_eq!(p.state_feasible(&state), p.is_feasible(&state.asg));
+        assert!(!p.state_feasible(&state));
+        LnsProblemInPlace::revert(&p, &mut state);
+        assert!(p.state_feasible(&state));
+    }
+
+    #[test]
+    fn vacancy_budget_matches_clone_computation() {
+        let inst = inst();
+        let p = SraProblem::new(&inst, Objective::default());
+        let mut state = p.make_state(Assignment::from_initial(&inst));
+        assert_eq!(state.vacancy_budget(), p.vacancy_budget(&state.asg));
+        state.detach(&p, ShardId(4)); // vacates m2
+        assert_eq!(state.vacancy_budget(), p.vacancy_budget(&state.asg));
+        assert_eq!(state.vacancy_budget(), 1);
+    }
+}

@@ -68,7 +68,12 @@ impl SimulatedAnnealing {
     /// iteration, floored at `t_min`.
     pub fn new(t0: f64, cooling: f64, t_min: f64) -> Self {
         assert!(t0 > 0.0 && (0.0..1.0).contains(&cooling) && t_min > 0.0);
-        Self { t0, cooling, t_min, temperature: t0 }
+        Self {
+            t0,
+            cooling,
+            t_min,
+            temperature: t0,
+        }
     }
 
     /// A schedule tuned for objectives on the `[0, ~2]` scale of normalized
@@ -169,11 +174,18 @@ mod tests {
     fn sa_accepts_some_worsenings_when_hot_and_none_when_cold() {
         let mut hot = SimulatedAnnealing::new(10.0, 0.99, 1e-9);
         let mut r = rng();
-        let accepted_hot = (0..1000).filter(|_| hot.accept(1.01, 1.0, 1.0, &mut r)).count();
-        assert!(accepted_hot > 900, "hot SA should accept almost everything, got {accepted_hot}");
+        let accepted_hot = (0..1000)
+            .filter(|_| hot.accept(1.01, 1.0, 1.0, &mut r))
+            .count();
+        assert!(
+            accepted_hot > 900,
+            "hot SA should accept almost everything, got {accepted_hot}"
+        );
 
         let mut cold = SimulatedAnnealing::new(1e-9, 0.99, 1e-12);
-        let accepted_cold = (0..1000).filter(|_| cold.accept(1.01, 1.0, 1.0, &mut r)).count();
+        let accepted_cold = (0..1000)
+            .filter(|_| cold.accept(1.01, 1.0, 1.0, &mut r))
+            .count();
         assert_eq!(accepted_cold, 0, "cold SA should reject all worsenings");
     }
 

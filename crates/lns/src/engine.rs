@@ -1,7 +1,9 @@
 //! The ALNS iteration engine.
 
 use crate::accept::Acceptance;
-use crate::problem::{Destroy, LnsProblem, Repair};
+use crate::problem::{
+    Destroy, DestroyInPlace, LnsProblem, LnsProblemInPlace, Repair, RepairInPlace,
+};
 use crate::weights::{IterationOutcome, OperatorWeights};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -131,8 +133,17 @@ impl<'a, P: LnsProblem> LnsEngine<'a, P> {
         assert!(!destroys.is_empty(), "need at least one destroy operator");
         assert!(!repairs.is_empty(), "need at least one repair operator");
         let (lo, hi) = config.intensity;
-        assert!(lo > 0.0 && hi <= 1.0 && lo <= hi, "bad intensity range ({lo}, {hi})");
-        Self { problem, destroys, repairs, acceptance, config }
+        assert!(
+            lo > 0.0 && hi <= 1.0 && lo <= hi,
+            "bad intensity range ({lo}, {hi})"
+        );
+        Self {
+            problem,
+            destroys,
+            repairs,
+            acceptance,
+            config,
+        }
     }
 
     /// Runs the search from `initial` (must be feasible) with the given
@@ -144,8 +155,13 @@ impl<'a, P: LnsProblem> LnsEngine<'a, P> {
         );
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut dweights = OperatorWeights::new(self.destroys.len(), self.config.rho, self.config.segment_len);
-        let mut rweights = OperatorWeights::new(self.repairs.len(), self.config.rho, self.config.segment_len);
+        let mut dweights = OperatorWeights::new(
+            self.destroys.len(),
+            self.config.rho,
+            self.config.segment_len,
+        );
+        let mut rweights =
+            OperatorWeights::new(self.repairs.len(), self.config.rho, self.config.segment_len);
         let mut stats = EngineStats::default();
         let mut trajectory = Vec::new();
 
@@ -154,7 +170,11 @@ impl<'a, P: LnsProblem> LnsEngine<'a, P> {
         let mut best = initial;
         let mut f_best = f_current;
         if self.config.log_trajectory {
-            trajectory.push(TrajectoryPoint { iteration: 0, elapsed_secs: 0.0, objective: f_best });
+            trajectory.push(TrajectoryPoint {
+                iteration: 0,
+                elapsed_secs: 0.0,
+                objective: f_best,
+            });
         }
 
         let (ilo, ihi) = self.config.intensity;
@@ -171,7 +191,11 @@ impl<'a, P: LnsProblem> LnsEngine<'a, P> {
 
             let di = dweights.pick(&mut rng);
             let ri = rweights.pick(&mut rng);
-            let intensity = if ilo < ihi { rng.random_range(ilo..ihi) } else { ilo };
+            let intensity = if ilo < ihi {
+                rng.random_range(ilo..ihi)
+            } else {
+                ilo
+            };
 
             let partial = self.destroys[di].destroy(self.problem, &current, intensity, &mut rng);
             let outcome = match self.repairs[ri].repair(self.problem, partial, &mut rng) {
@@ -261,11 +285,198 @@ impl<'a, P: LnsProblem> LnsEngine<'a, P> {
     }
 }
 
+/// The allocation-free ALNS engine over the in-place edit protocol.
+///
+/// Same iteration semantics, acceptance handling, statistics invariants
+/// (`accepted + rejected + repair_failures + infeasible == iterations`),
+/// adaptive weights, trajectory recording, and time-limit behavior as
+/// [`LnsEngine`] — but instead of cloning the incumbent each iteration,
+/// destroy/repair mutate one working state and the engine **reverts** the
+/// recorded edits on rejection and **commits** them on acceptance. The
+/// only per-iteration allocation left on the hot path is the solution
+/// clone taken when a new global best is recorded.
+pub struct InPlaceEngine<'a, P: LnsProblemInPlace> {
+    problem: &'a P,
+    destroys: Vec<Box<dyn DestroyInPlace<P>>>,
+    repairs: Vec<Box<dyn RepairInPlace<P>>>,
+    acceptance: Box<dyn Acceptance>,
+    config: LnsConfig,
+}
+
+impl<'a, P: LnsProblemInPlace> InPlaceEngine<'a, P> {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    /// If either operator list is empty, or the intensity range is not
+    /// within `(0, 1]` with `min <= max`.
+    pub fn new(
+        problem: &'a P,
+        destroys: Vec<Box<dyn DestroyInPlace<P>>>,
+        repairs: Vec<Box<dyn RepairInPlace<P>>>,
+        acceptance: Box<dyn Acceptance>,
+        config: LnsConfig,
+    ) -> Self {
+        assert!(!destroys.is_empty(), "need at least one destroy operator");
+        assert!(!repairs.is_empty(), "need at least one repair operator");
+        let (lo, hi) = config.intensity;
+        assert!(
+            lo > 0.0 && hi <= 1.0 && lo <= hi,
+            "bad intensity range ({lo}, {hi})"
+        );
+        Self {
+            problem,
+            destroys,
+            repairs,
+            acceptance,
+            config,
+        }
+    }
+
+    /// Runs the search from `initial` (must be feasible) with the given
+    /// deterministic seed.
+    pub fn run(mut self, initial: P::Solution, seed: u64) -> SearchOutcome<P::Solution> {
+        assert!(
+            self.problem.is_feasible(&initial),
+            "LNS must start from a feasible solution"
+        );
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dweights = OperatorWeights::new(
+            self.destroys.len(),
+            self.config.rho,
+            self.config.segment_len,
+        );
+        let mut rweights =
+            OperatorWeights::new(self.repairs.len(), self.config.rho, self.config.segment_len);
+        let mut stats = EngineStats::default();
+        let mut trajectory = Vec::new();
+
+        let mut best = initial.clone();
+        let mut state = self.problem.make_state(initial);
+        let mut f_current = self.problem.state_objective(&mut state);
+        let mut f_best = f_current;
+        if self.config.log_trajectory {
+            trajectory.push(TrajectoryPoint {
+                iteration: 0,
+                elapsed_secs: 0.0,
+                objective: f_best,
+            });
+        }
+
+        let (ilo, ihi) = self.config.intensity;
+        let mut iters = 0u64;
+        while iters < self.config.max_iters {
+            if iters.is_multiple_of(64) {
+                if let Some(limit) = self.config.time_limit {
+                    if start.elapsed() >= limit {
+                        break;
+                    }
+                }
+            }
+            iters += 1;
+
+            let di = dweights.pick(&mut rng);
+            let ri = rweights.pick(&mut rng);
+            let intensity = if ilo < ihi {
+                rng.random_range(ilo..ihi)
+            } else {
+                ilo
+            };
+
+            self.destroys[di].destroy(self.problem, &mut state, intensity, &mut rng);
+            let outcome = if !self.repairs[ri].repair(self.problem, &mut state, &mut rng) {
+                self.problem.revert(&mut state);
+                stats.repair_failures += 1;
+                IterationOutcome::Rejected
+            } else if !self.problem.state_feasible(&state) {
+                self.problem.revert(&mut state);
+                stats.infeasible += 1;
+                IterationOutcome::Rejected
+            } else {
+                let f_cand = self.problem.state_objective(&mut state);
+                if self.acceptance.accept(f_cand, f_current, f_best, &mut rng) {
+                    stats.accepted += 1;
+                    let gate_ok = f_cand < f_best && {
+                        let ok = self.problem.state_accept_best(&state);
+                        if !ok {
+                            stats.best_gate_rejections += 1;
+                        }
+                        ok
+                    };
+                    let outcome = if gate_ok {
+                        stats.new_bests += 1;
+                        best = self.problem.snapshot(&state);
+                        f_best = f_cand;
+                        if self.config.log_trajectory {
+                            trajectory.push(TrajectoryPoint {
+                                iteration: iters,
+                                elapsed_secs: start.elapsed().as_secs_f64(),
+                                objective: f_best,
+                            });
+                        }
+                        IterationOutcome::NewBest
+                    } else if f_cand < f_current {
+                        stats.improved += 1;
+                        IterationOutcome::Improved
+                    } else {
+                        IterationOutcome::Accepted
+                    };
+                    self.problem.commit(&mut state);
+                    f_current = f_cand;
+                    outcome
+                } else {
+                    self.problem.revert(&mut state);
+                    stats.rejected += 1;
+                    IterationOutcome::Rejected
+                }
+            };
+            self.acceptance.step();
+            dweights.record(di, outcome);
+            rweights.record(ri, outcome);
+        }
+
+        stats.destroy_ops = self
+            .destroys
+            .iter()
+            .enumerate()
+            .map(|(i, d)| OperatorStat {
+                name: d.name().to_string(),
+                uses: dweights.uses(i),
+                bests: dweights.bests(i),
+                weight: dweights.weight(i),
+            })
+            .collect();
+        stats.repair_ops = self
+            .repairs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| OperatorStat {
+                name: r.name().to_string(),
+                uses: rweights.uses(i),
+                bests: rweights.bests(i),
+                weight: rweights.weight(i),
+            })
+            .collect();
+
+        SearchOutcome {
+            best,
+            best_objective: f_best,
+            iterations: iters,
+            elapsed: start.elapsed(),
+            stats,
+            trajectory,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::accept::{HillClimb, SimulatedAnnealing};
-    use crate::toy::{GreedyInsert, PartitionProblem, RandomRemove, WorstBinRemove};
+    use crate::toy::{
+        GreedyInsert, GreedyInsertInPlace, PartitionProblem, RandomRemove, RandomRemoveInPlace,
+        WorstBinRemove, WorstBinRemoveInPlace,
+    };
 
     fn engine_on(problem: &PartitionProblem, iters: u64) -> LnsEngine<'_, PartitionProblem> {
         LnsEngine::new(
@@ -273,7 +484,11 @@ mod tests {
             vec![Box::new(RandomRemove), Box::new(WorstBinRemove)],
             vec![Box::new(GreedyInsert)],
             Box::new(SimulatedAnnealing::for_normalized_loads(iters as usize)),
-            LnsConfig { max_iters: iters, log_trajectory: true, ..Default::default() },
+            LnsConfig {
+                max_iters: iters,
+                log_trajectory: true,
+                ..Default::default()
+            },
         )
     }
 
@@ -283,7 +498,11 @@ mod tests {
         let initial = problem.all_in_first_bin();
         let f0 = problem.objective(&initial);
         let out = engine_on(&problem, 3_000).run(initial, 7);
-        assert!(out.best_objective < f0 * 0.5, "f0={f0} best={}", out.best_objective);
+        assert!(
+            out.best_objective < f0 * 0.5,
+            "f0={f0} best={}",
+            out.best_objective
+        );
         assert!(problem.is_feasible(&out.best));
     }
 
@@ -410,7 +629,10 @@ mod tests {
             vec![Box::new(D2) as Box<dyn Destroy<Gated>>],
             vec![Box::new(R2) as Box<dyn Repair<Gated>>],
             Box::new(SimulatedAnnealing::for_normalized_loads(1_000)),
-            LnsConfig { max_iters: 1_000, ..Default::default() },
+            LnsConfig {
+                max_iters: 1_000,
+                ..Default::default()
+            },
         );
         let out = engine.run(gated.0.all_in_first_bin(), 6);
         assert_eq!(out.best[0] % 2, 0, "gated best must satisfy accept_best");
@@ -441,6 +663,116 @@ mod tests {
             Box::new(HillClimb),
             LnsConfig::default(),
         );
+        let _ = engine.run(bad, 0);
+    }
+
+    fn in_place_engine_on(
+        problem: &PartitionProblem,
+        iters: u64,
+    ) -> InPlaceEngine<'_, PartitionProblem> {
+        InPlaceEngine::new(
+            problem,
+            vec![
+                Box::new(RandomRemoveInPlace),
+                Box::new(WorstBinRemoveInPlace),
+            ],
+            vec![Box::new(GreedyInsertInPlace)],
+            Box::new(SimulatedAnnealing::for_normalized_loads(iters as usize)),
+            LnsConfig {
+                max_iters: iters,
+                log_trajectory: true,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn in_place_improves_a_bad_partition() {
+        let problem = PartitionProblem::random(40, 4, 123);
+        let initial = problem.all_in_first_bin();
+        let f0 = problem.objective(&initial);
+        let out = in_place_engine_on(&problem, 3_000).run(initial, 7);
+        assert!(
+            out.best_objective < f0 * 0.5,
+            "f0={f0} best={}",
+            out.best_objective
+        );
+        assert!(problem.is_feasible(&out.best));
+        // The returned best objective must match a fresh full evaluation of
+        // the returned solution (delta caches cannot leak into the result).
+        assert!((problem.objective(&out.best) - out.best_objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_place_deterministic_given_seed() {
+        let problem = PartitionProblem::random(30, 3, 5);
+        let initial = problem.all_in_first_bin();
+        let a = in_place_engine_on(&problem, 500).run(initial.clone(), 99);
+        let b = in_place_engine_on(&problem, 500).run(initial, 99);
+        assert_eq!(a.best_objective, b.best_objective);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.stats.accepted, b.stats.accepted);
+        assert_eq!(a.best, b.best);
+    }
+
+    #[test]
+    fn in_place_stats_account_for_all_iterations() {
+        let problem = PartitionProblem::random(25, 3, 2);
+        let out = in_place_engine_on(&problem, 1_000).run(problem.all_in_first_bin(), 4);
+        let s = &out.stats;
+        assert_eq!(
+            s.accepted + s.rejected + s.repair_failures + s.infeasible,
+            out.iterations
+        );
+        let uses: u64 = s.destroy_ops.iter().map(|o| o.uses).sum();
+        assert_eq!(uses, out.iterations);
+    }
+
+    #[test]
+    fn in_place_matches_clone_based_quality() {
+        // Not bit-identical (delta evaluation rounds differently on
+        // acceptance ties), but the two hot paths explore the same
+        // neighborhoods and must land in the same quality band.
+        let problem = PartitionProblem::random(40, 4, 9);
+        let initial = problem.all_in_first_bin();
+        let cloned = engine_on(&problem, 3_000).run(initial.clone(), 17);
+        let in_place = in_place_engine_on(&problem, 3_000).run(initial, 17);
+        assert!(
+            (cloned.best_objective - in_place.best_objective).abs() < 0.2,
+            "clone {} vs in-place {}",
+            cloned.best_objective,
+            in_place.best_objective
+        );
+    }
+
+    #[test]
+    fn in_place_result_never_worse_than_initial() {
+        for seed in 0..5 {
+            let problem = PartitionProblem::random(20, 3, seed);
+            let initial = problem.all_in_first_bin();
+            let f0 = problem.objective(&initial);
+            let out = in_place_engine_on(&problem, 200).run(initial, seed);
+            assert!(out.best_objective <= f0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn in_place_trajectory_is_monotone_decreasing() {
+        let problem = PartitionProblem::random(40, 4, 11);
+        let out = in_place_engine_on(&problem, 2_000).run(problem.all_in_first_bin(), 3);
+        assert!(!out.trajectory.is_empty());
+        for w in out.trajectory.windows(2) {
+            assert!(w[1].objective < w[0].objective);
+            assert!(w[1].iteration >= w[0].iteration);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn in_place_rejects_infeasible_start() {
+        let problem = PartitionProblem::random(5, 2, 1);
+        let bad = problem.infeasible_solution();
+        let engine = in_place_engine_on(&problem, 10);
         let _ = engine.run(bad, 0);
     }
 }

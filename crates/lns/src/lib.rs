@@ -12,10 +12,16 @@
 //!
 //! * [`problem::LnsProblem`], [`problem::Destroy`], [`problem::Repair`] —
 //!   the domain interface,
+//! * [`problem::LnsProblemInPlace`], [`problem::DestroyInPlace`],
+//!   [`problem::RepairInPlace`] — the allocation-free in-place edit
+//!   protocol (destroy/repair mutate one working state; rejected edits are
+//!   reverted from an undo log instead of discarding a clone),
 //! * [`accept`] — hill-climbing, simulated annealing, record-to-record,
 //! * [`weights::OperatorWeights`] — adaptive operator selection,
-//! * [`engine::LnsEngine`] — the iteration loop, with a best-objective
-//!   trajectory recorder for convergence plots,
+//! * [`engine::LnsEngine`] — the clone-based iteration loop, with a
+//!   best-objective trajectory recorder for convergence plots,
+//! * [`engine::InPlaceEngine`] — the same loop over the in-place protocol
+//!   (the hot path used by SRA),
 //! * [`portfolio`] — a rayon-parallel multi-start runner with a
 //!   deterministic reduction,
 //! * [`toy`] — a tiny number-partitioning problem used by the tests and the
@@ -33,7 +39,11 @@ pub mod toy;
 pub mod weights;
 
 pub use accept::{Acceptance, HillClimb, RecordToRecord, SimulatedAnnealing};
-pub use engine::{EngineStats, LnsConfig, LnsEngine, SearchOutcome, TrajectoryPoint};
-pub use portfolio::{portfolio_search, PortfolioConfig, PortfolioOutcome};
-pub use problem::{Destroy, LnsProblem, Repair};
+pub use engine::{
+    EngineStats, InPlaceEngine, LnsConfig, LnsEngine, SearchOutcome, TrajectoryPoint,
+};
+pub use portfolio::{
+    portfolio_search, portfolio_search_in_place, PortfolioConfig, PortfolioOutcome,
+};
+pub use problem::{Destroy, DestroyInPlace, LnsProblem, LnsProblemInPlace, Repair, RepairInPlace};
 pub use weights::OperatorWeights;

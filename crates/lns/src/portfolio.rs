@@ -7,8 +7,10 @@
 //! the determinism discipline the HPC guides call for.
 
 use crate::accept::Acceptance;
-use crate::engine::{LnsConfig, LnsEngine, SearchOutcome};
-use crate::problem::{Destroy, LnsProblem, Repair};
+use crate::engine::{InPlaceEngine, LnsConfig, LnsEngine, SearchOutcome};
+use crate::problem::{
+    Destroy, DestroyInPlace, LnsProblem, LnsProblemInPlace, Repair, RepairInPlace,
+};
 use rayon::prelude::*;
 use serde::Serialize;
 
@@ -23,7 +25,10 @@ pub struct PortfolioConfig {
 
 impl Default for PortfolioConfig {
     fn default() -> Self {
-        Self { workers: 4, engine: LnsConfig::default() }
+        Self {
+            workers: 4,
+            engine: LnsConfig::default(),
+        }
     }
 }
 
@@ -90,7 +95,70 @@ where
 
     let worker_results: Vec<WorkerResult> = outcomes
         .iter()
-        .map(|(w, o)| WorkerResult { worker: *w, objective: o.best_objective, iterations: o.iterations })
+        .map(|(w, o)| WorkerResult {
+            worker: *w,
+            objective: o.best_objective,
+            iterations: o.iterations,
+        })
+        .collect();
+
+    let (winner, best_outcome) = outcomes
+        .into_iter()
+        .min_by(|(wa, a), (wb, b)| {
+            a.best_objective
+                .partial_cmp(&b.best_objective)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(wa.cmp(wb))
+        })
+        .expect("at least one worker");
+
+    PortfolioOutcome {
+        best: best_outcome.best,
+        best_objective: best_outcome.best_objective,
+        winner,
+        worker_results,
+    }
+}
+
+/// [`portfolio_search`] over the in-place edit protocol: each worker runs
+/// an [`InPlaceEngine`] with its own private state (built once per worker
+/// from the shared initial solution). Same seed derivation and the same
+/// order-independent deterministic reduction.
+pub fn portfolio_search_in_place<P>(
+    problem: &P,
+    initial: &P::Solution,
+    base_seed: u64,
+    cfg: &PortfolioConfig,
+    make_destroys: impl Fn() -> Vec<Box<dyn DestroyInPlace<P>>> + Sync,
+    make_repairs: impl Fn() -> Vec<Box<dyn RepairInPlace<P>>> + Sync,
+    make_acceptance: impl Fn() -> Box<dyn Acceptance> + Sync,
+) -> PortfolioOutcome<P::Solution>
+where
+    P: LnsProblemInPlace + Sync,
+    P::Solution: Sync,
+{
+    assert!(cfg.workers >= 1, "portfolio needs at least one worker");
+    let outcomes: Vec<(usize, SearchOutcome<P::Solution>)> = (0..cfg.workers)
+        .into_par_iter()
+        .map(|w| {
+            let engine = InPlaceEngine::new(
+                problem,
+                make_destroys(),
+                make_repairs(),
+                make_acceptance(),
+                cfg.engine,
+            );
+            (w, engine.run(initial.clone(), worker_seed(base_seed, w)))
+        })
+        .collect();
+
+    let worker_results: Vec<WorkerResult> = outcomes
+        .iter()
+        .map(|(w, o)| WorkerResult {
+            worker: *w,
+            objective: o.best_objective,
+            iterations: o.iterations,
+        })
         .collect();
 
     let (winner, best_outcome) = outcomes
@@ -115,14 +183,20 @@ where
 mod tests {
     use super::*;
     use crate::accept::SimulatedAnnealing;
-    use crate::toy::{GreedyInsert, PartitionProblem, RandomRemove, WorstBinRemove};
+    use crate::toy::{
+        GreedyInsert, GreedyInsertInPlace, PartitionProblem, RandomRemove, RandomRemoveInPlace,
+        WorstBinRemove, WorstBinRemoveInPlace,
+    };
 
     fn run(workers: usize, seed: u64) -> PortfolioOutcome<Vec<usize>> {
         let problem = PartitionProblem::random(40, 4, 77);
         let initial = problem.all_in_first_bin();
         let cfg = PortfolioConfig {
             workers,
-            engine: LnsConfig { max_iters: 1_500, ..Default::default() },
+            engine: LnsConfig {
+                max_iters: 1_500,
+                ..Default::default()
+            },
         };
         portfolio_search(
             &problem,
@@ -186,5 +260,50 @@ mod tests {
     #[should_panic]
     fn zero_workers_panics() {
         run(0, 1);
+    }
+
+    fn run_in_place(workers: usize, seed: u64) -> PortfolioOutcome<Vec<usize>> {
+        let problem = PartitionProblem::random(40, 4, 77);
+        let initial = problem.all_in_first_bin();
+        let cfg = PortfolioConfig {
+            workers,
+            engine: LnsConfig {
+                max_iters: 1_500,
+                ..Default::default()
+            },
+        };
+        portfolio_search_in_place(
+            &problem,
+            &initial,
+            seed,
+            &cfg,
+            || {
+                vec![
+                    Box::new(RandomRemoveInPlace),
+                    Box::new(WorstBinRemoveInPlace),
+                ]
+            },
+            || vec![Box::new(GreedyInsertInPlace)],
+            || Box::new(SimulatedAnnealing::for_normalized_loads(1_500)),
+        )
+    }
+
+    #[test]
+    fn in_place_portfolio_finds_good_solutions() {
+        let out = run_in_place(4, 1);
+        assert!(out.best_objective < 1.3, "got {}", out.best_objective);
+        assert_eq!(out.worker_results.len(), 4);
+    }
+
+    #[test]
+    fn in_place_portfolio_is_deterministic() {
+        let a = run_in_place(4, 42);
+        let b = run_in_place(4, 42);
+        assert_eq!(a.best_objective, b.best_objective);
+        assert_eq!(a.winner, b.winner);
+        assert_eq!(a.best, b.best);
+        for (x, y) in a.worker_results.iter().zip(&b.worker_results) {
+            assert_eq!(x.objective, y.objective);
+        }
     }
 }

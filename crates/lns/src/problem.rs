@@ -43,8 +43,13 @@ pub trait Destroy<P: LnsProblem>: Send + Sync {
     /// Destroys `sol` into a partial state. `intensity` in `(0, 1]` scales
     /// how much of the solution should be removed; operators are free to
     /// interpret it (e.g. as a fraction of elements).
-    fn destroy(&self, problem: &P, sol: &P::Solution, intensity: f64, rng: &mut StdRng)
-        -> P::Partial;
+    fn destroy(
+        &self,
+        problem: &P,
+        sol: &P::Solution,
+        intensity: f64,
+        rng: &mut StdRng,
+    ) -> P::Partial;
 }
 
 /// A repair operator: completes a partial solution.
@@ -55,14 +60,106 @@ pub trait Repair<P: LnsProblem>: Send + Sync {
     /// Repairs a partial state into a complete candidate, or `None` when no
     /// feasible completion was found (the iteration then counts as a failed
     /// proposal and the incumbent is kept).
-    fn repair(&self, problem: &P, partial: P::Partial, rng: &mut StdRng)
-        -> Option<P::Solution>;
+    fn repair(&self, problem: &P, partial: P::Partial, rng: &mut StdRng) -> Option<P::Solution>;
+}
+
+/// The **in-place edit protocol**: an allocation-free alternative hot path.
+///
+/// The clone-based path ([`Destroy`]/[`Repair`]) copies the incumbent every
+/// iteration; on large solutions the copy (and the full objective
+/// recomputation that follows) dominates iteration cost. Problems that
+/// additionally implement this trait let
+/// [`crate::engine::InPlaceEngine`] mutate **one** working [`State`]
+/// instead:
+///
+/// * [`DestroyInPlace`] / [`RepairInPlace`] edit the state directly, with
+///   every edit recorded in an undo log inside the state;
+/// * on rejection the engine calls [`revert`], which must restore the
+///   state **bit-exactly** to the last committed point;
+/// * on acceptance the engine calls [`commit`], making the edits the new
+///   baseline;
+/// * the state carries incremental objective caches (e.g. per-machine
+///   loads, a sum-of-squares accumulator) so [`state_objective`] touches
+///   only what the burst edited; implementations bound float drift with a
+///   periodic full resynchronization in `commit`;
+/// * a full solution is cloned out ([`snapshot`]) only when a new global
+///   best is recorded — the one remaining allocation on the accept path.
+///
+/// Semantics must match the clone-based path: `state_objective` /
+/// `state_feasible` / `state_accept_best` agree with
+/// [`LnsProblem::objective`] / [`LnsProblem::is_feasible`] /
+/// [`LnsProblem::accept_best`] evaluated on the state's solution (the
+/// objective up to the documented drift bound).
+///
+/// [`State`]: LnsProblemInPlace::State
+/// [`revert`]: LnsProblemInPlace::revert
+/// [`commit`]: LnsProblemInPlace::commit
+/// [`state_objective`]: LnsProblemInPlace::state_objective
+/// [`snapshot`]: LnsProblemInPlace::snapshot
+pub trait LnsProblemInPlace: LnsProblem {
+    /// Mutable search state: the working solution plus whatever caches make
+    /// delta evaluation cheap, plus the undo log.
+    type State: Send;
+
+    /// Wraps a solution into a state (one full evaluation; called once per
+    /// engine run, not per iteration).
+    fn make_state(&self, sol: Self::Solution) -> Self::State;
+
+    /// Objective of the state's current solution, from the caches. Takes
+    /// `&mut` so implementations may resolve lazily-maintained caches
+    /// (e.g. rescan a stale peak) on demand.
+    fn state_objective(&self, state: &mut Self::State) -> f64;
+
+    /// Hard-constraint check of the current (edited, uncommitted) state.
+    fn state_feasible(&self, state: &Self::State) -> bool;
+
+    /// The [`LnsProblem::accept_best`] gate, evaluated on the state.
+    fn state_accept_best(&self, _state: &Self::State) -> bool {
+        true
+    }
+
+    /// Clones the current solution out of the state (new bests only).
+    fn snapshot(&self, state: &Self::State) -> Self::Solution;
+
+    /// Reverts every edit since the last commit, bit-exactly.
+    fn revert(&self, state: &mut Self::State);
+
+    /// Accepts the pending edits as the new baseline. Implementations may
+    /// resynchronize incremental caches from scratch here periodically to
+    /// bound floating-point drift.
+    fn commit(&self, state: &mut Self::State);
+}
+
+/// A destroy operator for the in-place protocol: removes part of the
+/// state's solution, recording its edits in the state's undo log.
+pub trait DestroyInPlace<P: LnsProblemInPlace>: Send + Sync {
+    /// Stable operator name (used in stats, ablation tables, and logs).
+    fn name(&self) -> &str;
+
+    /// Destroys part of the state in place. `intensity` as in
+    /// [`Destroy::destroy`].
+    fn destroy(&self, problem: &P, state: &mut P::State, intensity: f64, rng: &mut StdRng);
+}
+
+/// A repair operator for the in-place protocol: completes the state's
+/// solution, recording its edits in the state's undo log.
+pub trait RepairInPlace<P: LnsProblemInPlace>: Send + Sync {
+    /// Stable operator name.
+    fn name(&self) -> &str;
+
+    /// Repairs the state in place. Returns `false` when no feasible
+    /// completion was found — the engine then reverts the iteration's
+    /// edits, so the state may be left partially repaired (but with a
+    /// complete undo log).
+    fn repair(&self, problem: &P, state: &mut P::State, rng: &mut StdRng) -> bool;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::toy::{PartitionProblem, RandomRemove, GreedyInsert};
+    use crate::toy::{
+        GreedyInsert, GreedyInsertInPlace, PartitionProblem, RandomRemove, RandomRemoveInPlace,
+    };
 
     // The traits are exercised end-to-end by engine tests; here we only
     // check object safety in the form the engine uses (trait objects).
@@ -70,6 +167,16 @@ mod tests {
     fn operators_are_object_safe() {
         let destroys: Vec<Box<dyn Destroy<PartitionProblem>>> = vec![Box::new(RandomRemove)];
         let repairs: Vec<Box<dyn Repair<PartitionProblem>>> = vec![Box::new(GreedyInsert)];
+        assert_eq!(destroys[0].name(), "random-remove");
+        assert_eq!(repairs[0].name(), "greedy-insert");
+    }
+
+    #[test]
+    fn in_place_operators_are_object_safe() {
+        let destroys: Vec<Box<dyn DestroyInPlace<PartitionProblem>>> =
+            vec![Box::new(RandomRemoveInPlace)];
+        let repairs: Vec<Box<dyn RepairInPlace<PartitionProblem>>> =
+            vec![Box::new(GreedyInsertInPlace)];
         assert_eq!(destroys[0].name(), "random-remove");
         assert_eq!(repairs[0].name(), "greedy-insert");
     }

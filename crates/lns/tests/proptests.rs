@@ -21,7 +21,11 @@ fn engine(
         ],
         vec![Box::new(GreedyInsert) as Box<dyn Repair<PartitionProblem>>],
         acceptance,
-        LnsConfig { max_iters: iters, log_trajectory: true, ..Default::default() },
+        LnsConfig {
+            max_iters: iters,
+            log_trajectory: true,
+            ..Default::default()
+        },
     )
 }
 

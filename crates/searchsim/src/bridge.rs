@@ -71,13 +71,20 @@ pub fn build_instance(cfg: &BridgeConfig) -> Result<Instance, ClusterError> {
 
     let corpus = Corpus::generate(&cfg.corpus);
     let engine = SearchEngine::build(&corpus, cfg.n_shards, cfg.strategy);
-    let queries = QueryLog::generate(&QueryConfig { vocab: cfg.corpus.vocab, ..cfg.queries });
+    let queries = QueryLog::generate(&QueryConfig {
+        vocab: cfg.corpus.vocab,
+        ..cfg.queries
+    });
     let stats = engine.replay(&queries, cfg.top_k);
 
     // Raw per-shard demands.
     let cpu: Vec<f64> = stats.cost_per_shard.iter().map(|&c| c as f64).collect();
-    let mem: Vec<f64> = (0..cfg.n_shards).map(|i| engine.shard(i).size_bytes() as f64).collect();
-    let disk: Vec<f64> = (0..cfg.n_shards).map(|i| engine.shard(i).n_tokens() as f64 * 4.0).collect();
+    let mem: Vec<f64> = (0..cfg.n_shards)
+        .map(|i| engine.shard(i).size_bytes() as f64)
+        .collect();
+    let disk: Vec<f64> = (0..cfg.n_shards)
+        .map(|i| engine.shard(i).n_tokens() as f64 * 4.0)
+        .collect();
 
     // Normalize each dimension so its total is `n_machines * stringency`,
     // against homogeneous unit-capacity machines — with individual demands
@@ -117,8 +124,9 @@ pub fn build_instance(cfg: &BridgeConfig) -> Result<Instance, ClusterError> {
         "searchsim(shards={},machines={},stringency={:.2},{:?})",
         cfg.n_shards, cfg.n_machines, cfg.stringency, cfg.strategy
     ));
-    let machines: Vec<MachineId> =
-        (0..cfg.n_machines).map(|_| b.machine(&[1.0, 1.0, 1.0])).collect();
+    let machines: Vec<MachineId> = (0..cfg.n_machines)
+        .map(|_| b.machine(&[1.0, 1.0, 1.0]))
+        .collect();
     for _ in 0..cfg.n_exchange {
         b.exchange_machine(&[1.0, 1.0, 1.0]);
     }
@@ -129,7 +137,11 @@ pub fn build_instance(cfg: &BridgeConfig) -> Result<Instance, ClusterError> {
     // (guaranteed at stringency < 1 for these sizes, and validated anyway).
     let mut order: Vec<usize> = (0..cfg.n_shards).collect();
     let peak = |i: usize| cpu[i].max(mem[i]).max(disk[i]);
-    order.sort_by(|&a, &b| peak(b).partial_cmp(&peak(a)).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        peak(b)
+            .partial_cmp(&peak(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut usage = vec![[0.0f64; 3]; cfg.n_machines];
     let mut placement = vec![0usize; cfg.n_shards];
@@ -169,8 +181,17 @@ mod tests {
 
     fn small_cfg() -> BridgeConfig {
         BridgeConfig {
-            corpus: CorpusConfig { n_docs: 600, vocab: 800, seed: 7, ..Default::default() },
-            queries: QueryConfig { n_queries: 400, seed: 8, ..Default::default() },
+            corpus: CorpusConfig {
+                n_docs: 600,
+                vocab: 800,
+                seed: 7,
+                ..Default::default()
+            },
+            queries: QueryConfig {
+                n_queries: 400,
+                seed: 8,
+                ..Default::default()
+            },
             n_shards: 16,
             n_machines: 4,
             n_exchange: 1,
@@ -196,7 +217,11 @@ mod tests {
         // including the exchange machine is 5.0 → aggregate 0.56, while
         // utilization over the loaded fleet alone is the requested 0.7.
         let inst = build_instance(&small_cfg()).unwrap();
-        assert!((inst.stringency() - 0.56).abs() < 1e-6, "stringency {}", inst.stringency());
+        assert!(
+            (inst.stringency() - 0.56).abs() < 1e-6,
+            "stringency {}",
+            inst.stringency()
+        );
         let loaded_util = inst.total_demand()[0] / 4.0;
         assert!((loaded_util - 0.7).abs() < 1e-6);
     }
@@ -208,7 +233,10 @@ mod tests {
         cpus.sort_by(|a, b| b.partial_cmp(a).unwrap());
         let top = cpus[0];
         let median = cpus[cpus.len() / 2];
-        assert!(top > 2.0 * median, "top={top} median={median}: query skew must show");
+        assert!(
+            top > 2.0 * median,
+            "top={top} median={median}: query skew must show"
+        );
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl CompressedPostings {
             varbyte_encode((p.tf.max(1) - 1) as u64, &mut bytes);
             prev = doc;
         }
-        Self { bytes, len: postings.len() }
+        Self {
+            bytes,
+            len: postings.len(),
+        }
     }
 
     /// Number of postings.
@@ -97,14 +100,23 @@ impl CompressedPostings {
             let (tfm1, p2) = varbyte_decode(&self.bytes, p1).expect("self-produced data is valid");
             doc = if i == 0 { gap } else { doc + gap };
             pos = p2;
-            out.push(Posting { doc: doc as u32, tf: tfm1 as u32 + 1 });
+            out.push(Posting {
+                doc: doc as u32,
+                tf: tfm1 as u32 + 1,
+            });
         }
         out
     }
 
     /// Iterates without materializing (for cost-model experiments).
     pub fn iter(&self) -> CompressedIter<'_> {
-        CompressedIter { bytes: &self.bytes, pos: 0, remaining: self.len, doc: 0, first: true }
+        CompressedIter {
+            bytes: &self.bytes,
+            pos: 0,
+            remaining: self.len,
+            doc: 0,
+            first: true,
+        }
     }
 }
 
@@ -130,7 +142,10 @@ impl Iterator for CompressedIter<'_> {
         self.first = false;
         self.pos = p2;
         self.remaining -= 1;
-        Some(Posting { doc: self.doc as u32, tf: tfm1 as u32 + 1 })
+        Some(Posting {
+            doc: self.doc as u32,
+            tf: tfm1 as u32 + 1,
+        })
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -212,7 +227,12 @@ mod tests {
     #[test]
     fn sparse_lists_cost_more_per_posting() {
         let dense: Vec<Posting> = (0..1000).map(|d| Posting { doc: d, tf: 1 }).collect();
-        let sparse: Vec<Posting> = (0..1000).map(|d| Posting { doc: d * 50_000, tf: 1 }).collect();
+        let sparse: Vec<Posting> = (0..1000)
+            .map(|d| Posting {
+                doc: d * 50_000,
+                tf: 1,
+            })
+            .collect();
         let cd = CompressedPostings::compress(&dense);
         let cs = CompressedPostings::compress(&sparse);
         assert!(cs.size_bytes() > cd.size_bytes());

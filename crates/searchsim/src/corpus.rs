@@ -67,8 +67,9 @@ impl Corpus {
         let docs: Vec<Vec<u32>> = (0..cfg.n_docs)
             .into_par_iter()
             .map(|d| {
-                let mut rng =
-                    StdRng::seed_from_u64(cfg.seed ^ (d as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng = StdRng::seed_from_u64(
+                    cfg.seed ^ (d as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
                 let len = (cfg.len_ln_mean + cfg.len_ln_sigma * sample_normal(&mut rng))
                     .exp()
                     .round()
@@ -76,7 +77,10 @@ impl Corpus {
                 (0..len).map(|_| zipf.sample(&mut rng) as u32).collect()
             })
             .collect();
-        Self { docs, vocab: cfg.vocab }
+        Self {
+            docs,
+            vocab: cfg.vocab,
+        }
     }
 
     /// Number of documents.
@@ -115,7 +119,12 @@ mod tests {
     use super::*;
 
     fn small_cfg() -> CorpusConfig {
-        CorpusConfig { n_docs: 500, vocab: 1_000, seed: 3, ..Default::default() }
+        CorpusConfig {
+            n_docs: 500,
+            vocab: 1_000,
+            seed: 3,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -136,13 +145,19 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = Corpus::generate(&small_cfg());
-        let b = Corpus::generate(&CorpusConfig { seed: 4, ..small_cfg() });
+        let b = Corpus::generate(&CorpusConfig {
+            seed: 4,
+            ..small_cfg()
+        });
         assert_ne!(a.docs, b.docs);
     }
 
     #[test]
     fn lengths_are_lognormal_ish() {
-        let c = Corpus::generate(&CorpusConfig { n_docs: 2_000, ..small_cfg() });
+        let c = Corpus::generate(&CorpusConfig {
+            n_docs: 2_000,
+            ..small_cfg()
+        });
         let mean = c.mean_len();
         // exp(4.6 + 0.5²/2) ≈ 112; allow wide tolerance.
         assert!((60.0..200.0).contains(&mean), "mean len {mean}");
@@ -158,7 +173,12 @@ mod tests {
             tf[*t as usize] += 1;
         }
         // Zipf: rank-0 term should appear far more than a mid-rank term.
-        assert!(tf[0] > 20 * tf[500].max(1), "tf0={} tf500={}", tf[0], tf[500]);
+        assert!(
+            tf[0] > 20 * tf[500].max(1),
+            "tf0={} tf500={}",
+            tf[0],
+            tf[500]
+        );
     }
 
     #[test]

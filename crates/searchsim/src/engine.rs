@@ -35,8 +35,10 @@ impl SearchEngine {
     pub fn build(corpus: &Corpus, n_shards: usize, strategy: ShardingStrategy) -> Self {
         let shard_of = partition(corpus.n_docs(), n_shards, strategy);
         let grouped = group_docs(&corpus.docs, &shard_of, n_shards);
-        let shards: Vec<InvertedIndex> =
-            grouped.par_iter().map(|docs| InvertedIndex::build(docs)).collect();
+        let shards: Vec<InvertedIndex> = grouped
+            .par_iter()
+            .map(|docs| InvertedIndex::build(docs))
+            .collect();
         Self { shards, shard_of }
     }
 

@@ -66,7 +66,10 @@ impl InvertedIndex {
                 *tf_buf.entry(t).or_insert(0) += 1;
             }
             for (&t, &tf) in &tf_buf {
-                postings.entry(t).or_default().push(Posting { doc: d as u32, tf });
+                postings
+                    .entry(t)
+                    .or_default()
+                    .push(Posting { doc: d as u32, tf });
             }
         }
         // Postings were appended in increasing doc order per term already
@@ -84,7 +87,13 @@ impl InvertedIndex {
             .iter()
             .map(|(&t, l)| (t, l.iter().map(|p| p.tf).max().unwrap_or(0)))
             .collect();
-        Self { postings, doc_lens, n_tokens, compressed_bytes, max_tf }
+        Self {
+            postings,
+            doc_lens,
+            n_tokens,
+            compressed_bytes,
+            max_tf,
+        }
     }
 
     /// Number of indexed documents.
@@ -268,11 +277,9 @@ impl InvertedIndex {
 
             // Insert into the top-k.
             if score > theta || topk.len() < k {
-                let pos = topk
-                    .partition_point(|r| {
-                        (r.score, std::cmp::Reverse(r.doc))
-                            < (score, std::cmp::Reverse(pivot))
-                    });
+                let pos = topk.partition_point(|r| {
+                    (r.score, std::cmp::Reverse(r.doc)) < (score, std::cmp::Reverse(pivot))
+                });
                 topk.insert(pos, SearchResult { doc: pivot, score });
                 if topk.len() > k {
                     topk.remove(0);
@@ -360,8 +367,10 @@ fn gallop(list: &[Posting], doc: u32, cost: &mut u64) -> Option<u32> {
 
 /// Extracts the top-`k` accumulator entries by score (ties by doc id).
 fn top_k(acc: HashMap<u32, f64>, k: usize) -> Vec<SearchResult> {
-    let mut hits: Vec<SearchResult> =
-        acc.into_iter().map(|(doc, score)| SearchResult { doc, score }).collect();
+    let mut hits: Vec<SearchResult> = acc
+        .into_iter()
+        .map(|(doc, score)| SearchResult { doc, score })
+        .collect();
     hits.sort_by(|a, b| {
         b.score
             .partial_cmp(&a.score)
@@ -512,7 +521,10 @@ mod tests {
         // plus a very common one. The common list turns non-essential as
         // soon as the top-k fills with rare-term matches, and its tail is
         // skipped rather than traversed.
-        let rare = (0..2_000u32).rev().find(|&t| ix.df(t) >= 3).expect("some rare term");
+        let rare = (0..2_000u32)
+            .rev()
+            .find(|&t| ix.df(t) >= 3)
+            .expect("some rare term");
         let terms = vec![0u32, rare];
         let (_, full_cost) = ix.search(&terms, QueryMode::Or, 3);
         let (_, pruned_cost) = ix.search_or_pruned(&terms, 3);
@@ -554,8 +566,10 @@ mod tests {
 
     #[test]
     fn gallop_finds_and_misses() {
-        let list: Vec<Posting> =
-            [2u32, 5, 9, 14, 20].iter().map(|&d| Posting { doc: d, tf: d }).collect();
+        let list: Vec<Posting> = [2u32, 5, 9, 14, 20]
+            .iter()
+            .map(|&d| Posting { doc: d, tf: d })
+            .collect();
         let mut cost = 0;
         assert_eq!(gallop(&list, 9, &mut cost), Some(9));
         assert_eq!(gallop(&list, 10, &mut cost), None);

@@ -102,7 +102,12 @@ pub fn qos_of_plan(inst: &Instance, plan: &MigrationPlan, cfg: &QosConfig) -> Qo
     }
     let after = fanout_latency(inst, &usage, cfg);
     let worst_during = per_batch.iter().cloned().fold(before, f64::max);
-    QosReport { before, per_batch, worst_during, after }
+    QosReport {
+        before,
+        per_batch,
+        worst_during,
+        after,
+    }
 }
 
 #[cfg(test)]
@@ -120,13 +125,19 @@ mod tests {
     }
 
     fn mv(s: u32, f: u32, t: u32) -> Move {
-        Move { shard: ShardId(s), from: MachineId(f), to: MachineId(t) }
+        Move {
+            shard: ShardId(s),
+            from: MachineId(f),
+            to: MachineId(t),
+        }
     }
 
     #[test]
     fn balancing_lowers_steady_state_latency() {
         let inst = inst(0.0);
-        let plan = MigrationPlan { batches: vec![vec![mv(0, 0, 1)]] };
+        let plan = MigrationPlan {
+            batches: vec![vec![mv(0, 0, 1)]],
+        };
         let q = qos_of_plan(&inst, &plan, &QosConfig::default());
         // Before: straggler at 1.0 load → clamped: 1/(1-0.98) = 50.
         assert!(q.before > 10.0);
@@ -141,7 +152,9 @@ mod tests {
         // during the batch m1 bears 2·(1+α) and m0 keeps 10 → straggler
         // stays the clamped source, and degradation ≥ 1.
         let inst = inst(0.2);
-        let plan = MigrationPlan { batches: vec![vec![mv(1, 0, 1)]] };
+        let plan = MigrationPlan {
+            batches: vec![vec![mv(1, 0, 1)]],
+        };
         let q = qos_of_plan(&inst, &plan, &QosConfig::default());
         assert!(q.worst_during >= q.before);
         assert!(q.degradation() >= 1.0);
@@ -172,7 +185,9 @@ mod tests {
         b.shard(&[2.0], 1.0, m0);
         b.shard(&[4.0], 1.0, MachineId(1)); // target pre-load
         let inst = b.build().unwrap();
-        let together = MigrationPlan { batches: vec![vec![mv(0, 0, 1), mv(1, 0, 1)]] };
+        let together = MigrationPlan {
+            batches: vec![vec![mv(0, 0, 1), mv(1, 0, 1)]],
+        };
         let apart = MigrationPlan {
             batches: vec![vec![mv(0, 0, 1)], vec![mv(1, 0, 1)]],
         };

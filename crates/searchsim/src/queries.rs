@@ -64,8 +64,8 @@ pub struct QueryLog {
 /// evening peaks, night trough). Sums to 24 so a uniform profile would be
 /// all-ones.
 pub const DIURNAL: [f64; 24] = [
-    0.35, 0.25, 0.2, 0.2, 0.25, 0.4, 0.7, 1.1, 1.5, 1.7, 1.6, 1.5, 1.45, 1.5, 1.55, 1.5, 1.4,
-    1.35, 1.45, 1.6, 1.55, 1.3, 0.9, 0.55,
+    0.35, 0.25, 0.2, 0.2, 0.25, 0.4, 0.7, 1.1, 1.5, 1.7, 1.6, 1.5, 1.45, 1.5, 1.55, 1.5, 1.4, 1.35,
+    1.45, 1.6, 1.55, 1.3, 0.9, 0.55,
 ];
 
 impl QueryLog {
@@ -133,7 +133,12 @@ mod tests {
     use super::*;
 
     fn cfg() -> QueryConfig {
-        QueryConfig { n_queries: 5_000, vocab: 1_000, seed: 9, ..Default::default() }
+        QueryConfig {
+            n_queries: 5_000,
+            vocab: 1_000,
+            seed: 9,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -157,21 +162,34 @@ mod tests {
 
     #[test]
     fn and_fraction_respected() {
-        let log = QueryLog::generate(&QueryConfig { and_fraction: 0.3, ..cfg() });
-        let ands = log.queries.iter().filter(|q| q.mode == QueryMode::And).count();
+        let log = QueryLog::generate(&QueryConfig {
+            and_fraction: 0.3,
+            ..cfg()
+        });
+        let ands = log
+            .queries
+            .iter()
+            .filter(|q| q.mode == QueryMode::And)
+            .count();
         let frac = ands as f64 / log.len() as f64;
         assert!((0.25..0.35).contains(&frac), "frac={frac}");
     }
 
     #[test]
     fn all_or_when_fraction_zero() {
-        let log = QueryLog::generate(&QueryConfig { and_fraction: 0.0, ..cfg() });
+        let log = QueryLog::generate(&QueryConfig {
+            and_fraction: 0.0,
+            ..cfg()
+        });
         assert!(log.queries.iter().all(|q| q.mode == QueryMode::Or));
     }
 
     #[test]
     fn diurnal_peak_beats_trough() {
-        let log = QueryLog::generate(&QueryConfig { n_queries: 20_000, ..cfg() });
+        let log = QueryLog::generate(&QueryConfig {
+            n_queries: 20_000,
+            ..cfg()
+        });
         let h = log.hourly_histogram();
         // Hour 9 (weight 1.7) should see several times hour 2 (weight 0.2).
         assert!(h[9] > 3 * h[2], "h9={} h2={}", h[9], h[2]);
@@ -193,6 +211,9 @@ mod tests {
     fn short_queries_dominate() {
         let log = QueryLog::generate(&cfg());
         let ones = log.queries.iter().filter(|q| q.terms.len() == 1).count();
-        assert!(ones * 2 > log.len(), "single-term queries should be the majority");
+        assert!(
+            ones * 2 > log.len(),
+            "single-term queries should be the majority"
+        );
     }
 }

@@ -28,18 +28,21 @@ fn hash_doc(d: usize) -> u64 {
 pub fn partition(n_docs: usize, n_shards: usize, strategy: ShardingStrategy) -> Vec<u32> {
     assert!(n_shards > 0, "need at least one shard");
     match strategy {
-        ShardingStrategy::Hash => {
-            (0..n_docs).map(|d| (hash_doc(d) % n_shards as u64) as u32).collect()
-        }
+        ShardingStrategy::Hash => (0..n_docs)
+            .map(|d| (hash_doc(d) % n_shards as u64) as u32)
+            .collect(),
         ShardingStrategy::Range => {
             // Ceil-sized contiguous ranges.
             let per = n_docs.div_ceil(n_shards).max(1);
-            (0..n_docs).map(|d| ((d / per) as u32).min(n_shards as u32 - 1)).collect()
+            (0..n_docs)
+                .map(|d| ((d / per) as u32).min(n_shards as u32 - 1))
+                .collect()
         }
         ShardingStrategy::SkewedRange => {
             // Power-law range sizes, largest first.
-            let weights: Vec<f64> =
-                (0..n_shards).map(|i| 1.0 / ((i + 1) as f64).powf(0.7)).collect();
+            let weights: Vec<f64> = (0..n_shards)
+                .map(|i| 1.0 / ((i + 1) as f64).powf(0.7))
+                .collect();
             let total: f64 = weights.iter().sum();
             let mut boundaries = Vec::with_capacity(n_shards);
             let mut acc = 0.0;

@@ -32,7 +32,11 @@ pub struct ExactConfig {
 
 impl Default for ExactConfig {
     fn default() -> Self {
-        Self { max_nodes: 5_000_000, time_limit: None, lambda: 0.0 }
+        Self {
+            max_nodes: 5_000_000,
+            time_limit: None,
+            lambda: 0.0,
+        }
     }
 }
 
@@ -192,7 +196,11 @@ impl Search<'_> {
             }
             let new_peak = partial_peak.max(load_after);
             let moved = MachineId::from(m) != self.inst.initial[s.idx()];
-            let add_cost = if moved { self.inst.shards[s.idx()].move_cost } else { 0.0 };
+            let add_cost = if moved {
+                self.inst.shards[s.idx()].move_cost
+            } else {
+                0.0
+            };
             // Child bound before descending.
             if new_peak.max(self.global_lb) + self.cost_term(self.moved_cost + add_cost)
                 >= self.best_obj - 1e-12
@@ -271,7 +279,11 @@ mod tests {
         assert!(r.proven_optimal);
         let asg = Assignment::from_placement(&inst, r.placement.clone()).unwrap();
         assert!(asg.vacant_count() >= 1);
-        assert!((r.peak - 0.8).abs() < 1e-9, "8|4|vacant → peak 0.8, got {}", r.peak);
+        assert!(
+            (r.peak - 0.8).abs() < 1e-9,
+            "8|4|vacant → peak 0.8, got {}",
+            r.peak
+        );
     }
 
     #[test]
@@ -341,8 +353,14 @@ mod tests {
         // Initial: both on m0 (greedy) → peak 0.8. Optimum λ=0: 0.4.
         let free = branch_and_bound(&inst, &ExactConfig::default()).unwrap();
         assert!((free.peak - 0.4).abs() < 1e-9);
-        let taxed = branch_and_bound(&inst, &ExactConfig { lambda: 100.0, ..Default::default() })
-            .unwrap();
+        let taxed = branch_and_bound(
+            &inst,
+            &ExactConfig {
+                lambda: 100.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(taxed.placement, inst.initial);
         assert!((taxed.peak - 0.8).abs() < 1e-9);
     }
@@ -350,8 +368,14 @@ mod tests {
     #[test]
     fn node_budget_truncates_gracefully() {
         let inst = simple(&[1.0; 10], &[10.0; 4], 0);
-        let r = branch_and_bound(&inst, &ExactConfig { max_nodes: 10, ..Default::default() })
-            .unwrap();
+        let r = branch_and_bound(
+            &inst,
+            &ExactConfig {
+                max_nodes: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(!r.proven_optimal);
         // Still returns a feasible placement (the warm start at worst).
         let asg = Assignment::from_placement(&inst, r.placement).unwrap();

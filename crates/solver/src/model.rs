@@ -229,7 +229,12 @@ impl IpModel {
                 Sense::Eq => (lhs - c.rhs).abs() <= tol,
             };
             if !ok {
-                out.push(Violation { constraint: c.name.clone(), lhs, sense: c.sense, rhs: c.rhs });
+                out.push(Violation {
+                    constraint: c.name.clone(),
+                    lhs,
+                    sense: c.sense,
+                    rhs: c.rhs,
+                });
             }
         }
         out
@@ -330,7 +335,10 @@ mod tests {
         // Force y_m0 to 0 (pretend no machine is returnable).
         vars[m.y(0)] = 0.0;
         let violations = m.check(&vars);
-        assert!(violations.iter().any(|v| v.constraint == "quota"), "{violations:?}");
+        assert!(
+            violations.iter().any(|v| v.constraint == "quota"),
+            "{violations:?}"
+        );
     }
 
     #[test]
@@ -346,7 +354,9 @@ mod tests {
         let vars =
             m.variables_from_placement(&i, &[rex_cluster::MachineId(0), rex_cluster::MachineId(0)]);
         let violations = m.check(&vars);
-        assert!(violations.iter().any(|v| v.constraint.starts_with("cap[m0")));
+        assert!(violations
+            .iter()
+            .any(|v| v.constraint.starts_with("cap[m0")));
     }
 
     #[test]
@@ -356,7 +366,9 @@ mod tests {
         let mut vars = m.variables_from_placement(&i, &i.initial);
         vars[m.y(0)] = 1.0; // m0 hosts shard 0 — contradiction
         let violations = m.check(&vars);
-        assert!(violations.iter().any(|v| v.constraint.starts_with("vac[s0,m0")));
+        assert!(violations
+            .iter()
+            .any(|v| v.constraint.starts_with("vac[s0,m0")));
     }
 
     #[test]

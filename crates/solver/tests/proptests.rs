@@ -2,8 +2,8 @@
 //! together on random tiny instances.
 
 use proptest::prelude::*;
-use rex_solver::{branch_and_bound, peak_lower_bound, ExactConfig, IpModel};
 use rex_cluster::{Assignment, Instance, InstanceBuilder, MachineId};
+use rex_solver::{branch_and_bound, peak_lower_bound, ExactConfig, IpModel};
 
 /// Random tiny instance: 2–4 machines, 3–9 shards, optional vacancy quota.
 fn build(seed: u64, n_m: usize, n_s: usize, k: usize) -> Option<Instance> {

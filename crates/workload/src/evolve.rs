@@ -25,7 +25,10 @@ pub struct DriftConfig {
 
 impl Default for DriftConfig {
     fn default() -> Self {
-        Self { sigma: 0.25, target_utilization: 0.75 }
+        Self {
+            sigma: 0.25,
+            target_utilization: 0.75,
+        }
     }
 }
 
@@ -61,8 +64,12 @@ pub fn next_epoch(
     }
     // Renormalize aggregate CPU to the target utilization over the loaded
     // (non-exchange) capacity.
-    let loaded_cap: f64 =
-        inst.machines.iter().filter(|m| !m.exchange).map(|m| m.capacity[0]).sum();
+    let loaded_cap: f64 = inst
+        .machines
+        .iter()
+        .filter(|m| !m.exchange)
+        .map(|m| m.capacity[0])
+        .sum();
     let total_cpu: f64 = inst.shards.iter().map(|s| s.demand[0]).sum();
     let scale = cfg.target_utilization * loaded_cap / total_cpu;
     for s in &mut inst.shards {
@@ -136,8 +143,13 @@ mod tests {
     use rex_cluster::Assignment;
 
     fn base() -> Instance {
-        generate(&SynthConfig { n_machines: 8, n_exchange: 1, n_shards: 64, ..Default::default() })
-            .unwrap()
+        generate(&SynthConfig {
+            n_machines: 8,
+            n_exchange: 1,
+            n_shards: 64,
+            ..Default::default()
+        })
+        .unwrap()
     }
 
     #[test]
@@ -159,7 +171,11 @@ mod tests {
                 cpu_changed += 1;
             }
             for r in 1..inst.dims {
-                assert_eq!(a.demand[r].to_bits(), b.demand[r].to_bits(), "static dim moved");
+                assert_eq!(
+                    a.demand[r].to_bits(),
+                    b.demand[r].to_bits(),
+                    "static dim moved"
+                );
             }
         }
         assert!(cpu_changed > inst.n_shards() / 2, "most shards drift");
@@ -168,10 +184,17 @@ mod tests {
     #[test]
     fn utilization_returns_to_target() {
         let inst = base();
-        let cfg = DriftConfig { sigma: 0.4, target_utilization: 0.7 };
+        let cfg = DriftConfig {
+            sigma: 0.4,
+            target_utilization: 0.7,
+        };
         let (next, clamped) = next_epoch(&inst, &inst.initial, &cfg, 3).unwrap();
-        let loaded_cap: f64 =
-            next.machines.iter().filter(|m| !m.exchange).map(|m| m.capacity[0]).sum();
+        let loaded_cap: f64 = next
+            .machines
+            .iter()
+            .filter(|m| !m.exchange)
+            .map(|m| m.capacity[0])
+            .sum();
         let util = next.total_demand()[0] / loaded_cap;
         // Exact when nothing clamps; slightly below when clamping shed load.
         if clamped == 0 {

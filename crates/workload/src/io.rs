@@ -34,7 +34,12 @@ mod tests {
     use crate::synthetic::{generate, SynthConfig};
 
     fn small() -> Instance {
-        generate(&SynthConfig { n_machines: 4, n_shards: 20, ..Default::default() }).unwrap()
+        generate(&SynthConfig {
+            n_machines: 4,
+            n_shards: 20,
+            ..Default::default()
+        })
+        .unwrap()
     }
 
     #[test]

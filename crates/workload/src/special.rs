@@ -31,19 +31,17 @@ use rex_cluster::{ClusterError, Instance, InstanceBuilder};
 ///
 /// A deterministic ±0.002 per-pair jitter (seeded) breaks exact ties
 /// without disturbing any of the inequalities above.
-pub fn swap_locked(
-    n_pairs: usize,
-    n_exchange: usize,
-    seed: u64,
-) -> Result<Instance, ClusterError> {
+pub fn swap_locked(n_pairs: usize, n_exchange: usize, seed: u64) -> Result<Instance, ClusterError> {
     assert!(n_pairs >= 1, "need at least one pair");
     let mut b = InstanceBuilder::new(1).alpha(0.1).label(format!(
         "swap-locked(pairs={n_pairs},x={n_exchange},seed={seed})"
     ));
     // Deterministic tiny jitter in [-0.002, 0.002].
     let jitter = |p: u64, slot: u64| -> f64 {
-        let h = (seed ^ p.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ slot.wrapping_mul(0xD1B5_4A32_D192_ED03))
-            .wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let h = (seed
+            ^ p.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ slot.wrapping_mul(0xD1B5_4A32_D192_ED03))
+        .wrapping_mul(0x2545_F491_4F6C_DD1D);
         ((h >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.004
     };
     let mut machines = Vec::with_capacity(2 * n_pairs);
@@ -83,7 +81,10 @@ mod tests {
         assert_eq!(inst.k_return, 2);
         let asg = Assignment::from_initial(&inst);
         let peak = asg.peak_load(&inst);
-        assert!((0.955..0.965).contains(&peak), "hot machines near 0.96, got {peak}");
+        assert!(
+            (0.955..0.965).contains(&peak),
+            "hot machines near 0.96, got {peak}"
+        );
     }
 
     #[test]
@@ -94,7 +95,11 @@ mod tests {
         for (x, y) in a.shards.iter().zip(&b.shards) {
             assert!(x.demand.approx_eq(&y.demand, 0.0));
         }
-        assert!(a.shards.iter().zip(&c.shards).any(|(x, y)| !x.demand.approx_eq(&y.demand, 0.0)));
+        assert!(a
+            .shards
+            .iter()
+            .zip(&c.shards)
+            .any(|(x, y)| !x.demand.approx_eq(&y.demand, 0.0)));
     }
 
     #[test]
@@ -108,7 +113,10 @@ mod tests {
             let cool_slack = 1.0 - asg.usage(cool)[0];
             // Largest slack must stay below 1.1 × the smallest "big" shard
             // (anything ≥ ~0.20), keeping arrivals blocked.
-            assert!(cool_slack < 1.1 * 0.198, "pair {p}: cool slack {cool_slack}");
+            assert!(
+                cool_slack < 1.1 * 0.198,
+                "pair {p}: cool slack {cool_slack}"
+            );
             assert!(hot_slack < 0.05, "pair {p}: hot slack {hot_slack}");
             // The 0.18 shard must remain the only one that fits anywhere.
             for &s in asg.shards_on(hot).iter().chain(asg.shards_on(cool)) {

@@ -68,7 +68,10 @@ pub fn standard_suite(
                     stringency,
                     family: DemandFamily::Correlated,
                     placement: Placement::Hotspot(0.4),
-                    profile: MachineProfile::TwoTier { big_fraction: 0.25, ratio: 2.0 },
+                    profile: MachineProfile::TwoTier {
+                        big_fraction: 0.25,
+                        ratio: 2.0,
+                    },
                     seed,
                     ..Default::default()
                 })
@@ -94,10 +97,20 @@ mod tests {
 
     #[test]
     fn suite_families() {
-        let names: Vec<&str> = standard_suite(4, 1, 20, 0.6).iter().map(|e| e.name).collect();
+        let names: Vec<&str> = standard_suite(4, 1, 20, 0.6)
+            .iter()
+            .map(|e| e.name)
+            .collect();
         assert_eq!(
             names,
-            vec!["uniform", "zipf", "correlated", "big-shards", "drift", "two-tier"]
+            vec![
+                "uniform",
+                "zipf",
+                "correlated",
+                "big-shards",
+                "drift",
+                "two-tier"
+            ]
         );
     }
 

@@ -112,7 +112,10 @@ impl Default for SynthConfig {
 fn capacity_scales(cfg: &SynthConfig) -> (Vec<f64>, Vec<f64>) {
     match cfg.profile {
         MachineProfile::Homogeneous => (vec![1.0; cfg.n_machines], vec![1.0; cfg.n_exchange]),
-        MachineProfile::TwoTier { big_fraction, ratio } => {
+        MachineProfile::TwoTier {
+            big_fraction,
+            ratio,
+        } => {
             assert!((0.0..=1.0).contains(&big_fraction) && ratio > 1.0);
             let n_big = ((cfg.n_machines as f64) * big_fraction).round() as usize;
             let mut loaded = vec![ratio; n_big.min(cfg.n_machines)];
@@ -133,7 +136,10 @@ fn capacity_scales(cfg: &SynthConfig) -> (Vec<f64>, Vec<f64>) {
 /// nonsensical parameters (zero counts, stringency outside `(0,1)`).
 pub fn generate(cfg: &SynthConfig) -> Result<Instance, ClusterError> {
     assert!(cfg.n_machines > 0 && cfg.n_shards > 0 && cfg.dims >= 1);
-    assert!(cfg.stringency > 0.0 && cfg.stringency < 1.0, "stringency must be in (0,1)");
+    assert!(
+        cfg.stringency > 0.0 && cfg.stringency < 1.0,
+        "stringency must be in (0,1)"
+    );
     if cfg.placement == Placement::Drift {
         assert!(cfg.dims >= 2, "Drift placement needs >= 2 dimensions");
     }
@@ -180,7 +186,10 @@ pub fn generate(cfg: &SynthConfig) -> Result<Instance, ClusterError> {
             // multi-dimensional packings; fall back to a plain balanced
             // best-fit-decreasing start, which packs whenever anything
             // reasonable does.
-            let fallback = SynthConfig { placement: Placement::BalancedBfd, ..*cfg };
+            let fallback = SynthConfig {
+                placement: Placement::BalancedBfd,
+                ..*cfg
+            };
             place(&fallback, &demands, &loaded_scales, &mut rng).ok_or(
                 rex_cluster::ClusterError::BadReturnCount {
                     k_return: cfg.n_exchange,
@@ -190,16 +199,18 @@ pub fn generate(cfg: &SynthConfig) -> Result<Instance, ClusterError> {
         }
     };
 
-    let mut b = InstanceBuilder::new(cfg.dims).alpha(cfg.alpha).label(format!(
-        "synth({:?},{:?},m={},x={},s={},u={:.2},seed={})",
-        cfg.family,
-        cfg.placement,
-        cfg.n_machines,
-        cfg.n_exchange,
-        cfg.n_shards,
-        cfg.stringency,
-        cfg.seed
-    ));
+    let mut b = InstanceBuilder::new(cfg.dims)
+        .alpha(cfg.alpha)
+        .label(format!(
+            "synth({:?},{:?},m={},x={},s={},u={:.2},seed={})",
+            cfg.family,
+            cfg.placement,
+            cfg.n_machines,
+            cfg.n_exchange,
+            cfg.n_shards,
+            cfg.stringency,
+            cfg.seed
+        ));
     let machines: Vec<MachineId> = loaded_scales
         .iter()
         .map(|&c| b.machine(&vec![c; cfg.dims]))
@@ -226,20 +237,30 @@ fn draw_demands(cfg: &SynthConfig, rng: &mut StdRng) -> Vec<Vec<f64>> {
         DemandFamily::Zipf => (0..n)
             .map(|i| {
                 let base = 1.0 / ((i + 1) as f64).powf(0.9);
-                (0..dims).map(|_| base * rng.random_range(0.8..1.2)).collect()
+                (0..dims)
+                    .map(|_| base * rng.random_range(0.8..1.2))
+                    .collect()
             })
             .collect(),
         DemandFamily::Correlated => (0..n)
             .map(|_| {
                 let size = rng.random_range(0.2..2.0f64).powi(2);
-                (0..dims).map(|_| 0.7 * size + 0.3 * rng.random_range(0.1..1.0)).collect()
+                (0..dims)
+                    .map(|_| 0.7 * size + 0.3 * rng.random_range(0.1..1.0))
+                    .collect()
             })
             .collect(),
         DemandFamily::BigShards => (0..n)
             .map(|i| {
                 // Every 10th shard is an order of magnitude larger.
-                let base = if i % 10 == 0 { rng.random_range(8.0..12.0) } else { rng.random_range(0.5..1.5) };
-                (0..dims).map(|_| base * rng.random_range(0.9..1.1)).collect()
+                let base = if i % 10 == 0 {
+                    rng.random_range(8.0..12.0)
+                } else {
+                    rng.random_range(0.5..1.5)
+                };
+                (0..dims)
+                    .map(|_| base * rng.random_range(0.9..1.1))
+                    .collect()
             })
             .collect(),
     }
@@ -257,7 +278,9 @@ fn place(
     let mut order: Vec<usize> = (0..demands.len()).collect();
     let peak = |d: &[f64]| d.iter().cloned().fold(0.0f64, f64::max);
     order.sort_by(|&a, &b| {
-        peak(&demands[b]).partial_cmp(&peak(&demands[a])).unwrap_or(std::cmp::Ordering::Equal)
+        peak(&demands[b])
+            .partial_cmp(&peak(&demands[a]))
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
 
     let mut usage = vec![vec![0.0f64; dims]; m];
@@ -282,8 +305,7 @@ fn place(
                         (peak(&usage[a]) / scales[a])
                             .partial_cmp(&(peak(&usage[b]) / scales[b]))
                             .unwrap()
-                    })
-                    ?;
+                    })?;
                 assign(i, host, &mut usage, &mut placement);
             }
         }
@@ -306,8 +328,7 @@ fn place(
                                     .partial_cmp(&(peak(&usage[b]) / scales[b]))
                                     .unwrap()
                             })
-                    })
-                    ?;
+                    })?;
                 assign(i, host, &mut usage, &mut placement);
             }
         }
@@ -322,8 +343,7 @@ fn place(
                         (tail_peak(&usage[a]) / scales[a], rng.random::<f64>())
                             .partial_cmp(&(tail_peak(&usage[b]) / scales[b], 0.5))
                             .unwrap()
-                    })
-                    ?;
+                    })?;
                 assign(i, host, &mut usage, &mut placement);
             }
         }
@@ -337,7 +357,12 @@ mod tests {
     use rex_cluster::{Assignment, BalanceReport};
 
     fn base(family: DemandFamily, placement: Placement) -> SynthConfig {
-        SynthConfig { family, placement, seed: 5, ..Default::default() }
+        SynthConfig {
+            family,
+            placement,
+            seed: 5,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -376,7 +401,11 @@ mod tests {
             rh.imbalance,
             rb.imbalance
         );
-        assert!(rh.peak > 0.9, "hot machines should be nearly full, peak={}", rh.peak);
+        assert!(
+            rh.peak > 0.9,
+            "hot machines should be nearly full, peak={}",
+            rh.peak
+        );
     }
 
     #[test]
@@ -384,8 +413,9 @@ mod tests {
         let inst = generate(&base(DemandFamily::Correlated, Placement::Drift)).unwrap();
         let asg = Assignment::from_initial(&inst);
         // CPU (dim 0) utilizations vary; index dims are tight.
-        let cpu: Vec<f64> =
-            (0..16).map(|m| asg.usage(rex_cluster::MachineId::from(m))[0]).collect();
+        let cpu: Vec<f64> = (0..16)
+            .map(|m| asg.usage(rex_cluster::MachineId::from(m))[0])
+            .collect();
         let max = cpu.iter().cloned().fold(0.0f64, f64::max);
         let min = cpu.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(max > min * 1.1, "cpu spread expected: {cpu:?}");
@@ -396,20 +426,31 @@ mod tests {
         let a = generate(&base(DemandFamily::Zipf, Placement::Hotspot(0.3))).unwrap();
         let b = generate(&base(DemandFamily::Zipf, Placement::Hotspot(0.3))).unwrap();
         assert_eq!(a.initial, b.initial);
-        let c = generate(&SynthConfig { seed: 6, ..base(DemandFamily::Zipf, Placement::Hotspot(0.3)) })
-            .unwrap();
+        let c = generate(&SynthConfig {
+            seed: 6,
+            ..base(DemandFamily::Zipf, Placement::Hotspot(0.3))
+        })
+        .unwrap();
         assert_ne!(a.initial, c.initial);
     }
 
     #[test]
     fn zipf_family_is_heavy_tailed() {
         let inst = generate(&base(DemandFamily::Zipf, Placement::BalancedBfd)).unwrap();
-        let mut peaks: Vec<f64> =
-            inst.shards.iter().map(|s| s.demand.as_slice().iter().cloned().fold(0.0f64, f64::max)).collect();
+        let mut peaks: Vec<f64> = inst
+            .shards
+            .iter()
+            .map(|s| s.demand.as_slice().iter().cloned().fold(0.0f64, f64::max))
+            .collect();
         peaks.sort_by(|a, b| b.partial_cmp(a).unwrap());
         // The head is clamped at MAX_SHARD_FRAC, so the tail ratio is
         // bounded but must still be clearly heavy.
-        assert!(peaks[0] > 5.0 * peaks[peaks.len() / 2], "head {} median {}", peaks[0], peaks[peaks.len() / 2]);
+        assert!(
+            peaks[0] > 5.0 * peaks[peaks.len() / 2],
+            "head {} median {}",
+            peaks[0],
+            peaks[peaks.len() / 2]
+        );
     }
 
     #[test]
@@ -428,7 +469,10 @@ mod tests {
     #[test]
     fn two_tier_profile_sizes_machines() {
         let cfg = SynthConfig {
-            profile: MachineProfile::TwoTier { big_fraction: 0.25, ratio: 2.0 },
+            profile: MachineProfile::TwoTier {
+                big_fraction: 0.25,
+                ratio: 2.0,
+            },
             ..base(DemandFamily::Uniform, Placement::BalancedBfd)
         };
         let inst = generate(&cfg).unwrap();
@@ -468,9 +512,16 @@ mod tests {
     #[test]
     fn heterogeneous_placements_respect_capacity() {
         use rex_cluster::Assignment;
-        for placement in [Placement::BalancedBfd, Placement::Hotspot(0.4), Placement::Drift] {
+        for placement in [
+            Placement::BalancedBfd,
+            Placement::Hotspot(0.4),
+            Placement::Drift,
+        ] {
             let cfg = SynthConfig {
-                profile: MachineProfile::TwoTier { big_fraction: 0.5, ratio: 3.0 },
+                profile: MachineProfile::TwoTier {
+                    big_fraction: 0.5,
+                    ratio: 3.0,
+                },
                 ..base(DemandFamily::Zipf, placement)
             };
             let inst = generate(&cfg).unwrap();
@@ -482,14 +533,20 @@ mod tests {
     #[test]
     #[should_panic]
     fn drift_requires_two_dims() {
-        let cfg = SynthConfig { dims: 1, ..base(DemandFamily::Uniform, Placement::Drift) };
+        let cfg = SynthConfig {
+            dims: 1,
+            ..base(DemandFamily::Uniform, Placement::Drift)
+        };
         let _ = generate(&cfg);
     }
 
     #[test]
     #[should_panic]
     fn stringency_one_is_rejected() {
-        let cfg = SynthConfig { stringency: 1.0, ..Default::default() };
+        let cfg = SynthConfig {
+            stringency: 1.0,
+            ..Default::default()
+        };
         let _ = generate(&cfg);
     }
 }

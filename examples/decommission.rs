@@ -14,7 +14,10 @@ use resource_exchange::cluster::{InstanceBuilder, MachineId};
 use resource_exchange::core::{solve_with_drain, SraConfig};
 
 fn main() {
-    let mut b = InstanceBuilder::new(2).alpha(0.1).k_return(0).label("decommission");
+    let mut b = InstanceBuilder::new(2)
+        .alpha(0.1)
+        .k_return(0)
+        .label("decommission");
     let machines: Vec<MachineId> = (0..8).map(|_| b.machine(&[10.0, 10.0])).collect();
     let _x = b.exchange_machine(&[10.0, 10.0]);
 
@@ -29,7 +32,11 @@ fn main() {
     println!("draining {drain:?} out of an 8-machine fleet (+1 replacement)…");
     let res = solve_with_drain(
         &inst,
-        &SraConfig { iters: 6_000, seed: 11, ..Default::default() },
+        &SraConfig {
+            iters: 6_000,
+            seed: 11,
+            ..Default::default()
+        },
         &drain,
     )
     .expect("drain must be feasible here");
@@ -44,6 +51,12 @@ fn main() {
         "schedule: {} moves in {} batches",
         res.migration.total_moves, res.migration.batches
     );
-    assert!(res.returned_machines.is_empty(), "permanent transfer: nothing to hand back");
-    assert!(res.final_report.peak < 0.9, "the replacement keeps the fleet serviceable");
+    assert!(
+        res.returned_machines.is_empty(),
+        "permanent transfer: nothing to hand back"
+    );
+    assert!(
+        res.final_report.peak < 0.9,
+        "the replacement keeps the fleet serviceable"
+    );
 }

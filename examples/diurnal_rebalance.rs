@@ -25,10 +25,16 @@ fn instance_for(costs: &[u64], engine: &SearchEngine, label: &str) -> Instance {
     let n_shards = costs.len();
     let scale = |v: Vec<f64>| -> Vec<f64> {
         let total: f64 = v.iter().sum();
-        v.iter().map(|x| x / total * n_machines as f64 * 0.75).collect()
+        v.iter()
+            .map(|x| x / total * n_machines as f64 * 0.75)
+            .collect()
     };
     let cpu = scale(costs.iter().map(|&c| (c as f64).max(1.0)).collect());
-    let mem = scale((0..n_shards).map(|i| engine.shard(i).size_bytes() as f64).collect());
+    let mem = scale(
+        (0..n_shards)
+            .map(|i| engine.shard(i).size_bytes() as f64)
+            .collect(),
+    );
 
     let mut b = InstanceBuilder::new(2).alpha(0.1).label(label);
     let machines: Vec<MachineId> = (0..n_machines).map(|_| b.machine(&[1.0, 1.0])).collect();
@@ -78,15 +84,17 @@ fn main() {
     let peak_inst = instance_for(&hourly[peak_hour], &engine, "peak-hour");
     let trough_inst = instance_for(&hourly[trough_hour], &engine, "trough-hour");
 
-    let cfg = SraConfig { iters: 4_000, seed: 5, ..Default::default() };
+    let cfg = SraConfig {
+        iters: 4_000,
+        seed: 5,
+        ..Default::default()
+    };
     let peak_res = solve(&peak_inst, &cfg).expect("peak solve");
     let trough_res = solve(&trough_inst, &cfg).expect("trough solve");
 
     println!(
         "peak-hour:   peak load {:.3} → {:.3} ({} moves)",
-        peak_res.initial_report.peak,
-        peak_res.final_report.peak,
-        peak_res.migration.total_moves
+        peak_res.initial_report.peak, peak_res.final_report.peak, peak_res.migration.total_moves
     );
     println!(
         "trough-hour: peak load {:.3} → {:.3} ({} moves)",

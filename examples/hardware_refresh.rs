@@ -28,15 +28,26 @@ fn main() {
     }
     let inst = b.build().expect("valid instance");
 
-    let result = solve(&inst, &SraConfig { iters: 8_000, seed: 3, ..Default::default() })
-        .expect("SRA");
+    let result = solve(
+        &inst,
+        &SraConfig {
+            iters: 8_000,
+            seed: 3,
+            ..Default::default()
+        },
+    )
+    .expect("SRA");
 
     println!("initial: {}", result.initial_report);
     println!("final:   {}", result.final_report);
     println!("returned machines: {:?}", result.returned_machines);
 
     let kept_exchange = (6..8)
-        .filter(|&i| !result.assignment.is_vacant(resource_exchange::cluster::MachineId(i)))
+        .filter(|&i| {
+            !result
+                .assignment
+                .is_vacant(resource_exchange::cluster::MachineId(i))
+        })
         .count();
     let returned_legacy = result
         .returned_machines

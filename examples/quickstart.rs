@@ -28,8 +28,15 @@ fn main() {
     b.shard(&[2.0, 1.0], 1.0, m3);
     let inst = b.build().expect("valid instance");
 
-    let result = solve(&inst, &SraConfig { iters: 5_000, seed: 1, ..Default::default() })
-        .expect("SRA solves valid instances");
+    let result = solve(
+        &inst,
+        &SraConfig {
+            iters: 5_000,
+            seed: 1,
+            ..Default::default()
+        },
+    )
+    .expect("SRA solves valid instances");
 
     println!("initial: {}", result.initial_report);
     println!("final:   {}", result.final_report);
@@ -40,12 +47,17 @@ fn main() {
         result.migration.batches,
         result.migration.extra_hops,
     );
-    println!("machines returned to the operator: {:?}", result.returned_machines);
+    println!(
+        "machines returned to the operator: {:?}",
+        result.returned_machines
+    );
 
     println!("\nmigration schedule:");
     for (i, batch) in result.plan.batches.iter().enumerate() {
-        let moves: Vec<String> =
-            batch.iter().map(|m| format!("{}:{}→{}", m.shard, m.from, m.to)).collect();
+        let moves: Vec<String> = batch
+            .iter()
+            .map(|m| format!("{}:{}→{}", m.shard, m.from, m.to))
+            .collect();
         println!("  batch {i}: {}", moves.join(", "));
     }
 

@@ -18,8 +18,17 @@ use resource_exchange::searchsim::queries::QueryConfig;
 
 fn main() {
     let cfg = BridgeConfig {
-        corpus: CorpusConfig { n_docs: 8_000, vocab: 15_000, seed: 2024, ..Default::default() },
-        queries: QueryConfig { n_queries: 5_000, seed: 2025, ..Default::default() },
+        corpus: CorpusConfig {
+            n_docs: 8_000,
+            vocab: 15_000,
+            seed: 2024,
+            ..Default::default()
+        },
+        queries: QueryConfig {
+            n_queries: 5_000,
+            seed: 2025,
+            ..Default::default()
+        },
         n_shards: 96,
         n_machines: 12,
         n_exchange: 2,
@@ -42,14 +51,24 @@ fn main() {
     println!("\nrunning SRA (parallel portfolio, 4 workers)…");
     let sra = solve(
         &inst,
-        &SraConfig { iters: 6_000, workers: 4, seed: 7, ..Default::default() },
+        &SraConfig {
+            iters: 6_000,
+            workers: 4,
+            seed: 7,
+            ..Default::default()
+        },
     )
     .expect("SRA");
 
     println!("running greedy baseline (no exchange machines)…");
-    let greedy = GreedyRebalancer::default().rebalance(&inst).expect("greedy");
+    let greedy = GreedyRebalancer::default()
+        .rebalance(&inst)
+        .expect("greedy");
 
-    println!("\n              {:>10} {:>10} {:>12}", "peak", "imbalance", "improvement");
+    println!(
+        "\n              {:>10} {:>10} {:>12}",
+        "peak", "imbalance", "improvement"
+    );
     println!(
         "initial       {:>10.4} {:>10.3} {:>12}",
         sra.initial_report.peak, sra.initial_report.imbalance, "—"
@@ -68,7 +87,9 @@ fn main() {
     );
     println!(
         "\nSRA migration: {} moves, traffic {:.2}, {} batches; returned {:?}",
-        sra.migration.total_moves, sra.migration.traffic, sra.migration.batches,
+        sra.migration.total_moves,
+        sra.migration.traffic,
+        sra.migration.batches,
         sra.returned_machines
     );
 

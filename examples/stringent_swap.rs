@@ -35,8 +35,12 @@ fn build(with_exchange: bool) -> Instance {
 fn main() {
     // Without exchange machines, both deployable baselines are stuck.
     let stuck = build(false);
-    let ls = LocalSearchRebalancer::default().rebalance(&stuck).expect("local search");
-    let gr = GreedyRebalancer::default().rebalance(&stuck).expect("greedy");
+    let ls = LocalSearchRebalancer::default()
+        .rebalance(&stuck)
+        .expect("local search");
+    let gr = GreedyRebalancer::default()
+        .rebalance(&stuck)
+        .expect("greedy");
     println!(
         "no exchange:  local-search {:.3} → {:.3} ({} moves), greedy {:.3} → {:.3} ({} moves)",
         ls.initial_report.peak,
@@ -50,8 +54,15 @@ fn main() {
     // With one borrowed machine, SRA stages the swap through it and hands
     // a vacant machine back afterwards.
     let unlocked = build(true);
-    let sra = solve(&unlocked, &SraConfig { iters: 3_000, seed: 5, ..Default::default() })
-        .expect("SRA");
+    let sra = solve(
+        &unlocked,
+        &SraConfig {
+            iters: 3_000,
+            seed: 5,
+            ..Default::default()
+        },
+    )
+    .expect("SRA");
     println!(
         "one exchange: SRA {:.3} → {:.3} ({} moves, {} staging hops), returned {:?}",
         sra.initial_report.peak,
@@ -62,12 +73,23 @@ fn main() {
     );
     println!("\nschedule:");
     for (i, batch) in sra.plan.batches.iter().enumerate() {
-        let moves: Vec<String> =
-            batch.iter().map(|m| format!("{}:{}→{}", m.shard, m.from, m.to)).collect();
+        let moves: Vec<String> = batch
+            .iter()
+            .map(|m| format!("{}:{}→{}", m.shard, m.from, m.to))
+            .collect();
         println!("  batch {i}: {}", moves.join(", "));
     }
 
-    assert_eq!(ls.migration.total_moves, 0, "local search must be transient-blocked");
-    assert_eq!(gr.migration.total_moves, 0, "greedy must be transient-blocked");
-    assert!(sra.final_report.peak < 0.95 - 1e-9, "SRA must break the deadlock");
+    assert_eq!(
+        ls.migration.total_moves, 0,
+        "local search must be transient-blocked"
+    );
+    assert_eq!(
+        gr.migration.total_moves, 0,
+        "greedy must be transient-blocked"
+    );
+    assert!(
+        sra.final_report.peak < 0.95 - 1e-9,
+        "SRA must break the deadlock"
+    );
 }

@@ -20,7 +20,9 @@ use resource_exchange::cluster::{
 };
 use resource_exchange::core::{solve_with_drain, SraConfig};
 use resource_exchange::workload::io;
-use resource_exchange::workload::synthetic::{generate, DemandFamily, MachineProfile, Placement, SynthConfig};
+use resource_exchange::workload::synthetic::{
+    generate, DemandFamily, MachineProfile, Placement, SynthConfig,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
@@ -45,7 +47,9 @@ fn parse_args(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got `{}`", args[i]))?;
-        let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
         out.insert(key.to_string(), value.clone());
         i += 2;
     }
@@ -53,7 +57,9 @@ fn parse_args(args: &[String]) -> Result<HashMap<String, String>, String> {
 }
 
 fn get<'a>(args: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
-    args.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+    args.get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{key}"))
 }
 
 fn get_or<'a>(args: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'a str {
@@ -61,7 +67,8 @@ fn get_or<'a>(args: &'a HashMap<String, String>, key: &str, default: &'a str) ->
 }
 
 fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
-    s.parse().map_err(|_| format!("cannot parse `{s}` as {what}"))
+    s.parse()
+        .map_err(|_| format!("cannot parse `{s}` as {what}"))
 }
 
 fn load_instance(args: &HashMap<String, String>) -> Result<Instance, String> {
@@ -95,7 +102,10 @@ fn cmd_generate(args: &HashMap<String, String>) -> Result<(), String> {
         placement,
         profile: match get_or(args, "profile", "homogeneous") {
             "homogeneous" => MachineProfile::Homogeneous,
-            "two-tier" => MachineProfile::TwoTier { big_fraction: 0.25, ratio: 2.0 },
+            "two-tier" => MachineProfile::TwoTier {
+                big_fraction: 0.25,
+                ratio: 2.0,
+            },
             "big-exchange" => MachineProfile::BigExchange { factor: 2.0 },
             other => return Err(format!("unknown profile `{other}`")),
         },
@@ -103,7 +113,12 @@ fn cmd_generate(args: &HashMap<String, String>) -> Result<(), String> {
     let inst = generate(&cfg).map_err(|e| e.to_string())?;
     let out = get(args, "out")?;
     io::save(&inst, Path::new(out)).map_err(|e| e.to_string())?;
-    println!("wrote {} ({} machines, {} shards) to {out}", inst.label, inst.n_machines(), inst.n_shards());
+    println!(
+        "wrote {} ({} machines, {} shards) to {out}",
+        inst.label,
+        inst.n_machines(),
+        inst.n_shards()
+    );
     Ok(())
 }
 
@@ -112,7 +127,11 @@ fn cmd_inspect(args: &HashMap<String, String>) -> Result<(), String> {
     let asg = Assignment::from_initial(&inst);
     let report = BalanceReport::compute(&inst, &asg);
     println!("label:      {}", inst.label);
-    println!("machines:   {} (+{} exchange)", inst.n_machines() - inst.n_exchange(), inst.n_exchange());
+    println!(
+        "machines:   {} (+{} exchange)",
+        inst.n_machines() - inst.n_exchange(),
+        inst.n_exchange()
+    );
     println!("shards:     {}", inst.n_shards());
     println!("dims:       {}", inst.dims);
     println!("k_return:   {}", inst.k_return);
@@ -156,8 +175,11 @@ fn cmd_solve(args: &HashMap<String, String>) -> Result<(), String> {
             plan: res.plan,
             returned: res.returned_machines,
         };
-        std::fs::write(out, serde_json::to_string_pretty(&file).map_err(|e| e.to_string())?)
-            .map_err(|e| e.to_string())?;
+        std::fs::write(
+            out,
+            serde_json::to_string_pretty(&file).map_err(|e| e.to_string())?,
+        )
+        .map_err(|e| e.to_string())?;
         println!("solution written to {out}");
     }
     Ok(())
@@ -198,9 +220,16 @@ fn cmd_verify(args: &HashMap<String, String>) -> Result<(), String> {
         }
     }
     if sol.returned.len() < inst.k_return {
-        return Err(format!("only {} machines returned, {} required", sol.returned.len(), inst.k_return));
+        return Err(format!(
+            "only {} machines returned, {} required",
+            sol.returned.len(),
+            inst.k_return
+        ));
     }
-    println!("OK: schedule verifies, target feasible, {} machines returned", sol.returned.len());
+    println!(
+        "OK: schedule verifies, target feasible, {} machines returned",
+        sol.returned.len()
+    );
     println!("final: {}", BalanceReport::compute(&inst, &asg));
     Ok(())
 }
@@ -244,13 +273,21 @@ mod tests {
     use super::*;
 
     fn args(pairs: &[(&str, &str)]) -> HashMap<String, String> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
     }
 
     #[test]
     fn parse_args_happy_path() {
-        let a = parse_args(&["--inst".into(), "x.json".into(), "--iters".into(), "5".into()])
-            .unwrap();
+        let a = parse_args(&[
+            "--inst".into(),
+            "x.json".into(),
+            "--iters".into(),
+            "5".into(),
+        ])
+        .unwrap();
         assert_eq!(get(&a, "inst").unwrap(), "x.json");
         assert_eq!(get_or(&a, "iters", "1"), "5");
         assert_eq!(get_or(&a, "missing", "d"), "d");

@@ -7,7 +7,10 @@ use resource_exchange::core::{solve, SraConfig};
 use resource_exchange::searchsim::qos::{qos_of_plan, QosConfig};
 use resource_exchange::workload::synthetic::{generate, DemandFamily, Placement, SynthConfig};
 
-fn solved() -> (resource_exchange::cluster::Instance, resource_exchange::core::SraResult) {
+fn solved() -> (
+    resource_exchange::cluster::Instance,
+    resource_exchange::core::SraResult,
+) {
     let inst = generate(&SynthConfig {
         n_machines: 10,
         n_exchange: 2,
@@ -20,7 +23,15 @@ fn solved() -> (resource_exchange::cluster::Instance, resource_exchange::core::S
         ..Default::default()
     })
     .unwrap();
-    let res = solve(&inst, &SraConfig { iters: 2_000, seed: 77, ..Default::default() }).unwrap();
+    let res = solve(
+        &inst,
+        &SraConfig {
+            iters: 2_000,
+            seed: 77,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     (inst, res)
 }
 
@@ -34,7 +45,10 @@ fn qos_improves_after_a_balancing_migration() {
         q.before,
         q.after
     );
-    assert!(q.worst_during >= q.after, "transients cannot beat the final state");
+    assert!(
+        q.worst_during >= q.after,
+        "transients cannot beat the final state"
+    );
     assert_eq!(q.per_batch.len(), res.plan.n_batches());
     assert!(q.degradation() >= 1.0);
 }
@@ -42,14 +56,20 @@ fn qos_improves_after_a_balancing_migration() {
 #[test]
 fn narrower_batches_never_finish_faster() {
     let (inst, res) = solved();
-    let tl_cfg = TimelineConfig { machine_bandwidth: 1.0, batch_overhead_secs: 1.0 };
+    let tl_cfg = TimelineConfig {
+        machine_bandwidth: 1.0,
+        batch_overhead_secs: 1.0,
+    };
     let wide = time_plan(&inst, &res.plan, &tl_cfg);
 
     let narrow_plan = plan_migration(
         &inst,
         &inst.initial,
         res.assignment.placement(),
-        &PlannerConfig { max_batch_moves: 1, ..Default::default() },
+        &PlannerConfig {
+            max_batch_moves: 1,
+            ..Default::default()
+        },
     )
     .expect("single-move schedule to the same target");
     let narrow = time_plan(&inst, &narrow_plan, &tl_cfg);

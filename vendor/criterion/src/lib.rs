@@ -1,0 +1,250 @@
+//! Vendored, dependency-free shim of the `criterion` surface this
+//! workspace uses: `Criterion`, `benchmark_group` + `sample_size` +
+//! `finish`, `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Methodology (simplified from upstream, adequate for A/B throughput
+//! comparisons on one machine):
+//!
+//! * warm-up (~0.3 s), then auto-calibrate iterations-per-sample so one
+//!   sample takes ~10 ms;
+//! * collect `sample_size` samples (default 20) of mean ns/iter;
+//! * report median, min, and max sample means on stdout in a stable
+//!   `name  median_ns min_ns max_ns` format that downstream scripts can
+//!   parse.
+//!
+//! `cargo bench` filter arguments are honored (substring match), as is
+//! `--bench` noise in argv. No files are written; redirect stdout to keep
+//! results.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (shim: one setup per iteration
+/// regardless of variant; setup time is excluded from measurement either
+/// way, which is the property call sites rely on).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state (e.g. a cloned `Assignment`).
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// Exactly one setup per measured routine call.
+    PerIteration,
+}
+
+/// The measurement driver handed to `bench_function` closures.
+pub struct Bencher {
+    iters: u64,
+    /// Total measured time of the routine across `iters` calls.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` back-to-back `iters` times.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measures `routine` on fresh `setup()` output each iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` / `cargo bench <filter>` pass the filter
+        // in argv; skip flag-like and harness-internal arguments.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.ends_with(".rs"));
+        Criterion {
+            filter,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run_one(name, sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Upstream-compatibility no-op (config handled at construction).
+    pub fn configure_from_args(&mut self) -> &mut Self {
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up and calibration: find iters-per-sample giving ~10 ms.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warmup_deadline = Instant::now() + Duration::from_millis(300);
+        let target = Duration::from_millis(10);
+        loop {
+            f(&mut bencher);
+            if bencher.elapsed >= target || Instant::now() >= warmup_deadline {
+                break;
+            }
+            let grow = if bencher.elapsed.is_zero() {
+                8.0
+            } else {
+                (target.as_secs_f64() / bencher.elapsed.as_secs_f64()).clamp(1.5, 8.0)
+            };
+            bencher.iters = ((bencher.iters as f64) * grow).ceil() as u64;
+        }
+        let iters = bencher.iters.max(1);
+        let mut means_ns: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            means_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        means_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = means_ns[means_ns.len() / 2];
+        let (min, max) = (means_ns[0], means_ns[means_ns.len() - 1]);
+        println!(
+            "{name:<44} {:>14} ns/iter (min {:.1}, max {:.1}, {} samples x {} iters)",
+            format!("{median:.1}"),
+            min,
+            max,
+            sample_size,
+            iters
+        );
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let sample_size = self.sample_size.unwrap_or(self.parent.default_sample_size);
+        self.parent.run_one(&full, sample_size, f);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this is a no-op provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        c.bench_function("shim/trivial", |b| b.iter(|| 1u64 + 1));
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            default_sample_size: 3,
+        };
+        trivial_bench(&mut c);
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_function("inner", |b| b.iter(|| 2u64 * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            default_sample_size: 2,
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| 0u8)
+        });
+        assert!(!ran);
+    }
+}

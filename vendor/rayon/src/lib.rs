@@ -1,0 +1,229 @@
+//! Vendored, dependency-free shim of the `rayon` API surface this workspace
+//! uses: `par_iter()` / `into_par_iter()` followed by `map`, then `collect`
+//! or `fold(..).reduce(..)` / `reduce(..)`.
+//!
+//! `collect()` genuinely runs in parallel over `std::thread::scope`, chunked
+//! by index so results land deterministically. The `fold`/`reduce` pipeline
+//! runs sequentially — every call site in this workspace reduces with an
+//! associative, commutative element-wise sum, so the result is identical;
+//! only the speedup is forfeited. All outputs are bit-deterministic, which
+//! the workspace's reproducibility tests rely on.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads for parallel `collect`.
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A "parallel iterator" over an eagerly collected list of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// The result of `ParIter::map`: items plus the mapping function.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// The result of `ParMap::fold`: a single sequentially folded accumulator.
+/// (Upstream rayon produces one accumulator per split; with a sequential
+/// fold there is exactly one.)
+pub struct ParFold<A> {
+    acc: A,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item (lazily; evaluation happens at the sink).
+    pub fn map<R, F: Fn(T) -> R>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Evaluates the map in parallel and collects into `C`, preserving the
+    /// input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let n = self.items.len();
+        let workers = threads().min(n.max(1));
+        if workers <= 1 || n <= 1 {
+            return self.items.into_iter().map(&self.f).collect();
+        }
+        let f = &self.f;
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        // Hand each worker an interleaved set of (index, item) pairs; the
+        // output slot vector keeps results in input order.
+        let mut per_worker: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
+        per_worker.resize_with(workers, Vec::new);
+        for (i, item) in self.items.into_iter().enumerate() {
+            per_worker[i % workers].push((i, item));
+        }
+        let mut out_chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = per_worker
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .into_iter()
+                            .map(|(i, item)| (i, f(item)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon shim worker panicked"))
+                .collect()
+        });
+        for chunk in out_chunks.drain(..) {
+            for (i, r) in chunk {
+                slots[i] = Some(r);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    }
+
+    /// Folds all mapped items into one accumulator (sequential; upstream
+    /// rayon folds per split and reduces the partials).
+    pub fn fold<A, I: Fn() -> A, G: Fn(A, R) -> A>(self, init: I, fold: G) -> ParFold<A> {
+        let f = &self.f;
+        let acc = self
+            .items
+            .into_iter()
+            .fold(init(), |acc, item| fold(acc, f(item)));
+        ParFold { acc }
+    }
+
+    /// Reduces all mapped items with `op`, starting from `init()`.
+    pub fn reduce<I: Fn() -> R, O: Fn(R, R) -> R>(self, init: I, op: O) -> R {
+        let f = &self.f;
+        self.items.into_iter().map(f).fold(init(), &op)
+    }
+}
+
+impl<A> ParFold<A> {
+    /// Combines the (single) folded accumulator with a fresh `init()`.
+    pub fn reduce<I: Fn() -> A, O: Fn(A, A) -> A>(self, init: I, op: O) -> A {
+        op(init(), self.acc)
+    }
+}
+
+/// Conversion into a parallel iterator, by value.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a reference).
+    type Item: Send;
+    /// Parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The traits call sites want in scope.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..1000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_refs() {
+        let data = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn fold_then_reduce() {
+        let total = vec![1u64, 2, 3, 4]
+            .into_par_iter()
+            .map(|x| x)
+            .fold(|| 0u64, |acc, x| acc + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn map_reduce() {
+        let total = (0..100usize)
+            .into_par_iter()
+            .map(|x| x as u64)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 4950);
+    }
+}

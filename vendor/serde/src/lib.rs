@@ -1,0 +1,335 @@
+//! Vendored, dependency-free shim of the `serde` surface this workspace
+//! uses: `#[derive(Serialize, Deserialize)]` plus the `serde_json`
+//! string round-trip. The build environment has no registry access, so the
+//! workspace resolves `serde` to this path crate.
+//!
+//! Unlike upstream serde's zero-copy visitor architecture, this shim goes
+//! through an owned [`value::Value`] tree — exactly what a JSON artifact
+//! round-trip needs, at a fraction of the machinery. The derive macro (in
+//! the sibling `serde_derive` shim) generates `to_value`/`from_value`
+//! impls with upstream-compatible JSON *shapes*: structs are objects,
+//! newtype structs are transparent, unit enum variants are strings, and
+//! data-carrying variants are single-key objects.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model all (de)serialization goes through.
+pub mod value {
+    /// An owned JSON-like value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// A non-negative integer (u64 range — seeds round-trip exactly).
+        UInt(u64),
+        /// A negative integer.
+        Int(i64),
+        /// A float (finite; non-finite serializes as `null`, as in
+        /// upstream serde_json).
+        Float(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object; insertion order is preserved.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Looks up a key in an object value.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+    }
+}
+
+use value::Value;
+
+/// A deserialization error (the only fallible direction).
+#[derive(Clone, Debug)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Builds an error describing what was expected vs found.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError(format!("expected {what}, found {found:?}"))
+    }
+}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into an owned value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Called when a struct field is absent from its object. `Option`
+    /// fields deserialize to `None` (matching upstream serde_json's
+    /// behavior); everything else is an error.
+    fn from_missing(field: &str) -> Result<Self, DeError> {
+        Err(DeError(format!("missing field `{field}`")))
+    }
+}
+
+// ---- derive support (referenced by generated code) ----------------------
+
+/// Extracts the field list of an object value.
+#[doc(hidden)]
+pub fn __object(v: &Value) -> Result<&[(String, Value)], DeError> {
+    match v {
+        Value::Object(fields) => Ok(fields),
+        other => Err(DeError::expected("object", other)),
+    }
+}
+
+/// Extracts the element list of an array value.
+#[doc(hidden)]
+pub fn __array(v: &Value) -> Result<&[Value], DeError> {
+    match v {
+        Value::Array(items) => Ok(items),
+        other => Err(DeError::expected("array", other)),
+    }
+}
+
+/// Deserializes a named struct field, delegating absent keys to
+/// [`Deserialize::from_missing`].
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => T::from_missing(name),
+    }
+}
+
+/// Deserializes a positional tuple element.
+#[doc(hidden)]
+pub fn __element<T: Deserialize>(items: &[Value], idx: usize) -> Result<T, DeError> {
+    match items.get(idx) {
+        Some(v) => T::from_value(v).map_err(|e| DeError(format!("element {idx}: {e}"))),
+        None => Err(DeError(format!("missing tuple element {idx}"))),
+    }
+}
+
+// ---- primitive impls ----------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::UInt(n) => *n,
+                    other => return Err(DeError::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    DeError(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: i64 = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range for i64")))?,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    DeError(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let f = *self as f64;
+                if f.is_finite() { Value::Float(f) } else { Value::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing(_field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        __array(v)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let found = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError(format!("expected array of length {N}, found {found}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = __array(v)?;
+                Ok(($(__element::<$t>(items, $n)?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+);

@@ -1,0 +1,466 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the serde shim.
+//!
+//! Hand-parses the item's token stream (no `syn`/`quote` — the build is
+//! fully offline) and emits impls of the shim's `to_value`/`from_value`
+//! traits. Supported shapes — everything this workspace derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (single-field newtypes serialize transparently, like
+//!   upstream; `#[serde(transparent)]` is accepted and implied),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants.
+//!
+//! Generics are not supported (no derived type in the workspace is
+//! generic); the macro panics with a clear message if it meets them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the item being derived.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// One enum variant.
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+/// Skips attributes (`#[...]`) at `*i`, returning whether any was seen.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while *i + 1 < tokens.len() {
+        match (&tokens[*i], &tokens[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at `*i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Splits a token list on top-level commas, tracking `<...>` depth
+/// (parens/brackets/braces arrive pre-grouped and need no tracking).
+/// Returns the number of non-empty segments.
+fn count_top_level_segments(tokens: &[TokenTree]) -> usize {
+    let mut segments = 0usize;
+    let mut seen_any = false;
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if seen_any {
+                        segments += 1;
+                    }
+                    seen_any = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        seen_any = true;
+    }
+    if seen_any {
+        segments += 1;
+    }
+    segments
+}
+
+/// Parses the field names out of a named-field group (`{ ... }`).
+fn parse_named_fields(group: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < group.len() {
+        skip_attrs(group, &mut i);
+        skip_vis(group, &mut i);
+        let Some(TokenTree::Ident(name)) = group.get(i) else {
+            panic!(
+                "serde_derive shim: expected field name, got {:?}",
+                group.get(i)
+            );
+        };
+        fields.push(name.to_string());
+        i += 1;
+        // Expect `:` then the type — skip tokens to the next top-level `,`.
+        let mut angle = 0i32;
+        while i < group.len() {
+            if let TokenTree::Punct(p) = &group[i] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Parses the variants of an enum body (`{ ... }`).
+fn parse_variants(group: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < group.len() {
+        skip_attrs(group, &mut i);
+        let Some(TokenTree::Ident(name)) = group.get(i) else {
+            panic!(
+                "serde_derive shim: expected variant name, got {:?}",
+                group.get(i)
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        match group.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                variants.push(Variant::Tuple(name, count_top_level_segments(&inner)));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                variants.push(Variant::Struct(name, parse_named_fields(&inner)));
+                i += 1;
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        // Skip an optional discriminant and the trailing comma.
+        while i < group.len() {
+            if let TokenTree::Punct(p) = &group[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+/// Parses the derived item's definition.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let Some(TokenTree::Ident(kw)) = tokens.get(i) else {
+        panic!("serde_derive shim: expected `struct` or `enum`");
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+        panic!("serde_derive shim: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported (type `{name}`)");
+        }
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&inner),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::TupleStruct {
+                    name,
+                    arity: count_top_level_segments(&inner),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive shim: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::Enum {
+                    name,
+                    variants: parse_variants(&inner),
+                }
+            }
+            other => panic!("serde_derive shim: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde_derive shim: expected struct or enum, found `{other}`"),
+    }
+}
+
+/// Derives the shim's `Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\
+                     fn to_value(&self) -> serde::value::Value {{\
+                         serde::value::Value::Object(::std::vec![{pushes}])\
+                     }}\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl serde::Serialize for {name} {{\
+                 fn to_value(&self) -> serde::value::Value {{\
+                     serde::Serialize::to_value(&self.0)\
+                 }}\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\
+                     fn to_value(&self) -> serde::value::Value {{\
+                         serde::value::Value::Array(::std::vec![{items}])\
+                     }}\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Serialize for {name} {{\
+                 fn to_value(&self) -> serde::value::Value {{\
+                     serde::value::Value::Null\
+                 }}\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) => format!(
+                        "{name}::{vn} => serde::value::Value::Str(\
+                             ::std::string::String::from(\"{vn}\")),"
+                    ),
+                    Variant::Tuple(vn, arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let bind_list = binds.join(", ");
+                        if *arity == 1 {
+                            format!(
+                                "{name}::{vn}(__f0) => serde::value::Value::Object(::std::vec![\
+                                     (::std::string::String::from(\"{vn}\"), \
+                                      serde::Serialize::to_value(__f0))]),"
+                            )
+                        } else {
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({bind_list}) => \
+                                 serde::value::Value::Object(::std::vec![\
+                                     (::std::string::String::from(\"{vn}\"), \
+                                      serde::value::Value::Array(::std::vec![{items}]))]),"
+                            )
+                        }
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let bind_list = fields.join(", ");
+                        let items: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     serde::Serialize::to_value({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {bind_list} }} => \
+                             serde::value::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                  serde::value::Value::Object(::std::vec![{items}]))]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\
+                     fn to_value(&self) -> serde::value::Value {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            )
+        }
+    };
+    src.parse()
+        .expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+/// Derives the shim's `Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: serde::__field(__obj, \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\
+                     fn from_value(__v: &serde::value::Value) \
+                         -> ::core::result::Result<Self, serde::DeError> {{\
+                         let __obj = serde::__object(__v)?;\
+                         ::core::result::Result::Ok({name} {{ {inits} }})\
+                     }}\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl serde::Deserialize for {name} {{\
+                 fn from_value(__v: &serde::value::Value) \
+                     -> ::core::result::Result<Self, serde::DeError> {{\
+                     ::core::result::Result::Ok({name}(serde::Deserialize::from_value(__v)?))\
+                 }}\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: String = (0..*arity)
+                .map(|i| format!("serde::__element(__items, {i})?,"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\
+                     fn from_value(__v: &serde::value::Value) \
+                         -> ::core::result::Result<Self, serde::DeError> {{\
+                         let __items = serde::__array(__v)?;\
+                         ::core::result::Result::Ok({name}({inits}))\
+                     }}\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Deserialize for {name} {{\
+                 fn from_value(_v: &serde::value::Value) \
+                     -> ::core::result::Result<Self, serde::DeError> {{\
+                     ::core::result::Result::Ok({name})\
+                 }}\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(vn) => Some(format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),"
+                    )),
+                    _ => None,
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Tuple(vn, 1) => Some(format!(
+                        "\"{vn}\" => ::core::result::Result::Ok(\
+                             {name}::{vn}(serde::Deserialize::from_value(__val)?)),"
+                    )),
+                    Variant::Tuple(vn, arity) => {
+                        let inits: String = (0..*arity)
+                            .map(|i| format!("serde::__element(__items, {i})?,"))
+                            .collect();
+                        Some(format!(
+                            "\"{vn}\" => {{\
+                                 let __items = serde::__array(__val)?;\
+                                 ::core::result::Result::Ok({name}::{vn}({inits}))\
+                             }}"
+                        ))
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| format!("{f}: serde::__field(__obj, \"{f}\")?,"))
+                            .collect();
+                        Some(format!(
+                            "\"{vn}\" => {{\
+                                 let __obj = serde::__object(__val)?;\
+                                 ::core::result::Result::Ok({name}::{vn} {{ {inits} }})\
+                             }}"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\
+                     fn from_value(__v: &serde::value::Value) \
+                         -> ::core::result::Result<Self, serde::DeError> {{\
+                         match __v {{\
+                             serde::value::Value::Str(__s) => match __s.as_str() {{\
+                                 {unit_arms}\
+                                 __other => ::core::result::Result::Err(serde::DeError(\
+                                     ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\
+                             }},\
+                             serde::value::Value::Object(__fields) if __fields.len() == 1 => {{\
+                                 let (__tag, __val) = &__fields[0];\
+                                 match __tag.as_str() {{\
+                                     {data_arms}\
+                                     __other => ::core::result::Result::Err(serde::DeError(\
+                                         ::std::format!(\
+                                             \"unknown variant `{{__other}}` of {name}\"))),\
+                                 }}\
+                             }}\
+                             __other => ::core::result::Result::Err(\
+                                 serde::DeError::expected(\"{name} variant\", __other)),\
+                         }}\
+                     }}\
+                 }}"
+            )
+        }
+    };
+    src.parse()
+        .expect("serde_derive shim: generated Deserialize impl must parse")
+}

@@ -1,0 +1,460 @@
+//! Vendored, dependency-free shim of the `serde_json` surface this
+//! workspace uses: [`to_string`], [`to_string_pretty`], and [`from_str`],
+//! bridged through the serde shim's [`Value`] tree.
+//!
+//! Floats are emitted with Rust's shortest round-trip `Display`, so
+//! `f64 -> string -> f64` is exact (upstream's `float_roundtrip` behavior).
+//! Integral floats therefore print without a decimal point and re-parse as
+//! integers — the shim's numeric `from_value` impls accept either, so
+//! serialize/deserialize round-trips still hold.
+
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// A serialization or deserialization error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Deserializes a `T` from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+// ---- emitter -------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => {
+            // `{}` on f64 is shortest-round-trip; integral values print
+            // without a fractional part (e.g. "2"), matching upstream's
+            // integer-looking output for whole floats read back as numbers.
+            out.push_str(&format!("{f}"));
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser --------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `]` at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.parse_value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}` at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes at once.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error("invalid UTF-8 in string".into()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by `\uXXXX` with a low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if !self.eat_keyword("\\u") {
+                                    return Err(Error("unpaired surrogate".into()));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error("invalid low surrogate".into()));
+                                }
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error("invalid code point".into()))?
+                            } else {
+                                char::from_u32(cp)
+                                    .ok_or_else(|| Error("invalid code point".into()))?
+                            };
+                            s.push(c);
+                        }
+                        other => {
+                            return Err(Error(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error("truncated \\u escape".into()));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error("invalid \\u escape".into()))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| Error("invalid \\u escape".into()))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if !is_float {
+            // Integers parse losslessly: u64 first (keeps 64-bit seeds
+            // exact), then i64 for negatives, f64 only on overflow.
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_u64_seed_exactly() {
+        let seed: u64 = 15164068430237181204;
+        let json = to_string(&seed).unwrap();
+        assert_eq!(json, "15164068430237181204");
+        let back: u64 = from_str(&json).unwrap();
+        assert_eq!(back, seed);
+    }
+
+    #[test]
+    fn round_trips_awkward_float() {
+        let x: f64 = 0.5379914052582881;
+        let json = to_string(&x).unwrap();
+        let back: f64 = from_str(&json).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn integral_float_survives_round_trip() {
+        let x: f64 = 2.0;
+        let json = to_string(&x).unwrap();
+        assert_eq!(json, "2");
+        let back: f64 = from_str(&json).unwrap();
+        assert_eq!(back, 2.0);
+    }
+
+    #[test]
+    fn pretty_print_shape() {
+        let v = vec![1u32, 2];
+        let json = to_string_pretty(&v).unwrap();
+        assert_eq!(json, "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = String::from("a\"b\\c\nd\te\u{1}");
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn unicode_escape_parses() {
+        let back: String = from_str("\"\\u00e9\\ud83d\\ude00\"").unwrap();
+        assert_eq!(back, "é😀");
+    }
+
+    #[test]
+    fn options_and_nulls() {
+        let x: Option<u32> = None;
+        assert_eq!(to_string(&x).unwrap(), "null");
+        let back: Option<u32> = from_str("null").unwrap();
+        assert_eq!(back, None);
+        let back: Option<u32> = from_str("7").unwrap();
+        assert_eq!(back, Some(7));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<u32>("1 2").is_err());
+    }
+}
