@@ -45,6 +45,8 @@ fn main() {
         "makespan (s)",
         "latency before",
         "worst during",
+        "p50 during",
+        "p99 during",
         "latency after",
         "degradation",
     ]);
@@ -70,6 +72,8 @@ fn main() {
             f2(tl.makespan_secs),
             f2(q.before),
             f2(q.worst_during),
+            f2(q.p50),
+            f2(q.p99),
             f2(q.after),
             format!("{:.2}x", q.degradation()),
         ]);
@@ -89,6 +93,8 @@ fn main() {
             f2(tl.makespan_secs),
             f2(q.before),
             f2(q.worst_during),
+            f2(q.p50),
+            f2(q.p99),
             f2(q.after),
             format!("{:.2}x", q.degradation()),
         ]);

@@ -75,7 +75,10 @@ fn main() {
             seed: 43,
             ..Default::default()
         },
-        n_shards: scaled(160),
+        // Keep ≥3 shards per machine: the bridge caps a single shard at
+        // 45% of a machine, so `machines · stringency` must fit under
+        // `shards · 0.45` even in quick mode.
+        n_shards: scaled(160).max(3 * machines),
         n_machines: machines,
         n_exchange: machines / 8,
         stringency: 0.8,

@@ -1,0 +1,289 @@
+//! Runtime configuration: time model, traffic, controller policy, faults.
+//!
+//! Everything is plain data with explicit defaults so a whole run is
+//! reproducible from `(Instance, RuntimeConfig)` alone — the simulator has
+//! no other inputs and no hidden clocks.
+
+use serde::{Deserialize, Serialize};
+
+/// Which rebalancing policy the controller runs when it decides to act.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControllerPolicy {
+    /// Never rebalance. Mandatory fault evacuations still execute — an
+    /// operator cannot leave shards on a dead machine — so `Off` isolates
+    /// exactly the value of *load-driven* rebalancing.
+    Off,
+    /// One pass of the greedy hottest-machine baseline per trigger (the
+    /// classic alarm-driven playbook, no exchange machines).
+    Greedy,
+    /// SRA: the paper's exchange-aware large-neighborhood search.
+    Sra,
+}
+
+impl ControllerPolicy {
+    /// Stable lowercase name for tables and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ControllerPolicy::Off => "off",
+            ControllerPolicy::Greedy => "greedy",
+            ControllerPolicy::Sra => "sra",
+        }
+    }
+}
+
+impl std::str::FromStr for ControllerPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(ControllerPolicy::Off),
+            "greedy" => Ok(ControllerPolicy::Greedy),
+            "sra" => Ok(ControllerPolicy::Sra),
+            other => Err(format!("unknown controller `{other}` (off|greedy|sra)")),
+        }
+    }
+}
+
+/// When and how the controller decides to rebalance.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// The rebalancing policy.
+    pub policy: ControllerPolicy,
+    /// Ticks between controller observations.
+    pub poll_interval: u64,
+    /// Trigger when the rolling mean of steady peak utilization exceeds
+    /// this.
+    pub peak_threshold: f64,
+    /// Trigger when the rolling mean imbalance (peak/mean over occupied
+    /// machines) exceeds this.
+    pub imbalance_threshold: f64,
+    /// Number of polls in the rolling window.
+    pub window: usize,
+    /// Minimum ticks between two triggered rebalances.
+    pub cooldown_ticks: u64,
+    /// LNS iterations per SRA solve.
+    pub sra_iters: u64,
+    /// Migration-cost weight λ of the SRA objective (normalized: moving
+    /// *every* shard costs `λ` load units). In a closed loop copies are not
+    /// free — they occupy NICs and inflate tail latency while in flight —
+    /// so the controller taxes movement much harder than the one-shot
+    /// solver default of 0.01.
+    pub sra_lambda: f64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            policy: ControllerPolicy::Sra,
+            poll_interval: 50,
+            peak_threshold: 0.92,
+            imbalance_threshold: 1.15,
+            window: 4,
+            cooldown_ticks: 400,
+            sra_iters: 3_000,
+            sra_lambda: 0.25,
+        }
+    }
+}
+
+/// A scheduled fault.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum FaultSpec {
+    /// Machine `machine` fails at tick `at`: its shards become degraded
+    /// (served at the saturation latency) until the runtime evacuates
+    /// them, and it receives no shards until `recover_at` (if ever).
+    Crash {
+        /// Failure tick.
+        at: u64,
+        /// Machine index.
+        machine: u32,
+        /// Optional tick the machine rejoins as available capacity.
+        recover_at: Option<u64>,
+    },
+    /// A flash crowd: the hottest `shard_fraction` of shards (by CPU
+    /// demand at spike start) serve `factor`× their traffic for
+    /// `duration` ticks.
+    Spike {
+        /// Spike start tick.
+        at: u64,
+        /// Spike length in ticks.
+        duration: u64,
+        /// Traffic multiplier (must be ≥ 1 — see the snapshot-dominance
+        /// argument in DESIGN.md §7).
+        factor: f64,
+        /// Fraction of shards affected, hottest first.
+        shard_fraction: f64,
+    },
+}
+
+/// Periodic demand drift (delegates to `rex_workload::evolve::next_epoch`).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DriftSpec {
+    /// Ticks between drift epochs.
+    pub every_ticks: u64,
+    /// Log-normal σ of the per-shard CPU multiplier.
+    pub sigma: f64,
+    /// Aggregate CPU utilization the fleet is renormalized to.
+    pub target_utilization: f64,
+}
+
+/// Complete runtime configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Simulation horizon in ticks.
+    pub ticks: u64,
+    /// Master seed; every internal RNG stream derives from it.
+    pub seed: u64,
+    /// Ticks per diurnal hour (24 hours wrap around).
+    pub ticks_per_hour: u64,
+    /// Dampens the diurnal swing: the raw searchsim curve scales traffic
+    /// ~0.3×–2.1×, but a provisioned fleet sees utilization swing far less
+    /// (capacity is sized for peak). The applied multiplier is
+    /// `1 + (raw − 1) · amplitude`; `0` flattens the day, `1` is the raw
+    /// curve. Must lie in `[0, 1]`.
+    pub diurnal_amplitude: f64,
+    /// Mean query arrivals per tick at diurnal multiplier 1.0.
+    pub qps: f64,
+    /// Cap on latency samples recorded per tick (arrival *counts* are
+    /// exact; sampling only bounds histogram work).
+    pub latency_samples_per_tick: usize,
+    /// Utilization clamp for the `1/(1−ρ)` service model.
+    pub rho_max: f64,
+    /// Copy bandwidth per machine NIC, in move-cost units per tick.
+    pub copy_bandwidth: f64,
+    /// Fixed per-batch coordination overhead in ticks.
+    pub batch_overhead_ticks: u64,
+    /// Ticks between a rebalance decision and its first batch starting.
+    pub plan_latency_ticks: u64,
+    /// Ticks between gauge samples.
+    pub sample_interval: u64,
+    /// Controller configuration.
+    pub controller: ControllerConfig,
+    /// Scheduled faults.
+    pub faults: Vec<FaultSpec>,
+    /// Periodic demand drift, if any.
+    pub drift: Option<DriftSpec>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            ticks: 10_000,
+            seed: 42,
+            ticks_per_hour: 50,
+            diurnal_amplitude: 0.6,
+            qps: 8.0,
+            latency_samples_per_tick: 16,
+            rho_max: 0.98,
+            copy_bandwidth: 1.0,
+            batch_overhead_ticks: 1,
+            plan_latency_ticks: 2,
+            sample_interval: 10,
+            controller: ControllerConfig::default(),
+            faults: Vec::new(),
+            drift: None,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Panics on nonsensical parameters; called once at simulation start.
+    pub fn validate(&self) {
+        assert!(self.ticks > 0, "ticks must be positive");
+        assert!(self.ticks_per_hour > 0, "ticks_per_hour must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.diurnal_amplitude),
+            "diurnal_amplitude must lie in [0, 1]"
+        );
+        assert!(self.qps >= 0.0, "qps must be non-negative");
+        assert!(
+            self.rho_max > 0.0 && self.rho_max < 1.0,
+            "rho_max must lie in (0, 1)"
+        );
+        assert!(self.copy_bandwidth > 0.0, "copy_bandwidth must be positive");
+        assert!(self.sample_interval > 0, "sample_interval must be positive");
+        assert!(
+            self.controller.poll_interval > 0,
+            "poll_interval must be positive"
+        );
+        assert!(self.controller.window > 0, "window must be positive");
+        assert!(
+            self.controller.sra_lambda >= 0.0,
+            "sra_lambda must be non-negative"
+        );
+        for f in &self.faults {
+            if let FaultSpec::Spike {
+                factor,
+                shard_fraction,
+                ..
+            } = f
+            {
+                assert!(
+                    *factor >= 1.0,
+                    "spike factor must be ≥ 1 (plans stay transient-safe \
+                     only when snapshots dominate live demands)"
+                );
+                assert!(
+                    (0.0..=1.0).contains(shard_fraction),
+                    "shard_fraction must lie in [0, 1]"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        RuntimeConfig::default().validate();
+    }
+
+    #[test]
+    fn policy_parses() {
+        assert_eq!("sra".parse(), Ok(ControllerPolicy::Sra));
+        assert_eq!("greedy".parse(), Ok(ControllerPolicy::Greedy));
+        assert_eq!("off".parse(), Ok(ControllerPolicy::Off));
+        assert!("nope".parse::<ControllerPolicy>().is_err());
+        assert_eq!(ControllerPolicy::Sra.name(), "sra");
+    }
+
+    #[test]
+    #[should_panic]
+    fn sub_unit_spike_factor_rejected() {
+        let cfg = RuntimeConfig {
+            faults: vec![FaultSpec::Spike {
+                at: 1,
+                duration: 1,
+                factor: 0.5,
+                shard_fraction: 0.1,
+            }],
+            ..Default::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let cfg = RuntimeConfig {
+            faults: vec![FaultSpec::Crash {
+                at: 10,
+                machine: 2,
+                recover_at: Some(50),
+            }],
+            drift: Some(DriftSpec {
+                every_ticks: 100,
+                sigma: 0.2,
+                target_utilization: 0.75,
+            }),
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: RuntimeConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.ticks, cfg.ticks);
+        assert_eq!(back.faults.len(), 1);
+        back.validate();
+    }
+}

@@ -1,0 +1,42 @@
+//! # rex-runtime — the closed-loop cluster runtime
+//!
+//! A deterministic discrete-event simulator that closes the loop the rest
+//! of the workspace leaves open: the solver crates answer *"given this
+//! snapshot, what is a good reassignment?"*, this crate answers *"what
+//! happens when a controller keeps asking that question against a live
+//! cluster?"* — with query traffic, queueing delays, migration copies that
+//! take real time, machines that crash mid-migration, flash crowds, and
+//! demand drift.
+//!
+//! The pieces:
+//!
+//! * [`events`] — the deterministic event queue (integer ticks, insertion-
+//!   order tie-break).
+//! * [`server`] — the per-machine queueing model: diurnal traffic, `1/(1−ρ)`
+//!   service latency, fan-out max (the straggler sets query latency).
+//! * [`controller`] — rolling-window trigger logic plus the planning
+//!   policies (SRA with resource exchange, the greedy baseline, off).
+//! * [`exec`] — timed batch execution with transient copy footprints, and
+//!   an independent event-boundary verifier of the transient constraint.
+//! * [`metrics`] — counters, gauges, HDR-style latency histograms, and the
+//!   byte-deterministic JSON export.
+//! * [`sim`] — the [`Simulation`] event loop tying it all together.
+//!
+//! Determinism is a hard contract: a run is a pure function of
+//! `(Instance, RuntimeConfig)`, and two same-seed runs export byte-identical
+//! JSON. See DESIGN.md §7 for the full argument.
+
+pub mod config;
+pub mod controller;
+pub mod events;
+pub mod exec;
+pub mod metrics;
+pub mod server;
+pub mod sim;
+
+pub use config::{ControllerConfig, ControllerPolicy, DriftSpec, FaultSpec, RuntimeConfig};
+pub use controller::Controller;
+pub use events::{Event, EventQueue};
+pub use exec::{verify_event_boundaries, BoundaryViolation, MigrationKind, PlannedMigration};
+pub use metrics::{Counters, GaugeSample, LatencyHistogram, LatencySummary, MetricsExport};
+pub use sim::Simulation;

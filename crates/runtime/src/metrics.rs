@@ -1,0 +1,363 @@
+//! The metrics bus: counters, gauges, and log-bucketed latency histograms.
+//!
+//! Everything here serializes to JSON through fixed-order struct fields and
+//! `Vec`s — no hash maps anywhere — so two runs with the same seed produce
+//! **byte-identical** exports. That is a hard contract (tested), because the
+//! experiment harness diffs metric files across runs.
+//!
+//! The histogram is HDR-style: geometric buckets with ~2% relative
+//! precision, O(1) record, percentile queries by cumulative walk. Relative
+//! latencies live in `[1, 1/(1−ρ_max)]` so a few hundred buckets cover the
+//! whole range.
+
+use rex_cluster::BalanceReport;
+use serde::Serialize;
+
+/// Geometric bucket growth factor (~2% relative precision).
+const BUCKET_RATIO: f64 = 1.02;
+/// Number of buckets: `1.02^464 ≈ 9800`, far above any clamped latency.
+const N_BUCKETS: usize = 464;
+
+/// A log-bucketed latency histogram.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+
+    fn bucket_of(v: f64) -> usize {
+        if v <= 1.0 {
+            return 0;
+        }
+        let i = (v.ln() / BUCKET_RATIO.ln()).floor() as usize;
+        i.min(N_BUCKETS - 1)
+    }
+
+    /// Representative value of bucket `i` (geometric midpoint).
+    fn bucket_value(i: usize) -> f64 {
+        BUCKET_RATIO.powf(i as f64 + 0.5)
+    }
+
+    /// Records one latency sample (relative latency, ≥ 1).
+    pub fn record(&mut self, v: f64) {
+        debug_assert!(v.is_finite() && v >= 0.0, "bad latency sample {v}");
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 100]`); 0.0 when empty.
+    ///
+    /// Returns the representative value of the bucket containing the
+    /// `ceil(p/100 · count)`-th smallest sample — exact to the bucket's
+    /// ~2% relative width, like any HDR-style histogram.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_value(i);
+            }
+        }
+        Self::bucket_value(N_BUCKETS - 1)
+    }
+
+    /// Mean of the recorded samples (exact, not bucketed); 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Table-ready summary.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.percentile(50.0),
+            p95: self.percentile(95.0),
+            p99: self.percentile(99.0),
+            max: self.max,
+        }
+    }
+}
+
+/// Percentile summary of a latency histogram.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Median (bucket-resolution).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Exact maximum.
+    pub max: f64,
+}
+
+/// Monotonic event counters.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct Counters {
+    /// Queries that arrived (exact, not sampled).
+    pub queries_arrived: u64,
+    /// Queries whose latency was sampled into the histogram.
+    pub queries_sampled: u64,
+    /// Queries that arrived while a failed machine still hosted shards.
+    pub queries_degraded: u64,
+    /// Load-driven rebalances the controller triggered.
+    pub rebalances_triggered: u64,
+    /// Load-driven rebalances that ran to completion.
+    pub rebalances_completed: u64,
+    /// Plans aborted mid-flight (crash forced replanning).
+    pub rebalances_aborted: u64,
+    /// Planning attempts that produced no executable plan.
+    pub plans_failed: u64,
+    /// Mandatory evacuations of failed machines.
+    pub evacuations: u64,
+    /// Migration batches executed.
+    pub batches_executed: u64,
+    /// Individual shard moves committed (staging hops included).
+    pub moves_committed: u64,
+    /// Migration traffic committed, in move-cost units.
+    pub migration_traffic: f64,
+    /// Transient-constraint violations observed by the executor's
+    /// independent per-batch check (must stay 0).
+    pub transient_violations: u64,
+    /// Machine crashes.
+    pub crashes: u64,
+    /// Machine recoveries.
+    pub recoveries: u64,
+    /// Flash crowds started.
+    pub spikes_started: u64,
+    /// Flash crowds ended.
+    pub spikes_ended: u64,
+    /// Demand-drift epochs applied.
+    pub drift_epochs: u64,
+}
+
+/// One gauge sample.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct GaugeSample {
+    /// Sample tick.
+    pub tick: u64,
+    /// Steady peak utilization (no diurnal multiplier, no transient).
+    pub peak_util: f64,
+    /// Steady mean utilization over occupied machines.
+    pub mean_util: f64,
+    /// Steady imbalance (peak / mean over occupied machines).
+    pub imbalance: f64,
+    /// Peak effective ρ (diurnal + spikes + in-flight copy overhead).
+    pub effective_peak_rho: f64,
+    /// Moves still pending in the in-flight plan.
+    pub in_flight_moves: usize,
+    /// Machines currently failed.
+    pub failed_machines: usize,
+}
+
+/// Run identification echoed into the export.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunMeta {
+    /// Instance label.
+    pub instance: String,
+    /// Controller policy name.
+    pub policy: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Simulated ticks.
+    pub ticks: u64,
+}
+
+/// The full metrics export of one run.
+#[derive(Clone, Debug, Serialize)]
+pub struct MetricsExport {
+    /// Run identification.
+    pub meta: RunMeta,
+    /// Event counters.
+    pub counters: Counters,
+    /// Query fan-out latency percentiles.
+    pub latency: LatencySummary,
+    /// Balance report of the initial placement.
+    pub initial_report: BalanceReport,
+    /// Balance report of the final placement.
+    pub final_report: BalanceReport,
+    /// Gauge time series.
+    pub gauges: Vec<GaugeSample>,
+}
+
+impl MetricsExport {
+    /// Deterministic JSON rendering (fixed field order, `float_roundtrip`
+    /// formatting): byte-identical across same-seed runs.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics serialize")
+    }
+
+    /// Mean `peak_util` over the last third of gauge samples — the
+    /// steady-state balance once the controller has had time to act.
+    pub fn steady_state_peak(&self) -> f64 {
+        let n = self.gauges.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let tail = &self.gauges[n - n / 3 - 1..];
+        tail.iter().map(|g| g.peak_util).sum::<f64>() / tail.len() as f64
+    }
+}
+
+/// The live metrics bus the simulation writes into.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsBus {
+    /// Event counters.
+    pub counters: Counters,
+    /// Query fan-out latency histogram.
+    pub latency: LatencyHistogram,
+    /// Gauge time series.
+    pub gauges: Vec<GaugeSample>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(99.0), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bracketed() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000 {
+            h.record(1.0 + i as f64 / 100.0); // 1.01 .. 11.0
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+        // ~2% bucket resolution around the true ranks.
+        assert!((s.p50 / 6.0 - 1.0).abs() < 0.05, "p50={}", s.p50);
+        assert!((s.p99 / 10.9 - 1.0).abs() < 0.05, "p99={}", s.p99);
+        assert!((s.mean - 6.005).abs() < 1e-9);
+        assert_eq!(s.max, 11.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(5.0);
+        let p50 = h.percentile(50.0);
+        assert_eq!(p50, h.percentile(99.0));
+        assert!((p50 / 5.0 - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn huge_values_clamp_to_last_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(1e12);
+        assert!(h.percentile(50.0) > 1000.0);
+        assert_eq!(h.max, 1e12);
+    }
+
+    #[test]
+    fn steady_state_peak_uses_tail() {
+        let gauges = (0..9)
+            .map(|i| GaugeSample {
+                tick: i,
+                peak_util: if i < 6 { 1.0 } else { 0.5 },
+                mean_util: 0.5,
+                imbalance: 1.0,
+                effective_peak_rho: 0.5,
+                in_flight_moves: 0,
+                failed_machines: 0,
+            })
+            .collect();
+        let e = MetricsExport {
+            meta: RunMeta {
+                instance: "t".into(),
+                policy: "off".into(),
+                seed: 0,
+                ticks: 9,
+            },
+            counters: Counters::default(),
+            latency: LatencyHistogram::new().summary(),
+            initial_report: BalanceReport::from_loads(&[0.5]),
+            final_report: BalanceReport::from_loads(&[0.5]),
+            gauges,
+        };
+        // Last third (plus one) of 9 samples: ticks 5..9 → (1+0.5·3)/4.
+        assert!((e.steady_state_peak() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_json_is_deterministic() {
+        let mk = || {
+            let mut h = LatencyHistogram::new();
+            h.record(2.0);
+            h.record(3.5);
+            MetricsExport {
+                meta: RunMeta {
+                    instance: "x".into(),
+                    policy: "sra".into(),
+                    seed: 7,
+                    ticks: 100,
+                },
+                counters: Counters {
+                    queries_arrived: 10,
+                    migration_traffic: 1.5,
+                    ..Default::default()
+                },
+                latency: h.summary(),
+                initial_report: BalanceReport::from_loads(&[0.9, 0.1]),
+                final_report: BalanceReport::from_loads(&[0.5, 0.5]),
+                gauges: vec![GaugeSample {
+                    tick: 0,
+                    peak_util: 0.9,
+                    mean_util: 0.5,
+                    imbalance: 1.8,
+                    effective_peak_rho: 0.95,
+                    in_flight_moves: 0,
+                    failed_machines: 0,
+                }],
+            }
+        };
+        assert_eq!(mk().to_json(), mk().to_json());
+    }
+}

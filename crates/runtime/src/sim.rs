@@ -1,0 +1,946 @@
+//! The closed-loop simulation: one event loop tying together arrivals,
+//! service, the rebalance controller, the migration executor, faults, and
+//! the metrics bus.
+//!
+//! # Determinism contract
+//!
+//! A run is a pure function of `(Instance, RuntimeConfig)`. Time is integer
+//! ticks; ties break on insertion order ([`crate::events`]); randomness
+//! comes from named `StdRng` streams derived from the master seed; and the
+//! export contains no wall-clock data. Two same-seed runs therefore produce
+//! byte-identical metrics JSON (tested).
+//!
+//! # Membership invariant
+//!
+//! Whenever no plan is in flight, `inst.initial` equals the live placement
+//! and every exchange-flagged machine is vacant — i.e. the live `Instance`
+//! always validates, so it can be snapshotted and handed to any solver
+//! as-is. [`Simulation::normalize_membership`] restores the invariant after
+//! every plan completion or abort; completed SRA plans additionally rotate
+//! the exchange loan onto the machines the solver handed back (the paper's
+//! per-epoch exchange cycle).
+//!
+//! # Faults and replanning
+//!
+//! A crash marks the machine failed: it serves its shards at the saturation
+//! latency until an **evacuation** plan drains it, and every subsequent
+//! solve lists it as a drain so no policy ever moves shards onto it. If a
+//! crash lands mid-migration the in-flight plan finishes its current batch
+//! (copies already on the wire), aborts the rest, and an [`Event::EvacCheck`]
+//! replans. Evacuations run under every policy, `Off` included — an
+//! operator cannot leave shards on a dead machine — which keeps the
+//! policies comparable on exactly the load-driven decisions.
+//!
+//! # Why plans stay transient-safe
+//!
+//! Plans are verified against the planning snapshot, and executed against
+//! the live cluster. The two can only differ by (a) flash crowds — the
+//! snapshot adds each spiked shard's extra demand (`factor ≥ 1`, capped by
+//! the hosting machine's headroom so the snapshot stays valid), hence every
+//! snapshot demand ≥ its live demand — and (b) demand drift, which defers
+//! itself while a plan is in flight. Steady-state capacity checks that pass
+//! on the snapshot therefore pass live; the executor still re-checks every
+//! batch independently and counts `transient_violations` (which must stay
+//! zero).
+
+use crate::config::{ControllerPolicy, FaultSpec, RuntimeConfig};
+use crate::controller::{plan_evacuation, plan_load_rebalance, Controller};
+use crate::events::{Event, EventQueue};
+use crate::exec::{batch_footprint, MigrationKind, PlannedMigration};
+use crate::metrics::{GaugeSample, MetricsBus, MetricsExport, RunMeta};
+use crate::server::{diurnal_multiplier, effective_rho, sample_fanout_latency};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rex_cluster::{Assignment, BalanceReport, Instance, MachineId, ResourceVec, ShardId};
+use rex_workload::evolve::{next_epoch, DriftConfig};
+
+/// A plan being executed, one batch at a time.
+#[derive(Clone, Debug)]
+struct ActivePlan {
+    /// Id echoed by `PlanStart`/`BatchComplete` events; stale ids no-op.
+    id: u64,
+    pm: PlannedMigration,
+    next_batch: usize,
+    /// False until `PlanStart` fires (plans aborted before starting have
+    /// no copies on the wire and vanish immediately).
+    started: bool,
+}
+
+impl ActivePlan {
+    fn moves_remaining(&self) -> usize {
+        self.pm.plan.batches[self.next_batch..]
+            .iter()
+            .map(Vec::len)
+            .sum()
+    }
+}
+
+/// The discrete-event closed-loop simulator.
+pub struct Simulation {
+    cfg: RuntimeConfig,
+    inst: Instance,
+    asg: Assignment,
+    queue: EventQueue,
+    controller: Controller,
+    /// Per-machine failure flags.
+    failed: Vec<bool>,
+    /// Per-fault spike state: `Some(shards)` while that spike is active.
+    spikes: Vec<Option<Vec<ShardId>>>,
+    /// In-flight copy footprint per machine (zero outside batches).
+    transient: Vec<ResourceVec>,
+    active: Option<ActivePlan>,
+    abort_requested: bool,
+    /// Monotonic plan id source.
+    next_plan_id: u64,
+    /// Monotonic solve-attempt counter; seeds each planning call.
+    plan_attempts: u64,
+    bus: MetricsBus,
+    initial_report: BalanceReport,
+    base_label: String,
+    /// The exchange loan size fixed at construction; rotation never grows it.
+    loan_k: usize,
+    arrivals_rng: StdRng,
+    latency_rng: StdRng,
+    // Scratch buffers reused across ticks.
+    rho: Vec<f64>,
+    spike_cpu: Vec<f64>,
+    serving: Vec<bool>,
+}
+
+impl Simulation {
+    /// Builds a simulation over `inst`. Panics on invalid configuration or
+    /// fault specs referencing unknown machines.
+    pub fn new(inst: Instance, cfg: RuntimeConfig) -> Self {
+        cfg.validate();
+        inst.validate().expect("instance must validate");
+        for f in &cfg.faults {
+            if let FaultSpec::Crash { machine, .. } = f {
+                assert!(
+                    (*machine as usize) < inst.n_machines(),
+                    "crash fault names machine {machine} but the fleet has {}",
+                    inst.n_machines()
+                );
+            }
+        }
+        let asg = Assignment::from_initial(&inst);
+        let initial_report = BalanceReport::compute(&inst, &asg);
+        let n = inst.n_machines();
+        let controller = Controller::new(cfg.controller);
+        let arrivals_rng = StdRng::seed_from_u64(cfg.seed ^ 0xA441_7A15);
+        let latency_rng = StdRng::seed_from_u64(cfg.seed ^ 0x1A7E_0C11);
+        Self {
+            base_label: inst.label.clone(),
+            loan_k: inst.k_return,
+            asg,
+            queue: EventQueue::new(),
+            controller,
+            failed: vec![false; n],
+            spikes: vec![None; cfg.faults.len()],
+            transient: vec![ResourceVec::zero(inst.dims); n],
+            active: None,
+            abort_requested: false,
+            next_plan_id: 0,
+            plan_attempts: 0,
+            bus: MetricsBus::default(),
+            initial_report,
+            arrivals_rng,
+            latency_rng,
+            rho: Vec::with_capacity(n),
+            spike_cpu: vec![0.0; n],
+            serving: vec![false; n],
+            inst,
+            cfg,
+        }
+    }
+
+    /// Runs to the horizon and returns the metrics export.
+    pub fn run(mut self) -> MetricsExport {
+        self.schedule_initial_events();
+        while let Some((tick, event)) = self.queue.pop() {
+            if event == Event::End {
+                break;
+            }
+            self.handle(tick, event);
+        }
+        self.final_gauge();
+        MetricsExport {
+            meta: RunMeta {
+                instance: self.base_label.clone(),
+                policy: self.cfg.controller.policy.name().to_string(),
+                seed: self.cfg.seed,
+                ticks: self.cfg.ticks,
+            },
+            counters: self.bus.counters,
+            latency: self.bus.latency.summary(),
+            initial_report: self.initial_report,
+            final_report: BalanceReport::compute(&self.inst, &self.asg),
+            gauges: std::mem::take(&mut self.bus.gauges),
+        }
+    }
+
+    fn schedule_initial_events(&mut self) {
+        self.queue.schedule(0, Event::Arrivals);
+        self.queue.schedule(0, Event::Sample);
+        if self.cfg.controller.policy != ControllerPolicy::Off {
+            self.queue
+                .schedule(self.cfg.controller.poll_interval, Event::ControllerPoll);
+        }
+        for (i, f) in self.cfg.faults.iter().enumerate() {
+            match *f {
+                FaultSpec::Crash {
+                    at,
+                    machine,
+                    recover_at,
+                } => {
+                    self.queue.schedule(at, Event::Crash(MachineId(machine)));
+                    if let Some(r) = recover_at {
+                        self.queue.schedule(r, Event::Recover(MachineId(machine)));
+                    }
+                }
+                FaultSpec::Spike { at, duration, .. } => {
+                    self.queue.schedule(at, Event::SpikeStart(i));
+                    self.queue.schedule(at + duration, Event::SpikeEnd(i));
+                }
+            }
+        }
+        if let Some(d) = self.cfg.drift {
+            self.queue.schedule(d.every_ticks, Event::Drift);
+        }
+        self.queue.schedule(self.cfg.ticks, Event::End);
+    }
+
+    fn handle(&mut self, tick: u64, event: Event) {
+        match event {
+            Event::Arrivals => self.on_arrivals(tick),
+            Event::Sample => self.on_sample(tick),
+            Event::ControllerPoll => self.on_controller_poll(tick),
+            Event::PlanStart(id) => self.on_plan_start(tick, id),
+            Event::BatchComplete(id) => self.on_batch_complete(tick, id),
+            Event::Crash(m) => self.on_crash(tick, m),
+            Event::Recover(m) => self.on_recover(m),
+            Event::SpikeStart(i) => self.on_spike_start(i),
+            Event::SpikeEnd(i) => self.on_spike_end(i),
+            Event::EvacCheck => self.on_evac_check(tick),
+            Event::Drift => self.on_drift(tick),
+            Event::End => unreachable!("End terminates the loop"),
+        }
+    }
+
+    // ---- traffic ----------------------------------------------------------
+
+    fn on_arrivals(&mut self, tick: u64) {
+        let mult = diurnal_multiplier(tick, self.cfg.ticks_per_hour, self.cfg.diurnal_amplitude);
+        let n = poisson(&mut self.arrivals_rng, self.cfg.qps * mult);
+        self.bus.counters.queries_arrived += n;
+        if n > 0 {
+            self.refresh_serving();
+            let degraded = self.failed.iter().zip(&self.serving).any(|(&f, &s)| f && s);
+            if degraded {
+                self.bus.counters.queries_degraded += n;
+            }
+            let k = (n as usize).min(self.cfg.latency_samples_per_tick);
+            if k > 0 {
+                self.refresh_spike_cpu();
+                effective_rho(
+                    &self.inst,
+                    &self.asg,
+                    &self.spike_cpu,
+                    &self.transient,
+                    mult,
+                    &mut self.rho,
+                );
+                for _ in 0..k {
+                    let lat = sample_fanout_latency(
+                        &self.rho,
+                        &self.serving,
+                        &self.failed,
+                        self.cfg.rho_max,
+                        &mut self.latency_rng,
+                    );
+                    self.bus.latency.record(lat);
+                }
+                self.bus.counters.queries_sampled += k as u64;
+            }
+        }
+        if tick + 1 < self.cfg.ticks {
+            self.queue.schedule(tick + 1, Event::Arrivals);
+        }
+    }
+
+    // ---- observation ------------------------------------------------------
+
+    fn on_sample(&mut self, tick: u64) {
+        self.push_gauge(tick);
+        if tick + self.cfg.sample_interval < self.cfg.ticks {
+            self.queue
+                .schedule(tick + self.cfg.sample_interval, Event::Sample);
+        }
+    }
+
+    /// Steady per-machine load: hosted demand plus active spike CPU, no
+    /// diurnal multiplier and no copy overhead — the quantity the balancer
+    /// can actually act on.
+    fn steady_load(&self, m: usize) -> f64 {
+        let cap = &self.inst.machines[m].capacity;
+        let usage = self.asg.usage(MachineId::from(m));
+        let mut load = (usage[0] + self.spike_cpu[m]) / cap[0];
+        for d in 1..self.inst.dims {
+            load = load.max(usage[d] / cap[d]);
+        }
+        load
+    }
+
+    fn push_gauge(&mut self, tick: u64) {
+        self.refresh_spike_cpu();
+        let n = self.inst.n_machines();
+        let mut peak = 0.0f64;
+        let mut occupied_sum = 0.0f64;
+        let mut occupied = 0usize;
+        for m in 0..n {
+            let load = self.steady_load(m);
+            peak = peak.max(load);
+            if !self.asg.shards_on(MachineId::from(m)).is_empty() {
+                occupied_sum += load;
+                occupied += 1;
+            }
+        }
+        let mean = if occupied > 0 {
+            occupied_sum / occupied as f64
+        } else {
+            0.0
+        };
+        let imbalance = if mean > 0.0 { peak / mean } else { 1.0 };
+        let mult = diurnal_multiplier(tick, self.cfg.ticks_per_hour, self.cfg.diurnal_amplitude);
+        effective_rho(
+            &self.inst,
+            &self.asg,
+            &self.spike_cpu,
+            &self.transient,
+            mult,
+            &mut self.rho,
+        );
+        let effective_peak_rho = self.rho.iter().cloned().fold(0.0, f64::max);
+        self.bus.gauges.push(GaugeSample {
+            tick,
+            peak_util: peak,
+            mean_util: mean,
+            imbalance,
+            effective_peak_rho,
+            in_flight_moves: self.active.as_ref().map_or(0, ActivePlan::moves_remaining),
+            failed_machines: self.failed.iter().filter(|&&f| f).count(),
+        });
+        self.controller.observe(peak, imbalance);
+    }
+
+    /// One last gauge at the horizon so the series always covers the end.
+    fn final_gauge(&mut self) {
+        if self.bus.gauges.last().map(|g| g.tick) != Some(self.cfg.ticks) {
+            self.push_gauge(self.cfg.ticks);
+        }
+    }
+
+    // ---- control ----------------------------------------------------------
+
+    fn on_controller_poll(&mut self, tick: u64) {
+        let idle = self.active.is_none() && !self.any_failed_hosting();
+        if idle && self.controller.should_trigger(tick) {
+            self.controller.note_trigger(tick);
+            self.bus.counters.rebalances_triggered += 1;
+            let snapshot = self.build_snapshot();
+            let failed = self.failed_list();
+            let seed = self.plan_seed();
+            match plan_load_rebalance(
+                &self.cfg.controller,
+                &snapshot,
+                &failed,
+                seed,
+                self.cfg.copy_bandwidth,
+                self.cfg.batch_overhead_ticks,
+            ) {
+                Ok(pm) if !pm.plan.batches.is_empty() => self.adopt(tick, pm),
+                Ok(_) => {
+                    // The solver found nothing better than staying put;
+                    // count it as a completed (empty) rebalance.
+                    self.bus.counters.rebalances_completed += 1;
+                }
+                Err(_) => self.bus.counters.plans_failed += 1,
+            }
+        }
+        let next = tick + self.cfg.controller.poll_interval;
+        if next < self.cfg.ticks {
+            self.queue.schedule(next, Event::ControllerPoll);
+        }
+    }
+
+    fn adopt(&mut self, tick: u64, pm: PlannedMigration) {
+        debug_assert!(self.active.is_none());
+        if pm.kind == MigrationKind::Evacuation {
+            self.bus.counters.evacuations += 1;
+        }
+        let id = self.next_plan_id;
+        self.next_plan_id += 1;
+        self.active = Some(ActivePlan {
+            id,
+            pm,
+            next_batch: 0,
+            started: false,
+        });
+        self.abort_requested = false;
+        self.queue
+            .schedule(tick + self.cfg.plan_latency_ticks, Event::PlanStart(id));
+    }
+
+    /// A fresh deterministic seed per *solve attempt*. Keyed by its own
+    /// counter (not the adopted-plan id): a solve that comes back empty or
+    /// fails must not hand the identical seed — and therefore the identical
+    /// doomed search — to the retry at the next cooldown.
+    fn plan_seed(&mut self) -> u64 {
+        let attempt = self.plan_attempts;
+        self.plan_attempts += 1;
+        self.cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(attempt)
+    }
+
+    // ---- execution --------------------------------------------------------
+
+    fn on_plan_start(&mut self, tick: u64, id: u64) {
+        let Some(a) = self.active.as_mut() else {
+            return; // plan aborted before it started; stale event
+        };
+        if a.id != id {
+            return;
+        }
+        a.started = true;
+        self.start_batch(tick);
+    }
+
+    fn start_batch(&mut self, tick: u64) {
+        let a = self.active.as_ref().expect("start_batch without a plan");
+        let batch = &a.pm.plan.batches[a.next_batch];
+        for t in self.transient.iter_mut() {
+            *t = ResourceVec::zero(self.inst.dims);
+        }
+        batch_footprint(&self.inst, batch, &mut self.transient);
+        // Independent live check of the transient constraint (DESIGN.md §7):
+        // steady usage plus the batch footprint must fit every machine.
+        for m in 0..self.inst.n_machines() {
+            let cap = &self.inst.machines[m].capacity;
+            if !self
+                .asg
+                .usage(MachineId::from(m))
+                .fits_after_add(&self.transient[m], cap)
+            {
+                self.bus.counters.transient_violations += 1;
+            }
+        }
+        let duration = a.pm.durations[a.next_batch];
+        let id = a.id;
+        self.queue
+            .schedule(tick + duration, Event::BatchComplete(id));
+    }
+
+    fn on_batch_complete(&mut self, tick: u64, id: u64) {
+        let Some(a) = self.active.as_mut() else {
+            return;
+        };
+        if a.id != id {
+            return;
+        }
+        let batch = a.pm.plan.batches[a.next_batch].clone();
+        a.next_batch += 1;
+        let finished = a.next_batch == a.pm.plan.batches.len();
+        for mv in &batch {
+            self.asg.move_shard(&self.inst, mv.shard, mv.to);
+            self.bus.counters.moves_committed += 1;
+            self.bus.counters.migration_traffic += self.inst.shards[mv.shard.idx()].move_cost;
+        }
+        self.bus.counters.batches_executed += 1;
+        for t in self.transient.iter_mut() {
+            *t = ResourceVec::zero(self.inst.dims);
+        }
+        if self.abort_requested {
+            self.finalize_plan(tick, false);
+        } else if finished {
+            self.finalize_plan(tick, true);
+        } else {
+            self.start_batch(tick);
+        }
+    }
+
+    fn finalize_plan(&mut self, tick: u64, completed: bool) {
+        let a = self.active.take().expect("finalize without a plan");
+        self.abort_requested = false;
+        if completed {
+            match a.pm.kind {
+                MigrationKind::Load => self.bus.counters.rebalances_completed += 1,
+                MigrationKind::Evacuation => {}
+            }
+        } else {
+            self.bus.counters.rebalances_aborted += 1;
+        }
+        if completed && a.pm.kind == MigrationKind::Load {
+            // The resource-exchange cycle: hand the solver's returned
+            // machines back to the operator, who immediately re-lends up to
+            // `loan_k` vacant machines as the next borrowed set. Preferring
+            // the solver's `returned` list and topping up from any other
+            // healthy vacancy rebuilds the float after a crash consumed it.
+            let mut pool = a.pm.returned.clone();
+            pool.retain(|m| !self.failed[m.idx()] && self.asg.shards_on(*m).is_empty());
+            for m in (0..self.inst.n_machines()).map(MachineId::from) {
+                if !pool.contains(&m) && !self.failed[m.idx()] && self.asg.shards_on(m).is_empty() {
+                    pool.push(m);
+                }
+            }
+            pool.truncate(self.loan_k);
+            if pool.is_empty() {
+                self.normalize_membership(None);
+            } else {
+                self.normalize_membership(Some(&pool));
+            }
+        } else {
+            self.normalize_membership(None);
+        }
+        // Catch failed machines that still host shards (abort, or a second
+        // crash during this plan).
+        self.queue.schedule(tick, Event::EvacCheck);
+    }
+
+    /// Restores the idle-state invariant: `initial` mirrors the live
+    /// placement, exchange flags sit only on vacant *healthy* machines, and
+    /// the return quota equals the number of flagged machines — the
+    /// currently borrowed set is exactly what is owed back. A vacancy
+    /// without a flag (a recovered machine, or slack the last solve opened
+    /// up beyond the quota) is free working capacity, not debt: reserving
+    /// it would starve the solver of the very float the exchange scheme
+    /// exists to provide. An evacuation can legitimately consume every
+    /// flagged machine; the quota then drops to 0 until a completed
+    /// rebalance re-borrows vacancies (see `finalize_plan`).
+    ///
+    /// `rotate_to`: `Some(machines)` moves the exchange loan onto exactly
+    /// those (vacant, healthy) machines — the resource-exchange cycle after
+    /// a completed SRA plan. `None` keeps existing flags where still legal.
+    fn normalize_membership(&mut self, rotate_to: Option<&[MachineId]>) {
+        self.inst.initial = self.asg.placement().to_vec();
+        let n = self.inst.n_machines();
+        let mut flagged = 0usize;
+        for m in 0..n {
+            let vacant = self.asg.shards_on(MachineId::from(m)).is_empty();
+            let healthy = !self.failed[m];
+            let flag = match rotate_to {
+                Some(rs) => rs.contains(&MachineId::from(m)),
+                None => self.inst.machines[m].exchange && vacant && healthy,
+            };
+            assert!(
+                !flag || (vacant && healthy),
+                "exchange flag on occupied or failed machine {m} breaks the invariant"
+            );
+            self.inst.machines[m].exchange = flag;
+            flagged += flag as usize;
+        }
+        self.inst.k_return = self.loan_k.min(flagged);
+        debug_assert!(self.inst.validate().is_ok(), "live instance must validate");
+    }
+
+    // ---- faults -----------------------------------------------------------
+
+    fn on_crash(&mut self, tick: u64, m: MachineId) {
+        if self.failed[m.idx()] {
+            return;
+        }
+        self.failed[m.idx()] = true;
+        self.bus.counters.crashes += 1;
+        if let Some(a) = self.active.as_ref() {
+            if a.started {
+                // Copies are on the wire: finish the current batch, then
+                // abandon the rest of the plan.
+                self.abort_requested = true;
+            } else {
+                // Nothing started yet — drop the plan outright; its
+                // PlanStart event goes stale via the id check.
+                self.bus.counters.rebalances_aborted += 1;
+                self.active = None;
+                self.normalize_membership(None);
+            }
+        }
+        self.queue.schedule(tick, Event::EvacCheck);
+    }
+
+    fn on_recover(&mut self, m: MachineId) {
+        if !self.failed[m.idx()] {
+            return;
+        }
+        self.failed[m.idx()] = false;
+        self.bus.counters.recoveries += 1;
+        // The machine rejoins as healthy capacity: its vacancy counts
+        // toward the return quota again. Mid-plan the bookkeeping waits
+        // for `finalize_plan`, which normalizes anyway.
+        if self.active.is_none() {
+            self.normalize_membership(None);
+        }
+    }
+
+    fn on_spike_start(&mut self, idx: usize) {
+        let FaultSpec::Spike { shard_fraction, .. } = self.cfg.faults[idx] else {
+            unreachable!("SpikeStart for a non-spike fault");
+        };
+        let n = self.inst.n_shards();
+        let count = ((n as f64) * shard_fraction).ceil() as usize;
+        // Hottest shards by CPU demand at spike start, ties by id.
+        let mut ids: Vec<ShardId> = (0..n).map(ShardId::from).collect();
+        ids.sort_by(|a, b| {
+            let (da, db) = (self.inst.demand(*a)[0], self.inst.demand(*b)[0]);
+            db.partial_cmp(&da)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.idx().cmp(&b.idx()))
+        });
+        ids.truncate(count.min(n));
+        self.spikes[idx] = Some(ids);
+        self.bus.counters.spikes_started += 1;
+    }
+
+    fn on_spike_end(&mut self, idx: usize) {
+        if self.spikes[idx].take().is_some() {
+            self.bus.counters.spikes_ended += 1;
+        }
+    }
+
+    fn on_evac_check(&mut self, tick: u64) {
+        if !self.any_failed_hosting() {
+            return;
+        }
+        if self.active.is_some() {
+            // A plan is in flight (abort pending or an evacuation already
+            // running); try again shortly.
+            self.queue
+                .schedule(tick + self.cfg.controller.poll_interval, Event::EvacCheck);
+            return;
+        }
+        let snapshot = self.build_snapshot();
+        let failed = self.failed_list();
+        let seed = self.plan_seed();
+        match plan_evacuation(
+            &snapshot,
+            &failed,
+            seed,
+            self.cfg.copy_bandwidth,
+            self.cfg.batch_overhead_ticks,
+        ) {
+            Ok(pm) if !pm.plan.batches.is_empty() => self.adopt(tick, pm),
+            Ok(_) | Err(_) => {
+                self.bus.counters.plans_failed += 1;
+                self.queue
+                    .schedule(tick + self.cfg.controller.poll_interval, Event::EvacCheck);
+            }
+        }
+    }
+
+    fn on_drift(&mut self, tick: u64) {
+        let Some(d) = self.cfg.drift else { return };
+        if self.active.is_some() {
+            // Drifting demands under an in-flight plan would break the
+            // snapshot-dominance argument; wait for it to finish.
+            self.queue.schedule(tick + 1, Event::Drift);
+            return;
+        }
+        let drift_cfg = DriftConfig {
+            sigma: d.sigma,
+            target_utilization: d.target_utilization,
+        };
+        let seed = self
+            .cfg
+            .seed
+            .wrapping_mul(0xD1F7)
+            .wrapping_add(self.bus.counters.drift_epochs);
+        let placement = self.inst.initial.clone();
+        match next_epoch(&self.inst, &placement, &drift_cfg, seed) {
+            Ok((mut inst, _clamped)) => {
+                inst.label = self.base_label.clone();
+                self.inst = inst;
+                // Demands changed under the shards' feet; rebuild usage.
+                self.asg = Assignment::from_initial(&self.inst);
+                self.bus.counters.drift_epochs += 1;
+            }
+            Err(_) => {
+                // Extremely unlikely (next_epoch clamps); skip this epoch.
+            }
+        }
+        let next = tick + d.every_ticks;
+        if next < self.cfg.ticks {
+            self.queue.schedule(next, Event::Drift);
+        }
+    }
+
+    // ---- helpers ----------------------------------------------------------
+
+    fn failed_list(&self) -> Vec<MachineId> {
+        (0..self.inst.n_machines())
+            .map(MachineId::from)
+            .filter(|m| self.failed[m.idx()])
+            .collect()
+    }
+
+    fn any_failed_hosting(&self) -> bool {
+        (0..self.inst.n_machines())
+            .any(|m| self.failed[m] && !self.asg.shards_on(MachineId::from(m)).is_empty())
+    }
+
+    fn refresh_serving(&mut self) {
+        for m in 0..self.inst.n_machines() {
+            self.serving[m] = !self.asg.shards_on(MachineId::from(m)).is_empty();
+        }
+    }
+
+    fn refresh_spike_cpu(&mut self) {
+        for x in self.spike_cpu.iter_mut() {
+            *x = 0.0;
+        }
+        let placement = self.asg.placement();
+        for (idx, state) in self.spikes.iter().enumerate() {
+            let Some(shards) = state else { continue };
+            let FaultSpec::Spike { factor, .. } = self.cfg.faults[idx] else {
+                continue;
+            };
+            for &s in shards {
+                let m = placement[s.idx()].idx();
+                self.spike_cpu[m] += (factor - 1.0) * self.inst.demand(s)[0];
+            }
+        }
+    }
+
+    /// A validated snapshot for planning: live demands with active spikes
+    /// baked in, so the solver plans against the *worst case* it could
+    /// execute under.
+    ///
+    /// The dominance invariant — every snapshot demand ≥ the corresponding
+    /// live demand — is what makes snapshot-verified plans safe to execute
+    /// live, so the spike extra is capped by each machine's CPU *headroom*
+    /// rather than shrinking the machine's shards proportionally (which
+    /// would push unspiked shards below their live demand and break the
+    /// invariant). Live usage always fits capacity, so capping only the
+    /// extra keeps the snapshot both valid and dominating.
+    fn build_snapshot(&self) -> Instance {
+        let mut s = self.inst.clone();
+        // Desired spike extra per shard (CPU dim 0); a shard hit by
+        // overlapping spikes compounds their factors.
+        let mut extra = vec![0.0f64; s.n_shards()];
+        let mut spiked = false;
+        for (idx, state) in self.spikes.iter().enumerate() {
+            let Some(shards) = state else { continue };
+            let FaultSpec::Spike { factor, .. } = self.cfg.faults[idx] else {
+                continue;
+            };
+            for &sid in shards {
+                let live = s.shards[sid.idx()].demand[0];
+                extra[sid.idx()] = (live + extra[sid.idx()]) * factor - live;
+                spiked = true;
+            }
+        }
+        if spiked {
+            for mi in 0..s.n_machines() {
+                let cap = s.machines[mi].capacity[0];
+                let on_m = |i: &usize| s.initial[*i].idx() == mi;
+                let used: f64 = (0..s.n_shards())
+                    .filter(on_m)
+                    .map(|i| s.shards[i].demand[0])
+                    .sum();
+                let want: f64 = (0..s.n_shards()).filter(on_m).map(|i| extra[i]).sum();
+                if want <= 0.0 {
+                    continue;
+                }
+                let headroom = (cap - used).max(0.0);
+                let scale = (headroom / want * 0.999).min(1.0);
+                for i in (0..s.n_shards()).filter(on_m) {
+                    s.shards[i].demand[0] += extra[i] * scale;
+                }
+            }
+        }
+        debug_assert!(s.validate().is_ok(), "snapshot must validate");
+        s
+    }
+}
+
+/// Knuth's Poisson sampler; fine for the λ ≲ 20 this runtime uses.
+fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        let u: f64 = rng.random();
+        p *= u;
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ControllerConfig, DriftSpec};
+    use rex_workload::synthetic::{generate, Placement, SynthConfig};
+
+    fn hotspot(seed: u64) -> Instance {
+        generate(&SynthConfig {
+            n_machines: 10,
+            n_exchange: 2,
+            n_shards: 80,
+            stringency: 0.65,
+            alpha: 0.1,
+            placement: Placement::Hotspot(0.35),
+            seed,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    fn short_cfg(policy: ControllerPolicy) -> RuntimeConfig {
+        RuntimeConfig {
+            ticks: 1_500,
+            seed: 7,
+            controller: ControllerConfig {
+                policy,
+                poll_interval: 25,
+                window: 2,
+                cooldown_ticks: 200,
+                sra_iters: 400,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 4000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, 5.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "poisson mean drifted: {mean}");
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn same_seed_runs_are_byte_identical() {
+        let run = || {
+            let mut cfg = short_cfg(ControllerPolicy::Sra);
+            cfg.faults = vec![
+                FaultSpec::Crash {
+                    at: 400,
+                    machine: 1,
+                    recover_at: Some(900),
+                },
+                FaultSpec::Spike {
+                    at: 600,
+                    duration: 200,
+                    factor: 1.5,
+                    shard_fraction: 0.1,
+                },
+            ];
+            cfg.drift = Some(DriftSpec {
+                every_ticks: 300,
+                sigma: 0.15,
+                target_utilization: 0.6,
+            });
+            Simulation::new(hotspot(11), cfg).run().to_json()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let mut cfg = short_cfg(ControllerPolicy::Sra);
+            cfg.seed = seed;
+            Simulation::new(hotspot(11), cfg).run().to_json()
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn off_policy_never_rebalances_for_load() {
+        let e = Simulation::new(hotspot(12), short_cfg(ControllerPolicy::Off)).run();
+        assert_eq!(e.counters.rebalances_triggered, 0);
+        assert_eq!(e.counters.rebalances_completed, 0);
+        assert!(e.counters.queries_arrived > 0);
+        assert!(e.latency.count > 0);
+    }
+
+    #[test]
+    fn sra_controller_rebalances_a_hotspot() {
+        let e = Simulation::new(hotspot(13), short_cfg(ControllerPolicy::Sra)).run();
+        assert!(e.counters.rebalances_triggered > 0, "hotspot must trigger");
+        assert!(e.counters.moves_committed > 0);
+        assert_eq!(e.counters.transient_violations, 0);
+        assert!(e.final_report.peak < e.initial_report.peak);
+    }
+
+    #[test]
+    fn crash_is_evacuated_and_drained() {
+        let mut cfg = short_cfg(ControllerPolicy::Off);
+        cfg.ticks = 2_000;
+        cfg.faults = vec![FaultSpec::Crash {
+            at: 100,
+            machine: 0,
+            recover_at: None,
+        }];
+        let inst = hotspot(14);
+        assert!(
+            inst.initial.contains(&MachineId(0)),
+            "test premise: machine 0 hosts shards"
+        );
+        let e = Simulation::new(inst, cfg).run();
+        assert!(e.counters.evacuations >= 1);
+        assert_eq!(e.counters.transient_violations, 0);
+        let last = e.gauges.last().unwrap();
+        assert_eq!(last.failed_machines, 1);
+        // Degradation happened, then stopped once drained.
+        assert!(e.counters.queries_degraded > 0);
+        assert!(e.counters.queries_degraded < e.counters.queries_arrived);
+    }
+
+    #[test]
+    fn crash_mid_migration_aborts_and_replans() {
+        // Crash right when the SRA controller is likely mid-plan; whatever
+        // the timing, the run must finish with the machine drained and no
+        // transient violations.
+        let mut cfg = short_cfg(ControllerPolicy::Sra);
+        cfg.ticks = 2_500;
+        cfg.copy_bandwidth = 0.05; // long batches → crash lands mid-flight
+        cfg.faults = vec![FaultSpec::Crash {
+            at: 300,
+            machine: 2,
+            recover_at: None,
+        }];
+        let e = Simulation::new(hotspot(15), cfg).run();
+        assert_eq!(e.counters.transient_violations, 0);
+        assert!(e.counters.crashes == 1);
+        assert!(e.counters.evacuations >= 1);
+    }
+
+    #[test]
+    fn spike_and_drift_keep_the_loop_safe() {
+        let mut cfg = short_cfg(ControllerPolicy::Sra);
+        cfg.faults = vec![FaultSpec::Spike {
+            at: 200,
+            duration: 400,
+            factor: 2.0,
+            shard_fraction: 0.15,
+        }];
+        cfg.drift = Some(DriftSpec {
+            every_ticks: 250,
+            sigma: 0.2,
+            target_utilization: 0.6,
+        });
+        let e = Simulation::new(hotspot(16), cfg).run();
+        assert_eq!(e.counters.spikes_started, 1);
+        assert_eq!(e.counters.spikes_ended, 1);
+        assert!(e.counters.drift_epochs > 0);
+        assert_eq!(e.counters.transient_violations, 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Property tests for the runtime's transient semantics and determinism.
+//!
+//! Three independent implementations of the transient migration constraint
+//! exist in this workspace: the planner's reservations, `verify_schedule`'s
+//! replay, and the runtime executor's event-boundary check. These
+//! properties cross-examine them on random instances and random plans —
+//! both planner-produced (must all agree: feasible) and arbitrary
+//! consistent move sequences (must agree on the verdict either way).
+//!
+//! The last property pins the determinism contract: a `Simulation` run is a
+//! pure function of `(Instance, RuntimeConfig)`, byte for byte.
+
+use proptest::prelude::*;
+use rex_cluster::{
+    plan_migration, verify_schedule, Assignment, Instance, InstanceBuilder, MachineId,
+    MigrationPlan, Move, PlannerConfig, ShardId,
+};
+use rex_runtime::{
+    verify_event_boundaries, ControllerConfig, ControllerPolicy, DriftSpec, FaultSpec,
+    RuntimeConfig, Simulation,
+};
+
+/// Strategy: a random feasible instance (heterogeneous fleet, shards placed
+/// greedily so the initial placement always validates).
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        2usize..6,      // loaded machines
+        0usize..3,      // exchange machines
+        1usize..14,     // shards
+        1usize..3,      // dims
+        0u64..u64::MAX, // seed
+        prop_oneof![Just(0.0), Just(0.1), Just(0.4)],
+    )
+        .prop_map(|(nm, nx, ns, dims, seed, alpha)| build_instance(nm, nx, ns, dims, seed, alpha))
+}
+
+fn build_instance(nm: usize, nx: usize, ns: usize, dims: usize, seed: u64, alpha: f64) -> Instance {
+    use rand::prelude::*;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new(dims).alpha(alpha).label("prop-rt");
+    let caps: Vec<Vec<f64>> = (0..nm)
+        .map(|_| (0..dims).map(|_| rng.random_range(70.0..140.0)).collect())
+        .collect();
+    let machines: Vec<MachineId> = caps.iter().map(|c| b.machine(c)).collect();
+    for _ in 0..nx {
+        b.exchange_machine(&vec![100.0; dims]);
+    }
+    let mut usage = vec![vec![0.0f64; dims]; nm];
+    for _ in 0..ns {
+        let demand: Vec<f64> = (0..dims)
+            .map(|_| rng.random_range(1.0..70.0 / (ns as f64).max(4.0)))
+            .collect();
+        let host = (0..nm)
+            .find(|&m| (0..dims).all(|r| usage[m][r] + demand[r] <= caps[m][r]))
+            .expect("demands sized to always fit somewhere");
+        for r in 0..dims {
+            usage[host][r] += demand[r];
+        }
+        b.shard(&demand, rng.random_range(0.5..10.0), machines[host]);
+    }
+    b.build().expect("constructed instance must validate")
+}
+
+/// A random capacity-feasible target derived by random feasible relocations.
+fn random_target(inst: &Instance, seed: u64, moves: usize) -> Vec<MachineId> {
+    use rand::prelude::*;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut asg = Assignment::from_initial(inst);
+    for _ in 0..moves {
+        let s = ShardId::from(rng.random_range(0..inst.n_shards()));
+        let m = MachineId::from(rng.random_range(0..inst.n_machines()));
+        if asg.fits(inst, s, m) {
+            asg.move_shard(inst, s, m);
+        }
+    }
+    asg.into_placement()
+}
+
+/// A random *consistent* plan: batches of distinct-shard moves whose
+/// sources always match the replayed placement. Capacity is deliberately
+/// ignored, so the plan may or may not respect the transient constraint —
+/// exactly what the verifier-agreement property needs.
+fn random_consistent_plan(inst: &Instance, seed: u64, batches: usize) -> MigrationPlan {
+    use rand::prelude::*;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut placement = inst.initial.clone();
+    let mut plan = MigrationPlan::default();
+    for _ in 0..batches {
+        let mut batch: Vec<Move> = Vec::new();
+        let mut used: Vec<ShardId> = Vec::new();
+        for _ in 0..rng.random_range(1..4usize) {
+            let s = ShardId::from(rng.random_range(0..inst.n_shards()));
+            if used.contains(&s) {
+                continue;
+            }
+            let from = placement[s.idx()];
+            let to = MachineId::from(rng.random_range(0..inst.n_machines()));
+            if to == from {
+                continue;
+            }
+            used.push(s);
+            batch.push(Move { shard: s, from, to });
+        }
+        if batch.is_empty() {
+            continue;
+        }
+        for mv in &batch {
+            placement[mv.shard.idx()] = mv.to;
+        }
+        plan.batches.push(batch);
+    }
+    plan
+}
+
+/// Replays a consistent plan to its final placement.
+fn replay_target(inst: &Instance, plan: &MigrationPlan) -> Vec<MachineId> {
+    let mut placement = inst.initial.clone();
+    for mv in plan.moves() {
+        placement[mv.shard.idx()] = mv.to;
+    }
+    placement
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every plan the migration planner emits passes the runtime's
+    /// independent event-boundary check (planner reservations and the
+    /// executor's replay implement the same transient semantics).
+    #[test]
+    fn planner_output_passes_event_boundaries(
+        inst in arb_instance(),
+        seed in 0u64..1_000_000,
+        moves in 1usize..12,
+    ) {
+        let target = random_target(&inst, seed, moves);
+        match plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default()) {
+            Ok(plan) => {
+                prop_assert!(verify_event_boundaries(&inst, &inst.initial, &plan).is_ok(),
+                    "planner plan violated an event boundary");
+                prop_assert!(verify_schedule(&inst, &inst.initial, &target, &plan).is_ok());
+            }
+            Err(_) => { /* deadlock is the planner's only allowed failure */ }
+        }
+    }
+
+    /// On arbitrary consistent plans the runtime's boundary check and
+    /// `verify_schedule` return the same verdict — two independent
+    /// implementations of the transient constraint agree on feasible AND
+    /// infeasible schedules.
+    #[test]
+    fn boundary_check_agrees_with_verify_schedule(
+        inst in arb_instance(),
+        seed in 0u64..1_000_000,
+        batches in 1usize..8,
+    ) {
+        let plan = random_consistent_plan(&inst, seed, batches);
+        let target = replay_target(&inst, &plan);
+        let ours = verify_event_boundaries(&inst, &inst.initial, &plan);
+        let theirs = verify_schedule(&inst, &inst.initial, &target, &plan);
+        prop_assert_eq!(ours.is_ok(), theirs.is_ok(),
+            "verdicts diverge: boundaries={:?} schedule={:?}", ours, theirs);
+    }
+}
+
+/// Strategy for a small but eventful runtime configuration.
+fn arb_runtime_cfg() -> impl Strategy<Value = RuntimeConfig> {
+    (
+        any::<u64>(),
+        prop_oneof![
+            Just(ControllerPolicy::Off),
+            Just(ControllerPolicy::Greedy),
+            Just(ControllerPolicy::Sra),
+        ],
+        prop_oneof![Just(None), (50u64..250).prop_map(Some)], // crash tick
+        prop_oneof![Just(None), (50u64..250).prop_map(Some)], // spike tick
+        any::<bool>(),                                        // drift on/off
+    )
+        .prop_map(|(seed, policy, crash_at, spike_at, drift)| {
+            let mut faults = Vec::new();
+            if let Some(at) = crash_at {
+                faults.push(FaultSpec::Crash {
+                    at,
+                    machine: 1,
+                    recover_at: Some(at + 150),
+                });
+            }
+            if let Some(at) = spike_at {
+                faults.push(FaultSpec::Spike {
+                    at,
+                    duration: 100,
+                    factor: 1.6,
+                    shard_fraction: 0.12,
+                });
+            }
+            RuntimeConfig {
+                ticks: 400,
+                seed,
+                controller: ControllerConfig {
+                    policy,
+                    poll_interval: 20,
+                    window: 2,
+                    cooldown_ticks: 80,
+                    sra_iters: 150,
+                    ..Default::default()
+                },
+                faults,
+                drift: drift.then_some(DriftSpec {
+                    every_ticks: 120,
+                    sigma: 0.15,
+                    target_utilization: 0.6,
+                }),
+                ..Default::default()
+            }
+        })
+}
+
+fn sim_instance(seed: u64) -> Instance {
+    use rex_workload::synthetic::{generate, Placement, SynthConfig};
+    generate(&SynthConfig {
+        n_machines: 8,
+        n_exchange: 2,
+        n_shards: 48,
+        stringency: 0.6,
+        alpha: 0.1,
+        placement: Placement::Hotspot(0.35),
+        seed,
+        ..Default::default()
+    })
+    .expect("synthetic instance generates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The determinism contract under arbitrary configurations: same seed →
+    /// byte-identical metrics JSON, and the executor's transient check
+    /// never fires.
+    #[test]
+    fn same_seed_runs_export_identical_bytes(
+        cfg in arb_runtime_cfg(),
+        inst_seed in 0u64..1_000,
+    ) {
+        let a = Simulation::new(sim_instance(inst_seed), cfg.clone()).run();
+        let b = Simulation::new(sim_instance(inst_seed), cfg.clone()).run();
+        prop_assert_eq!(a.to_json(), b.to_json(), "same-seed runs diverged");
+        prop_assert_eq!(a.counters.transient_violations, 0u64);
+    }
+}

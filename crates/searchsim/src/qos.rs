@@ -42,6 +42,13 @@ pub struct QosReport {
     pub worst_during: f64,
     /// Relative fan-out latency after the migration completes.
     pub after: f64,
+    /// Median latency over the migration timeline (nearest-rank over the
+    /// per-batch samples; equals `before` for empty plans).
+    pub p50: f64,
+    /// 95th percentile of the timeline.
+    pub p95: f64,
+    /// 99th percentile of the timeline.
+    pub p99: f64,
 }
 
 impl QosReport {
@@ -102,12 +109,33 @@ pub fn qos_of_plan(inst: &Instance, plan: &MigrationPlan, cfg: &QosConfig) -> Qo
     }
     let after = fanout_latency(inst, &usage, cfg);
     let worst_during = per_batch.iter().cloned().fold(before, f64::max);
+    let (p50, p95, p99) = timeline_percentiles(&per_batch, before);
     QosReport {
         before,
         per_batch,
         worst_during,
         after,
+        p50,
+        p95,
+        p99,
     }
+}
+
+/// Nearest-rank percentiles of the migration timeline. Each batch is one
+/// sample (batches are the executor's time steps); an empty plan has a
+/// one-point timeline at the steady-state latency.
+fn timeline_percentiles(per_batch: &[f64], before: f64) -> (f64, f64, f64) {
+    let mut samples: Vec<f64> = if per_batch.is_empty() {
+        vec![before]
+    } else {
+        per_batch.to_vec()
+    };
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let pick = |p: f64| {
+        let rank = ((p / 100.0) * samples.len() as f64).ceil().max(1.0) as usize;
+        samples[rank - 1]
+    };
+    (pick(50.0), pick(95.0), pick(99.0))
 }
 
 #[cfg(test)]
@@ -172,6 +200,39 @@ mod tests {
         assert!((q.before - 2.0).abs() < 1e-9); // 1/(1-0.5)
         assert_eq!(q.before, q.after);
         assert!(q.per_batch.is_empty());
+        // Empty timeline: every percentile is the steady-state latency.
+        assert_eq!(q.p50, q.before);
+        assert_eq!(q.p99, q.before);
+    }
+
+    #[test]
+    fn timeline_percentiles_are_ordered_and_nearest_rank() {
+        // A long staged plan: shuffle one small shard back and forth so the
+        // timeline has many batches with two distinct latency levels.
+        let mut b = InstanceBuilder::new(1).alpha(0.0);
+        let m0 = b.machine(&[10.0]);
+        let _m1 = b.machine(&[10.0]);
+        b.shard(&[2.0], 1.0, m0);
+        b.shard(&[6.0], 1.0, m0);
+        let inst = b.build().unwrap();
+        // 10 batches ping-ponging shard 0; machine 0 keeps shard 1 (load
+        // 0.6 → latency 2.5 when shard 0 is away, higher when present).
+        let mut batches = Vec::new();
+        for i in 0..10u32 {
+            let (f, t) = if i % 2 == 0 { (0, 1) } else { (1, 0) };
+            batches.push(vec![mv(0, f, t)]);
+        }
+        let q = qos_of_plan(&inst, &MigrationPlan { batches }, &QosConfig::default());
+        assert_eq!(q.per_batch.len(), 10);
+        assert!(q.p50 <= q.p95 && q.p95 <= q.p99);
+        assert!(q.p99 <= q.worst_during);
+        // Nearest-rank: p99 of 10 samples is the max sample.
+        let max_batch = q.per_batch.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(q.p99, max_batch);
+        // p50 of 10 samples is the 5th smallest.
+        let mut sorted = q.per_batch.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(q.p50, sorted[4]);
     }
 
     #[test]

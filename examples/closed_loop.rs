@@ -1,0 +1,70 @@
+//! The controller in the loop, in one page.
+//!
+//! Builds a tight hotspot fleet, then runs the identical event sequence —
+//! diurnal traffic, demand drift, a mid-run crash with recovery — under
+//! two controller policies: `off` (fault evacuations only) and `sra` (the
+//! paper's exchange-aware rebalancer). The comparison shows what
+//! load-driven rebalancing buys in *operation*: a lower steady-state peak
+//! and a shorter latency tail, with zero transient-constraint violations
+//! even though the crash lands while a migration is in flight.
+//!
+//! ```sh
+//! cargo run --release --example closed_loop
+//! ```
+
+use resource_exchange::runtime::{
+    ControllerPolicy, DriftSpec, FaultSpec, MetricsExport, RuntimeConfig, Simulation,
+};
+use resource_exchange::workload::synthetic::{generate, Placement, SynthConfig};
+
+fn run(policy: ControllerPolicy) -> MetricsExport {
+    let inst = generate(&SynthConfig {
+        n_machines: 16,
+        n_exchange: 2,
+        n_shards: 160,
+        stringency: 0.65,
+        placement: Placement::Hotspot(0.4),
+        seed: 11,
+        ..Default::default()
+    })
+    .expect("generate");
+
+    let mut cfg = RuntimeConfig {
+        ticks: 6_000,
+        seed: 5,
+        faults: vec![FaultSpec::Crash {
+            at: 2_000,
+            machine: 1,
+            recover_at: Some(3_500),
+        }],
+        drift: Some(DriftSpec {
+            every_ticks: 400,
+            sigma: 0.15,
+            target_utilization: 0.6,
+        }),
+        ..Default::default()
+    };
+    cfg.controller.policy = policy;
+    Simulation::new(inst, cfg).run()
+}
+
+fn main() {
+    println!("policy | steady peak | p50 | p99 | rebalances | violations");
+    for policy in [ControllerPolicy::Off, ControllerPolicy::Sra] {
+        let e = run(policy);
+        assert_eq!(
+            e.counters.transient_violations, 0,
+            "the executor's independent capacity check must stay clean"
+        );
+        println!(
+            "{:6} | {:11.4} | {:6.2} | {:6.2} | {:10} | {}",
+            policy.name(),
+            e.steady_state_peak(),
+            e.latency.p50,
+            e.latency.p99,
+            e.counters.rebalances_completed,
+            e.counters.transient_violations
+        );
+    }
+    println!("\nSame seed, same faults — the only difference is the controller.");
+}

@@ -1,20 +1,41 @@
 #!/usr/bin/env bash
 # Regenerates every reconstructed table/figure into results/.
-# Usage: scripts/run_experiments.sh [--quick]
+# Usage: scripts/run_experiments.sh [--quick | --smoke]
+#   --quick  REX_QUICK=1 (scaled-down instances), outputs still written
+#   --smoke  like --quick, but outputs go to a scratch dir: a fast
+#            everything-still-runs gate for CI that leaves results/ alone
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [[ "${1:-}" == "--quick" ]]; then
-    export REX_QUICK=1
-fi
+outdir=results
+case "${1:-}" in
+    --quick)
+        export REX_QUICK=1
+        ;;
+    --smoke)
+        export REX_QUICK=1
+        outdir=$(mktemp -d)
+        trap 'rm -rf "$outdir"' EXIT
+        ;;
+    "")
+        ;;
+    *)
+        echo "usage: $0 [--quick | --smoke]" >&2
+        exit 2
+        ;;
+esac
 
 cargo build --release -p rex-bench --bins
-mkdir -p results
+mkdir -p "$outdir"
 
 for exp in workloads headline exchange_sweep convergence migration \
-           scalability optgap stringency ablation alpha qos longrun; do
+           scalability optgap stringency ablation alpha qos longrun \
+           closed_loop; do
     echo "=== exp_${exp} ==="
-    ./target/release/exp_${exp} | tee "results/exp_${exp}.md"
+    if ! ./target/release/exp_${exp} | tee "$outdir/exp_${exp}.md"; then
+        echo "FAILED: exp_${exp} (see output above)" >&2
+        exit 1
+    fi
 done
 
-echo "All experiment outputs written to results/."
+echo "All experiment outputs written to $outdir/."

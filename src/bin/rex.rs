@@ -7,10 +7,16 @@
 //! rex solve    --inst inst.json --iters 8000 --workers 4 --out solution.json
 //! rex baseline --inst inst.json --method greedy
 //! rex verify   --inst inst.json --solution solution.json
+//! rex simulate --ticks 10000 --controller sra --crash-at 3000 --out run.json
 //! ```
 //!
 //! Instances and solutions are JSON artifacts (bit-exact f64 round-trips),
-//! so a solve on one machine can be verified on another.
+//! so a solve on one machine can be verified on another, and two same-seed
+//! `simulate` runs write byte-identical metrics files.
+//!
+//! Every command declares which `--key value` flags and which valueless
+//! `--switch` flags it accepts; anything else is rejected with an error
+//! instead of being silently ignored.
 
 use resource_exchange::baselines::{
     FfdRepacker, GreedyRebalancer, LocalSearchRebalancer, Rebalancer,
@@ -19,6 +25,7 @@ use resource_exchange::cluster::{
     verify_schedule, Assignment, BalanceReport, Instance, MachineId, MigrationPlan,
 };
 use resource_exchange::core::{solve_with_drain, SraConfig};
+use resource_exchange::runtime::{DriftSpec, FaultSpec, RuntimeConfig, Simulation};
 use resource_exchange::workload::io;
 use resource_exchange::workload::synthetic::{
     generate, DemandFamily, MachineProfile, Placement, SynthConfig,
@@ -39,21 +46,49 @@ struct SolutionFile {
     returned: Vec<MachineId>,
 }
 
-/// Minimal `--key value` argument map (flags must all take a value).
-fn parse_args(args: &[String]) -> Result<HashMap<String, String>, String> {
+/// What a command accepts: flags that take a value and valueless switches.
+struct ArgSpec {
+    /// `--key value` flags.
+    values: &'static [&'static str],
+    /// `--flag` switches (present or absent, no value).
+    switches: &'static [&'static str],
+}
+
+/// Parses `--key value` / `--switch` arguments against `spec`.
+///
+/// Unrecognized keys, missing values, repeated flags, and bare positional
+/// words are all hard errors — a typo must never be silently ignored.
+/// Switches are stored with an empty value; use [`has`] to query them.
+fn parse_args(args: &[String], spec: &ArgSpec) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got `{}`", args[i]))?;
-        let value = args
-            .get(i + 1)
-            .ok_or_else(|| format!("--{key} needs a value"))?;
-        out.insert(key.to_string(), value.clone());
-        i += 2;
+        let entry = if spec.values.contains(&key) {
+            let value = args
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            i += 2;
+            (key.to_string(), value.clone())
+        } else if spec.switches.contains(&key) {
+            i += 1;
+            (key.to_string(), String::new())
+        } else {
+            return Err(format!("unrecognized flag --{key}"));
+        };
+        if out.insert(entry.0, entry.1).is_some() {
+            return Err(format!("--{key} given more than once"));
+        }
     }
     Ok(out)
+}
+
+/// True when switch `key` was given.
+fn has(args: &HashMap<String, String>, key: &str) -> bool {
+    args.contains_key(key)
 }
 
 fn get<'a>(args: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
@@ -234,7 +269,166 @@ fn cmd_verify(args: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: rex <generate|inspect|solve|baseline|verify> [--flag value]...
+/// Runs the closed-loop simulator over an instance (loaded from `--inst`
+/// or synthesized on the spot) and optionally writes the metrics JSON.
+fn cmd_simulate(args: &HashMap<String, String>) -> Result<(), String> {
+    let seed = parse(get_or(args, "seed", "42"), "u64")?;
+    let inst = if args.contains_key("inst") {
+        load_instance(args)?
+    } else {
+        generate(&SynthConfig {
+            n_machines: parse(get_or(args, "machines", "16"), "usize")?,
+            n_exchange: parse(get_or(args, "exchange", "2"), "usize")?,
+            n_shards: parse(get_or(args, "shards", "160"), "usize")?,
+            placement: Placement::Hotspot(0.4),
+            seed,
+            ..Default::default()
+        })
+        .map_err(|e| e.to_string())?
+    };
+    let mut faults = Vec::new();
+    if args.contains_key("crash-at") {
+        faults.push(FaultSpec::Crash {
+            at: parse(get(args, "crash-at")?, "u64")?,
+            machine: parse(get_or(args, "crash-machine", "0"), "u32")?,
+            recover_at: args
+                .get("recover-at")
+                .map(|v| parse(v, "u64"))
+                .transpose()?,
+        });
+    }
+    if args.contains_key("spike-at") {
+        faults.push(FaultSpec::Spike {
+            at: parse(get(args, "spike-at")?, "u64")?,
+            duration: parse(get_or(args, "spike-duration", "300"), "u64")?,
+            factor: parse(get_or(args, "spike-factor", "1.5"), "f64")?,
+            shard_fraction: parse(get_or(args, "spike-fraction", "0.1"), "f64")?,
+        });
+    }
+    // Demand drift is on by default (the closed loop exists because demand
+    // moves); --no-drift isolates fault handling from drift.
+    let drift = if has(args, "no-drift") {
+        None
+    } else {
+        Some(DriftSpec {
+            every_ticks: parse(get_or(args, "drift-every", "400"), "u64")?,
+            sigma: 0.15,
+            target_utilization: inst.stringency().clamp(0.3, 0.9),
+        })
+    };
+    let mut cfg = RuntimeConfig {
+        ticks: parse(get_or(args, "ticks", "10000"), "u64")?,
+        seed,
+        qps: parse(get_or(args, "qps", "8"), "f64")?,
+        faults,
+        drift,
+        ..Default::default()
+    };
+    cfg.controller.policy = get_or(args, "controller", "sra").parse()?;
+    let export = Simulation::new(inst, cfg).run();
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, export.to_json()).map_err(|e| e.to_string())?;
+    }
+    if !has(args, "quiet") {
+        println!(
+            "{} | policy {} seed {} ticks {}",
+            export.meta.instance, export.meta.policy, export.meta.seed, export.meta.ticks
+        );
+        println!(
+            "queries: {} arrived, {} degraded | latency p50 {:.2} p95 {:.2} p99 {:.2}",
+            export.counters.queries_arrived,
+            export.counters.queries_degraded,
+            export.latency.p50,
+            export.latency.p95,
+            export.latency.p99
+        );
+        println!(
+            "rebalances: {} triggered, {} completed, {} aborted | evacuations {} | traffic {:.1}",
+            export.counters.rebalances_triggered,
+            export.counters.rebalances_completed,
+            export.counters.rebalances_aborted,
+            export.counters.evacuations,
+            export.counters.migration_traffic
+        );
+        println!(
+            "peak: initial {:.4} final {:.4} steady-state {:.4} | transient violations {}",
+            export.initial_report.peak,
+            export.final_report.peak,
+            export.steady_state_peak(),
+            export.counters.transient_violations
+        );
+        if let Some(out) = args.get("out") {
+            println!("metrics written to {out}");
+        }
+    }
+    Ok(())
+}
+
+/// The flag vocabulary of each command.
+fn spec_of(cmd: &str) -> Option<ArgSpec> {
+    let spec = match cmd {
+        "generate" => ArgSpec {
+            values: &[
+                "out",
+                "family",
+                "placement",
+                "hot-fraction",
+                "machines",
+                "exchange",
+                "shards",
+                "dims",
+                "stringency",
+                "alpha",
+                "seed",
+                "profile",
+            ],
+            switches: &[],
+        },
+        "inspect" => ArgSpec {
+            values: &["inst"],
+            switches: &[],
+        },
+        "solve" => ArgSpec {
+            values: &["inst", "iters", "workers", "seed", "out", "drain"],
+            switches: &[],
+        },
+        "baseline" => ArgSpec {
+            values: &["inst", "method"],
+            switches: &[],
+        },
+        "verify" => ArgSpec {
+            values: &["inst", "solution"],
+            switches: &[],
+        },
+        "simulate" => ArgSpec {
+            values: &[
+                "inst",
+                "machines",
+                "exchange",
+                "shards",
+                "ticks",
+                "seed",
+                "controller",
+                "qps",
+                "out",
+                "crash-at",
+                "crash-machine",
+                "recover-at",
+                "spike-at",
+                "spike-duration",
+                "spike-factor",
+                "spike-fraction",
+                "drift-every",
+            ],
+            switches: &["no-drift", "quiet"],
+        },
+        _ => return None,
+    };
+    Some(spec)
+}
+
+const USAGE: &str =
+    "usage: rex <generate|inspect|solve|baseline|verify|simulate> [--flag value | --switch]...
   generate --out FILE [--family uniform|zipf|correlated|big-shards]
            [--placement hotspot|balanced|drift] [--machines N] [--exchange N]
            [--shards N] [--dims N] [--stringency F] [--alpha F] [--seed N]
@@ -243,7 +437,12 @@ const USAGE: &str = "usage: rex <generate|inspect|solve|baseline|verify> [--flag
   solve    --inst FILE [--iters N] [--workers N] [--seed N] [--out FILE]
            [--drain M1,M2,...]   (machines to decommission: must end vacant)
   baseline --inst FILE [--method greedy|local-search|ffd]
-  verify   --inst FILE --solution FILE";
+  verify   --inst FILE --solution FILE
+  simulate [--inst FILE | --machines N --shards N --exchange N]
+           [--ticks N] [--seed N] [--controller off|greedy|sra] [--qps F]
+           [--crash-at T --crash-machine M [--recover-at T]]
+           [--spike-at T [--spike-duration N] [--spike-factor F] [--spike-fraction F]]
+           [--drift-every N] [--no-drift] [--out FILE] [--quiet]";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -251,14 +450,18 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let result = parse_args(rest).and_then(|args| match cmd.as_str() {
-        "generate" => cmd_generate(&args),
-        "inspect" => cmd_inspect(&args),
-        "solve" => cmd_solve(&args),
-        "baseline" => cmd_baseline(&args),
-        "verify" => cmd_verify(&args),
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
-    });
+    let result = match spec_of(cmd) {
+        None => Err(format!("unknown command `{cmd}`\n{USAGE}")),
+        Some(spec) => parse_args(rest, &spec).and_then(|args| match cmd.as_str() {
+            "generate" => cmd_generate(&args),
+            "inspect" => cmd_inspect(&args),
+            "solve" => cmd_solve(&args),
+            "baseline" => cmd_baseline(&args),
+            "verify" => cmd_verify(&args),
+            "simulate" => cmd_simulate(&args),
+            _ => unreachable!("spec_of and the dispatch table agree"),
+        }),
+    };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -279,15 +482,14 @@ mod tests {
             .collect()
     }
 
+    fn argv(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| w.to_string()).collect()
+    }
+
     #[test]
     fn parse_args_happy_path() {
-        let a = parse_args(&[
-            "--inst".into(),
-            "x.json".into(),
-            "--iters".into(),
-            "5".into(),
-        ])
-        .unwrap();
+        let spec = spec_of("solve").unwrap();
+        let a = parse_args(&argv(&["--inst", "x.json", "--iters", "5"]), &spec).unwrap();
         assert_eq!(get(&a, "inst").unwrap(), "x.json");
         assert_eq!(get_or(&a, "iters", "1"), "5");
         assert_eq!(get_or(&a, "missing", "d"), "d");
@@ -295,8 +497,51 @@ mod tests {
 
     #[test]
     fn parse_args_rejects_bad_shapes() {
-        assert!(parse_args(&["positional".into()]).is_err());
-        assert!(parse_args(&["--dangling".into()]).is_err());
+        let spec = spec_of("solve").unwrap();
+        assert!(parse_args(&argv(&["positional"]), &spec).is_err());
+        assert!(parse_args(&argv(&["--iters"]), &spec).is_err());
+        // A value flag immediately followed by another flag has no value.
+        assert!(parse_args(&argv(&["--iters", "--seed", "3"]), &spec).is_err());
+    }
+
+    #[test]
+    fn parse_args_rejects_unknown_flags() {
+        let spec = spec_of("solve").unwrap();
+        let err = parse_args(&argv(&["--bogus", "1"]), &spec).unwrap_err();
+        assert!(err.contains("--bogus"), "error names the flag: {err}");
+        // A valid flag of a *different* command is still unknown here.
+        assert!(parse_args(&argv(&["--ticks", "100"]), &spec).is_err());
+    }
+
+    #[test]
+    fn parse_args_rejects_duplicates() {
+        let spec = spec_of("solve").unwrap();
+        assert!(parse_args(&argv(&["--seed", "1", "--seed", "2"]), &spec).is_err());
+    }
+
+    #[test]
+    fn parse_args_supports_valueless_switches() {
+        let spec = spec_of("simulate").unwrap();
+        let a = parse_args(&argv(&["--quiet", "--ticks", "50", "--no-drift"]), &spec).unwrap();
+        assert!(has(&a, "quiet"));
+        assert!(has(&a, "no-drift"));
+        assert!(!has(&a, "inst"));
+        assert_eq!(get_or(&a, "ticks", "0"), "50");
+        // Switches never consume the next word.
+        let b = parse_args(&argv(&["--no-drift", "--quiet"]), &spec).unwrap();
+        assert!(has(&b, "no-drift") && has(&b, "quiet"));
+        // Switches given a value: the value is a positional word → error.
+        assert!(parse_args(&argv(&["--quiet", "yes"]), &spec).is_err());
+    }
+
+    #[test]
+    fn every_command_has_a_spec_and_unknowns_do_not() {
+        for cmd in [
+            "generate", "inspect", "solve", "baseline", "verify", "simulate",
+        ] {
+            assert!(spec_of(cmd).is_some(), "missing spec for {cmd}");
+        }
+        assert!(spec_of("frobnicate").is_none());
     }
 
     #[test]
@@ -375,6 +620,43 @@ mod tests {
     #[test]
     fn unknown_family_is_rejected() {
         let e = cmd_generate(&args(&[("out", "/tmp/x.json"), ("family", "nope")]));
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn simulate_same_seed_writes_identical_metrics() {
+        let dir = std::env::temp_dir().join("rex-cli-sim");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (a, b) = (dir.join("a.json"), dir.join("b.json"));
+        let run = |out: &Path| {
+            cmd_simulate(&args(&[
+                ("machines", "8"),
+                ("shards", "48"),
+                ("exchange", "1"),
+                ("ticks", "600"),
+                ("seed", "5"),
+                ("controller", "sra"),
+                ("crash-at", "200"),
+                ("spike-at", "300"),
+                ("out", out.to_str().unwrap()),
+                ("quiet", ""),
+            ]))
+            .unwrap();
+        };
+        run(&a);
+        run(&b);
+        let (ja, jb) = (
+            std::fs::read_to_string(&a).unwrap(),
+            std::fs::read_to_string(&b).unwrap(),
+        );
+        assert!(!ja.is_empty());
+        assert_eq!(ja, jb, "same-seed simulate must be byte-identical");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_rejects_bad_controller() {
+        let e = cmd_simulate(&args(&[("controller", "nope"), ("ticks", "10")]));
         assert!(e.is_err());
     }
 }

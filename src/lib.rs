@@ -18,7 +18,10 @@
 //! * [`core`] — **SRA**, the paper's exchange-aware reassignment
 //!   algorithm,
 //! * [`baselines`] — greedy / local-search / FFD / random-walk
-//!   comparators.
+//!   comparators,
+//! * [`runtime`] — the closed-loop cluster runtime: a deterministic
+//!   discrete-event simulator that puts the controller, SRA, timed
+//!   migrations, and fault injection in one reproducible loop.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +47,7 @@ pub use rex_baselines as baselines;
 pub use rex_cluster as cluster;
 pub use rex_core as core;
 pub use rex_lns as lns;
+pub use rex_runtime as runtime;
 pub use rex_searchsim as searchsim;
 pub use rex_solver as solver;
 pub use rex_workload as workload;
