@@ -206,6 +206,76 @@ fn bench_lns_iteration_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// The observability tax: the same in-place hot loop as `lns_hot_loop`,
+/// run three ways — the plain `run()` entry point, `run_recorded` with a
+/// `Recorder::Noop` (what production runs pay for the instrumentation being
+/// *compiled in*: one enum-discriminant check per call site), and
+/// `run_recorded` with an active recorder (full per-iteration narration).
+/// DESIGN.md §8's "disabled tracing is free" claim is this group.
+fn bench_obs_overhead(c: &mut Criterion) {
+    use rex_core::{default_destroys_in_place, default_repairs_in_place};
+    use rex_lns::{InPlaceEngine, LnsConfig, LnsProblem, SimulatedAnnealing};
+    use rex_obs::Recorder;
+
+    let inst = generate(&SynthConfig {
+        n_machines: 16,
+        n_exchange: 2,
+        n_shards: 120,
+        stringency: 0.85,
+        family: DemandFamily::Correlated,
+        placement: Placement::Hotspot(0.4),
+        seed: 11,
+        ..Default::default()
+    })
+    .expect("generate");
+    let problem = SraProblem::new(&inst, Objective::default()).without_plan_checks();
+    let initial = Assignment::from_initial(&inst);
+    assert!(LnsProblem::is_feasible(&problem, &initial));
+
+    const ITERS: u64 = 2_000;
+    let cfg = LnsConfig {
+        max_iters: ITERS,
+        intensity: (0.02, 0.25),
+        ..Default::default()
+    };
+    let make_engine = || {
+        InPlaceEngine::new(
+            &problem,
+            default_destroys_in_place(64),
+            default_repairs_in_place(),
+            Box::new(SimulatedAnnealing::for_normalized_loads(ITERS as usize)),
+            cfg,
+        )
+    };
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.bench_function("in_place_plain_2k_iters", |bench| {
+        bench.iter(|| black_box(make_engine().run(initial.clone(), 42).best_objective))
+    });
+    group.bench_function("in_place_noop_recorder_2k_iters", |bench| {
+        bench.iter(|| {
+            let mut rec = Recorder::noop();
+            black_box(
+                make_engine()
+                    .run_recorded(initial.clone(), 42, &mut rec)
+                    .best_objective,
+            )
+        })
+    });
+    group.bench_function("in_place_active_recorder_2k_iters", |bench| {
+        bench.iter(|| {
+            let mut rec = Recorder::active();
+            black_box(
+                make_engine()
+                    .run_recorded(initial.clone(), 42, &mut rec)
+                    .best_objective,
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_qos_and_timeline(c: &mut Criterion) {
     use rex_cluster::migration::timeline::{time_plan, TimelineConfig};
     use rex_cluster::plan_migration;
@@ -258,6 +328,7 @@ criterion_group!(
     bench_index_search,
     bench_compress,
     bench_lns_iteration_throughput,
+    bench_obs_overhead,
     bench_qos_and_timeline
 );
 criterion_main!(benches);

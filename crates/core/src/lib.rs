@@ -48,5 +48,5 @@ pub use problem::{SraPartial, SraProblem};
 pub use repair::{
     default_repairs, default_repairs_in_place, GreedyBestFit, RandomizedGreedy, Regret2Insert,
 };
-pub use sra::{solve, solve_with_drain, AcceptanceKind, SraConfig, SraResult};
+pub use sra::{solve, solve_traced, solve_with_drain, AcceptanceKind, SraConfig, SraResult};
 pub use state::SraState;

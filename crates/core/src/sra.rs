@@ -9,9 +9,10 @@ use rex_cluster::{
     MigrationPlan, Objective, PlannerConfig,
 };
 use rex_lns::{
-    portfolio_search_in_place, Acceptance, EngineStats, HillClimb, InPlaceEngine, LnsConfig,
-    LnsProblem, PortfolioConfig, RecordToRecord, SimulatedAnnealing, TrajectoryPoint,
+    portfolio_search_in_place_recorded, Acceptance, EngineStats, HillClimb, InPlaceEngine,
+    LnsConfig, LnsProblem, PortfolioConfig, RecordToRecord, SimulatedAnnealing, TrajectoryPoint,
 };
+use rex_obs::Recorder;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -150,44 +151,117 @@ pub fn solve_with_drain(
     cfg: &SraConfig,
     drain: &[MachineId],
 ) -> Result<SraResult, ClusterError> {
+    solve_traced(inst, cfg, drain, &mut Recorder::noop())
+}
+
+/// [`solve_with_drain`] narrating the solve into `rec` when it is
+/// recording: a `("sra", "solve")` span wrapping phase spans for the
+/// search, the migration planning (and the plan-every fallback when it
+/// triggers), and the independent verification. The LNS layer's own events
+/// nest inside the search phase. With a [`Recorder::Noop`] this is exactly
+/// [`solve_with_drain`].
+pub fn solve_traced(
+    inst: &Instance,
+    cfg: &SraConfig,
+    drain: &[MachineId],
+    rec: &mut Recorder,
+) -> Result<SraResult, ClusterError> {
     inst.validate()?;
     let start = Instant::now();
+    if rec.is_active() {
+        rec.span_open(
+            "sra",
+            "solve",
+            vec![
+                ("machines", inst.n_machines().into()),
+                ("shards", inst.n_shards().into()),
+                ("k_return", inst.k_return.into()),
+                ("drain", drain.len().into()),
+                ("seed", cfg.seed.into()),
+                ("iters", cfg.iters.into()),
+                ("workers", cfg.workers.into()),
+            ],
+        );
+    }
 
     // Global bests are gated on plannability (`accept_best`), so the
     // search result is schedulable by construction in all but pathological
     // cases; the fallback below is a safety net.
     let mut problem = SraProblem::new(inst, cfg.objective).with_drain(drain);
     problem.planner = cfg.planner;
-    let (best, iterations, stats, trajectory) = run_search(&problem, cfg, cfg.seed)?;
+    if rec.is_active() {
+        rec.span_open("sra", "search", vec![]);
+    }
+    let searched = run_search(&problem, cfg, cfg.seed, rec);
+    if rec.is_active() {
+        rec.span_close("sra", "search", vec![("ok", searched.is_ok().into())]);
+    }
+    let (best, iterations, stats, trajectory) = searched?;
 
-    let (best, plan, iterations, fallback_used, stats, trajectory) =
-        match plan_migration(inst, &inst.initial, best.placement(), &cfg.planner) {
-            Ok(plan) => (best, plan, iterations, false, stats, trajectory),
-            Err(ClusterError::PlanningDeadlock { .. }) => {
-                // Fallback: a slower search whose feasibility check requires
-                // plannability, so its best is schedulable by construction
-                // (the search starts from a plannable solution, hence the
-                // result is never worse than that start).
-                let strict = SraProblem::new(inst, cfg.objective)
-                    .with_drain(drain)
-                    .with_plan_every(cfg.planner);
-                let strict_cfg = SraConfig {
-                    iters: (cfg.iters / 4).max(500),
-                    ..*cfg
-                };
-                let (b2, it2, stats2, traj2) =
-                    run_search(&strict, &strict_cfg, cfg.seed.wrapping_add(1))?;
-                let plan = plan_migration(inst, &inst.initial, b2.placement(), &cfg.planner)
-                    .expect("plan-every search only accepts plannable candidates");
-                (b2, plan, iterations + it2, true, stats2, traj2)
+    if rec.is_active() {
+        rec.span_open("sra", "plan", vec![]);
+    }
+    let planned = plan_migration(inst, &inst.initial, best.placement(), &cfg.planner);
+    if rec.is_active() {
+        rec.span_close(
+            "sra",
+            "plan",
+            vec![(
+                "outcome",
+                match &planned {
+                    Ok(_) => "ok",
+                    Err(ClusterError::PlanningDeadlock { .. }) => "deadlock",
+                    Err(_) => "error",
+                }
+                .into(),
+            )],
+        );
+    }
+    let (best, plan, iterations, fallback_used, stats, trajectory) = match planned {
+        Ok(plan) => (best, plan, iterations, false, stats, trajectory),
+        Err(ClusterError::PlanningDeadlock { .. }) => {
+            // Fallback: a slower search whose feasibility check requires
+            // plannability, so its best is schedulable by construction
+            // (the search starts from a plannable solution, hence the
+            // result is never worse than that start).
+            let strict = SraProblem::new(inst, cfg.objective)
+                .with_drain(drain)
+                .with_plan_every(cfg.planner);
+            let strict_cfg = SraConfig {
+                iters: (cfg.iters / 4).max(500),
+                ..*cfg
+            };
+            if rec.is_active() {
+                rec.add("sra.fallbacks", 1);
+                rec.span_open("sra", "fallback", vec![("iters", strict_cfg.iters.into())]);
             }
-            Err(e) => return Err(e),
-        };
+            let fallen = run_search(&strict, &strict_cfg, cfg.seed.wrapping_add(1), rec);
+            if rec.is_active() {
+                rec.span_close("sra", "fallback", vec![("ok", fallen.is_ok().into())]);
+            }
+            let (b2, it2, stats2, traj2) = fallen?;
+            let plan = plan_migration(inst, &inst.initial, b2.placement(), &cfg.planner)
+                .expect("plan-every search only accepts plannable candidates");
+            (b2, plan, iterations + it2, true, stats2, traj2)
+        }
+        Err(e) => return Err(e),
+    };
 
     // Independent verification: the planner and the simulator implement the
     // transient semantics separately; disagreement is a bug worth failing
     // loudly on.
-    verify_schedule(inst, &inst.initial, best.placement(), &plan)?;
+    if rec.is_active() {
+        rec.span_open(
+            "sra",
+            "verify",
+            vec![("batches", plan.batches.len().into())],
+        );
+    }
+    let verified = verify_schedule(inst, &inst.initial, best.placement(), &plan);
+    if rec.is_active() {
+        rec.span_close("sra", "verify", vec![("ok", verified.is_ok().into())]);
+    }
+    verified?;
     best.check_target(inst)?;
 
     let initial_asg = Assignment::from_initial(inst);
@@ -199,6 +273,21 @@ pub fn solve_with_drain(
     returned_machines.retain(|m| !drain.contains(m));
     returned_machines.sort_by_key(|m| (!inst.machines[m.idx()].exchange, m.idx()));
     returned_machines.truncate(inst.k_return);
+
+    if rec.is_active() {
+        rec.gauge("sra.objective", objective_value);
+        rec.span_close(
+            "sra",
+            "solve",
+            vec![
+                ("objective", objective_value.into()),
+                ("iterations", iterations.into()),
+                ("fallback_used", fallback_used.into()),
+                ("plan_batches", plan.batches.len().into()),
+                ("returned", returned_machines.len().into()),
+            ],
+        );
+    }
 
     Ok(SraResult {
         objective_value,
@@ -223,6 +312,7 @@ fn run_search(
     problem: &SraProblem<'_>,
     cfg: &SraConfig,
     seed: u64,
+    rec: &mut Recorder,
 ) -> Result<(Assignment, u64, Option<EngineStats>, Vec<TrajectoryPoint>), ClusterError> {
     let initial = starting_solution(problem)?;
     let lns_cfg = LnsConfig {
@@ -240,14 +330,14 @@ fn run_search(
             cfg.acceptance.build(cfg.iters),
             lns_cfg,
         );
-        let out = engine.run(initial, seed);
+        let out = engine.run_recorded(initial, seed, rec);
         Ok((out.best, out.iterations, Some(out.stats), out.trajectory))
     } else {
         let pcfg = PortfolioConfig {
             workers: cfg.workers,
             engine: lns_cfg,
         };
-        let out = portfolio_search_in_place(
+        let out = portfolio_search_in_place_recorded(
             problem,
             &initial,
             seed,
@@ -255,6 +345,7 @@ fn run_search(
             || default_destroys_in_place(cfg.destroy_cap),
             default_repairs_in_place,
             || cfg.acceptance.build(cfg.iters),
+            rec,
         );
         let iters = out.worker_results.iter().map(|w| w.iterations).sum();
         Ok((out.best, iters, None, Vec::new()))
@@ -540,5 +631,61 @@ mod tests {
         let mut inst = imbalanced();
         inst.k_return = 99;
         assert!(solve(&inst, &quick_cfg()).is_err());
+    }
+
+    #[test]
+    fn traced_solve_matches_plain_solve() {
+        let inst = imbalanced();
+        let plain = solve(&inst, &quick_cfg()).unwrap();
+        let mut rec = Recorder::active();
+        let traced = solve_traced(&inst, &quick_cfg(), &[], &mut rec).unwrap();
+        assert_eq!(plain.objective_value, traced.objective_value);
+        assert_eq!(plain.assignment.placement(), traced.assignment.placement());
+        assert_eq!(plain.iterations, traced.iterations);
+
+        // Phase spans are balanced and nested under the solve span.
+        assert_eq!(rec.open_spans(), 0);
+        for phase in ["solve", "search", "plan", "verify"] {
+            assert!(
+                rec.events()
+                    .iter()
+                    .any(|e| e.layer == "sra" && e.name == phase),
+                "missing sra phase span: {phase}"
+            );
+        }
+        // The LNS layer narrated its iterations inside the search phase.
+        assert_eq!(rec.counter("lns.iterations"), traced.iterations);
+    }
+
+    #[test]
+    fn traced_solve_is_byte_identical_across_runs() {
+        let inst = imbalanced();
+        let mut ra = Recorder::active();
+        let _ = solve_traced(&inst, &quick_cfg(), &[], &mut ra).unwrap();
+        let mut rb = Recorder::active();
+        let _ = solve_traced(&inst, &quick_cfg(), &[], &mut rb).unwrap();
+        assert_eq!(ra.to_jsonl(), rb.to_jsonl());
+        assert_eq!(ra.summary(), rb.summary());
+        assert!(!ra.to_jsonl().is_empty());
+    }
+
+    #[test]
+    fn traced_parallel_solve_emits_worker_summaries() {
+        let inst = imbalanced();
+        let cfg = SraConfig {
+            workers: 3,
+            ..quick_cfg()
+        };
+        let mut rec = Recorder::active();
+        let res = solve_traced(&inst, &cfg, &[], &mut rec).unwrap();
+        let workers = rec
+            .events()
+            .iter()
+            .filter(|e| e.layer == "lns" && e.name == "worker")
+            .count();
+        assert_eq!(workers, 3);
+        assert_eq!(rec.open_spans(), 0);
+        let plain = solve(&inst, &cfg).unwrap();
+        assert_eq!(plain.objective_value, res.objective_value);
     }
 }

@@ -72,6 +72,8 @@ pub struct SraState {
     reserved: usize,
     base: ScalarBase,
     commits_since_resync: u32,
+    /// Total periodic resynchronizations performed (observability).
+    resyncs: u64,
     /// Machine-id scratch used by revert (touched-machine list).
     touched: Vec<MachineId>,
     /// Index scratch for destroy operators (shard/machine pools).
@@ -133,6 +135,7 @@ impl SraState {
                 vacant: 0,
             },
             commits_since_resync: 0,
+            resyncs: 0,
             touched: Vec::new(),
             pool: Vec::new(),
             scored: Vec::new(),
@@ -351,8 +354,24 @@ impl LnsProblemInPlace for SraProblem<'_> {
         if state.commits_since_resync >= RESYNC_EVERY {
             state.resync(self.inst);
             state.commits_since_resync = 0;
+            state.resyncs += 1;
         }
         state.save_base();
+    }
+
+    // Observability hooks: cheap field reads, only consulted when a
+    // recording `Recorder` is attached to the engine.
+
+    fn state_destroyed(&self, state: &SraState) -> usize {
+        state.removed.len()
+    }
+
+    fn state_undo_depth(&self, state: &SraState) -> usize {
+        state.undo.len()
+    }
+
+    fn state_resyncs(&self, state: &SraState) -> u64 {
+        state.resyncs
     }
 }
 

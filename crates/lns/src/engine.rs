@@ -7,8 +7,21 @@ use crate::problem::{
 use crate::weights::{IterationOutcome, OperatorWeights};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use rex_obs::Recorder;
 use serde::Serialize;
 use std::time::{Duration, Instant};
+
+/// Human-readable outcome label for trace events. `cause` refines
+/// [`IterationOutcome::Rejected`], which conflates acceptance rejections
+/// with repair failures and infeasible candidates.
+fn outcome_label(outcome: IterationOutcome, cause: &'static str) -> &'static str {
+    match outcome {
+        IterationOutcome::NewBest => "new_best",
+        IterationOutcome::Improved => "improved",
+        IterationOutcome::Accepted => "accepted",
+        IterationOutcome::Rejected => cause,
+    }
+}
 
 /// Engine tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -148,7 +161,27 @@ impl<'a, P: LnsProblem> LnsEngine<'a, P> {
 
     /// Runs the search from `initial` (must be feasible) with the given
     /// deterministic seed.
-    pub fn run(mut self, initial: P::Solution, seed: u64) -> SearchOutcome<P::Solution> {
+    pub fn run(self, initial: P::Solution, seed: u64) -> SearchOutcome<P::Solution> {
+        self.run_recorded(initial, seed, &mut Recorder::noop())
+    }
+
+    /// Like [`run`], narrating the search into `rec` when it is recording:
+    /// a `("lns", "run")` span around the whole search and one
+    /// `("lns", "iter")` point event per iteration (operator pair,
+    /// intensity, objective delta, outcome). With a [`Recorder::Noop`] the
+    /// only per-iteration cost over [`run`] is one enum-discriminant check.
+    ///
+    /// Recording never perturbs the search: the RNG, acceptance, and weight
+    /// updates are untouched, so the returned [`SearchOutcome`] is
+    /// bit-identical with and without tracing.
+    ///
+    /// [`run`]: LnsEngine::run
+    pub fn run_recorded(
+        mut self,
+        initial: P::Solution,
+        seed: u64,
+        rec: &mut Recorder,
+    ) -> SearchOutcome<P::Solution> {
         assert!(
             self.problem.is_feasible(&initial),
             "LNS must start from a feasible solution"
@@ -176,6 +209,21 @@ impl<'a, P: LnsProblem> LnsEngine<'a, P> {
                 objective: f_best,
             });
         }
+        if rec.is_active() {
+            rec.set_tick(0);
+            rec.span_open(
+                "lns",
+                "run",
+                vec![
+                    ("engine", "clone".into()),
+                    ("seed", seed.into()),
+                    ("max_iters", self.config.max_iters.into()),
+                    ("destroys", self.destroys.len().into()),
+                    ("repairs", self.repairs.len().into()),
+                    ("initial_objective", f_best.into()),
+                ],
+            );
+        }
 
         let (ilo, ihi) = self.config.intensity;
         let mut iters = 0u64;
@@ -197,18 +245,23 @@ impl<'a, P: LnsProblem> LnsEngine<'a, P> {
                 ilo
             };
 
+            let mut cause = "rejected";
+            let mut delta = f64::NAN; // serialized as null when not evaluated
             let partial = self.destroys[di].destroy(self.problem, &current, intensity, &mut rng);
             let outcome = match self.repairs[ri].repair(self.problem, partial, &mut rng) {
                 None => {
                     stats.repair_failures += 1;
+                    cause = "repair_failed";
                     IterationOutcome::Rejected
                 }
                 Some(candidate) => {
                     if !self.problem.is_feasible(&candidate) {
                         stats.infeasible += 1;
+                        cause = "infeasible";
                         IterationOutcome::Rejected
                     } else {
                         let f_cand = self.problem.objective(&candidate);
+                        delta = f_cand - f_current;
                         if self.acceptance.accept(f_cand, f_current, f_best, &mut rng) {
                             stats.accepted += 1;
                             let gate_ok = f_cand < f_best && {
@@ -246,9 +299,40 @@ impl<'a, P: LnsProblem> LnsEngine<'a, P> {
                     }
                 }
             };
+            if rec.is_active() {
+                rec.set_tick(iters);
+                rec.event(
+                    "lns",
+                    "iter",
+                    vec![
+                        ("destroy", self.destroys[di].name().into()),
+                        ("repair", self.repairs[ri].name().into()),
+                        ("intensity", intensity.into()),
+                        ("delta", delta.into()),
+                        ("outcome", outcome_label(outcome, cause).into()),
+                    ],
+                );
+                record_outcome_metrics(rec, outcome, cause, delta);
+            }
             self.acceptance.step();
             dweights.record(di, outcome);
             rweights.record(ri, outcome);
+        }
+
+        if rec.is_active() {
+            rec.set_tick(iters);
+            rec.span_close(
+                "lns",
+                "run",
+                vec![
+                    ("iterations", iters.into()),
+                    ("best_objective", f_best.into()),
+                    ("accepted", stats.accepted.into()),
+                    ("new_bests", stats.new_bests.into()),
+                    ("repair_failures", stats.repair_failures.into()),
+                    ("infeasible", stats.infeasible.into()),
+                ],
+            );
         }
 
         stats.destroy_ops = self
@@ -282,6 +366,31 @@ impl<'a, P: LnsProblem> LnsEngine<'a, P> {
             stats,
             trajectory,
         }
+    }
+}
+
+/// Bumps the per-outcome counters and the delta histogram. Only called when
+/// the recorder is active.
+fn record_outcome_metrics(
+    rec: &mut Recorder,
+    outcome: IterationOutcome,
+    cause: &'static str,
+    delta: f64,
+) {
+    rec.add("lns.iterations", 1);
+    let counter = match outcome {
+        IterationOutcome::NewBest => "lns.new_bests",
+        IterationOutcome::Improved => "lns.improved",
+        IterationOutcome::Accepted => "lns.accepted",
+        IterationOutcome::Rejected => match cause {
+            "repair_failed" => "lns.repair_failures",
+            "infeasible" => "lns.infeasible",
+            _ => "lns.rejected",
+        },
+    };
+    rec.add(counter, 1);
+    if delta.is_finite() {
+        rec.observe("lns.delta_obj", delta);
     }
 }
 
@@ -334,7 +443,31 @@ impl<'a, P: LnsProblemInPlace> InPlaceEngine<'a, P> {
 
     /// Runs the search from `initial` (must be feasible) with the given
     /// deterministic seed.
-    pub fn run(mut self, initial: P::Solution, seed: u64) -> SearchOutcome<P::Solution> {
+    pub fn run(self, initial: P::Solution, seed: u64) -> SearchOutcome<P::Solution> {
+        self.run_recorded(initial, seed, &mut Recorder::noop())
+    }
+
+    /// Like [`run`], narrating the search into `rec` when it is recording.
+    ///
+    /// On top of the clone engine's per-iteration events this also reports
+    /// the in-place protocol: destroy size and undo-log depth per iteration
+    /// (via the [`LnsProblemInPlace`] observability hooks) and a
+    /// `("lns", "resync")` event whenever `commit` performs a full cache
+    /// resynchronization. With a [`Recorder::Noop`] the only per-iteration
+    /// cost over [`run`] is one enum-discriminant check — the hook methods
+    /// are not even called.
+    ///
+    /// Recording never perturbs the search: the RNG, acceptance, and weight
+    /// updates are untouched, so the returned [`SearchOutcome`] is
+    /// bit-identical with and without tracing.
+    ///
+    /// [`run`]: InPlaceEngine::run
+    pub fn run_recorded(
+        mut self,
+        initial: P::Solution,
+        seed: u64,
+        rec: &mut Recorder,
+    ) -> SearchOutcome<P::Solution> {
         assert!(
             self.problem.is_feasible(&initial),
             "LNS must start from a feasible solution"
@@ -362,6 +495,23 @@ impl<'a, P: LnsProblemInPlace> InPlaceEngine<'a, P> {
                 objective: f_best,
             });
         }
+        let mut last_resyncs = 0u64;
+        if rec.is_active() {
+            rec.set_tick(0);
+            rec.span_open(
+                "lns",
+                "run",
+                vec![
+                    ("engine", "in_place".into()),
+                    ("seed", seed.into()),
+                    ("max_iters", self.config.max_iters.into()),
+                    ("destroys", self.destroys.len().into()),
+                    ("repairs", self.repairs.len().into()),
+                    ("initial_objective", f_best.into()),
+                ],
+            );
+            last_resyncs = self.problem.state_resyncs(&state);
+        }
 
         let (ilo, ihi) = self.config.intensity;
         let mut iters = 0u64;
@@ -383,17 +533,34 @@ impl<'a, P: LnsProblemInPlace> InPlaceEngine<'a, P> {
                 ilo
             };
 
+            let recording = rec.is_active();
+            let mut cause = "rejected";
+            let mut delta = f64::NAN; // serialized as null when not evaluated
             self.destroys[di].destroy(self.problem, &mut state, intensity, &mut rng);
-            let outcome = if !self.repairs[ri].repair(self.problem, &mut state, &mut rng) {
+            let destroyed = if recording {
+                self.problem.state_destroyed(&state)
+            } else {
+                0
+            };
+            let repaired = self.repairs[ri].repair(self.problem, &mut state, &mut rng);
+            let undo_depth = if recording {
+                self.problem.state_undo_depth(&state)
+            } else {
+                0
+            };
+            let outcome = if !repaired {
                 self.problem.revert(&mut state);
                 stats.repair_failures += 1;
+                cause = "repair_failed";
                 IterationOutcome::Rejected
             } else if !self.problem.state_feasible(&state) {
                 self.problem.revert(&mut state);
                 stats.infeasible += 1;
+                cause = "infeasible";
                 IterationOutcome::Rejected
             } else {
                 let f_cand = self.problem.state_objective(&mut state);
+                delta = f_cand - f_current;
                 if self.acceptance.accept(f_cand, f_current, f_best, &mut rng) {
                     stats.accepted += 1;
                     let gate_ok = f_cand < f_best && {
@@ -430,9 +597,48 @@ impl<'a, P: LnsProblemInPlace> InPlaceEngine<'a, P> {
                     IterationOutcome::Rejected
                 }
             };
+            if recording {
+                rec.set_tick(iters);
+                rec.event(
+                    "lns",
+                    "iter",
+                    vec![
+                        ("destroy", self.destroys[di].name().into()),
+                        ("repair", self.repairs[ri].name().into()),
+                        ("intensity", intensity.into()),
+                        ("destroyed", destroyed.into()),
+                        ("undo_depth", undo_depth.into()),
+                        ("delta", delta.into()),
+                        ("outcome", outcome_label(outcome, cause).into()),
+                    ],
+                );
+                record_outcome_metrics(rec, outcome, cause, delta);
+                let resyncs = self.problem.state_resyncs(&state);
+                if resyncs != last_resyncs {
+                    rec.event("lns", "resync", vec![("total", resyncs.into())]);
+                    rec.add("lns.resyncs", resyncs - last_resyncs);
+                    last_resyncs = resyncs;
+                }
+            }
             self.acceptance.step();
             dweights.record(di, outcome);
             rweights.record(ri, outcome);
+        }
+
+        if rec.is_active() {
+            rec.set_tick(iters);
+            rec.span_close(
+                "lns",
+                "run",
+                vec![
+                    ("iterations", iters.into()),
+                    ("best_objective", f_best.into()),
+                    ("accepted", stats.accepted.into()),
+                    ("new_bests", stats.new_bests.into()),
+                    ("repair_failures", stats.repair_failures.into()),
+                    ("infeasible", stats.infeasible.into()),
+                ],
+            );
         }
 
         stats.destroy_ops = self
@@ -774,5 +980,70 @@ mod tests {
         let bad = problem.infeasible_solution();
         let engine = in_place_engine_on(&problem, 10);
         let _ = engine.run(bad, 0);
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_search() {
+        let problem = PartitionProblem::random(30, 3, 5);
+        let initial = problem.all_in_first_bin();
+        let plain = engine_on(&problem, 500).run(initial.clone(), 99);
+        let mut rec = Recorder::active();
+        let traced = engine_on(&problem, 500).run_recorded(initial.clone(), 99, &mut rec);
+        assert_eq!(plain.best_objective, traced.best_objective);
+        assert_eq!(plain.iterations, traced.iterations);
+        assert_eq!(plain.stats.accepted, traced.stats.accepted);
+        assert_eq!(plain.best, traced.best);
+
+        let plain = in_place_engine_on(&problem, 500).run(initial.clone(), 99);
+        let mut rec = Recorder::active();
+        let traced = in_place_engine_on(&problem, 500).run_recorded(initial, 99, &mut rec);
+        assert_eq!(plain.best_objective, traced.best_objective);
+        assert_eq!(plain.iterations, traced.iterations);
+        assert_eq!(plain.stats.accepted, traced.stats.accepted);
+        assert_eq!(plain.best, traced.best);
+    }
+
+    #[test]
+    fn recorded_run_narrates_every_iteration() {
+        let problem = PartitionProblem::random(30, 3, 5);
+        let initial = problem.all_in_first_bin();
+        let mut rec = Recorder::active();
+        let out = in_place_engine_on(&problem, 300).run_recorded(initial, 42, &mut rec);
+        assert_eq!(rec.counter("lns.iterations"), out.iterations);
+        assert_eq!(rec.counter("lns.new_bests"), out.stats.new_bests);
+        assert_eq!(rec.open_spans(), 0, "run span must be closed");
+        let iter_events = rec
+            .events()
+            .iter()
+            .filter(|e| e.name == "iter" && e.layer == "lns")
+            .count();
+        assert_eq!(iter_events as u64, out.iterations);
+        // One run-span pair wraps everything.
+        assert!(matches!(rec.events()[0].kind, rex_obs::EventKind::SpanOpen));
+        assert_eq!(rec.events()[0].name, "run");
+        assert_eq!(rec.events().last().unwrap().name, "run");
+    }
+
+    #[test]
+    fn noop_recorder_stays_silent() {
+        let problem = PartitionProblem::random(20, 3, 1);
+        let initial = problem.all_in_first_bin();
+        let mut rec = Recorder::noop();
+        let _ = in_place_engine_on(&problem, 100).run_recorded(initial, 7, &mut rec);
+        assert!(!rec.is_active());
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.to_jsonl(), "");
+    }
+
+    #[test]
+    fn recorded_traces_are_byte_identical_across_runs() {
+        let problem = PartitionProblem::random(30, 3, 5);
+        let initial = problem.all_in_first_bin();
+        let mut ra = Recorder::active();
+        let _ = in_place_engine_on(&problem, 400).run_recorded(initial.clone(), 13, &mut ra);
+        let mut rb = Recorder::active();
+        let _ = in_place_engine_on(&problem, 400).run_recorded(initial, 13, &mut rb);
+        assert_eq!(ra.to_jsonl(), rb.to_jsonl());
+        assert_eq!(ra.summary(), rb.summary());
     }
 }

@@ -30,6 +30,13 @@
 //! Determinism: every run is driven by a caller-supplied `u64` seed; the
 //! portfolio derives worker seeds as `seed ⊕ worker` and reduces with an
 //! order-independent minimum, so parallel results are reproducible.
+//!
+//! Observability: both engines expose `run_recorded` variants (and the
+//! portfolio a `portfolio_search_in_place_recorded`) that narrate the search
+//! into a [`rex_obs::Recorder`] — per-iteration operator/outcome/delta
+//! events, cache-resync markers, and per-worker summaries. Recording never
+//! perturbs the search, and a `Recorder::Noop` costs one discriminant check
+//! per iteration.
 
 pub mod accept;
 pub mod engine;
@@ -43,7 +50,8 @@ pub use engine::{
     EngineStats, InPlaceEngine, LnsConfig, LnsEngine, SearchOutcome, TrajectoryPoint,
 };
 pub use portfolio::{
-    portfolio_search, portfolio_search_in_place, PortfolioConfig, PortfolioOutcome,
+    portfolio_search, portfolio_search_in_place, portfolio_search_in_place_recorded,
+    PortfolioConfig, PortfolioOutcome,
 };
 pub use problem::{Destroy, DestroyInPlace, LnsProblem, LnsProblemInPlace, Repair, RepairInPlace};
 pub use weights::OperatorWeights;

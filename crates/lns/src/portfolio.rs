@@ -12,6 +12,7 @@ use crate::problem::{
     Destroy, DestroyInPlace, LnsProblem, LnsProblemInPlace, Repair, RepairInPlace,
 };
 use rayon::prelude::*;
+use rex_obs::Recorder;
 use serde::Serialize;
 
 /// Portfolio tuning knobs.
@@ -179,6 +180,76 @@ where
     }
 }
 
+/// [`portfolio_search_in_place`] with a trace: wraps the run in a
+/// `("lns", "portfolio")` span and emits one `("lns", "worker")` summary
+/// event per worker, in worker order.
+///
+/// Workers themselves run **untraced** — per-iteration events from
+/// concurrently running workers would interleave nondeterministically, so
+/// the portfolio only narrates the deterministic reduction. Summaries are
+/// emitted sequentially after the parallel section, which keeps the trace
+/// byte-identical across thread counts (satellite determinism contract; see
+/// `tests/threads_determinism.rs`).
+#[allow(clippy::too_many_arguments)]
+pub fn portfolio_search_in_place_recorded<P>(
+    problem: &P,
+    initial: &P::Solution,
+    base_seed: u64,
+    cfg: &PortfolioConfig,
+    make_destroys: impl Fn() -> Vec<Box<dyn DestroyInPlace<P>>> + Sync,
+    make_repairs: impl Fn() -> Vec<Box<dyn RepairInPlace<P>>> + Sync,
+    make_acceptance: impl Fn() -> Box<dyn Acceptance> + Sync,
+    rec: &mut Recorder,
+) -> PortfolioOutcome<P::Solution>
+where
+    P: LnsProblemInPlace + Sync,
+    P::Solution: Sync,
+{
+    if rec.is_active() {
+        rec.span_open(
+            "lns",
+            "portfolio",
+            vec![
+                ("workers", cfg.workers.into()),
+                ("base_seed", base_seed.into()),
+                ("max_iters", cfg.engine.max_iters.into()),
+            ],
+        );
+    }
+    let out = portfolio_search_in_place(
+        problem,
+        initial,
+        base_seed,
+        cfg,
+        make_destroys,
+        make_repairs,
+        make_acceptance,
+    );
+    if rec.is_active() {
+        for w in &out.worker_results {
+            rec.event(
+                "lns",
+                "worker",
+                vec![
+                    ("worker", w.worker.into()),
+                    ("seed", worker_seed(base_seed, w.worker).into()),
+                    ("objective", w.objective.into()),
+                    ("iterations", w.iterations.into()),
+                ],
+            );
+        }
+        rec.span_close(
+            "lns",
+            "portfolio",
+            vec![
+                ("winner", out.winner.into()),
+                ("best_objective", out.best_objective.into()),
+            ],
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,5 +376,66 @@ mod tests {
         for (x, y) in a.worker_results.iter().zip(&b.worker_results) {
             assert_eq!(x.objective, y.objective);
         }
+    }
+
+    fn run_in_place_recorded(
+        workers: usize,
+        seed: u64,
+        rec: &mut Recorder,
+    ) -> PortfolioOutcome<Vec<usize>> {
+        let problem = PartitionProblem::random(40, 4, 77);
+        let initial = problem.all_in_first_bin();
+        let cfg = PortfolioConfig {
+            workers,
+            engine: LnsConfig {
+                max_iters: 1_500,
+                ..Default::default()
+            },
+        };
+        portfolio_search_in_place_recorded(
+            &problem,
+            &initial,
+            seed,
+            &cfg,
+            || {
+                vec![
+                    Box::new(RandomRemoveInPlace),
+                    Box::new(WorstBinRemoveInPlace),
+                ]
+            },
+            || vec![Box::new(GreedyInsertInPlace)],
+            || Box::new(SimulatedAnnealing::for_normalized_loads(1_500)),
+            rec,
+        )
+    }
+
+    #[test]
+    fn recorded_portfolio_matches_plain_and_narrates_workers() {
+        let plain = run_in_place(4, 42);
+        let mut rec = Recorder::active();
+        let traced = run_in_place_recorded(4, 42, &mut rec);
+        assert_eq!(plain.best_objective, traced.best_objective);
+        assert_eq!(plain.winner, traced.winner);
+        assert_eq!(plain.best, traced.best);
+        let workers: Vec<_> = rec.events().iter().filter(|e| e.name == "worker").collect();
+        assert_eq!(workers.len(), 4);
+        assert_eq!(rec.open_spans(), 0);
+        // Worker summaries appear in worker order (sequential emission).
+        for (i, e) in workers.iter().enumerate() {
+            let (_, v) = &e.fields[0];
+            assert_eq!(
+                format!("{v:?}"),
+                format!("{:?}", rex_obs::Value::U64(i as u64))
+            );
+        }
+    }
+
+    #[test]
+    fn recorded_portfolio_trace_is_byte_identical_across_runs() {
+        let mut ra = Recorder::active();
+        let _ = run_in_place_recorded(4, 7, &mut ra);
+        let mut rb = Recorder::active();
+        let _ = run_in_place_recorded(4, 7, &mut rb);
+        assert_eq!(ra.to_jsonl(), rb.to_jsonl());
     }
 }

@@ -128,6 +128,32 @@ pub trait LnsProblemInPlace: LnsProblem {
     /// resynchronize incremental caches from scratch here periodically to
     /// bound floating-point drift.
     fn commit(&self, state: &mut Self::State);
+
+    // ---- observability hooks ----------------------------------------------
+    // Provided methods (default 0) so the engine can narrate the in-place
+    // protocol — destroy size, undo-log depth, cache resynchronizations —
+    // without macros and without forcing every problem to care. Only
+    // consulted when a recording `rex_obs::Recorder` is attached.
+
+    /// Number of elements currently detached and awaiting repair (the
+    /// destroy size of the in-flight burst). Purely informational.
+    fn state_destroyed(&self, _state: &Self::State) -> usize {
+        0
+    }
+
+    /// Number of edits in the undo log since the last commit (the depth a
+    /// revert would unwind). Purely informational.
+    fn state_undo_depth(&self, _state: &Self::State) -> usize {
+        0
+    }
+
+    /// Number of full cache resynchronizations performed so far (drift
+    /// control; see [`commit`]). Purely informational.
+    ///
+    /// [`commit`]: LnsProblemInPlace::commit
+    fn state_resyncs(&self, _state: &Self::State) -> u64 {
+        0
+    }
 }
 
 /// A destroy operator for the in-place protocol: removes part of the

@@ -1,0 +1,130 @@
+//! Portfolio determinism is independent of the thread count.
+//!
+//! The vendored rayon shim exposes `set_threads_override` exactly so this
+//! suite can prove the contract DESIGN.md §8 states: the winner, the best
+//! objective, and every per-worker summary are a pure function of
+//! `(problem, seed, config)` — the number of OS threads that happened to
+//! execute the workers is unobservable. Everything runs in ONE `#[test]`
+//! function because the override is process-global.
+
+use rex_lns::toy::{
+    GreedyInsert, GreedyInsertInPlace, PartitionProblem, RandomRemove, RandomRemoveInPlace,
+    WorstBinRemove, WorstBinRemoveInPlace,
+};
+use rex_lns::{
+    portfolio_search, portfolio_search_in_place_recorded, LnsConfig, PortfolioConfig,
+    PortfolioOutcome, SimulatedAnnealing,
+};
+use rex_obs::Recorder;
+
+const WORKERS: usize = 6;
+const SEED: u64 = 2024;
+
+fn cfg() -> PortfolioConfig {
+    PortfolioConfig {
+        workers: WORKERS,
+        engine: LnsConfig {
+            max_iters: 1_200,
+            ..Default::default()
+        },
+    }
+}
+
+fn run_clone(problem: &PartitionProblem, initial: &[usize]) -> PortfolioOutcome<Vec<usize>> {
+    portfolio_search(
+        problem,
+        &initial.to_vec(),
+        SEED,
+        &cfg(),
+        || vec![Box::new(RandomRemove), Box::new(WorstBinRemove)],
+        || vec![Box::new(GreedyInsert)],
+        || Box::new(SimulatedAnnealing::for_normalized_loads(1_200)),
+    )
+}
+
+fn run_in_place(
+    problem: &PartitionProblem,
+    initial: &[usize],
+    rec: &mut Recorder,
+) -> PortfolioOutcome<Vec<usize>> {
+    portfolio_search_in_place_recorded(
+        problem,
+        &initial.to_vec(),
+        SEED,
+        &cfg(),
+        || {
+            vec![
+                Box::new(RandomRemoveInPlace),
+                Box::new(WorstBinRemoveInPlace),
+            ]
+        },
+        || vec![Box::new(GreedyInsertInPlace)],
+        || Box::new(SimulatedAnnealing::for_normalized_loads(1_200)),
+        rec,
+    )
+}
+
+fn assert_same(a: &PortfolioOutcome<Vec<usize>>, b: &PortfolioOutcome<Vec<usize>>, label: &str) {
+    assert_eq!(a.winner, b.winner, "{label}: winner differs");
+    assert_eq!(
+        a.best_objective, b.best_objective,
+        "{label}: objective differs"
+    );
+    assert_eq!(a.best, b.best, "{label}: best solution differs");
+    assert_eq!(
+        a.worker_results.len(),
+        b.worker_results.len(),
+        "{label}: worker count differs"
+    );
+    for (x, y) in a.worker_results.iter().zip(&b.worker_results) {
+        assert_eq!(x.worker, y.worker, "{label}: worker order differs");
+        assert_eq!(
+            x.objective, y.objective,
+            "{label}: worker {} objective differs",
+            x.worker
+        );
+        assert_eq!(
+            x.iterations, y.iterations,
+            "{label}: worker {} iterations differs",
+            x.worker
+        );
+    }
+}
+
+/// One test function on purpose: `set_threads_override` is process-global,
+/// and cargo runs `#[test]` functions on concurrent threads by default.
+#[test]
+fn portfolio_results_and_traces_are_thread_count_independent() {
+    let problem = PartitionProblem::random(40, 4, 77);
+    let initial = problem.all_in_first_bin();
+
+    // Reference runs with the default thread count.
+    rayon::set_threads_override(None);
+    let clone_ref = run_clone(&problem, &initial);
+    let mut rec_ref = Recorder::active();
+    let in_place_ref = run_in_place(&problem, &initial, &mut rec_ref);
+    let jsonl_ref = rec_ref.to_jsonl();
+    assert!(!jsonl_ref.is_empty());
+
+    for threads in [1usize, 2, 3, 8] {
+        rayon::set_threads_override(Some(threads));
+
+        let c = run_clone(&problem, &initial);
+        assert_same(&clone_ref, &c, &format!("clone portfolio @{threads}t"));
+
+        let mut rec = Recorder::active();
+        let p = run_in_place(&problem, &initial, &mut rec);
+        assert_same(
+            &in_place_ref,
+            &p,
+            &format!("in-place portfolio @{threads}t"),
+        );
+        assert_eq!(
+            rec.to_jsonl(),
+            jsonl_ref,
+            "trace not byte-identical with {threads} threads"
+        );
+    }
+
+    rayon::set_threads_override(None);
+}

@@ -1,0 +1,193 @@
+//! Deterministic metric aggregates: gauges and fixed-bucket histograms.
+//!
+//! Counters are plain `u64`s in the recorder; the types here carry the
+//! state that needs more than one word. Everything is a pure function of
+//! the recorded sample sequence — no timestamps, no sampling.
+
+/// Last-value gauge with min/max/count.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Gauge {
+    /// Most recent value (0.0 before the first `set`).
+    pub last: f64,
+    /// Smallest value seen.
+    pub min: f64,
+    /// Largest value seen.
+    pub max: f64,
+    /// Number of `set` calls.
+    pub count: u64,
+}
+
+impl Gauge {
+    /// Records a new value.
+    pub fn set(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.last = v;
+        self.count += 1;
+    }
+}
+
+/// Number of geometric buckets (beyond the two special ones).
+pub const HIST_BUCKETS: usize = 40;
+/// Lower bound of the first geometric bucket.
+pub const HIST_FIRST_BOUND: f64 = 1e-9;
+/// Geometric ratio between consecutive bucket bounds.
+pub const HIST_RATIO: f64 = 4.0;
+
+/// A fixed-bucket histogram over **magnitudes** `|v|`.
+///
+/// The bucket layout is compiled in (not data-dependent), which is what
+/// makes two traces of the same run byte-comparable: bucket `i` (0-based)
+/// holds samples with `|v|` in `(1e-9 · 4^i, 1e-9 · 4^(i+1)]`, bucket
+/// `zero` holds `|v| ≤ 1e-9`, and `overflow` everything past the last
+/// bound (≈ 1.2e15). 40 geometric buckets at ratio 4 span the delta
+/// objectives (~1e-6) and relative latencies (~1..100) this workspace
+/// records, with ≤ 4× quantile error — fine for a roll-up table.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// Sample counts per geometric bucket.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Samples with magnitude at or below `HIST_FIRST_BOUND`.
+    pub zero: u64,
+    /// Samples past the last bucket bound.
+    pub overflow: u64,
+    /// Total samples.
+    pub count: u64,
+    /// Exact smallest magnitude seen.
+    pub min: f64,
+    /// Exact largest magnitude seen.
+    pub max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+            zero: 0,
+            overflow: 0,
+            count: 0,
+            min: 0.0,
+            max: 0.0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records `|v|`. Non-finite samples count toward `overflow` so they
+    /// are visible rather than silently dropped.
+    pub fn record(&mut self, v: f64) {
+        let mag = v.abs();
+        if self.count == 0 {
+            self.min = mag;
+            self.max = mag;
+        } else {
+            self.min = self.min.min(mag);
+            self.max = self.max.max(mag);
+        }
+        self.count += 1;
+        if !mag.is_finite() {
+            self.overflow += 1;
+            return;
+        }
+        if mag <= HIST_FIRST_BOUND {
+            self.zero += 1;
+            return;
+        }
+        // Bucket index = ceil(log4(mag / first_bound)) - 1, computed by
+        // scanning: 40 iterations max, and recording is not on any hot
+        // path (the recorder is either Noop or already buffering events).
+        let mut bound = HIST_FIRST_BOUND;
+        for b in self.buckets.iter_mut() {
+            bound *= HIST_RATIO;
+            if mag <= bound {
+                *b += 1;
+                return;
+            }
+        }
+        self.overflow += 1;
+    }
+
+    /// Upper bound of geometric bucket `i`.
+    pub fn bucket_bound(i: usize) -> f64 {
+        HIST_FIRST_BOUND * HIST_RATIO.powi(i as i32 + 1)
+    }
+
+    /// Nearest-rank quantile, reported as the upper bound of the bucket
+    /// holding the ranked sample (exact `min`/`max` for the extremes).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = self.zero;
+        if rank <= seen {
+            return HIST_FIRST_BOUND;
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if rank <= seen {
+                return Self::bucket_bound(i);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_tracks_last_min_max() {
+        let mut g = Gauge::default();
+        g.set(2.0);
+        g.set(-1.0);
+        g.set(0.5);
+        assert_eq!(g.last, 0.5);
+        assert_eq!(g.min, -1.0);
+        assert_eq!(g.max, 2.0);
+        assert_eq!(g.count, 3);
+    }
+
+    #[test]
+    fn histogram_buckets_are_fixed_and_exhaustive() {
+        let mut h = Histogram::default();
+        h.record(0.0); // zero bucket
+        h.record(1e-12); // still zero bucket
+        h.record(3e-9); // first geometric bucket (1e-9, 4e-9]
+        h.record(1.0);
+        h.record(-1.0); // magnitudes: sign ignored
+        h.record(1e20); // overflow
+        h.record(f64::INFINITY); // overflow
+        assert_eq!(h.zero, 2);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.count, 7);
+        let placed: u64 = h.buckets.iter().sum::<u64>() + h.zero + h.overflow;
+        assert_eq!(placed, h.count);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let mut h = Histogram::default();
+        for i in 1..=100 {
+            h.record(i as f64 * 0.01);
+        }
+        let (p50, p95, p99) = (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // Bucket upper bounds over-approximate by at most the ratio.
+        assert!((0.5..=0.5 * HIST_RATIO).contains(&p50));
+        assert_eq!(h.quantile(1.0), h.quantile(0.999));
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+}

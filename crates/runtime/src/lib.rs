@@ -25,6 +25,11 @@
 //! Determinism is a hard contract: a run is a pure function of
 //! `(Instance, RuntimeConfig)`, and two same-seed runs export byte-identical
 //! JSON. See DESIGN.md §7 for the full argument.
+//!
+//! Observability: [`Simulation::run_traced`] narrates controller decisions,
+//! per-batch migration progress, and fault injection into a
+//! [`rex_obs::Recorder`] keyed by the simulation tick — same determinism
+//! contract, byte-identical JSONL across same-seed runs (DESIGN.md §8).
 
 pub mod config;
 pub mod controller;

@@ -52,6 +52,7 @@ use crate::server::{diurnal_multiplier, effective_rho, sample_fanout_latency};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rex_cluster::{Assignment, BalanceReport, Instance, MachineId, ResourceVec, ShardId};
+use rex_obs::Recorder;
 use rex_workload::evolve::{next_epoch, DriftConfig};
 
 /// A plan being executed, one batch at a time.
@@ -95,6 +96,10 @@ pub struct Simulation {
     /// Monotonic solve-attempt counter; seeds each planning call.
     plan_attempts: u64,
     bus: MetricsBus,
+    /// Trace recorder ([`Recorder::Noop`] unless [`Simulation::run_traced`]
+    /// installs an active one); narrates controller decisions, migration
+    /// progress, and fault injection on the `"runtime"` layer.
+    obs: Recorder,
     initial_report: BalanceReport,
     base_label: String,
     /// The exchange loan size fixed at construction; rotation never grows it.
@@ -142,6 +147,7 @@ impl Simulation {
             next_plan_id: 0,
             plan_attempts: 0,
             bus: MetricsBus::default(),
+            obs: Recorder::noop(),
             initial_report,
             arrivals_rng,
             latency_rng,
@@ -154,16 +160,63 @@ impl Simulation {
     }
 
     /// Runs to the horizon and returns the metrics export.
-    pub fn run(mut self) -> MetricsExport {
+    pub fn run(self) -> MetricsExport {
+        self.run_traced(&mut Recorder::noop())
+    }
+
+    /// Like [`run`], narrating the run into `rec` when it is recording: a
+    /// `("runtime", "simulate")` span wrapping controller decisions
+    /// (trigger fired, plan adopted/empty/failed), per-batch migration
+    /// progress, and fault-injection events, all keyed by the simulation
+    /// tick. The recorder is moved in for the duration of the run and moved
+    /// back out before returning, so the caller's `rec` holds the full
+    /// trace afterwards. With a [`Recorder::Noop`] this is exactly [`run`].
+    ///
+    /// [`run`]: Simulation::run
+    pub fn run_traced(mut self, rec: &mut Recorder) -> MetricsExport {
+        self.obs = std::mem::take(rec);
+        if self.obs.is_active() {
+            self.obs.span_open(
+                "runtime",
+                "simulate",
+                vec![
+                    ("instance", self.base_label.as_str().into()),
+                    ("policy", self.cfg.controller.policy.name().into()),
+                    ("seed", self.cfg.seed.into()),
+                    ("ticks", self.cfg.ticks.into()),
+                    ("machines", self.inst.n_machines().into()),
+                    ("shards", self.inst.n_shards().into()),
+                ],
+            );
+        }
         self.schedule_initial_events();
         while let Some((tick, event)) = self.queue.pop() {
             if event == Event::End {
                 break;
             }
+            if self.obs.is_active() {
+                self.obs.set_tick(tick);
+            }
             self.handle(tick, event);
         }
         self.final_gauge();
-        MetricsExport {
+        if self.obs.is_active() {
+            self.obs.set_tick(self.cfg.ticks);
+            let c = &self.bus.counters;
+            self.obs.span_close(
+                "runtime",
+                "simulate",
+                vec![
+                    ("rebalances_triggered", c.rebalances_triggered.into()),
+                    ("rebalances_completed", c.rebalances_completed.into()),
+                    ("rebalances_aborted", c.rebalances_aborted.into()),
+                    ("moves_committed", c.moves_committed.into()),
+                    ("evacuations", c.evacuations.into()),
+                    ("transient_violations", c.transient_violations.into()),
+                ],
+            );
+        }
+        let export = MetricsExport {
             meta: RunMeta {
                 instance: self.base_label.clone(),
                 policy: self.cfg.controller.policy.name().to_string(),
@@ -175,7 +228,9 @@ impl Simulation {
             initial_report: self.initial_report,
             final_report: BalanceReport::compute(&self.inst, &self.asg),
             gauges: std::mem::take(&mut self.bus.gauges),
-        }
+        };
+        *rec = std::mem::take(&mut self.obs);
+        export
     }
 
     fn schedule_initial_events(&mut self) {
@@ -346,6 +401,14 @@ impl Simulation {
         if idle && self.controller.should_trigger(tick) {
             self.controller.note_trigger(tick);
             self.bus.counters.rebalances_triggered += 1;
+            if self.obs.is_active() {
+                self.obs.event(
+                    "runtime",
+                    "trigger",
+                    vec![("policy", self.cfg.controller.policy.name().into())],
+                );
+                self.obs.add("runtime.triggers", 1);
+            }
             let snapshot = self.build_snapshot();
             let failed = self.failed_list();
             let seed = self.plan_seed();
@@ -362,8 +425,19 @@ impl Simulation {
                     // The solver found nothing better than staying put;
                     // count it as a completed (empty) rebalance.
                     self.bus.counters.rebalances_completed += 1;
+                    if self.obs.is_active() {
+                        self.obs
+                            .event("runtime", "plan_empty", vec![("seed", seed.into())]);
+                    }
                 }
-                Err(_) => self.bus.counters.plans_failed += 1,
+                Err(_) => {
+                    self.bus.counters.plans_failed += 1;
+                    if self.obs.is_active() {
+                        self.obs
+                            .event("runtime", "plan_failed", vec![("seed", seed.into())]);
+                        self.obs.add("runtime.plans_failed", 1);
+                    }
+                }
             }
         }
         let next = tick + self.cfg.controller.poll_interval;
@@ -379,6 +453,28 @@ impl Simulation {
         }
         let id = self.next_plan_id;
         self.next_plan_id += 1;
+        if self.obs.is_active() {
+            let moves: usize = pm.plan.batches.iter().map(Vec::len).sum();
+            self.obs.event(
+                "runtime",
+                "plan_adopted",
+                vec![
+                    ("plan", id.into()),
+                    (
+                        "kind",
+                        match pm.kind {
+                            MigrationKind::Load => "load",
+                            MigrationKind::Evacuation => "evacuation",
+                        }
+                        .into(),
+                    ),
+                    ("batches", pm.plan.batches.len().into()),
+                    ("moves", moves.into()),
+                ],
+            );
+            self.obs.add("runtime.plans_adopted", 1);
+            self.obs.observe("runtime.plan_moves", moves as f64);
+        }
         self.active = Some(ActivePlan {
             id,
             pm,
@@ -413,6 +509,10 @@ impl Simulation {
             return;
         }
         a.started = true;
+        if self.obs.is_active() {
+            self.obs
+                .event("runtime", "plan_start", vec![("plan", id.into())]);
+        }
         self.start_batch(tick);
     }
 
@@ -437,6 +537,21 @@ impl Simulation {
         }
         let duration = a.pm.durations[a.next_batch];
         let id = a.id;
+        if self.obs.is_active() {
+            let a = self.active.as_ref().expect("checked above");
+            self.obs.event(
+                "runtime",
+                "batch",
+                vec![
+                    ("plan", id.into()),
+                    ("index", a.next_batch.into()),
+                    ("moves", a.pm.plan.batches[a.next_batch].len().into()),
+                    ("remaining", a.moves_remaining().into()),
+                    ("duration", duration.into()),
+                ],
+            );
+            self.obs.add("runtime.batches", 1);
+        }
         self.queue
             .schedule(tick + duration, Event::BatchComplete(id));
     }
@@ -472,6 +587,24 @@ impl Simulation {
     fn finalize_plan(&mut self, tick: u64, completed: bool) {
         let a = self.active.take().expect("finalize without a plan");
         self.abort_requested = false;
+        if self.obs.is_active() {
+            self.obs.event(
+                "runtime",
+                "plan_done",
+                vec![
+                    ("plan", a.id.into()),
+                    ("completed", completed.into()),
+                    (
+                        "kind",
+                        match a.pm.kind {
+                            MigrationKind::Load => "load",
+                            MigrationKind::Evacuation => "evacuation",
+                        }
+                        .into(),
+                    ),
+                ],
+            );
+        }
         if completed {
             match a.pm.kind {
                 MigrationKind::Load => self.bus.counters.rebalances_completed += 1,
@@ -551,6 +684,17 @@ impl Simulation {
         }
         self.failed[m.idx()] = true;
         self.bus.counters.crashes += 1;
+        if self.obs.is_active() {
+            self.obs.event(
+                "runtime",
+                "crash",
+                vec![
+                    ("machine", m.idx().into()),
+                    ("mid_plan", self.active.is_some().into()),
+                ],
+            );
+            self.obs.add("runtime.crashes", 1);
+        }
         if let Some(a) = self.active.as_ref() {
             if a.started {
                 // Copies are on the wire: finish the current batch, then
@@ -573,6 +717,10 @@ impl Simulation {
         }
         self.failed[m.idx()] = false;
         self.bus.counters.recoveries += 1;
+        if self.obs.is_active() {
+            self.obs
+                .event("runtime", "recover", vec![("machine", m.idx().into())]);
+        }
         // The machine rejoins as healthy capacity: its vacancy counts
         // toward the return quota again. Mid-plan the bookkeeping waits
         // for `finalize_plan`, which normalizes anyway.
@@ -596,6 +744,13 @@ impl Simulation {
                 .then(a.idx().cmp(&b.idx()))
         });
         ids.truncate(count.min(n));
+        if self.obs.is_active() {
+            self.obs.event(
+                "runtime",
+                "spike_start",
+                vec![("fault", idx.into()), ("shards", ids.len().into())],
+            );
+        }
         self.spikes[idx] = Some(ids);
         self.bus.counters.spikes_started += 1;
     }
@@ -603,6 +758,10 @@ impl Simulation {
     fn on_spike_end(&mut self, idx: usize) {
         if self.spikes[idx].take().is_some() {
             self.bus.counters.spikes_ended += 1;
+            if self.obs.is_active() {
+                self.obs
+                    .event("runtime", "spike_end", vec![("fault", idx.into())]);
+            }
         }
     }
 
@@ -630,6 +789,10 @@ impl Simulation {
             Ok(pm) if !pm.plan.batches.is_empty() => self.adopt(tick, pm),
             Ok(_) | Err(_) => {
                 self.bus.counters.plans_failed += 1;
+                if self.obs.is_active() {
+                    self.obs
+                        .event("runtime", "evac_retry", vec![("seed", seed.into())]);
+                }
                 self.queue
                     .schedule(tick + self.cfg.controller.poll_interval, Event::EvacCheck);
             }
@@ -661,6 +824,13 @@ impl Simulation {
                 // Demands changed under the shards' feet; rebuild usage.
                 self.asg = Assignment::from_initial(&self.inst);
                 self.bus.counters.drift_epochs += 1;
+                if self.obs.is_active() {
+                    self.obs.event(
+                        "runtime",
+                        "drift",
+                        vec![("epoch", self.bus.counters.drift_epochs.into())],
+                    );
+                }
             }
             Err(_) => {
                 // Extremely unlikely (next_epoch clamps); skip this epoch.
@@ -921,6 +1091,80 @@ mod tests {
         assert_eq!(e.counters.transient_violations, 0);
         assert!(e.counters.crashes == 1);
         assert!(e.counters.evacuations >= 1);
+    }
+
+    #[test]
+    fn traced_run_matches_plain_run_and_narrates_decisions() {
+        let mk = || {
+            let mut cfg = short_cfg(ControllerPolicy::Sra);
+            cfg.faults = vec![
+                FaultSpec::Crash {
+                    at: 400,
+                    machine: 1,
+                    recover_at: Some(900),
+                },
+                FaultSpec::Spike {
+                    at: 600,
+                    duration: 200,
+                    factor: 1.5,
+                    shard_fraction: 0.1,
+                },
+            ];
+            Simulation::new(hotspot(11), cfg)
+        };
+        let plain = mk().run().to_json();
+        let mut rec = Recorder::active();
+        let traced = mk().run_traced(&mut rec).to_json();
+        assert_eq!(plain, traced, "tracing must not perturb the run");
+
+        assert_eq!(rec.open_spans(), 0);
+        assert!(rec.is_active());
+        let names: Vec<&str> = rec.events().iter().map(|e| e.name).collect();
+        assert_eq!(names.first(), Some(&"simulate"));
+        assert_eq!(names.last(), Some(&"simulate"));
+        for expected in [
+            "trigger",
+            "plan_adopted",
+            "plan_start",
+            "batch",
+            "plan_done",
+            "crash",
+            "recover",
+            "spike_start",
+            "spike_end",
+        ] {
+            assert!(
+                names.contains(&expected),
+                "missing runtime event {expected}"
+            );
+        }
+        // Counters in the trace agree with the metrics bus.
+        let export = mk().run();
+        assert_eq!(
+            rec.counter("runtime.triggers"),
+            export.counters.rebalances_triggered
+        );
+        assert_eq!(rec.counter("runtime.crashes"), export.counters.crashes);
+    }
+
+    #[test]
+    fn traced_runs_are_byte_identical() {
+        let mk = || {
+            let mut cfg = short_cfg(ControllerPolicy::Sra);
+            cfg.drift = Some(DriftSpec {
+                every_ticks: 300,
+                sigma: 0.15,
+                target_utilization: 0.6,
+            });
+            Simulation::new(hotspot(11), cfg)
+        };
+        let mut ra = Recorder::active();
+        let _ = mk().run_traced(&mut ra);
+        let mut rb = Recorder::active();
+        let _ = mk().run_traced(&mut rb);
+        assert_eq!(ra.to_jsonl(), rb.to_jsonl());
+        assert_eq!(ra.summary(), rb.summary());
+        assert!(!ra.to_jsonl().is_empty());
     }
 
     #[test]

@@ -235,6 +235,77 @@ mod tests {
         assert_eq!(a.total_hits, b.total_hits);
     }
 
+    /// Differential check of the vendored rayon shim at its real call
+    /// sites: `replay` and `replay_hourly` go through `fold(..).reduce(..)`
+    /// / `map(..).reduce(..)`; here the same sums are recomputed with a
+    /// hand-rolled `std::thread` chunked reduction and must match exactly
+    /// (u64 addition is associative, so any split is equivalent).
+    #[test]
+    fn replay_matches_hand_rolled_chunked_reduction() {
+        let (_, engine) = small_engine(4, ShardingStrategy::Hash);
+        let log = QueryLog::generate(&QueryConfig {
+            n_queries: 300,
+            vocab: 500,
+            seed: 9,
+            ..Default::default()
+        });
+        let n = engine.n_shards();
+
+        for workers in [1usize, 3, 7] {
+            let chunk = log.queries.len().div_ceil(workers).max(1);
+            let partials: Vec<(Vec<u64>, u64, Vec<Vec<u64>>)> = std::thread::scope(|scope| {
+                log.queries
+                    .chunks(chunk)
+                    .map(|qs| {
+                        let engine = &engine;
+                        scope.spawn(move || {
+                            let mut cost = vec![0u64; n];
+                            let mut hits = 0u64;
+                            let mut hourly = vec![vec![0u64; n]; 24];
+                            for q in qs {
+                                let (h, c) = engine.search(&q.terms, q.mode, 10);
+                                hits += h.len() as u64;
+                                for (a, x) in cost.iter_mut().zip(&c) {
+                                    *a += x;
+                                }
+                                for (a, x) in hourly[q.hour as usize].iter_mut().zip(&c) {
+                                    *a += x;
+                                }
+                            }
+                            (cost, hits, hourly)
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            });
+            let mut cost = vec![0u64; n];
+            let mut hits = 0u64;
+            let mut hourly = vec![vec![0u64; n]; 24];
+            for (pc, ph, phh) in partials {
+                for (a, x) in cost.iter_mut().zip(&pc) {
+                    *a += x;
+                }
+                hits += ph;
+                for (ha, hb) in hourly.iter_mut().zip(&phh) {
+                    for (a, x) in ha.iter_mut().zip(hb) {
+                        *a += x;
+                    }
+                }
+            }
+
+            let stats = engine.replay(&log, 10);
+            assert_eq!(stats.cost_per_shard, cost, "{workers}-way replay");
+            assert_eq!(stats.total_hits, hits, "{workers}-way replay hits");
+            assert_eq!(
+                engine.replay_hourly(&log, 10),
+                hourly,
+                "{workers}-way hourly"
+            );
+        }
+    }
+
     #[test]
     fn range_sharding_is_more_skewed_than_hash() {
         // With iid document lengths the two strategies differ mainly in

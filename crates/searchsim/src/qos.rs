@@ -121,10 +121,16 @@ pub fn qos_of_plan(inst: &Instance, plan: &MigrationPlan, cfg: &QosConfig) -> Qo
     }
 }
 
-/// Nearest-rank percentiles of the migration timeline. Each batch is one
-/// sample (batches are the executor's time steps); an empty plan has a
-/// one-point timeline at the steady-state latency.
-fn timeline_percentiles(per_batch: &[f64], before: f64) -> (f64, f64, f64) {
+/// Nearest-rank `(p50, p95, p99)` percentiles of the migration timeline.
+/// Each batch is one sample (batches are the executor's time steps); an
+/// empty plan has a one-point timeline at the steady-state latency
+/// `before`, so all three percentiles collapse to it.
+///
+/// Nearest-rank means `samples_sorted[ceil(p/100 · n) − 1]` with the rank
+/// clamped to at least 1 — every returned value is an actual sample, never
+/// an interpolation, and `p50 ≤ p95 ≤ p99 ≤ max` always holds. Public so
+/// the property-test suite can exercise the boundary cases directly.
+pub fn timeline_percentiles(per_batch: &[f64], before: f64) -> (f64, f64, f64) {
     let mut samples: Vec<f64> = if per_batch.is_empty() {
         vec![before]
     } else {

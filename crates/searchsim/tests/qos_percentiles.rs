@@ -1,0 +1,90 @@
+//! Property-based tests of `qos::timeline_percentiles` — the nearest-rank
+//! percentile boundary cases the unit tests can't sweep: empty timelines,
+//! single samples, all-ties, and p50/p95/p99 monotonicity over arbitrary
+//! sample sets.
+
+use proptest::prelude::*;
+use rex_searchsim::qos::timeline_percentiles;
+
+#[test]
+fn empty_timeline_collapses_to_steady_state() {
+    for before in [1.0, 2.5, 50.0] {
+        let (p50, p95, p99) = timeline_percentiles(&[], before);
+        assert_eq!((p50, p95, p99), (before, before, before));
+    }
+}
+
+#[test]
+fn single_sample_is_every_percentile() {
+    let (p50, p95, p99) = timeline_percentiles(&[7.25], 1.0);
+    assert_eq!((p50, p95, p99), (7.25, 7.25, 7.25));
+}
+
+#[test]
+fn nearest_rank_picks_actual_samples_at_known_ranks() {
+    // 10 distinct samples: p50 → ceil(5)=rank 5 (5th smallest), p95 →
+    // ceil(9.5)=rank 10 (max), p99 → ceil(9.9)=rank 10 (max).
+    let samples: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+    let (p50, p95, p99) = timeline_percentiles(&samples, 0.0);
+    assert_eq!((p50, p95, p99), (5.0, 10.0, 10.0));
+    // 20 samples: p95 → ceil(19)=rank 19, i.e. the second largest.
+    let samples: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+    let (_, p95, p99) = timeline_percentiles(&samples, 0.0);
+    assert_eq!(p95, 19.0);
+    assert_eq!(p99, 20.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ordering invariant: p50 ≤ p95 ≤ p99 ≤ max, and every percentile is
+    /// an actual sample (nearest-rank never interpolates).
+    #[test]
+    fn percentiles_are_monotone_and_members(
+        samples in proptest::collection::vec(1.0f64..1e6, 1..60),
+    ) {
+        let (p50, p95, p99) = timeline_percentiles(&samples, 1.0);
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert!(p50 <= p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
+        prop_assert!(min <= p50 && p99 <= max);
+        for p in [p50, p95, p99] {
+            prop_assert!(samples.contains(&p), "{p} is not a sample");
+        }
+    }
+
+    /// All-ties timeline: every percentile equals the common value.
+    #[test]
+    fn all_ties_collapse(
+        value in 1.0f64..100.0,
+        n in 1usize..50,
+    ) {
+        let samples = vec![value; n];
+        let (p50, p95, p99) = timeline_percentiles(&samples, 0.0);
+        prop_assert_eq!((p50, p95, p99), (value, value, value));
+    }
+
+    /// The `before` argument is ignored whenever the timeline is non-empty.
+    #[test]
+    fn before_only_matters_when_empty(
+        samples in proptest::collection::vec(1.0f64..1e3, 1..30),
+        before_a in 1.0f64..1e3,
+        before_b in 1.0f64..1e3,
+    ) {
+        prop_assert_eq!(
+            timeline_percentiles(&samples, before_a),
+            timeline_percentiles(&samples, before_b)
+        );
+    }
+
+    /// Percentiles are permutation-invariant (they sort internally).
+    #[test]
+    fn order_of_samples_is_irrelevant(
+        samples in proptest::collection::vec(1.0f64..1e3, 2..40),
+    ) {
+        let forward = timeline_percentiles(&samples, 1.0);
+        let mut rev = samples.clone();
+        rev.reverse();
+        prop_assert_eq!(forward, timeline_percentiles(&rev, 1.0));
+    }
+}

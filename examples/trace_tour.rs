@@ -1,0 +1,96 @@
+//! A tour of the observability layer (`rex-obs`), in one page.
+//!
+//! Runs one SRA solve and one closed-loop simulation with an active
+//! [`Recorder`], then shows the three things a trace gives you:
+//!
+//! 1. a **narrative** — hierarchical spans and events, keyed by
+//!    `(tick, seq)`, that say what the solver/controller decided and why;
+//! 2. a **roll-up** — counters, gauges, and fixed-bucket histograms,
+//!    rendered as a markdown summary;
+//! 3. a **determinism proof** — the same seed replays to byte-identical
+//!    JSONL, so a trace diff *is* a behavior diff (DESIGN.md §8).
+//!
+//! ```sh
+//! cargo run --release --example trace_tour
+//! ```
+
+use resource_exchange::core::{solve_traced, SraConfig};
+use resource_exchange::obs::Recorder;
+use resource_exchange::runtime::{ControllerPolicy, RuntimeConfig, Simulation};
+use resource_exchange::workload::synthetic::{generate, Placement, SynthConfig};
+
+fn instance() -> resource_exchange::cluster::Instance {
+    generate(&SynthConfig {
+        n_machines: 12,
+        n_exchange: 2,
+        n_shards: 96,
+        stringency: 0.8,
+        placement: Placement::Hotspot(0.4),
+        seed: 9,
+        ..Default::default()
+    })
+    .expect("generate")
+}
+
+fn main() {
+    // --- 1. Trace a solve -------------------------------------------------
+    let inst = instance();
+    let cfg = SraConfig {
+        iters: 2_000,
+        seed: 42,
+        ..Default::default()
+    };
+    let mut rec = Recorder::active();
+    let result = solve_traced(&inst, &cfg, &[], &mut rec).expect("solve");
+    println!(
+        "solve: peak {:.4} -> {:.4} over {} iterations\n",
+        result.initial_report.peak, result.final_report.peak, result.iterations
+    );
+
+    // The narrative: spans nest (depth), events carry structured fields.
+    println!("first 6 trace records:");
+    let jsonl = rec.to_jsonl();
+    for line in jsonl.lines().take(6) {
+        println!("  {line}");
+    }
+    println!(
+        "  ... {} records total, {} LNS iterations narrated\n",
+        jsonl.lines().count(),
+        rec.counter("lns.iterations")
+    );
+
+    // The roll-up: counters/gauges/histograms as markdown.
+    println!("{}", rec.summary());
+
+    // The determinism proof: same seed, same bytes.
+    let mut rec2 = Recorder::active();
+    solve_traced(&inst, &cfg, &[], &mut rec2).expect("solve");
+    assert_eq!(jsonl, rec2.to_jsonl(), "same-seed traces must match");
+    println!("replayed: second solve trace is byte-identical\n");
+
+    // --- 2. Trace a closed-loop run --------------------------------------
+    let run_cfg = RuntimeConfig {
+        ticks: 3_000,
+        seed: 7,
+        controller: resource_exchange::runtime::ControllerConfig {
+            policy: ControllerPolicy::Sra,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut sim_rec = Recorder::active();
+    let export = Simulation::new(instance(), run_cfg).run_traced(&mut sim_rec);
+    println!(
+        "simulate: {} rebalances completed, {} moves committed",
+        export.counters.rebalances_completed, export.counters.moves_committed
+    );
+    let decisions: Vec<&str> = ["trigger", "plan_adopted", "batch", "plan_done"]
+        .into_iter()
+        .filter(|name| sim_rec.events().iter().any(|e| e.name == *name))
+        .collect();
+    println!("controller decisions narrated: {}", decisions.join(", "));
+    println!(
+        "runtime.batches counter: {}",
+        sim_rec.counter("runtime.batches")
+    );
+}

@@ -26,6 +26,7 @@ case "${1:-}" in
 esac
 
 cargo build --release -p rex-bench --bins
+cargo build --release --bin rex
 mkdir -p "$outdir"
 
 for exp in workloads headline exchange_sweep convergence migration \
@@ -37,5 +38,17 @@ for exp in workloads headline exchange_sweep convergence migration \
         exit 1
     fi
 done
+
+echo "=== trace determinism ==="
+tracedir=$(mktemp -d)
+./target/release/rex simulate --ticks 1500 --seed 7 --quiet --trace "$tracedir/a.jsonl"
+./target/release/rex simulate --ticks 1500 --seed 7 --quiet --trace "$tracedir/b.jsonl"
+cmp "$tracedir/a.jsonl" "$tracedir/b.jsonl"
+test -s "$tracedir/a.jsonl"
+REX_THREADS=1 ./target/release/rex trace --seed 42 --workers 4 --iters 1500 --out "$tracedir/s1.jsonl" >/dev/null
+REX_THREADS=8 ./target/release/rex trace --seed 42 --workers 4 --iters 1500 --out "$tracedir/s8.jsonl" >/dev/null
+cmp "$tracedir/s1.jsonl" "$tracedir/s8.jsonl"
+rm -rf "$tracedir"
+echo "traces byte-identical across runs and thread counts"
 
 echo "All experiment outputs written to $outdir/."

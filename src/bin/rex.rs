@@ -8,6 +8,8 @@
 //! rex baseline --inst inst.json --method greedy
 //! rex verify   --inst inst.json --solution solution.json
 //! rex simulate --ticks 10000 --controller sra --crash-at 3000 --out run.json
+//! rex simulate --ticks 10000 --trace trace.jsonl --quiet
+//! rex trace    --inst inst.json --iters 4000 --out trace.jsonl
 //! ```
 //!
 //! Instances and solutions are JSON artifacts (bit-exact f64 round-trips),
@@ -24,7 +26,8 @@ use resource_exchange::baselines::{
 use resource_exchange::cluster::{
     verify_schedule, Assignment, BalanceReport, Instance, MachineId, MigrationPlan,
 };
-use resource_exchange::core::{solve_with_drain, SraConfig};
+use resource_exchange::core::{solve_traced, solve_with_drain, SraConfig};
+use resource_exchange::obs::Recorder;
 use resource_exchange::runtime::{DriftSpec, FaultSpec, RuntimeConfig, Simulation};
 use resource_exchange::workload::io;
 use resource_exchange::workload::synthetic::{
@@ -54,31 +57,43 @@ struct ArgSpec {
     switches: &'static [&'static str],
 }
 
-/// Parses `--key value` / `--switch` arguments against `spec`.
+/// Parses `--key value` / `--key=value` / `--switch` arguments against
+/// `spec`.
 ///
-/// Unrecognized keys, missing values, repeated flags, and bare positional
-/// words are all hard errors — a typo must never be silently ignored.
-/// Switches are stored with an empty value; use [`has`] to query them.
+/// Unrecognized keys, missing values, repeated flags, switches given an
+/// `=value`, and bare positional words are all hard errors — a typo must
+/// never be silently ignored. Switches are stored with an empty value; use
+/// [`has`] to query them.
 fn parse_args(args: &[String], spec: &ArgSpec) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
     let mut i = 0;
     while i < args.len() {
-        let key = args[i]
+        let word = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got `{}`", args[i]))?;
-        let entry = if spec.values.contains(&key) {
+        let entry = if let Some((key, value)) = word.split_once('=') {
+            if spec.values.contains(&key) {
+                i += 1;
+                (key.to_string(), value.to_string())
+            } else if spec.switches.contains(&key) {
+                return Err(format!("--{key} does not take a value"));
+            } else {
+                return Err(format!("unrecognized flag --{key}"));
+            }
+        } else if spec.values.contains(&word) {
             let value = args
                 .get(i + 1)
                 .filter(|v| !v.starts_with("--"))
-                .ok_or_else(|| format!("--{key} needs a value"))?;
+                .ok_or_else(|| format!("--{word} needs a value"))?;
             i += 2;
-            (key.to_string(), value.clone())
-        } else if spec.switches.contains(&key) {
+            (word.to_string(), value.clone())
+        } else if spec.switches.contains(&word) {
             i += 1;
-            (key.to_string(), String::new())
+            (word.to_string(), String::new())
         } else {
-            return Err(format!("unrecognized flag --{key}"));
+            return Err(format!("unrecognized flag --{word}"));
         };
+        let key = entry.0.clone();
         if out.insert(entry.0, entry.1).is_some() {
             return Err(format!("--{key} given more than once"));
         }
@@ -325,7 +340,20 @@ fn cmd_simulate(args: &HashMap<String, String>) -> Result<(), String> {
         ..Default::default()
     };
     cfg.controller.policy = get_or(args, "controller", "sra").parse()?;
-    let export = Simulation::new(inst, cfg).run();
+    let sim = Simulation::new(inst, cfg);
+    let mut rec = if args.contains_key("trace") {
+        Recorder::active()
+    } else {
+        Recorder::noop()
+    };
+    let export = sim.run_traced(&mut rec);
+    if let Some(path) = args.get("trace") {
+        std::fs::write(path, rec.to_jsonl()).map_err(|e| e.to_string())?;
+        if !has(args, "quiet") {
+            print!("{}", rec.summary());
+            println!("trace written to {path}");
+        }
+    }
     if let Some(out) = args.get("out") {
         std::fs::write(out, export.to_json()).map_err(|e| e.to_string())?;
     }
@@ -360,6 +388,47 @@ fn cmd_simulate(args: &HashMap<String, String>) -> Result<(), String> {
         if let Some(out) = args.get("out") {
             println!("metrics written to {out}");
         }
+    }
+    Ok(())
+}
+
+/// Runs one traced SRA solve (instance loaded from `--inst` or synthesized
+/// on the spot) and prints the trace roll-up; `--out` additionally writes
+/// the JSONL event stream. The trace is a pure function of the instance and
+/// the flags — two same-flag invocations write byte-identical JSONL.
+fn cmd_trace(args: &HashMap<String, String>) -> Result<(), String> {
+    let seed = parse(get_or(args, "seed", "42"), "u64")?;
+    let inst = if args.contains_key("inst") {
+        load_instance(args)?
+    } else {
+        generate(&SynthConfig {
+            n_machines: parse(get_or(args, "machines", "16"), "usize")?,
+            n_exchange: parse(get_or(args, "exchange", "2"), "usize")?,
+            n_shards: parse(get_or(args, "shards", "160"), "usize")?,
+            placement: Placement::Hotspot(0.4),
+            seed,
+            ..Default::default()
+        })
+        .map_err(|e| e.to_string())?
+    };
+    let cfg = SraConfig {
+        iters: parse(get_or(args, "iters", "4000"), "u64")?,
+        workers: parse(get_or(args, "workers", "1"), "usize")?,
+        seed,
+        ..Default::default()
+    };
+    let mut rec = Recorder::active();
+    let res = solve_traced(&inst, &cfg, &[], &mut rec).map_err(|e| e.to_string())?;
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, rec.to_jsonl()).map_err(|e| e.to_string())?;
+    }
+    print!("{}", rec.summary());
+    println!(
+        "solve: objective {:.6}, peak {:.4} -> {:.4}, {} iterations",
+        res.objective_value, res.initial_report.peak, res.final_report.peak, res.iterations
+    );
+    if let Some(out) = args.get("out") {
+        println!("trace written to {out}");
     }
     Ok(())
 }
@@ -419,8 +488,15 @@ fn spec_of(cmd: &str) -> Option<ArgSpec> {
                 "spike-factor",
                 "spike-fraction",
                 "drift-every",
+                "trace",
             ],
             switches: &["no-drift", "quiet"],
+        },
+        "trace" => ArgSpec {
+            values: &[
+                "inst", "machines", "exchange", "shards", "iters", "workers", "seed", "out",
+            ],
+            switches: &[],
         },
         _ => return None,
     };
@@ -428,7 +504,7 @@ fn spec_of(cmd: &str) -> Option<ArgSpec> {
 }
 
 const USAGE: &str =
-    "usage: rex <generate|inspect|solve|baseline|verify|simulate> [--flag value | --switch]...
+    "usage: rex <generate|inspect|solve|baseline|verify|simulate|trace> [--flag value | --flag=value | --switch]...
   generate --out FILE [--family uniform|zipf|correlated|big-shards]
            [--placement hotspot|balanced|drift] [--machines N] [--exchange N]
            [--shards N] [--dims N] [--stringency F] [--alpha F] [--seed N]
@@ -442,7 +518,10 @@ const USAGE: &str =
            [--ticks N] [--seed N] [--controller off|greedy|sra] [--qps F]
            [--crash-at T --crash-machine M [--recover-at T]]
            [--spike-at T [--spike-duration N] [--spike-factor F] [--spike-fraction F]]
-           [--drift-every N] [--no-drift] [--out FILE] [--quiet]";
+           [--drift-every N] [--no-drift] [--out FILE] [--trace FILE] [--quiet]
+  trace    [--inst FILE | --machines N --shards N --exchange N]
+           [--iters N] [--workers N] [--seed N] [--out FILE]
+           (one traced SRA solve: prints the roll-up, --out writes JSONL)";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -459,6 +538,7 @@ fn main() -> ExitCode {
             "baseline" => cmd_baseline(&args),
             "verify" => cmd_verify(&args),
             "simulate" => cmd_simulate(&args),
+            "trace" => cmd_trace(&args),
             _ => unreachable!("spec_of and the dispatch table agree"),
         }),
     };
@@ -537,11 +617,90 @@ mod tests {
     #[test]
     fn every_command_has_a_spec_and_unknowns_do_not() {
         for cmd in [
-            "generate", "inspect", "solve", "baseline", "verify", "simulate",
+            "generate", "inspect", "solve", "baseline", "verify", "simulate", "trace",
         ] {
             assert!(spec_of(cmd).is_some(), "missing spec for {cmd}");
         }
         assert!(spec_of("frobnicate").is_none());
+    }
+
+    #[test]
+    fn parse_args_supports_equals_syntax() {
+        let spec = spec_of("solve").unwrap();
+        let a = parse_args(&argv(&["--inst=x.json", "--iters=5"]), &spec).unwrap();
+        assert_eq!(get(&a, "inst").unwrap(), "x.json");
+        assert_eq!(get_or(&a, "iters", "1"), "5");
+        // Mixed styles in one invocation.
+        let b = parse_args(&argv(&["--inst=x.json", "--iters", "7"]), &spec).unwrap();
+        assert_eq!(get_or(&b, "iters", "1"), "7");
+        // Values containing `=` split only on the first.
+        let c = parse_args(&argv(&["--inst=a=b.json"]), &spec).unwrap();
+        assert_eq!(get(&c, "inst").unwrap(), "a=b.json");
+        // An empty value is allowed by the syntax (caught downstream).
+        let d = parse_args(&argv(&["--inst="]), &spec).unwrap();
+        assert_eq!(get(&d, "inst").unwrap(), "");
+    }
+
+    #[test]
+    fn parse_args_equals_syntax_rejections() {
+        let spec = spec_of("simulate").unwrap();
+        // Switches never take `=value`.
+        assert!(parse_args(&argv(&["--quiet=1"]), &spec).is_err());
+        // Unknown flags stay unknown with `=`.
+        assert!(parse_args(&argv(&["--bogus=1"]), &spec).is_err());
+        // Duplicate detection spans both styles.
+        assert!(parse_args(&argv(&["--seed=1", "--seed", "2"]), &spec).is_err());
+    }
+
+    #[test]
+    fn simulate_trace_is_deterministic_and_wired() {
+        let dir = std::env::temp_dir().join("rex-cli-trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (ta, tb) = (dir.join("a.jsonl"), dir.join("b.jsonl"));
+        let run = |out: &Path| {
+            cmd_simulate(&args(&[
+                ("machines", "8"),
+                ("shards", "48"),
+                ("exchange", "1"),
+                ("ticks", "600"),
+                ("seed", "5"),
+                ("controller", "sra"),
+                ("trace", out.to_str().unwrap()),
+                ("quiet", ""),
+            ]))
+            .unwrap();
+        };
+        run(&ta);
+        run(&tb);
+        let (ja, jb) = (
+            std::fs::read_to_string(&ta).unwrap(),
+            std::fs::read_to_string(&tb).unwrap(),
+        );
+        assert!(!ja.is_empty(), "trace must contain events");
+        assert_eq!(ja, jb, "same-seed traces must be byte-identical");
+        assert!(ja.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(ja.contains("\"layer\":\"runtime\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_command_writes_solver_trace() {
+        let dir = std::env::temp_dir().join("rex-cli-trace-cmd");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("t.jsonl");
+        cmd_trace(&args(&[
+            ("machines", "6"),
+            ("shards", "30"),
+            ("exchange", "1"),
+            ("iters", "400"),
+            ("seed", "3"),
+            ("out", out.to_str().unwrap()),
+        ]))
+        .unwrap();
+        let jsonl = std::fs::read_to_string(&out).unwrap();
+        assert!(jsonl.contains("\"layer\":\"sra\""));
+        assert!(jsonl.contains("\"layer\":\"lns\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub use rex_baselines as baselines;
 pub use rex_cluster as cluster;
 pub use rex_core as core;
 pub use rex_lns as lns;
+pub use rex_obs as obs;
 pub use rex_runtime as runtime;
 pub use rex_searchsim as searchsim;
 pub use rex_solver as solver;

@@ -10,9 +10,35 @@
 //! the workspace's reproducibility tests rely on.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread-count override; `0` means "no override".
+static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker-thread count used by parallel `collect`.
+///
+/// `None` restores the default (the `REX_THREADS` environment variable if
+/// set, otherwise `available_parallelism`). Used by the determinism test
+/// suite to prove results are independent of the thread count; the override
+/// is process-global, so tests exercising several values must do so from a
+/// single `#[test]` function.
+pub fn set_threads_override(n: Option<usize>) {
+    THREADS_OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
+}
 
 /// Number of worker threads for parallel `collect`.
 fn threads() -> usize {
+    let forced = THREADS_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("REX_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
@@ -225,5 +251,105 @@ mod tests {
             .map(|x| x as u64)
             .reduce(|| 0, |a, b| a + b);
         assert_eq!(total, 4950);
+    }
+
+    /// Hand-rolled parallel chunked reduction over `std::thread` — the
+    /// "ground truth" an honest rayon would compute, used to check the
+    /// shim's sequential `fold(..).reduce(..)` differentially.
+    fn chunked_sum_vectors(items: &[Vec<u64>], workers: usize) -> Vec<u64> {
+        let width = items.first().map_or(0, Vec::len);
+        let chunk = items.len().div_ceil(workers.max(1)).max(1);
+        let partials: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            items
+                .chunks(chunk)
+                .map(|c| {
+                    scope.spawn(move || {
+                        c.iter().fold(vec![0u64; width], |mut acc, v| {
+                            for (a, x) in acc.iter_mut().zip(v) {
+                                *a += x;
+                            }
+                            acc
+                        })
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        partials.into_iter().fold(vec![0u64; width], |mut acc, p| {
+            for (a, x) in acc.iter_mut().zip(&p) {
+                *a += x;
+            }
+            acc
+        })
+    }
+
+    /// The shim's `fold(..).reduce(..)` must equal a genuinely parallel
+    /// chunked reduction for the element-wise u64 sums used at every
+    /// `fold`/`reduce` call site in this workspace (`searchsim::engine`).
+    #[test]
+    fn fold_reduce_matches_hand_rolled_parallel_reduction() {
+        // Deterministic pseudo-random vectors (splitmix-style).
+        let mut s = 0x2545_F491_4F6C_DD1Du64;
+        let items: Vec<Vec<u64>> = (0..257)
+            .map(|_| {
+                (0..24)
+                    .map(|_| {
+                        s = s
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        (s >> 33) % 10_000
+                    })
+                    .collect()
+            })
+            .collect();
+        let width = items[0].len();
+
+        let shim: Vec<u64> = items
+            .par_iter()
+            .map(|v| v.clone())
+            .fold(
+                || vec![0u64; width],
+                |mut acc, v| {
+                    for (a, x) in acc.iter_mut().zip(&v) {
+                        *a += x;
+                    }
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0u64; width],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(&b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+
+        for workers in [1usize, 2, 3, 8] {
+            assert_eq!(
+                shim,
+                chunked_sum_vectors(&items, workers),
+                "shim fold/reduce diverges from {workers}-way chunked reduction"
+            );
+        }
+    }
+
+    /// `collect` honors the thread override and returns identical output
+    /// for any worker count (single test fn: the override is global).
+    #[test]
+    fn collect_is_identical_across_thread_overrides() {
+        let expected: Vec<u64> = (0..1000u64).map(|x| x.wrapping_mul(x) ^ 0xABCD).collect();
+        for n in [1usize, 2, 3, 8] {
+            super::set_threads_override(Some(n));
+            let got: Vec<u64> = (0..1000u64)
+                .into_par_iter()
+                .map(|x| x.wrapping_mul(x) ^ 0xABCD)
+                .collect();
+            assert_eq!(got, expected, "collect diverged with {n} threads");
+        }
+        super::set_threads_override(None);
     }
 }
