@@ -1,0 +1,201 @@
+//! Machine-readable solver perf trajectory: times the search phase of the
+//! 8-wide portfolio (the PR 3 baseline, `speedup_vs_seed = 1`) against the
+//! cooperative decomposed solver (`partitions = 8`) on the
+//! `exp_scalability` sizes and emits one JSON record per `(bench, size)`
+//! to `BENCH_solver.json` (see EXPERIMENTS.md §"Perf trajectory").
+//!
+//! Modes:
+//! * default — measure and print the JSON array to stdout (the shell
+//!   wrapper `scripts/bench_to_json.sh` redirects it to the repo root);
+//! * `--check FILE` — measure, then compare against the committed
+//!   baseline `FILE`: exit 1 if any matching `(bench, size, threads)`
+//!   record regressed by more than 10% in `ns_per_iter`.
+//!
+//! `REX_QUICK=1` shrinks to the smallest size for smoke runs; the full
+//! size list is a superset, so quick records always have a baseline
+//! counterpart to diff against. Quick mode keeps the full iteration
+//! budget on purpose: the decomposed solver has fixed per-round costs
+//! (partitioning, sub-instance construction, boundary repair) that only
+//! amortize over a realistic number of iterations, so a scaled-down
+//! budget would inflate `ns_per_iter` and make the regression diff
+//! meaningless. The smallest size at full budget stays ~1 s. `REX_THREADS`
+//! (the rayon shim's knob) is recorded in each record.
+
+use rex_cluster::Objective;
+use rex_core::{run_search, SraConfig, SraProblem};
+use rex_obs::Recorder;
+use rex_workload::synthetic::{generate, DemandFamily, Placement, SynthConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One perf-trajectory record (the EXPERIMENTS.md §"Perf trajectory"
+/// schema; extra fields are informational).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Record {
+    /// Benchmark id: `portfolio_solve` (seed baseline) or
+    /// `decomposed_solve`.
+    bench: String,
+    /// Instance size as `machines x shards`.
+    size: String,
+    /// `REX_THREADS` the run was recorded under.
+    threads: usize,
+    /// Wall nanoseconds per executed LNS iteration.
+    ns_per_iter: f64,
+    /// Wall-clock speedup over the portfolio baseline at the same size
+    /// and iteration budget (`1.0` for the baseline itself).
+    speedup_vs_seed: f64,
+    /// Search wall time in nanoseconds.
+    wall_ns: u64,
+    /// Executed LNS iterations (all workers / partitions summed).
+    iterations: u64,
+    /// Final peak load of the best placement found.
+    peak: f64,
+    /// Final peak relative to the portfolio baseline's (quality bound:
+    /// the acceptance criterion wants ≤ 1.01).
+    peak_vs_seed: f64,
+}
+
+fn threads() -> usize {
+    std::env::var("REX_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Times one search (no planning/verification — those phases are identical
+/// for both methods) and returns `(wall_ns, iterations, final_peak)`.
+fn time_search(inst: &rex_cluster::Instance, cfg: &SraConfig) -> (u64, u64, f64) {
+    let mut problem = SraProblem::new(inst, cfg.objective);
+    problem.planner = cfg.planner;
+    let t = Instant::now();
+    let (best, iters, _, _) =
+        run_search(&problem, cfg, cfg.seed, &mut Recorder::noop()).expect("search must succeed");
+    let wall = t.elapsed().as_nanos() as u64;
+    (wall, iters, best.peak_load(inst))
+}
+
+fn measure() -> Vec<Record> {
+    let sizes: Vec<(usize, usize)> = if rex_bench::quick() {
+        vec![(32, 320)]
+    } else {
+        vec![(32, 320), (100, 1_000), (400, 4_000)]
+    };
+    // Not `scaled()`: see the module docs — quick mode trims sizes, never
+    // the budget, so ns_per_iter is comparable against the committed
+    // full-budget baseline.
+    let iters = 2_000u64;
+    let width = 8usize;
+    let threads = threads();
+
+    let mut out = Vec::new();
+    for &(m, s) in &sizes {
+        let inst = generate(&SynthConfig {
+            n_machines: m,
+            n_exchange: (m / 10).max(1),
+            n_shards: s,
+            stringency: 0.8,
+            family: DemandFamily::Correlated,
+            placement: Placement::Hotspot(0.4),
+            seed: 17,
+            ..Default::default()
+        })
+        .expect("generate");
+        let base = SraConfig {
+            iters,
+            seed: 17,
+            objective: Objective::pure(rex_cluster::ObjectiveKind::PeakLoad),
+            ..Default::default()
+        };
+        let size = format!("{m}x{s}");
+
+        let (p_wall, p_iters, p_peak) = time_search(
+            &inst,
+            &SraConfig {
+                workers: width,
+                ..base
+            },
+        );
+        out.push(Record {
+            bench: "portfolio_solve".into(),
+            size: size.clone(),
+            threads,
+            ns_per_iter: p_wall as f64 / p_iters.max(1) as f64,
+            speedup_vs_seed: 1.0,
+            wall_ns: p_wall,
+            iterations: p_iters,
+            peak: p_peak,
+            peak_vs_seed: 1.0,
+        });
+
+        let (d_wall, d_iters, d_peak) = time_search(
+            &inst,
+            &SraConfig {
+                partitions: width,
+                ..base
+            },
+        );
+        out.push(Record {
+            bench: "decomposed_solve".into(),
+            size,
+            threads,
+            ns_per_iter: d_wall as f64 / d_iters.max(1) as f64,
+            speedup_vs_seed: p_wall as f64 / d_wall.max(1) as f64,
+            wall_ns: d_wall,
+            iterations: d_iters,
+            peak: d_peak,
+            peak_vs_seed: d_peak / p_peak,
+        });
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let records = measure();
+    let json = serde_json::to_string_pretty(&records).expect("serialize");
+
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let path = args
+            .get(i + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_solver.json");
+        let baseline: Vec<Record> = serde_json::from_str(
+            &std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}")),
+        )
+        .expect("baseline must parse");
+        let mut failed = false;
+        for new in &records {
+            let Some(old) = baseline
+                .iter()
+                .find(|o| o.bench == new.bench && o.size == new.size && o.threads == new.threads)
+            else {
+                continue;
+            };
+            let ratio = new.ns_per_iter / old.ns_per_iter;
+            let verdict = if ratio > 1.10 {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            eprintln!(
+                "{:18} {:10} t{}: {:8.0} -> {:8.0} ns/iter ({:+.1}%) {}",
+                new.bench,
+                new.size,
+                new.threads,
+                old.ns_per_iter,
+                new.ns_per_iter,
+                100.0 * (ratio - 1.0),
+                verdict
+            );
+        }
+        if failed {
+            eprintln!("bench check FAILED: >10% ns_per_iter regression vs {path}");
+            std::process::exit(1);
+        }
+        eprintln!("bench check ok vs {path}");
+    } else {
+        println!("{json}");
+    }
+}

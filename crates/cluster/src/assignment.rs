@@ -367,9 +367,11 @@ impl Assignment {
 
     /// The peak load across all machines (the primary balance objective).
     pub fn peak_load(&self, inst: &Instance) -> f64 {
-        (0..inst.n_machines())
-            .map(|i| self.usage[i].max_ratio(&inst.machines[i].capacity))
-            .fold(0.0, f64::max)
+        crate::kernels::scan_with(inst.n_machines(), |i| {
+            self.usage[i].max_ratio(&inst.machines[i].capacity)
+        })
+        .peak
+        .max(0.0)
     }
 
     /// `(peak load, mean squared load)` in one pass.
@@ -378,16 +380,15 @@ impl Assignment {
     /// several machines tied at the peak, pure peak load is flat under any
     /// single improvement, while the mean square strictly rewards taking
     /// load off hot machines.
+    ///
+    /// Uses the chunked [`crate::kernels`] scan, so the result rounds
+    /// identically to a scan over a cached load vector — the in-place
+    /// solver state relies on that agreement.
     pub fn load_stats(&self, inst: &Instance) -> (f64, f64) {
-        let mut peak = 0.0f64;
-        let mut sumsq = 0.0f64;
-        #[allow(clippy::needless_range_loop)] // index used against two arrays
-        for i in 0..inst.n_machines() {
-            let l = self.usage[i].max_ratio(&inst.machines[i].capacity);
-            peak = peak.max(l);
-            sumsq += l * l;
-        }
-        (peak, sumsq / inst.n_machines() as f64)
+        let n = inst.n_machines();
+        let s =
+            crate::kernels::scan_with(n, |i| self.usage[i].max_ratio(&inst.machines[i].capacity));
+        (s.peak.max(0.0), s.sumsq / n as f64)
     }
 
     /// True if every machine's usage fits within its capacity.

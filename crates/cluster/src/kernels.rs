@@ -1,0 +1,209 @@
+//! Branch-free chunked scans over struct-of-arrays load vectors.
+//!
+//! The hot paths of the solver keep machine loads in a flat `Vec<f64>`
+//! (struct-of-arrays: one cache-friendly stream of normalized loads,
+//! instead of pointer-chasing per-machine `ResourceVec`s). Everything that
+//! rescans that vector — peak-load refreshes, `Σ loads²` resynchronization,
+//! balance reports — funnels through this module so the scan is written
+//! once, in a shape the compiler auto-vectorizes:
+//!
+//! * fixed-width chunks of [`LANES`] elements,
+//! * one independent accumulator per lane (no loop-carried dependency
+//!   across the whole vector, so the backend can keep `LANES` maxima /
+//!   partial sums in SIMD registers),
+//! * `f64::max`/`f64::min` instead of branches (they lower to
+//!   `maxsd`/`minsd` and vectorize cleanly).
+//!
+//! Determinism note: `max`/`min` are associative and commutative over the
+//! non-NaN loads used here, so lane order never changes the peak. The
+//! lane-strided summation of `sum`/`sumsq` *is* a fixed reassociation of
+//! the sequential sum — a different rounding than `iter().sum()`, but a
+//! pure function of the input, so results stay bit-identical across runs
+//! and thread counts. Every caller that must agree with another caller
+//! (state resync vs. full objective recompute) uses these kernels, so the
+//! two sides always round identically.
+
+/// Accumulator lanes per chunk. Wide enough for 4×AVX2 / 2×AVX-512
+/// unrolling; narrow enough that the remainder loop stays trivial.
+pub const LANES: usize = 8;
+
+/// Aggregate statistics of one load vector, computed in a single pass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoadScan {
+    /// Maximum element (`-inf` for an empty slice).
+    pub peak: f64,
+    /// Minimum element (`+inf` for an empty slice).
+    pub min: f64,
+    /// Sum of elements.
+    pub sum: f64,
+    /// Sum of squared elements.
+    pub sumsq: f64,
+}
+
+/// Scans `loads` once, branch-free, returning peak / min / sum / sumsq.
+pub fn scan(loads: &[f64]) -> LoadScan {
+    let mut acc = Lanes::new();
+    let mut chunks = loads.chunks_exact(LANES);
+    for c in &mut chunks {
+        for (i, &x) in c.iter().enumerate() {
+            acc.feed(i, x);
+        }
+    }
+    for (i, &x) in chunks.remainder().iter().enumerate() {
+        acc.feed(i, x);
+    }
+    acc.fold()
+}
+
+/// [`scan`] over loads produced on the fly: `load(i)` for `i < n`.
+///
+/// Feeds element `i` into lane `i % LANES`, exactly like the slice scan,
+/// so for the same values the result is **bit-identical** to [`scan`] —
+/// the property that lets `Assignment::load_stats` (which derives loads
+/// from usage vectors without a buffer) agree with a scan over the
+/// solver's cached load vector.
+pub fn scan_with(n: usize, mut load: impl FnMut(usize) -> f64) -> LoadScan {
+    let mut acc = Lanes::new();
+    let mut i = 0;
+    while i + LANES <= n {
+        for j in 0..LANES {
+            acc.feed(j, load(i + j));
+        }
+        i += LANES;
+    }
+    for j in 0..(n - i) {
+        acc.feed(j, load(i + j));
+    }
+    acc.fold()
+}
+
+/// Per-lane accumulators shared by [`scan`] and [`scan_with`]; one struct
+/// so the two paths cannot drift apart in accumulation order.
+struct Lanes {
+    maxs: [f64; LANES],
+    mins: [f64; LANES],
+    sums: [f64; LANES],
+    sqs: [f64; LANES],
+}
+
+impl Lanes {
+    #[inline]
+    fn new() -> Self {
+        Self {
+            maxs: [f64::NEG_INFINITY; LANES],
+            mins: [f64::INFINITY; LANES],
+            sums: [0.0; LANES],
+            sqs: [0.0; LANES],
+        }
+    }
+
+    #[inline]
+    fn feed(&mut self, lane: usize, x: f64) {
+        self.maxs[lane] = self.maxs[lane].max(x);
+        self.mins[lane] = self.mins[lane].min(x);
+        self.sums[lane] += x;
+        self.sqs[lane] += x * x;
+    }
+
+    #[inline]
+    fn fold(&self) -> LoadScan {
+        let mut out = LoadScan {
+            peak: self.maxs[0],
+            min: self.mins[0],
+            sum: self.sums[0],
+            sumsq: self.sqs[0],
+        };
+        for i in 1..LANES {
+            out.peak = out.peak.max(self.maxs[i]);
+            out.min = out.min.min(self.mins[i]);
+            out.sum += self.sums[i];
+            out.sumsq += self.sqs[i];
+        }
+        out
+    }
+}
+
+/// Peak (maximum) of a non-negative load vector; `0.0` when empty. This is
+/// the identity the solver state uses (loads are normalized utilizations,
+/// never negative).
+#[inline]
+pub fn peak(loads: &[f64]) -> f64 {
+    scan(loads).peak.max(0.0)
+}
+
+/// Peak and `Σ loads²` of a non-negative load vector in one pass.
+#[inline]
+pub fn peak_and_sumsq(loads: &[f64]) -> (f64, f64) {
+    let s = scan(loads);
+    (s.peak.max(0.0), s.sumsq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(loads: &[f64]) -> LoadScan {
+        LoadScan {
+            peak: loads.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            min: loads.iter().copied().fold(f64::INFINITY, f64::min),
+            sum: loads.iter().sum(),
+            sumsq: loads.iter().map(|x| x * x).sum(),
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_varied_lengths() {
+        // Deterministic pseudo-loads; lengths straddle the chunk width.
+        for n in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 64, 100, 1000] {
+            let loads: Vec<f64> = (0..n)
+                .map(|i| ((i * 2654435761 % 1000) as f64) / 1000.0)
+                .collect();
+            let got = scan(&loads);
+            let want = reference(&loads);
+            assert_eq!(got.peak, want.peak, "peak n={n}");
+            assert_eq!(got.min, want.min, "min n={n}");
+            assert!((got.sum - want.sum).abs() < 1e-9, "sum n={n}");
+            assert!((got.sumsq - want.sumsq).abs() < 1e-9, "sumsq n={n}");
+        }
+    }
+
+    #[test]
+    fn scan_is_bit_deterministic() {
+        let loads: Vec<f64> = (0..321).map(|i| (i as f64 * 0.7).sin().abs()).collect();
+        let a = scan(&loads);
+        let b = scan(&loads);
+        assert_eq!(a.peak.to_bits(), b.peak.to_bits());
+        assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+        assert_eq!(a.sumsq.to_bits(), b.sumsq.to_bits());
+    }
+
+    #[test]
+    fn scan_with_is_bit_identical_to_scan() {
+        for n in [0usize, 5, 8, 13, 64, 257] {
+            let loads: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos().abs()).collect();
+            let a = scan(&loads);
+            let b = scan_with(n, |i| loads[i]);
+            assert_eq!(a.peak.to_bits(), b.peak.to_bits(), "n={n}");
+            assert_eq!(a.min.to_bits(), b.min.to_bits(), "n={n}");
+            assert_eq!(a.sum.to_bits(), b.sum.to_bits(), "n={n}");
+            assert_eq!(a.sumsq.to_bits(), b.sumsq.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn peak_of_empty_is_zero() {
+        assert_eq!(peak(&[]), 0.0);
+        let (p, s) = peak_and_sumsq(&[]);
+        assert_eq!(p, 0.0);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn peak_exact_on_ties() {
+        // max is exact (no rounding), regardless of lane placement.
+        let mut loads = vec![0.25; 40];
+        loads[13] = 0.75;
+        loads[29] = 0.75;
+        assert_eq!(peak(&loads), 0.75);
+    }
+}

@@ -25,20 +25,24 @@
 pub mod assignment;
 pub mod error;
 pub mod instance;
+pub mod kernels;
 pub mod machine;
 pub mod metrics;
 pub mod migration;
 pub mod objective;
+pub mod partition;
 pub mod resources;
 pub mod shard;
 
 pub use assignment::{Assignment, UndoLog};
 pub use error::ClusterError;
 pub use instance::{Instance, InstanceBuilder};
+pub use kernels::LoadScan;
 pub use machine::{Machine, MachineId};
 pub use metrics::BalanceReport;
 pub use migration::{plan_migration, verify_schedule, MigrationPlan, Move, PlannerConfig};
 pub use objective::{Objective, ObjectiveKind};
+pub use partition::{partition_fleet, PartitionSpec};
 pub use resources::{ResourceVec, MAX_DIMS};
 pub use shard::{Shard, ShardId};
 

@@ -36,16 +36,16 @@ impl BalanceReport {
         Self::from_loads(&asg.loads(inst))
     }
 
-    /// Computes the report from a precomputed load vector.
+    /// Computes the report from a precomputed load vector, in one chunked
+    /// [`crate::kernels`] pass.
     pub fn from_loads(loads: &[f64]) -> Self {
         assert!(!loads.is_empty(), "cannot summarize zero machines");
         let n = loads.len() as f64;
-        let sum: f64 = loads.iter().sum();
-        let sumsq: f64 = loads.iter().map(|x| x * x).sum();
+        let s = crate::kernels::scan(loads);
+        let (sum, sumsq) = (s.sum, s.sumsq);
         let mean = sum / n;
         let var = (sumsq / n - mean * mean).max(0.0);
-        let peak = loads.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let min = loads.iter().cloned().fold(f64::INFINITY, f64::min);
+        let (peak, min) = (s.peak, s.min);
         let jain = if sumsq > 0.0 {
             sum * sum / (n * sumsq)
         } else {

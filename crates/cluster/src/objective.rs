@@ -53,9 +53,11 @@ impl Objective {
         match self.kind {
             ObjectiveKind::PeakLoad => asg.peak_load(inst),
             ObjectiveKind::L2Imbalance => {
-                let loads = asg.loads(inst);
-                let n = loads.len() as f64;
-                (loads.iter().map(|x| x * x).sum::<f64>() / n).sqrt()
+                let n = inst.n_machines();
+                let s = crate::kernels::scan_with(n, |i| {
+                    asg.machine_load(inst, crate::machine::MachineId::from(i))
+                });
+                (s.sumsq / n as f64).sqrt()
             }
         }
     }

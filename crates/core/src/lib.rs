@@ -34,12 +34,14 @@
 //! Entry point: [`sra::solve`] (serial or parallel portfolio, controlled by
 //! [`sra::SraConfig::workers`]).
 
+pub mod decomposed;
 pub mod destroy;
 pub mod problem;
 pub mod repair;
 pub mod sra;
 pub mod state;
 
+pub use decomposed::decomposed_search;
 pub use destroy::{
     default_destroys, default_destroys_in_place, MachineExchangeRemoval, RandomRemoval,
     RelatedRemoval, WorstMachineRemoval,
@@ -48,5 +50,7 @@ pub use problem::{SraPartial, SraProblem};
 pub use repair::{
     default_repairs, default_repairs_in_place, GreedyBestFit, RandomizedGreedy, Regret2Insert,
 };
-pub use sra::{solve, solve_traced, solve_with_drain, AcceptanceKind, SraConfig, SraResult};
+pub use sra::{
+    run_search, solve, solve_traced, solve_with_drain, AcceptanceKind, SraConfig, SraResult,
+};
 pub use state::SraState;

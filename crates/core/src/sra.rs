@@ -58,6 +58,11 @@ pub struct SraConfig {
     /// Parallel portfolio width; `1` runs the serial engine (which also
     /// records operator stats and the convergence trajectory).
     pub workers: usize,
+    /// Cooperative decomposition width: `> 1` replaces the search with the
+    /// partition → parallel sub-solve → merge → boundary-repair rounds of
+    /// [`crate::decomposed`] (clamped to half the machine count), and
+    /// `workers` is ignored. `0` or `1` keeps the monolithic search.
+    pub partitions: usize,
     /// Deterministic seed.
     pub seed: u64,
     /// Migration-planner configuration.
@@ -76,6 +81,7 @@ impl Default for SraConfig {
             intensity: (0.02, 0.25),
             destroy_cap: 64,
             workers: 1,
+            partitions: 0,
             seed: 42,
             planner: PlannerConfig::default(),
             log_trajectory: false,
@@ -227,8 +233,11 @@ pub fn solve_traced(
             let strict = SraProblem::new(inst, cfg.objective)
                 .with_drain(drain)
                 .with_plan_every(cfg.planner);
+            // The fallback must stay monolithic: plan-every feasibility is
+            // a global property the decomposed merge cannot track.
             let strict_cfg = SraConfig {
                 iters: (cfg.iters / 4).max(500),
+                partitions: 0,
                 ..*cfg
             };
             if rec.is_active() {
@@ -305,15 +314,21 @@ pub fn solve_traced(
     })
 }
 
-/// Runs the serial engine or the parallel portfolio. Both paths use the
-/// allocation-free in-place protocol (`InPlaceEngine` over `SraState`); the
-/// clone-based engine remains available for the ablation benches.
-fn run_search(
+/// Runs the search phase: the cooperative decomposed solver when
+/// `cfg.partitions > 1`, otherwise the serial engine or the parallel
+/// portfolio. All paths use the allocation-free in-place protocol
+/// (`InPlaceEngine` over `SraState`); the clone-based engine remains
+/// available for the ablation benches. Public so the benches can time the
+/// search without the planning/verification phases.
+pub fn run_search(
     problem: &SraProblem<'_>,
     cfg: &SraConfig,
     seed: u64,
     rec: &mut Recorder,
 ) -> Result<(Assignment, u64, Option<EngineStats>, Vec<TrajectoryPoint>), ClusterError> {
+    if cfg.partitions > 1 {
+        return crate::decomposed::decomposed_search(problem, cfg, seed, rec);
+    }
     let initial = starting_solution(problem)?;
     let lns_cfg = LnsConfig {
         max_iters: cfg.iters,
@@ -357,7 +372,7 @@ fn run_search(
 /// greedily evacuated first (largest first, best admissible host), because
 /// the engine requires a feasible start and feasibility now demands the
 /// drained machines be vacant.
-fn starting_solution(problem: &SraProblem<'_>) -> Result<Assignment, ClusterError> {
+pub(crate) fn starting_solution(problem: &SraProblem<'_>) -> Result<Assignment, ClusterError> {
     let inst = problem.inst;
     let mut asg = Assignment::from_initial(inst);
     let mut to_evacuate: Vec<_> = (0..inst.n_machines())

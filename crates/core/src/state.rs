@@ -224,26 +224,30 @@ impl SraState {
         }
     }
 
-    /// The current peak load, rescanning the cached loads if stale.
+    /// The current peak load, rescanning the cached loads if stale. The
+    /// rescan is the chunked branch-free [`rex_cluster::kernels`] pass over
+    /// the flat struct-of-arrays load vector.
     fn current_peak(&mut self) -> f64 {
         if self.peak_dirty {
-            self.peak = self.loads.iter().copied().fold(0.0, f64::max);
+            self.peak = rex_cluster::kernels::peak(&self.loads);
             self.peak_dirty = false;
         }
         self.peak
     }
 
     /// Rebuilds every cache from the assignment (drift resynchronization).
+    ///
+    /// The scalar scan uses the same kernel as `Assignment::load_stats`, so
+    /// the resynced `sumsq` rounds identically to a full objective
+    /// recompute.
     fn resync(&mut self, inst: &Instance) {
-        let mut sumsq = 0.0;
         for i in 0..inst.n_machines() {
             let m = MachineId::from(i);
-            let l = self.asg.usage(m).max_ratio(inst.capacity(m));
-            self.loads[i] = l;
-            sumsq += l * l;
+            self.loads[i] = self.asg.usage(m).max_ratio(inst.capacity(m));
         }
+        let (peak, sumsq) = rex_cluster::kernels::peak_and_sumsq(&self.loads);
         self.sumsq = sumsq;
-        self.peak = self.loads.iter().copied().fold(0.0, f64::max);
+        self.peak = peak;
         self.peak_dirty = false;
         self.vacant = self.asg.vacant_count();
         self.mig_cost = self

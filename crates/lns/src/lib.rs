@@ -39,6 +39,7 @@
 //! per iteration.
 
 pub mod accept;
+pub mod cooperative;
 pub mod engine;
 pub mod portfolio;
 pub mod problem;
@@ -46,6 +47,7 @@ pub mod toy;
 pub mod weights;
 
 pub use accept::{Acceptance, HillClimb, RecordToRecord, SimulatedAnnealing};
+pub use cooperative::{cooperative_round, round_seed, RoundJob};
 pub use engine::{
     EngineStats, InPlaceEngine, LnsConfig, LnsEngine, SearchOutcome, TrajectoryPoint,
 };

@@ -77,12 +77,19 @@ pub fn portfolio_search<P>(
 ) -> PortfolioOutcome<P::Solution>
 where
     P: LnsProblem + Sync,
-    P::Solution: Sync,
+    P::Solution: Send,
 {
     assert!(cfg.workers >= 1, "portfolio needs at least one worker");
-    let outcomes: Vec<(usize, SearchOutcome<P::Solution>)> = (0..cfg.workers)
+    // Per-worker starting solutions and the whole seed stream are built
+    // *before* the parallel section: an N-worker solve clones the initial
+    // solution exactly N times, and the closure does no hidden setup
+    // allocations beyond its operator boxes.
+    let jobs: Vec<(usize, P::Solution, u64)> = (0..cfg.workers)
+        .map(|w| (w, initial.clone(), worker_seed(base_seed, w)))
+        .collect();
+    let outcomes: Vec<(usize, SearchOutcome<P::Solution>)> = jobs
         .into_par_iter()
-        .map(|w| {
+        .map(|(w, start, seed)| {
             let engine = LnsEngine::new(
                 problem,
                 make_destroys(),
@@ -90,7 +97,7 @@ where
                 make_acceptance(),
                 cfg.engine,
             );
-            (w, engine.run(initial.clone(), worker_seed(base_seed, w)))
+            (w, engine.run(start, seed))
         })
         .collect();
 
@@ -136,12 +143,17 @@ pub fn portfolio_search_in_place<P>(
 ) -> PortfolioOutcome<P::Solution>
 where
     P: LnsProblemInPlace + Sync,
-    P::Solution: Sync,
+    P::Solution: Send,
 {
     assert!(cfg.workers >= 1, "portfolio needs at least one worker");
-    let outcomes: Vec<(usize, SearchOutcome<P::Solution>)> = (0..cfg.workers)
+    // Hoisted per-worker setup (see `portfolio_search`): N clones total,
+    // seed stream fixed before any thread runs.
+    let jobs: Vec<(usize, P::Solution, u64)> = (0..cfg.workers)
+        .map(|w| (w, initial.clone(), worker_seed(base_seed, w)))
+        .collect();
+    let outcomes: Vec<(usize, SearchOutcome<P::Solution>)> = jobs
         .into_par_iter()
-        .map(|w| {
+        .map(|(w, start, seed)| {
             let engine = InPlaceEngine::new(
                 problem,
                 make_destroys(),
@@ -149,7 +161,7 @@ where
                 make_acceptance(),
                 cfg.engine,
             );
-            (w, engine.run(initial.clone(), worker_seed(base_seed, w)))
+            (w, engine.run(start, seed))
         })
         .collect();
 
@@ -203,7 +215,7 @@ pub fn portfolio_search_in_place_recorded<P>(
 ) -> PortfolioOutcome<P::Solution>
 where
     P: LnsProblemInPlace + Sync,
-    P::Solution: Sync,
+    P::Solution: Send,
 {
     if rec.is_active() {
         rec.span_open(

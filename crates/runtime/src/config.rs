@@ -69,6 +69,12 @@ pub struct ControllerConfig {
     /// so the controller taxes movement much harder than the one-shot
     /// solver default of 0.01.
     pub sra_lambda: f64,
+    /// Cooperative decomposition width for SRA solves (`SraConfig::
+    /// partitions`): `> 1` splits the fleet into that many neighborhoods
+    /// solved in parallel with recombination rounds; `0` keeps the
+    /// monolithic search. Worth enabling on large fleets where full-fleet
+    /// LNS scans dominate the controller's planning time.
+    pub sra_partitions: usize,
 }
 
 impl Default for ControllerConfig {
@@ -82,6 +88,7 @@ impl Default for ControllerConfig {
             cooldown_ticks: 400,
             sra_iters: 3_000,
             sra_lambda: 0.25,
+            sra_partitions: 0,
         }
     }
 }

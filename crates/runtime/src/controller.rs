@@ -102,6 +102,7 @@ pub fn plan_load_rebalance(
                 },
                 seed,
                 workers: 1,
+                partitions: ctrl.sra_partitions,
                 ..Default::default()
             };
             let res = solve_with_drain(snapshot, &cfg, failed).map_err(|e| e.to_string())?;

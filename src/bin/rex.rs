@@ -196,6 +196,7 @@ fn cmd_solve(args: &HashMap<String, String>) -> Result<(), String> {
     let cfg = SraConfig {
         iters: parse(get_or(args, "iters", "10000"), "u64")?,
         workers: parse(get_or(args, "workers", "1"), "usize")?,
+        partitions: parse(get_or(args, "partitions", "0"), "usize")?,
         seed: parse(get_or(args, "seed", "42"), "u64")?,
         ..Default::default()
     };
@@ -414,6 +415,7 @@ fn cmd_trace(args: &HashMap<String, String>) -> Result<(), String> {
     let cfg = SraConfig {
         iters: parse(get_or(args, "iters", "4000"), "u64")?,
         workers: parse(get_or(args, "workers", "1"), "usize")?,
+        partitions: parse(get_or(args, "partitions", "0"), "usize")?,
         seed,
         ..Default::default()
     };
@@ -458,7 +460,15 @@ fn spec_of(cmd: &str) -> Option<ArgSpec> {
             switches: &[],
         },
         "solve" => ArgSpec {
-            values: &["inst", "iters", "workers", "seed", "out", "drain"],
+            values: &[
+                "inst",
+                "iters",
+                "workers",
+                "partitions",
+                "seed",
+                "out",
+                "drain",
+            ],
             switches: &[],
         },
         "baseline" => ArgSpec {
@@ -494,7 +504,15 @@ fn spec_of(cmd: &str) -> Option<ArgSpec> {
         },
         "trace" => ArgSpec {
             values: &[
-                "inst", "machines", "exchange", "shards", "iters", "workers", "seed", "out",
+                "inst",
+                "machines",
+                "exchange",
+                "shards",
+                "iters",
+                "workers",
+                "partitions",
+                "seed",
+                "out",
             ],
             switches: &[],
         },
@@ -510,7 +528,7 @@ const USAGE: &str =
            [--shards N] [--dims N] [--stringency F] [--alpha F] [--seed N]
            [--profile homogeneous|two-tier|big-exchange]
   inspect  --inst FILE
-  solve    --inst FILE [--iters N] [--workers N] [--seed N] [--out FILE]
+  solve    --inst FILE [--iters N] [--workers N] [--partitions K] [--seed N] [--out FILE]
            [--drain M1,M2,...]   (machines to decommission: must end vacant)
   baseline --inst FILE [--method greedy|local-search|ffd]
   verify   --inst FILE --solution FILE
@@ -520,7 +538,7 @@ const USAGE: &str =
            [--spike-at T [--spike-duration N] [--spike-factor F] [--spike-fraction F]]
            [--drift-every N] [--no-drift] [--out FILE] [--trace FILE] [--quiet]
   trace    [--inst FILE | --machines N --shards N --exchange N]
-           [--iters N] [--workers N] [--seed N] [--out FILE]
+           [--iters N] [--workers N] [--partitions K] [--seed N] [--out FILE]
            (one traced SRA solve: prints the roll-up, --out writes JSONL)";
 
 fn main() -> ExitCode {
