@@ -139,15 +139,12 @@ fn bench_compress(c: &mut Criterion) {
     });
 }
 
-/// Head-to-head iteration throughput of the clone-based ALNS engine vs the
-/// allocation-free in-place engine on a stringent 16-machine / 120-shard
-/// instance — the size where per-iteration clones of the assignment (plus
-/// its per-machine usage vectors) dominate the clone engine's profile.
+/// Iteration throughput of the unified engine spine (`Engine<InPlaceModel>`)
+/// on a stringent 16-machine / 120-shard instance — the allocation-free
+/// undo-log hot loop that replaced the per-iteration-clone engine.
 fn bench_lns_iteration_throughput(c: &mut Criterion) {
-    use rex_core::{
-        default_destroys, default_destroys_in_place, default_repairs, default_repairs_in_place,
-    };
-    use rex_lns::{InPlaceEngine, LnsConfig, LnsEngine, LnsProblem, SimulatedAnnealing};
+    use rex_core::{default_destroys_in_place, default_repairs_in_place};
+    use rex_lns::{Engine, LnsConfig, LnsProblem, SimulatedAnnealing};
 
     let inst = generate(&SynthConfig {
         n_machines: 16,
@@ -160,9 +157,8 @@ fn bench_lns_iteration_throughput(c: &mut Criterion) {
         ..Default::default()
     })
     .expect("generate");
-    // Plannability gating of new bests is disabled: `plan_migration` costs
-    // the same in both engines and would drown the per-iteration work this
-    // bench isolates.
+    // Plannability gating of new bests is disabled: `plan_migration` would
+    // drown the per-iteration work this bench isolates.
     let problem = SraProblem::new(&inst, Objective::default()).without_plan_checks();
     let initial = Assignment::from_initial(&inst);
     assert!(
@@ -179,28 +175,17 @@ fn bench_lns_iteration_throughput(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("lns_hot_loop");
     group.sample_size(10);
-    group.bench_function("clone_engine_2k_iters", |bench| {
+    group.bench_function("spine_engine_2k_iters", |bench| {
         bench.iter(|| {
-            let engine = LnsEngine::new(
+            let engine = Engine::in_place(
                 &problem,
-                default_destroys(64),
-                default_repairs(),
-                Box::new(SimulatedAnnealing::for_normalized_loads(ITERS as usize)),
-                cfg,
-            );
-            black_box(engine.run(initial.clone(), 42).best_objective)
-        })
-    });
-    group.bench_function("in_place_engine_2k_iters", |bench| {
-        bench.iter(|| {
-            let engine = InPlaceEngine::new(
-                &problem,
+                initial.clone(),
                 default_destroys_in_place(64),
                 default_repairs_in_place(),
                 Box::new(SimulatedAnnealing::for_normalized_loads(ITERS as usize)),
                 cfg,
             );
-            black_box(engine.run(initial.clone(), 42).best_objective)
+            black_box(engine.run(42).best_objective)
         })
     });
     group.finish();
@@ -214,7 +199,7 @@ fn bench_lns_iteration_throughput(c: &mut Criterion) {
 /// DESIGN.md §8's "disabled tracing is free" claim is this group.
 fn bench_obs_overhead(c: &mut Criterion) {
     use rex_core::{default_destroys_in_place, default_repairs_in_place};
-    use rex_lns::{InPlaceEngine, LnsConfig, LnsProblem, SimulatedAnnealing};
+    use rex_lns::{Engine, LnsConfig, LnsProblem, SimulatedAnnealing};
     use rex_obs::Recorder;
 
     let inst = generate(&SynthConfig {
@@ -239,8 +224,9 @@ fn bench_obs_overhead(c: &mut Criterion) {
         ..Default::default()
     };
     let make_engine = || {
-        InPlaceEngine::new(
+        Engine::in_place(
             &problem,
+            initial.clone(),
             default_destroys_in_place(64),
             default_repairs_in_place(),
             Box::new(SimulatedAnnealing::for_normalized_loads(ITERS as usize)),
@@ -251,26 +237,18 @@ fn bench_obs_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("obs_overhead");
     group.sample_size(10);
     group.bench_function("in_place_plain_2k_iters", |bench| {
-        bench.iter(|| black_box(make_engine().run(initial.clone(), 42).best_objective))
+        bench.iter(|| black_box(make_engine().run(42).best_objective))
     });
     group.bench_function("in_place_noop_recorder_2k_iters", |bench| {
         bench.iter(|| {
             let mut rec = Recorder::noop();
-            black_box(
-                make_engine()
-                    .run_recorded(initial.clone(), 42, &mut rec)
-                    .best_objective,
-            )
+            black_box(make_engine().run_recorded(42, &mut rec).best_objective)
         })
     });
     group.bench_function("in_place_active_recorder_2k_iters", |bench| {
         bench.iter(|| {
             let mut rec = Recorder::active();
-            black_box(
-                make_engine()
-                    .run_recorded(initial.clone(), 42, &mut rec)
-                    .best_objective,
-            )
+            black_box(make_engine().run_recorded(42, &mut rec).best_objective)
         })
     });
     group.finish();

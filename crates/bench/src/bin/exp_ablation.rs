@@ -12,11 +12,11 @@ use rex_core::{
     GreedyBestFit, MachineExchangeRemoval, RandomRemoval, RandomizedGreedy, Regret2Insert,
     RelatedRemoval, SraProblem, WorstMachineRemoval,
 };
-use rex_lns::{Destroy, LnsConfig, LnsEngine, Repair, SimulatedAnnealing};
+use rex_lns::{DestroyInPlace, Engine, LnsConfig, RepairInPlace, SimulatedAnnealing};
 use rex_workload::synthetic::{generate, DemandFamily, Placement, SynthConfig};
 
-type D<'a> = Box<dyn Destroy<SraProblem<'a>>>;
-type R<'a> = Box<dyn Repair<SraProblem<'a>>>;
+type D<'a> = Box<dyn DestroyInPlace<SraProblem<'a>>>;
+type R<'a> = Box<dyn RepairInPlace<SraProblem<'a>>>;
 
 fn destroys<'a>(skip: Option<&str>) -> Vec<D<'a>> {
     let cap = 64;
@@ -41,9 +41,16 @@ fn repairs<'a>(only: Option<&str>) -> Vec<R<'a>> {
     }
 }
 
-fn run<'a>(problem: &SraProblem<'a>, ds: Vec<D<'a>>, rs: Vec<R<'a>>, iters: u64, seed: u64) -> f64 {
-    let engine = LnsEngine::new(
+fn run<'a>(
+    problem: &'a SraProblem<'a>,
+    ds: Vec<D<'a>>,
+    rs: Vec<R<'a>>,
+    iters: u64,
+    seed: u64,
+) -> f64 {
+    let engine = Engine::in_place(
         problem,
+        Assignment::from_initial(problem.inst),
         ds,
         rs,
         Box::new(SimulatedAnnealing::for_normalized_loads(iters as usize)),
@@ -52,9 +59,7 @@ fn run<'a>(problem: &SraProblem<'a>, ds: Vec<D<'a>>, rs: Vec<R<'a>>, iters: u64,
             ..Default::default()
         },
     );
-    let initial = Assignment::from_initial(problem.inst);
-    let out = engine.run(initial, seed);
-    out.best_objective
+    engine.run(seed).best_objective
 }
 
 fn main() {
@@ -107,8 +112,9 @@ fn main() {
     {
         let mut raw = SraProblem::new(&inst, Objective::pure(rex_cluster::ObjectiveKind::PeakLoad));
         raw.smoothing = 0.0;
-        let engine = LnsEngine::new(
+        let engine = Engine::in_place(
             &raw,
+            Assignment::from_initial(&inst),
             destroys(None),
             repairs(None),
             Box::new(SimulatedAnnealing::for_normalized_loads(iters as usize)),
@@ -117,7 +123,7 @@ fn main() {
                 ..Default::default()
             },
         );
-        let out = engine.run(Assignment::from_initial(&inst), seed);
+        let out = engine.run(seed);
         let (peak, msq) = out.best.load_stats(&inst);
         push(
             "without plateau smoothing".into(),

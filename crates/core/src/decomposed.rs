@@ -56,8 +56,8 @@ use rex_cluster::{
     partition_fleet, Assignment, ClusterError, Instance, Machine, MachineId, Shard, ShardId,
 };
 use rex_lns::{
-    cooperative_round, round_seed, EngineStats, InPlaceEngine, LnsConfig, LnsProblem, RoundJob,
-    TrajectoryPoint,
+    cooperative_round, round_seed, Engine, EngineStats, InPlaceModel, LnsConfig, LnsProblem,
+    RoundJob, TrajectoryPoint,
 };
 use rex_obs::Recorder;
 
@@ -226,13 +226,17 @@ pub fn decomposed_search(
                 sp
             })
             .collect();
-        let jobs: Vec<RoundJob<'_, SraProblem<'_>>> = sub_problems
+        let jobs: Vec<RoundJob<InPlaceModel<'_, SraProblem<'_>>>> = sub_problems
             .iter()
             .zip(&subs)
             .map(|(sp, sc)| {
                 Ok(RoundJob {
-                    problem: sp,
-                    start: Assignment::from_placement(&sc.inst, sc.start.clone())?,
+                    model: InPlaceModel::new(
+                        sp,
+                        Assignment::from_placement(&sc.inst, sc.start.clone())?,
+                        default_destroys_in_place(cfg.destroy_cap),
+                        default_repairs_in_place(),
+                    ),
                     seed: round_seed(seed, round, sc.part_idx),
                 })
             })
@@ -244,13 +248,7 @@ pub fn decomposed_search(
             intensity: cfg.intensity,
             ..Default::default()
         };
-        let outcomes = cooperative_round(
-            jobs,
-            engine_cfg,
-            || default_destroys_in_place(cfg.destroy_cap),
-            default_repairs_in_place,
-            || cfg.acceptance.build(sub_iters),
-        );
+        let outcomes = cooperative_round(jobs, engine_cfg, || cfg.acceptance.build(sub_iters));
 
         // Merge: splice every partition's placement back in. Disjointness
         // makes this conflict-free; each sub-solution is capacity-feasible
@@ -295,14 +293,15 @@ pub fn decomposed_search(
             intensity: cfg.intensity,
             ..Default::default()
         };
-        let engine = InPlaceEngine::new(
+        let engine = Engine::in_place(
             problem,
+            merged,
             default_destroys_in_place(cfg.destroy_cap),
             default_repairs_in_place(),
             cfg.acceptance.build(boundary_iters),
             boundary_cfg,
         );
-        let out = engine.run_recorded(merged, round_seed(seed, round, k_eff), rec);
+        let out = engine.run_recorded(round_seed(seed, round, k_eff), rec);
         iterations += out.iterations;
         current = out.best;
 

@@ -4,14 +4,19 @@
 //! engine-supplied intensity. The cap keeps destroy size bounded on large
 //! instances — repairing hundreds of shards per iteration would dominate
 //! the iteration budget without improving search quality.
+//!
+//! All operators implement the in-place edit protocol: they edit one
+//! [`SraState`] (recording every detach in its undo log) and draw all
+//! scratch space from the state's persistent buffers, so the steady-state
+//! hot loop allocates nothing.
 
-use crate::problem::{SraPartial, SraProblem};
+use crate::problem::SraProblem;
 use crate::state::SraState;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::RngExt;
-use rex_cluster::{Assignment, MachineId, ShardId};
-use rex_lns::{Destroy, DestroyInPlace};
+use rex_cluster::{MachineId, ShardId};
+use rex_lns::DestroyInPlace;
 
 /// Number of shards to remove given intensity, instance size, and cap.
 ///
@@ -31,212 +36,6 @@ pub struct RandomRemoval {
     /// Maximum shards detached per invocation.
     pub cap: usize,
 }
-
-impl Destroy<SraProblem<'_>> for RandomRemoval {
-    fn name(&self) -> &str {
-        "random-removal"
-    }
-
-    fn destroy(
-        &self,
-        p: &SraProblem<'_>,
-        sol: &Assignment,
-        intensity: f64,
-        rng: &mut StdRng,
-    ) -> SraPartial {
-        let n = p.inst.n_shards();
-        let k = removal_count(n, intensity, self.cap);
-        let mut asg = sol.clone();
-        let picks = rand::seq::index::sample(rng, n, k);
-        let mut removed = Vec::with_capacity(k);
-        for i in picks {
-            let s = ShardId::from(i);
-            asg.detach_shard(p.inst, s);
-            removed.push(s);
-        }
-        SraPartial { asg, removed }
-    }
-}
-
-/// Detaches shards from the hottest machines: repeatedly picks one of the
-/// top-3 most-loaded machines and detaches its largest shard. This is the
-/// operator that directly attacks the peak-load objective.
-#[derive(Clone, Copy, Debug)]
-pub struct WorstMachineRemoval {
-    /// Maximum shards detached per invocation.
-    pub cap: usize,
-}
-
-impl Destroy<SraProblem<'_>> for WorstMachineRemoval {
-    fn name(&self) -> &str {
-        "worst-machine"
-    }
-
-    fn destroy(
-        &self,
-        p: &SraProblem<'_>,
-        sol: &Assignment,
-        intensity: f64,
-        rng: &mut StdRng,
-    ) -> SraPartial {
-        let inst = p.inst;
-        let k = removal_count(inst.n_shards(), intensity, self.cap);
-        let mut asg = sol.clone();
-        let mut removed = Vec::with_capacity(k);
-        for _ in 0..k {
-            // Rank occupied machines by current load; sample among the top 3
-            // so repeated invocations explore different evacuation patterns.
-            let mut hot: Vec<(f64, MachineId)> = (0..inst.n_machines())
-                .map(MachineId::from)
-                .filter(|&m| !asg.shards_on(m).is_empty())
-                .map(|m| (asg.machine_load(inst, m), m))
-                .collect();
-            if hot.is_empty() {
-                break;
-            }
-            hot.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-            let pick = rng.random_range(0..hot.len().min(3));
-            let machine = hot[pick].1;
-            // Detach the shard with the largest demand norm on that machine.
-            let s = *asg
-                .shards_on(machine)
-                .iter()
-                .max_by(|a, b| {
-                    inst.demand(**a)
-                        .norm()
-                        .partial_cmp(&inst.demand(**b).norm())
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .expect("machine is occupied");
-            asg.detach_shard(inst, s);
-            removed.push(s);
-        }
-        SraPartial { asg, removed }
-    }
-}
-
-/// Shaw-style related removal: detaches shards whose demand vectors are
-/// similar to a random seed shard's. Similar shards are interchangeable, so
-/// re-inserting a related group gives the repair real room to rearrange.
-#[derive(Clone, Copy, Debug)]
-pub struct RelatedRemoval {
-    /// Maximum shards detached per invocation.
-    pub cap: usize,
-}
-
-impl Destroy<SraProblem<'_>> for RelatedRemoval {
-    fn name(&self) -> &str {
-        "related-removal"
-    }
-
-    fn destroy(
-        &self,
-        p: &SraProblem<'_>,
-        sol: &Assignment,
-        intensity: f64,
-        rng: &mut StdRng,
-    ) -> SraPartial {
-        let inst = p.inst;
-        let n = inst.n_shards();
-        let k = removal_count(n, intensity, self.cap);
-        let seed = ShardId::from(rng.random_range(0..n));
-        let seed_demand = *inst.demand(seed);
-
-        // Rank all shards by distance to the seed, then detach a random k of
-        // the nearest 2k (the randomization prevents the operator from
-        // detaching the identical set every time).
-        let mut ranked: Vec<(f64, u32)> = (0..n as u32)
-            .map(|i| (seed_demand.distance(inst.demand(ShardId(i))), i))
-            .collect();
-        let pool = (2 * k).min(n);
-        ranked.select_nth_unstable_by(pool - 1, |a, b| {
-            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let mut pool_ids: Vec<u32> = ranked[..pool].iter().map(|&(_, i)| i).collect();
-        pool_ids.shuffle(rng);
-
-        let mut asg = sol.clone();
-        let mut removed = Vec::with_capacity(k);
-        for &i in pool_ids.iter().take(k) {
-            let s = ShardId(i);
-            asg.detach_shard(inst, s);
-            removed.push(s);
-        }
-        SraPartial { asg, removed }
-    }
-}
-
-/// Evacuates one occupied machine entirely.
-///
-/// This is the **resource-exchange move**: with the machine empty, the
-/// repair pass may leave it vacant, making it eligible for return in place
-/// of a borrowed exchange machine — the membership exchange the paper's
-/// scheme allows. Machines with fewer shards are preferred (cheaper to
-/// evacuate); exchange machines can be evacuated too, which undoes an
-/// earlier occupation.
-#[derive(Clone, Copy, Debug)]
-pub struct MachineExchangeRemoval {
-    /// Upper bound on the number of shards the chosen machine may host.
-    pub cap: usize,
-}
-
-impl Destroy<SraProblem<'_>> for MachineExchangeRemoval {
-    fn name(&self) -> &str {
-        "machine-exchange"
-    }
-
-    fn destroy(
-        &self,
-        p: &SraProblem<'_>,
-        sol: &Assignment,
-        _intensity: f64,
-        rng: &mut StdRng,
-    ) -> SraPartial {
-        let inst = p.inst;
-        // Candidates: occupied machines with at most `cap` shards.
-        let mut candidates: Vec<MachineId> = (0..inst.n_machines())
-            .map(MachineId::from)
-            .filter(|&m| {
-                let c = sol.shards_on(m).len();
-                c > 0 && c <= self.cap.max(1)
-            })
-            .collect();
-        let mut asg = sol.clone();
-        if candidates.is_empty() {
-            // Degenerate: fall back to detaching a single random shard so
-            // the iteration still proposes something.
-            let s = ShardId::from(rng.random_range(0..inst.n_shards()));
-            asg.detach_shard(inst, s);
-            return SraPartial {
-                asg,
-                removed: vec![s],
-            };
-        }
-        candidates.shuffle(rng);
-        let machine = candidates[0];
-        let removed: Vec<ShardId> = asg.shards_on(machine).to_vec();
-        for &s in &removed {
-            asg.detach_shard(inst, s);
-        }
-        SraPartial { asg, removed }
-    }
-}
-
-/// The full default destroy portfolio used by SRA.
-pub fn default_destroys<'a>(cap: usize) -> Vec<Box<dyn Destroy<SraProblem<'a>>>> {
-    vec![
-        Box::new(RandomRemoval { cap }),
-        Box::new(WorstMachineRemoval { cap }),
-        Box::new(RelatedRemoval { cap }),
-        Box::new(MachineExchangeRemoval { cap }),
-    ]
-}
-
-// ---------------------------------------------------------------------------
-// In-place variants: same selection policies, but they edit one SraState
-// (recording every detach in its undo log) and draw all scratch space from
-// the state's persistent buffers, so the steady-state hot loop allocates
-// nothing.
 
 impl DestroyInPlace<SraProblem<'_>> for RandomRemoval {
     fn name(&self) -> &str {
@@ -260,6 +59,15 @@ impl DestroyInPlace<SraProblem<'_>> for RandomRemoval {
     }
 }
 
+/// Detaches shards from the hottest machines: repeatedly picks one of the
+/// top-3 most-loaded machines and detaches its largest shard. This is the
+/// operator that directly attacks the peak-load objective.
+#[derive(Clone, Copy, Debug)]
+pub struct WorstMachineRemoval {
+    /// Maximum shards detached per invocation.
+    pub cap: usize,
+}
+
 impl DestroyInPlace<SraProblem<'_>> for WorstMachineRemoval {
     fn name(&self) -> &str {
         "worst-machine"
@@ -271,7 +79,8 @@ impl DestroyInPlace<SraProblem<'_>> for WorstMachineRemoval {
         let mut hot = std::mem::take(&mut state.scored);
         for _ in 0..k {
             // Rank occupied machines by the *cached* load (kept current by
-            // `detach`); sample among the top 3 as in the clone variant.
+            // `detach`); sample among the top 3 so repeated invocations
+            // explore different evacuation patterns.
             hot.clear();
             hot.extend(
                 (0..inst.n_machines())
@@ -305,6 +114,15 @@ impl DestroyInPlace<SraProblem<'_>> for WorstMachineRemoval {
     }
 }
 
+/// Shaw-style related removal: detaches shards whose demand vectors are
+/// similar to a random seed shard's. Similar shards are interchangeable, so
+/// re-inserting a related group gives the repair real room to rearrange.
+#[derive(Clone, Copy, Debug)]
+pub struct RelatedRemoval {
+    /// Maximum shards detached per invocation.
+    pub cap: usize,
+}
+
 impl DestroyInPlace<SraProblem<'_>> for RelatedRemoval {
     fn name(&self) -> &str {
         "related-removal"
@@ -317,6 +135,9 @@ impl DestroyInPlace<SraProblem<'_>> for RelatedRemoval {
         let seed = ShardId::from(rng.random_range(0..n));
         let seed_demand = *inst.demand(seed);
 
+        // Rank all shards by distance to the seed, then detach a random k of
+        // the nearest 2k (the randomization prevents the operator from
+        // detaching the identical set every time).
         let mut ranked = std::mem::take(&mut state.scored);
         ranked.clear();
         ranked.extend((0..n as u32).map(|i| (seed_demand.distance(inst.demand(ShardId(i))), i)));
@@ -332,6 +153,20 @@ impl DestroyInPlace<SraProblem<'_>> for RelatedRemoval {
     }
 }
 
+/// Evacuates one occupied machine entirely.
+///
+/// This is the **resource-exchange move**: with the machine empty, the
+/// repair pass may leave it vacant, making it eligible for return in place
+/// of a borrowed exchange machine — the membership exchange the paper's
+/// scheme allows. Machines with fewer shards are preferred (cheaper to
+/// evacuate); exchange machines can be evacuated too, which undoes an
+/// earlier occupation.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineExchangeRemoval {
+    /// Upper bound on the number of shards the chosen machine may host.
+    pub cap: usize,
+}
+
 impl DestroyInPlace<SraProblem<'_>> for MachineExchangeRemoval {
     fn name(&self) -> &str {
         "machine-exchange"
@@ -339,6 +174,7 @@ impl DestroyInPlace<SraProblem<'_>> for MachineExchangeRemoval {
 
     fn destroy(&self, p: &SraProblem<'_>, state: &mut SraState, _intensity: f64, rng: &mut StdRng) {
         let inst = p.inst;
+        // Candidates: occupied machines with at most `cap` shards.
         let mut candidates = std::mem::take(&mut state.pool);
         candidates.clear();
         candidates.extend((0..inst.n_machines() as u32).filter(|&i| {
@@ -346,12 +182,11 @@ impl DestroyInPlace<SraProblem<'_>> for MachineExchangeRemoval {
             c > 0 && c <= self.cap.max(1)
         }));
         if candidates.is_empty() {
+            // Degenerate: fall back to detaching a single random shard so
+            // the iteration still proposes something.
             let s = ShardId::from(rng.random_range(0..inst.n_shards()));
             state.detach(p, s);
         } else {
-            // Shuffle-then-take-first, matching the clone variant's RNG
-            // draw pattern so both paths follow the same search trajectory
-            // for a given seed.
             candidates.shuffle(rng);
             let machine = MachineId::from(candidates[0] as usize);
             candidates.clear();
@@ -364,8 +199,7 @@ impl DestroyInPlace<SraProblem<'_>> for MachineExchangeRemoval {
     }
 }
 
-/// The in-place default destroy portfolio (same policies as
-/// [`default_destroys`]).
+/// The full default destroy portfolio used by SRA.
 pub fn default_destroys_in_place<'a>(cap: usize) -> Vec<Box<dyn DestroyInPlace<SraProblem<'a>>>> {
     vec![
         Box::new(RandomRemoval { cap }),
@@ -379,7 +213,8 @@ pub fn default_destroys_in_place<'a>(cap: usize) -> Vec<Box<dyn DestroyInPlace<S
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use rex_cluster::{Instance, InstanceBuilder, Objective};
+    use rex_cluster::{Assignment, Instance, InstanceBuilder, Objective};
+    use rex_lns::LnsProblemInPlace;
 
     fn inst() -> Instance {
         let mut b = InstanceBuilder::new(2).label("d");
@@ -411,31 +246,32 @@ mod tests {
     fn random_removal_detaches_requested_count() {
         let inst = inst();
         let p = SraProblem::new(&inst, Objective::default());
-        let sol = Assignment::from_initial(&inst);
-        let partial = Destroy::destroy(&RandomRemoval { cap: 10 }, &p, &sol, 0.75, &mut rng());
-        assert_eq!(partial.removed.len(), 3);
-        for &s in &partial.removed {
-            assert!(partial.asg.is_detached(s));
+        let mut state = p.make_state(Assignment::from_initial(&inst));
+        DestroyInPlace::destroy(&RandomRemoval { cap: 10 }, &p, &mut state, 0.75, &mut rng());
+        assert_eq!(state.removed().len(), 3);
+        for &s in state.removed() {
+            assert!(state.solution().is_detached(s));
         }
-        partial.asg.validate_consistency(&inst).unwrap();
+        state.solution().validate_consistency(&inst).unwrap();
     }
 
     #[test]
     fn worst_machine_targets_hot_machine() {
         let inst = inst(); // m0 load 0.7, m1 load 0.25
         let p = SraProblem::new(&inst, Objective::default());
-        let sol = Assignment::from_initial(&inst);
+        let mut state = p.make_state(Assignment::from_initial(&inst));
         // With only two occupied machines, top-3 sampling may pick either,
         // but over many draws the hot machine must dominate.
         let mut from_hot = 0;
         let mut r = rng();
         for _ in 0..50 {
-            let partial = Destroy::destroy(&WorstMachineRemoval { cap: 1 }, &p, &sol, 0.1, &mut r);
+            DestroyInPlace::destroy(&WorstMachineRemoval { cap: 1 }, &p, &mut state, 0.1, &mut r);
             // The connectivity floor (3) overrides a smaller cap.
-            assert_eq!(partial.removed.len(), 3);
-            if inst.initial[partial.removed[0].idx()] == MachineId(0) {
+            assert_eq!(state.removed().len(), 3);
+            if inst.initial[state.removed()[0].idx()] == MachineId(0) {
                 from_hot += 1;
             }
+            LnsProblemInPlace::revert(&p, &mut state);
         }
         assert!(
             from_hot > 10,
@@ -458,11 +294,11 @@ mod tests {
         }
         let inst = b.build().unwrap();
         let p = SraProblem::new(&inst, Objective::default());
-        let sol = Assignment::from_initial(&inst);
+        let mut state = p.make_state(Assignment::from_initial(&inst));
         // k = 3 (floor), candidate pool = 6 nearest = exactly one cluster.
-        let partial = Destroy::destroy(&RelatedRemoval { cap: 3 }, &p, &sol, 0.1, &mut rng());
-        assert_eq!(partial.removed.len(), 3);
-        let kinds: Vec<usize> = partial.removed.iter().map(|s| s.idx() / 6).collect();
+        DestroyInPlace::destroy(&RelatedRemoval { cap: 3 }, &p, &mut state, 0.1, &mut rng());
+        assert_eq!(state.removed().len(), 3);
+        let kinds: Vec<usize> = state.removed().iter().map(|s| s.idx() / 6).collect();
         assert!(
             kinds.windows(2).all(|w| w[0] == w[1]),
             "related removal must stay within one demand cluster: {kinds:?}"
@@ -473,57 +309,42 @@ mod tests {
     fn machine_exchange_empties_exactly_one_machine() {
         let inst = inst();
         let p = SraProblem::new(&inst, Objective::default());
-        let sol = Assignment::from_initial(&inst);
-        let partial = Destroy::destroy(
+        let mut state = p.make_state(Assignment::from_initial(&inst));
+        DestroyInPlace::destroy(
             &MachineExchangeRemoval { cap: 8 },
             &p,
-            &sol,
+            &mut state,
             0.5,
             &mut rng(),
         );
         // All removed shards come from the same, now-vacant machine.
-        let origins: Vec<MachineId> = partial
-            .removed
+        let origins: Vec<MachineId> = state
+            .removed()
             .iter()
             .map(|s| inst.initial[s.idx()])
             .collect();
         assert!(origins.windows(2).all(|w| w[0] == w[1]));
-        assert!(partial.asg.is_vacant(origins[0]));
-        partial.asg.validate_consistency(&inst).unwrap();
+        assert!(state.solution().is_vacant(origins[0]));
+        state.solution().validate_consistency(&inst).unwrap();
     }
 
     #[test]
     fn machine_exchange_falls_back_when_no_small_machine() {
         let inst = inst(); // both occupied machines host 2 shards
         let p = SraProblem::new(&inst, Objective::default());
-        let sol = Assignment::from_initial(&inst);
-        let partial = Destroy::destroy(
+        let mut state = p.make_state(Assignment::from_initial(&inst));
+        DestroyInPlace::destroy(
             &MachineExchangeRemoval { cap: 1 },
             &p,
-            &sol,
+            &mut state,
             0.5,
             &mut rng(),
         );
-        assert_eq!(partial.removed.len(), 1);
+        assert_eq!(state.removed().len(), 1);
     }
 
     #[test]
     fn default_portfolio_has_four_operators() {
-        let ops = default_destroys(32);
-        let names: Vec<&str> = ops.iter().map(|o| o.name()).collect();
-        assert_eq!(
-            names,
-            vec![
-                "random-removal",
-                "worst-machine",
-                "related-removal",
-                "machine-exchange"
-            ]
-        );
-    }
-
-    #[test]
-    fn in_place_portfolio_mirrors_names() {
         let ops = default_destroys_in_place(32);
         let names: Vec<&str> = ops.iter().map(|o| o.name()).collect();
         assert_eq!(
@@ -539,7 +360,6 @@ mod tests {
 
     #[test]
     fn in_place_destroys_detach_and_revert_cleanly() {
-        use rex_lns::LnsProblemInPlace;
         let inst = inst();
         let p = SraProblem::new(&inst, Objective::default());
         let mut state = p.make_state(Assignment::from_initial(&inst));

@@ -36,6 +36,7 @@
 
 pub mod decomposed;
 pub mod destroy;
+pub mod options;
 pub mod problem;
 pub mod repair;
 pub mod sra;
@@ -43,13 +44,12 @@ pub mod state;
 
 pub use decomposed::decomposed_search;
 pub use destroy::{
-    default_destroys, default_destroys_in_place, MachineExchangeRemoval, RandomRemoval,
-    RelatedRemoval, WorstMachineRemoval,
+    default_destroys_in_place, MachineExchangeRemoval, RandomRemoval, RelatedRemoval,
+    WorstMachineRemoval,
 };
-pub use problem::{SraPartial, SraProblem};
-pub use repair::{
-    default_repairs, default_repairs_in_place, GreedyBestFit, RandomizedGreedy, Regret2Insert,
-};
+pub use options::{ConfigError, SolveOptions};
+pub use problem::SraProblem;
+pub use repair::{default_repairs_in_place, GreedyBestFit, RandomizedGreedy, Regret2Insert};
 pub use sra::{
     run_search, solve, solve_traced, solve_with_drain, AcceptanceKind, SraConfig, SraResult,
 };

@@ -5,17 +5,6 @@ use rex_cluster::{
 };
 use rex_lns::LnsProblem;
 
-/// A destroyed placement awaiting repair: the assignment with `removed`
-/// shards detached.
-#[derive(Clone, Debug)]
-pub struct SraPartial {
-    /// The placement; detached shards are marked with
-    /// [`rex_cluster::assignment::DETACHED`].
-    pub asg: Assignment,
-    /// The detached shards to be re-inserted.
-    pub removed: Vec<ShardId>,
-}
-
 /// The reassignment problem bound to an instance and an objective.
 pub struct SraProblem<'a> {
     /// The instance being rebalanced.
@@ -226,7 +215,6 @@ impl<'a> SraProblem<'a> {
 
 impl LnsProblem for SraProblem<'_> {
     type Solution = Assignment;
-    type Partial = SraPartial;
 
     fn objective(&self, sol: &Assignment) -> f64 {
         let base = self.objective.value(self.inst, sol, &self.inst.initial);

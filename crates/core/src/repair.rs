@@ -7,15 +7,20 @@
 //! * never occupy a vacant machine when doing so would leave fewer than
 //!   `k_return` vacancies (the exchange compensation would become
 //!   impossible),
-//! * a repair that cannot place every detached shard returns `None` and the
-//!   iteration is discarded.
+//! * a repair that cannot place every detached shard reports failure and
+//!   the iteration is discarded.
+//!
+//! All operators implement the in-place edit protocol: they take the
+//! state's `removed` buffer, attach through `SraState::attach` (undo-logged,
+//! caches updated), and hand the buffer back — on failure with the unplaced
+//! tail still listed, so the engine's revert sees a consistent state.
 
-use crate::problem::{SraPartial, SraProblem};
+use crate::problem::SraProblem;
 use crate::state::{RegretEntry, SraState, REGRET_ABSENT, REGRET_UNKNOWN};
 use rand::rngs::StdRng;
 use rand::RngExt;
 use rex_cluster::{Assignment, MachineId, ShardId};
-use rex_lns::{Repair, RepairInPlace};
+use rex_lns::RepairInPlace;
 
 /// Shared insertion state: tracks how many vacancies may still be consumed.
 struct InsertCtx {
@@ -23,13 +28,7 @@ struct InsertCtx {
 }
 
 impl InsertCtx {
-    fn new(p: &SraProblem<'_>, asg: &Assignment) -> Self {
-        Self {
-            vacancy_budget: p.vacancy_budget(asg),
-        }
-    }
-
-    /// For the in-place path, which has the budget cached on the state.
+    /// Builds the context from the state's cached vacancy budget.
     fn with_budget(vacancy_budget: usize) -> Self {
         Self { vacancy_budget }
     }
@@ -48,47 +47,9 @@ impl InsertCtx {
     }
 }
 
-/// Best feasible machine for `s` under the insertion score; ties broken by
-/// machine id for determinism.
-fn best_machine(
-    p: &SraProblem<'_>,
-    asg: &Assignment,
-    ctx: &InsertCtx,
-    s: ShardId,
-) -> Option<(MachineId, f64)> {
-    let mut best: Option<(MachineId, f64)> = None;
-    for i in 0..p.inst.n_machines() {
-        let m = MachineId::from(i);
-        if !ctx.allowed(asg, m) {
-            continue;
-        }
-        if let Some(score) = p.insertion_score(asg, s, m) {
-            let better = match best {
-                None => true,
-                Some((_, b)) => score < b,
-            };
-            if better {
-                best = Some((m, score));
-            }
-        }
-    }
-    best
-}
-
-/// Sorts detached shards by decreasing demand norm (hardest first).
-fn sort_big_first(p: &SraProblem<'_>, removed: &mut [ShardId]) {
-    removed.sort_by(|&a, &b| {
-        p.inst
-            .demand(b)
-            .norm()
-            .partial_cmp(&p.inst.demand(a).norm())
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
-}
-
-/// [`sort_big_first`] against the state's cached demand norms — same keys
-/// (the norm is a pure function of the static demand), same order.
+/// Sorts detached shards by decreasing demand norm (hardest first), using
+/// the state's cached norms (the norm is a pure function of the static
+/// demand).
 fn sort_big_first_cached(state: &SraState, removed: &mut [ShardId]) {
     let norms = &state.demand_norm;
     removed.sort_by(|&a, &b| {
@@ -103,165 +64,6 @@ fn sort_big_first_cached(state: &SraState, removed: &mut [ShardId]) {
 /// the lowest insertion score.
 #[derive(Clone, Copy, Debug)]
 pub struct GreedyBestFit;
-
-impl Repair<SraProblem<'_>> for GreedyBestFit {
-    fn name(&self) -> &str {
-        "greedy-best-fit"
-    }
-
-    fn repair(
-        &self,
-        p: &SraProblem<'_>,
-        mut partial: SraPartial,
-        _rng: &mut StdRng,
-    ) -> Option<Assignment> {
-        sort_big_first(p, &mut partial.removed);
-        let mut ctx = InsertCtx::new(p, &partial.asg);
-        for s in partial.removed {
-            let (m, _) = best_machine(p, &partial.asg, &ctx, s)?;
-            ctx.consume(&partial.asg, m);
-            partial.asg.attach_shard(p.inst, s, m);
-        }
-        Some(partial.asg)
-    }
-}
-
-/// Regret-2 insertion: repeatedly inserts the shard that would lose the
-/// most by *not* getting its best machine (difference between its best and
-/// second-best scores). Shards with a single feasible machine have infinite
-/// regret and go first.
-#[derive(Clone, Copy, Debug)]
-pub struct Regret2Insert;
-
-impl Repair<SraProblem<'_>> for Regret2Insert {
-    fn name(&self) -> &str {
-        "regret-2"
-    }
-
-    fn repair(
-        &self,
-        p: &SraProblem<'_>,
-        mut partial: SraPartial,
-        _rng: &mut StdRng,
-    ) -> Option<Assignment> {
-        let mut ctx = InsertCtx::new(p, &partial.asg);
-        while !partial.removed.is_empty() {
-            let mut pick: Option<(usize, MachineId, f64)> = None; // (idx, best machine, regret)
-            for (idx, &s) in partial.removed.iter().enumerate() {
-                // Best and second-best scores for this shard.
-                let mut b1: Option<(MachineId, f64)> = None;
-                let mut b2: Option<f64> = None;
-                for i in 0..p.inst.n_machines() {
-                    let m = MachineId::from(i);
-                    if !ctx.allowed(&partial.asg, m) {
-                        continue;
-                    }
-                    if let Some(score) = p.insertion_score(&partial.asg, s, m) {
-                        match b1 {
-                            None => b1 = Some((m, score)),
-                            Some((_, s1)) if score < s1 => {
-                                b2 = Some(s1);
-                                b1 = Some((m, score));
-                            }
-                            Some(_) => match b2 {
-                                None => b2 = Some(score),
-                                Some(s2) if score < s2 => b2 = Some(score),
-                                _ => {}
-                            },
-                        }
-                    }
-                }
-                let (m, s1) = b1?; // a shard with no feasible machine fails the repair
-                let regret = match b2 {
-                    Some(s2) => s2 - s1,
-                    None => f64::INFINITY, // only one option: most urgent
-                };
-                let better = match pick {
-                    None => true,
-                    Some((_, _, r)) => regret > r,
-                };
-                if better {
-                    pick = Some((idx, m, regret));
-                }
-            }
-            let (idx, m, _) = pick?;
-            let s = partial.removed.swap_remove(idx);
-            ctx.consume(&partial.asg, m);
-            partial.asg.attach_shard(p.inst, s, m);
-        }
-        Some(partial.asg)
-    }
-}
-
-/// Randomized greedy: like best-fit but each shard samples `sample`
-/// candidate machines and takes the best of the sample. Adds the
-/// diversification pure best-fit lacks, at a fraction of its cost on large
-/// fleets.
-#[derive(Clone, Copy, Debug)]
-pub struct RandomizedGreedy {
-    /// Number of machines sampled per shard.
-    pub sample: usize,
-}
-
-impl Repair<SraProblem<'_>> for RandomizedGreedy {
-    fn name(&self) -> &str {
-        "randomized-greedy"
-    }
-
-    fn repair(
-        &self,
-        p: &SraProblem<'_>,
-        mut partial: SraPartial,
-        rng: &mut StdRng,
-    ) -> Option<Assignment> {
-        sort_big_first(p, &mut partial.removed);
-        let mut ctx = InsertCtx::new(p, &partial.asg);
-        let n = p.inst.n_machines();
-        for s in partial.removed {
-            let mut best: Option<(MachineId, f64)> = None;
-            for _ in 0..self.sample.max(1) {
-                let m = MachineId::from(rng.random_range(0..n));
-                if !ctx.allowed(&partial.asg, m) {
-                    continue;
-                }
-                if let Some(score) = p.insertion_score(&partial.asg, s, m) {
-                    let better = match best {
-                        None => true,
-                        Some((_, b)) => score < b,
-                    };
-                    if better {
-                        best = Some((m, score));
-                    }
-                }
-            }
-            // Fall back to the full scan when sampling found nothing — the
-            // shard may genuinely have only a few feasible hosts.
-            let (m, _) = match best {
-                Some(x) => x,
-                None => best_machine(p, &partial.asg, &ctx, s)?,
-            };
-            ctx.consume(&partial.asg, m);
-            partial.asg.attach_shard(p.inst, s, m);
-        }
-        Some(partial.asg)
-    }
-}
-
-/// The full default repair portfolio used by SRA.
-pub fn default_repairs<'a>() -> Vec<Box<dyn Repair<SraProblem<'a>>>> {
-    vec![
-        Box::new(GreedyBestFit),
-        Box::new(Regret2Insert),
-        Box::new(RandomizedGreedy { sample: 8 }),
-    ]
-}
-
-// ---------------------------------------------------------------------------
-// In-place variants: identical insertion policies over the state's cached
-// vacancy budget. Each takes the state's `removed` buffer, attaches through
-// `SraState::attach` (undo-logged, caches updated), and hands the buffer
-// back — on failure with the unplaced tail still listed, so the engine's
-// revert sees a consistent state.
 
 impl RepairInPlace<SraProblem<'_>> for GreedyBestFit {
     fn name(&self) -> &str {
@@ -325,15 +127,14 @@ fn reposition(state: &mut SraState, m: MachineId) {
     }
 }
 
-/// In-place twin of [`best_machine`]: same value minimization, but driven
-/// by the load-sorted scan order with an early break. The true score of a
-/// machine is its load *after* adding the shard's demand plus the
-/// migration penalty, so `loads[m] + penalty` lower-bounds it (rounded
-/// addition is monotone); once that bound reaches the running best, every
-/// later machine in load order is beaten too. The shard's initial machine
-/// is visited first — it is the only one whose penalty is zero. Ties on
-/// score may resolve to a different (equally scored) machine than the
-/// clone-based id-order scan; selection stays deterministic.
+/// Best feasible machine for `s` under the insertion score, driven by the
+/// load-sorted scan order with an early break. The true score of a machine
+/// is its load *after* adding the shard's demand plus the migration
+/// penalty, so `loads[m] + penalty` lower-bounds it (rounded addition is
+/// monotone); once that bound reaches the running best, every later
+/// machine in load order is beaten too. The shard's initial machine is
+/// visited first — it is the only one whose penalty is zero. Selection is
+/// deterministic: ties resolve to the earliest machine in scan order.
 fn best_machine_cached(
     p: &SraProblem<'_>,
     state: &SraState,
@@ -508,19 +309,26 @@ fn cascade(
     })
 }
 
+/// Regret-2 insertion: repeatedly inserts the shard that would lose the
+/// most by *not* getting its best machine (difference between its best and
+/// second-best scores). Shards with a single feasible machine have infinite
+/// regret and go first.
+#[derive(Clone, Copy, Debug)]
+pub struct Regret2Insert;
+
 impl RepairInPlace<SraProblem<'_>> for Regret2Insert {
     fn name(&self) -> &str {
         "regret-2"
     }
 
-    /// Incremental variant of the clone-based regret loop, selecting the
-    /// exact same insertions: an attach on machine `m` only changes scores
-    /// *on* `m` (and only for the worse — usage grows monotonically), so a
-    /// shard whose cached best and second-best live elsewhere keeps a
-    /// bit-identical entry and is not rescanned. The per-round cost drops
-    /// from `O(removed · machines)` to a handful of rescans, except when
-    /// the vacancy budget reaches zero — that flips the allowed-set for
-    /// every vacant machine, so everything is rescanned once.
+    /// Incremental regret loop: an attach on machine `m` only changes
+    /// scores *on* `m` (and only for the worse — usage grows
+    /// monotonically), so a shard whose cached best and second-best live
+    /// elsewhere keeps a bit-identical entry and is not rescanned. The
+    /// per-round cost drops from `O(removed · machines)` to a handful of
+    /// rescans, except when the vacancy budget reaches zero — that flips
+    /// the allowed-set for every vacant machine, so everything is rescanned
+    /// once.
     fn repair(&self, p: &SraProblem<'_>, state: &mut SraState, _rng: &mut StdRng) -> bool {
         let mut removed = std::mem::take(&mut state.removed);
         let mut entries = std::mem::take(&mut state.regret);
@@ -580,6 +388,16 @@ impl RepairInPlace<SraProblem<'_>> for Regret2Insert {
     }
 }
 
+/// Randomized greedy: like best-fit but each shard samples `sample`
+/// candidate machines and takes the best of the sample. Adds the
+/// diversification pure best-fit lacks, at a fraction of its cost on large
+/// fleets.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomizedGreedy {
+    /// Number of machines sampled per shard.
+    pub sample: usize,
+}
+
 impl RepairInPlace<SraProblem<'_>> for RandomizedGreedy {
     fn name(&self) -> &str {
         "randomized-greedy"
@@ -614,6 +432,8 @@ impl RepairInPlace<SraProblem<'_>> for RandomizedGreedy {
                     }
                 }
             }
+            // Fall back to the full scan when sampling found nothing — the
+            // shard may genuinely have only a few feasible hosts.
             let found = match best {
                 Some(x) => Some(x),
                 None => best_machine_cached(p, state, &ctx, s),
@@ -633,8 +453,7 @@ impl RepairInPlace<SraProblem<'_>> for RandomizedGreedy {
     }
 }
 
-/// The in-place default repair portfolio (same policies as
-/// [`default_repairs`]).
+/// The full default repair portfolio used by SRA.
 pub fn default_repairs_in_place<'a>() -> Vec<Box<dyn RepairInPlace<SraProblem<'a>>>> {
     vec![
         Box::new(GreedyBestFit),
@@ -648,7 +467,7 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use rex_cluster::{Instance, InstanceBuilder, Objective, ObjectiveKind};
-    use rex_lns::LnsProblem;
+    use rex_lns::{LnsProblem, LnsProblemInPlace};
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(5)
@@ -665,21 +484,27 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn detach_all(p: &SraProblem<'_>) -> SraPartial {
-        let mut asg = Assignment::from_initial(p.inst);
-        let removed: Vec<ShardId> = (0..p.inst.n_shards()).map(ShardId::from).collect();
-        for &s in &removed {
-            asg.detach_shard(p.inst, s);
+    fn detach_all_state(p: &SraProblem<'_>) -> SraState {
+        let mut state = p.make_state(Assignment::from_initial(p.inst));
+        for i in 0..p.inst.n_shards() {
+            state.detach(p, ShardId::from(i));
         }
-        SraPartial { asg, removed }
+        state
     }
 
     #[test]
     fn greedy_best_fit_balances() {
         let inst = inst();
         let p = SraProblem::new(&inst, Objective::pure(ObjectiveKind::PeakLoad));
-        let sol = Repair::repair(&GreedyBestFit, &p, detach_all(&p), &mut rng()).unwrap();
-        assert!(p.is_feasible(&sol));
+        let mut state = detach_all_state(&p);
+        assert!(RepairInPlace::repair(
+            &GreedyBestFit,
+            &p,
+            &mut state,
+            &mut rng()
+        ));
+        let sol = state.solution();
+        assert!(LnsProblem::is_feasible(&p, sol));
         // Greedy LPT on {6,3,2} over two usable machines (one must stay
         // vacant): 6 | 3+2 → peak 0.6.
         assert!(
@@ -693,10 +518,15 @@ mod tests {
     fn repairs_respect_vacancy_quota() {
         let inst = inst(); // k_return = 1
         let p = SraProblem::new(&inst, Objective::pure(ObjectiveKind::PeakLoad));
-        for repair in default_repairs() {
-            let sol = repair.repair(&p, detach_all(&p), &mut rng()).unwrap();
+        for repair in default_repairs_in_place() {
+            let mut state = detach_all_state(&p);
             assert!(
-                sol.vacant_count() >= inst.k_return,
+                repair.repair(&p, &mut state, &mut rng()),
+                "{} failed",
+                repair.name()
+            );
+            assert!(
+                state.solution().vacant_count() >= inst.k_return,
                 "{} violated the vacancy quota",
                 repair.name()
             );
@@ -707,9 +537,15 @@ mod tests {
     fn regret2_produces_feasible_balanced_solution() {
         let inst = inst();
         let p = SraProblem::new(&inst, Objective::pure(ObjectiveKind::PeakLoad));
-        let sol = Repair::repair(&Regret2Insert, &p, detach_all(&p), &mut rng()).unwrap();
-        assert!(p.is_feasible(&sol));
-        assert!(sol.peak_load(&inst) <= 0.9 + 1e-9);
+        let mut state = detach_all_state(&p);
+        assert!(RepairInPlace::repair(
+            &Regret2Insert,
+            &p,
+            &mut state,
+            &mut rng()
+        ));
+        assert!(LnsProblem::is_feasible(&p, state.solution()));
+        assert!(state.solution().peak_load(&inst) <= 0.9 + 1e-9);
     }
 
     #[test]
@@ -718,38 +554,12 @@ mod tests {
         let p = SraProblem::new(&inst, Objective::pure(ObjectiveKind::PeakLoad));
         for seed in 0..10 {
             let mut r = StdRng::seed_from_u64(seed);
-            let sol = Repair::repair(&RandomizedGreedy { sample: 2 }, &p, detach_all(&p), &mut r)
-                .unwrap();
-            assert!(p.is_feasible(&sol), "seed {seed}");
-        }
-    }
-
-    #[test]
-    fn repair_fails_when_shard_cannot_fit() {
-        // m0 (cap 20) hosts F=11 and B=9; m1 (cap 8) hosts G=5. Detach B
-        // and cram G onto m0: now B fits nowhere (m0: 16+9 > 20, m1: 9 > 8),
-        // so every repair must report failure.
-        let mut b = InstanceBuilder::new(1);
-        let m0 = b.machine(&[20.0]);
-        let m1 = b.machine(&[8.0]);
-        b.shard(&[11.0], 1.0, m0); // F
-        let shard_b = b.shard(&[9.0], 1.0, m0); // B
-        let g = b.shard(&[5.0], 1.0, m1); // G
-        let inst = b.build().unwrap();
-        let p = SraProblem::new(&inst, Objective::default());
-        let mut asg = Assignment::from_initial(&inst);
-        asg.detach_shard(&inst, shard_b);
-        asg.move_shard(&inst, g, MachineId(0));
-        for repair in default_repairs() {
-            let partial = SraPartial {
-                asg: asg.clone(),
-                removed: vec![shard_b],
-            };
+            let mut state = detach_all_state(&p);
             assert!(
-                repair.repair(&p, partial, &mut rng()).is_none(),
-                "{} should fail",
-                repair.name()
+                RepairInPlace::repair(&RandomizedGreedy { sample: 2 }, &p, &mut state, &mut r),
+                "seed {seed}"
             );
+            assert!(LnsProblem::is_feasible(&p, state.solution()), "seed {seed}");
         }
     }
 
@@ -757,23 +567,25 @@ mod tests {
     fn greedy_is_deterministic() {
         let inst = inst();
         let p = SraProblem::new(&inst, Objective::pure(ObjectiveKind::PeakLoad));
-        let a = Repair::repair(&GreedyBestFit, &p, detach_all(&p), &mut rng()).unwrap();
-        let b = Repair::repair(&GreedyBestFit, &p, detach_all(&p), &mut rng()).unwrap();
-        assert_eq!(a.placement(), b.placement());
+        let mut sa = detach_all_state(&p);
+        let mut sb = detach_all_state(&p);
+        assert!(RepairInPlace::repair(
+            &GreedyBestFit,
+            &p,
+            &mut sa,
+            &mut rng()
+        ));
+        assert!(RepairInPlace::repair(
+            &GreedyBestFit,
+            &p,
+            &mut sb,
+            &mut rng()
+        ));
+        assert_eq!(sa.solution().placement(), sb.solution().placement());
     }
 
     #[test]
     fn default_portfolio_names() {
-        let ops = default_repairs();
-        let names: Vec<&str> = ops.iter().map(|o| o.name()).collect();
-        assert_eq!(
-            names,
-            vec!["greedy-best-fit", "regret-2", "randomized-greedy"]
-        );
-    }
-
-    #[test]
-    fn in_place_portfolio_mirrors_names() {
         let ops = default_repairs_in_place();
         let names: Vec<&str> = ops.iter().map(|o| o.name()).collect();
         assert_eq!(
@@ -784,14 +596,10 @@ mod tests {
 
     #[test]
     fn in_place_repairs_complete_detached_states() {
-        use rex_lns::{LnsProblem, LnsProblemInPlace};
         let inst = inst();
         let p = SraProblem::new(&inst, Objective::pure(ObjectiveKind::PeakLoad));
         for repair in default_repairs_in_place() {
-            let mut state = p.make_state(Assignment::from_initial(&inst));
-            for i in 0..inst.n_shards() {
-                state.detach(&p, ShardId::from(i));
-            }
+            let mut state = detach_all_state(&p);
             let ok = repair.repair(&p, &mut state, &mut rng());
             assert!(ok, "{} failed on a repairable state", repair.name());
             assert!(state.removed().is_empty());
@@ -807,8 +615,9 @@ mod tests {
 
     #[test]
     fn in_place_repair_failure_leaves_revertible_state() {
-        use rex_lns::LnsProblemInPlace;
-        // Same unrepairable configuration as `repair_fails_when_shard_cannot_fit`.
+        // m0 (cap 20) hosts F=11 and B=9; m1 (cap 8) hosts G=5. Detach B
+        // and cram G onto m0: now B fits nowhere (m0: 16+9 > 20, m1: 9 > 8),
+        // so every repair must report failure.
         let mut b = InstanceBuilder::new(1);
         let m0 = b.machine(&[20.0]);
         let m1 = b.machine(&[8.0]);

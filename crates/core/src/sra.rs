@@ -9,8 +9,8 @@ use rex_cluster::{
     MigrationPlan, Objective, PlannerConfig,
 };
 use rex_lns::{
-    portfolio_search_in_place_recorded, Acceptance, EngineStats, HillClimb, InPlaceEngine,
-    LnsConfig, LnsProblem, PortfolioConfig, RecordToRecord, SimulatedAnnealing, TrajectoryPoint,
+    portfolio_search_recorded, Acceptance, Engine, EngineStats, HillClimb, InPlaceModel, LnsConfig,
+    LnsProblem, PortfolioConfig, RecordToRecord, SimulatedAnnealing, TrajectoryPoint,
 };
 use rex_obs::Recorder;
 use serde::{Deserialize, Serialize};
@@ -316,10 +316,10 @@ pub fn solve_traced(
 
 /// Runs the search phase: the cooperative decomposed solver when
 /// `cfg.partitions > 1`, otherwise the serial engine or the parallel
-/// portfolio. All paths use the allocation-free in-place protocol
-/// (`InPlaceEngine` over `SraState`); the clone-based engine remains
-/// available for the ablation benches. Public so the benches can time the
-/// search without the planning/verification phases.
+/// portfolio. All paths drive the **one** unified `Engine<M>` spine over
+/// the allocation-free in-place edit model (`InPlaceModel` over
+/// `SraState`). Public so the benches can time the search without the
+/// planning/verification phases.
 pub fn run_search(
     problem: &SraProblem<'_>,
     cfg: &SraConfig,
@@ -338,27 +338,33 @@ pub fn run_search(
         ..Default::default()
     };
     if cfg.workers <= 1 {
-        let engine = InPlaceEngine::new(
+        let engine = Engine::in_place(
             problem,
+            initial,
             default_destroys_in_place(cfg.destroy_cap),
             default_repairs_in_place(),
             cfg.acceptance.build(cfg.iters),
             lns_cfg,
         );
-        let out = engine.run_recorded(initial, seed, rec);
+        let out = engine.run_recorded(seed, rec);
         Ok((out.best, out.iterations, Some(out.stats), out.trajectory))
     } else {
         let pcfg = PortfolioConfig {
             workers: cfg.workers,
             engine: lns_cfg,
         };
-        let out = portfolio_search_in_place_recorded(
-            problem,
+        let out = portfolio_search_recorded(
             &initial,
             seed,
             &pcfg,
-            || default_destroys_in_place(cfg.destroy_cap),
-            default_repairs_in_place,
+            |start| {
+                InPlaceModel::new(
+                    problem,
+                    start,
+                    default_destroys_in_place(cfg.destroy_cap),
+                    default_repairs_in_place(),
+                )
+            },
             || cfg.acceptance.build(cfg.iters),
             rec,
         );

@@ -55,7 +55,7 @@ struct ScalarBase {
 /// [`LnsProblemInPlace`].
 pub struct SraState {
     pub(crate) asg: Assignment,
-    /// Detached shards awaiting re-insertion (the in-place `SraPartial`).
+    /// Detached shards awaiting re-insertion.
     pub(crate) removed: Vec<ShardId>,
     pub(crate) undo: UndoLog,
     /// Cached normalized load per machine.

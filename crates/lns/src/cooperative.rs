@@ -1,5 +1,5 @@
-//! Cooperative decomposed search: one in-place worker per sub-problem,
-//! with deterministic `(round, partition)` seed derivation.
+//! Cooperative decomposed search: one worker per sub-problem, with
+//! deterministic `(round, partition)` seed derivation.
 //!
 //! Where the [`crate::portfolio`] runs N *independent* copies of the same
 //! problem and keeps the best, a cooperative round runs one worker per
@@ -10,6 +10,8 @@
 //!
 //! * every job's seed is a pure function of `(base_seed, round,
 //!   partition)` — [`round_seed`] — fixed **before** the parallel section;
+//! * every job's [`EditModel`] is likewise built by the caller before the
+//!   parallel section, so worker launch performs no hidden setup;
 //! * jobs run over the deterministic rayon shim, whose `collect` places
 //!   results by index, so the output order is the job order regardless of
 //!   which OS thread ran what;
@@ -17,12 +19,12 @@
 //!   interleave nondeterministically — the caller narrates the reduction
 //!   after the barrier, the same discipline as the portfolio).
 //!
-//! Together those three give the decomposed-solver determinism contract:
+//! Together those give the decomposed-solver determinism contract:
 //! byte-identical results for any `REX_THREADS`.
 
 use crate::accept::Acceptance;
-use crate::engine::{InPlaceEngine, LnsConfig, SearchOutcome};
-use crate::problem::{DestroyInPlace, LnsProblemInPlace, RepairInPlace};
+use crate::engine::{Engine, LnsConfig, SearchOutcome};
+use crate::problem::EditModel;
 use rayon::prelude::*;
 
 /// splitmix64 finalizer: bijective avalanche mixing.
@@ -45,17 +47,16 @@ pub fn round_seed(base: u64, round: u64, partition: usize) -> u64 {
         .wrapping_add(partition as u64 + 1))
 }
 
-/// One worker's assignment for a cooperative round: the sub-problem it
-/// owns, its starting solution, and its predetermined seed.
+/// One worker's assignment for a cooperative round: the ready-to-run edit
+/// model over its sub-problem (starting solution already installed) and
+/// its predetermined seed.
 ///
-/// Starts and seeds are constructed by the caller *before* the parallel
+/// Models and seeds are constructed by the caller *before* the parallel
 /// section — the round itself performs no per-worker setup beyond building
 /// the engine, so worker launch does no hidden cloning.
-pub struct RoundJob<'p, P: LnsProblemInPlace> {
-    /// The sub-problem this worker searches.
-    pub problem: &'p P,
-    /// Feasible starting solution (already cloned/extracted by the caller).
-    pub start: P::Solution,
+pub struct RoundJob<M: EditModel> {
+    /// The edit model this worker drives (sub-problem + start solution).
+    pub model: M,
     /// Seed from [`round_seed`].
     pub seed: u64,
 }
@@ -63,27 +64,18 @@ pub struct RoundJob<'p, P: LnsProblemInPlace> {
 /// Runs every job of one round in parallel and returns the outcomes in job
 /// order. Results are a pure function of the jobs and the configuration —
 /// thread count is unobservable.
-pub fn cooperative_round<'p, P>(
-    jobs: Vec<RoundJob<'p, P>>,
+pub fn cooperative_round<M>(
+    jobs: Vec<RoundJob<M>>,
     engine_cfg: LnsConfig,
-    make_destroys: impl Fn() -> Vec<Box<dyn DestroyInPlace<P>>> + Sync,
-    make_repairs: impl Fn() -> Vec<Box<dyn RepairInPlace<P>>> + Sync,
     make_acceptance: impl Fn() -> Box<dyn Acceptance> + Sync,
-) -> Vec<SearchOutcome<P::Solution>>
+) -> Vec<SearchOutcome<M::Solution>>
 where
-    P: LnsProblemInPlace + Sync,
-    P::Solution: Send,
+    M: EditModel + Send,
 {
     jobs.into_par_iter()
         .map(|job| {
-            let engine = InPlaceEngine::new(
-                job.problem,
-                make_destroys(),
-                make_repairs(),
-                make_acceptance(),
-                engine_cfg,
-            );
-            engine.run(job.start, job.seed)
+            let engine = Engine::new(job.model, make_acceptance(), engine_cfg);
+            engine.run(job.seed)
         })
         .collect()
 }
@@ -92,6 +84,7 @@ where
 mod tests {
     use super::*;
     use crate::accept::SimulatedAnnealing;
+    use crate::problem::InPlaceModel;
     use crate::toy::{
         GreedyInsertInPlace, PartitionProblem, RandomRemoveInPlace, WorstBinRemoveInPlace,
     };
@@ -101,12 +94,19 @@ mod tests {
         let problems: Vec<PartitionProblem> = (0..3)
             .map(|i| PartitionProblem::random(20 + 4 * i, 3, 11 + i as u64))
             .collect();
-        let jobs: Vec<RoundJob<'_, PartitionProblem>> = problems
+        let jobs: Vec<RoundJob<InPlaceModel<'_, PartitionProblem>>> = problems
             .iter()
             .enumerate()
             .map(|(p, problem)| RoundJob {
-                problem,
-                start: problem.all_in_first_bin(),
+                model: InPlaceModel::new(
+                    problem,
+                    problem.all_in_first_bin(),
+                    vec![
+                        Box::new(RandomRemoveInPlace),
+                        Box::new(WorstBinRemoveInPlace),
+                    ],
+                    vec![Box::new(GreedyInsertInPlace)],
+                ),
                 seed: round_seed(seed, 0, p),
             })
             .collect();
@@ -116,13 +116,6 @@ mod tests {
                 max_iters: 400,
                 ..Default::default()
             },
-            || {
-                vec![
-                    Box::new(RandomRemoveInPlace),
-                    Box::new(WorstBinRemoveInPlace),
-                ]
-            },
-            || vec![Box::new(GreedyInsertInPlace)],
             || Box::new(SimulatedAnnealing::for_normalized_loads(400)),
         )
     }

@@ -1,9 +1,15 @@
-//! The ALNS iteration engine.
+//! The ALNS iteration engine — **the one spine**.
+//!
+//! Every solve path in the workspace (serial SRA, the seed portfolio,
+//! cooperative decomposed rounds, the runtime controller, benches, the
+//! CLI) drives this single [`Engine`] through the
+//! [`EditModel`](crate::problem::EditModel) protocol. There is exactly one
+//! iteration loop: acceptance policies, adaptive operator weights,
+//! budget/termination handling, and `rex-obs` trace events live here and
+//! nowhere else.
 
 use crate::accept::Acceptance;
-use crate::problem::{
-    Destroy, DestroyInPlace, LnsProblem, LnsProblemInPlace, Repair, RepairInPlace,
-};
+use crate::problem::{DestroyInPlace, EditModel, InPlaceModel, LnsProblemInPlace, RepairInPlace};
 use crate::weights::{IterationOutcome, OperatorWeights};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -97,7 +103,7 @@ pub struct EngineStats {
     /// Times a candidate beat the best objective but was refused by the
     /// problem's `accept_best` gate (e.g. SRA's plannability check).
     pub best_gate_rejections: u64,
-    /// Destroy-operator statistics (same order as passed to the engine).
+    /// Destroy-operator statistics (same order as in the model).
     pub destroy_ops: Vec<OperatorStat>,
     /// Repair-operator statistics.
     pub repair_ops: Vec<OperatorStat>,
@@ -120,87 +126,80 @@ pub struct SearchOutcome<S> {
     pub trajectory: Vec<TrajectoryPoint>,
 }
 
-/// The ALNS engine: owns the operator portfolio and acceptance criterion,
-/// borrows the problem.
-pub struct LnsEngine<'a, P: LnsProblem> {
-    problem: &'a P,
-    destroys: Vec<Box<dyn Destroy<P>>>,
-    repairs: Vec<Box<dyn Repair<P>>>,
+/// The unified ALNS engine: owns an [`EditModel`] (working position +
+/// operator portfolio) and an acceptance criterion, and runs the one
+/// destroy/repair/accept loop over them.
+pub struct Engine<M: EditModel> {
+    model: M,
     acceptance: Box<dyn Acceptance>,
     config: LnsConfig,
 }
 
-impl<'a, P: LnsProblem> LnsEngine<'a, P> {
-    /// Creates an engine.
+impl<M: EditModel> Engine<M> {
+    /// Creates an engine over an already-positioned model.
     ///
     /// # Panics
-    /// If either operator list is empty, or the intensity range is not
-    /// within `(0, 1]` with `min <= max`.
-    pub fn new(
-        problem: &'a P,
-        destroys: Vec<Box<dyn Destroy<P>>>,
-        repairs: Vec<Box<dyn Repair<P>>>,
-        acceptance: Box<dyn Acceptance>,
-        config: LnsConfig,
-    ) -> Self {
-        assert!(!destroys.is_empty(), "need at least one destroy operator");
-        assert!(!repairs.is_empty(), "need at least one repair operator");
+    /// If either of the model's operator lists is empty, or the intensity
+    /// range is not within `(0, 1]` with `min <= max`.
+    pub fn new(model: M, acceptance: Box<dyn Acceptance>, config: LnsConfig) -> Self {
+        assert!(
+            model.destroy_count() > 0,
+            "need at least one destroy operator"
+        );
+        assert!(
+            model.repair_count() > 0,
+            "need at least one repair operator"
+        );
         let (lo, hi) = config.intensity;
         assert!(
             lo > 0.0 && hi <= 1.0 && lo <= hi,
             "bad intensity range ({lo}, {hi})"
         );
         Self {
-            problem,
-            destroys,
-            repairs,
+            model,
             acceptance,
             config,
         }
     }
 
-    /// Runs the search from `initial` (must be feasible) with the given
+    /// Runs the search from the model's current position with the given
     /// deterministic seed.
-    pub fn run(self, initial: P::Solution, seed: u64) -> SearchOutcome<P::Solution> {
-        self.run_recorded(initial, seed, &mut Recorder::noop())
+    pub fn run(self, seed: u64) -> SearchOutcome<M::Solution> {
+        self.run_recorded(seed, &mut Recorder::noop())
     }
 
     /// Like [`run`], narrating the search into `rec` when it is recording:
     /// a `("lns", "run")` span around the whole search and one
     /// `("lns", "iter")` point event per iteration (operator pair,
-    /// intensity, objective delta, outcome). With a [`Recorder::Noop`] the
-    /// only per-iteration cost over [`run`] is one enum-discriminant check.
+    /// intensity, destroy size, undo-log depth, objective delta, outcome),
+    /// plus a `("lns", "resync")` event whenever a commit performs a full
+    /// cache resynchronization. With a [`Recorder::Noop`] the only
+    /// per-iteration cost over [`run`] is one enum-discriminant check —
+    /// the model's observability hooks are not even called.
     ///
     /// Recording never perturbs the search: the RNG, acceptance, and weight
     /// updates are untouched, so the returned [`SearchOutcome`] is
     /// bit-identical with and without tracing.
     ///
-    /// [`run`]: LnsEngine::run
-    pub fn run_recorded(
-        mut self,
-        initial: P::Solution,
-        seed: u64,
-        rec: &mut Recorder,
-    ) -> SearchOutcome<P::Solution> {
-        assert!(
-            self.problem.is_feasible(&initial),
-            "LNS must start from a feasible solution"
-        );
+    /// [`run`]: Engine::run
+    pub fn run_recorded(mut self, seed: u64, rec: &mut Recorder) -> SearchOutcome<M::Solution> {
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut dweights = OperatorWeights::new(
-            self.destroys.len(),
+            self.model.destroy_count(),
             self.config.rho,
             self.config.segment_len,
         );
-        let mut rweights =
-            OperatorWeights::new(self.repairs.len(), self.config.rho, self.config.segment_len);
+        let mut rweights = OperatorWeights::new(
+            self.model.repair_count(),
+            self.config.rho,
+            self.config.segment_len,
+        );
         let mut stats = EngineStats::default();
         let mut trajectory = Vec::new();
 
-        let mut current = initial.clone();
-        let mut f_current = self.problem.objective(&current);
-        let mut best = initial;
+        let mut best = self.model.snapshot();
+        let mut f_current = self.model.objective();
         let mut f_best = f_current;
         if self.config.log_trajectory {
             trajectory.push(TrajectoryPoint {
@@ -209,20 +208,21 @@ impl<'a, P: LnsProblem> LnsEngine<'a, P> {
                 objective: f_best,
             });
         }
+        let mut last_resyncs = 0u64;
         if rec.is_active() {
             rec.set_tick(0);
             rec.span_open(
                 "lns",
                 "run",
                 vec![
-                    ("engine", "clone".into()),
                     ("seed", seed.into()),
                     ("max_iters", self.config.max_iters.into()),
-                    ("destroys", self.destroys.len().into()),
-                    ("repairs", self.repairs.len().into()),
+                    ("destroys", self.model.destroy_count().into()),
+                    ("repairs", self.model.repair_count().into()),
                     ("initial_objective", f_best.into()),
                 ],
             );
+            last_resyncs = self.model.resyncs();
         }
 
         let (ilo, ihi) = self.config.intensity;
@@ -245,74 +245,88 @@ impl<'a, P: LnsProblem> LnsEngine<'a, P> {
                 ilo
             };
 
+            let recording = rec.is_active();
             let mut cause = "rejected";
             let mut delta = f64::NAN; // serialized as null when not evaluated
-            let partial = self.destroys[di].destroy(self.problem, &current, intensity, &mut rng);
-            let outcome = match self.repairs[ri].repair(self.problem, partial, &mut rng) {
-                None => {
-                    stats.repair_failures += 1;
-                    cause = "repair_failed";
+            self.model.destroy(di, intensity, &mut rng);
+            let destroyed = if recording { self.model.destroyed() } else { 0 };
+            let repaired = self.model.repair(ri, &mut rng);
+            let undo_depth = if recording {
+                self.model.undo_depth()
+            } else {
+                0
+            };
+            let outcome = if !repaired {
+                self.model.revert();
+                stats.repair_failures += 1;
+                cause = "repair_failed";
+                IterationOutcome::Rejected
+            } else if !self.model.feasible() {
+                self.model.revert();
+                stats.infeasible += 1;
+                cause = "infeasible";
+                IterationOutcome::Rejected
+            } else {
+                let f_cand = self.model.objective();
+                delta = f_cand - f_current;
+                if self.acceptance.accept(f_cand, f_current, f_best, &mut rng) {
+                    stats.accepted += 1;
+                    let gate_ok = f_cand < f_best && {
+                        let ok = self.model.accept_best();
+                        if !ok {
+                            stats.best_gate_rejections += 1;
+                        }
+                        ok
+                    };
+                    let outcome = if gate_ok {
+                        stats.new_bests += 1;
+                        best = self.model.snapshot();
+                        f_best = f_cand;
+                        if self.config.log_trajectory {
+                            trajectory.push(TrajectoryPoint {
+                                iteration: iters,
+                                elapsed_secs: start.elapsed().as_secs_f64(),
+                                objective: f_best,
+                            });
+                        }
+                        IterationOutcome::NewBest
+                    } else if f_cand < f_current {
+                        stats.improved += 1;
+                        IterationOutcome::Improved
+                    } else {
+                        IterationOutcome::Accepted
+                    };
+                    self.model.commit();
+                    f_current = f_cand;
+                    outcome
+                } else {
+                    self.model.revert();
+                    stats.rejected += 1;
                     IterationOutcome::Rejected
                 }
-                Some(candidate) => {
-                    if !self.problem.is_feasible(&candidate) {
-                        stats.infeasible += 1;
-                        cause = "infeasible";
-                        IterationOutcome::Rejected
-                    } else {
-                        let f_cand = self.problem.objective(&candidate);
-                        delta = f_cand - f_current;
-                        if self.acceptance.accept(f_cand, f_current, f_best, &mut rng) {
-                            stats.accepted += 1;
-                            let gate_ok = f_cand < f_best && {
-                                let ok = self.problem.accept_best(&candidate);
-                                if !ok {
-                                    stats.best_gate_rejections += 1;
-                                }
-                                ok
-                            };
-                            let outcome = if gate_ok {
-                                stats.new_bests += 1;
-                                best = candidate.clone();
-                                f_best = f_cand;
-                                if self.config.log_trajectory {
-                                    trajectory.push(TrajectoryPoint {
-                                        iteration: iters,
-                                        elapsed_secs: start.elapsed().as_secs_f64(),
-                                        objective: f_best,
-                                    });
-                                }
-                                IterationOutcome::NewBest
-                            } else if f_cand < f_current {
-                                stats.improved += 1;
-                                IterationOutcome::Improved
-                            } else {
-                                IterationOutcome::Accepted
-                            };
-                            current = candidate;
-                            f_current = f_cand;
-                            outcome
-                        } else {
-                            stats.rejected += 1;
-                            IterationOutcome::Rejected
-                        }
-                    }
-                }
             };
-            if rec.is_active() {
+            if recording {
                 rec.set_tick(iters);
                 rec.event(
                     "lns",
                     "iter",
                     vec![
-                        ("destroy", self.destroys[di].name().into()),
-                        ("repair", self.repairs[ri].name().into()),
+                        ("destroy", self.model.destroy_name(di).into()),
+                        ("repair", self.model.repair_name(ri).into()),
                         ("intensity", intensity.into()),
+                        ("destroyed", destroyed.into()),
+                        ("undo_depth", undo_depth.into()),
                         ("delta", delta.into()),
                         ("outcome", outcome_label(outcome, cause).into()),
                     ],
                 );
                 record_outcome_metrics(rec, outcome, cause, delta);
+                let resyncs = self.model.resyncs();
+                if resyncs != last_resyncs {
+                    rec.event("lns", "resync", vec![("total", resyncs.into())]);
+                    rec.add("lns.resyncs", resyncs - last_resyncs);
+                    last_resyncs = resyncs;
+                }
             }
             self.acceptance.step();
             dweights.record(di, outcome);
@@ -335,23 +349,17 @@ impl<'a, P: LnsProblem> LnsEngine<'a, P> {
             );
         }
 
-        stats.destroy_ops = self
-            .destroys
-            .iter()
-            .enumerate()
-            .map(|(i, d)| OperatorStat {
-                name: d.name().to_string(),
+        stats.destroy_ops = (0..self.model.destroy_count())
+            .map(|i| OperatorStat {
+                name: self.model.destroy_name(i).to_string(),
                 uses: dweights.uses(i),
                 bests: dweights.bests(i),
                 weight: dweights.weight(i),
             })
             .collect();
-        stats.repair_ops = self
-            .repairs
-            .iter()
-            .enumerate()
-            .map(|(i, r)| OperatorStat {
-                name: r.name().to_string(),
+        stats.repair_ops = (0..self.model.repair_count())
+            .map(|i| OperatorStat {
+                name: self.model.repair_name(i).to_string(),
                 uses: rweights.uses(i),
                 bests: rweights.bests(i),
                 weight: rweights.weight(i),
@@ -366,6 +374,29 @@ impl<'a, P: LnsProblem> LnsEngine<'a, P> {
             stats,
             trajectory,
         }
+    }
+}
+
+impl<'p, P: LnsProblemInPlace> Engine<InPlaceModel<'p, P>> {
+    /// Convenience constructor for the production path: wraps `initial`
+    /// into an [`InPlaceModel`] over `problem` and builds the engine.
+    ///
+    /// # Panics
+    /// If `initial` is infeasible, either operator list is empty, or the
+    /// intensity range is invalid.
+    pub fn in_place(
+        problem: &'p P,
+        initial: P::Solution,
+        destroys: Vec<Box<dyn DestroyInPlace<P>>>,
+        repairs: Vec<Box<dyn RepairInPlace<P>>>,
+        acceptance: Box<dyn Acceptance>,
+        config: LnsConfig,
+    ) -> Self {
+        Self::new(
+            InPlaceModel::new(problem, initial, destroys, repairs),
+            acceptance,
+            config,
+        )
     }
 }
 
@@ -394,301 +425,37 @@ fn record_outcome_metrics(
     }
 }
 
-/// The allocation-free ALNS engine over the in-place edit protocol.
-///
-/// Same iteration semantics, acceptance handling, statistics invariants
-/// (`accepted + rejected + repair_failures + infeasible == iterations`),
-/// adaptive weights, trajectory recording, and time-limit behavior as
-/// [`LnsEngine`] — but instead of cloning the incumbent each iteration,
-/// destroy/repair mutate one working state and the engine **reverts** the
-/// recorded edits on rejection and **commits** them on acceptance. The
-/// only per-iteration allocation left on the hot path is the solution
-/// clone taken when a new global best is recorded.
-pub struct InPlaceEngine<'a, P: LnsProblemInPlace> {
-    problem: &'a P,
-    destroys: Vec<Box<dyn DestroyInPlace<P>>>,
-    repairs: Vec<Box<dyn RepairInPlace<P>>>,
-    acceptance: Box<dyn Acceptance>,
-    config: LnsConfig,
-}
-
-impl<'a, P: LnsProblemInPlace> InPlaceEngine<'a, P> {
-    /// Creates an engine.
-    ///
-    /// # Panics
-    /// If either operator list is empty, or the intensity range is not
-    /// within `(0, 1]` with `min <= max`.
-    pub fn new(
-        problem: &'a P,
-        destroys: Vec<Box<dyn DestroyInPlace<P>>>,
-        repairs: Vec<Box<dyn RepairInPlace<P>>>,
-        acceptance: Box<dyn Acceptance>,
-        config: LnsConfig,
-    ) -> Self {
-        assert!(!destroys.is_empty(), "need at least one destroy operator");
-        assert!(!repairs.is_empty(), "need at least one repair operator");
-        let (lo, hi) = config.intensity;
-        assert!(
-            lo > 0.0 && hi <= 1.0 && lo <= hi,
-            "bad intensity range ({lo}, {hi})"
-        );
-        Self {
-            problem,
-            destroys,
-            repairs,
-            acceptance,
-            config,
-        }
-    }
-
-    /// Runs the search from `initial` (must be feasible) with the given
-    /// deterministic seed.
-    pub fn run(self, initial: P::Solution, seed: u64) -> SearchOutcome<P::Solution> {
-        self.run_recorded(initial, seed, &mut Recorder::noop())
-    }
-
-    /// Like [`run`], narrating the search into `rec` when it is recording.
-    ///
-    /// On top of the clone engine's per-iteration events this also reports
-    /// the in-place protocol: destroy size and undo-log depth per iteration
-    /// (via the [`LnsProblemInPlace`] observability hooks) and a
-    /// `("lns", "resync")` event whenever `commit` performs a full cache
-    /// resynchronization. With a [`Recorder::Noop`] the only per-iteration
-    /// cost over [`run`] is one enum-discriminant check — the hook methods
-    /// are not even called.
-    ///
-    /// Recording never perturbs the search: the RNG, acceptance, and weight
-    /// updates are untouched, so the returned [`SearchOutcome`] is
-    /// bit-identical with and without tracing.
-    ///
-    /// [`run`]: InPlaceEngine::run
-    pub fn run_recorded(
-        mut self,
-        initial: P::Solution,
-        seed: u64,
-        rec: &mut Recorder,
-    ) -> SearchOutcome<P::Solution> {
-        assert!(
-            self.problem.is_feasible(&initial),
-            "LNS must start from a feasible solution"
-        );
-        let start = Instant::now();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut dweights = OperatorWeights::new(
-            self.destroys.len(),
-            self.config.rho,
-            self.config.segment_len,
-        );
-        let mut rweights =
-            OperatorWeights::new(self.repairs.len(), self.config.rho, self.config.segment_len);
-        let mut stats = EngineStats::default();
-        let mut trajectory = Vec::new();
-
-        let mut best = initial.clone();
-        let mut state = self.problem.make_state(initial);
-        let mut f_current = self.problem.state_objective(&mut state);
-        let mut f_best = f_current;
-        if self.config.log_trajectory {
-            trajectory.push(TrajectoryPoint {
-                iteration: 0,
-                elapsed_secs: 0.0,
-                objective: f_best,
-            });
-        }
-        let mut last_resyncs = 0u64;
-        if rec.is_active() {
-            rec.set_tick(0);
-            rec.span_open(
-                "lns",
-                "run",
-                vec![
-                    ("engine", "in_place".into()),
-                    ("seed", seed.into()),
-                    ("max_iters", self.config.max_iters.into()),
-                    ("destroys", self.destroys.len().into()),
-                    ("repairs", self.repairs.len().into()),
-                    ("initial_objective", f_best.into()),
-                ],
-            );
-            last_resyncs = self.problem.state_resyncs(&state);
-        }
-
-        let (ilo, ihi) = self.config.intensity;
-        let mut iters = 0u64;
-        while iters < self.config.max_iters {
-            if iters.is_multiple_of(64) {
-                if let Some(limit) = self.config.time_limit {
-                    if start.elapsed() >= limit {
-                        break;
-                    }
-                }
-            }
-            iters += 1;
-
-            let di = dweights.pick(&mut rng);
-            let ri = rweights.pick(&mut rng);
-            let intensity = if ilo < ihi {
-                rng.random_range(ilo..ihi)
-            } else {
-                ilo
-            };
-
-            let recording = rec.is_active();
-            let mut cause = "rejected";
-            let mut delta = f64::NAN; // serialized as null when not evaluated
-            self.destroys[di].destroy(self.problem, &mut state, intensity, &mut rng);
-            let destroyed = if recording {
-                self.problem.state_destroyed(&state)
-            } else {
-                0
-            };
-            let repaired = self.repairs[ri].repair(self.problem, &mut state, &mut rng);
-            let undo_depth = if recording {
-                self.problem.state_undo_depth(&state)
-            } else {
-                0
-            };
-            let outcome = if !repaired {
-                self.problem.revert(&mut state);
-                stats.repair_failures += 1;
-                cause = "repair_failed";
-                IterationOutcome::Rejected
-            } else if !self.problem.state_feasible(&state) {
-                self.problem.revert(&mut state);
-                stats.infeasible += 1;
-                cause = "infeasible";
-                IterationOutcome::Rejected
-            } else {
-                let f_cand = self.problem.state_objective(&mut state);
-                delta = f_cand - f_current;
-                if self.acceptance.accept(f_cand, f_current, f_best, &mut rng) {
-                    stats.accepted += 1;
-                    let gate_ok = f_cand < f_best && {
-                        let ok = self.problem.state_accept_best(&state);
-                        if !ok {
-                            stats.best_gate_rejections += 1;
-                        }
-                        ok
-                    };
-                    let outcome = if gate_ok {
-                        stats.new_bests += 1;
-                        best = self.problem.snapshot(&state);
-                        f_best = f_cand;
-                        if self.config.log_trajectory {
-                            trajectory.push(TrajectoryPoint {
-                                iteration: iters,
-                                elapsed_secs: start.elapsed().as_secs_f64(),
-                                objective: f_best,
-                            });
-                        }
-                        IterationOutcome::NewBest
-                    } else if f_cand < f_current {
-                        stats.improved += 1;
-                        IterationOutcome::Improved
-                    } else {
-                        IterationOutcome::Accepted
-                    };
-                    self.problem.commit(&mut state);
-                    f_current = f_cand;
-                    outcome
-                } else {
-                    self.problem.revert(&mut state);
-                    stats.rejected += 1;
-                    IterationOutcome::Rejected
-                }
-            };
-            if recording {
-                rec.set_tick(iters);
-                rec.event(
-                    "lns",
-                    "iter",
-                    vec![
-                        ("destroy", self.destroys[di].name().into()),
-                        ("repair", self.repairs[ri].name().into()),
-                        ("intensity", intensity.into()),
-                        ("destroyed", destroyed.into()),
-                        ("undo_depth", undo_depth.into()),
-                        ("delta", delta.into()),
-                        ("outcome", outcome_label(outcome, cause).into()),
-                    ],
-                );
-                record_outcome_metrics(rec, outcome, cause, delta);
-                let resyncs = self.problem.state_resyncs(&state);
-                if resyncs != last_resyncs {
-                    rec.event("lns", "resync", vec![("total", resyncs.into())]);
-                    rec.add("lns.resyncs", resyncs - last_resyncs);
-                    last_resyncs = resyncs;
-                }
-            }
-            self.acceptance.step();
-            dweights.record(di, outcome);
-            rweights.record(ri, outcome);
-        }
-
-        if rec.is_active() {
-            rec.set_tick(iters);
-            rec.span_close(
-                "lns",
-                "run",
-                vec![
-                    ("iterations", iters.into()),
-                    ("best_objective", f_best.into()),
-                    ("accepted", stats.accepted.into()),
-                    ("new_bests", stats.new_bests.into()),
-                    ("repair_failures", stats.repair_failures.into()),
-                    ("infeasible", stats.infeasible.into()),
-                ],
-            );
-        }
-
-        stats.destroy_ops = self
-            .destroys
-            .iter()
-            .enumerate()
-            .map(|(i, d)| OperatorStat {
-                name: d.name().to_string(),
-                uses: dweights.uses(i),
-                bests: dweights.bests(i),
-                weight: dweights.weight(i),
-            })
-            .collect();
-        stats.repair_ops = self
-            .repairs
-            .iter()
-            .enumerate()
-            .map(|(i, r)| OperatorStat {
-                name: r.name().to_string(),
-                uses: rweights.uses(i),
-                bests: rweights.bests(i),
-                weight: rweights.weight(i),
-            })
-            .collect();
-
-        SearchOutcome {
-            best,
-            best_objective: f_best,
-            iterations: iters,
-            elapsed: start.elapsed(),
-            stats,
-            trajectory,
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::accept::{HillClimb, SimulatedAnnealing};
+    use crate::problem::{CloneOracle, LnsProblem};
     use crate::toy::{
-        GreedyInsert, GreedyInsertInPlace, PartitionProblem, RandomRemove, RandomRemoveInPlace,
-        WorstBinRemove, WorstBinRemoveInPlace,
+        GreedyInsertInPlace, PartitionProblem, PartitionState, RandomRemoveInPlace,
+        WorstBinRemoveInPlace,
     };
 
-    fn engine_on(problem: &PartitionProblem, iters: u64) -> LnsEngine<'_, PartitionProblem> {
-        LnsEngine::new(
+    fn toy_destroys() -> Vec<Box<dyn DestroyInPlace<PartitionProblem>>> {
+        vec![
+            Box::new(RandomRemoveInPlace),
+            Box::new(WorstBinRemoveInPlace),
+        ]
+    }
+
+    fn toy_repairs() -> Vec<Box<dyn RepairInPlace<PartitionProblem>>> {
+        vec![Box::new(GreedyInsertInPlace)]
+    }
+
+    fn engine_on(
+        problem: &PartitionProblem,
+        initial: Vec<usize>,
+        iters: u64,
+    ) -> Engine<InPlaceModel<'_, PartitionProblem>> {
+        Engine::in_place(
             problem,
-            vec![Box::new(RandomRemove), Box::new(WorstBinRemove)],
-            vec![Box::new(GreedyInsert)],
+            initial,
+            toy_destroys(),
+            toy_repairs(),
             Box::new(SimulatedAnnealing::for_normalized_loads(iters as usize)),
             LnsConfig {
                 max_iters: iters,
@@ -703,13 +470,16 @@ mod tests {
         let problem = PartitionProblem::random(40, 4, 123);
         let initial = problem.all_in_first_bin();
         let f0 = problem.objective(&initial);
-        let out = engine_on(&problem, 3_000).run(initial, 7);
+        let out = engine_on(&problem, initial, 3_000).run(7);
         assert!(
             out.best_objective < f0 * 0.5,
             "f0={f0} best={}",
             out.best_objective
         );
         assert!(problem.is_feasible(&out.best));
+        // The returned best objective must match a fresh full evaluation of
+        // the returned solution (delta caches cannot leak into the result).
+        assert!((problem.objective(&out.best) - out.best_objective).abs() < 1e-9);
     }
 
     #[test]
@@ -718,7 +488,7 @@ mod tests {
             let problem = PartitionProblem::random(20, 3, seed);
             let initial = problem.all_in_first_bin();
             let f0 = problem.objective(&initial);
-            let out = engine_on(&problem, 200).run(initial, seed);
+            let out = engine_on(&problem, initial, 200).run(seed);
             assert!(out.best_objective <= f0 + 1e-12);
         }
     }
@@ -727,17 +497,18 @@ mod tests {
     fn deterministic_given_seed() {
         let problem = PartitionProblem::random(30, 3, 5);
         let initial = problem.all_in_first_bin();
-        let a = engine_on(&problem, 500).run(initial.clone(), 99);
-        let b = engine_on(&problem, 500).run(initial, 99);
+        let a = engine_on(&problem, initial.clone(), 500).run(99);
+        let b = engine_on(&problem, initial, 500).run(99);
         assert_eq!(a.best_objective, b.best_objective);
         assert_eq!(a.iterations, b.iterations);
         assert_eq!(a.stats.accepted, b.stats.accepted);
+        assert_eq!(a.best, b.best);
     }
 
     #[test]
     fn trajectory_is_monotone_decreasing() {
         let problem = PartitionProblem::random(40, 4, 11);
-        let out = engine_on(&problem, 2_000).run(problem.all_in_first_bin(), 3);
+        let out = engine_on(&problem, problem.all_in_first_bin(), 2_000).run(3);
         assert!(!out.trajectory.is_empty());
         for w in out.trajectory.windows(2) {
             assert!(w[1].objective < w[0].objective);
@@ -748,7 +519,7 @@ mod tests {
     #[test]
     fn stats_account_for_all_iterations() {
         let problem = PartitionProblem::random(25, 3, 2);
-        let out = engine_on(&problem, 1_000).run(problem.all_in_first_bin(), 4);
+        let out = engine_on(&problem, problem.all_in_first_bin(), 1_000).run(4);
         let s = &out.stats;
         assert_eq!(
             s.accepted + s.rejected + s.repair_failures + s.infeasible,
@@ -764,10 +535,11 @@ mod tests {
     #[test]
     fn time_limit_stops_early() {
         let problem = PartitionProblem::random(50, 4, 8);
-        let engine = LnsEngine::new(
+        let engine = Engine::in_place(
             &problem,
-            vec![Box::new(RandomRemove) as Box<dyn Destroy<PartitionProblem>>],
-            vec![Box::new(GreedyInsert) as Box<dyn Repair<PartitionProblem>>],
+            problem.all_in_first_bin(),
+            vec![Box::new(RandomRemoveInPlace) as Box<dyn DestroyInPlace<PartitionProblem>>],
+            toy_repairs(),
             Box::new(HillClimb),
             LnsConfig {
                 max_iters: u64::MAX / 2,
@@ -776,7 +548,7 @@ mod tests {
             },
         );
         let start = Instant::now();
-        let out = engine.run(problem.all_in_first_bin(), 1);
+        let out = engine.run(1);
         assert!(start.elapsed() < Duration::from_secs(5));
         assert!(out.iterations > 0);
     }
@@ -787,9 +559,8 @@ mod tests {
         /// item 0 — the engine must then keep the best among even-bin
         /// solutions only.
         struct Gated(PartitionProblem);
-        impl crate::problem::LnsProblem for Gated {
+        impl LnsProblem for Gated {
             type Solution = Vec<usize>;
-            type Partial = (Vec<usize>, Vec<usize>);
             fn objective(&self, s: &Vec<usize>) -> f64 {
                 self.0.objective(s)
             }
@@ -800,58 +571,74 @@ mod tests {
                 s[0].is_multiple_of(2)
             }
         }
+        impl LnsProblemInPlace for Gated {
+            type State = PartitionState;
+            fn make_state(&self, sol: Vec<usize>) -> PartitionState {
+                self.0.make_state(sol)
+            }
+            fn state_objective(&self, state: &mut PartitionState) -> f64 {
+                self.0.state_objective(state)
+            }
+            fn state_feasible(&self, state: &PartitionState) -> bool {
+                self.0.state_feasible(state)
+            }
+            fn state_accept_best(&self, state: &PartitionState) -> bool {
+                self.0.snapshot(state)[0].is_multiple_of(2)
+            }
+            fn snapshot(&self, state: &PartitionState) -> Vec<usize> {
+                self.0.snapshot(state)
+            }
+            fn revert(&self, state: &mut PartitionState) {
+                self.0.revert(state)
+            }
+            fn commit(&self, state: &mut PartitionState) {
+                self.0.commit(state)
+            }
+        }
         struct D2;
-        impl crate::problem::Destroy<Gated> for D2 {
+        impl DestroyInPlace<Gated> for D2 {
             fn name(&self) -> &str {
                 "d"
             }
-            fn destroy(
-                &self,
-                p: &Gated,
-                sol: &Vec<usize>,
-                i: f64,
-                rng: &mut rand::rngs::StdRng,
-            ) -> (Vec<usize>, Vec<usize>) {
-                RandomRemove.destroy(&p.0, sol, i, rng)
+            fn destroy(&self, p: &Gated, state: &mut PartitionState, i: f64, rng: &mut StdRng) {
+                RandomRemoveInPlace.destroy(&p.0, state, i, rng)
             }
         }
         struct R2;
-        impl crate::problem::Repair<Gated> for R2 {
+        impl RepairInPlace<Gated> for R2 {
             fn name(&self) -> &str {
                 "r"
             }
-            fn repair(
-                &self,
-                p: &Gated,
-                partial: (Vec<usize>, Vec<usize>),
-                rng: &mut rand::rngs::StdRng,
-            ) -> Option<Vec<usize>> {
-                GreedyInsert.repair(&p.0, partial, rng)
+            fn repair(&self, p: &Gated, state: &mut PartitionState, rng: &mut StdRng) -> bool {
+                GreedyInsertInPlace.repair(&p.0, state, rng)
             }
         }
         let gated = Gated(PartitionProblem::random(30, 3, 4));
-        let engine = LnsEngine::new(
+        let engine = Engine::in_place(
             &gated,
-            vec![Box::new(D2) as Box<dyn Destroy<Gated>>],
-            vec![Box::new(R2) as Box<dyn Repair<Gated>>],
+            gated.0.all_in_first_bin(),
+            vec![Box::new(D2) as Box<dyn DestroyInPlace<Gated>>],
+            vec![Box::new(R2) as Box<dyn RepairInPlace<Gated>>],
             Box::new(SimulatedAnnealing::for_normalized_loads(1_000)),
             LnsConfig {
                 max_iters: 1_000,
                 ..Default::default()
             },
         );
-        let out = engine.run(gated.0.all_in_first_bin(), 6);
+        let out = engine.run(6);
         assert_eq!(out.best[0] % 2, 0, "gated best must satisfy accept_best");
+        assert!(out.stats.best_gate_rejections > 0, "gate must have fired");
     }
 
     #[test]
     #[should_panic]
     fn rejects_empty_operator_lists() {
         let problem = PartitionProblem::random(5, 2, 1);
-        let _ = LnsEngine::new(
+        let _ = Engine::in_place(
             &problem,
+            problem.all_in_first_bin(),
             Vec::new(),
-            vec![Box::new(GreedyInsert) as Box<dyn Repair<PartitionProblem>>],
+            toy_repairs(),
             Box::new(HillClimb),
             LnsConfig::default(),
         );
@@ -862,141 +649,56 @@ mod tests {
     fn rejects_infeasible_start() {
         let problem = PartitionProblem::random(5, 2, 1);
         let bad = problem.infeasible_solution();
-        let engine = LnsEngine::new(
+        let _ = Engine::in_place(
             &problem,
-            vec![Box::new(RandomRemove) as Box<dyn Destroy<PartitionProblem>>],
-            vec![Box::new(GreedyInsert) as Box<dyn Repair<PartitionProblem>>],
+            bad,
+            toy_destroys(),
+            toy_repairs(),
             Box::new(HillClimb),
             LnsConfig::default(),
         );
-        let _ = engine.run(bad, 0);
-    }
-
-    fn in_place_engine_on(
-        problem: &PartitionProblem,
-        iters: u64,
-    ) -> InPlaceEngine<'_, PartitionProblem> {
-        InPlaceEngine::new(
-            problem,
-            vec![
-                Box::new(RandomRemoveInPlace),
-                Box::new(WorstBinRemoveInPlace),
-            ],
-            vec![Box::new(GreedyInsertInPlace)],
-            Box::new(SimulatedAnnealing::for_normalized_loads(iters as usize)),
-            LnsConfig {
-                max_iters: iters,
-                log_trajectory: true,
-                ..Default::default()
-            },
-        )
     }
 
     #[test]
-    fn in_place_improves_a_bad_partition() {
-        let problem = PartitionProblem::random(40, 4, 123);
-        let initial = problem.all_in_first_bin();
-        let f0 = problem.objective(&initial);
-        let out = in_place_engine_on(&problem, 3_000).run(initial, 7);
-        assert!(
-            out.best_objective < f0 * 0.5,
-            "f0={f0} best={}",
-            out.best_objective
-        );
-        assert!(problem.is_feasible(&out.best));
-        // The returned best objective must match a fresh full evaluation of
-        // the returned solution (delta caches cannot leak into the result).
-        assert!((problem.objective(&out.best) - out.best_objective).abs() < 1e-9);
-    }
-
-    #[test]
-    fn in_place_deterministic_given_seed() {
-        let problem = PartitionProblem::random(30, 3, 5);
-        let initial = problem.all_in_first_bin();
-        let a = in_place_engine_on(&problem, 500).run(initial.clone(), 99);
-        let b = in_place_engine_on(&problem, 500).run(initial, 99);
-        assert_eq!(a.best_objective, b.best_objective);
-        assert_eq!(a.iterations, b.iterations);
-        assert_eq!(a.stats.accepted, b.stats.accepted);
-        assert_eq!(a.best, b.best);
-    }
-
-    #[test]
-    fn in_place_stats_account_for_all_iterations() {
-        let problem = PartitionProblem::random(25, 3, 2);
-        let out = in_place_engine_on(&problem, 1_000).run(problem.all_in_first_bin(), 4);
-        let s = &out.stats;
-        assert_eq!(
-            s.accepted + s.rejected + s.repair_failures + s.infeasible,
-            out.iterations
-        );
-        let uses: u64 = s.destroy_ops.iter().map(|o| o.uses).sum();
-        assert_eq!(uses, out.iterations);
-    }
-
-    #[test]
-    fn in_place_matches_clone_based_quality() {
-        // Not bit-identical (delta evaluation rounds differently on
-        // acceptance ties), but the two hot paths explore the same
-        // neighborhoods and must land in the same quality band.
+    fn clone_oracle_matches_in_place_bit_exactly() {
+        // The oracle rejects by restoring a saved whole-state clone; the
+        // production model rejects by unwinding the undo log. Identical
+        // outcomes prove the undo machinery is bit-exact. (The full
+        // differential suite, including traces and the parallel drivers,
+        // lives in tests/spine_vs_legacy.rs.)
         let problem = PartitionProblem::random(40, 4, 9);
         let initial = problem.all_in_first_bin();
-        let cloned = engine_on(&problem, 3_000).run(initial.clone(), 17);
-        let in_place = in_place_engine_on(&problem, 3_000).run(initial, 17);
-        assert!(
-            (cloned.best_objective - in_place.best_objective).abs() < 0.2,
-            "clone {} vs in-place {}",
-            cloned.best_objective,
-            in_place.best_objective
-        );
-    }
-
-    #[test]
-    fn in_place_result_never_worse_than_initial() {
-        for seed in 0..5 {
-            let problem = PartitionProblem::random(20, 3, seed);
-            let initial = problem.all_in_first_bin();
-            let f0 = problem.objective(&initial);
-            let out = in_place_engine_on(&problem, 200).run(initial, seed);
-            assert!(out.best_objective <= f0 + 1e-12);
-        }
-    }
-
-    #[test]
-    fn in_place_trajectory_is_monotone_decreasing() {
-        let problem = PartitionProblem::random(40, 4, 11);
-        let out = in_place_engine_on(&problem, 2_000).run(problem.all_in_first_bin(), 3);
-        assert!(!out.trajectory.is_empty());
-        for w in out.trajectory.windows(2) {
-            assert!(w[1].objective < w[0].objective);
-            assert!(w[1].iteration >= w[0].iteration);
-        }
-    }
-
-    #[test]
-    #[should_panic]
-    fn in_place_rejects_infeasible_start() {
-        let problem = PartitionProblem::random(5, 2, 1);
-        let bad = problem.infeasible_solution();
-        let engine = in_place_engine_on(&problem, 10);
-        let _ = engine.run(bad, 0);
+        let cfg = LnsConfig {
+            max_iters: 1_500,
+            log_trajectory: true,
+            ..Default::default()
+        };
+        let spine = Engine::new(
+            InPlaceModel::new(&problem, initial.clone(), toy_destroys(), toy_repairs()),
+            Box::new(SimulatedAnnealing::for_normalized_loads(1_500)),
+            cfg,
+        )
+        .run(17);
+        let oracle = Engine::new(
+            CloneOracle::new(&problem, initial, toy_destroys(), toy_repairs()),
+            Box::new(SimulatedAnnealing::for_normalized_loads(1_500)),
+            cfg,
+        )
+        .run(17);
+        assert_eq!(spine.best_objective, oracle.best_objective);
+        assert_eq!(spine.best, oracle.best);
+        assert_eq!(spine.iterations, oracle.iterations);
+        assert_eq!(spine.stats.accepted, oracle.stats.accepted);
+        assert_eq!(spine.stats.new_bests, oracle.stats.new_bests);
     }
 
     #[test]
     fn recording_does_not_perturb_the_search() {
         let problem = PartitionProblem::random(30, 3, 5);
         let initial = problem.all_in_first_bin();
-        let plain = engine_on(&problem, 500).run(initial.clone(), 99);
+        let plain = engine_on(&problem, initial.clone(), 500).run(99);
         let mut rec = Recorder::active();
-        let traced = engine_on(&problem, 500).run_recorded(initial.clone(), 99, &mut rec);
-        assert_eq!(plain.best_objective, traced.best_objective);
-        assert_eq!(plain.iterations, traced.iterations);
-        assert_eq!(plain.stats.accepted, traced.stats.accepted);
-        assert_eq!(plain.best, traced.best);
-
-        let plain = in_place_engine_on(&problem, 500).run(initial.clone(), 99);
-        let mut rec = Recorder::active();
-        let traced = in_place_engine_on(&problem, 500).run_recorded(initial, 99, &mut rec);
+        let traced = engine_on(&problem, initial, 500).run_recorded(99, &mut rec);
         assert_eq!(plain.best_objective, traced.best_objective);
         assert_eq!(plain.iterations, traced.iterations);
         assert_eq!(plain.stats.accepted, traced.stats.accepted);
@@ -1008,7 +710,7 @@ mod tests {
         let problem = PartitionProblem::random(30, 3, 5);
         let initial = problem.all_in_first_bin();
         let mut rec = Recorder::active();
-        let out = in_place_engine_on(&problem, 300).run_recorded(initial, 42, &mut rec);
+        let out = engine_on(&problem, initial, 300).run_recorded(42, &mut rec);
         assert_eq!(rec.counter("lns.iterations"), out.iterations);
         assert_eq!(rec.counter("lns.new_bests"), out.stats.new_bests);
         assert_eq!(rec.open_spans(), 0, "run span must be closed");
@@ -1029,7 +731,7 @@ mod tests {
         let problem = PartitionProblem::random(20, 3, 1);
         let initial = problem.all_in_first_bin();
         let mut rec = Recorder::noop();
-        let _ = in_place_engine_on(&problem, 100).run_recorded(initial, 7, &mut rec);
+        let _ = engine_on(&problem, initial, 100).run_recorded(7, &mut rec);
         assert!(!rec.is_active());
         assert!(rec.events().is_empty());
         assert_eq!(rec.to_jsonl(), "");
@@ -1040,9 +742,9 @@ mod tests {
         let problem = PartitionProblem::random(30, 3, 5);
         let initial = problem.all_in_first_bin();
         let mut ra = Recorder::active();
-        let _ = in_place_engine_on(&problem, 400).run_recorded(initial.clone(), 13, &mut ra);
+        let _ = engine_on(&problem, initial.clone(), 400).run_recorded(13, &mut ra);
         let mut rb = Recorder::active();
-        let _ = in_place_engine_on(&problem, 400).run_recorded(initial, 13, &mut rb);
+        let _ = engine_on(&problem, initial, 400).run_recorded(13, &mut rb);
         assert_eq!(ra.to_jsonl(), rb.to_jsonl());
         assert_eq!(ra.summary(), rb.summary());
     }

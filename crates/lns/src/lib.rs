@@ -10,20 +10,26 @@
 //! ablation benches can swap acceptance criteria and operator sets without
 //! touching the domain logic in `rex-core`:
 //!
-//! * [`problem::LnsProblem`], [`problem::Destroy`], [`problem::Repair`] —
-//!   the domain interface,
+//! * [`problem::LnsProblem`] — the domain interface (objective,
+//!   feasibility, best-gate),
 //! * [`problem::LnsProblemInPlace`], [`problem::DestroyInPlace`],
 //!   [`problem::RepairInPlace`] — the allocation-free in-place edit
 //!   protocol (destroy/repair mutate one working state; rejected edits are
 //!   reverted from an undo log instead of discarding a clone),
+//! * [`problem::EditModel`] — the engine-facing edit surface; the
+//!   production implementation is [`problem::InPlaceModel`] (undo-log
+//!   reverts), and [`problem::CloneOracle`] is a test-only differential
+//!   oracle that reverts by cloning a saved state,
 //! * [`accept`] — hill-climbing, simulated annealing, record-to-record,
 //! * [`weights::OperatorWeights`] — adaptive operator selection,
-//! * [`engine::LnsEngine`] — the clone-based iteration loop, with a
-//!   best-objective trajectory recorder for convergence plots,
-//! * [`engine::InPlaceEngine`] — the same loop over the in-place protocol
-//!   (the hot path used by SRA),
+//! * [`engine::Engine`] — **the one iteration loop** (`Engine<M:
+//!   EditModel>`): adaptive operator choice, acceptance, budget handling,
+//!   trace events, and the best-objective trajectory recorder all live
+//!   here and nowhere else,
 //! * [`portfolio`] — a rayon-parallel multi-start runner with a
-//!   deterministic reduction,
+//!   deterministic reduction, generic over the edit model,
+//! * [`cooperative`] — deterministic parallel execution of one decomposed
+//!   round (one worker per sub-problem),
 //! * [`toy`] — a tiny number-partitioning problem used by the tests and the
 //!   documentation examples.
 //!
@@ -31,12 +37,12 @@
 //! portfolio derives worker seeds as `seed ⊕ worker` and reduces with an
 //! order-independent minimum, so parallel results are reproducible.
 //!
-//! Observability: both engines expose `run_recorded` variants (and the
-//! portfolio a `portfolio_search_in_place_recorded`) that narrate the search
-//! into a [`rex_obs::Recorder`] — per-iteration operator/outcome/delta
-//! events, cache-resync markers, and per-worker summaries. Recording never
-//! perturbs the search, and a `Recorder::Noop` costs one discriminant check
-//! per iteration.
+//! Observability: the engine exposes a `run_recorded` variant (and the
+//! portfolio a `portfolio_search_recorded`) that narrates the search into a
+//! [`rex_obs::Recorder`] — per-iteration operator/outcome/delta events,
+//! cache-resync markers, and per-worker summaries. Recording never perturbs
+//! the search, and a `Recorder::Noop` costs one discriminant check per
+//! iteration.
 
 pub mod accept;
 pub mod cooperative;
@@ -48,12 +54,12 @@ pub mod weights;
 
 pub use accept::{Acceptance, HillClimb, RecordToRecord, SimulatedAnnealing};
 pub use cooperative::{cooperative_round, round_seed, RoundJob};
-pub use engine::{
-    EngineStats, InPlaceEngine, LnsConfig, LnsEngine, SearchOutcome, TrajectoryPoint,
-};
+pub use engine::{Engine, EngineStats, LnsConfig, SearchOutcome, TrajectoryPoint};
 pub use portfolio::{
-    portfolio_search, portfolio_search_in_place, portfolio_search_in_place_recorded,
-    PortfolioConfig, PortfolioOutcome,
+    portfolio_search, portfolio_search_recorded, worker_seed, PortfolioConfig, PortfolioOutcome,
 };
-pub use problem::{Destroy, DestroyInPlace, LnsProblem, LnsProblemInPlace, Repair, RepairInPlace};
+pub use problem::{
+    CloneOracle, DestroyInPlace, EditModel, InPlaceModel, LnsProblem, LnsProblemInPlace,
+    RepairInPlace,
+};
 pub use weights::OperatorWeights;

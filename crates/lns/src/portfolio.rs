@@ -5,12 +5,14 @@
 //! the reduction is an order-independent minimum (ties broken by worker
 //! index), so the outcome is reproducible regardless of thread scheduling —
 //! the determinism discipline the HPC guides call for.
+//!
+//! The portfolio is generic over [`EditModel`]: each worker gets its own
+//! model (built by the caller's factory from a clone of the shared initial
+//! solution) and drives the one unified [`Engine`].
 
 use crate::accept::Acceptance;
-use crate::engine::{InPlaceEngine, LnsConfig, LnsEngine, SearchOutcome};
-use crate::problem::{
-    Destroy, DestroyInPlace, LnsProblem, LnsProblemInPlace, Repair, RepairInPlace,
-};
+use crate::engine::{Engine, LnsConfig, SearchOutcome};
+use crate::problem::EditModel;
 use rayon::prelude::*;
 use rex_obs::Recorder;
 use serde::Serialize;
@@ -64,40 +66,29 @@ pub fn worker_seed(base: u64, worker: usize) -> u64 {
 
 /// Runs `cfg.workers` independent searches in parallel and returns the best.
 ///
-/// The operator and acceptance factories are invoked once per worker so each
-/// worker owns private operator state.
-pub fn portfolio_search<P>(
-    problem: &P,
-    initial: &P::Solution,
+/// `make_model` is invoked once per worker (inside that worker's task, from
+/// a clone of `initial`) so each worker owns private operator and state
+/// storage; `make_acceptance` likewise.
+pub fn portfolio_search<M: EditModel>(
+    initial: &M::Solution,
     base_seed: u64,
     cfg: &PortfolioConfig,
-    make_destroys: impl Fn() -> Vec<Box<dyn Destroy<P>>> + Sync,
-    make_repairs: impl Fn() -> Vec<Box<dyn Repair<P>>> + Sync,
+    make_model: impl Fn(M::Solution) -> M + Sync,
     make_acceptance: impl Fn() -> Box<dyn Acceptance> + Sync,
-) -> PortfolioOutcome<P::Solution>
-where
-    P: LnsProblem + Sync,
-    P::Solution: Send,
-{
+) -> PortfolioOutcome<M::Solution> {
     assert!(cfg.workers >= 1, "portfolio needs at least one worker");
     // Per-worker starting solutions and the whole seed stream are built
     // *before* the parallel section: an N-worker solve clones the initial
     // solution exactly N times, and the closure does no hidden setup
-    // allocations beyond its operator boxes.
-    let jobs: Vec<(usize, P::Solution, u64)> = (0..cfg.workers)
+    // allocations beyond what the model factory itself performs.
+    let jobs: Vec<(usize, M::Solution, u64)> = (0..cfg.workers)
         .map(|w| (w, initial.clone(), worker_seed(base_seed, w)))
         .collect();
-    let outcomes: Vec<(usize, SearchOutcome<P::Solution>)> = jobs
+    let outcomes: Vec<(usize, SearchOutcome<M::Solution>)> = jobs
         .into_par_iter()
         .map(|(w, start, seed)| {
-            let engine = LnsEngine::new(
-                problem,
-                make_destroys(),
-                make_repairs(),
-                make_acceptance(),
-                cfg.engine,
-            );
-            (w, engine.run(start, seed))
+            let engine = Engine::new(make_model(start), make_acceptance(), cfg.engine);
+            (w, engine.run(seed))
         })
         .collect();
 
@@ -128,71 +119,7 @@ where
     }
 }
 
-/// [`portfolio_search`] over the in-place edit protocol: each worker runs
-/// an [`InPlaceEngine`] with its own private state (built once per worker
-/// from the shared initial solution). Same seed derivation and the same
-/// order-independent deterministic reduction.
-pub fn portfolio_search_in_place<P>(
-    problem: &P,
-    initial: &P::Solution,
-    base_seed: u64,
-    cfg: &PortfolioConfig,
-    make_destroys: impl Fn() -> Vec<Box<dyn DestroyInPlace<P>>> + Sync,
-    make_repairs: impl Fn() -> Vec<Box<dyn RepairInPlace<P>>> + Sync,
-    make_acceptance: impl Fn() -> Box<dyn Acceptance> + Sync,
-) -> PortfolioOutcome<P::Solution>
-where
-    P: LnsProblemInPlace + Sync,
-    P::Solution: Send,
-{
-    assert!(cfg.workers >= 1, "portfolio needs at least one worker");
-    // Hoisted per-worker setup (see `portfolio_search`): N clones total,
-    // seed stream fixed before any thread runs.
-    let jobs: Vec<(usize, P::Solution, u64)> = (0..cfg.workers)
-        .map(|w| (w, initial.clone(), worker_seed(base_seed, w)))
-        .collect();
-    let outcomes: Vec<(usize, SearchOutcome<P::Solution>)> = jobs
-        .into_par_iter()
-        .map(|(w, start, seed)| {
-            let engine = InPlaceEngine::new(
-                problem,
-                make_destroys(),
-                make_repairs(),
-                make_acceptance(),
-                cfg.engine,
-            );
-            (w, engine.run(start, seed))
-        })
-        .collect();
-
-    let worker_results: Vec<WorkerResult> = outcomes
-        .iter()
-        .map(|(w, o)| WorkerResult {
-            worker: *w,
-            objective: o.best_objective,
-            iterations: o.iterations,
-        })
-        .collect();
-
-    let (winner, best_outcome) = outcomes
-        .into_iter()
-        .min_by(|(wa, a), (wb, b)| {
-            a.best_objective
-                .partial_cmp(&b.best_objective)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(wa.cmp(wb))
-        })
-        .expect("at least one worker");
-
-    PortfolioOutcome {
-        best: best_outcome.best,
-        best_objective: best_outcome.best_objective,
-        winner,
-        worker_results,
-    }
-}
-
-/// [`portfolio_search_in_place`] with a trace: wraps the run in a
+/// [`portfolio_search`] with a trace: wraps the run in a
 /// `("lns", "portfolio")` span and emits one `("lns", "worker")` summary
 /// event per worker, in worker order.
 ///
@@ -202,21 +129,14 @@ where
 /// emitted sequentially after the parallel section, which keeps the trace
 /// byte-identical across thread counts (satellite determinism contract; see
 /// `tests/threads_determinism.rs`).
-#[allow(clippy::too_many_arguments)]
-pub fn portfolio_search_in_place_recorded<P>(
-    problem: &P,
-    initial: &P::Solution,
+pub fn portfolio_search_recorded<M: EditModel>(
+    initial: &M::Solution,
     base_seed: u64,
     cfg: &PortfolioConfig,
-    make_destroys: impl Fn() -> Vec<Box<dyn DestroyInPlace<P>>> + Sync,
-    make_repairs: impl Fn() -> Vec<Box<dyn RepairInPlace<P>>> + Sync,
+    make_model: impl Fn(M::Solution) -> M + Sync,
     make_acceptance: impl Fn() -> Box<dyn Acceptance> + Sync,
     rec: &mut Recorder,
-) -> PortfolioOutcome<P::Solution>
-where
-    P: LnsProblemInPlace + Sync,
-    P::Solution: Send,
-{
+) -> PortfolioOutcome<M::Solution> {
     if rec.is_active() {
         rec.span_open(
             "lns",
@@ -228,15 +148,7 @@ where
             ],
         );
     }
-    let out = portfolio_search_in_place(
-        problem,
-        initial,
-        base_seed,
-        cfg,
-        make_destroys,
-        make_repairs,
-        make_acceptance,
-    );
+    let out = portfolio_search(initial, base_seed, cfg, make_model, make_acceptance);
     if rec.is_active() {
         for w in &out.worker_results {
             rec.event(
@@ -266,9 +178,9 @@ where
 mod tests {
     use super::*;
     use crate::accept::SimulatedAnnealing;
+    use crate::problem::InPlaceModel;
     use crate::toy::{
-        GreedyInsert, GreedyInsertInPlace, PartitionProblem, RandomRemove, RandomRemoveInPlace,
-        WorstBinRemove, WorstBinRemoveInPlace,
+        GreedyInsertInPlace, PartitionProblem, RandomRemoveInPlace, WorstBinRemoveInPlace,
     };
 
     fn run(workers: usize, seed: u64) -> PortfolioOutcome<Vec<usize>> {
@@ -282,12 +194,20 @@ mod tests {
             },
         };
         portfolio_search(
-            &problem,
             &initial,
             seed,
             &cfg,
-            || vec![Box::new(RandomRemove), Box::new(WorstBinRemove)],
-            || vec![Box::new(GreedyInsert)],
+            |start| {
+                InPlaceModel::new(
+                    &problem,
+                    start,
+                    vec![
+                        Box::new(RandomRemoveInPlace),
+                        Box::new(WorstBinRemoveInPlace),
+                    ],
+                    vec![Box::new(GreedyInsertInPlace)],
+                )
+            },
             || Box::new(SimulatedAnnealing::for_normalized_loads(1_500)),
         )
     }
@@ -305,6 +225,7 @@ mod tests {
         let b = run(4, 42);
         assert_eq!(a.best_objective, b.best_objective);
         assert_eq!(a.winner, b.winner);
+        assert_eq!(a.best, b.best);
         for (x, y) in a.worker_results.iter().zip(&b.worker_results) {
             assert_eq!(x.objective, y.objective);
         }
@@ -345,7 +266,7 @@ mod tests {
         run(0, 1);
     }
 
-    fn run_in_place(workers: usize, seed: u64) -> PortfolioOutcome<Vec<usize>> {
+    fn run_recorded(workers: usize, seed: u64, rec: &mut Recorder) -> PortfolioOutcome<Vec<usize>> {
         let problem = PartitionProblem::random(40, 4, 77);
         let initial = problem.all_in_first_bin();
         let cfg = PortfolioConfig {
@@ -355,67 +276,21 @@ mod tests {
                 ..Default::default()
             },
         };
-        portfolio_search_in_place(
-            &problem,
+        portfolio_search_recorded(
             &initial,
             seed,
             &cfg,
-            || {
-                vec![
-                    Box::new(RandomRemoveInPlace),
-                    Box::new(WorstBinRemoveInPlace),
-                ]
+            |start| {
+                InPlaceModel::new(
+                    &problem,
+                    start,
+                    vec![
+                        Box::new(RandomRemoveInPlace),
+                        Box::new(WorstBinRemoveInPlace),
+                    ],
+                    vec![Box::new(GreedyInsertInPlace)],
+                )
             },
-            || vec![Box::new(GreedyInsertInPlace)],
-            || Box::new(SimulatedAnnealing::for_normalized_loads(1_500)),
-        )
-    }
-
-    #[test]
-    fn in_place_portfolio_finds_good_solutions() {
-        let out = run_in_place(4, 1);
-        assert!(out.best_objective < 1.3, "got {}", out.best_objective);
-        assert_eq!(out.worker_results.len(), 4);
-    }
-
-    #[test]
-    fn in_place_portfolio_is_deterministic() {
-        let a = run_in_place(4, 42);
-        let b = run_in_place(4, 42);
-        assert_eq!(a.best_objective, b.best_objective);
-        assert_eq!(a.winner, b.winner);
-        assert_eq!(a.best, b.best);
-        for (x, y) in a.worker_results.iter().zip(&b.worker_results) {
-            assert_eq!(x.objective, y.objective);
-        }
-    }
-
-    fn run_in_place_recorded(
-        workers: usize,
-        seed: u64,
-        rec: &mut Recorder,
-    ) -> PortfolioOutcome<Vec<usize>> {
-        let problem = PartitionProblem::random(40, 4, 77);
-        let initial = problem.all_in_first_bin();
-        let cfg = PortfolioConfig {
-            workers,
-            engine: LnsConfig {
-                max_iters: 1_500,
-                ..Default::default()
-            },
-        };
-        portfolio_search_in_place_recorded(
-            &problem,
-            &initial,
-            seed,
-            &cfg,
-            || {
-                vec![
-                    Box::new(RandomRemoveInPlace),
-                    Box::new(WorstBinRemoveInPlace),
-                ]
-            },
-            || vec![Box::new(GreedyInsertInPlace)],
             || Box::new(SimulatedAnnealing::for_normalized_loads(1_500)),
             rec,
         )
@@ -423,9 +298,9 @@ mod tests {
 
     #[test]
     fn recorded_portfolio_matches_plain_and_narrates_workers() {
-        let plain = run_in_place(4, 42);
+        let plain = run(4, 42);
         let mut rec = Recorder::active();
-        let traced = run_in_place_recorded(4, 42, &mut rec);
+        let traced = run_recorded(4, 42, &mut rec);
         assert_eq!(plain.best_objective, traced.best_objective);
         assert_eq!(plain.winner, traced.winner);
         assert_eq!(plain.best, traced.best);
@@ -445,9 +320,9 @@ mod tests {
     #[test]
     fn recorded_portfolio_trace_is_byte_identical_across_runs() {
         let mut ra = Recorder::active();
-        let _ = run_in_place_recorded(4, 7, &mut ra);
+        let _ = run_recorded(4, 7, &mut ra);
         let mut rb = Recorder::active();
-        let _ = run_in_place_recorded(4, 7, &mut rb);
+        let _ = run_recorded(4, 7, &mut rb);
         assert_eq!(ra.to_jsonl(), rb.to_jsonl());
     }
 }

@@ -3,16 +3,16 @@
 //! Assign `n` weighted items to `k` bins, minimizing the maximum bin sum —
 //! the 1-dimensional skeleton of the shard-reassignment problem. It exists
 //! so the framework can be tested (and its documentation exemplified)
-//! without dragging in the cluster domain.
+//! without dragging in the cluster domain. Its [`PartitionState`] derives
+//! `Clone`, which is what lets the `spine_vs_legacy` differential suite
+//! instantiate the [`crate::problem::CloneOracle`] over it.
 
-use crate::problem::{
-    Destroy, DestroyInPlace, LnsProblem, LnsProblemInPlace, Repair, RepairInPlace,
-};
+use crate::problem::{DestroyInPlace, LnsProblem, LnsProblemInPlace, RepairInPlace};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
 
-/// Sentinel bin index marking an unassigned item inside a partial solution.
+/// Sentinel bin index marking an unassigned item inside a destroyed state.
 const UNASSIGNED: usize = usize::MAX;
 
 /// The problem: items with weights, `bins` bins, minimize the max bin sum.
@@ -59,7 +59,6 @@ impl PartitionProblem {
 
 impl LnsProblem for PartitionProblem {
     type Solution = Vec<usize>;
-    type Partial = (Vec<usize>, Vec<usize>);
 
     fn objective(&self, sol: &Self::Solution) -> f64 {
         // Normalize by the perfectly balanced value so objectives sit near 1.
@@ -78,104 +77,11 @@ impl LnsProblem for PartitionProblem {
     }
 }
 
-/// Removes a random `intensity` fraction of items.
-#[derive(Clone, Copy, Debug)]
-pub struct RandomRemove;
-
-impl Destroy<PartitionProblem> for RandomRemove {
-    fn name(&self) -> &str {
-        "random-remove"
-    }
-
-    fn destroy(
-        &self,
-        problem: &PartitionProblem,
-        sol: &Vec<usize>,
-        intensity: f64,
-        rng: &mut StdRng,
-    ) -> (Vec<usize>, Vec<usize>) {
-        let n = problem.items.len();
-        let k = ((n as f64 * intensity).ceil() as usize).clamp(1, n);
-        let mut order: Vec<usize> = (0..n).collect();
-        order.shuffle(rng);
-        let mut partial = sol.clone();
-        let removed: Vec<usize> = order.into_iter().take(k).collect();
-        for &i in &removed {
-            partial[i] = UNASSIGNED;
-        }
-        (partial, removed)
-    }
-}
-
-/// Empties the currently fullest bin.
-#[derive(Clone, Copy, Debug)]
-pub struct WorstBinRemove;
-
-impl Destroy<PartitionProblem> for WorstBinRemove {
-    fn name(&self) -> &str {
-        "worst-bin-remove"
-    }
-
-    fn destroy(
-        &self,
-        problem: &PartitionProblem,
-        sol: &Vec<usize>,
-        _intensity: f64,
-        _rng: &mut StdRng,
-    ) -> (Vec<usize>, Vec<usize>) {
-        let sums = problem.bin_sums(sol);
-        let worst = sums
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        let mut partial = sol.clone();
-        let mut removed = Vec::new();
-        for (i, b) in partial.iter_mut().enumerate() {
-            if *b == worst {
-                *b = UNASSIGNED;
-                removed.push(i);
-            }
-        }
-        (partial, removed)
-    }
-}
-
-/// Reinserts removed items, heaviest first, into the lightest bin.
-#[derive(Clone, Copy, Debug)]
-pub struct GreedyInsert;
-
-impl Repair<PartitionProblem> for GreedyInsert {
-    fn name(&self) -> &str {
-        "greedy-insert"
-    }
-
-    fn repair(
-        &self,
-        problem: &PartitionProblem,
-        (mut partial, mut removed): (Vec<usize>, Vec<usize>),
-        _rng: &mut StdRng,
-    ) -> Option<Vec<usize>> {
-        removed.sort_by(|&a, &b| problem.items[b].partial_cmp(&problem.items[a]).unwrap());
-        let mut sums = problem.bin_sums(&partial);
-        for i in removed {
-            let lightest = sums
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .map(|(b, _)| b)?;
-            partial[i] = lightest;
-            sums[lightest] += problem.items[i];
-        }
-        Some(partial)
-    }
-}
-
 /// In-place search state for [`PartitionProblem`]: the solution plus
 /// cached bin sums, the unassigned-item list, and an undo log. Exists to
 /// exercise (and document) the in-place edit protocol without the cluster
-/// domain.
+/// domain. Derives `Clone` (unlike the real SRA state) so the
+/// [`crate::problem::CloneOracle`] can snapshot and restore it whole.
 #[derive(Clone, Debug)]
 pub struct PartitionState {
     /// `sol[i]` = bin of item `i`, or [`UNASSIGNED`].
@@ -310,7 +216,7 @@ impl LnsProblemInPlace for PartitionProblem {
     }
 }
 
-/// In-place counterpart of [`RandomRemove`].
+/// Removes a random `intensity` fraction of items.
 #[derive(Clone, Copy, Debug)]
 pub struct RandomRemoveInPlace;
 
@@ -340,7 +246,7 @@ impl DestroyInPlace<PartitionProblem> for RandomRemoveInPlace {
     }
 }
 
-/// In-place counterpart of [`WorstBinRemove`].
+/// Empties the currently fullest bin.
 #[derive(Clone, Copy, Debug)]
 pub struct WorstBinRemoveInPlace;
 
@@ -380,7 +286,7 @@ impl DestroyInPlace<PartitionProblem> for WorstBinRemoveInPlace {
     }
 }
 
-/// In-place counterpart of [`GreedyInsert`].
+/// Reinserts removed items, heaviest first, into the lightest bin.
 #[derive(Clone, Copy, Debug)]
 pub struct GreedyInsertInPlace;
 
@@ -452,10 +358,18 @@ mod tests {
     #[test]
     fn random_remove_respects_intensity() {
         let p = PartitionProblem::random(10, 2, 1);
+        let mut state = p.make_state(p.all_in_first_bin());
         let mut rng = StdRng::seed_from_u64(2);
-        let (partial, removed) = RandomRemove.destroy(&p, &p.all_in_first_bin(), 0.3, &mut rng);
-        assert_eq!(removed.len(), 3);
-        assert_eq!(partial.iter().filter(|&&b| b == UNASSIGNED).count(), 3);
+        RandomRemoveInPlace.destroy(&p, &mut state, 0.3, &mut rng);
+        assert_eq!(state.removed().len(), 3);
+        assert_eq!(
+            state
+                .solution()
+                .iter()
+                .filter(|&&b| b == UNASSIGNED)
+                .count(),
+            3
+        );
     }
 
     #[test]
@@ -464,11 +378,11 @@ mod tests {
             items: vec![5.0, 1.0, 1.0],
             bins: 2,
         };
-        let sol = vec![0, 1, 1]; // bin0=5, bin1=2
+        let mut state = p.make_state(vec![0, 1, 1]); // bin0=5, bin1=2
         let mut rng = StdRng::seed_from_u64(3);
-        let (partial, removed) = WorstBinRemove.destroy(&p, &sol, 0.5, &mut rng);
-        assert_eq!(removed, vec![0]);
-        assert_eq!(partial[0], UNASSIGNED);
+        WorstBinRemoveInPlace.destroy(&p, &mut state, 0.5, &mut rng);
+        assert_eq!(state.removed(), &[0]);
+        assert_eq!(state.solution()[0], UNASSIGNED);
     }
 
     #[test]
@@ -477,12 +391,11 @@ mod tests {
             items: vec![4.0, 3.0, 2.0, 1.0],
             bins: 2,
         };
-        let partial = vec![UNASSIGNED; 4];
-        let removed = vec![0, 1, 2, 3];
+        let mut state = p.make_state(vec![UNASSIGNED; 4]);
+        assert_eq!(state.removed().len(), 4);
         let mut rng = StdRng::seed_from_u64(4);
-        let sol = GreedyInsert
-            .repair(&p, (partial, removed), &mut rng)
-            .unwrap();
+        assert!(GreedyInsertInPlace.repair(&p, &mut state, &mut rng));
+        let sol = p.snapshot(&state);
         assert!(p.is_feasible(&sol));
         // LPT on {4,3,2,1} into 2 bins gives 5/5: perfectly balanced.
         assert!((p.objective(&sol) - 1.0).abs() < 1e-12);

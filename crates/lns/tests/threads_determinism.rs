@@ -8,11 +8,10 @@
 //! function because the override is process-global.
 
 use rex_lns::toy::{
-    GreedyInsert, GreedyInsertInPlace, PartitionProblem, RandomRemove, RandomRemoveInPlace,
-    WorstBinRemove, WorstBinRemoveInPlace,
+    GreedyInsertInPlace, PartitionProblem, RandomRemoveInPlace, WorstBinRemoveInPlace,
 };
 use rex_lns::{
-    portfolio_search, portfolio_search_in_place_recorded, LnsConfig, PortfolioConfig,
+    portfolio_search_recorded, CloneOracle, InPlaceModel, LnsConfig, PortfolioConfig,
     PortfolioOutcome, SimulatedAnnealing,
 };
 use rex_obs::Recorder;
@@ -30,35 +29,54 @@ fn cfg() -> PortfolioConfig {
     }
 }
 
-fn run_clone(problem: &PartitionProblem, initial: &[usize]) -> PortfolioOutcome<Vec<usize>> {
-    portfolio_search(
-        problem,
-        &initial.to_vec(),
-        SEED,
-        &cfg(),
-        || vec![Box::new(RandomRemove), Box::new(WorstBinRemove)],
-        || vec![Box::new(GreedyInsert)],
-        || Box::new(SimulatedAnnealing::for_normalized_loads(1_200)),
-    )
-}
-
 fn run_in_place(
     problem: &PartitionProblem,
     initial: &[usize],
     rec: &mut Recorder,
 ) -> PortfolioOutcome<Vec<usize>> {
-    portfolio_search_in_place_recorded(
-        problem,
+    portfolio_search_recorded(
         &initial.to_vec(),
         SEED,
         &cfg(),
-        || {
-            vec![
-                Box::new(RandomRemoveInPlace),
-                Box::new(WorstBinRemoveInPlace),
-            ]
+        |start| {
+            InPlaceModel::new(
+                problem,
+                start,
+                vec![
+                    Box::new(RandomRemoveInPlace),
+                    Box::new(WorstBinRemoveInPlace),
+                ],
+                vec![Box::new(GreedyInsertInPlace)],
+            )
         },
-        || vec![Box::new(GreedyInsertInPlace)],
+        || Box::new(SimulatedAnnealing::for_normalized_loads(1_200)),
+        rec,
+    )
+}
+
+/// The same portfolio over the clone-based differential oracle: identical
+/// operator protocol and RNG consumption, reverts by cloning a saved state
+/// instead of replaying the undo log.
+fn run_oracle(
+    problem: &PartitionProblem,
+    initial: &[usize],
+    rec: &mut Recorder,
+) -> PortfolioOutcome<Vec<usize>> {
+    portfolio_search_recorded(
+        &initial.to_vec(),
+        SEED,
+        &cfg(),
+        |start| {
+            CloneOracle::new(
+                problem,
+                start,
+                vec![
+                    Box::new(RandomRemoveInPlace),
+                    Box::new(WorstBinRemoveInPlace),
+                ],
+                vec![Box::new(GreedyInsertInPlace)],
+            )
+        },
         || Box::new(SimulatedAnnealing::for_normalized_loads(1_200)),
         rec,
     )
@@ -100,17 +118,24 @@ fn portfolio_results_and_traces_are_thread_count_independent() {
 
     // Reference runs with the default thread count.
     rayon::set_threads_override(None);
-    let clone_ref = run_clone(&problem, &initial);
     let mut rec_ref = Recorder::active();
     let in_place_ref = run_in_place(&problem, &initial, &mut rec_ref);
     let jsonl_ref = rec_ref.to_jsonl();
     assert!(!jsonl_ref.is_empty());
 
+    // The oracle model follows the exact same trajectory as the undo-log
+    // model — the spine's differential contract, here at portfolio scope.
+    let mut rec_oracle = Recorder::active();
+    let oracle_ref = run_oracle(&problem, &initial, &mut rec_oracle);
+    assert_same(&in_place_ref, &oracle_ref, "oracle portfolio");
+    assert_eq!(
+        rec_oracle.to_jsonl(),
+        jsonl_ref,
+        "oracle trace not byte-identical"
+    );
+
     for threads in [1usize, 2, 3, 8] {
         rayon::set_threads_override(Some(threads));
-
-        let c = run_clone(&problem, &initial);
-        assert_same(&clone_ref, &c, &format!("clone portfolio @{threads}t"));
 
         let mut rec = Recorder::active();
         let p = run_in_place(&problem, &initial, &mut rec);
@@ -123,6 +148,15 @@ fn portfolio_results_and_traces_are_thread_count_independent() {
             rec.to_jsonl(),
             jsonl_ref,
             "trace not byte-identical with {threads} threads"
+        );
+
+        let mut rec_o = Recorder::active();
+        let o = run_oracle(&problem, &initial, &mut rec_o);
+        assert_same(&in_place_ref, &o, &format!("oracle portfolio @{threads}t"));
+        assert_eq!(
+            rec_o.to_jsonl(),
+            jsonl_ref,
+            "oracle trace not byte-identical with {threads} threads"
         );
     }
 

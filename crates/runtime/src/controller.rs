@@ -14,10 +14,8 @@
 use crate::config::{ControllerConfig, ControllerPolicy};
 use crate::exec::{batch_durations, MigrationKind, PlannedMigration};
 use rex_baselines::{GreedyRebalancer, Rebalancer};
-use rex_cluster::{
-    plan_migration, Assignment, Instance, MachineId, Objective, ObjectiveKind, PlannerConfig,
-};
-use rex_core::{solve_with_drain, SraConfig};
+use rex_cluster::{plan_migration, Assignment, Instance, MachineId, PlannerConfig};
+use rex_core::{solve_with_drain, SolveOptions};
 use std::collections::VecDeque;
 
 /// Rolling-window trigger logic.
@@ -94,17 +92,17 @@ pub fn plan_load_rebalance(
     match ctrl.policy {
         ControllerPolicy::Off => Err("policy `off` never plans".into()),
         ControllerPolicy::Sra => {
-            let cfg = SraConfig {
-                iters: ctrl.sra_iters,
-                objective: Objective {
-                    kind: ObjectiveKind::PeakLoad,
-                    lambda: ctrl.sra_lambda,
-                },
-                seed,
-                workers: 1,
-                partitions: ctrl.sra_partitions,
-                ..Default::default()
-            };
+            // Controller policy knobs are layered onto the solver defaults
+            // and validated at the boundary: a misconfigured controller is
+            // reported as a planning error, never a panic mid-solve.
+            let cfg = SolveOptions::new()
+                .iters(ctrl.sra_iters)
+                .lambda(ctrl.sra_lambda)
+                .seed(seed)
+                .workers(1)
+                .partitions(ctrl.sra_partitions)
+                .build_for(snapshot)
+                .map_err(|e| format!("controller solver config: {e}"))?;
             let res = solve_with_drain(snapshot, &cfg, failed).map_err(|e| e.to_string())?;
             let durations = batch_durations(snapshot, &res.plan, copy_bandwidth, overhead_ticks);
             Ok(PlannedMigration {
@@ -178,12 +176,12 @@ pub fn plan_evacuation(
     if let Some(pm) = greedy_evacuation(snapshot, failed, copy_bandwidth, overhead_ticks) {
         return Ok(pm);
     }
-    let cfg = SraConfig {
-        iters: 1_500,
-        seed,
-        workers: 1,
-        ..Default::default()
-    };
+    let cfg = SolveOptions::new()
+        .iters(1_500)
+        .seed(seed)
+        .workers(1)
+        .build_for(snapshot)
+        .map_err(|e| format!("evacuation solver config: {e}"))?;
     let res = solve_with_drain(snapshot, &cfg, failed).map_err(|e| e.to_string())?;
     let durations = batch_durations(snapshot, &res.plan, copy_bandwidth, overhead_ticks);
     Ok(PlannedMigration {

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Solver perf trajectory: times the portfolio vs decomposed search and
-# writes machine-readable records to BENCH_solver.json at the repo root
-# (schema documented in EXPERIMENTS.md §"Perf trajectory").
+# Solver perf trajectory: times the serial engine spine, the portfolio,
+# and the decomposed search, writing machine-readable records to
+# BENCH_solver.json at the repo root (schema documented in EXPERIMENTS.md
+# §"Perf trajectory").
 # Usage: scripts/bench_to_json.sh [--quick] [--check]
 #   --quick  REX_QUICK=1: smallest size only, scaled iterations (CI smoke)
 #   --check  do not rewrite the snapshot; compare the fresh measurement
 #            against the committed BENCH_solver.json and fail on a >10%
-#            ns_per_iter regression for any matching (bench, size, threads)
+#            wall ns_per_iter regression for any matching (bench, size,
+#            threads) — except `engine_spine` records, which gate on the
+#            noise-immune cpu_ns_per_iter metric at a strict 2%
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -48,11 +48,15 @@ test -s "$tracedir/a.jsonl"
 REX_THREADS=1 ./target/release/rex trace --seed 42 --workers 4 --iters 1500 --out "$tracedir/s1.jsonl" >/dev/null
 REX_THREADS=8 ./target/release/rex trace --seed 42 --workers 4 --iters 1500 --out "$tracedir/s8.jsonl" >/dev/null
 cmp "$tracedir/s1.jsonl" "$tracedir/s8.jsonl"
+REX_THREADS=1 ./target/release/rex trace --seed 42 --iters 1500 --out "$tracedir/e1.jsonl" >/dev/null
+REX_THREADS=8 ./target/release/rex trace --seed 42 --iters 1500 --out "$tracedir/e8.jsonl" >/dev/null
+cmp "$tracedir/e1.jsonl" "$tracedir/e8.jsonl"
+test -s "$tracedir/e1.jsonl"
 REX_THREADS=1 ./target/release/rex trace --seed 42 --partitions 4 --iters 1500 --out "$tracedir/d1.jsonl" >/dev/null
 REX_THREADS=8 ./target/release/rex trace --seed 42 --partitions 4 --iters 1500 --out "$tracedir/d8.jsonl" >/dev/null
 cmp "$tracedir/d1.jsonl" "$tracedir/d8.jsonl"
 test -s "$tracedir/d1.jsonl"
 rm -rf "$tracedir"
-echo "traces byte-identical across runs and thread counts (portfolio and decomposed)"
+echo "traces byte-identical across runs and thread counts (serial spine, portfolio, decomposed)"
 
 echo "All experiment outputs written to $outdir/."

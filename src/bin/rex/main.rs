@@ -16,17 +16,22 @@
 //! so a solve on one machine can be verified on another, and two same-seed
 //! `simulate` runs write byte-identical metrics files.
 //!
-//! Every command declares which `--key value` flags and which valueless
-//! `--switch` flags it accepts; anything else is rejected with an error
-//! instead of being silently ignored.
+//! Argument parsing is table-driven ([`cli`]): every command declares its
+//! flag vocabulary in one registry, the solver commands share their flag
+//! groups, and anything unrecognized is rejected with an error instead of
+//! being silently ignored. Solver flags are validated once, at the
+//! [`SolveOptions`] boundary, before any search starts.
 
+mod cli;
+
+use cli::{get, get_or, has, parse, parse_args, spec_of};
 use resource_exchange::baselines::{
     FfdRepacker, GreedyRebalancer, LocalSearchRebalancer, Rebalancer,
 };
 use resource_exchange::cluster::{
     verify_schedule, Assignment, BalanceReport, Instance, MachineId, MigrationPlan,
 };
-use resource_exchange::core::{solve_traced, solve_with_drain, SraConfig};
+use resource_exchange::core::{solve_traced, solve_with_drain, SolveOptions, SraConfig};
 use resource_exchange::obs::Recorder;
 use resource_exchange::runtime::{DriftSpec, FaultSpec, RuntimeConfig, Simulation};
 use resource_exchange::workload::io;
@@ -49,81 +54,26 @@ struct SolutionFile {
     returned: Vec<MachineId>,
 }
 
-/// What a command accepts: flags that take a value and valueless switches.
-struct ArgSpec {
-    /// `--key value` flags.
-    values: &'static [&'static str],
-    /// `--flag` switches (present or absent, no value).
-    switches: &'static [&'static str],
-}
-
-/// Parses `--key value` / `--key=value` / `--switch` arguments against
-/// `spec`.
-///
-/// Unrecognized keys, missing values, repeated flags, switches given an
-/// `=value`, and bare positional words are all hard errors — a typo must
-/// never be silently ignored. Switches are stored with an empty value; use
-/// [`has`] to query them.
-fn parse_args(args: &[String], spec: &ArgSpec) -> Result<HashMap<String, String>, String> {
-    let mut out = HashMap::new();
-    let mut i = 0;
-    while i < args.len() {
-        let word = args[i]
-            .strip_prefix("--")
-            .ok_or_else(|| format!("expected --flag, got `{}`", args[i]))?;
-        let entry = if let Some((key, value)) = word.split_once('=') {
-            if spec.values.contains(&key) {
-                i += 1;
-                (key.to_string(), value.to_string())
-            } else if spec.switches.contains(&key) {
-                return Err(format!("--{key} does not take a value"));
-            } else {
-                return Err(format!("unrecognized flag --{key}"));
-            }
-        } else if spec.values.contains(&word) {
-            let value = args
-                .get(i + 1)
-                .filter(|v| !v.starts_with("--"))
-                .ok_or_else(|| format!("--{word} needs a value"))?;
-            i += 2;
-            (word.to_string(), value.clone())
-        } else if spec.switches.contains(&word) {
-            i += 1;
-            (word.to_string(), String::new())
-        } else {
-            return Err(format!("unrecognized flag --{word}"));
-        };
-        let key = entry.0.clone();
-        if out.insert(entry.0, entry.1).is_some() {
-            return Err(format!("--{key} given more than once"));
-        }
-    }
-    Ok(out)
-}
-
-/// True when switch `key` was given.
-fn has(args: &HashMap<String, String>, key: &str) -> bool {
-    args.contains_key(key)
-}
-
-fn get<'a>(args: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
-    args.get(key)
-        .map(String::as_str)
-        .ok_or_else(|| format!("missing --{key}"))
-}
-
-fn get_or<'a>(args: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'a str {
-    args.get(key).map(String::as_str).unwrap_or(default)
-}
-
-fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
-    s.parse()
-        .map_err(|_| format!("cannot parse `{s}` as {what}"))
-}
-
 fn load_instance(args: &HashMap<String, String>) -> Result<Instance, String> {
     let path = get(args, "inst")?;
     io::load(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))
+}
+
+/// Builds the validated solver configuration from the shared solver flags
+/// (`--iters`, `--workers`, `--partitions`, `--seed`) — the one config
+/// path `solve` and `trace` have in common.
+fn solver_config(
+    args: &HashMap<String, String>,
+    default_iters: &str,
+    inst: &Instance,
+) -> Result<SraConfig, String> {
+    SolveOptions::new()
+        .iters(parse(get_or(args, "iters", default_iters), "u64")?)
+        .workers(parse(get_or(args, "workers", "1"), "usize")?)
+        .partitions(parse(get_or(args, "partitions", "0"), "usize")?)
+        .seed(parse(get_or(args, "seed", "42"), "u64")?)
+        .build_for(inst)
+        .map_err(|e| e.to_string())
 }
 
 fn cmd_generate(args: &HashMap<String, String>) -> Result<(), String> {
@@ -193,13 +143,7 @@ fn cmd_inspect(args: &HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_solve(args: &HashMap<String, String>) -> Result<(), String> {
     let inst = load_instance(args)?;
-    let cfg = SraConfig {
-        iters: parse(get_or(args, "iters", "10000"), "u64")?,
-        workers: parse(get_or(args, "workers", "1"), "usize")?,
-        partitions: parse(get_or(args, "partitions", "0"), "usize")?,
-        seed: parse(get_or(args, "seed", "42"), "u64")?,
-        ..Default::default()
-    };
+    let cfg = solver_config(args, "10000", &inst)?;
     // --drain 3,7 marks machines 3 and 7 for decommission.
     let drain: Vec<MachineId> = match args.get("drain") {
         None => Vec::new(),
@@ -412,13 +356,7 @@ fn cmd_trace(args: &HashMap<String, String>) -> Result<(), String> {
         })
         .map_err(|e| e.to_string())?
     };
-    let cfg = SraConfig {
-        iters: parse(get_or(args, "iters", "4000"), "u64")?,
-        workers: parse(get_or(args, "workers", "1"), "usize")?,
-        partitions: parse(get_or(args, "partitions", "0"), "usize")?,
-        seed,
-        ..Default::default()
-    };
+    let cfg = solver_config(args, "4000", &inst)?;
     let mut rec = Recorder::active();
     let res = solve_traced(&inst, &cfg, &[], &mut rec).map_err(|e| e.to_string())?;
     if let Some(out) = args.get("out") {
@@ -433,92 +371,6 @@ fn cmd_trace(args: &HashMap<String, String>) -> Result<(), String> {
         println!("trace written to {out}");
     }
     Ok(())
-}
-
-/// The flag vocabulary of each command.
-fn spec_of(cmd: &str) -> Option<ArgSpec> {
-    let spec = match cmd {
-        "generate" => ArgSpec {
-            values: &[
-                "out",
-                "family",
-                "placement",
-                "hot-fraction",
-                "machines",
-                "exchange",
-                "shards",
-                "dims",
-                "stringency",
-                "alpha",
-                "seed",
-                "profile",
-            ],
-            switches: &[],
-        },
-        "inspect" => ArgSpec {
-            values: &["inst"],
-            switches: &[],
-        },
-        "solve" => ArgSpec {
-            values: &[
-                "inst",
-                "iters",
-                "workers",
-                "partitions",
-                "seed",
-                "out",
-                "drain",
-            ],
-            switches: &[],
-        },
-        "baseline" => ArgSpec {
-            values: &["inst", "method"],
-            switches: &[],
-        },
-        "verify" => ArgSpec {
-            values: &["inst", "solution"],
-            switches: &[],
-        },
-        "simulate" => ArgSpec {
-            values: &[
-                "inst",
-                "machines",
-                "exchange",
-                "shards",
-                "ticks",
-                "seed",
-                "controller",
-                "qps",
-                "out",
-                "crash-at",
-                "crash-machine",
-                "recover-at",
-                "spike-at",
-                "spike-duration",
-                "spike-factor",
-                "spike-fraction",
-                "drift-every",
-                "trace",
-            ],
-            switches: &["no-drift", "quiet"],
-        },
-        "trace" => ArgSpec {
-            values: &[
-                "inst",
-                "machines",
-                "exchange",
-                "shards",
-                "iters",
-                "workers",
-                "partitions",
-                "seed",
-                "out",
-            ],
-            switches: &[],
-        },
-        _ => return None,
-    };
-    Some(spec)
 }
 
 const USAGE: &str =
@@ -539,7 +391,14 @@ const USAGE: &str =
            [--drift-every N] [--no-drift] [--out FILE] [--trace FILE] [--quiet]
   trace    [--inst FILE | --machines N --shards N --exchange N]
            [--iters N] [--workers N] [--partitions K] [--seed N] [--out FILE]
-           (one traced SRA solve: prints the roll-up, --out writes JSONL)";
+           (one traced SRA solve: prints the roll-up, --out writes JSONL)
+
+Solver scaling (shared by solve/trace): --workers W runs a W-way
+independent portfolio, --partitions K the cooperative decomposed solver
+over K shard-disjoint neighborhoods; both are deterministic for a fixed
+seed regardless of thread count (REX_THREADS). Out-of-range solver flags
+are rejected before the search starts (e.g. --iters 0, --partitions
+exceeding the fleet).";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -547,9 +406,13 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    if cmd == "--help" || cmd == "help" {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let result = match spec_of(cmd) {
         None => Err(format!("unknown command `{cmd}`\n{USAGE}")),
-        Some(spec) => parse_args(rest, &spec).and_then(|args| match cmd.as_str() {
+        Some(spec) => parse_args(rest, spec).and_then(|args| match cmd.as_str() {
             "generate" => cmd_generate(&args),
             "inspect" => cmd_inspect(&args),
             "solve" => cmd_solve(&args),
@@ -578,96 +441,6 @@ mod tests {
             .iter()
             .map(|(k, v)| (k.to_string(), v.to_string()))
             .collect()
-    }
-
-    fn argv(words: &[&str]) -> Vec<String> {
-        words.iter().map(|w| w.to_string()).collect()
-    }
-
-    #[test]
-    fn parse_args_happy_path() {
-        let spec = spec_of("solve").unwrap();
-        let a = parse_args(&argv(&["--inst", "x.json", "--iters", "5"]), &spec).unwrap();
-        assert_eq!(get(&a, "inst").unwrap(), "x.json");
-        assert_eq!(get_or(&a, "iters", "1"), "5");
-        assert_eq!(get_or(&a, "missing", "d"), "d");
-    }
-
-    #[test]
-    fn parse_args_rejects_bad_shapes() {
-        let spec = spec_of("solve").unwrap();
-        assert!(parse_args(&argv(&["positional"]), &spec).is_err());
-        assert!(parse_args(&argv(&["--iters"]), &spec).is_err());
-        // A value flag immediately followed by another flag has no value.
-        assert!(parse_args(&argv(&["--iters", "--seed", "3"]), &spec).is_err());
-    }
-
-    #[test]
-    fn parse_args_rejects_unknown_flags() {
-        let spec = spec_of("solve").unwrap();
-        let err = parse_args(&argv(&["--bogus", "1"]), &spec).unwrap_err();
-        assert!(err.contains("--bogus"), "error names the flag: {err}");
-        // A valid flag of a *different* command is still unknown here.
-        assert!(parse_args(&argv(&["--ticks", "100"]), &spec).is_err());
-    }
-
-    #[test]
-    fn parse_args_rejects_duplicates() {
-        let spec = spec_of("solve").unwrap();
-        assert!(parse_args(&argv(&["--seed", "1", "--seed", "2"]), &spec).is_err());
-    }
-
-    #[test]
-    fn parse_args_supports_valueless_switches() {
-        let spec = spec_of("simulate").unwrap();
-        let a = parse_args(&argv(&["--quiet", "--ticks", "50", "--no-drift"]), &spec).unwrap();
-        assert!(has(&a, "quiet"));
-        assert!(has(&a, "no-drift"));
-        assert!(!has(&a, "inst"));
-        assert_eq!(get_or(&a, "ticks", "0"), "50");
-        // Switches never consume the next word.
-        let b = parse_args(&argv(&["--no-drift", "--quiet"]), &spec).unwrap();
-        assert!(has(&b, "no-drift") && has(&b, "quiet"));
-        // Switches given a value: the value is a positional word → error.
-        assert!(parse_args(&argv(&["--quiet", "yes"]), &spec).is_err());
-    }
-
-    #[test]
-    fn every_command_has_a_spec_and_unknowns_do_not() {
-        for cmd in [
-            "generate", "inspect", "solve", "baseline", "verify", "simulate", "trace",
-        ] {
-            assert!(spec_of(cmd).is_some(), "missing spec for {cmd}");
-        }
-        assert!(spec_of("frobnicate").is_none());
-    }
-
-    #[test]
-    fn parse_args_supports_equals_syntax() {
-        let spec = spec_of("solve").unwrap();
-        let a = parse_args(&argv(&["--inst=x.json", "--iters=5"]), &spec).unwrap();
-        assert_eq!(get(&a, "inst").unwrap(), "x.json");
-        assert_eq!(get_or(&a, "iters", "1"), "5");
-        // Mixed styles in one invocation.
-        let b = parse_args(&argv(&["--inst=x.json", "--iters", "7"]), &spec).unwrap();
-        assert_eq!(get_or(&b, "iters", "1"), "7");
-        // Values containing `=` split only on the first.
-        let c = parse_args(&argv(&["--inst=a=b.json"]), &spec).unwrap();
-        assert_eq!(get(&c, "inst").unwrap(), "a=b.json");
-        // An empty value is allowed by the syntax (caught downstream).
-        let d = parse_args(&argv(&["--inst="]), &spec).unwrap();
-        assert_eq!(get(&d, "inst").unwrap(), "");
-    }
-
-    #[test]
-    fn parse_args_equals_syntax_rejections() {
-        let spec = spec_of("simulate").unwrap();
-        // Switches never take `=value`.
-        assert!(parse_args(&argv(&["--quiet=1"]), &spec).is_err());
-        // Unknown flags stay unknown with `=`.
-        assert!(parse_args(&argv(&["--bogus=1"]), &spec).is_err());
-        // Duplicate detection spans both styles.
-        assert!(parse_args(&argv(&["--seed=1", "--seed", "2"]), &spec).is_err());
     }
 
     #[test]
@@ -798,6 +571,35 @@ mod tests {
     fn unknown_family_is_rejected() {
         let e = cmd_generate(&args(&[("out", "/tmp/x.json"), ("family", "nope")]));
         assert!(e.is_err());
+    }
+
+    #[test]
+    fn solver_flags_are_validated_at_the_boundary() {
+        let dir = std::env::temp_dir().join("rex-cli-validate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst_path = dir.join("inst.json");
+        cmd_generate(&args(&[
+            ("out", inst_path.to_str().unwrap()),
+            ("machines", "4"),
+            ("exchange", "1"),
+            ("shards", "16"),
+        ]))
+        .unwrap();
+        // --iters 0 and --partitions > fleet are typed config errors, not
+        // panics or silent clamps.
+        let e = cmd_solve(&args(&[
+            ("inst", inst_path.to_str().unwrap()),
+            ("iters", "0"),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("iters"), "{e}");
+        let e = cmd_solve(&args(&[
+            ("inst", inst_path.to_str().unwrap()),
+            ("partitions", "99"),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("partitions") && e.contains("99"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
