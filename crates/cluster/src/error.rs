@@ -48,6 +48,9 @@ pub enum ClusterError {
     WrongFinalPlacement { shard: ShardId },
     /// The migration overhead factor is invalid.
     BadOverhead { alpha: f64 },
+    /// A shard merge was requested for shards that are not distinct,
+    /// not both present, or not co-located on one machine.
+    BadMerge { keep: ShardId, drop: ShardId },
 }
 
 impl fmt::Display for ClusterError {
@@ -116,6 +119,13 @@ impl fmt::Display for ClusterError {
                 write!(f, "schedule leaves shard {shard} off its target machine")
             }
             BadOverhead { alpha } => write!(f, "migration overhead alpha={alpha} invalid"),
+            BadMerge { keep, drop } => {
+                write!(
+                    f,
+                    "cannot merge shard {drop} into {keep}: shards must be \
+                     distinct, present, and co-located"
+                )
+            }
         }
     }
 }

@@ -175,6 +175,64 @@ impl Instance {
         }
         Ok(())
     }
+
+    /// Splits shard `s` in place: `s` keeps exactly half of its demand and
+    /// move cost, and a new shard carrying the other half is appended on
+    /// the same machine. Returns the new shard's id.
+    ///
+    /// Halving is `× 0.5`, which is exact in IEEE-754, and the new shard is
+    /// always the *last* entry, so `merge_shards(s, new)` restores the
+    /// instance bit-for-bit (no renumbering, `0.5·d + 0.5·d = d` exactly).
+    /// Total demand, per-machine usage, and therefore capacity feasibility
+    /// and vacancy counts are all preserved: a valid instance stays valid.
+    pub fn split_shard(&mut self, s: ShardId) -> ShardId {
+        assert!(s.idx() < self.shards.len(), "split of unknown shard {s}");
+        let half = self.shards[s.idx()].demand.scaled(0.5);
+        let half_cost = self.shards[s.idx()].move_cost * 0.5;
+        self.shards[s.idx()].demand = half;
+        self.shards[s.idx()].move_cost = half_cost;
+        let id = ShardId::from(self.shards.len());
+        self.shards.push(Shard::new(id, half, half_cost));
+        self.initial.push(self.initial[s.idx()]);
+        id
+    }
+
+    /// Merges shard `drop` into `keep`: `keep` absorbs `drop`'s demand and
+    /// move cost, and `drop` is removed from the shard list. Both shards
+    /// must exist, be distinct, and be co-located in `initial` (merging
+    /// across machines would teleport load without a migration).
+    ///
+    /// The shard list stays densely id-numbered by swap-removing `drop`;
+    /// when that renumbers another shard into the vacated id, its *old* id
+    /// is returned so callers can remap outstanding references (spike
+    /// lists, load caches, schedulers). `Ok(None)` means `drop` was the
+    /// last shard and nothing was renumbered.
+    pub fn merge_shards(
+        &mut self,
+        keep: ShardId,
+        drop: ShardId,
+    ) -> Result<Option<ShardId>, ClusterError> {
+        let n = self.shards.len();
+        if keep == drop || keep.idx() >= n || drop.idx() >= n {
+            return Err(ClusterError::BadMerge { keep, drop });
+        }
+        if self.initial[keep.idx()] != self.initial[drop.idx()] {
+            return Err(ClusterError::BadMerge { keep, drop });
+        }
+        let absorbed = self.shards[drop.idx()].demand;
+        let absorbed_cost = self.shards[drop.idx()].move_cost;
+        self.shards[keep.idx()].demand += &absorbed;
+        self.shards[keep.idx()].move_cost += absorbed_cost;
+        self.shards.swap_remove(drop.idx());
+        self.initial.swap_remove(drop.idx());
+        if drop.idx() < self.shards.len() {
+            let moved = self.shards[drop.idx()].id;
+            self.shards[drop.idx()].id = drop;
+            Ok(Some(moved))
+        } else {
+            Ok(None)
+        }
+    }
 }
 
 /// Ergonomic construction of [`Instance`]s for tests, examples, and
@@ -368,6 +426,65 @@ mod tests {
         back.validate().unwrap();
         assert_eq!(back.n_shards(), inst.n_shards());
         assert_eq!(back.label, "tiny");
+    }
+
+    #[test]
+    fn split_halves_demand_and_stays_valid() {
+        let mut inst = tiny();
+        let total = inst.total_demand();
+        let new = inst.split_shard(ShardId(0));
+        assert_eq!(new, ShardId(3));
+        inst.validate().unwrap();
+        assert_eq!(inst.n_shards(), 4);
+        assert_eq!(inst.initial[3], inst.initial[0]);
+        assert_eq!(inst.demand(ShardId(0)).as_slice(), &[2.0, 1.0]);
+        assert_eq!(inst.demand(new).as_slice(), &[2.0, 1.0]);
+        assert_eq!(inst.shards[0].move_cost, 0.5);
+        assert_eq!(inst.total_demand().as_slice(), total.as_slice());
+    }
+
+    #[test]
+    fn merge_of_split_is_bitwise_identity() {
+        let inst = tiny();
+        let before = serde_json::to_string(&inst).unwrap();
+        let mut m = inst.clone();
+        let new = m.split_shard(ShardId(1));
+        assert_eq!(m.merge_shards(ShardId(1), new).unwrap(), None);
+        assert_eq!(serde_json::to_string(&m).unwrap(), before);
+    }
+
+    #[test]
+    fn merge_renumbers_the_displaced_last_shard() {
+        // Merge s0 into s1 (both on m0): s2 is swap-moved into id 0.
+        let mut inst = tiny();
+        let moved = inst.merge_shards(ShardId(1), ShardId(0)).unwrap();
+        assert_eq!(moved, Some(ShardId(2)));
+        inst.validate().unwrap();
+        assert_eq!(inst.n_shards(), 2);
+        // The old s2 now answers to id 0 on its old machine m1.
+        assert_eq!(inst.demand(ShardId(0)).as_slice(), &[2.0, 2.0]);
+        assert_eq!(inst.initial[0], MachineId(1));
+        // The merged shard carries both demands and move costs.
+        assert_eq!(inst.demand(ShardId(1)).as_slice(), &[7.0, 5.0]);
+        assert_eq!(inst.shards[1].move_cost, 2.0);
+    }
+
+    #[test]
+    fn merge_rejects_bad_pairs() {
+        let mut inst = tiny();
+        // Not co-located: s0 on m0, s2 on m1.
+        assert!(matches!(
+            inst.merge_shards(ShardId(0), ShardId(2)),
+            Err(ClusterError::BadMerge { .. })
+        ));
+        // Not distinct.
+        assert!(inst.merge_shards(ShardId(0), ShardId(0)).is_err());
+        // Not present.
+        assert!(inst.merge_shards(ShardId(0), ShardId(9)).is_err());
+        assert!(inst.merge_shards(ShardId(9), ShardId(0)).is_err());
+        // The failed attempts mutated nothing.
+        inst.validate().unwrap();
+        assert_eq!(inst.n_shards(), 3);
     }
 
     #[test]

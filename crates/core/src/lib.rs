@@ -35,6 +35,7 @@
 //! [`sra::SraConfig::workers`]).
 
 pub mod decomposed;
+pub mod delta;
 pub mod destroy;
 pub mod options;
 pub mod problem;
@@ -43,6 +44,7 @@ pub mod sra;
 pub mod state;
 
 pub use decomposed::decomposed_search;
+pub use delta::{solve_delta, DeltaOutcome, TargetedRemoval};
 pub use destroy::{
     default_destroys_in_place, MachineExchangeRemoval, RandomRemoval, RelatedRemoval,
     WorstMachineRemoval,

@@ -42,7 +42,10 @@ pub enum ConfigError {
         /// The offending weight.
         lambda: f64,
     },
-    /// More partitions requested than machines in the fleet.
+    /// Too many partitions for the fleet: decomposition needs at least two
+    /// machines per partition, so `partitions` must stay below the machine
+    /// count (a fleet-sized request would hand every partition a single
+    /// machine and a zero vacancy quota).
     TooManyPartitions {
         /// Partitions requested.
         partitions: usize,
@@ -71,7 +74,8 @@ impl std::fmt::Display for ConfigError {
                 machines,
             } => write!(
                 f,
-                "{partitions} partitions requested but the fleet has only {machines} machines"
+                "{partitions} partitions requested but the fleet has only {machines} \
+                 machines (every partition needs at least two)"
             ),
         }
     }
@@ -190,14 +194,16 @@ impl SolveOptions {
         Ok(cfg)
     }
 
-    /// [`SolveOptions::build`] plus the fleet-dependent checks: requesting
-    /// more partitions than the fleet has machines is a configuration
-    /// error, not something to clamp silently. (The decomposed solver
-    /// still tightens valid widths to at most half the machine count so
-    /// every partition holds at least two machines.)
+    /// [`SolveOptions::build`] plus the fleet-dependent checks: a
+    /// decomposed solve (`partitions > 1`) needs at least two machines per
+    /// partition, so `partitions >= n_machines` is a configuration error,
+    /// not something to clamp silently — a fleet-sized width would hand
+    /// every partition one machine and a zero vacancy quota, which only
+    /// blows up later inside `partition_fleet`. (The decomposed solver
+    /// still tightens valid widths to at most half the machine count.)
     pub fn build_for(self, inst: &Instance) -> Result<SraConfig, ConfigError> {
         let cfg = self.build()?;
-        if cfg.partitions > inst.n_machines() {
+        if cfg.partitions > 1 && cfg.partitions >= inst.n_machines() {
             return Err(ConfigError::TooManyPartitions {
                 partitions: cfg.partitions,
                 machines: inst.n_machines(),
@@ -303,8 +309,49 @@ mod tests {
                 machines: 3
             }
         );
-        // In-range widths pass; the solver clamps to >= 2 machines each.
-        SolveOptions::new().partitions(3).build_for(&inst).unwrap();
+        // A fleet-sized width (one machine, zero vacancy quota per
+        // partition) is rejected at the boundary too.
+        assert_eq!(
+            SolveOptions::new()
+                .partitions(3)
+                .build_for(&inst)
+                .unwrap_err(),
+            ConfigError::TooManyPartitions {
+                partitions: 3,
+                machines: 3
+            }
+        );
+        // fleet−1 stays below the machine count and is accepted (the
+        // decomposed solver clamps widths further), and `partitions <= 1`
+        // means "monolithic" — always accepted.
+        SolveOptions::new().partitions(2).build_for(&inst).unwrap();
+        SolveOptions::new().partitions(1).build_for(&inst).unwrap();
+        SolveOptions::new().partitions(0).build_for(&inst).unwrap();
+    }
+
+    #[test]
+    fn partition_edges_on_a_wider_fleet() {
+        // 6 machines: the fleet-sized width is rejected at the boundary;
+        // fleet−1 and below pass (the decomposed solver clamps further,
+        // to at most half the machine count).
+        let mut b = InstanceBuilder::new(1).label("opt6");
+        let m0 = b.machine(&[10.0]);
+        for _ in 0..4 {
+            b.machine(&[10.0]);
+        }
+        let _x = b.exchange_machine(&[10.0]);
+        b.shard(&[1.0], 1.0, m0);
+        let inst = b.build().unwrap();
+        assert!(matches!(
+            SolveOptions::new().partitions(6).build_for(&inst),
+            Err(ConfigError::TooManyPartitions {
+                partitions: 6,
+                machines: 6
+            })
+        ));
+        assert!(SolveOptions::new().partitions(5).build_for(&inst).is_ok());
+        assert!(SolveOptions::new().partitions(3).build_for(&inst).is_ok());
+        assert!(SolveOptions::new().partitions(1).build_for(&inst).is_ok());
     }
 
     #[test]

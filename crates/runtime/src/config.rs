@@ -4,6 +4,7 @@
 //! reproducible from `(Instance, RuntimeConfig)` alone — the simulator has
 //! no other inputs and no hidden clocks.
 
+use crate::hotshard::HotShardConfig;
 use serde::{Deserialize, Serialize};
 
 /// Which rebalancing policy the controller runs when it decides to act.
@@ -166,6 +167,10 @@ pub struct RuntimeConfig {
     pub sample_interval: u64,
     /// Controller configuration.
     pub controller: ControllerConfig,
+    /// Hot-shard control-plane configuration (disabled by default;
+    /// `#[serde(default)]` keeps older config files loadable).
+    #[serde(default)]
+    pub hotshard: HotShardConfig,
     /// Scheduled faults.
     pub faults: Vec<FaultSpec>,
     /// Periodic demand drift, if any.
@@ -187,6 +192,7 @@ impl Default for RuntimeConfig {
             plan_latency_ticks: 2,
             sample_interval: 10,
             controller: ControllerConfig::default(),
+            hotshard: HotShardConfig::default(),
             faults: Vec::new(),
             drift: None,
         }
@@ -218,6 +224,7 @@ impl RuntimeConfig {
             self.controller.sra_lambda >= 0.0,
             "sra_lambda must be non-negative"
         );
+        self.hotshard.validate();
         for f in &self.faults {
             if let FaultSpec::Spike {
                 factor,

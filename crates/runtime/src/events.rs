@@ -35,6 +35,9 @@ pub enum Event {
     SpikeStart(usize),
     /// Flash crowd `idx` ends.
     SpikeEnd(usize),
+    /// Hot-shard control-plane round: observe per-shard load, expire and
+    /// start operators (reschedules itself every hotshard poll interval).
+    HotShardPoll,
     /// Check whether failed machines still host shards and, if so, plan an
     /// evacuation (reschedules itself while blocked by an in-flight plan).
     EvacCheck,

@@ -25,6 +25,9 @@ pub enum MigrationKind {
     Load,
     /// Mandatory evacuation of failed machines.
     Evacuation,
+    /// Delta migration issued by the hot-shard control plane (no exchange
+    /// loan rotation on completion).
+    HotShard,
 }
 
 /// A plan adopted for execution, with its timing precomputed.

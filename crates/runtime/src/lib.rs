@@ -18,6 +18,9 @@
 //!   policies (SRA with resource exchange, the greedy baseline, off).
 //! * [`exec`] — timed batch execution with transient copy footprints, and
 //!   an independent event-boundary verifier of the transient constraint.
+//! * [`hotshard`] — the continuous hot-shard control plane: per-shard EWMA
+//!   observation in a bounded hot-peer cache, split/merge with a
+//!   hysteresis band, and an operator scheduler feeding the solver deltas.
 //! * [`metrics`] — counters, gauges, HDR-style latency histograms, and the
 //!   byte-deterministic JSON export.
 //! * [`sim`] — the [`Simulation`] event loop tying it all together.
@@ -35,6 +38,7 @@ pub mod config;
 pub mod controller;
 pub mod events;
 pub mod exec;
+pub mod hotshard;
 pub mod metrics;
 pub mod server;
 pub mod sim;
@@ -42,6 +46,12 @@ pub mod sim;
 pub use config::{ControllerConfig, ControllerPolicy, DriftSpec, FaultSpec, RuntimeConfig};
 pub use controller::Controller;
 pub use events::{Event, EventQueue};
-pub use exec::{verify_event_boundaries, BoundaryViolation, MigrationKind, PlannedMigration};
+pub use exec::{
+    batch_durations, verify_event_boundaries, BoundaryViolation, MigrationKind, PlannedMigration,
+};
+pub use hotshard::{
+    plan_hotshard_migration, EwmaCache, EwmaEntry, HotShardConfig, Operator, OperatorKind,
+    OperatorScheduler,
+};
 pub use metrics::{Counters, GaugeSample, LatencyHistogram, LatencySummary, MetricsExport};
 pub use sim::Simulation;

@@ -170,6 +170,16 @@ pub struct Counters {
     pub spikes_ended: u64,
     /// Demand-drift epochs applied.
     pub drift_epochs: u64,
+    /// Hot shards split by the hot-shard control plane.
+    pub shard_splits: u64,
+    /// Cold sibling pairs merged back by the hot-shard control plane.
+    pub shard_merges: u64,
+    /// Delta migrations the hot-shard control plane ran to completion.
+    pub hotshard_migrations: u64,
+    /// Hot-shard operators that expired in the pending queue.
+    pub hotshard_expired: u64,
+    /// Hot-shard operators cancelled by a machine crash.
+    pub hotshard_cancelled: u64,
 }
 
 /// One gauge sample.
@@ -189,6 +199,9 @@ pub struct GaugeSample {
     pub in_flight_moves: usize,
     /// Machines currently failed.
     pub failed_machines: usize,
+    /// Total shards in the instance (changes when hot-shard splits/merges
+    /// run; constant otherwise).
+    pub shards: usize,
 }
 
 /// Run identification echoed into the export.
@@ -307,6 +320,7 @@ mod tests {
                 effective_peak_rho: 0.5,
                 in_flight_moves: 0,
                 failed_machines: 0,
+                shards: 1,
             })
             .collect();
         let e = MetricsExport {
@@ -355,6 +369,7 @@ mod tests {
                     effective_peak_rho: 0.95,
                     in_flight_moves: 0,
                     failed_machines: 0,
+                    shards: 2,
                 }],
             }
         };

@@ -47,6 +47,7 @@ use crate::config::{ControllerPolicy, FaultSpec, RuntimeConfig};
 use crate::controller::{plan_evacuation, plan_load_rebalance, Controller};
 use crate::events::{Event, EventQueue};
 use crate::exec::{batch_footprint, MigrationKind, PlannedMigration};
+use crate::hotshard::{plan_hotshard_migration, EwmaCache, OperatorKind, OperatorScheduler};
 use crate::metrics::{GaugeSample, MetricsBus, MetricsExport, RunMeta};
 use crate::server::{diurnal_multiplier, effective_rho, sample_fanout_latency};
 use rand::rngs::StdRng;
@@ -106,6 +107,17 @@ pub struct Simulation {
     loan_k: usize,
     arrivals_rng: StdRng,
     latency_rng: StdRng,
+    /// Hot-peer cache of per-shard EWMA load fractions (hot-shard plane).
+    hotshard_cache: EwmaCache,
+    /// Operator scheduler for split/merge/migrate (hot-shard plane).
+    hotshard_sched: OperatorScheduler,
+    /// Sibling pairs produced by splits, `(parent, child)` — merge
+    /// candidates while both stay under the hysteresis band.
+    siblings: Vec<(ShardId, ShardId)>,
+    /// The running Migrate operator whose plan is currently in flight.
+    hotshard_plan_op: Option<u64>,
+    /// Hard shard-count cap resolved at construction.
+    hotshard_max_shards: usize,
     // Scratch buffers reused across ticks.
     rho: Vec<f64>,
     spike_cpu: Vec<f64>,
@@ -133,9 +145,30 @@ impl Simulation {
         let controller = Controller::new(cfg.controller);
         let arrivals_rng = StdRng::seed_from_u64(cfg.seed ^ 0xA441_7A15);
         let latency_rng = StdRng::seed_from_u64(cfg.seed ^ 0x1A7E_0C11);
+        let hs = cfg.hotshard;
+        let (hotshard_cache, hotshard_sched, hotshard_max_shards) = if hs.enabled {
+            (
+                EwmaCache::new(hs.cache_capacity, hs.ewma_alpha),
+                OperatorScheduler::new(hs.operator_limit, hs.operator_expiry_ticks),
+                if hs.max_shards == 0 {
+                    inst.n_shards().saturating_mul(4)
+                } else {
+                    hs.max_shards
+                },
+            )
+        } else {
+            // Inert placeholders: a disabled plane never polls, and its
+            // knobs are unvalidated, so do not build from them.
+            (EwmaCache::new(1, 1.0), OperatorScheduler::new(1, 0), 0)
+        };
         Self {
             base_label: inst.label.clone(),
             loan_k: inst.k_return,
+            hotshard_cache,
+            hotshard_sched,
+            siblings: Vec::new(),
+            hotshard_plan_op: None,
+            hotshard_max_shards,
             asg,
             queue: EventQueue::new(),
             controller,
@@ -240,6 +273,10 @@ impl Simulation {
             self.queue
                 .schedule(self.cfg.controller.poll_interval, Event::ControllerPoll);
         }
+        if self.cfg.hotshard.enabled {
+            self.queue
+                .schedule(self.cfg.hotshard.poll_interval, Event::HotShardPoll);
+        }
         for (i, f) in self.cfg.faults.iter().enumerate() {
             match *f {
                 FaultSpec::Crash {
@@ -275,6 +312,7 @@ impl Simulation {
             Event::Recover(m) => self.on_recover(m),
             Event::SpikeStart(i) => self.on_spike_start(i),
             Event::SpikeEnd(i) => self.on_spike_end(i),
+            Event::HotShardPoll => self.on_hotshard_poll(tick),
             Event::EvacCheck => self.on_evac_check(tick),
             Event::Drift => self.on_drift(tick),
             Event::End => unreachable!("End terminates the loop"),
@@ -383,8 +421,19 @@ impl Simulation {
             effective_peak_rho,
             in_flight_moves: self.active.as_ref().map_or(0, ActivePlan::moves_remaining),
             failed_machines: self.failed.iter().filter(|&&f| f).count(),
+            shards: self.inst.n_shards(),
         });
-        self.controller.observe(peak, imbalance);
+        // Feed the controller's trigger window only when no plan is in
+        // flight: a slow migration's transient peak would otherwise refill
+        // the window and double-trigger the moment the plan completes.
+        // Gauges above still record every sample for metrics/export.
+        // Feed the controller's trigger window only when no plan is in
+        // flight: a slow migration's transient peak would otherwise refill
+        // the window and double-trigger the moment the plan completes.
+        // Gauges above still record every sample for metrics/export.
+        if self.active.is_none() {
+            self.controller.observe(peak, imbalance);
+        }
     }
 
     /// One last gauge at the horizon so the series always covers the end.
@@ -465,6 +514,7 @@ impl Simulation {
                         match pm.kind {
                             MigrationKind::Load => "load",
                             MigrationKind::Evacuation => "evacuation",
+                            MigrationKind::HotShard => "hotshard",
                         }
                         .into(),
                     ),
@@ -599,6 +649,7 @@ impl Simulation {
                         match a.pm.kind {
                             MigrationKind::Load => "load",
                             MigrationKind::Evacuation => "evacuation",
+                            MigrationKind::HotShard => "hotshard",
                         }
                         .into(),
                     ),
@@ -609,9 +660,17 @@ impl Simulation {
             match a.pm.kind {
                 MigrationKind::Load => self.bus.counters.rebalances_completed += 1,
                 MigrationKind::Evacuation => {}
+                MigrationKind::HotShard => self.bus.counters.hotshard_migrations += 1,
             }
         } else {
             self.bus.counters.rebalances_aborted += 1;
+        }
+        if a.pm.kind == MigrationKind::HotShard {
+            // The migrate operator owns this plan; completed or aborted,
+            // its slot frees now (a crash-abort already cancelled it).
+            if let Some(op) = self.hotshard_plan_op.take() {
+                self.hotshard_sched.complete(op);
+            }
         }
         if completed && a.pm.kind == MigrationKind::Load {
             // The resource-exchange cycle: hand the solver's returned
@@ -676,6 +735,322 @@ impl Simulation {
         debug_assert!(self.inst.validate().is_ok(), "live instance must validate");
     }
 
+    // ---- hot-shard control plane ------------------------------------------
+
+    /// One observation/decision/execution round of the hot-shard plane.
+    fn on_hotshard_poll(&mut self, tick: u64) {
+        self.observe_shard_loads(tick);
+        let expired = self.hotshard_sched.expire(tick);
+        if !expired.is_empty() {
+            self.bus.counters.hotshard_expired += expired.len() as u64;
+            if self.obs.is_active() {
+                self.obs.event(
+                    "runtime",
+                    "hotshard_expired",
+                    vec![("operators", expired.len().into())],
+                );
+            }
+        }
+        self.propose_operators(tick);
+        self.run_operators(tick);
+        let next = tick + self.cfg.hotshard.poll_interval;
+        if next < self.cfg.ticks {
+            self.queue.schedule(next, Event::HotShardPoll);
+        }
+    }
+
+    /// Feeds every hosted shard's load fraction of its machine's capacity
+    /// (CPU dimension, active spikes included) into the hot-peer cache.
+    fn observe_shard_loads(&mut self, tick: u64) {
+        let n = self.inst.n_shards();
+        // Per-shard spike extra on the CPU dimension, compounding like the
+        // planning snapshot does.
+        let mut extra = vec![0.0f64; n];
+        for (idx, state) in self.spikes.iter().enumerate() {
+            let Some(shards) = state else { continue };
+            let FaultSpec::Spike { factor, .. } = self.cfg.faults[idx] else {
+                continue;
+            };
+            for &sid in shards {
+                let live = self.inst.demand(sid)[0];
+                extra[sid.idx()] = (live + extra[sid.idx()]) * factor - live;
+            }
+        }
+        let hot = self.cfg.hotshard.split_fraction;
+        for (i, &x) in extra.iter().enumerate() {
+            let m = self.asg.placement()[i];
+            if self.failed[m.idx()] {
+                continue;
+            }
+            let cap = self.inst.machines[m.idx()].capacity[0];
+            let frac = (self.inst.demand(ShardId::from(i))[0] + x) / cap;
+            self.hotshard_cache
+                .observe(tick, ShardId::from(i), frac, hot);
+        }
+        if self.obs.is_active() {
+            if let Some(e) = self.hotshard_cache.hottest() {
+                self.obs.gauge("runtime.hotshard_ewma_peak", e.ewma);
+            }
+            self.obs.gauge(
+                "runtime.hotshard_cache_len",
+                self.hotshard_cache.len() as f64,
+            );
+        }
+    }
+
+    /// Turns the cache's view into operators: split the hottest shard
+    /// above the split threshold; merge sibling pairs once both halves
+    /// have cooled below the merge threshold (the gap is the hysteresis
+    /// band). Admission dedup keeps one operator per shard in flight.
+    fn propose_operators(&mut self, tick: u64) {
+        let hs = self.cfg.hotshard;
+        if let Some(e) = self.hotshard_cache.hottest() {
+            if e.ewma > hs.split_fraction && self.inst.n_shards() < self.hotshard_max_shards {
+                if let Some(id) = self
+                    .hotshard_sched
+                    .admit(tick, OperatorKind::Split { shard: e.shard })
+                {
+                    if self.obs.is_active() {
+                        self.obs.event(
+                            "runtime",
+                            "hotshard_admit_split",
+                            vec![
+                                ("op", id.into()),
+                                ("shard", e.shard.idx().into()),
+                                ("ewma", e.ewma.into()),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+        let pairs = self.siblings.clone();
+        for (keep, drop) in pairs {
+            let (Some(a), Some(b)) = (self.hotshard_cache.get(keep), self.hotshard_cache.get(drop))
+            else {
+                continue;
+            };
+            if a < hs.merge_fraction && b < hs.merge_fraction {
+                if let Some(id) = self
+                    .hotshard_sched
+                    .admit(tick, OperatorKind::Merge { keep, drop })
+                {
+                    if self.obs.is_active() {
+                        self.obs.event(
+                            "runtime",
+                            "hotshard_admit_merge",
+                            vec![
+                                ("op", id.into()),
+                                ("keep", keep.idx().into()),
+                                ("drop", drop.idx().into()),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Starts ready operators. Membership mutations (split/merge) and plan
+    /// adoption both require an idle executor and no failed machine still
+    /// hosting shards — the same invariant the controller plans under.
+    fn run_operators(&mut self, tick: u64) {
+        while self.active.is_none() && !self.any_failed_hosting() {
+            let Some(op) = self.hotshard_sched.start_next() else {
+                break;
+            };
+            match op.kind {
+                OperatorKind::Split { shard } => self.exec_split(tick, op.id, shard),
+                OperatorKind::Merge { keep, drop } => self.exec_merge(tick, op.id, keep, drop),
+                OperatorKind::Migrate { shards } => self.exec_delta_migrate(tick, op.id, shards),
+            }
+        }
+    }
+
+    /// Splits `shard` in place (instant: a split is metadata, not a copy)
+    /// and queues the delta migration that gives one half a new home.
+    fn exec_split(&mut self, tick: u64, opid: u64, shard: ShardId) {
+        if shard.idx() >= self.inst.n_shards() || self.inst.n_shards() >= self.hotshard_max_shards {
+            self.hotshard_sched.complete(opid);
+            return;
+        }
+        let child = self.inst.split_shard(shard);
+        // A spiked parent's flash crowd splits with its demand.
+        for state in self.spikes.iter_mut().flatten() {
+            if state.contains(&shard) {
+                state.push(child);
+            }
+        }
+        self.asg = Assignment::from_initial(&self.inst);
+        self.hotshard_cache
+            .split(tick, shard, child, self.cfg.hotshard.split_fraction);
+        self.siblings.push((shard, child));
+        self.bus.counters.shard_splits += 1;
+        if self.obs.is_active() {
+            self.obs.event(
+                "runtime",
+                "hotshard_split",
+                vec![
+                    ("op", opid.into()),
+                    ("parent", shard.idx().into()),
+                    ("child", child.idx().into()),
+                ],
+            );
+            self.obs.add("runtime.hotshard_splits", 1);
+        }
+        self.hotshard_sched.complete(opid);
+        // Both halves sit on the still-hot machine; ask the solver for a
+        // better placement of exactly these two shards.
+        self.hotshard_sched.admit(
+            tick,
+            OperatorKind::Migrate {
+                shards: vec![shard, child],
+            },
+        );
+    }
+
+    /// Merges `drop` back into `keep`. Instant when co-located; otherwise
+    /// adopts a directed single-move plan bringing `drop` to `keep`'s
+    /// machine first (the merge re-admits once they share a host).
+    fn exec_merge(&mut self, tick: u64, opid: u64, keep: ShardId, drop: ShardId) {
+        let n = self.inst.n_shards();
+        if keep == drop || keep.idx() >= n || drop.idx() >= n {
+            self.hotshard_sched.complete(opid);
+            return;
+        }
+        let dest = self.asg.placement()[keep.idx()];
+        if self.asg.placement()[drop.idx()] != dest {
+            // Directed co-location move, transient-verified by the planner.
+            let mut target = self.asg.placement().to_vec();
+            target[drop.idx()] = dest;
+            match rex_cluster::plan_migration(
+                &self.inst,
+                &self.inst.initial,
+                &target,
+                &rex_cluster::PlannerConfig::default(),
+            ) {
+                Ok(plan) if !plan.batches.is_empty() => {
+                    let durations = crate::exec::batch_durations(
+                        &self.inst,
+                        &plan,
+                        self.cfg.copy_bandwidth,
+                        self.cfg.batch_overhead_ticks,
+                    );
+                    let pm = PlannedMigration {
+                        target,
+                        returned: Vec::new(),
+                        plan,
+                        durations,
+                        kind: MigrationKind::HotShard,
+                    };
+                    self.hotshard_plan_op = Some(opid);
+                    self.adopt(tick, pm);
+                }
+                _ => {
+                    // No feasible co-location right now; retry on a later
+                    // poll if the pair is still cold.
+                    self.hotshard_sched.complete(opid);
+                }
+            }
+            return;
+        }
+        match self.inst.merge_shards(keep, drop) {
+            Ok(renamed) => {
+                // `drop` is gone; scrub it everywhere first.
+                for state in self.spikes.iter_mut().flatten() {
+                    state.retain(|&sid| sid != drop);
+                }
+                self.hotshard_cache.remove(drop);
+                self.hotshard_cache.remove(keep); // EWMA of the half is stale
+                self.siblings
+                    .retain(|&(a, b)| a != drop && b != drop && !(a == keep && b == keep));
+                // The old last shard (if any) now answers to `drop`'s id.
+                if let Some(moved) = renamed {
+                    for state in self.spikes.iter_mut().flatten() {
+                        for sid in state.iter_mut() {
+                            if *sid == moved {
+                                *sid = drop;
+                            }
+                        }
+                    }
+                    self.hotshard_cache.remap(moved, drop);
+                    self.hotshard_sched.remap_shard(moved, drop);
+                    for (a, b) in self.siblings.iter_mut() {
+                        if *a == moved {
+                            *a = drop;
+                        }
+                        if *b == moved {
+                            *b = drop;
+                        }
+                    }
+                }
+                self.asg = Assignment::from_initial(&self.inst);
+                self.bus.counters.shard_merges += 1;
+                if self.obs.is_active() {
+                    self.obs.event(
+                        "runtime",
+                        "hotshard_merge",
+                        vec![
+                            ("op", opid.into()),
+                            ("keep", keep.idx().into()),
+                            ("dropped", drop.idx().into()),
+                        ],
+                    );
+                    self.obs.add("runtime.hotshard_merges", 1);
+                }
+            }
+            Err(_) => {
+                // Stale premise (ids shifted since admission); drop the op.
+            }
+        }
+        self.hotshard_sched.complete(opid);
+    }
+
+    /// Delta-solves a new placement for exactly `shards` on the planning
+    /// snapshot and adopts the resulting plan.
+    fn exec_delta_migrate(&mut self, tick: u64, opid: u64, shards: Vec<ShardId>) {
+        let n = self.inst.n_shards();
+        let changed: Vec<ShardId> = shards.into_iter().filter(|s| s.idx() < n).collect();
+        if changed.is_empty() {
+            self.hotshard_sched.complete(opid);
+            return;
+        }
+        let snapshot = self.build_snapshot();
+        let seed = self.plan_seed();
+        match plan_hotshard_migration(
+            &snapshot,
+            &changed,
+            &self.cfg.hotshard,
+            seed,
+            self.cfg.copy_bandwidth,
+            self.cfg.batch_overhead_ticks,
+        ) {
+            Ok(pm) if !pm.plan.batches.is_empty() => {
+                self.hotshard_plan_op = Some(opid);
+                self.adopt(tick, pm);
+            }
+            Ok(_) => {
+                // The best delta placement keeps everything put.
+                if self.obs.is_active() {
+                    self.obs
+                        .event("runtime", "hotshard_plan_empty", vec![("op", opid.into())]);
+                }
+                self.hotshard_sched.complete(opid);
+            }
+            Err(e) => {
+                self.bus.counters.plans_failed += 1;
+                if self.obs.is_active() {
+                    self.obs.event(
+                        "runtime",
+                        "hotshard_plan_failed",
+                        vec![("op", opid.into()), ("error", e.into())],
+                    );
+                }
+                self.hotshard_sched.complete(opid);
+            }
+        }
+    }
+
     // ---- faults -----------------------------------------------------------
 
     fn on_crash(&mut self, tick: u64, m: MachineId) {
@@ -694,6 +1069,25 @@ impl Simulation {
                 ],
             );
             self.obs.add("runtime.crashes", 1);
+        }
+        if self.cfg.hotshard.enabled {
+            // Cancel-on-crash: the fleet shape is about to change under an
+            // evacuation; every queued/running operator's premise is stale.
+            let cancelled = self.hotshard_sched.cancel_all();
+            self.bus.counters.hotshard_cancelled += cancelled.len() as u64;
+            self.hotshard_plan_op = None;
+            if self.obs.is_active() && !cancelled.is_empty() {
+                self.obs.event(
+                    "runtime",
+                    "hotshard_cancelled",
+                    vec![
+                        ("machine", m.idx().into()),
+                        ("operators", cancelled.len().into()),
+                    ],
+                );
+                self.obs
+                    .add("runtime.hotshard_cancelled", cancelled.len() as u64);
+            }
         }
         if let Some(a) = self.active.as_ref() {
             if a.started {
@@ -1042,6 +1436,46 @@ mod tests {
     }
 
     #[test]
+    fn slow_plan_does_not_double_trigger_on_completion() {
+        // Regression: samples recorded while a plan was in flight used to
+        // refill the trigger window `note_trigger` had cleared, so the
+        // first poll after a slow plan completed re-triggered on stale
+        // in-flight peaks. Here a flash crowd burns out mid-flight (spike
+        // ticks 60..100, plan ticks 50..119 at this seed): before the fix
+        // the window still held the spiked samples at completion and
+        // re-triggered at tick 125 — and the solver found nothing to do
+        // (`plan_empty`), proving the trigger was spurious. Fixed, the
+        // window restarts empty at completion and the run triggers once.
+        let cfg = RuntimeConfig {
+            ticks: 1_000,
+            seed: 7,
+            copy_bandwidth: 0.02,
+            faults: vec![FaultSpec::Spike {
+                at: 60,
+                duration: 40,
+                factor: 2.0,
+                shard_fraction: 0.05,
+            }],
+            controller: ControllerConfig {
+                policy: ControllerPolicy::Sra,
+                poll_interval: 25,
+                window: 4,
+                cooldown_ticks: 40,
+                sra_iters: 400,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let e = Simulation::new(hotspot(3), cfg).run();
+        assert_eq!(
+            e.counters.rebalances_triggered, 1,
+            "stale in-flight samples must not re-trigger after completion"
+        );
+        assert_eq!(e.counters.rebalances_completed, 1);
+        assert_eq!(e.counters.transient_violations, 0);
+    }
+
+    #[test]
     fn sra_controller_rebalances_a_hotspot() {
         let e = Simulation::new(hotspot(13), short_cfg(ControllerPolicy::Sra)).run();
         assert!(e.counters.rebalances_triggered > 0, "hotspot must trigger");
@@ -1185,6 +1619,130 @@ mod tests {
         assert_eq!(e.counters.spikes_started, 1);
         assert_eq!(e.counters.spikes_ended, 1);
         assert!(e.counters.drift_epochs > 0);
+        assert_eq!(e.counters.transient_violations, 0);
+    }
+
+    /// A fleet where one shard alone dominates its machine, plus light
+    /// background load everywhere else.
+    fn one_hot(hot_demand: f64) -> Instance {
+        let mut b = rex_cluster::InstanceBuilder::new(1)
+            .alpha(0.1)
+            .label("one-hot");
+        let machines: Vec<MachineId> = (0..6).map(|_| b.machine(&[100.0])).collect();
+        b.exchange_machine(&[100.0]);
+        b.exchange_machine(&[100.0]);
+        b.shard(&[hot_demand], 8.0, machines[0]);
+        for i in 0..15 {
+            b.shard(&[6.0], 2.0, machines[1 + i % 5]);
+        }
+        b.build().unwrap()
+    }
+
+    fn hotshard_cfg() -> RuntimeConfig {
+        RuntimeConfig {
+            ticks: 1_500,
+            seed: 9,
+            controller: ControllerConfig {
+                policy: ControllerPolicy::Off,
+                ..Default::default()
+            },
+            hotshard: crate::hotshard::HotShardConfig {
+                enabled: true,
+                poll_interval: 20,
+                ewma_alpha: 0.4,
+                delta_iters: 400,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hotshard_splits_dominant_shard_and_sheds_load() {
+        // One indivisible 55%-of-machine shard: no whole-shard migration
+        // can fix m0, only a split followed by a delta migration can.
+        let e = Simulation::new(one_hot(55.0), hotshard_cfg()).run();
+        assert!(e.counters.shard_splits >= 1, "no split: {:?}", e.counters);
+        assert!(
+            e.counters.hotshard_migrations >= 1,
+            "no delta migration completed: {:?}",
+            e.counters
+        );
+        assert_eq!(e.counters.transient_violations, 0);
+        let last = e.gauges.last().unwrap();
+        assert!(
+            last.shards > 16,
+            "shard count did not grow: {}",
+            last.shards
+        );
+        // m0 held 0.55 + background; after the split one half moved away.
+        assert!(
+            last.peak_util < 0.50,
+            "peak did not drop below the pre-split level: {}",
+            last.peak_util
+        );
+    }
+
+    #[test]
+    fn hotshard_merges_cold_siblings_after_spike_ends() {
+        // Statically warm (0.30) shard pushed over the split threshold by
+        // a flash crowd; once the crowd passes, both halves cool below the
+        // merge threshold and the pair merges back.
+        let mut cfg = hotshard_cfg();
+        cfg.faults = vec![FaultSpec::Spike {
+            at: 100,
+            duration: 300,
+            factor: 2.0,
+            shard_fraction: 0.01, // hottest shard only
+        }];
+        cfg.ticks = 3_000;
+        let e = Simulation::new(one_hot(30.0), cfg).run();
+        assert!(e.counters.shard_splits >= 1, "no split: {:?}", e.counters);
+        assert!(e.counters.shard_merges >= 1, "no merge: {:?}", e.counters);
+        assert_eq!(e.counters.transient_violations, 0);
+        let last = e.gauges.last().unwrap();
+        assert_eq!(
+            last.shards, 16,
+            "fleet did not return to its original shape"
+        );
+    }
+
+    #[test]
+    fn hotshard_runs_are_deterministic_and_trace_never_perturbs() {
+        let run = || {
+            Simulation::new(one_hot(55.0), hotshard_cfg())
+                .run()
+                .to_json()
+        };
+        assert_eq!(run(), run());
+        let mut rec = Recorder::active();
+        let traced = Simulation::new(one_hot(55.0), hotshard_cfg())
+            .run_traced(&mut rec)
+            .to_json();
+        assert_eq!(run(), traced, "tracing perturbed a hot-shard run");
+        let mut rec2 = Recorder::active();
+        let _ = Simulation::new(one_hot(55.0), hotshard_cfg()).run_traced(&mut rec2);
+        assert_eq!(rec.to_jsonl(), rec2.to_jsonl(), "same-seed traces diverged");
+    }
+
+    #[test]
+    fn crash_cancels_in_flight_hotshard_operators() {
+        // The split fires at the first poll (tick 20) and its follow-up
+        // delta migration flies for ~80 ticks at this bandwidth; a crash
+        // at tick 50 lands mid-flight and must cancel the operator.
+        let mut cfg = hotshard_cfg();
+        cfg.copy_bandwidth = 0.05;
+        cfg.faults = vec![FaultSpec::Crash {
+            at: 50,
+            machine: 3,
+            recover_at: Some(600),
+        }];
+        let e = Simulation::new(one_hot(55.0), cfg).run();
+        assert!(
+            e.counters.hotshard_cancelled >= 1,
+            "crash did not cancel operators: {:?}",
+            e.counters
+        );
         assert_eq!(e.counters.transient_violations, 0);
     }
 }

@@ -1,0 +1,141 @@
+//! Property tests for the hot-shard control plane's building blocks.
+//!
+//! Three invariants the simulator leans on without re-checking at runtime:
+//! a split conserves the fleet's total demand and keeps the instance valid,
+//! merging a fresh split is a byte-exact identity, and the bounded EWMA
+//! cache never evicts a shard that is still above the protection threshold.
+
+use proptest::prelude::*;
+use rex_cluster::{Instance, InstanceBuilder, MachineId, ShardId};
+use rex_runtime::EwmaCache;
+
+/// A random valid instance: heterogeneous fleet, shards placed greedily so
+/// the initial placement always fits.
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        2usize..6,      // loaded machines
+        0usize..3,      // exchange machines
+        1usize..14,     // shards
+        1usize..3,      // dims
+        0u64..u64::MAX, // seed
+    )
+        .prop_map(|(nm, nx, ns, dims, seed)| build_instance(nm, nx, ns, dims, seed))
+}
+
+fn build_instance(nm: usize, nx: usize, ns: usize, dims: usize, seed: u64) -> Instance {
+    use rand::prelude::*;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new(dims).alpha(0.1).label("prop-hs");
+    let caps: Vec<Vec<f64>> = (0..nm)
+        .map(|_| (0..dims).map(|_| rng.random_range(70.0..140.0)).collect())
+        .collect();
+    let machines: Vec<MachineId> = caps.iter().map(|c| b.machine(c)).collect();
+    for _ in 0..nx {
+        b.exchange_machine(&vec![100.0; dims]);
+    }
+    let mut usage = vec![vec![0.0f64; dims]; nm];
+    for _ in 0..ns {
+        let demand: Vec<f64> = (0..dims)
+            .map(|_| rng.random_range(1.0..70.0 / (ns as f64).max(4.0)))
+            .collect();
+        let host = (0..nm)
+            .find(|&m| (0..dims).all(|r| usage[m][r] + demand[r] <= caps[m][r]))
+            .expect("demands sized to always fit somewhere");
+        for r in 0..dims {
+            usage[host][r] += demand[r];
+        }
+        b.shard(&demand, rng.random_range(0.5..10.0), machines[host]);
+    }
+    b.build().expect("constructed instance must validate")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Splitting any shard conserves the fleet's total demand (each half is
+    /// a power-of-two scaling, so `d/2 + d/2 == d` bit-for-bit per shard;
+    /// the fleet sum re-associates, hence the tight tolerance), keeps the
+    /// instance valid, and co-locates the child with its parent.
+    #[test]
+    fn split_conserves_load_and_validity(
+        inst in arb_instance(),
+        pick in 0usize..64,
+    ) {
+        let mut inst = inst;
+        let s = ShardId::from(pick % inst.n_shards());
+        let before_total = inst.total_demand();
+        let before_shards = inst.n_shards();
+        let host = inst.initial[s.idx()];
+
+        let child = inst.split_shard(s);
+
+        prop_assert_eq!(inst.n_shards(), before_shards + 1);
+        prop_assert_eq!(child.idx(), before_shards, "child must append last");
+        prop_assert_eq!(inst.initial[child.idx()], host, "child must co-locate");
+        prop_assert!(inst.validate().is_ok(), "split broke instance validity");
+        let after_total = inst.total_demand();
+        for r in 0..after_total.dims() {
+            let tol = 1e-9 * before_total[r].max(1.0);
+            prop_assert!((before_total[r] - after_total[r]).abs() <= tol,
+                "split changed total demand in dim {}: {} vs {}",
+                r, before_total[r], after_total[r]);
+        }
+    }
+
+    /// Merging a freshly split pair reconstructs the original instance
+    /// byte-for-byte (the child is the last shard, so no renumbering).
+    #[test]
+    fn merge_undoes_split_exactly(
+        inst in arb_instance(),
+        pick in 0usize..64,
+    ) {
+        let mut inst = inst;
+        let s = ShardId::from(pick % inst.n_shards());
+        let before = serde_json::to_string(&inst).expect("instance serializes");
+
+        let child = inst.split_shard(s);
+        let renamed = inst.merge_shards(s, child).expect("merge of fresh split");
+
+        prop_assert_eq!(renamed, None, "merging the last shard renumbers nothing");
+        let after = serde_json::to_string(&inst).expect("instance serializes");
+        prop_assert_eq!(before, after, "merge ∘ split is not the identity");
+    }
+
+    /// The bounded cache never evicts an entry whose EWMA sits above the
+    /// protection threshold, never exceeds its capacity, and refuses
+    /// admission only when every resident entry is protected.
+    #[test]
+    fn ewma_eviction_never_drops_hot_shards(
+        capacity in 1usize..6,
+        alpha in prop_oneof![Just(0.2), Just(0.5), Just(1.0)],
+        threshold in prop_oneof![Just(0.3), Just(0.5)],
+        obs in proptest::collection::vec((0usize..12, 0.0f64..1.0), 1..80),
+    ) {
+        let mut cache = EwmaCache::new(capacity, alpha);
+        for (tick, (shard, fraction)) in obs.into_iter().enumerate() {
+            let hot_before: Vec<ShardId> = cache
+                .entries()
+                .iter()
+                .filter(|e| e.ewma > threshold)
+                .map(|e| e.shard)
+                .collect();
+            let admitted =
+                cache.observe(tick as u64, ShardId::from(shard), fraction, threshold);
+            prop_assert!(cache.len() <= capacity, "cache overflowed its capacity");
+            for s in hot_before {
+                prop_assert!(
+                    cache.get(s).is_some(),
+                    "hot shard {} was evicted below capacity {}", s, capacity
+                );
+            }
+            if !admitted {
+                prop_assert_eq!(cache.len(), capacity,
+                    "admission refused while below capacity");
+                prop_assert!(
+                    cache.entries().iter().all(|e| e.ewma > threshold),
+                    "admission refused while a cold entry was evictable"
+                );
+            }
+        }
+    }
+}

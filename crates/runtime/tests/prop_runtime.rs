@@ -16,8 +16,8 @@ use rex_cluster::{
     MigrationPlan, Move, PlannerConfig, ShardId,
 };
 use rex_runtime::{
-    verify_event_boundaries, ControllerConfig, ControllerPolicy, DriftSpec, FaultSpec,
-    RuntimeConfig, Simulation,
+    batch_durations, verify_event_boundaries, ControllerConfig, ControllerPolicy, DriftSpec,
+    FaultSpec, RuntimeConfig, Simulation,
 };
 
 /// Strategy: a random feasible instance (heterogeneous fleet, shards placed
@@ -144,6 +144,29 @@ proptest! {
         }
     }
 
+    /// Batches always take at least one tick, even when every shard in the
+    /// batch is smaller than the per-tick copy bandwidth (sub-bandwidth
+    /// shards must not commit at the instant they start, or their
+    /// transient footprint would never be charged).
+    #[test]
+    fn batch_durations_are_never_zero(
+        inst in arb_instance(),
+        seed in 0u64..1_000_000,
+        moves in 1usize..12,
+        bandwidth in prop_oneof![Just(0.1), Just(1.0), Just(11.0), Just(1e6)],
+        overhead in 0u64..3,
+    ) {
+        // move_cost is drawn from 0.5..10.0, so bandwidth 11.0 and 1e6 put
+        // every shard (and whole batches) below one tick of copy capacity.
+        let target = random_target(&inst, seed, moves);
+        if let Ok(plan) = plan_migration(&inst, &inst.initial, &target, &PlannerConfig::default()) {
+            let durations = batch_durations(&inst, &plan, bandwidth, overhead);
+            prop_assert_eq!(durations.len(), plan.batches.len());
+            prop_assert!(durations.iter().all(|&d| d >= 1),
+                "a batch was scheduled to take zero ticks: {:?}", durations);
+        }
+    }
+
     /// On arbitrary consistent plans the runtime's boundary check and
     /// `verify_schedule` return the same verdict — two independent
     /// implementations of the transient constraint agree on feasible AND
@@ -175,44 +198,52 @@ fn arb_runtime_cfg() -> impl Strategy<Value = RuntimeConfig> {
         prop_oneof![Just(None), (50u64..250).prop_map(Some)], // crash tick
         prop_oneof![Just(None), (50u64..250).prop_map(Some)], // spike tick
         any::<bool>(),                                        // drift on/off
+        // Copy bandwidth spanning both regimes: far below shard move
+        // sizes (many ticks per batch) and far above them (sub-bandwidth
+        // shards, where durations must still round up to ≥ 1 tick so the
+        // transient footprint is charged for at least one event boundary).
+        prop_oneof![Just(0.05), Just(1.0), Just(250.0)],
     )
-        .prop_map(|(seed, policy, crash_at, spike_at, drift)| {
-            let mut faults = Vec::new();
-            if let Some(at) = crash_at {
-                faults.push(FaultSpec::Crash {
-                    at,
-                    machine: 1,
-                    recover_at: Some(at + 150),
-                });
-            }
-            if let Some(at) = spike_at {
-                faults.push(FaultSpec::Spike {
-                    at,
-                    duration: 100,
-                    factor: 1.6,
-                    shard_fraction: 0.12,
-                });
-            }
-            RuntimeConfig {
-                ticks: 400,
-                seed,
-                controller: ControllerConfig {
-                    policy,
-                    poll_interval: 20,
-                    window: 2,
-                    cooldown_ticks: 80,
-                    sra_iters: 150,
+        .prop_map(
+            |(seed, policy, crash_at, spike_at, drift, copy_bandwidth)| {
+                let mut faults = Vec::new();
+                if let Some(at) = crash_at {
+                    faults.push(FaultSpec::Crash {
+                        at,
+                        machine: 1,
+                        recover_at: Some(at + 150),
+                    });
+                }
+                if let Some(at) = spike_at {
+                    faults.push(FaultSpec::Spike {
+                        at,
+                        duration: 100,
+                        factor: 1.6,
+                        shard_fraction: 0.12,
+                    });
+                }
+                RuntimeConfig {
+                    ticks: 400,
+                    seed,
+                    copy_bandwidth,
+                    controller: ControllerConfig {
+                        policy,
+                        poll_interval: 20,
+                        window: 2,
+                        cooldown_ticks: 80,
+                        sra_iters: 150,
+                        ..Default::default()
+                    },
+                    faults,
+                    drift: drift.then_some(DriftSpec {
+                        every_ticks: 120,
+                        sigma: 0.15,
+                        target_utilization: 0.6,
+                    }),
                     ..Default::default()
-                },
-                faults,
-                drift: drift.then_some(DriftSpec {
-                    every_ticks: 120,
-                    sigma: 0.15,
-                    target_utilization: 0.6,
-                }),
-                ..Default::default()
-            }
-        })
+                }
+            },
+        )
 }
 
 fn sim_instance(seed: u64) -> Instance {

@@ -31,7 +31,7 @@ mkdir -p "$outdir"
 
 for exp in workloads headline exchange_sweep convergence migration \
            scalability optgap stringency ablation alpha qos longrun \
-           closed_loop; do
+           closed_loop hotshard; do
     echo "=== exp_${exp} ==="
     if ! ./target/release/exp_${exp} | tee "$outdir/exp_${exp}.md"; then
         echo "FAILED: exp_${exp} (see output above)" >&2
@@ -56,7 +56,19 @@ REX_THREADS=1 ./target/release/rex trace --seed 42 --partitions 4 --iters 1500 -
 REX_THREADS=8 ./target/release/rex trace --seed 42 --partitions 4 --iters 1500 --out "$tracedir/d8.jsonl" >/dev/null
 cmp "$tracedir/d1.jsonl" "$tracedir/d8.jsonl"
 test -s "$tracedir/d1.jsonl"
+hs_flags="--machines 8 --shards 48 --exchange 1 --ticks 800 --seed 5 --controller off \
+  --hotshard --split-threshold 0.4 --hotshard-poll 20 \
+  --spike-at 100 --spike-duration 300 --spike-factor 2.5 --spike-fraction 0.02 --no-drift --quiet"
+./target/release/rex simulate $hs_flags --out "$tracedir/h1.json"
+./target/release/rex simulate $hs_flags --out "$tracedir/h2.json"
+cmp "$tracedir/h1.json" "$tracedir/h2.json"
+./target/release/rex simulate $hs_flags --out "$tracedir/h3.json" --trace "$tracedir/h3.jsonl"
+cmp "$tracedir/h1.json" "$tracedir/h3.json"   # recording never perturbs the run
+test -s "$tracedir/h3.jsonl"
+REX_THREADS=1 ./target/release/rex simulate $hs_flags --trace "$tracedir/ht1.jsonl"
+REX_THREADS=8 ./target/release/rex simulate $hs_flags --trace "$tracedir/ht8.jsonl"
+cmp "$tracedir/ht1.jsonl" "$tracedir/ht8.jsonl"
 rm -rf "$tracedir"
-echo "traces byte-identical across runs and thread counts (serial spine, portfolio, decomposed)"
+echo "traces byte-identical across runs and thread counts (serial spine, portfolio, decomposed, hotshard)"
 
 echo "All experiment outputs written to $outdir/."

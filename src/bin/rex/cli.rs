@@ -124,10 +124,14 @@ pub const COMMANDS: &[CommandSpec] = &[
                     "spike-factor",
                     "spike-fraction",
                     "drift-every",
+                    "split-threshold",
+                    "merge-threshold",
+                    "hotshard-poll",
+                    "hotshard-expiry",
                     "trace",
                 ],
             ],
-            switches: &["no-drift", "quiet"],
+            switches: &["no-drift", "hotshard", "quiet"],
         },
     },
     CommandSpec {
