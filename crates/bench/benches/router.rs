@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks of the query-level event engine
+//! (`rex-router`): full runs on a search-fleet-shaped instance, reported
+//! as event throughput (`Throughput::Elements` — criterion prints
+//! elements/sec, i.e. simulated events per wall second).
+//!
+//! The machine-readable throughput record (`event_engine` in
+//! `BENCH_solver.json`) is emitted by `bench_json`, which times the same
+//! configuration without criterion's harness; this bench is for
+//! interactive profiling of the hot loop and the per-policy deltas.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rex_router::{PolicyKind, Router, RouterConfig};
+use rex_workload::synthetic::{generate, DemandFamily, Placement, SynthConfig};
+use std::hint::black_box;
+
+/// The bench fleet: 64 machines, 2000 shards, balanced placement at
+/// moderate stringency — per-replica utilization stays well under 1 at
+/// the 500k qps the config drives, so the run is steady-state routing,
+/// not a queueing collapse.
+fn search_fleet() -> rex_cluster::Instance {
+    generate(&SynthConfig {
+        n_machines: 64,
+        n_exchange: 0,
+        n_shards: 2_000,
+        dims: 1,
+        stringency: 0.55,
+        family: DemandFamily::Uniform,
+        placement: Placement::BalancedBfd,
+        seed: 17,
+        ..Default::default()
+    })
+    .expect("generate")
+}
+
+fn cfg(policy: PolicyKind) -> RouterConfig {
+    RouterConfig {
+        horizon_us: 20_000,
+        qps: 500_000.0,
+        policy,
+        seed: 17,
+        ..Default::default()
+    }
+}
+
+fn bench_event_engine(c: &mut Criterion) {
+    let inst = search_fleet();
+    let mut g = c.benchmark_group("event_engine");
+    g.sample_size(20);
+    for policy in PolicyKind::ALL {
+        let config = cfg(policy);
+        // One calibration run to learn the event count for the
+        // throughput denominator (deterministic, so every timed run
+        // processes exactly this many events).
+        let events = Router::new(&inst, &config).run().events;
+        g.throughput(Throughput::Elements(events));
+        g.bench_function(policy.name(), |b| {
+            b.iter(|| black_box(Router::new(&inst, &config).run()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_engine);
+criterion_main!(benches);

@@ -24,6 +24,7 @@
 use rex_cluster::Objective;
 use rex_core::{run_search, SraConfig, SraProblem};
 use rex_obs::Recorder;
+use rex_router::{PolicyKind, RouterConfig};
 use rex_workload::synthetic::{generate, DemandFamily, Placement, SynthConfig};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -61,6 +62,11 @@ struct Record {
     /// other benches. `0.0` when not measured.
     #[serde(default)]
     cpu_ns_per_iter: f64,
+    /// For `event_engine` only: simulated router events processed per wall
+    /// second (the headline throughput number; the acceptance floor is
+    /// 1M events/sec). `0.0` for the solver benches.
+    #[serde(default)]
+    events_per_sec: f64,
 }
 
 /// Thread CPU time (user + system) of the calling thread in nanoseconds,
@@ -129,6 +135,66 @@ fn time_serial_search(
     best.expect("at least one rep")
 }
 
+/// Times the query-level router (`rex-router`) end to end on a
+/// search-fleet-shaped instance and returns one `event_engine` record.
+/// Wall and thread-CPU time are both measured over all `reps` runs (CPU
+/// granularity is one 10 ms tick, so the per-rep loop must add up to a
+/// second or so); `ns_per_iter` / `events_per_sec` use the fastest rep.
+/// Per-event cost is horizon-independent once the run is in steady state,
+/// so quick mode shortens the horizon (unlike the solver benches, which
+/// must keep their budget for amortization) and stays comparable to the
+/// committed full-horizon baseline.
+fn measure_router(threads: usize) -> Record {
+    let (m, s) = (64usize, 2_000usize);
+    let inst = generate(&SynthConfig {
+        n_machines: m,
+        n_exchange: 0,
+        n_shards: s,
+        dims: 1,
+        stringency: 0.55,
+        family: DemandFamily::Uniform,
+        placement: Placement::BalancedBfd,
+        seed: 17,
+        ..Default::default()
+    })
+    .expect("generate");
+    let cfg = RouterConfig {
+        horizon_us: if rex_bench::quick() { 100_000 } else { 400_000 },
+        qps: 500_000.0,
+        policy: PolicyKind::PowerOfD,
+        seed: 17,
+        ..Default::default()
+    };
+    let reps = if rex_bench::quick() { 5 } else { 8 };
+    let mut best: Option<(u64, u64)> = None; // (wall_ns, events)
+    let mut total_events = 0u64;
+    let cpu0 = thread_cpu_ns();
+    for _ in 0..reps {
+        let t = Instant::now();
+        let report = rex_router::run(&inst, &cfg);
+        let wall = t.elapsed().as_nanos() as u64;
+        total_events += report.events;
+        if best.is_none_or(|(prev, _)| wall < prev) {
+            best = Some((wall, report.events));
+        }
+    }
+    let cpu = thread_cpu_ns() - cpu0;
+    let (wall, events) = best.expect("at least one rep");
+    Record {
+        bench: "event_engine".into(),
+        size: format!("{m}x{s}"),
+        threads,
+        ns_per_iter: wall as f64 / events.max(1) as f64,
+        speedup_vs_seed: 1.0,
+        wall_ns: wall,
+        iterations: events,
+        peak: 0.0,
+        peak_vs_seed: 1.0,
+        cpu_ns_per_iter: cpu as f64 / total_events.max(1) as f64,
+        events_per_sec: events as f64 / (wall as f64 / 1e9),
+    }
+}
+
 fn measure() -> Vec<Record> {
     let sizes: Vec<(usize, usize)> = if rex_bench::quick() {
         vec![(32, 320)]
@@ -181,6 +247,7 @@ fn measure() -> Vec<Record> {
             peak: p_peak,
             peak_vs_seed: 1.0,
             cpu_ns_per_iter: 0.0,
+            events_per_sec: 0.0,
         });
 
         // The engine-spine gate: raw serial iteration throughput of the
@@ -209,6 +276,7 @@ fn measure() -> Vec<Record> {
             peak: e_peak,
             peak_vs_seed: e_peak / p_peak,
             cpu_ns_per_iter: e_cpu as f64 / e_iters.max(1) as f64,
+            events_per_sec: 0.0,
         });
 
         let (d_wall, d_iters, d_peak) = time_search(
@@ -229,6 +297,53 @@ fn measure() -> Vec<Record> {
             peak: d_peak,
             peak_vs_seed: d_peak / p_peak,
             cpu_ns_per_iter: 0.0,
+            events_per_sec: 0.0,
+        });
+    }
+
+    out.push(measure_router(threads));
+
+    // The large tier (`REX_BENCH_LARGE=1`): decomposed solver only — the
+    // 8-wide portfolio at 1000x10000 is too slow to serve as an in-run
+    // baseline, so the ratio fields carry the neutral 1.0.
+    if std::env::var("REX_BENCH_LARGE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        let (m, s) = (1_000usize, 10_000usize);
+        let inst = generate(&SynthConfig {
+            n_machines: m,
+            n_exchange: (m / 10).max(1),
+            n_shards: s,
+            stringency: 0.8,
+            family: DemandFamily::Correlated,
+            placement: Placement::Hotspot(0.4),
+            seed: 17,
+            ..Default::default()
+        })
+        .expect("generate");
+        let (wall, iterations, peak) = time_search(
+            &inst,
+            &SraConfig {
+                iters: 2_000,
+                seed: 17,
+                partitions: 8,
+                objective: Objective::pure(rex_cluster::ObjectiveKind::PeakLoad),
+                ..Default::default()
+            },
+        );
+        out.push(Record {
+            bench: "decomposed_solve".into(),
+            size: format!("{m}x{s}"),
+            threads,
+            ns_per_iter: wall as f64 / iterations.max(1) as f64,
+            speedup_vs_seed: 1.0,
+            wall_ns: wall,
+            iterations,
+            peak,
+            peak_vs_seed: 1.0,
+            cpu_ns_per_iter: 0.0,
+            events_per_sec: 0.0,
         });
     }
     out
@@ -299,5 +414,34 @@ fn main() {
         eprintln!("bench check ok vs {path}");
     } else {
         println!("{json}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Record;
+
+    /// Older committed baselines predate `cpu_ns_per_iter` (PR 5) and
+    /// `events_per_sec` (PR 7); `--check` must still parse them —
+    /// `#[serde(default)]` fills the gaps with 0.0, which the comparison
+    /// treats as "metric not measured".
+    #[test]
+    fn baseline_records_without_newer_fields_parse() {
+        let old = r#"[{
+            "bench": "portfolio_solve",
+            "size": "32x320",
+            "threads": 8,
+            "ns_per_iter": 65582.9,
+            "speedup_vs_seed": 1,
+            "wall_ns": 1049326279,
+            "iterations": 16000,
+            "peak": 0.805,
+            "peak_vs_seed": 1
+        }]"#;
+        let records: Vec<Record> = serde_json::from_str(old).expect("old schema must parse");
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].cpu_ns_per_iter, 0.0);
+        assert_eq!(records[0].events_per_sec, 0.0);
+        assert_eq!(records[0].ns_per_iter, 65582.9);
     }
 }

@@ -1,0 +1,353 @@
+//! The raw-speed event core: a bucketed calendar queue over integer
+//! micro-ticks.
+//!
+//! The simulator's generic `BinaryHeap` queue (`rex_runtime::events`) pays
+//! an `O(log n)` comparison cascade per event — fine at thousands of ticks,
+//! ruinous at millions of query events. Here the common case is an `O(1)`
+//! `Vec::push` into the wheel bucket of the target micro-tick:
+//!
+//! * the wheel spans `buckets.len()` micro-ticks (a power of two); an
+//!   event due within the span goes straight into
+//!   `buckets[time & mask]`, which holds events for exactly one absolute
+//!   time at any given moment,
+//! * events due beyond the span land in a min-heap **overflow** keyed
+//!   `(time, seq)` and are pulled into the wheel lazily as `now`
+//!   approaches — `seq` makes the pull order (and therefore intra-bucket
+//!   order) a pure function of the schedule history,
+//! * within a bucket, events run in insertion order (FIFO), the same
+//!   insertion-order tie-break the tick simulator uses.
+//!
+//! Two contracts keep the hot loop allocation-free and borrow-friendly:
+//! scheduling is **strictly future** (`time > now`; same-tick scheduling
+//! is clamped to `now + 1`), so the bucket being drained never grows under
+//! the iterator; and buckets are drained by index
+//! ([`CalendarQueue::event_at`]) with `Event: Copy`, so the caller can
+//! mutate the queue (schedule follow-ups) mid-drain. After warmup, bucket
+//! `Vec`s and the overflow heap sit at their high-water capacity and a
+//! schedule/pop cycle touches the allocator zero times — locked by
+//! `tests/alloc_event_core.rs`.
+
+/// What happens when an event fires. Payloads are plain indices
+/// (replica/query/shard handles), never owned data: `Event` is `Copy` and
+/// 16 bytes, so buckets move raw words around.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Per-micro-tick arrival batch: admits this tick's queries and
+    /// re-arms itself for the next tick.
+    ArrivalPump,
+    /// A subrequest finished on `replica` for query-slab slot `query`.
+    SubComplete {
+        /// Replica that served the subrequest.
+        replica: u32,
+        /// Query-slab slot the subrequest belongs to.
+        query: u32,
+    },
+    /// A Prequal probe answer for `shard` from `replica` comes back.
+    ProbeReply {
+        /// Shard whose pool receives the answer.
+        shard: u32,
+        /// Probed replica.
+        replica: u32,
+    },
+    /// Periodic SRA reassignment poll.
+    SraPoll,
+}
+
+/// A scheduled event: absolute micro-tick plus its kind.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Absolute due time (micro-ticks).
+    pub time: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+/// Overflow entry: ordering key `(time, seq)` under `Reverse` gives a
+/// deterministic min-heap pop order.
+#[derive(Clone, Copy, Debug)]
+struct Deferred {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Deferred {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for Deferred {}
+impl PartialOrd for Deferred {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Deferred {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The calendar queue. See the module docs for the invariants.
+pub struct CalendarQueue {
+    /// The wheel: `buckets[t & mask]` holds the events due at absolute
+    /// time `t` for the unique `t` in `(now, now + span)` with that index
+    /// (exclusive at both ends — `now + span` would alias `now`'s bucket).
+    buckets: Vec<Vec<Event>>,
+    mask: u64,
+    /// Current micro-tick: every queued event is strictly later.
+    now: u64,
+    /// Events due beyond the wheel span, pulled in lazily.
+    overflow: std::collections::BinaryHeap<std::cmp::Reverse<Deferred>>,
+    /// Monotone schedule counter ordering same-time overflow entries.
+    seq: u64,
+    /// Total queued events (wheel + overflow).
+    len: usize,
+}
+
+impl CalendarQueue {
+    /// A queue whose wheel spans `span` micro-ticks (rounded up to a power
+    /// of two, minimum 8). `bucket_cap` pre-sizes every bucket and
+    /// `overflow_cap` the deferred heap, so a correctly-sized queue never
+    /// allocates after construction.
+    pub fn with_capacity(span: usize, bucket_cap: usize, overflow_cap: usize) -> Self {
+        let span = span.next_power_of_two().max(8);
+        Self {
+            buckets: (0..span).map(|_| Vec::with_capacity(bucket_cap)).collect(),
+            mask: span as u64 - 1,
+            now: 0,
+            overflow: std::collections::BinaryHeap::with_capacity(overflow_cap),
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Wheel span in micro-ticks.
+    pub fn span(&self) -> u64 {
+        self.buckets.len() as u64
+    }
+
+    /// Current micro-tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Queued events (all horizons).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `kind` at absolute micro-tick `time`. Times at or before
+    /// `now` are clamped to `now + 1`: the bucket being drained must never
+    /// grow mid-drain.
+    #[inline]
+    pub fn schedule(&mut self, time: u64, kind: EventKind) {
+        let time = time.max(self.now + 1);
+        self.len += 1;
+        // Strictly less than the span: an event at exactly `now + span`
+        // would alias the bucket currently being drained.
+        if time - self.now < self.span() {
+            self.buckets[(time & self.mask) as usize].push(Event { time, kind });
+        } else {
+            self.seq += 1;
+            self.overflow.push(std::cmp::Reverse(Deferred {
+                time,
+                seq: self.seq,
+                kind,
+            }));
+        }
+    }
+
+    /// Advances to the next non-empty micro-tick and returns
+    /// `(time, bucket_index, event_count)`, or `None` when the queue is
+    /// drained. Drain the tick with [`Self::event_at`] (events may be
+    /// scheduled freely meanwhile — they land strictly later) and finish
+    /// with [`Self::finish_tick`].
+    pub fn next_tick(&mut self) -> Option<(u64, usize, usize)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            // Pull overflow entries that now fit the window. Pop order is
+            // (time, seq), so same-time entries append in schedule order.
+            while let Some(std::cmp::Reverse(head)) = self.overflow.peek().copied() {
+                if head.time - self.now >= self.span() {
+                    break;
+                }
+                self.overflow.pop();
+                self.buckets[(head.time & self.mask) as usize].push(Event {
+                    time: head.time,
+                    kind: head.kind,
+                });
+            }
+            // Scan the window for the first populated bucket.
+            for dt in 1..=self.span() {
+                let t = self.now + dt;
+                let idx = (t & self.mask) as usize;
+                if !self.buckets[idx].is_empty() {
+                    debug_assert!(self.buckets[idx].iter().all(|e| e.time == t));
+                    self.now = t;
+                    return Some((t, idx, self.buckets[idx].len()));
+                }
+            }
+            // Wheel empty, so everything left is deferred: jump the window
+            // to just before the earliest deferred event and re-pull.
+            let head = self
+                .overflow
+                .peek()
+                .expect("len > 0 with an empty wheel implies overflow events")
+                .0;
+            self.now = head.time - 1;
+        }
+    }
+
+    /// The `i`-th event of the bucket returned by [`Self::next_tick`]
+    /// (insertion order).
+    #[inline]
+    pub fn event_at(&self, bucket: usize, i: usize) -> Event {
+        self.buckets[bucket][i]
+    }
+
+    /// Ends the current tick: clears the drained bucket (capacity kept).
+    /// `count` must be the event count [`Self::next_tick`] reported —
+    /// strictly-future scheduling guarantees nothing was appended since.
+    pub fn finish_tick(&mut self, bucket: usize, count: usize) {
+        debug_assert_eq!(self.buckets[bucket].len(), count);
+        self.buckets[bucket].clear();
+        self.len -= count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all(q: &mut CalendarQueue) -> Vec<(u64, EventKind)> {
+        let mut out = Vec::new();
+        while let Some((t, b, n)) = q.next_tick() {
+            for i in 0..n {
+                out.push((t, q.event_at(b, i).kind));
+            }
+            q.finish_tick(b, n);
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_insertion_order() {
+        let mut q = CalendarQueue::with_capacity(16, 4, 4);
+        q.schedule(5, EventKind::SraPoll);
+        q.schedule(3, EventKind::ArrivalPump);
+        q.schedule(
+            5,
+            EventKind::SubComplete {
+                replica: 1,
+                query: 2,
+            },
+        );
+        q.schedule(
+            3,
+            EventKind::ProbeReply {
+                shard: 7,
+                replica: 0,
+            },
+        );
+        let order = drain_all(&mut q);
+        assert_eq!(order.len(), 4);
+        assert_eq!(
+            order.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![3, 3, 5, 5]
+        );
+        // FIFO within a tick.
+        assert_eq!(order[0].1, EventKind::ArrivalPump);
+        assert_eq!(order[2].1, EventKind::SraPoll);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_events_survive_the_wheel_horizon() {
+        let mut q = CalendarQueue::with_capacity(8, 2, 2);
+        q.schedule(2, EventKind::ArrivalPump);
+        q.schedule(1_000, EventKind::SraPoll); // far beyond the 8-tick span
+        q.schedule(
+            1_000,
+            EventKind::SubComplete {
+                replica: 9,
+                query: 9,
+            },
+        );
+        q.schedule(500, EventKind::ArrivalPump);
+        let order = drain_all(&mut q);
+        assert_eq!(
+            order.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![2, 500, 1_000, 1_000]
+        );
+        // Same-time overflow entries keep schedule order.
+        assert_eq!(order[2].1, EventKind::SraPoll);
+    }
+
+    #[test]
+    fn same_tick_scheduling_is_clamped_to_the_next_tick() {
+        let mut q = CalendarQueue::with_capacity(8, 2, 2);
+        q.schedule(1, EventKind::ArrivalPump);
+        let (t, b, n) = q.next_tick().unwrap();
+        assert_eq!((t, n), (1, 1));
+        // "Now" and "past" both land at now + 1, never in the open bucket.
+        q.schedule(1, EventKind::SraPoll);
+        q.schedule(0, EventKind::ArrivalPump);
+        assert_eq!(q.event_at(b, 0).kind, EventKind::ArrivalPump);
+        q.finish_tick(b, n);
+        let order = drain_all(&mut q);
+        assert_eq!(
+            order.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![2, 2]
+        );
+    }
+
+    #[test]
+    fn long_idle_gaps_jump_instead_of_scanning() {
+        let mut q = CalendarQueue::with_capacity(8, 2, 2);
+        q.schedule(1 << 40, EventKind::SraPoll);
+        let (t, b, n) = q.next_tick().unwrap();
+        assert_eq!(t, 1 << 40);
+        q.finish_tick(b, n);
+        assert!(q.next_tick().is_none());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_drain_is_deterministic() {
+        // Two identical interleavings produce identical pop sequences.
+        let run = || {
+            let mut q = CalendarQueue::with_capacity(16, 4, 4);
+            q.schedule(1, EventKind::ArrivalPump);
+            let mut log = Vec::new();
+            while let Some((t, b, n)) = q.next_tick() {
+                for i in 0..n {
+                    let ev = q.event_at(b, i);
+                    log.push((t, ev.kind));
+                    if t < 40 {
+                        if let EventKind::ArrivalPump = ev.kind {
+                            q.schedule(t + 1, EventKind::ArrivalPump);
+                            q.schedule(
+                                t + 3 + (t % 5),
+                                EventKind::SubComplete {
+                                    replica: t as u32,
+                                    query: 0,
+                                },
+                            );
+                            q.schedule(t + 100, EventKind::SraPoll);
+                        }
+                    }
+                }
+                q.finish_tick(b, n);
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+}

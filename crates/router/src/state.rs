@@ -1,0 +1,241 @@
+//! Structure-of-arrays state for the event core.
+//!
+//! Replica and machine handles are plain `u32` indices — no `Rc`, no
+//! per-replica structs in the hot path. Shard `s` owns the contiguous
+//! replica block `[s·R, s·R + R)`, so the router never consults a map to
+//! enumerate a shard's replicas. Every vector is sized at construction;
+//! the only growable structure is the query slab, which reuses freed slots
+//! through a free list and therefore stops allocating once the in-flight
+//! high-water mark is reached (the steady-state zero-allocation claim is
+//! locked by `tests/alloc_event_core.rs`).
+
+/// Per-replica state, one parallel vector per field.
+pub struct ReplicaState {
+    /// Hosting machine per replica (mutated mid-run by SRA coupling).
+    pub machine: Vec<u32>,
+    /// Owning shard per replica (reverse lookup for probe replies).
+    pub shard: Vec<u32>,
+    /// Requests in flight (dispatched, not yet completed) — Prequal's RIF.
+    pub queue_depth: Vec<u32>,
+    /// FIFO server horizon: the micro-tick this replica frees up.
+    pub busy_until: Vec<u64>,
+    /// EWMA of predicted subrequest sojourn (queueing + service), in µs.
+    pub ewma_us: Vec<f64>,
+    /// Completions per replica.
+    pub served: Vec<u64>,
+    /// Replicas per shard.
+    pub replication: u32,
+}
+
+impl ReplicaState {
+    /// `n_shards · replication` replicas, shard `s` owning the block
+    /// starting at `s · replication`.
+    pub fn new(n_shards: usize, replication: usize, ewma_init_us: f64) -> Self {
+        let n = n_shards * replication;
+        Self {
+            machine: vec![0; n],
+            shard: (0..n).map(|r| (r / replication) as u32).collect(),
+            queue_depth: vec![0; n],
+            busy_until: vec![0; n],
+            ewma_us: vec![ewma_init_us; n],
+            served: vec![0; n],
+            replication: replication as u32,
+        }
+    }
+
+    /// Total replicas.
+    pub fn len(&self) -> usize {
+        self.machine.len()
+    }
+
+    /// True for a replica-free state (never in practice).
+    pub fn is_empty(&self) -> bool {
+        self.machine.is_empty()
+    }
+
+    /// First replica of `shard`'s block.
+    #[inline]
+    pub fn base(&self, shard: u32) -> u32 {
+        shard * self.replication
+    }
+}
+
+/// Per-machine utilization state. A machine's ρ composes its static
+/// hosted-demand share plus the flash-crowd surcharge; the `1/(1−ρ)`
+/// latency factor is cached and recomputed only when load changes (replica
+/// moves, spike edges) — never per event.
+pub struct MachineState {
+    /// Steady hosted demand (each replica contributes demand/R).
+    pub load: Vec<f64>,
+    /// Extra demand while a flash crowd is active.
+    pub spike_extra: Vec<f64>,
+    /// Capacity (CPU dimension).
+    pub cap: Vec<f64>,
+    /// Cached `1/(1−min(ρ, ρ_max))` per machine.
+    pub lat_factor: Vec<f64>,
+    rho_max: f64,
+}
+
+impl MachineState {
+    /// Machines with the given CPU capacities.
+    pub fn new(cap: Vec<f64>, rho_max: f64) -> Self {
+        let n = cap.len();
+        let mut s = Self {
+            load: vec![0.0; n],
+            spike_extra: vec![0.0; n],
+            cap,
+            lat_factor: vec![1.0; n],
+            rho_max,
+        };
+        for m in 0..n {
+            s.recompute(m);
+        }
+        s
+    }
+
+    /// Machine count.
+    pub fn len(&self) -> usize {
+        self.cap.len()
+    }
+
+    /// True for an empty fleet (never in practice).
+    pub fn is_empty(&self) -> bool {
+        self.cap.is_empty()
+    }
+
+    /// Utilization of machine `m` (unclamped).
+    #[inline]
+    pub fn rho(&self, m: usize) -> f64 {
+        (self.load[m] + self.spike_extra[m]) / self.cap[m]
+    }
+
+    /// Re-derives the cached latency factor after a load change.
+    pub fn recompute(&mut self, m: usize) {
+        let rho = self.rho(m).min(self.rho_max).max(0.0);
+        self.lat_factor[m] = 1.0 / (1.0 - rho);
+    }
+
+    /// Moves `share` demand units from machine `from` to machine `to`
+    /// (one replica's worth) and refreshes both factors.
+    pub fn move_share(&mut self, from: usize, to: usize, share: f64) {
+        self.load[from] -= share;
+        self.load[to] += share;
+        self.recompute(from);
+        self.recompute(to);
+    }
+}
+
+/// In-flight query bookkeeping: a slab with a free list. A slot holds the
+/// remaining-subrequest count and the arrival tick; slots are reused in
+/// LIFO order, so the slab stops growing at the in-flight high-water mark.
+pub struct QuerySlab {
+    remaining: Vec<u32>,
+    arrive: Vec<u64>,
+    free: Vec<u32>,
+    live: usize,
+    high_water: usize,
+}
+
+impl QuerySlab {
+    /// An empty slab pre-sized for `cap` concurrent queries.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            remaining: Vec::with_capacity(cap),
+            arrive: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+            live: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Admits a query fanning out to `fanout` subrequests; returns its
+    /// slot handle.
+    #[inline]
+    pub fn admit(&mut self, fanout: u32, now: u64) -> u32 {
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        if let Some(slot) = self.free.pop() {
+            self.remaining[slot as usize] = fanout;
+            self.arrive[slot as usize] = now;
+            slot
+        } else {
+            self.remaining.push(fanout);
+            self.arrive.push(now);
+            (self.remaining.len() - 1) as u32
+        }
+    }
+
+    /// Retires one subrequest of `slot`; on the last one, frees the slot
+    /// and returns the query's end-to-end latency in micro-ticks.
+    #[inline]
+    pub fn complete_one(&mut self, slot: u32, now: u64) -> Option<u64> {
+        let i = slot as usize;
+        debug_assert!(self.remaining[i] > 0, "completion after retirement");
+        self.remaining[i] -= 1;
+        if self.remaining[i] == 0 {
+            self.live -= 1;
+            self.free.push(slot);
+            Some(now - self.arrive[i])
+        } else {
+            None
+        }
+    }
+
+    /// Queries currently in flight.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Most queries ever simultaneously in flight.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_blocks_are_contiguous() {
+        let st = ReplicaState::new(4, 3, 100.0);
+        assert_eq!(st.len(), 12);
+        assert_eq!(st.base(2), 6);
+        assert_eq!(st.shard[6], 2);
+        assert_eq!(st.shard[8], 2);
+        assert_eq!(st.shard[9], 3);
+    }
+
+    #[test]
+    fn machine_latency_factor_tracks_load() {
+        let mut ms = MachineState::new(vec![10.0, 10.0], 0.98);
+        assert_eq!(ms.lat_factor[0], 1.0);
+        ms.load[0] = 5.0;
+        ms.recompute(0);
+        assert!((ms.lat_factor[0] - 2.0).abs() < 1e-12);
+        // The clamp keeps saturated machines finite.
+        ms.load[1] = 100.0;
+        ms.recompute(1);
+        assert!((ms.lat_factor[1] - 50.0).abs() < 1e-9);
+        // Moving a share updates both ends.
+        ms.move_share(0, 1, 5.0);
+        assert_eq!(ms.lat_factor[0], 1.0);
+        assert!((ms.rho(0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slab_reuses_slots_and_tracks_high_water() {
+        let mut slab = QuerySlab::with_capacity(4);
+        let a = slab.admit(2, 10);
+        let b = slab.admit(1, 11);
+        assert_eq!(slab.live(), 2);
+        assert_eq!(slab.complete_one(a, 15), None);
+        assert_eq!(slab.complete_one(b, 20), Some(9));
+        assert_eq!(slab.complete_one(a, 30), Some(20));
+        assert_eq!(slab.live(), 0);
+        // Freed slots are reused (LIFO), so the slab stays at its peak.
+        let c = slab.admit(1, 40);
+        assert!(c == a || c == b);
+        assert_eq!(slab.high_water(), 2);
+    }
+}

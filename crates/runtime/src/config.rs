@@ -300,4 +300,62 @@ mod tests {
         assert_eq!(back.faults.len(), 1);
         back.validate();
     }
+
+    /// `hotshard` is `#[serde(default)]` so config files from before the
+    /// control plane existed must still load (and get the disabled
+    /// default, not zeros).
+    #[test]
+    fn config_without_hotshard_key_loads_with_default() {
+        let json = serde_json::to_string(&RuntimeConfig::default()).unwrap();
+        // Splice the key out rather than hand-writing the whole config:
+        // the test should keep passing as unrelated fields evolve.
+        let key = "\"hotshard\":";
+        let start = json.find(key).expect("config must serialize hotshard");
+        let mut depth = 0usize;
+        let mut end = start + key.len();
+        for (off, c) in json[start + key.len()..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = start + key.len() + off + c.len_utf8();
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(depth == 0 && end > start + key.len(), "unbalanced braces");
+        // Drop one adjacent comma so the remaining object stays valid.
+        let took_leading_comma = json[..start].ends_with(',');
+        let start = if took_leading_comma { start - 1 } else { start };
+        let end = if !took_leading_comma && json[end..].starts_with(',') {
+            end + 1
+        } else {
+            end
+        };
+        let stripped = format!("{}{}", &json[..start], &json[end..]);
+        let back: RuntimeConfig = serde_json::from_str(&stripped).unwrap();
+        assert!(!back.hotshard.enabled);
+        assert_eq!(
+            back.hotshard.poll_interval,
+            crate::HotShardConfig::default().poll_interval
+        );
+        back.validate();
+    }
+
+    /// `HotShardConfig` carries a container-level `#[serde(default)]`:
+    /// a partial object fills absent keys from `Self::default()` — the
+    /// non-zero defaults, not the field types' zero values.
+    #[test]
+    fn partial_hotshard_object_fills_from_self_default() {
+        let cfg: crate::HotShardConfig = serde_json::from_str("{\"enabled\": true}").unwrap();
+        assert!(cfg.enabled);
+        let dflt = crate::HotShardConfig::default();
+        assert_eq!(cfg.poll_interval, dflt.poll_interval);
+        assert_eq!(cfg.operator_limit, dflt.operator_limit);
+        assert!(cfg.ewma_alpha > 0.0);
+        cfg.validate();
+    }
 }

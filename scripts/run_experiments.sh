@@ -31,7 +31,7 @@ mkdir -p "$outdir"
 
 for exp in workloads headline exchange_sweep convergence migration \
            scalability optgap stringency ablation alpha qos longrun \
-           closed_loop hotshard; do
+           closed_loop hotshard routing; do
     echo "=== exp_${exp} ==="
     if ! ./target/release/exp_${exp} | tee "$outdir/exp_${exp}.md"; then
         echo "FAILED: exp_${exp} (see output above)" >&2
@@ -68,7 +68,21 @@ test -s "$tracedir/h3.jsonl"
 REX_THREADS=1 ./target/release/rex simulate $hs_flags --trace "$tracedir/ht1.jsonl"
 REX_THREADS=8 ./target/release/rex simulate $hs_flags --trace "$tracedir/ht8.jsonl"
 cmp "$tracedir/ht1.jsonl" "$tracedir/ht8.jsonl"
+echo "=== routing determinism ==="
+rt_flags="--machines 12 --shards 96 --seed 11 --policy prequal --horizon 30000 \
+  --qps 20000 --service 400 --spike-at 8000 --spike-duration 8000 \
+  --sra --sra-every 7000 --sra-iters 200 --quiet"
+./target/release/rex route $rt_flags --out "$tracedir/r1.json"
+./target/release/rex route $rt_flags --out "$tracedir/r2.json"
+cmp "$tracedir/r1.json" "$tracedir/r2.json"
+test -s "$tracedir/r1.json"
+REX_THREADS=1 ./target/release/rex route $rt_flags --out "$tracedir/rt1.json"
+REX_THREADS=8 ./target/release/rex route $rt_flags --out "$tracedir/rt8.json"
+cmp "$tracedir/rt1.json" "$tracedir/rt8.json"
+./target/release/rex route $rt_flags --out "$tracedir/r3.json" --trace "$tracedir/r3.jsonl"
+cmp "$tracedir/r1.json" "$tracedir/r3.json"   # recording never perturbs the run
+test -s "$tracedir/r3.jsonl"
 rm -rf "$tracedir"
-echo "traces byte-identical across runs and thread counts (serial spine, portfolio, decomposed, hotshard)"
+echo "traces byte-identical across runs and thread counts (serial spine, portfolio, decomposed, hotshard, router)"
 
 echo "All experiment outputs written to $outdir/."

@@ -141,6 +141,34 @@ pub const COMMANDS: &[CommandSpec] = &[
             switches: &[],
         },
     },
+    CommandSpec {
+        name: "route",
+        spec: ArgSpec {
+            values: &[
+                SYNTH_FLAGS,
+                SEED_FLAG,
+                &[
+                    "inst",
+                    "policy",
+                    "horizon",
+                    "qps",
+                    "replication",
+                    "fanout",
+                    "service",
+                    "d",
+                    "spike-at",
+                    "spike-duration",
+                    "spike-factor",
+                    "spike-fraction",
+                    "sra-every",
+                    "sra-iters",
+                    "out",
+                    "trace",
+                ],
+            ],
+            switches: &["sra", "quiet"],
+        },
+    },
 ];
 
 /// The flag vocabulary of `cmd`, from the registry.
@@ -267,7 +295,7 @@ mod tests {
     #[test]
     fn every_command_has_a_spec_and_unknowns_do_not() {
         for cmd in [
-            "generate", "inspect", "solve", "baseline", "verify", "simulate", "trace",
+            "generate", "inspect", "solve", "baseline", "verify", "simulate", "trace", "route",
         ] {
             assert!(spec_of(cmd).is_some(), "missing spec for {cmd}");
         }

@@ -33,7 +33,8 @@ use resource_exchange::cluster::{
 };
 use resource_exchange::core::{solve_traced, solve_with_drain, SolveOptions, SraConfig};
 use resource_exchange::obs::Recorder;
-use resource_exchange::runtime::{DriftSpec, FaultSpec, RuntimeConfig, Simulation};
+use resource_exchange::router::{self, FlashCrowd, PolicyKind, RouterConfig, SraCoupling};
+use resource_exchange::runtime::{DriftSpec, FaultSpec, MetricsExport, RuntimeConfig, Simulation};
 use resource_exchange::workload::io;
 use resource_exchange::workload::synthetic::{
     generate, DemandFamily, MachineProfile, Placement, SynthConfig,
@@ -292,6 +293,10 @@ fn cmd_simulate(args: &HashMap<String, String>) -> Result<(), String> {
         cfg.hotshard.poll_interval = parse(get_or(args, "hotshard-poll", "25"), "u64")?;
         cfg.hotshard.operator_expiry_ticks = parse(get_or(args, "hotshard-expiry", "400"), "u64")?;
     }
+    // `Simulation::new` consumes the config; remember whether the
+    // hot-shard control plane is on — the summary gates its block on the
+    // plane being *active*, not on its counters being nonzero.
+    let hotshard_enabled = cfg.hotshard.enabled;
     let sim = Simulation::new(inst, cfg);
     let mut rec = if args.contains_key("trace") {
         Recorder::active()
@@ -310,49 +315,172 @@ fn cmd_simulate(args: &HashMap<String, String>) -> Result<(), String> {
         std::fs::write(out, export.to_json()).map_err(|e| e.to_string())?;
     }
     if !has(args, "quiet") {
-        println!(
-            "{} | policy {} seed {} ticks {}",
-            export.meta.instance, export.meta.policy, export.meta.seed, export.meta.ticks
-        );
-        println!(
-            "queries: {} arrived, {} degraded | latency p50 {:.2} p95 {:.2} p99 {:.2}",
-            export.counters.queries_arrived,
-            export.counters.queries_degraded,
-            export.latency.p50,
-            export.latency.p95,
-            export.latency.p99
-        );
-        println!(
-            "rebalances: {} triggered, {} completed, {} aborted | evacuations {} | traffic {:.1}",
-            export.counters.rebalances_triggered,
-            export.counters.rebalances_completed,
-            export.counters.rebalances_aborted,
-            export.counters.evacuations,
-            export.counters.migration_traffic
-        );
-        if export.counters.shard_splits
-            + export.counters.shard_merges
-            + export.counters.hotshard_migrations
-            > 0
-        {
-            println!(
-                "hotshard: {} splits, {} merges, {} migrations | expired {} cancelled {}",
-                export.counters.shard_splits,
-                export.counters.shard_merges,
-                export.counters.hotshard_migrations,
-                export.counters.hotshard_expired,
-                export.counters.hotshard_cancelled
-            );
-        }
-        println!(
-            "peak: initial {:.4} final {:.4} steady-state {:.4} | transient violations {}",
-            export.initial_report.peak,
-            export.final_report.peak,
-            export.steady_state_peak(),
-            export.counters.transient_violations
-        );
+        print!("{}", simulate_summary(&export, hotshard_enabled));
         if let Some(out) = args.get("out") {
             println!("metrics written to {out}");
+        }
+    }
+    Ok(())
+}
+
+/// The human-readable `simulate` roll-up. The hot-shard block appears iff
+/// the control plane was enabled (`--hotshard`) — an active-but-idle plane
+/// reports its zeros, a disabled plane stays silent even though the
+/// counters exist in the export either way.
+fn simulate_summary(export: &MetricsExport, hotshard_enabled: bool) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{} | policy {} seed {} ticks {}",
+        export.meta.instance, export.meta.policy, export.meta.seed, export.meta.ticks
+    );
+    let _ = writeln!(
+        s,
+        "queries: {} arrived, {} degraded | latency p50 {:.2} p95 {:.2} p99 {:.2}",
+        export.counters.queries_arrived,
+        export.counters.queries_degraded,
+        export.latency.p50,
+        export.latency.p95,
+        export.latency.p99
+    );
+    let _ = writeln!(
+        s,
+        "rebalances: {} triggered, {} completed, {} aborted | evacuations {} | traffic {:.1}",
+        export.counters.rebalances_triggered,
+        export.counters.rebalances_completed,
+        export.counters.rebalances_aborted,
+        export.counters.evacuations,
+        export.counters.migration_traffic
+    );
+    if hotshard_enabled {
+        let _ = writeln!(
+            s,
+            "hotshard: {} splits, {} merges, {} migrations | expired {} cancelled {}",
+            export.counters.shard_splits,
+            export.counters.shard_merges,
+            export.counters.hotshard_migrations,
+            export.counters.hotshard_expired,
+            export.counters.hotshard_cancelled
+        );
+    }
+    let _ = writeln!(
+        s,
+        "peak: initial {:.4} final {:.4} steady-state {:.4} | transient violations {}",
+        export.initial_report.peak,
+        export.final_report.peak,
+        export.steady_state_peak(),
+        export.counters.transient_violations
+    );
+    s
+}
+
+/// Runs the query-level routing engine (`rex_router`) over an instance
+/// (loaded from `--inst` or synthesized on the spot) and prints the run
+/// report; `--out` writes the report JSON, `--trace` the obs event stream.
+/// Same flags → byte-identical outputs.
+fn cmd_route(args: &HashMap<String, String>) -> Result<(), String> {
+    let seed = parse(get_or(args, "seed", "42"), "u64")?;
+    let inst = if args.contains_key("inst") {
+        load_instance(args)?
+    } else {
+        generate(&SynthConfig {
+            n_machines: parse(get_or(args, "machines", "16"), "usize")?,
+            n_exchange: parse(get_or(args, "exchange", "0"), "usize")?,
+            n_shards: parse(get_or(args, "shards", "160"), "usize")?,
+            dims: 1,
+            stringency: 0.55,
+            placement: Placement::Hotspot(0.3),
+            seed,
+            ..Default::default()
+        })
+        .map_err(|e| e.to_string())?
+    };
+    let spike = if args.contains_key("spike-at") {
+        Some(FlashCrowd {
+            at_us: parse(get(args, "spike-at")?, "u64")?,
+            duration_us: parse(get_or(args, "spike-duration", "10000"), "u64")?,
+            factor: parse(get_or(args, "spike-factor", "3"), "f64")?,
+            shard_fraction: parse(get_or(args, "spike-fraction", "0.1"), "f64")?,
+        })
+    } else {
+        None
+    };
+    let sra = if has(args, "sra") {
+        Some(SraCoupling {
+            every_us: parse(get_or(args, "sra-every", "10000"), "u64")?,
+            iters: parse(get_or(args, "sra-iters", "400"), "u64")?,
+            ..Default::default()
+        })
+    } else {
+        None
+    };
+    let cfg = RouterConfig {
+        horizon_us: parse(get_or(args, "horizon", "50000"), "u64")?,
+        qps: parse(get_or(args, "qps", "30000"), "f64")?,
+        replication: parse(get_or(args, "replication", "3"), "usize")?,
+        fanout: parse(get_or(args, "fanout", "4"), "usize")?,
+        base_service_us: parse(get_or(args, "service", "400"), "f64")?,
+        policy: get_or(args, "policy", "power_of_d").parse::<PolicyKind>()?,
+        d_choices: parse(get_or(args, "d", "2"), "usize")?,
+        spike,
+        sra,
+        seed,
+        ..Default::default()
+    };
+    let mut rec = if args.contains_key("trace") {
+        Recorder::active()
+    } else {
+        Recorder::noop()
+    };
+    let report = router::run_traced(&inst, &cfg, &mut rec);
+    if let Some(path) = args.get("trace") {
+        std::fs::write(path, rec.to_jsonl()).map_err(|e| e.to_string())?;
+        if !has(args, "quiet") {
+            println!("trace written to {path}");
+        }
+    }
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, report.to_json()).map_err(|e| e.to_string())?;
+    }
+    if !has(args, "quiet") {
+        println!(
+            "route: policy {} seed {} | {} machines, {} shards x{} replicas, fanout {}",
+            report.policy,
+            report.seed,
+            inst.n_machines(),
+            inst.n_shards(),
+            cfg.replication,
+            cfg.fanout
+        );
+        println!(
+            "queries: {} ({} subrequests, {} events) | peak in flight {}",
+            report.queries, report.subrequests, report.events, report.peak_in_flight
+        );
+        println!(
+            "latency (us): mean {:.1} p50 {:.1} p95 {:.1} p99 {:.1} max {:.1}",
+            report.mean_us, report.p50_us, report.p95_us, report.p99_us, report.max_us
+        );
+        if report.probes_sent > 0 {
+            println!(
+                "probes: {} sent, {} replies | pool {} hit / {} miss | {} expired, {} exhausted, {} hot-picks",
+                report.probes_sent,
+                report.probe_replies,
+                report.pool_hits,
+                report.pool_misses,
+                report.probes_expired,
+                report.probes_exhausted,
+                report.hot_picks
+            );
+        }
+        if report.sra_solves > 0 {
+            println!(
+                "sra: {} solves, {} replica moves",
+                report.sra_solves, report.sra_moves
+            );
+        }
+        if let Some(out) = args.get("out") {
+            println!("report written to {out}");
         }
     }
     Ok(())
@@ -395,7 +523,7 @@ fn cmd_trace(args: &HashMap<String, String>) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: rex <generate|inspect|solve|baseline|verify|simulate|trace> [--flag value | --flag=value | --switch]...
+    "usage: rex <generate|inspect|solve|baseline|verify|simulate|route|trace> [--flag value | --flag=value | --switch]...
   generate --out FILE [--family uniform|zipf|correlated|big-shards]
            [--placement hotspot|balanced|drift] [--machines N] [--exchange N]
            [--shards N] [--dims N] [--stringency F] [--alpha F] [--seed N]
@@ -413,6 +541,14 @@ const USAGE: &str =
            [--hotshard [--split-threshold F] [--merge-threshold F]
             [--hotshard-poll N] [--hotshard-expiry N]]
            (--hotshard turns on the continuous split/merge control plane)
+  route    [--inst FILE | --machines N --shards N --exchange N]
+           [--policy random|round_robin|power_of_d|prequal|token] [--d N]
+           [--horizon US] [--qps F] [--replication R] [--fanout K] [--service US]
+           [--spike-at T [--spike-duration N] [--spike-factor F] [--spike-fraction F]]
+           [--sra [--sra-every US] [--sra-iters N]] [--seed N]
+           [--out FILE] [--trace FILE] [--quiet]
+           (query-level event engine: routes individual queries to shard
+            replicas; --sra couples mid-run resource-exchange solves)
   trace    [--inst FILE | --machines N --shards N --exchange N]
            [--iters N] [--workers N] [--partitions K] [--seed N] [--out FILE]
            (one traced SRA solve: prints the roll-up, --out writes JSONL)
@@ -443,6 +579,7 @@ fn main() -> ExitCode {
             "baseline" => cmd_baseline(&args),
             "verify" => cmd_verify(&args),
             "simulate" => cmd_simulate(&args),
+            "route" => cmd_route(&args),
             "trace" => cmd_trace(&args),
             _ => unreachable!("spec_of and the dispatch table agree"),
         }),
@@ -661,6 +798,99 @@ mod tests {
     fn simulate_rejects_bad_controller() {
         let e = cmd_simulate(&args(&[("controller", "nope"), ("ticks", "10")]));
         assert!(e.is_err());
+    }
+
+    #[test]
+    fn simulate_summary_gates_hotshard_block_on_the_flag() {
+        // Regression: the hotshard block used to appear only when its
+        // counters were nonzero, so `--hotshard` runs where the plane
+        // stayed idle printed nothing — indistinguishable from the plane
+        // being off. The block must track the flag, not the counters.
+        let inst = generate(&SynthConfig {
+            n_machines: 6,
+            n_exchange: 1,
+            n_shards: 30,
+            seed: 7,
+            ..Default::default()
+        })
+        .unwrap();
+        let cfg = RuntimeConfig {
+            ticks: 80,
+            seed: 7,
+            qps: 4.0,
+            ..Default::default()
+        };
+        let export = Simulation::new(inst, cfg).run_traced(&mut Recorder::noop());
+        // No faults, hotshard disabled in cfg: every hotshard counter is 0.
+        let with_plane = simulate_summary(&export, true);
+        assert!(
+            with_plane.contains("hotshard: 0 splits, 0 merges"),
+            "an enabled-but-idle plane must report its zeros:\n{with_plane}"
+        );
+        let without_plane = simulate_summary(&export, false);
+        assert!(
+            !without_plane.contains("hotshard"),
+            "a disabled plane must stay out of the summary:\n{without_plane}"
+        );
+        // Both variants still carry the rest of the roll-up.
+        for s in [&with_plane, &without_plane] {
+            assert!(s.contains("queries:") && s.contains("peak:"));
+        }
+    }
+
+    #[test]
+    fn route_same_seed_writes_identical_report() {
+        let dir = std::env::temp_dir().join("rex-cli-route");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (a, b) = (dir.join("a.json"), dir.join("b.json"));
+        let run = |out: &Path| {
+            cmd_route(&args(&[
+                ("machines", "8"),
+                ("shards", "64"),
+                ("horizon", "20000"),
+                ("qps", "15000"),
+                ("service", "400"),
+                ("policy", "prequal"),
+                ("seed", "11"),
+                ("spike-at", "5000"),
+                ("spike-duration", "5000"),
+                ("sra", ""),
+                ("sra-every", "6000"),
+                ("sra-iters", "200"),
+                ("out", out.to_str().unwrap()),
+                ("quiet", ""),
+            ]))
+            .unwrap();
+        };
+        run(&a);
+        run(&b);
+        let (ja, jb) = (
+            std::fs::read_to_string(&a).unwrap(),
+            std::fs::read_to_string(&b).unwrap(),
+        );
+        assert!(!ja.is_empty());
+        assert_eq!(ja, jb, "same-seed route must be byte-identical");
+        // The flags reached the engine: prequal probed, the coupling ran.
+        let field = |name: &str| -> u64 {
+            ja.split(&format!("\"{name}\": "))
+                .nth(1)
+                .unwrap_or_else(|| panic!("report carries {name}"))
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .unwrap()
+        };
+        assert!(field("queries") > 0);
+        assert!(field("probes_sent") > 0, "prequal must probe");
+        assert!(field("sra_solves") > 0, "--sra must couple the solver");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn route_rejects_bad_policy() {
+        let e = cmd_route(&args(&[("policy", "nope"), ("horizon", "1000")]));
+        assert!(e.unwrap_err().contains("nope"));
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //!   comparators,
 //! * [`runtime`] — the closed-loop cluster runtime: a deterministic
 //!   discrete-event simulator that puts the controller, SRA, timed
-//!   migrations, and fault injection in one reproducible loop.
+//!   migrations, and fault injection in one reproducible loop,
+//! * [`router`] — the query-level event engine: individual query
+//!   arrivals, per-shard fan-out, and pluggable replica routing (random /
+//!   round-robin / power-of-d / prequal / token) at millions of simulated
+//!   events per second, with optional mid-run SRA reassignment.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +52,7 @@ pub use rex_cluster as cluster;
 pub use rex_core as core;
 pub use rex_lns as lns;
 pub use rex_obs as obs;
+pub use rex_router as router;
 pub use rex_runtime as runtime;
 pub use rex_searchsim as searchsim;
 pub use rex_solver as solver;

@@ -1,7 +1,8 @@
 //! Vendored, dependency-free shim of the `criterion` surface this
 //! workspace uses: `Criterion`, `benchmark_group` + `sample_size` +
-//! `finish`, `bench_function`, `Bencher::{iter, iter_batched}`,
-//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros.
+//! `throughput` + `finish`, `bench_function`, `Bencher::{iter,
+//! iter_batched}`, `BatchSize`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros.
 //!
 //! Methodology (simplified from upstream, adequate for A/B throughput
 //! comparisons on one machine):
@@ -30,6 +31,18 @@ pub enum BatchSize {
     LargeInput,
     /// Exactly one setup per measured routine call.
     PerIteration,
+}
+
+/// Per-iteration work declared for a group, so results can be reported as
+/// a rate alongside raw ns/iter (upstream: `Throughput`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Each measured iteration processes this many logical elements
+    /// (events, queries, rows); reported as `Melem/s`.
+    Elements(u64),
+    /// Each measured iteration processes this many bytes; reported as
+    /// `MiB/s`.
+    Bytes(u64),
 }
 
 /// The measurement driver handed to `bench_function` closures.
@@ -91,7 +104,7 @@ impl Criterion {
     /// Runs one named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
         let sample_size = self.default_sample_size;
-        self.run_one(name, sample_size, f);
+        self.run_one(name, sample_size, None, f);
         self
     }
 
@@ -101,6 +114,7 @@ impl Criterion {
             parent: self,
             name: name.to_string(),
             sample_size: None,
+            throughput: None,
         }
     }
 
@@ -109,7 +123,13 @@ impl Criterion {
         self
     }
 
-    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, sample_size: usize, mut f: F) {
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
         if let Some(filter) = &self.filter {
             if !name.contains(filter.as_str()) {
                 return;
@@ -147,8 +167,19 @@ impl Criterion {
         means_ns.sort_by(|a, b| a.total_cmp(b));
         let median = means_ns[means_ns.len() / 2];
         let (min, max) = (means_ns[0], means_ns[means_ns.len() - 1]);
+        // Rate from the median sample: work-per-iteration over ns-per-
+        // iteration (upstream reports the same derived figure).
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!(" {:.3} Melem/s", n as f64 / median * 1e9 / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(" {:.1} MiB/s", n as f64 / median * 1e9 / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
         println!(
-            "{name:<44} {:>14} ns/iter (min {:.1}, max {:.1}, {} samples x {} iters)",
+            "{name:<44} {:>14} ns/iter{rate} (min {:.1}, max {:.1}, {} samples x {} iters)",
             format!("{median:.1}"),
             min,
             max,
@@ -163,6 +194,7 @@ pub struct BenchmarkGroup<'a> {
     parent: &'a mut Criterion,
     name: String,
     sample_size: Option<usize>,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -172,11 +204,19 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares the per-iteration work of subsequent benchmarks in this
+    /// group; their reports gain a derived rate column.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     /// Runs one named benchmark within the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
         let full = format!("{}/{}", self.name, name);
         let sample_size = self.sample_size.unwrap_or(self.parent.default_sample_size);
-        self.parent.run_one(&full, sample_size, f);
+        let throughput = self.throughput;
+        self.parent.run_one(&full, sample_size, throughput, f);
         self
     }
 
@@ -230,6 +270,7 @@ mod tests {
         trivial_bench(&mut c);
         let mut g = c.benchmark_group("grp");
         g.sample_size(2);
+        g.throughput(Throughput::Elements(1000));
         g.bench_function("inner", |b| b.iter(|| 2u64 * 2));
         g.finish();
     }

@@ -118,6 +118,22 @@ pub fn __field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T,
     }
 }
 
+/// Deserializes a named struct field marked `#[serde(default)]`: an
+/// absent key yields `default` (the field's `Default::default()`, or the
+/// matching field of the container's `Self::default()` for a
+/// container-level attribute) instead of an error.
+#[doc(hidden)]
+pub fn __field_or<T: Deserialize>(
+    obj: &[(String, Value)],
+    name: &str,
+    default: T,
+) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => Ok(default),
+    }
+}
+
 /// Deserializes a positional tuple element.
 #[doc(hidden)]
 pub fn __element<T: Deserialize>(items: &[Value], idx: usize) -> Result<T, DeError> {

@@ -8,7 +8,12 @@
 //! * tuple structs (single-field newtypes serialize transparently, like
 //!   upstream; `#[serde(transparent)]` is accepted and implied),
 //! * unit structs,
-//! * enums with unit, tuple, and struct variants.
+//! * enums with unit, tuple, and struct variants,
+//! * `#[serde(default)]` — on a field, an absent key deserializes to
+//!   `Default::default()` of the field's type; on a struct, absent keys
+//!   take their value from `Self::default()` (upstream semantics: the
+//!   container default is constructed once and fields are moved out of
+//!   it, so non-zero defaults survive).
 //!
 //! Generics are not supported (no derived type in the workspace is
 //! generic); the macro panics with a clear message if it meets them.
@@ -19,7 +24,10 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Item {
     NamedStruct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
+        /// Container-level `#[serde(default)]`: every absent key falls
+        /// back to the matching field of `Self::default()`.
+        default_all: bool,
     },
     TupleStruct {
         name: String,
@@ -34,25 +42,48 @@ enum Item {
     },
 }
 
+/// One named field and whether it carries `#[serde(default)]`.
+struct Field {
+    name: String,
+    default: bool,
+}
+
 /// One enum variant.
 enum Variant {
     Unit(String),
     Tuple(String, usize),
-    Struct(String, Vec<String>),
+    Struct(String, Vec<Field>),
 }
 
-/// Skips attributes (`#[...]`) at `*i`, returning whether any was seen.
-fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+/// Skips attributes (`#[...]`) at `*i`, returning whether any of them was
+/// `#[serde(default)]` (or a `serde(...)` list containing `default`).
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
     while *i + 1 < tokens.len() {
         match (&tokens[*i], &tokens[*i + 1]) {
             (TokenTree::Punct(p), TokenTree::Group(g))
                 if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
             {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis {
+                        for t in args.stream() {
+                            if let TokenTree::Ident(a) = t {
+                                if a.to_string() == "default" {
+                                    has_default = true;
+                                }
+                            }
+                        }
+                    }
+                }
                 *i += 2;
             }
             _ => break,
         }
     }
+    has_default
 }
 
 /// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at `*i`.
@@ -99,12 +130,12 @@ fn count_top_level_segments(tokens: &[TokenTree]) -> usize {
     segments
 }
 
-/// Parses the field names out of a named-field group (`{ ... }`).
-fn parse_named_fields(group: &[TokenTree]) -> Vec<String> {
+/// Parses the fields out of a named-field group (`{ ... }`).
+fn parse_named_fields(group: &[TokenTree]) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < group.len() {
-        skip_attrs(group, &mut i);
+        let default = skip_attrs(group, &mut i);
         skip_vis(group, &mut i);
         let Some(TokenTree::Ident(name)) = group.get(i) else {
             panic!(
@@ -112,7 +143,10 @@ fn parse_named_fields(group: &[TokenTree]) -> Vec<String> {
                 group.get(i)
             );
         };
-        fields.push(name.to_string());
+        fields.push(Field {
+            name: name.to_string(),
+            default,
+        });
         i += 1;
         // Expect `:` then the type — skip tokens to the next top-level `,`.
         let mut angle = 0i32;
@@ -179,7 +213,7 @@ fn parse_variants(group: &[TokenTree]) -> Vec<Variant> {
 fn parse_item(input: TokenStream) -> Item {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
-    skip_attrs(&tokens, &mut i);
+    let default_all = skip_attrs(&tokens, &mut i);
     skip_vis(&tokens, &mut i);
     let Some(TokenTree::Ident(kw)) = tokens.get(i) else {
         panic!("serde_derive shim: expected `struct` or `enum`");
@@ -203,6 +237,7 @@ fn parse_item(input: TokenStream) -> Item {
                 Item::NamedStruct {
                     name,
                     fields: parse_named_fields(&inner),
+                    default_all,
                 }
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
@@ -234,10 +269,11 @@ fn parse_item(input: TokenStream) -> Item {
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let src = match &item {
-        Item::NamedStruct { name, fields } => {
+        Item::NamedStruct { name, fields, .. } => {
             let pushes: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          serde::Serialize::to_value(&self.{f})),"
@@ -309,10 +345,15 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         }
                     }
                     Variant::Struct(vn, fields) => {
-                        let bind_list = fields.join(", ");
+                        let bind_list = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let items: String = fields
                             .iter()
                             .map(|f| {
+                                let f = &f.name;
                                 format!(
                                     "(::std::string::String::from(\"{f}\"), \
                                      serde::Serialize::to_value({f})),"
@@ -346,16 +387,40 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let src = match &item {
-        Item::NamedStruct { name, fields } => {
+        Item::NamedStruct {
+            name,
+            fields,
+            default_all,
+        } => {
             let inits: String = fields
                 .iter()
-                .map(|f| format!("{f}: serde::__field(__obj, \"{f}\")?,"))
+                .map(|f| {
+                    let fname = &f.name;
+                    if *default_all {
+                        // Container-level default: absent keys take their
+                        // value from the one `Self::default()` built below.
+                        format!("{fname}: serde::__field_or(__obj, \"{fname}\", __dflt.{fname})?,")
+                    } else if f.default {
+                        format!(
+                            "{fname}: serde::__field_or(__obj, \"{fname}\", \
+                             ::core::default::Default::default())?,"
+                        )
+                    } else {
+                        format!("{fname}: serde::__field(__obj, \"{fname}\")?,")
+                    }
+                })
                 .collect();
+            let dflt = if *default_all {
+                format!("let __dflt: {name} = ::core::default::Default::default();")
+            } else {
+                String::new()
+            };
             format!(
                 "impl serde::Deserialize for {name} {{\
                      fn from_value(__v: &serde::value::Value) \
                          -> ::core::result::Result<Self, serde::DeError> {{\
                          let __obj = serde::__object(__v)?;\
+                         {dflt}\
                          ::core::result::Result::Ok({name} {{ {inits} }})\
                      }}\
                  }}"
@@ -423,7 +488,17 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     Variant::Struct(vn, fields) => {
                         let inits: String = fields
                             .iter()
-                            .map(|f| format!("{f}: serde::__field(__obj, \"{f}\")?,"))
+                            .map(|f| {
+                                let fname = &f.name;
+                                if f.default {
+                                    format!(
+                                        "{fname}: serde::__field_or(__obj, \"{fname}\", \
+                                         ::core::default::Default::default())?,"
+                                    )
+                                } else {
+                                    format!("{fname}: serde::__field(__obj, \"{fname}\")?,")
+                                }
+                            })
                             .collect();
                         Some(format!(
                             "\"{vn}\" => {{\
