@@ -1,0 +1,59 @@
+//! **E4 / Figure 4 — LNS convergence.**
+//!
+//! Best objective vs LNS iteration and wall time, one series per
+//! acceptance criterion. The trajectory is recorded by the serial engine.
+//! (Formerly `exp_convergence`; renamed when E16 took that name for the
+//! cross-engine convergence harness.)
+
+use rex_bench::{f4, scaled, Table};
+use rex_core::{solve, AcceptanceKind, SraConfig};
+use rex_workload::synthetic::{generate, DemandFamily, Placement, SynthConfig};
+
+fn main() {
+    let inst = generate(&SynthConfig {
+        n_machines: scaled(24),
+        n_exchange: 3,
+        n_shards: scaled(240),
+        stringency: 0.85,
+        family: DemandFamily::Correlated,
+        placement: Placement::Hotspot(0.4),
+        seed: 11,
+        ..Default::default()
+    })
+    .expect("generate");
+
+    let iters = scaled(12_000) as u64;
+    let mut t = Table::new(&["acceptance", "iteration", "time (s)", "best objective"]);
+
+    for acc in [
+        AcceptanceKind::SimulatedAnnealing,
+        AcceptanceKind::HillClimb,
+        AcceptanceKind::RecordToRecord(0.02),
+    ] {
+        let cfg = SraConfig {
+            acceptance: acc,
+            log_trajectory: true,
+            ..rex_bench::sra_cfg(iters, 11)
+        };
+        let res = solve(&inst, &cfg).expect("solve");
+        let name = format!("{acc:?}");
+        // Downsample the trajectory to ~16 points for the table; the full
+        // series is in `res.trajectory` for plotting.
+        let n = res.trajectory.len();
+        let step = (n / 16).max(1);
+        for (i, p) in res.trajectory.iter().enumerate() {
+            if i % step == 0 || i == n - 1 {
+                t.row(vec![
+                    name.clone(),
+                    p.iteration.to_string(),
+                    format!("{:.3}", p.elapsed_secs),
+                    f4(p.objective),
+                ]);
+            }
+        }
+    }
+
+    t.print("E4 / Figure 4 — best objective vs iteration (per acceptance criterion)");
+    println!("\nSeries to plot: one line per acceptance criterion, x = iteration (or time), y = best objective.");
+    println!("Expected shape: SA dips below hill-climb's plateau; RRT sits between.");
+}

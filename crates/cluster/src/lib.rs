@@ -32,6 +32,8 @@ pub mod migration;
 pub mod objective;
 pub mod partition;
 pub mod resources;
+pub mod scenario;
+pub mod service;
 pub mod shard;
 
 pub use assignment::{Assignment, UndoLog};
@@ -44,6 +46,7 @@ pub use migration::{plan_migration, verify_schedule, MigrationPlan, Move, Planne
 pub use objective::{Objective, ObjectiveKind};
 pub use partition::{partition_fleet, PartitionSpec};
 pub use resources::{ResourceVec, MAX_DIMS};
+pub use scenario::{CrashSpec, ScenarioSpec, SpikeSpec, SraSpec};
 pub use shard::{Shard, ShardId};
 
 /// Numerical tolerance used for all capacity comparisons.

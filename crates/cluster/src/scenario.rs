@@ -1,0 +1,242 @@
+//! Engine-neutral scenario description.
+//!
+//! A [`ScenarioSpec`] pins down one cluster experiment — arrival rate,
+//! fan-out, service time, and the fault script — in units both simulation
+//! engines can lower losslessly:
+//!
+//! * `rex-runtime` lowers it to a [`RuntimeConfig`] where one simulator
+//!   tick spans `tick_us` microseconds and sees `qps_per_tick` queries,
+//! * `rex-router` lowers it to a [`RouterConfig`] with
+//!   `horizon_us = ticks · tick_us` and `qps = qps_per_tick · 10⁶ / tick_us`.
+//!
+//! Fault timing is expressed in ticks and multiplies out to microseconds
+//! exactly, so both engines flip the same spike/crash at the same instant.
+//! The differential harness (`tests/differential_engines.rs`, E16) runs
+//! one spec through both engines and asserts the utilization and latency
+//! curves agree.
+//!
+//! [`RuntimeConfig`]: https://docs.rs/rex-runtime
+//! [`RouterConfig`]: https://docs.rs/rex-router
+
+use crate::instance::Instance;
+use crate::shard::ShardId;
+
+/// A flash crowd: the hottest `shard_fraction` of shards see their CPU
+/// demand multiplied by `factor` for `duration_ticks`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpikeSpec {
+    /// Tick the crowd arrives.
+    pub at_tick: u64,
+    /// Ticks the crowd lasts.
+    pub duration_ticks: u64,
+    /// Demand multiplier on the hot set (> 1).
+    pub factor: f64,
+    /// Fraction of shards in the hot set (0, 1].
+    pub shard_fraction: f64,
+}
+
+/// A machine crash, with optional recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Tick the machine fails.
+    pub at_tick: u64,
+    /// Which machine fails.
+    pub machine: usize,
+    /// Tick it rejoins, if it does.
+    pub recover_at_tick: Option<u64>,
+}
+
+/// Periodic SRA reassignment: how often the controller may act and how
+/// many search iterations each solve gets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SraSpec {
+    /// Controller poll interval in ticks.
+    pub every_ticks: u64,
+    /// Search iterations per solve.
+    pub iters: u64,
+}
+
+/// One engine-neutral scenario: fleet dynamics, load shape, and faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Simulation length in ticks.
+    pub ticks: u64,
+    /// Microseconds of wall time one tick aggregates over.
+    pub tick_us: u64,
+    /// Mean query arrivals per tick.
+    pub qps_per_tick: f64,
+    /// Shards sampled (demand-weighted) per query; the query's latency is
+    /// the max over its subrequests.
+    pub fanout: usize,
+    /// Mean service time of a subrequest on an idle machine, in µs. The
+    /// tick engine reports latency relative to this (idle machine = 1.0).
+    pub base_service_us: f64,
+    /// Saturation clamp for the service model.
+    pub rho_max: f64,
+    /// Master seed; each engine derives its named streams from it.
+    pub seed: u64,
+    /// Optional flash crowd.
+    pub spike: Option<SpikeSpec>,
+    /// Optional machine crash.
+    pub crash: Option<CrashSpec>,
+    /// Optional SRA reassignment loop.
+    pub sra: Option<SraSpec>,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        Self {
+            ticks: 500,
+            tick_us: 1_000,
+            qps_per_tick: 8.0,
+            fanout: 4,
+            base_service_us: 100.0,
+            rho_max: crate::service::DEFAULT_RHO_MAX,
+            seed: 42,
+            spike: None,
+            crash: None,
+            sra: None,
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// Event-engine horizon: `ticks · tick_us` microseconds.
+    pub fn horizon_us(&self) -> u64 {
+        self.ticks * self.tick_us
+    }
+
+    /// Event-engine arrival rate in queries per second.
+    pub fn qps(&self) -> f64 {
+        self.qps_per_tick * 1_000_000.0 / self.tick_us as f64
+    }
+
+    /// Panics if the spec is internally inconsistent (zero durations,
+    /// out-of-range fractions, faults scheduled past the horizon).
+    pub fn validate(&self) {
+        assert!(self.ticks > 0, "ticks must be positive");
+        assert!(self.tick_us > 0, "tick_us must be positive");
+        assert!(self.qps_per_tick > 0.0, "qps_per_tick must be positive");
+        assert!(self.fanout > 0, "fanout must be positive");
+        assert!(
+            self.base_service_us > 0.0,
+            "base_service_us must be positive"
+        );
+        assert!(
+            self.rho_max > 0.0 && self.rho_max < 1.0,
+            "rho_max must lie in (0, 1)"
+        );
+        if let Some(sp) = &self.spike {
+            assert!(sp.factor > 1.0, "spike factor must exceed 1");
+            assert!(
+                sp.shard_fraction > 0.0 && sp.shard_fraction <= 1.0,
+                "spike shard_fraction must lie in (0, 1]"
+            );
+            assert!(sp.duration_ticks > 0, "spike duration must be positive");
+            assert!(sp.at_tick < self.ticks, "spike starts past the horizon");
+        }
+        if let Some(cr) = &self.crash {
+            assert!(cr.at_tick < self.ticks, "crash happens past the horizon");
+            if let Some(r) = cr.recover_at_tick {
+                assert!(r > cr.at_tick, "recovery must follow the crash");
+            }
+        }
+        if let Some(sra) = &self.sra {
+            assert!(sra.every_ticks > 0, "sra poll interval must be positive");
+            assert!(sra.iters > 0, "sra iteration budget must be positive");
+        }
+    }
+}
+
+/// The flash-crowd hot set: the `ceil(n · fraction)` shards with the
+/// highest CPU demand (ties broken by id), returned **sorted ascending by
+/// id**.
+///
+/// Both engines must iterate the hot set in the same order when summing
+/// per-machine spike surcharges — float addition does not commute bitwise
+/// — so the selection order (hottest first) is deliberately *not* the
+/// return order.
+pub fn hot_set(inst: &Instance, fraction: f64) -> Vec<ShardId> {
+    let n = inst.n_shards();
+    let count = ((n as f64) * fraction).ceil() as usize;
+    let mut ids: Vec<ShardId> = (0..n).map(ShardId::from).collect();
+    ids.sort_by(|a, b| {
+        let (da, db) = (inst.demand(*a)[0], inst.demand(*b)[0]);
+        db.partial_cmp(&da)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.idx().cmp(&b.idx()))
+    });
+    ids.truncate(count.min(n));
+    ids.sort_by_key(|s| s.idx());
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    fn demo_instance() -> Instance {
+        let mut b = InstanceBuilder::new(1);
+        let m = b.machine(&[100.0]);
+        for d in [5.0, 9.0, 1.0, 9.0, 3.0] {
+            b.shard(&[d], 1.0, m);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hot_set_picks_hottest_and_returns_ascending() {
+        let inst = demo_instance();
+        // ceil(5 · 0.4) = 2 hottest: shards 1 and 3 (both 9.0, tie by id).
+        let hot = hot_set(&inst, 0.4);
+        assert_eq!(hot.iter().map(|s| s.idx()).collect::<Vec<_>>(), vec![1, 3]);
+        // ceil(5 · 0.6) = 3: adds shard 0 (5.0); still ascending.
+        let hot = hot_set(&inst, 0.6);
+        assert_eq!(
+            hot.iter().map(|s| s.idx()).collect::<Vec<_>>(),
+            vec![0, 1, 3]
+        );
+        // Full fraction selects everything.
+        assert_eq!(hot_set(&inst, 1.0).len(), 5);
+    }
+
+    #[test]
+    fn spec_arithmetic_and_validation() {
+        let spec = ScenarioSpec {
+            ticks: 400,
+            tick_us: 500,
+            qps_per_tick: 6.0,
+            ..Default::default()
+        };
+        spec.validate();
+        assert_eq!(spec.horizon_us(), 200_000);
+        assert!((spec.qps() - 12_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "spike starts past the horizon")]
+    fn validation_rejects_late_spike() {
+        let spec = ScenarioSpec {
+            ticks: 100,
+            spike: Some(SpikeSpec {
+                at_tick: 100,
+                duration_ticks: 10,
+                factor: 2.0,
+                shard_fraction: 0.1,
+            }),
+            ..Default::default()
+        };
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "rho_max")]
+    fn validation_rejects_bad_rho_max() {
+        let spec = ScenarioSpec {
+            rho_max: 1.0,
+            ..Default::default()
+        };
+        spec.validate();
+    }
+}

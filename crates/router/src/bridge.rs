@@ -65,8 +65,48 @@ pub fn build_fleet(
     (st, ms, shares)
 }
 
+/// Moves shard `s`'s *primary* replica to machine `to`, carrying its
+/// steady demand share and any live flash-crowd surcharge with it.
+/// Returns `false` (and does nothing) when the primary is already there.
+///
+/// This is the **single** replica-map mutation path: the mid-run SRA
+/// [`Coupling`] and the runtime's event backend (mirroring executor batch
+/// moves, `rex_runtime::Simulation`) both apply placement changes through
+/// it, so the replica map cannot drift from whichever control plane owns
+/// the decision — the "one source of truth" contract of DESIGN.md §14.
+/// The float operation order (load first, then surcharge, each with both
+/// factors recomputed) is part of that contract: the runtime asserts its
+/// `Assignment` usage and this machine state stay bit-equal on the steady
+/// component.
+pub fn move_primary(
+    st: &mut ReplicaState,
+    ms: &mut MachineState,
+    s: usize,
+    to: usize,
+    share: f64,
+    spike_share: f64,
+) -> bool {
+    let primary = st.base(s as u32) as usize;
+    let from = st.machine[primary] as usize;
+    if to == from {
+        return false;
+    }
+    ms.move_share(from, to, share);
+    if spike_share != 0.0 {
+        ms.spike_extra[from] -= spike_share;
+        ms.spike_extra[to] += spike_share;
+        ms.recompute(from);
+        ms.recompute(to);
+    }
+    st.machine[primary] = to as u32;
+    true
+}
+
 /// Mid-run SRA reassignment state: the observed-traffic window plus the
-/// apply hook.
+/// apply hook. `Clone` snapshots the coupling — window, solve counter, and
+/// derived seed — so a run restarted from mid-run clones replays the exact
+/// same solve sequence (resumability invariant).
+#[derive(Clone)]
 pub struct Coupling {
     /// Per-shard arrivals since the last poll.
     pub window: Vec<u64>,
@@ -167,18 +207,8 @@ impl Coupling {
             run_search(&problem, &cfg, seed, &mut Recorder::noop()).expect("snapshot search");
         let mut applied = 0;
         for s in 0..self.window.len() {
-            let primary = st.base(s as u32) as usize;
-            let from = st.machine[primary] as usize;
             let to = best.placement()[s].idx();
-            if to != from {
-                ms.move_share(from, to, shares[s]);
-                if spike_share[s] != 0.0 {
-                    ms.spike_extra[from] -= spike_share[s];
-                    ms.spike_extra[to] += spike_share[s];
-                    ms.recompute(from);
-                    ms.recompute(to);
-                }
-                st.machine[primary] = to as u32;
+            if move_primary(st, ms, s, to, shares[s], spike_share[s]) {
                 applied += 1;
             }
         }
@@ -263,6 +293,66 @@ mod tests {
         // The replica map mutated mid-run: at least one primary moved.
         assert!((0..12)
             .any(|s| st.machine[st.base(s) as usize] != inst.initial[s as usize].idx() as u32));
+    }
+
+    /// The resumability invariant: a run that polls the coupling at
+    /// T0..T2 equals a run restarted from a mid-run snapshot (clones of
+    /// `ReplicaState`/`MachineState`/`Coupling` taken just before T1) —
+    /// bit-identical replica map, machine loads, and surcharges after
+    /// every subsequent poll. Mid-run replica-map mutation carries no
+    /// hidden state outside the cloned structs.
+    #[test]
+    fn poll_after_snapshot_equals_uninterrupted_run() {
+        let inst = small_instance();
+        let (mut st, mut ms, shares) = build_fleet(&inst, 3, 100.0, 0.98);
+        let cfg = SraCoupling {
+            every_us: 1000,
+            iters: 400,
+            snapshot_utilization: 0.6,
+        };
+        let mut c = Coupling::new(cfg, 12, 7);
+        // A nonzero surcharge on shard 2 travels with its primary.
+        let mut spike = vec![0.0; 12];
+        spike[2] = 0.4;
+        ms.spike_extra[st.machine[st.base(2) as usize] as usize] += 0.4;
+        let traffic = |c: &mut Coupling, phase: u64| {
+            for s in 0..12u32 {
+                for _ in 0..((s as u64 * 37 + phase * 13) % 97) {
+                    c.note_arrival(s);
+                }
+            }
+        };
+
+        // Poll T0 happens before the snapshot on the original run.
+        traffic(&mut c, 0);
+        c.poll(&mut st, &mut ms, &shares, &spike);
+
+        // Snapshot: clones are the entire resumable state.
+        let (mut st2, mut ms2, mut c2) = (st.clone(), ms.clone(), c.clone());
+
+        for phase in 1..3u64 {
+            traffic(&mut c, phase);
+            traffic(&mut c2, phase);
+            let a = c.poll(&mut st, &mut ms, &shares, &spike);
+            let b = c2.poll(&mut st2, &mut ms2, &shares, &spike);
+            assert_eq!(a, b, "poll {phase} applied different move counts");
+            assert_eq!(st.machine, st2.machine, "replica map diverged");
+            for m in 0..ms.len() {
+                assert_eq!(
+                    ms.load[m].to_bits(),
+                    ms2.load[m].to_bits(),
+                    "machine {m} load diverged after poll {phase}"
+                );
+                assert_eq!(
+                    ms.spike_extra[m].to_bits(),
+                    ms2.spike_extra[m].to_bits(),
+                    "machine {m} surcharge diverged after poll {phase}"
+                );
+            }
+        }
+        assert_eq!(c.solves, c2.solves);
+        assert_eq!(c.moves_applied, c2.moves_applied);
+        assert_eq!(c.solves, 3, "both runs saw all three polls");
     }
 
     #[test]

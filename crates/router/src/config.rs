@@ -56,6 +56,21 @@ impl std::str::FromStr for PolicyKind {
     }
 }
 
+/// How the flash-crowd hot set is chosen at construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HotSetMode {
+    /// A uniform random subset from the named spike stream (the original
+    /// router behavior — stresses routing under an arbitrary crowd).
+    #[default]
+    Random,
+    /// The hottest shards by CPU demand (ties by id), via
+    /// [`rex_cluster::scenario::hot_set`] — the same deterministic
+    /// selection the tick engine makes, so a shared
+    /// [`rex_cluster::ScenarioSpec`] spikes identical shards in both
+    /// engines.
+    Hottest,
+}
+
 /// A flash crowd: between `at_us` and `at_us + duration_us`, the arrival
 /// weight of `shard_fraction` of the shards is multiplied by `factor`
 /// (their machines also bear the matching extra utilization).
@@ -137,6 +152,10 @@ pub struct RouterConfig {
     pub sample_every: u64,
     /// Optional flash crowd.
     pub spike: Option<FlashCrowd>,
+    /// How a flash crowd's hot set is drawn (`#[serde(default)]` keeps
+    /// pre-PR 8 config files loadable).
+    #[serde(default)]
+    pub hot_set: HotSetMode,
     /// Optional mid-run SRA reassignment coupling.
     pub sra: Option<SraCoupling>,
     /// Master seed; every stream (arrivals, service, policy, spike)
@@ -165,6 +184,7 @@ impl Default for RouterConfig {
             ewma_alpha: 0.2,
             sample_every: 1,
             spike: None,
+            hot_set: HotSetMode::Random,
             sra: None,
             seed: 42,
         }
@@ -172,6 +192,42 @@ impl Default for RouterConfig {
 }
 
 impl RouterConfig {
+    /// Lowers an engine-neutral [`rex_cluster::ScenarioSpec`] to this
+    /// event engine's units: `horizon_us = ticks · tick_us`,
+    /// `qps = qps_per_tick · 10⁶ / tick_us`, fault ticks multiplied out to
+    /// microseconds, and the flash-crowd hot set pinned to
+    /// [`HotSetMode::Hottest`] so both engines spike the same shards.
+    ///
+    /// Replication is forced to 1: the differential contract mirrors the
+    /// tick engine's one-home-per-shard `Assignment`, so the replica map
+    /// and the assignment can stay bit-equal under mirrored moves.
+    /// Crash faults are *not* lowered here — in backend mode the runtime
+    /// owns crash/evacuation decisions and forwards failure flips through
+    /// `Router::set_failed`.
+    pub fn from_scenario(spec: &rex_cluster::ScenarioSpec, policy: PolicyKind) -> Self {
+        spec.validate();
+        Self {
+            horizon_us: spec.horizon_us(),
+            qps: spec.qps(),
+            replication: 1,
+            fanout: spec.fanout,
+            base_service_us: spec.base_service_us,
+            rho_max: spec.rho_max,
+            policy,
+            sample_every: 1,
+            spike: spec.spike.map(|sp| FlashCrowd {
+                at_us: sp.at_tick * spec.tick_us,
+                duration_us: sp.duration_ticks * spec.tick_us,
+                factor: sp.factor,
+                shard_fraction: sp.shard_fraction,
+            }),
+            hot_set: HotSetMode::Hottest,
+            sra: None,
+            seed: spec.seed,
+            ..Default::default()
+        }
+    }
+
     /// Panics on out-of-range knobs — mirrors `RuntimeConfig::validate`:
     /// a config is checked once, at the boundary, before any event fires.
     pub fn validate(&self) {

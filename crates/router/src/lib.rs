@@ -64,7 +64,7 @@ pub mod sim;
 pub mod state;
 pub mod token;
 
-pub use config::{FlashCrowd, PolicyKind, RouterConfig, SraCoupling};
+pub use config::{FlashCrowd, HotSetMode, PolicyKind, RouterConfig, SraCoupling};
 pub use policy::{AnyPolicy, PowerOfD, Random, RoundRobin, RoutingPolicy};
 pub use prequal::{Prequal, ProbeStats};
 pub use sim::{run, run_traced, Router, RouterReport};

@@ -233,6 +233,7 @@ impl RoutingPolicy for Prequal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::SeedableRng;
 
     fn policy(n_shards: usize) -> Prequal {
@@ -322,5 +323,108 @@ mod tests {
             .filter_map(|_| p.probe_target(0, 0, 4, 0, &mut rng))
             .count();
         assert_eq!(issued, 25);
+    }
+
+    /// Snapshot of one shard's live pool keyed by `(replica, born)` — the
+    /// pair is unique because a fresh reply supersedes its replica's entry.
+    fn live_entries(p: &Prequal, shard: u32) -> Vec<ProbeEntry> {
+        let start = shard as usize * p.cap;
+        p.pool[start..start + p.len[shard as usize] as usize].to_vec()
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(64))]
+
+        /// Pool invariants under arbitrary reply/pick traffic:
+        ///
+        /// * a shard's pool never exceeds its capacity and never holds two
+        ///   entries for the same replica,
+        /// * an expired or use-exhausted entry is never selected (every
+        ///   pool hit returns a replica whose entry was live at pick time),
+        /// * the reuse budget decrements exactly once per routed pick — the
+        ///   chosen entry's `uses` rises by one, every other surviving
+        ///   entry is untouched.
+        #[test]
+        fn pool_respects_capacity_expiry_and_reuse_budget(
+            ops in proptest::collection::vec(
+                (0u8..=1, 0u32..3, 0u32..4, 0u32..10, 1.0f64..200.0, 0u64..60),
+                1..150,
+            ),
+        ) {
+            let n_shards = 3usize;
+            let r = 4u32;
+            let mut p = Prequal::from_config(
+                &RouterConfig {
+                    probe_pool: 3,
+                    probe_expiry_us: 100,
+                    probe_max_uses: 2,
+                    hot_rif: 4,
+                    probe_rate: 1.0,
+                    ..Default::default()
+                },
+                n_shards,
+            );
+            let st = ReplicaState::new(n_shards, r as usize, 100.0);
+            let mut rng = StdRng::seed_from_u64(0x9E37);
+            let mut now = 1u64;
+            for &(op, shard, rep, rif, ewma, dt) in &ops {
+                now += dt;
+                let base = shard * r;
+                if op == 0 {
+                    p.on_probe_reply(shard, base + rep, rif, ewma, now);
+                } else {
+                    let before = live_entries(&p, shard);
+                    let hits = p.stats.pool_hits;
+                    let chosen = p.pick(shard, base, r, &st, now, &mut rng);
+                    prop_assert!(
+                        (base..base + r).contains(&chosen),
+                        "pick left the shard's replica block"
+                    );
+                    let after = live_entries(&p, shard);
+                    if p.stats.pool_hits > hits {
+                        // Pool hit: the winner must have been live — fresh
+                        // and under budget — when the pick ran.
+                        let src = before
+                            .iter()
+                            .find(|e| e.replica == chosen)
+                            .expect("pool hit must come from a pre-pick entry");
+                        prop_assert!(
+                            now.saturating_sub(src.born) <= p.expiry_us,
+                            "expired probe selected"
+                        );
+                        prop_assert!(src.uses < p.max_uses, "exhausted probe selected");
+                        // Budget: exactly one entry gained exactly one use.
+                        for e in &after {
+                            let old = before
+                                .iter()
+                                .find(|o| (o.replica, o.born) == (e.replica, e.born))
+                                .expect("pick must not invent entries");
+                            let expect = old.uses + u32::from(e.replica == chosen);
+                            prop_assert_eq!(e.uses, expect, "reuse budget misapplied");
+                        }
+                    } else {
+                        // Pool miss: the sweep must have found nothing live.
+                        for e in &before {
+                            prop_assert!(
+                                now.saturating_sub(e.born) > p.expiry_us
+                                    || e.uses >= p.max_uses,
+                                "a live entry was ignored by a pool miss"
+                            );
+                        }
+                    }
+                }
+                // Structural invariants after every operation.
+                for s in 0..n_shards as u32 {
+                    let live = live_entries(&p, s);
+                    prop_assert!(live.len() <= p.cap, "pool over capacity");
+                    for (i, a) in live.iter().enumerate() {
+                        prop_assert!(a.uses <= p.max_uses);
+                        for b in &live[..i] {
+                            prop_assert_ne!(a.replica, b.replica);
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -169,7 +169,20 @@ impl CalendarQueue {
     /// scheduled freely meanwhile — they land strictly later) and finish
     /// with [`Self::finish_tick`].
     pub fn next_tick(&mut self) -> Option<(u64, usize, usize)> {
+        self.next_tick_until(u64::MAX)
+    }
+
+    /// Like [`Self::next_tick`] but never advances past `limit`: returns
+    /// `None` once the next populated micro-tick would exceed `limit`,
+    /// leaving those events queued. A finite `limit` also advances `now`
+    /// to `limit` on the `None` path, so a caller driving the queue in
+    /// bounded slices (the runtime's event backend advancing one simulator
+    /// tick at a time) resumes exactly where the window closed;
+    /// `u64::MAX` — the unbounded case — leaves `now` at the last drained
+    /// tick. One extra compare per scanned bucket is the whole cost.
+    pub fn next_tick_until(&mut self, limit: u64) -> Option<(u64, usize, usize)> {
         if self.len == 0 {
+            self.close_window(limit);
             return None;
         }
         loop {
@@ -188,6 +201,12 @@ impl CalendarQueue {
             // Scan the window for the first populated bucket.
             for dt in 1..=self.span() {
                 let t = self.now + dt;
+                if t > limit {
+                    // Every event at or before `limit` would have been
+                    // found by now; the rest stay queued for a later call.
+                    self.close_window(limit);
+                    return None;
+                }
                 let idx = (t & self.mask) as usize;
                 if !self.buckets[idx].is_empty() {
                     debug_assert!(self.buckets[idx].iter().all(|e| e.time == t));
@@ -202,7 +221,21 @@ impl CalendarQueue {
                 .peek()
                 .expect("len > 0 with an empty wheel implies overflow events")
                 .0;
+            if head.time > limit {
+                self.close_window(limit);
+                return None;
+            }
             self.now = head.time - 1;
+        }
+    }
+
+    /// Ends a bounded drain: every remaining event is strictly past
+    /// `limit`, so `now` may jump there (keeping future `schedule` clamps
+    /// relative to the drained window). The unbounded sentinel must *not*
+    /// move `now` — a drained queue stays schedulable at its last tick.
+    fn close_window(&mut self, limit: u64) {
+        if limit != u64::MAX {
+            self.now = self.now.max(limit);
         }
     }
 
@@ -306,6 +339,34 @@ mod tests {
         assert_eq!(
             order.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
             vec![2, 2]
+        );
+    }
+
+    #[test]
+    fn bounded_drain_stops_at_the_limit_and_resumes() {
+        let mut q = CalendarQueue::with_capacity(8, 2, 4);
+        q.schedule(2, EventKind::ArrivalPump);
+        q.schedule(5, EventKind::SraPoll);
+        q.schedule(100, EventKind::ArrivalPump); // overflow at span 8
+                                                 // First slice: only times ≤ 3.
+        let (t, b, n) = q.next_tick_until(3).unwrap();
+        assert_eq!((t, n), (2, 1));
+        q.finish_tick(b, n);
+        assert!(q.next_tick_until(3).is_none());
+        assert_eq!(q.now(), 3, "the window closes at the limit");
+        assert_eq!(q.len(), 2, "later events stay queued");
+        // Second slice includes the in-window event but not the deferred one.
+        let (t, b, n) = q.next_tick_until(50).unwrap();
+        assert_eq!(t, 5);
+        q.finish_tick(b, n);
+        assert!(q.next_tick_until(50).is_none());
+        assert_eq!(q.now(), 50);
+        // Scheduling relative to the closed window still lands in order.
+        q.schedule(60, EventKind::SraPoll);
+        let order = drain_all(&mut q);
+        assert_eq!(
+            order.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![60, 100]
         );
     }
 

@@ -18,14 +18,15 @@
 //! shape `rex_runtime::server` uses at tick granularity. After the arrival
 //! horizon the pump stops and in-flight work drains.
 
-use crate::bridge::{build_fleet, Coupling};
-use crate::config::RouterConfig;
+use crate::bridge::{build_fleet, move_primary, Coupling};
+use crate::config::{HotSetMode, RouterConfig};
 use crate::policy::{AnyPolicy, RoutingPolicy};
 use crate::queue::{CalendarQueue, EventKind};
 use crate::state::{MachineState, QuerySlab, ReplicaState};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
+use rex_cluster::service;
 use rex_cluster::Instance;
 use rex_obs::Recorder;
 use serde::Serialize;
@@ -167,11 +168,21 @@ impl<P: RoutingPolicy> Router<P> {
         let mut hot = vec![false; n_s];
         let mut hot_extra = vec![0.0; n_s];
         if let Some(sp) = &cfg.spike {
-            let mut order: Vec<u32> = (0..n_s as u32).collect();
-            let mut rng_spike = StdRng::seed_from_u64(cfg.seed ^ 0x5B1C_E000_0000_0004);
-            order.shuffle(&mut rng_spike);
             let k = ((n_s as f64) * sp.shard_fraction).ceil() as usize;
-            for &s in order.iter().take(k.min(n_s)) {
+            let chosen: Vec<u32> = match cfg.hot_set {
+                HotSetMode::Random => {
+                    let mut order: Vec<u32> = (0..n_s as u32).collect();
+                    let mut rng_spike = StdRng::seed_from_u64(cfg.seed ^ 0x5B1C_E000_0000_0004);
+                    order.shuffle(&mut rng_spike);
+                    order.truncate(k.min(n_s));
+                    order
+                }
+                HotSetMode::Hottest => rex_cluster::scenario::hot_set(inst, sp.shard_fraction)
+                    .iter()
+                    .map(|s| s.idx() as u32)
+                    .collect(),
+            };
+            for &s in &chosen {
                 hot[s as usize] = true;
                 hot_extra[s as usize] = (sp.factor - 1.0) * shares[s as usize];
             }
@@ -294,6 +305,103 @@ impl<P: RoutingPolicy> Router<P> {
         self.queue.finish_tick(bucket, n);
         self.counters.events += n as u64;
         true
+    }
+
+    /// Processes every populated micro-tick at or before `limit_us`, then
+    /// returns with the queue's clock parked at the limit. This is the
+    /// backend-mode driver: `rex_runtime::Simulation` owns the outer tick
+    /// loop and advances the embedded router one tick-width at a time
+    /// (`advance_to(u64::MAX, …)` drains the in-flight tail after the
+    /// horizon). Interleaving `advance_to` windows is event-for-event
+    /// identical to one free-running [`Router::run`] over the same config.
+    pub fn advance_to(&mut self, limit_us: u64, rec: &mut Recorder) {
+        while let Some((t, bucket, n)) = self.queue.next_tick_until(limit_us) {
+            for i in 0..n {
+                let ev = self.queue.event_at(bucket, i);
+                self.handle(t, ev.kind, rec);
+            }
+            self.queue.finish_tick(bucket, n);
+            self.counters.events += n as u64;
+        }
+    }
+
+    /// Mirrors an external control-plane decision (a runtime executor
+    /// batch move) into the replica map via the single mutation path,
+    /// [`crate::bridge::move_primary`]. Any live flash-crowd surcharge on
+    /// the shard travels with its primary. Returns `false` when the
+    /// primary already sits on `to`.
+    pub fn apply_primary_move(&mut self, shard: usize, to: usize) -> bool {
+        let spike = if self.spike_active {
+            self.hot_extra[shard]
+        } else {
+            0.0
+        };
+        move_primary(
+            &mut self.st,
+            &mut self.ms,
+            shard,
+            to,
+            self.shares[shard],
+            spike,
+        )
+    }
+
+    /// Mirrors a crash/recovery flip: a failed machine keeps serving its
+    /// replicas, pinned at the saturation latency factor.
+    pub fn set_failed(&mut self, m: usize, down: bool) {
+        self.ms.set_failed(m, down);
+    }
+
+    /// Latency samples collected so far (µs). Backend mode drains this
+    /// incrementally with a cursor; the buffer only grows.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Queries admitted so far.
+    pub fn queries(&self) -> u64 {
+        self.counters.queries
+    }
+
+    /// Steady per-machine hosted demand (the runtime parity assertion
+    /// checks this stays bit-equal to its `Assignment` usage).
+    pub fn machine_loads(&self) -> &[f64] {
+        &self.ms.load
+    }
+
+    /// Live flash-crowd surcharge per machine.
+    pub fn machine_spike_extras(&self) -> &[f64] {
+        &self.ms.spike_extra
+    }
+
+    /// Per-machine failure flags.
+    pub fn machine_failed(&self) -> &[bool] {
+        &self.ms.failed
+    }
+
+    /// Derives an *observed* utilization per machine from the replica
+    /// latency EWMAs: mean observed sojourn factor over hosted replicas,
+    /// inverted through the `1/(1−ρ)` service model
+    /// ([`service::rho_from_factor`]). Machines hosting nothing read 0.
+    /// This is the router-side signal the runtime's `ewma_controller` mode
+    /// feeds its controller instead of ground-truth assignment usage.
+    pub fn observed_machine_rho(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.ms.len(), 0.0);
+        let mut counts = vec![0u32; self.ms.len()];
+        for r in 0..self.st.len() {
+            let m = self.st.machine[r] as usize;
+            out[m] += self.st.ewma_us[r];
+            counts[m] += 1;
+        }
+        for (rho, &c) in out.iter_mut().zip(&counts) {
+            if c == 0 {
+                *rho = 0.0;
+                continue;
+            }
+            let factor = *rho / c as f64 / self.cfg.base_service_us;
+            *rho = service::rho_from_factor(factor, self.cfg.rho_max);
+        }
     }
 
     #[inline]
@@ -433,11 +541,12 @@ impl<P: RoutingPolicy> Router<P> {
         }
         let rep = replica as usize;
         let m = self.st.machine[rep] as usize;
-        // Same straggler shape as `rex_runtime::server::sample_fanout_latency`:
-        // exponential with mean scaled by 1/(1−min(ρ, ρ_max)).
+        // Same straggler shape as `rex_runtime::server::sample_fanout_latency`
+        // — both draw through `rex_cluster::service::exp_sojourn` with mean
+        // scaled by the machine's cached 1/(1−min(ρ, ρ_max)) factor.
         let mean = self.cfg.base_service_us * self.ms.lat_factor[m];
         let u: f64 = self.rng_service.random();
-        let service = (mean * -(1.0 - u).max(1e-12).ln()).max(1.0) as u64;
+        let service = service::exp_sojourn(mean, u).max(1.0) as u64;
         let done = (now.max(self.st.busy_until[rep]) + service).max(now + 1);
         self.st.busy_until[rep] = done;
         self.st.queue_depth[rep] += 1;
@@ -481,8 +590,10 @@ impl<P: RoutingPolicy> Router<P> {
     }
 
     /// Final roll-up: percentiles over the sample set (the only allocating
-    /// step, outside the event loop) plus the obs gauges/counters.
-    fn finish(self, rec: &mut Recorder) -> RouterReport {
+    /// step, outside the event loop) plus the obs gauges/counters. Public
+    /// for step-driven callers ([`Router::start`] / [`Router::step`] /
+    /// [`Router::advance_to`]); [`Router::run_traced`] calls it last.
+    pub fn finish(self, rec: &mut Recorder) -> RouterReport {
         let (p50, p95, p99) = rex_searchsim::qos::timeline_percentiles(&self.samples, 0.0);
         let mean = if self.samples.is_empty() {
             0.0
@@ -721,6 +832,91 @@ mod tests {
         assert_eq!(a.sra_solves, 3, "polls at 10/20/30 ms");
         assert!(a.sra_moves > 0, "a hotspot placement must trigger moves");
         assert_eq!(a.to_json(), run(&inst, &cfg).to_json());
+    }
+
+    #[test]
+    fn tick_windowed_advance_matches_free_running_run() {
+        // Backend mode drives the router in tick-width windows; the event
+        // stream (and hence the report) must be byte-identical to one
+        // free-running run over the same config.
+        let inst = fleet(5);
+        let cfg = RouterConfig {
+            spike: Some(FlashCrowd {
+                at_us: 8_000,
+                duration_us: 8_000,
+                factor: 3.0,
+                shard_fraction: 0.1,
+            }),
+            sra: Some(SraCoupling {
+                every_us: 10_000,
+                iters: 200,
+                snapshot_utilization: 0.6,
+            }),
+            ..stable_cfg()
+        };
+        let free = run(&inst, &cfg).to_json();
+        let mut r = Router::new(&inst, &cfg);
+        let mut rec = Recorder::noop();
+        r.start(&mut rec);
+        let mut t = 0;
+        while t < cfg.horizon_us {
+            t += 1_000;
+            r.advance_to(t, &mut rec);
+        }
+        r.advance_to(u64::MAX, &mut rec);
+        assert_eq!(free, r.finish(&mut rec).to_json());
+    }
+
+    #[test]
+    fn hottest_mode_spikes_the_same_shards_as_the_scenario_helper() {
+        let inst = fleet(7);
+        let spec = rex_cluster::ScenarioSpec {
+            spike: Some(rex_cluster::SpikeSpec {
+                at_tick: 10,
+                duration_ticks: 10,
+                factor: 3.0,
+                shard_fraction: 0.1,
+            }),
+            ..Default::default()
+        };
+        let cfg = RouterConfig::from_scenario(&spec, PolicyKind::Random);
+        assert_eq!(cfg.hot_set, crate::config::HotSetMode::Hottest);
+        assert_eq!(cfg.replication, 1);
+        let r = Router::new(&inst, &cfg);
+        let expect = rex_cluster::scenario::hot_set(&inst, 0.1);
+        let hot: Vec<usize> = (0..inst.n_shards())
+            .filter(|&s| r.hot_extra[s] != 0.0)
+            .collect();
+        assert_eq!(hot, expect.iter().map(|s| s.idx()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mirrored_primary_move_updates_loads_and_observed_rho_reads_sane() {
+        let inst = fleet(9);
+        let cfg = RouterConfig {
+            replication: 1,
+            ..stable_cfg()
+        };
+        let mut r = Router::new(&inst, &cfg);
+        let from = r.st.machine[r.st.base(0) as usize] as usize;
+        let to = (from + 1) % r.ms.len();
+        let share = r.shares[0];
+        let load_from = r.machine_loads()[from];
+        let load_to = r.machine_loads()[to];
+        assert!(r.apply_primary_move(0, to));
+        assert!(!r.apply_primary_move(0, to), "already there");
+        assert_eq!(
+            r.machine_loads()[from].to_bits(),
+            (load_from - share).to_bits()
+        );
+        assert_eq!(r.machine_loads()[to].to_bits(), (load_to + share).to_bits());
+        // Failure flips pin the factor; observed ρ stays within [0, ρ_max].
+        r.set_failed(from, true);
+        assert!(r.machine_failed()[from]);
+        let mut rho = Vec::new();
+        r.observed_machine_rho(&mut rho);
+        assert_eq!(rho.len(), r.ms.len());
+        assert!(rho.iter().all(|&x| (0.0..=0.98).contains(&x)));
     }
 
     #[test]

@@ -9,7 +9,11 @@
 //! high-water mark is reached (the steady-state zero-allocation claim is
 //! locked by `tests/alloc_event_core.rs`).
 
-/// Per-replica state, one parallel vector per field.
+/// Per-replica state, one parallel vector per field. `Clone` is the
+/// snapshot mechanism: a cloned state is bit-identical, so a run restarted
+/// from mid-run clones must reproduce the original (the resumability
+/// invariant locked by the bridge tests).
+#[derive(Clone)]
 pub struct ReplicaState {
     /// Hosting machine per replica (mutated mid-run by SRA coupling).
     pub machine: Vec<u32>,
@@ -63,7 +67,10 @@ impl ReplicaState {
 /// Per-machine utilization state. A machine's ρ composes its static
 /// hosted-demand share plus the flash-crowd surcharge; the `1/(1−ρ)`
 /// latency factor is cached and recomputed only when load changes (replica
-/// moves, spike edges) — never per event.
+/// moves, spike edges, failure flips) — never per event. The factor math
+/// itself lives in [`rex_cluster::service`], shared bit-for-bit with the
+/// tick engine.
+#[derive(Clone)]
 pub struct MachineState {
     /// Steady hosted demand (each replica contributes demand/R).
     pub load: Vec<f64>,
@@ -73,6 +80,9 @@ pub struct MachineState {
     pub cap: Vec<f64>,
     /// Cached `1/(1−min(ρ, ρ_max))` per machine.
     pub lat_factor: Vec<f64>,
+    /// Crash flags: a failed machine still hosting replicas serves at the
+    /// saturation clamp (the tick engine's failed-serving semantics).
+    pub failed: Vec<bool>,
     rho_max: f64,
 }
 
@@ -85,6 +95,7 @@ impl MachineState {
             spike_extra: vec![0.0; n],
             cap,
             lat_factor: vec![1.0; n],
+            failed: vec![false; n],
             rho_max,
         };
         for m in 0..n {
@@ -109,16 +120,33 @@ impl MachineState {
         (self.load[m] + self.spike_extra[m]) / self.cap[m]
     }
 
-    /// Re-derives the cached latency factor after a load change.
+    /// Re-derives the cached latency factor after a load or failure
+    /// change. Failed machines pin the factor at the saturation ceiling
+    /// regardless of load — exactly `rex_runtime`'s failed-serving branch.
     pub fn recompute(&mut self, m: usize) {
-        let rho = self.rho(m).min(self.rho_max).max(0.0);
-        self.lat_factor[m] = 1.0 / (1.0 - rho);
+        let rho = if self.failed[m] {
+            self.rho_max
+        } else {
+            self.rho(m)
+        };
+        self.lat_factor[m] = rex_cluster::service::latency_factor(rho, self.rho_max);
+    }
+
+    /// Flips machine `m`'s failure flag and refreshes its factor.
+    pub fn set_failed(&mut self, m: usize, down: bool) {
+        self.failed[m] = down;
+        self.recompute(m);
     }
 
     /// Moves `share` demand units from machine `from` to machine `to`
-    /// (one replica's worth) and refreshes both factors.
+    /// (one replica's worth) and refreshes both factors. The subtraction
+    /// clamps at zero exactly like `rex_cluster`'s
+    /// `ResourceVec::saturating_sub_assign`: when the last share leaves a
+    /// machine, both accountings read exactly 0.0 instead of a ± residue —
+    /// part of the bitwise load-parity contract with the runtime's
+    /// `Assignment` (DESIGN.md §14).
     pub fn move_share(&mut self, from: usize, to: usize, share: f64) {
-        self.load[from] -= share;
+        self.load[from] = (self.load[from] - share).max(0.0);
         self.load[to] += share;
         self.recompute(from);
         self.recompute(to);
@@ -221,6 +249,24 @@ mod tests {
         ms.move_share(0, 1, 5.0);
         assert_eq!(ms.lat_factor[0], 1.0);
         assert!((ms.rho(0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_machine_pins_the_saturation_factor() {
+        let mut ms = MachineState::new(vec![10.0], 0.98);
+        ms.load[0] = 1.0; // ρ = 0.1, factor ≈ 1.11
+        ms.recompute(0);
+        assert!(ms.lat_factor[0] < 2.0);
+        ms.set_failed(0, true);
+        assert!(
+            (ms.lat_factor[0] - 50.0).abs() < 1e-9,
+            "clamp is 1/(1−0.98)"
+        );
+        // Load changes while down keep the clamp.
+        ms.move_share(0, 0, 0.0);
+        assert!((ms.lat_factor[0] - 50.0).abs() < 1e-9);
+        ms.set_failed(0, false);
+        assert!(ms.lat_factor[0] < 2.0, "recovery restores the load factor");
     }
 
     #[test]

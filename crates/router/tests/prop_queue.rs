@@ -1,0 +1,171 @@
+//! Property tests for the calendar queue's ordering contract.
+//!
+//! The queue promises a `(time, seq)` total order: pops are sorted by
+//! absolute micro-tick, nothing is lost or duplicated, same-time events
+//! that travelled through the overflow heap keep their schedule order, and
+//! draining in bounded windows (`next_tick_until`) — the runtime backend's
+//! tick-slice mode — yields exactly the sequence a free-running drain
+//! would. Deliberately small wheel spans force events across the
+//! exclusive-window → overflow-heap boundary and through many window
+//! rotations.
+
+use proptest::prelude::*;
+use rex_router::queue::{CalendarQueue, EventKind};
+
+/// Encodes a schedule-order index into an event payload so pops can be
+/// traced back to the `schedule` call that produced them.
+fn tag(i: usize) -> EventKind {
+    EventKind::SubComplete {
+        replica: (i >> 16) as u32,
+        query: (i & 0xFFFF) as u32,
+    }
+}
+
+fn untag(kind: EventKind) -> usize {
+    match kind {
+        EventKind::SubComplete { replica, query } => ((replica as usize) << 16) | query as usize,
+        other => panic!("unexpected event kind {other:?}"),
+    }
+}
+
+fn drain_free(q: &mut CalendarQueue) -> Vec<(u64, EventKind)> {
+    let mut out = Vec::new();
+    while let Some((t, b, n)) = q.next_tick() {
+        for i in 0..n {
+            out.push((t, q.event_at(b, i).kind));
+        }
+        q.finish_tick(b, n);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pops come out time-sorted, and every scheduled event appears exactly
+    /// once at exactly its scheduled time — across wheel spans small enough
+    /// that most of the schedule detours through the overflow heap.
+    #[test]
+    fn pops_are_time_sorted_and_lossless(
+        times in proptest::collection::vec(1u64..400, 1..80),
+        span_pow in 3usize..7,
+    ) {
+        let mut q = CalendarQueue::with_capacity(1 << span_pow, 2, 2);
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, tag(i));
+        }
+        let popped = drain_free(&mut q);
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated: {:?}", w);
+        }
+        let mut seen = vec![false; times.len()];
+        for &(t, kind) in &popped {
+            let i = untag(kind);
+            prop_assert!(!seen[i], "event {i} popped twice");
+            seen[i] = true;
+            prop_assert_eq!(t, times[i], "event {} moved in time", i);
+        }
+    }
+
+    /// Same-time events that all take the overflow-heap path pop in
+    /// schedule order: the `(time, seq)` key survives the heap → wheel
+    /// transition.
+    #[test]
+    fn overflow_entries_keep_schedule_order_within_a_tick(
+        offsets in proptest::collection::vec(0u64..6, 2..40),
+    ) {
+        // Span 8, times ≥ 100: every schedule lands in the overflow heap.
+        let mut q = CalendarQueue::with_capacity(8, 2, 2);
+        let times: Vec<u64> = offsets.iter().map(|&o| 100 + o).collect();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, tag(i));
+        }
+        let popped = drain_free(&mut q);
+        prop_assert_eq!(popped.len(), times.len());
+        // Within one tick, schedule indices must be strictly increasing.
+        for w in popped.windows(2) {
+            if w[0].0 == w[1].0 {
+                prop_assert!(
+                    untag(w[0].1) < untag(w[1].1),
+                    "same-tick schedule order violated: {:?}",
+                    w
+                );
+            }
+        }
+    }
+
+    /// Draining in arbitrary bounded windows — the runtime event backend's
+    /// one-simulator-tick-at-a-time mode — reproduces the free-running pop
+    /// sequence event for event, whatever the window cuts.
+    #[test]
+    fn windowed_drain_matches_free_running(
+        times in proptest::collection::vec(1u64..500, 1..60),
+        cuts in proptest::collection::vec(1u64..80, 1..10),
+    ) {
+        let build = || {
+            let mut q = CalendarQueue::with_capacity(16, 2, 2);
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(t, tag(i));
+            }
+            q
+        };
+        let mut free = build();
+        let expected = drain_free(&mut free);
+
+        let mut q = build();
+        let mut got = Vec::new();
+        let mut limit = 0u64;
+        for &c in &cuts {
+            limit += c;
+            while let Some((t, b, n)) = q.next_tick_until(limit) {
+                for i in 0..n {
+                    got.push((t, q.event_at(b, i).kind));
+                }
+                q.finish_tick(b, n);
+            }
+            prop_assert!(q.now() >= limit, "a closed window must advance now");
+        }
+        got.extend(drain_free(&mut q));
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Scheduling follow-ups mid-drain (the hot loop's actual shape) keeps
+    /// the order total: times stay monotone, every event — original or
+    /// follow-up — pops exactly once.
+    #[test]
+    fn mid_drain_scheduling_stays_totally_ordered(
+        seeds in proptest::collection::vec(1u64..50, 1..20),
+        followup in proptest::collection::vec(1u64..40, 8..64),
+    ) {
+        let mut q = CalendarQueue::with_capacity(8, 2, 2);
+        for (i, &t) in seeds.iter().enumerate() {
+            q.schedule(t, tag(i));
+        }
+        let mut next_id = seeds.len();
+        let mut expected = seeds.len();
+        let mut popped = 0usize;
+        let mut last_t = 0u64;
+        while let Some((t, b, n)) = q.next_tick() {
+            prop_assert!(t >= last_t);
+            last_t = t;
+            for i in 0..n {
+                let ev = q.event_at(b, i);
+                prop_assert_eq!(ev.time, t);
+                popped += 1;
+                // Each pop spawns one follow-up while the budget lasts;
+                // same-tick offsets exercise the now+1 clamp.
+                if next_id < seeds.len() + followup.len() {
+                    let off = followup[next_id - seeds.len()] % 9; // 0 ⇒ clamp
+                    q.schedule(t + off, tag(next_id));
+                    next_id += 1;
+                    expected += 1;
+                }
+            }
+            q.finish_tick(b, n);
+        }
+        prop_assert_eq!(popped, expected);
+        prop_assert!(q.is_empty());
+    }
+}

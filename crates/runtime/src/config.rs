@@ -155,6 +155,14 @@ pub struct RuntimeConfig {
     /// Cap on latency samples recorded per tick (arrival *counts* are
     /// exact; sampling only bounds histogram work).
     pub latency_samples_per_tick: usize,
+    /// Subrequests per sampled query. `0` (the legacy default) fans every
+    /// sample out to *all* serving machines; `> 0` draws that many
+    /// demand-weighted shard picks per sample instead — the event engine's
+    /// per-query fanout mirrored at tick granularity, which also scales
+    /// arrivals by the live weight ratio during a flash crowd
+    /// (`#[serde(default)]` keeps older config files loadable).
+    #[serde(default)]
+    pub fanout: usize,
     /// Utilization clamp for the `1/(1−ρ)` service model.
     pub rho_max: f64,
     /// Copy bandwidth per machine NIC, in move-cost units per tick.
@@ -186,6 +194,7 @@ impl Default for RuntimeConfig {
             diurnal_amplitude: 0.6,
             qps: 8.0,
             latency_samples_per_tick: 16,
+            fanout: 0,
             rho_max: 0.98,
             copy_bandwidth: 1.0,
             batch_overhead_ticks: 1,
@@ -200,6 +209,59 @@ impl Default for RuntimeConfig {
 }
 
 impl RuntimeConfig {
+    /// Lowers an engine-neutral [`rex_cluster::ScenarioSpec`] to this tick
+    /// engine's units: one tick per `tick_us`, `qps = qps_per_tick`, the
+    /// diurnal curve flattened (the event engine has no diurnal model),
+    /// sampled-fanout latency draws, every arrival sampled, and the
+    /// scenario's faults mapped tick-for-tick. An SRA trigger in the spec
+    /// turns the controller on at the spec's poll period; otherwise the
+    /// controller is `Off`. The hot-shard plane and drift stay disabled —
+    /// neither has an event-engine counterpart to converge against.
+    pub fn from_scenario(spec: &rex_cluster::ScenarioSpec) -> Self {
+        spec.validate();
+        let mut faults = Vec::new();
+        if let Some(sp) = spec.spike {
+            faults.push(FaultSpec::Spike {
+                at: sp.at_tick,
+                duration: sp.duration_ticks,
+                factor: sp.factor,
+                shard_fraction: sp.shard_fraction,
+            });
+        }
+        if let Some(cr) = spec.crash {
+            faults.push(FaultSpec::Crash {
+                at: cr.at_tick,
+                machine: cr.machine as u32,
+                recover_at: cr.recover_at_tick,
+            });
+        }
+        let controller = match spec.sra {
+            Some(sra) => ControllerConfig {
+                policy: ControllerPolicy::Sra,
+                poll_interval: sra.every_ticks,
+                sra_iters: sra.iters,
+                ..Default::default()
+            },
+            None => ControllerConfig {
+                policy: ControllerPolicy::Off,
+                ..Default::default()
+            },
+        };
+        Self {
+            ticks: spec.ticks,
+            seed: spec.seed,
+            diurnal_amplitude: 0.0,
+            qps: spec.qps_per_tick,
+            latency_samples_per_tick: 1_000_000,
+            fanout: spec.fanout,
+            rho_max: spec.rho_max,
+            controller,
+            faults,
+            drift: None,
+            ..Default::default()
+        }
+    }
+
     /// Panics on nonsensical parameters; called once at simulation start.
     pub fn validate(&self) {
         assert!(self.ticks > 0, "ticks must be positive");
@@ -277,6 +339,55 @@ mod tests {
             ..Default::default()
         };
         cfg.validate();
+    }
+
+    #[test]
+    fn scenario_lowering_maps_faults_and_flattens_the_day() {
+        let spec = rex_cluster::ScenarioSpec {
+            ticks: 100,
+            spike: Some(rex_cluster::SpikeSpec {
+                at_tick: 10,
+                duration_ticks: 5,
+                factor: 2.0,
+                shard_fraction: 0.1,
+            }),
+            crash: Some(rex_cluster::CrashSpec {
+                at_tick: 20,
+                machine: 1,
+                recover_at_tick: Some(40),
+            }),
+            sra: Some(rex_cluster::SraSpec {
+                every_ticks: 25,
+                iters: 500,
+            }),
+            ..Default::default()
+        };
+        let cfg = RuntimeConfig::from_scenario(&spec);
+        cfg.validate();
+        assert_eq!(cfg.ticks, 100);
+        assert_eq!(cfg.diurnal_amplitude, 0.0);
+        assert_eq!(cfg.fanout, spec.fanout);
+        assert_eq!(cfg.faults.len(), 2);
+        assert_eq!(cfg.controller.policy, ControllerPolicy::Sra);
+        assert_eq!(cfg.controller.poll_interval, 25);
+        assert_eq!(cfg.controller.sra_iters, 500);
+        assert!(!cfg.hotshard.enabled);
+        assert!(cfg.drift.is_none());
+        // No SRA trigger in the spec → load-driven rebalancing stays off.
+        let off = RuntimeConfig::from_scenario(&rex_cluster::ScenarioSpec::default());
+        assert_eq!(off.controller.policy, ControllerPolicy::Off);
+    }
+
+    /// `fanout` is `#[serde(default)]`: configs from before sampled-fanout
+    /// mode load with the legacy fan-to-all behavior.
+    #[test]
+    fn config_without_fanout_key_loads_with_legacy_default() {
+        let json = serde_json::to_string(&RuntimeConfig::default()).unwrap();
+        let stripped = json.replace("\"fanout\":0,", "");
+        assert_ne!(stripped, json, "fanout must serialize");
+        let back: RuntimeConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.fanout, 0);
+        back.validate();
     }
 
     #[test]

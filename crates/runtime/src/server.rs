@@ -20,7 +20,7 @@
 
 use rand::rngs::StdRng;
 use rand::RngExt;
-use rex_cluster::{Assignment, Instance, ResourceVec};
+use rex_cluster::{service, Assignment, Instance, MachineId, ResourceVec};
 use rex_searchsim::queries::DIURNAL;
 
 /// Normalized, amplitude-damped diurnal multiplier for a tick.
@@ -85,16 +85,48 @@ pub fn sample_fanout_latency(
         if !serving[m] {
             continue;
         }
-        let r = if failed[m] {
-            rho_max
-        } else {
-            rho[m].min(rho_max)
-        };
-        let mean = 1.0 / (1.0 - r);
-        // Inverse-CDF exponential; `1 - u` keeps the argument in (0, 1].
+        // Shared service model (`rex_cluster::service`), bit-identical to
+        // the pre-refactor inline formulas — pinned by
+        // `service_model_is_bit_identical_to_old_call_sites`.
+        let r = if failed[m] { rho_max } else { rho[m] };
+        let mean = service::latency_factor(r, rho_max);
         let u: f64 = rng.random();
-        let lat = mean * -(1.0 - u).max(1e-12).ln();
-        worst = worst.max(lat);
+        worst = worst.max(service::exp_sojourn(mean, u));
+    }
+    worst
+}
+
+/// Draws one fan-out latency sample in *sampled-fanout* mode
+/// (`RuntimeConfig::fanout > 0`): `fanout` demand-weighted shard picks from
+/// the cumulative weight table `cum` (total weight `total`), each
+/// contributing an exponential sojourn at its hosting machine's `1/(1−ρ)`
+/// mean; the query's latency is the max over picks. This mirrors the event
+/// engine's per-query fanout draw (`rex-router` dispatch) at tick
+/// granularity: the same shards get hit in proportion to the same weights,
+/// so tick-level and event-level tail curves become comparable.
+///
+/// Two uniforms are drawn per pick (shard, then sojourn) from the one
+/// latency stream. Returns relative latency (service mean 1.0 at ρ = 0).
+#[allow(clippy::too_many_arguments)]
+pub fn sample_sampled_fanout_latency(
+    rho: &[f64],
+    failed: &[bool],
+    rho_max: f64,
+    cum: &[f64],
+    total: f64,
+    placement: &[MachineId],
+    fanout: usize,
+    rng: &mut StdRng,
+) -> f64 {
+    let mut worst = 0.0f64;
+    for _ in 0..fanout {
+        let u: f64 = rng.random::<f64>() * total;
+        let s = cum.partition_point(|&x| x <= u).min(cum.len() - 1);
+        let m = placement[s].idx();
+        let r = if failed[m] { rho_max } else { rho[m] };
+        let mean = service::latency_factor(r, rho_max);
+        let v: f64 = rng.random();
+        worst = worst.max(service::exp_sojourn(mean, v));
     }
     worst
 }
@@ -189,5 +221,64 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let lat = sample_fanout_latency(&[0.5], &[false], &[false], 0.98, &mut rng);
         assert_eq!(lat, 0.0);
+    }
+
+    #[test]
+    fn sampled_fanout_follows_the_weights() {
+        // Shard 0 (machine 0, ρ = 0.9) carries 9× the arrival weight of
+        // shard 1 (machine 1, idle): the weighted draw must land on the
+        // slow machine most of the time, so mean latency approaches the
+        // hot machine's 10× sojourn rather than the idle one's.
+        let rho = [0.9, 0.0];
+        let failed = [false, false];
+        let placement = vec![MachineId::from(0), MachineId::from(1)];
+        let sample_mean = |cum: &[f64]| {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..4000)
+                .map(|_| {
+                    sample_sampled_fanout_latency(
+                        &rho, &failed, 0.98, cum, 10.0, &placement, 1, &mut rng,
+                    )
+                })
+                .sum::<f64>()
+                / 4000.0
+        };
+        let hot_heavy = sample_mean(&[9.0, 10.0]);
+        let cold_heavy = sample_mean(&[1.0, 10.0]);
+        assert!(
+            hot_heavy > 3.0 * cold_heavy,
+            "weighting the hot shard must dominate: {hot_heavy} vs {cold_heavy}"
+        );
+        // Fanout 0 draws nothing.
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(
+            sample_sampled_fanout_latency(
+                &rho,
+                &failed,
+                0.98,
+                &[9.0, 10.0],
+                10.0,
+                &placement,
+                0,
+                &mut rng
+            ),
+            0.0
+        );
+        // A failed machine serves at the clamp even when its ρ reads low.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut acc = 0.0;
+        for _ in 0..2000 {
+            acc += sample_sampled_fanout_latency(
+                &[0.1, 0.1],
+                &[true, false],
+                0.98,
+                &[10.0, 10.0],
+                10.0,
+                &placement,
+                1,
+                &mut rng,
+            );
+        }
+        assert!(acc / 2000.0 > 10.0, "half the picks hit the saturated host");
     }
 }

@@ -29,9 +29,9 @@ cargo build --release -p rex-bench --bins
 cargo build --release --bin rex
 mkdir -p "$outdir"
 
-for exp in workloads headline exchange_sweep convergence migration \
+for exp in workloads headline exchange_sweep lns_convergence migration \
            scalability optgap stringency ablation alpha qos longrun \
-           closed_loop hotshard routing; do
+           closed_loop hotshard routing convergence; do
     echo "=== exp_${exp} ==="
     if ! ./target/release/exp_${exp} | tee "$outdir/exp_${exp}.md"; then
         echo "FAILED: exp_${exp} (see output above)" >&2
@@ -82,7 +82,15 @@ cmp "$tracedir/rt1.json" "$tracedir/rt8.json"
 ./target/release/rex route $rt_flags --out "$tracedir/r3.json" --trace "$tracedir/r3.jsonl"
 cmp "$tracedir/r1.json" "$tracedir/r3.json"   # recording never perturbs the run
 test -s "$tracedir/r3.jsonl"
+echo "=== cross-engine convergence determinism (E16) ==="
+./target/release/exp_convergence > "$tracedir/c1.md"
+./target/release/exp_convergence > "$tracedir/c2.md"
+cmp "$tracedir/c1.md" "$tracedir/c2.md"
+REX_THREADS=1 ./target/release/exp_convergence > "$tracedir/ct1.md"
+REX_THREADS=8 ./target/release/exp_convergence > "$tracedir/ct8.md"
+cmp "$tracedir/ct1.md" "$tracedir/ct8.md"
+test -s "$tracedir/c1.md"
 rm -rf "$tracedir"
-echo "traces byte-identical across runs and thread counts (serial spine, portfolio, decomposed, hotshard, router)"
+echo "traces byte-identical across runs and thread counts (serial spine, portfolio, decomposed, hotshard, router, cross-engine)"
 
 echo "All experiment outputs written to $outdir/."

@@ -169,6 +169,33 @@ pub const COMMANDS: &[CommandSpec] = &[
             switches: &["sra", "quiet"],
         },
     },
+    CommandSpec {
+        name: "converge",
+        spec: ArgSpec {
+            values: &[
+                SYNTH_FLAGS,
+                SEED_FLAG,
+                &[
+                    "inst",
+                    "ticks",
+                    "qps",
+                    "fanout",
+                    "policy",
+                    "crash-at",
+                    "crash-machine",
+                    "recover-at",
+                    "spike-at",
+                    "spike-duration",
+                    "spike-factor",
+                    "spike-fraction",
+                    "sra-every",
+                    "sra-iters",
+                    "out",
+                ],
+            ],
+            switches: &["ewma", "quiet"],
+        },
+    },
 ];
 
 /// The flag vocabulary of `cmd`, from the registry.

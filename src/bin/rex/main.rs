@@ -29,7 +29,8 @@ use resource_exchange::baselines::{
     FfdRepacker, GreedyRebalancer, LocalSearchRebalancer, Rebalancer,
 };
 use resource_exchange::cluster::{
-    verify_schedule, Assignment, BalanceReport, Instance, MachineId, MigrationPlan,
+    verify_schedule, Assignment, BalanceReport, CrashSpec, Instance, MachineId, MigrationPlan,
+    ScenarioSpec, SpikeSpec, SraSpec,
 };
 use resource_exchange::core::{solve_traced, solve_with_drain, SolveOptions, SraConfig};
 use resource_exchange::obs::Recorder;
@@ -486,6 +487,98 @@ fn cmd_route(args: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs one [`ScenarioSpec`] through both engines — the tick-aggregated
+/// closed loop and the query-level event engine — and reports the
+/// differential (DESIGN.md §14): utilization gauges must be
+/// byte-identical, latency percentiles agree within the convergence band.
+fn cmd_converge(args: &HashMap<String, String>) -> Result<(), String> {
+    let seed = parse(get_or(args, "seed", "42"), "u64")?;
+    let inst = if args.contains_key("inst") {
+        load_instance(args)?
+    } else {
+        generate(&SynthConfig {
+            n_machines: parse(get_or(args, "machines", "8"), "usize")?,
+            n_exchange: parse(get_or(args, "exchange", "0"), "usize")?,
+            n_shards: parse(get_or(args, "shards", "64"), "usize")?,
+            dims: 1,
+            stringency: 0.4,
+            placement: Placement::BalancedBfd,
+            seed,
+            ..Default::default()
+        })
+        .map_err(|e| e.to_string())?
+    };
+    let mut spec = ScenarioSpec {
+        ticks: parse(get_or(args, "ticks", "600"), "u64")?,
+        qps_per_tick: parse(get_or(args, "qps", "4"), "f64")?,
+        fanout: parse(get_or(args, "fanout", "4"), "usize")?,
+        seed,
+        ..Default::default()
+    };
+    if args.contains_key("spike-at") {
+        spec.spike = Some(SpikeSpec {
+            at_tick: parse(get(args, "spike-at")?, "u64")?,
+            duration_ticks: parse(get_or(args, "spike-duration", "200"), "u64")?,
+            factor: parse(get_or(args, "spike-factor", "2"), "f64")?,
+            shard_fraction: parse(get_or(args, "spike-fraction", "0.1"), "f64")?,
+        });
+    }
+    if args.contains_key("crash-at") {
+        spec.crash = Some(CrashSpec {
+            at_tick: parse(get(args, "crash-at")?, "u64")?,
+            machine: parse(get_or(args, "crash-machine", "0"), "usize")?,
+            recover_at_tick: args
+                .get("recover-at")
+                .map(|v| parse(v, "u64"))
+                .transpose()?,
+        });
+    }
+    if args.contains_key("sra-every") {
+        spec.sra = Some(SraSpec {
+            every_ticks: parse(get(args, "sra-every")?, "u64")?,
+            iters: parse(get_or(args, "sra-iters", "300"), "u64")?,
+        });
+    }
+    let policy = get_or(args, "policy", "round_robin").parse::<PolicyKind>()?;
+    let tick = Simulation::from_scenario(inst.clone(), &spec).run();
+    let event = Simulation::from_scenario_event(inst, &spec, policy, has(args, "ewma")).run();
+    let tick_gauges = serde_json::to_string(&tick.gauges).map_err(|e| e.to_string())?;
+    let event_gauges = serde_json::to_string(&event.gauges).map_err(|e| e.to_string())?;
+    if tick_gauges != event_gauges {
+        return Err("utilization gauges diverged between engines (DESIGN.md §14)".into());
+    }
+    if let Some(out) = args.get("out") {
+        // Both exports already serialize themselves; compose the file by
+        // hand (the vendored derive shim rejects borrowed wrapper structs).
+        let json = format!(
+            "{{\n\"tick\": {},\n\"event\": {}\n}}\n",
+            tick.to_json(),
+            event.to_json()
+        );
+        std::fs::write(out, json).map_err(|e| e.to_string())?;
+    }
+    if !has(args, "quiet") {
+        let band = |a: f64, b: f64| (a - b).abs() / a.max(b);
+        println!(
+            "converge: policy {policy:?} seed {seed} | {} ticks, {} qps/tick",
+            spec.ticks, spec.qps_per_tick
+        );
+        println!("utilization gauges: byte-identical across engines");
+        println!(
+            "latency (service units): tick p50 {:.2} p99 {:.2} | event p50 {:.2} p99 {:.2}",
+            tick.latency.p50, tick.latency.p99, event.latency.p50, event.latency.p99
+        );
+        println!(
+            "p99 error band: {:.1}%",
+            100.0 * band(tick.latency.p99, event.latency.p99)
+        );
+        if let Some(out) = args.get("out") {
+            println!("exports written to {out}");
+        }
+    }
+    Ok(())
+}
+
 /// Runs one traced SRA solve (instance loaded from `--inst` or synthesized
 /// on the spot) and prints the trace roll-up; `--out` additionally writes
 /// the JSONL event stream. The trace is a pure function of the instance and
@@ -523,7 +616,7 @@ fn cmd_trace(args: &HashMap<String, String>) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: rex <generate|inspect|solve|baseline|verify|simulate|route|trace> [--flag value | --flag=value | --switch]...
+    "usage: rex <generate|inspect|solve|baseline|verify|simulate|route|converge|trace> [--flag value | --flag=value | --switch]...
   generate --out FILE [--family uniform|zipf|correlated|big-shards]
            [--placement hotspot|balanced|drift] [--machines N] [--exchange N]
            [--shards N] [--dims N] [--stringency F] [--alpha F] [--seed N]
@@ -549,6 +642,14 @@ const USAGE: &str =
            [--out FILE] [--trace FILE] [--quiet]
            (query-level event engine: routes individual queries to shard
             replicas; --sra couples mid-run resource-exchange solves)
+  converge [--inst FILE | --machines N --shards N --exchange N]
+           [--ticks N] [--qps F] [--fanout K] [--seed N]
+           [--policy random|round_robin|power_of_d|prequal|token] [--ewma]
+           [--crash-at T [--crash-machine M] [--recover-at T]]
+           [--spike-at T [--spike-duration N] [--spike-factor F] [--spike-fraction F]]
+           [--sra-every N [--sra-iters N]] [--out FILE] [--quiet]
+           (one scenario through both engines — tick aggregates and query
+            events; errors out unless utilization gauges are byte-identical)
   trace    [--inst FILE | --machines N --shards N --exchange N]
            [--iters N] [--workers N] [--partitions K] [--seed N] [--out FILE]
            (one traced SRA solve: prints the roll-up, --out writes JSONL)
@@ -580,6 +681,7 @@ fn main() -> ExitCode {
             "verify" => cmd_verify(&args),
             "simulate" => cmd_simulate(&args),
             "route" => cmd_route(&args),
+            "converge" => cmd_converge(&args),
             "trace" => cmd_trace(&args),
             _ => unreachable!("spec_of and the dispatch table agree"),
         }),
