@@ -56,7 +56,7 @@ impl Rebalancer for FfdRepacker {
                 if !asg.fits(inst, s, m) {
                     continue;
                 }
-                let mut u = *asg.usage(m);
+                let mut u = asg.usage(m);
                 u += inst.demand(s);
                 let load = u.max_ratio(inst.capacity(m));
                 let better = match best {

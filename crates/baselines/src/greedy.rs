@@ -62,10 +62,10 @@ impl Rebalancer for GreedyRebalancer {
                     if t == hot || !asg.fits(inst, s, t) {
                         continue;
                     }
-                    let mut ut = *asg.usage(t);
+                    let mut ut = asg.usage(t);
                     ut += d;
                     let lt = ut.max_ratio(inst.capacity(t));
-                    let mut uh = *asg.usage(hot);
+                    let mut uh = asg.usage(hot);
                     uh.saturating_sub_assign(d);
                     let lh = uh.max_ratio(inst.capacity(hot));
                     let local_peak = lt.max(lh);

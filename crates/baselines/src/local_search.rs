@@ -65,9 +65,9 @@ impl LocalSearchRebalancer {
         }
         let f = asg.machine_of(s);
         let d = inst.demand(s);
-        let mut uf = *asg.usage(f);
+        let mut uf = asg.usage(f);
         uf.saturating_sub_assign(d);
-        let mut ut = *asg.usage(t);
+        let mut ut = asg.usage(t);
         ut += d;
         Some((
             uf.max_ratio(inst.capacity(f)),
@@ -90,10 +90,10 @@ impl LocalSearchRebalancer {
         }
         let da = inst.demand(a);
         let db = inst.demand(b);
-        let mut ua = *asg.usage(ma);
+        let mut ua = asg.usage(ma);
         ua.saturating_sub_assign(da);
         ua += db;
-        let mut ub = *asg.usage(mb);
+        let mut ub = asg.usage(mb);
         ub.saturating_sub_assign(db);
         ub += da;
         if !ua.fits_within(inst.capacity(ma)) || !ub.fits_within(inst.capacity(mb)) {

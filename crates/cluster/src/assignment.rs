@@ -10,6 +10,7 @@
 //! An `Assignment` does not borrow the [`Instance`]; methods take `&Instance`
 //! explicitly. Debug builds assert the instance shape matches.
 
+use crate::arena::PackedVecs;
 use crate::error::ClusterError;
 use crate::instance::Instance;
 use crate::machine::MachineId;
@@ -105,8 +106,11 @@ impl UndoLog {
 pub struct Assignment {
     /// `placement[s]` = machine currently hosting shard `s`.
     placement: Vec<MachineId>,
-    /// `usage[m]` = sum of demands of shards on machine `m`.
-    usage: Vec<ResourceVec>,
+    /// Row `m` = sum of demands of shards on machine `m`, stored as a
+    /// row-major packed arena ([`PackedVecs`]): `dims` floats per machine,
+    /// no inline padding — a full-fleet load scan streams `n*dims*8` bytes
+    /// instead of `n*72`.
+    usage: PackedVecs,
     /// `shards_on[m]` = shards currently hosted by machine `m` (unordered).
     shards_on: Vec<Vec<ShardId>>,
     /// `pos[s]` = index of shard `s` within `shards_on[placement[s]]`.
@@ -146,12 +150,12 @@ impl Assignment {
     }
 
     fn from_placement_unchecked(inst: &Instance, placement: Vec<MachineId>) -> Self {
-        let mut usage = vec![ResourceVec::zero(inst.dims); inst.n_machines()];
+        let mut usage = PackedVecs::zeroed(inst.dims, inst.n_machines());
         let mut shards_on: Vec<Vec<ShardId>> = vec![Vec::new(); inst.n_machines()];
         let mut pos = vec![0u32; inst.n_shards()];
         for (i, &m) in placement.iter().enumerate() {
             let sid = ShardId::from(i);
-            usage[m.idx()] += &inst.shards[i].demand;
+            usage.add_assign(m.idx(), &inst.shards[i].demand);
             pos[i] = shards_on[m.idx()].len() as u32;
             shards_on[m.idx()].push(sid);
         }
@@ -180,10 +184,18 @@ impl Assignment {
         self.placement
     }
 
-    /// Aggregated usage of machine `m`.
+    /// Aggregated usage of machine `m`, materialized from the packed
+    /// arena row (by value — `ResourceVec` is `Copy`).
     #[inline]
-    pub fn usage(&self, m: MachineId) -> &ResourceVec {
-        &self.usage[m.idx()]
+    pub fn usage(&self, m: MachineId) -> ResourceVec {
+        self.usage.get(m.idx())
+    }
+
+    /// The packed per-machine usage arena (row `m` = machine `m`), for
+    /// flat kernels like [`crate::kernels::ratio_scan_rows`].
+    #[inline]
+    pub fn usage_rows(&self) -> &PackedVecs {
+        &self.usage
     }
 
     /// Shards currently hosted by machine `m` (unordered).
@@ -236,12 +248,12 @@ impl Assignment {
         if p < from_list.len() {
             self.pos[from_list[p].idx()] = p as u32;
         }
-        self.usage[from.idx()].saturating_sub_assign(demand);
+        self.usage.saturating_sub_assign(from.idx(), demand);
 
         // Attach to `to`.
         self.pos[s.idx()] = self.shards_on[to.idx()].len() as u32;
         self.shards_on[to.idx()].push(s);
-        self.usage[to.idx()] += demand;
+        self.usage.add_assign(to.idx(), demand);
         self.placement[s.idx()] = to;
         from
     }
@@ -265,7 +277,7 @@ impl Assignment {
         if p < from_list.len() {
             self.pos[from_list[p].idx()] = p as u32;
         }
-        self.usage[from.idx()].saturating_sub_assign(demand);
+        self.usage.saturating_sub_assign(from.idx(), demand);
         self.placement[s.idx()] = DETACHED;
         from
     }
@@ -283,7 +295,8 @@ impl Assignment {
         debug_assert!(to.idx() < inst.n_machines());
         self.pos[s.idx()] = self.shards_on[to.idx()].len() as u32;
         self.shards_on[to.idx()].push(s);
-        self.usage[to.idx()] += &inst.shards[s.idx()].demand;
+        self.usage
+            .add_assign(to.idx(), &inst.shards[s.idx()].demand);
         self.placement[s.idx()] = to;
     }
 
@@ -297,7 +310,7 @@ impl Assignment {
     ) -> MachineId {
         let from = self.placement[s.idx()];
         assert_ne!(from, DETACHED, "shard {s} is already detached");
-        log.snapshot(from, &self.usage[from.idx()]);
+        log.snapshot(from, &self.usage.get(from.idx()));
         log.moves.push((s, from));
         self.detach_shard(inst, s)
     }
@@ -316,7 +329,7 @@ impl Assignment {
             DETACHED,
             "shard {s} is not detached"
         );
-        log.snapshot(to, &self.usage[to.idx()]);
+        log.snapshot(to, &self.usage.get(to.idx()));
         log.moves.push((s, DETACHED));
         self.attach_shard(inst, s, to);
     }
@@ -336,7 +349,7 @@ impl Assignment {
             }
         }
         for (m, u) in log.snapshots.drain(..) {
-            self.usage[m.idx()] = u;
+            self.usage.set(m.idx(), &u);
         }
         log.epoch += 1;
     }
@@ -355,20 +368,20 @@ impl Assignment {
     /// Load of machine `m`: peak normalized utilization over dimensions.
     #[inline]
     pub fn machine_load(&self, inst: &Instance, m: MachineId) -> f64 {
-        self.usage[m.idx()].max_ratio(inst.capacity(m))
+        self.usage.max_ratio(m.idx(), inst.capacity(m))
     }
 
     /// Loads of all machines.
     pub fn loads(&self, inst: &Instance) -> Vec<f64> {
         (0..inst.n_machines())
-            .map(|i| self.usage[i].max_ratio(&inst.machines[i].capacity))
+            .map(|i| self.usage.max_ratio(i, &inst.machines[i].capacity))
             .collect()
     }
 
     /// The peak load across all machines (the primary balance objective).
     pub fn peak_load(&self, inst: &Instance) -> f64 {
         crate::kernels::scan_with(inst.n_machines(), |i| {
-            self.usage[i].max_ratio(&inst.machines[i].capacity)
+            self.usage.max_ratio(i, &inst.machines[i].capacity)
         })
         .peak
         .max(0.0)
@@ -387,22 +400,23 @@ impl Assignment {
     pub fn load_stats(&self, inst: &Instance) -> (f64, f64) {
         let n = inst.n_machines();
         let s =
-            crate::kernels::scan_with(n, |i| self.usage[i].max_ratio(&inst.machines[i].capacity));
+            crate::kernels::scan_with(n, |i| self.usage.max_ratio(i, &inst.machines[i].capacity));
         (s.peak.max(0.0), s.sumsq / n as f64)
     }
 
     /// True if every machine's usage fits within its capacity.
     pub fn is_capacity_feasible(&self, inst: &Instance) -> bool {
-        self.usage
+        inst.machines
             .iter()
-            .zip(&inst.machines)
-            .all(|(u, m)| u.fits_within(&m.capacity))
+            .enumerate()
+            .all(|(i, m)| self.usage.fits_within(i, &m.capacity))
     }
 
     /// Whether shard `s` fits on machine `m` given current usage.
     #[inline]
     pub fn fits(&self, inst: &Instance, s: ShardId, m: MachineId) -> bool {
-        self.usage[m.idx()].fits_after_add(&inst.shards[s.idx()].demand, inst.capacity(m))
+        self.usage
+            .fits_after_add(m.idx(), &inst.shards[s.idx()].demand, inst.capacity(m))
     }
 
     /// Total one-time migration cost relative to a reference placement:
@@ -431,7 +445,7 @@ impl Assignment {
     /// least `inst.k_return` vacant machines.
     pub fn check_target(&self, inst: &Instance) -> Result<(), ClusterError> {
         for m in &inst.machines {
-            if !self.usage[m.id.idx()].fits_within(&m.capacity) {
+            if !self.usage.fits_within(m.id.idx(), &m.capacity) {
                 return Err(ClusterError::TargetOverload { machine: m.id });
             }
         }
@@ -466,10 +480,11 @@ impl Assignment {
         }
         #[allow(clippy::needless_range_loop)] // i indexes three parallel structures
         for i in 0..inst.n_machines() {
-            if !usage[i].approx_eq(&self.usage[i], 1e-6) {
+            if !usage[i].approx_eq(&self.usage.get(i), 1e-6) {
                 return Err(format!(
                     "usage mismatch on machine {i}: recomputed {:?} cached {:?}",
-                    usage[i], self.usage[i]
+                    usage[i],
+                    self.usage.get(i)
                 ));
             }
             let count: usize = self.shards_on[i].len();
@@ -669,7 +684,7 @@ mod tests {
         let mut a = Assignment::from_initial(&inst);
         let before_placement = a.placement().to_vec();
         let before_usage: Vec<ResourceVec> = (0..inst.n_machines())
-            .map(|m| *a.usage(MachineId::from(m)))
+            .map(|m| a.usage(MachineId::from(m)))
             .collect();
 
         let mut log = UndoLog::new();
@@ -722,7 +737,7 @@ mod tests {
         for burst in 0..200 {
             let before_placement = a.placement().to_vec();
             let before_usage: Vec<ResourceVec> = (0..inst.n_machines())
-                .map(|m| *a.usage(MachineId::from(m)))
+                .map(|m| a.usage(MachineId::from(m)))
                 .collect();
             // Detach a random subset, re-attach everywhere.
             let k = rng.random_range(1..=inst.n_shards());

@@ -1,6 +1,8 @@
 //! Problem instances: machines + shards + initial placement + exchange terms.
 
+use crate::arena::SoaVecs;
 use crate::error::ClusterError;
+use crate::kernels;
 use crate::machine::{Machine, MachineId};
 use crate::resources::ResourceVec;
 use crate::shard::{Shard, ShardId};
@@ -76,21 +78,40 @@ impl Instance {
     }
 
     /// Sum of all shard demands.
+    ///
+    /// Runs through the branch-free lane-unrolled reduction of
+    /// [`kernels::scan_with`] per dimension: allocation-free (asserted by
+    /// the `alloc_hot_loop` test) and vectorizable, so fleet-wide totals
+    /// stay cheap at web scale.
     pub fn total_demand(&self) -> ResourceVec {
         let mut acc = ResourceVec::zero(self.dims);
-        for s in &self.shards {
-            acc += &s.demand;
+        for d in 0..self.dims {
+            acc[d] = kernels::scan_with(self.shards.len(), |i| self.shards[i].demand[d]).sum;
         }
         acc
     }
 
-    /// Sum of all machine capacities.
+    /// Sum of all machine capacities (same reduction as
+    /// [`Instance::total_demand`]).
     pub fn total_capacity(&self) -> ResourceVec {
         let mut acc = ResourceVec::zero(self.dims);
-        for m in &self.machines {
-            acc += &m.capacity;
+        for d in 0..self.dims {
+            acc[d] = kernels::scan_with(self.machines.len(), |i| self.machines[i].capacity[d]).sum;
         }
         acc
+    }
+
+    /// Dimension-major arena copy of every shard demand — one contiguous
+    /// column per dimension, for sequential scans over 100k-shard
+    /// instances without chasing `Vec<Shard>` row padding.
+    pub fn demand_soa(&self) -> SoaVecs {
+        SoaVecs::from_vecs(self.dims, self.shards.iter().map(|s| &s.demand))
+    }
+
+    /// Dimension-major arena copy of every machine capacity (see
+    /// [`Instance::demand_soa`]).
+    pub fn capacity_soa(&self) -> SoaVecs {
+        SoaVecs::from_vecs(self.dims, self.machines.iter().map(|m| &m.capacity))
     }
 
     /// Overall utilization pressure: per-dimension total demand over total
@@ -259,6 +280,23 @@ impl InstanceBuilder {
         }
     }
 
+    /// [`InstanceBuilder::new`] with the machine and shard tables
+    /// pre-sized, so streaming construction of a 100k-shard instance
+    /// never re-grows (and therefore never memmoves) the tables.
+    pub fn with_capacity(dims: usize, machines: usize, shards: usize) -> Self {
+        let mut b = Self::new(dims);
+        b.reserve(machines, shards);
+        b
+    }
+
+    /// Reserves room for `machines` more machines and `shards` more
+    /// shards (streaming generators call this per batch).
+    pub fn reserve(&mut self, machines: usize, shards: usize) {
+        self.machines.reserve(machines);
+        self.shards.reserve(shards);
+        self.initial.reserve(shards);
+    }
+
     /// Sets the human-readable label.
     pub fn label(mut self, label: impl Into<String>) -> Self {
         self.label = label.into();
@@ -296,9 +334,28 @@ impl InstanceBuilder {
 
     /// Adds a shard initially placed on `on`; returns its id.
     pub fn shard(&mut self, demand: &[f64], move_cost: f64, on: MachineId) -> ShardId {
+        self.push_shard(ResourceVec::from_slice(demand), move_cost, on)
+    }
+
+    /// Streaming variant of [`InstanceBuilder::machine`] taking an
+    /// already-built [`ResourceVec`] — no slice round-trip, no clone.
+    pub fn push_machine(&mut self, capacity: ResourceVec) -> MachineId {
+        let id = MachineId::from(self.machines.len());
+        self.machines.push(Machine::new(id, capacity));
+        id
+    }
+
+    /// Streaming variant of [`InstanceBuilder::exchange_machine`].
+    pub fn push_exchange(&mut self, capacity: ResourceVec) -> MachineId {
+        let id = MachineId::from(self.machines.len());
+        self.machines.push(Machine::exchange(id, capacity));
+        id
+    }
+
+    /// Streaming variant of [`InstanceBuilder::shard`].
+    pub fn push_shard(&mut self, demand: ResourceVec, move_cost: f64, on: MachineId) -> ShardId {
         let id = ShardId::from(self.shards.len());
-        self.shards
-            .push(Shard::new(id, ResourceVec::from_slice(demand), move_cost));
+        self.shards.push(Shard::new(id, demand, move_cost));
         self.initial.push(on);
         id
     }
@@ -354,6 +411,40 @@ mod tests {
         let c = inst.total_capacity();
         assert_eq!(c.as_slice(), &[30.0, 30.0]);
         assert!((inst.stringency() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soa_accessors_mirror_the_rows() {
+        let inst = tiny();
+        let d = inst.demand_soa();
+        assert_eq!(d.len(), inst.n_shards());
+        for (i, s) in inst.shards.iter().enumerate() {
+            assert_eq!(d.get(i).as_slice(), s.demand.as_slice());
+        }
+        let c = inst.capacity_soa();
+        for dim in 0..inst.dims {
+            let col: Vec<f64> = inst.machines.iter().map(|m| m.capacity[dim]).collect();
+            assert_eq!(c.col(dim), &col[..]);
+        }
+    }
+
+    #[test]
+    fn streaming_builder_matches_slice_builder() {
+        let a = tiny();
+        let mut b = InstanceBuilder::with_capacity(2, 3, 3)
+            .alpha(0.1)
+            .label("tiny");
+        let m0 = b.push_machine(ResourceVec::from_slice(&[10.0, 10.0]));
+        let m1 = b.push_machine(ResourceVec::from_slice(&[10.0, 10.0]));
+        let _x = b.push_exchange(ResourceVec::from_slice(&[10.0, 10.0]));
+        b.push_shard(ResourceVec::from_slice(&[4.0, 2.0]), 1.0, m0);
+        b.push_shard(ResourceVec::from_slice(&[3.0, 3.0]), 1.0, m0);
+        b.push_shard(ResourceVec::from_slice(&[2.0, 2.0]), 1.0, m1);
+        let streamed = b.build().unwrap();
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&a).unwrap()
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! Everything downstream (`rex-core`'s SRA, the baselines, the solver, the
 //! benches) is built on these types.
 
+pub mod arena;
 pub mod assignment;
 pub mod error;
 pub mod instance;
@@ -36,6 +37,7 @@ pub mod scenario;
 pub mod service;
 pub mod shard;
 
+pub use arena::{PackedVecs, SoaVecs};
 pub use assignment::{Assignment, UndoLog};
 pub use error::ClusterError;
 pub use instance::{Instance, InstanceBuilder};
@@ -44,7 +46,7 @@ pub use machine::{Machine, MachineId};
 pub use metrics::BalanceReport;
 pub use migration::{plan_migration, verify_schedule, MigrationPlan, Move, PlannerConfig};
 pub use objective::{Objective, ObjectiveKind};
-pub use partition::{partition_fleet, PartitionSpec};
+pub use partition::{partition_fleet, partition_subfleet, PartitionSpec};
 pub use resources::{ResourceVec, MAX_DIMS};
 pub use scenario::{CrashSpec, ScenarioSpec, SpikeSpec, SraSpec};
 pub use shard::{Shard, ShardId};

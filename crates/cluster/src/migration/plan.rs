@@ -219,16 +219,15 @@ fn collect_batch(
 
         let t = p.target.idx();
         let f = from.idx();
-        let target_ok = {
-            let mut u = *cur.usage(p.target);
-            u += &extra[t];
-            u.fits_after_add(&inflight, inst.capacity(p.target))
-        };
-        let source_ok = {
-            let mut u = *cur.usage(from);
-            u += &extra[f];
-            u.fits_after_add(&overhead, inst.capacity(from))
-        };
+        // Packed-row checks: materializing a ResourceVec per candidate here
+        // dominates planning time at web-scale fleets (thousands of pending
+        // moves × tens of batches).
+        let target_ok =
+            cur.usage_rows()
+                .fits_after_add2(t, &extra[t], &inflight, inst.capacity(p.target));
+        let source_ok =
+            cur.usage_rows()
+                .fits_after_add2(f, &extra[f], &overhead, inst.capacity(from));
         if target_ok && source_ok {
             extra[t] += &inflight;
             extra[f] += &overhead;
@@ -261,8 +260,8 @@ fn blocked_sources(inst: &Instance, cur: &Assignment, pending: &[Pending]) -> Ve
         }
         let overhead = inst.shards[p.shard.idx()].demand.scaled(inst.alpha);
         if !cur
-            .usage(from)
-            .fits_after_add(&overhead, inst.capacity(from))
+            .usage_rows()
+            .fits_after_add(from.idx(), &overhead, inst.capacity(from))
         {
             out[from.idx()] = true;
         }
@@ -301,15 +300,15 @@ fn find_staging_move(
         // departures) needs patience, not staging — staging it would
         // ping-pong the shard between intermediate hosts forever.
         if cur
-            .usage(p.target)
-            .fits_after_add(&inflight, inst.capacity(p.target))
+            .usage_rows()
+            .fits_after_add(p.target.idx(), &inflight, inst.capacity(p.target))
         {
             continue;
         }
         // Source must be able to bear the copy overhead at all.
         if !cur
-            .usage(from)
-            .fits_after_add(&overhead, inst.capacity(from))
+            .usage_rows()
+            .fits_after_add(from.idx(), &overhead, inst.capacity(from))
         {
             continue;
         }
@@ -320,12 +319,15 @@ fn find_staging_move(
             if v == from || v == p.target || blocked[v.idx()] {
                 continue;
             }
-            if !cur.usage(v).fits_after_add(&inflight, inst.capacity(v)) {
+            if !cur
+                .usage_rows()
+                .fits_after_add(v.idx(), &inflight, inst.capacity(v))
+            {
                 continue;
             }
-            let mut u = *cur.usage(v);
-            u += d;
-            let load_after = u.max_ratio(inst.capacity(v));
+            let load_after = cur
+                .usage_rows()
+                .max_ratio_after_add(v.idx(), d, inst.capacity(v));
             let key = (cur.is_vacant(v), -load_after, v);
             let better = match &best {
                 None => true,
@@ -375,8 +377,8 @@ fn find_source_freeing_move(
         let overhead = d.scaled(alpha);
         // Only source-blocked moves are candidates here.
         if cur
-            .usage(from)
-            .fits_after_add(&overhead, inst.capacity(from))
+            .usage_rows()
+            .fits_after_add(from.idx(), &overhead, inst.capacity(from))
         {
             continue;
         }
@@ -392,13 +394,13 @@ fn find_source_freeing_move(
             let s_overhead = ds.scaled(alpha);
             // Moving s itself must be transiently possible from this source.
             if !cur
-                .usage(from)
-                .fits_after_add(&s_overhead, inst.capacity(from))
+                .usage_rows()
+                .fits_after_add(from.idx(), &s_overhead, inst.capacity(from))
             {
                 continue;
             }
             // Does parking s free enough for p's overhead?
-            let mut after = *cur.usage(from);
+            let mut after = cur.usage(from);
             after.saturating_sub_assign(ds);
             let unblocks = after.fits_after_add(&overhead, inst.capacity(from));
             // Find the best host for s.
@@ -411,13 +413,15 @@ fn find_source_freeing_move(
                 if v == from
                     || v == p.target
                     || blocked[v.idx()]
-                    || !cur.usage(v).fits_after_add(&inflight, inst.capacity(v))
+                    || !cur
+                        .usage_rows()
+                        .fits_after_add(v.idx(), &inflight, inst.capacity(v))
                 {
                     continue;
                 }
-                let mut u = *cur.usage(v);
-                u += ds;
-                let load_after = u.max_ratio(inst.capacity(v));
+                let load_after =
+                    cur.usage_rows()
+                        .max_ratio_after_add(v.idx(), ds, inst.capacity(v));
                 let key = (cur.is_vacant(v), -load_after, v);
                 if host.is_none_or(|(bv, bl, _)| (key.0, key.1) > (bv, bl)) {
                     host = Some(key);
@@ -465,11 +469,11 @@ fn find_held_arrival(inst: &Instance, cur: &Assignment, pending: &[Pending]) -> 
         let inflight = d.scaled(1.0 + alpha);
         let overhead = d.scaled(alpha);
         if cur
-            .usage(p.target)
-            .fits_after_add(&inflight, inst.capacity(p.target))
+            .usage_rows()
+            .fits_after_add(p.target.idx(), &inflight, inst.capacity(p.target))
             && cur
-                .usage(from)
-                .fits_after_add(&overhead, inst.capacity(from))
+                .usage_rows()
+                .fits_after_add(from.idx(), &overhead, inst.capacity(from))
         {
             let key = d.norm();
             if best.as_ref().is_none_or(|(b, _)| key < *b) {

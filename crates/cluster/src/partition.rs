@@ -50,21 +50,50 @@ pub fn partition_fleet(
     k_return: usize,
     drained: &[MachineId],
 ) -> Vec<PartitionSpec> {
+    assert_eq!(placement.len(), inst.n_shards(), "one machine per shard");
+    let machines: Vec<MachineId> = (0..inst.n_machines()).map(MachineId::from).collect();
+    let shards: Vec<ShardId> = (0..inst.n_shards()).map(ShardId::from).collect();
+    partition_subfleet(
+        inst, placement, loads, &machines, &shards, k, k_return, drained,
+    )
+}
+
+/// [`partition_fleet`] generalized to a *subset* of the fleet — the
+/// recursion step of the hierarchical (POP-style) decomposition.
+///
+/// `machines` and `shards` describe one node of the partition tree (every
+/// listed shard is placed on a listed machine); `quota` is that node's
+/// vacancy-quota share, which is **conserved**: the children's
+/// `vacancy_quota`s always sum to `quota`, each capped by the child's own
+/// count of undrained vacancies — exactly the invariant `partition_fleet`
+/// maintains for the whole fleet. `loads` stays indexed by *global*
+/// machine id; machine and shard ids in the output are global too, in the
+/// same relative order as the input slices.
+#[allow(clippy::too_many_arguments)] // mirrors partition_fleet plus the subset
+pub fn partition_subfleet(
+    inst: &Instance,
+    placement: &[MachineId],
+    loads: &[f64],
+    machines: &[MachineId],
+    shards: &[ShardId],
+    k: usize,
+    quota: usize,
+    drained: &[MachineId],
+) -> Vec<PartitionSpec> {
     let n = inst.n_machines();
     assert!(k >= 1, "need at least one partition");
     assert_eq!(loads.len(), n, "one load per machine");
-    assert_eq!(placement.len(), inst.n_shards(), "one machine per shard");
-    let k = k.min(n);
+    let k = k.min(machines.len());
 
     // LPT assignment: heaviest machines first, into the lightest partition.
-    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut order: Vec<u32> = machines.iter().map(|m| m.idx() as u32).collect();
     order.sort_by(|&a, &b| {
         loads[b as usize]
             .partial_cmp(&loads[a as usize])
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
-    let mut part_of = vec![0u32; n];
+    let mut part_of = vec![u32::MAX; n];
     let mut totals = vec![0.0f64; k];
     let mut counts = vec![0usize; k];
     for &mi in &order {
@@ -96,29 +125,29 @@ pub fn partition_fleet(
             vacancy_quota: 0,
         })
         .collect();
-    for m in 0..n {
-        parts[part_of[m] as usize].machines.push(MachineId::from(m));
+    for &m in machines {
+        parts[part_of[m.idx()] as usize].machines.push(m);
     }
-    for (s, &m) in placement.iter().enumerate() {
-        parts[part_of[m.idx()] as usize]
-            .shards
-            .push(ShardId::from(s));
+    for &s in shards {
+        let m = placement[s.idx()];
+        debug_assert_ne!(part_of[m.idx()], u32::MAX, "shard hosted outside node");
+        parts[part_of[m.idx()] as usize].shards.push(s);
     }
 
-    // Distribute the k_return quota over partitions, never promising a
+    // Distribute the node's quota over partitions, never promising a
     // partition more vacancies than it currently has (minus any drained
     // machines, whose vacancies are spoken for).
     let mut occupied = vec![false; n];
-    for &m in placement {
-        occupied[m.idx()] = true;
+    for &s in shards {
+        occupied[placement[s.idx()].idx()] = true;
     }
     let mut eligible = vec![0usize; k];
-    for m in 0..n {
-        if !occupied[m] && !drained.contains(&MachineId::from(m)) {
-            eligible[part_of[m] as usize] += 1;
+    for &m in machines {
+        if !occupied[m.idx()] && !drained.contains(&m) {
+            eligible[part_of[m.idx()] as usize] += 1;
         }
     }
-    let mut remaining = k_return;
+    let mut remaining = quota;
     for (p, part) in parts.iter_mut().enumerate() {
         let q = remaining.min(eligible[p]);
         part.vacancy_quota = q;
@@ -126,7 +155,7 @@ pub fn partition_fleet(
     }
     debug_assert_eq!(
         remaining, 0,
-        "placement satisfies k_return, so the shares must cover it"
+        "the node satisfies its quota, so the shares must cover it"
     );
     parts
 }

@@ -64,6 +64,22 @@ impl ResourceVec {
         v
     }
 
+    /// Crate-internal: builds from a slice **without** the finite /
+    /// non-negative validation of [`ResourceVec::from_slice`]. For arena
+    /// rows whose invariants are maintained by construction (usage is only
+    /// ever a clamped sum of validated demands) — the hot path cannot
+    /// afford eight asserts per materialized row.
+    #[inline]
+    pub(crate) fn from_slice_trusted(vals: &[f64]) -> Self {
+        debug_assert!((1..=MAX_DIMS).contains(&vals.len()));
+        let mut v = Self {
+            dims: vals.len() as u8,
+            vals: [0.0; MAX_DIMS],
+        };
+        v.vals[..vals.len()].copy_from_slice(vals);
+        v
+    }
+
     /// A vector with every component equal to `value`.
     pub fn splat(dims: usize, value: f64) -> Self {
         assert!(value.is_finite() && value >= 0.0);

@@ -53,7 +53,8 @@ use crate::problem::SraProblem;
 use crate::repair::default_repairs_in_place;
 use crate::sra::{starting_solution, SraConfig};
 use rex_cluster::{
-    partition_fleet, Assignment, ClusterError, Instance, Machine, MachineId, Shard, ShardId,
+    partition_fleet, partition_subfleet, Assignment, ClusterError, Instance, Machine, MachineId,
+    PartitionSpec, Shard, ShardId,
 };
 use rex_lns::{
     cooperative_round, round_seed, Engine, EngineStats, InPlaceModel, LnsConfig, LnsProblem,
@@ -78,21 +79,20 @@ struct SubCtx {
     drain: Vec<MachineId>,
 }
 
-/// Builds the local sub-instance for partition `part_idx`. Local machine
-/// `j` is `part.machines[j]`; local shard `j` is `part.shards[j]`; the
-/// sub-initial is the current global placement restricted to the
-/// partition. Exchange flags are dropped — inside a partition every
-/// machine is just capacity — and the sub `k_return` is the partition's
-/// vacancy-quota share.
+/// Builds the local sub-instance for one tree node (`part`). Local
+/// machine `j` is `part.machines[j]`; local shard `j` is
+/// `part.shards[j]`; the sub-initial is the current global placement
+/// restricted to the node. Exchange flags are dropped — inside a node
+/// every machine is just capacity — and the sub `k_return` is the node's
+/// vacancy-quota share. `part_idx` is the node's job index (seed slot).
 fn build_sub(
     inst: &Instance,
     current: &Assignment,
-    parts: &[rex_cluster::PartitionSpec],
+    part: &rex_cluster::PartitionSpec,
     part_idx: usize,
     is_drained: impl Fn(MachineId) -> bool,
-    round: u64,
+    label: String,
 ) -> SubCtx {
-    let part = &parts[part_idx];
     let mut local_of = vec![u32::MAX; inst.n_machines()];
     let machines: Vec<Machine> = part
         .machines
@@ -133,7 +133,7 @@ fn build_sub(
         initial: start.clone(),
         k_return: part.vacancy_quota,
         alpha: inst.alpha,
-        label: format!("{}#r{round}p{part_idx}", inst.label),
+        label,
     };
     debug_assert!(
         sub_inst.validate().is_ok(),
@@ -183,12 +183,15 @@ pub fn decomposed_search(
     let boundary_iters = (cfg.iters / (ROUNDS * 8)).max(50);
     let sub_tl = cfg.time_limit.map(|t| t / (2 * ROUNDS as u32));
 
+    let depth = cfg.depth.max(1);
+
     if rec.is_active() {
         rec.span_open(
             "sra",
             "decomposed",
             vec![
                 ("partitions", k_eff.into()),
+                ("depth", depth.into()),
                 ("rounds", ROUNDS.into()),
                 ("sub_iters", sub_iters.into()),
                 ("boundary_iters", boundary_iters.into()),
@@ -197,6 +200,33 @@ pub fn decomposed_search(
     }
 
     for round in 0..ROUNDS {
+        if depth > 1 {
+            // Hierarchical (POP-style) round: recursive split, leaf
+            // solves, bottom-up repairs, then the global boundary pass.
+            // depth == 1 stays on the flat path below, bit-identical to
+            // the pre-hierarchy behavior.
+            let (next, round_iters, val) = hierarchical_round(
+                problem,
+                cfg,
+                seed,
+                round,
+                k_eff,
+                depth,
+                &drained,
+                &current,
+                rec,
+                sub_iters,
+                boundary_iters,
+                sub_tl,
+            )?;
+            current = next;
+            iterations += round_iters;
+            if val < best_val {
+                best_val = val;
+                best = current.clone();
+            }
+            continue;
+        }
         let loads = current.loads(inst);
         let parts = partition_fleet(
             inst,
@@ -211,7 +241,16 @@ pub fn decomposed_search(
         // untouched (and vacant) through the merge.
         let subs: Vec<SubCtx> = (0..parts.len())
             .filter(|&p| !parts[p].shards.is_empty())
-            .map(|p| build_sub(inst, &current, &parts, p, |m| problem.is_drained(m), round))
+            .map(|p| {
+                build_sub(
+                    inst,
+                    &current,
+                    &parts[p],
+                    p,
+                    |m| problem.is_drained(m),
+                    format!("{}#r{round}p{p}", inst.label),
+                )
+            })
             .collect();
         let sub_problems: Vec<SraProblem<'_>> = subs
             .iter()
@@ -326,6 +365,295 @@ pub fn decomposed_search(
         );
     }
     Ok((best, iterations, None, Vec::new()))
+}
+
+/// Recursively splits `node` to the requested depth, collecting leaves in
+/// traversal (DFS) order and internal nodes (strictly below the root) per
+/// level for the bottom-up repair sweep. A node splits only while levels
+/// remain and it can give every child at least two machines; the root is
+/// never stored — its repair is the round's global boundary pass.
+/// Vacancy quotas are conserved at every split ([`partition_subfleet`]).
+#[allow(clippy::too_many_arguments)]
+fn split_rec(
+    inst: &Instance,
+    placement: &[MachineId],
+    loads: &[f64],
+    drained: &[MachineId],
+    node: PartitionSpec,
+    level: usize,
+    depth: usize,
+    k: usize,
+    leaves: &mut Vec<PartitionSpec>,
+    internal: &mut [Vec<PartitionSpec>],
+) {
+    if level >= depth || k < 2 || node.machines.len() < 2 * k {
+        leaves.push(node);
+        return;
+    }
+    let children = partition_subfleet(
+        inst,
+        placement,
+        loads,
+        &node.machines,
+        &node.shards,
+        k,
+        node.vacancy_quota,
+        drained,
+    );
+    if level > 0 {
+        internal[level - 1].push(node);
+    }
+    for child in children {
+        split_rec(
+            inst,
+            placement,
+            loads,
+            drained,
+            child,
+            level + 1,
+            depth,
+            k,
+            leaves,
+            internal,
+        );
+    }
+}
+
+/// One round of the depth-d hierarchical decomposition (POP-style):
+/// recursive partition → leaf solves in one flat cooperative round →
+/// bottom-up per-level internal-node repairs (machine-disjoint within a
+/// level, plan checks off, each node holding its conserved vacancy
+/// quota) → one global serial boundary repair with the usual plan
+/// gating. Returns `(new current, iterations, global objective)`.
+///
+/// Determinism: every engine's seed is `round_seed(seed, round,
+/// job_idx)` where `job_idx` numbers the engines launched this round in
+/// fixed traversal order (leaves, then internal levels bottom-up, then
+/// the global pass) — all assigned before any parallel section, so the
+/// round is byte-identical for any `REX_THREADS`.
+#[allow(clippy::too_many_arguments)]
+fn hierarchical_round(
+    problem: &SraProblem<'_>,
+    cfg: &SraConfig,
+    seed: u64,
+    round: u64,
+    k_eff: usize,
+    depth: usize,
+    drained: &[MachineId],
+    current: &Assignment,
+    rec: &mut Recorder,
+    sub_iters: u64,
+    boundary_iters: u64,
+    sub_tl: Option<std::time::Duration>,
+) -> Result<(Assignment, u64, f64), ClusterError> {
+    let inst = problem.inst;
+    let loads = current.loads(inst);
+    let root = PartitionSpec {
+        machines: (0..inst.n_machines()).map(MachineId::from).collect(),
+        shards: (0..inst.n_shards()).map(ShardId::from).collect(),
+        vacancy_quota: inst.k_return,
+    };
+    let mut leaves: Vec<PartitionSpec> = Vec::new();
+    let mut internal: Vec<Vec<PartitionSpec>> = vec![Vec::new(); depth - 1];
+    split_rec(
+        inst,
+        current.placement(),
+        &loads,
+        drained,
+        root,
+        0,
+        depth,
+        k_eff,
+        &mut leaves,
+        &mut internal,
+    );
+
+    if rec.is_active() {
+        rec.span_open(
+            "sra",
+            "round",
+            vec![
+                ("round", round.into()),
+                ("depth", depth.into()),
+                ("leaves", leaves.len().into()),
+            ],
+        );
+    }
+
+    let mut iterations = 0u64;
+
+    // Stage 1: solve every leaf in one flat cooperative round (no nested
+    // parallelism — the tree only shapes *which* sub-instances exist).
+    let subs: Vec<SubCtx> = leaves
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.shards.is_empty())
+        .map(|(i, l)| {
+            build_sub(
+                inst,
+                current,
+                l,
+                i,
+                |m| problem.is_drained(m),
+                format!("{}#r{round}d{depth}p{i}", inst.label),
+            )
+        })
+        .collect();
+    let sub_problems: Vec<SraProblem<'_>> = subs
+        .iter()
+        .map(|sc| {
+            let mut sp = SraProblem::new(&sc.inst, cfg.objective)
+                .with_drain(&sc.drain)
+                .without_plan_checks();
+            sp.smoothing = problem.smoothing;
+            sp
+        })
+        .collect();
+    let jobs: Vec<RoundJob<InPlaceModel<'_, SraProblem<'_>>>> = sub_problems
+        .iter()
+        .zip(&subs)
+        .map(|(sp, sc)| {
+            Ok(RoundJob {
+                model: InPlaceModel::new(
+                    sp,
+                    Assignment::from_placement(&sc.inst, sc.start.clone())?,
+                    default_destroys_in_place(cfg.destroy_cap),
+                    default_repairs_in_place(),
+                ),
+                seed: round_seed(seed, round, sc.part_idx),
+            })
+        })
+        .collect::<Result<_, ClusterError>>()?;
+    let engine_cfg = LnsConfig {
+        max_iters: sub_iters,
+        time_limit: sub_tl,
+        intensity: cfg.intensity,
+        ..Default::default()
+    };
+    let outcomes = cooperative_round(jobs, engine_cfg, || cfg.acceptance.build(sub_iters));
+
+    let mut merged = current.placement().to_vec();
+    for (sc, out) in subs.iter().zip(&outcomes) {
+        let part = &leaves[sc.part_idx];
+        for (j, &s) in part.shards.iter().enumerate() {
+            merged[s.idx()] = part.machines[out.best.placement()[j].idx()];
+        }
+        iterations += out.iterations;
+    }
+    if rec.is_active() {
+        for (sc, out) in subs.iter().zip(&outcomes) {
+            rec.event(
+                "lns",
+                "partition",
+                vec![
+                    ("round", round.into()),
+                    ("partition", sc.part_idx.into()),
+                    ("machines", leaves[sc.part_idx].machines.len().into()),
+                    ("shards", leaves[sc.part_idx].shards.len().into()),
+                    ("seed", round_seed(seed, round, sc.part_idx).into()),
+                    ("objective", out.best_objective.into()),
+                    ("iterations", out.iterations.into()),
+                ],
+            );
+        }
+    }
+    let mut next_job = leaves.len();
+
+    // Stage 2: bottom-up repairs across each internal level. Nodes of one
+    // level are machine-disjoint, so their repairs run in one cooperative
+    // round and splice conflict-free, exactly like leaf solves. Each node
+    // keeps its conserved vacancy quota, so the level-merged placement
+    // stays globally feasible.
+    for lvl in (0..internal.len()).rev() {
+        let nodes = &internal[lvl];
+        if nodes.is_empty() {
+            continue;
+        }
+        let cur = Assignment::from_placement(inst, merged.clone())?;
+        let base = next_job;
+        next_job += nodes.len();
+        let subs: Vec<SubCtx> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, nd)| !nd.shards.is_empty())
+            .map(|(i, nd)| {
+                build_sub(
+                    inst,
+                    &cur,
+                    nd,
+                    base + i,
+                    |m| problem.is_drained(m),
+                    format!("{}#r{round}l{lvl}n{i}", inst.label),
+                )
+            })
+            .collect();
+        let sub_problems: Vec<SraProblem<'_>> = subs
+            .iter()
+            .map(|sc| {
+                let mut sp = SraProblem::new(&sc.inst, cfg.objective)
+                    .with_drain(&sc.drain)
+                    .without_plan_checks();
+                sp.smoothing = problem.smoothing;
+                sp
+            })
+            .collect();
+        let jobs: Vec<RoundJob<InPlaceModel<'_, SraProblem<'_>>>> = sub_problems
+            .iter()
+            .zip(&subs)
+            .map(|(sp, sc)| {
+                Ok(RoundJob {
+                    model: InPlaceModel::new(
+                        sp,
+                        Assignment::from_placement(&sc.inst, sc.start.clone())?,
+                        default_destroys_in_place(cfg.destroy_cap),
+                        default_repairs_in_place(),
+                    ),
+                    seed: round_seed(seed, round, sc.part_idx),
+                })
+            })
+            .collect::<Result<_, ClusterError>>()?;
+        let engine_cfg = LnsConfig {
+            max_iters: boundary_iters,
+            time_limit: sub_tl,
+            intensity: cfg.intensity,
+            ..Default::default()
+        };
+        let outcomes = cooperative_round(jobs, engine_cfg, || cfg.acceptance.build(boundary_iters));
+        for (sc, out) in subs.iter().zip(&outcomes) {
+            let nd = &nodes[sc.part_idx - base];
+            for (j, &s) in nd.shards.iter().enumerate() {
+                merged[s.idx()] = nd.machines[out.best.placement()[j].idx()];
+            }
+            iterations += out.iterations;
+        }
+    }
+
+    // Stage 3: the root's repair — a global serial boundary pass with
+    // cross-node moves, judged against the true initial placement with
+    // the usual plan-on-best gating.
+    let merged = Assignment::from_placement(inst, merged)?;
+    let boundary_cfg = LnsConfig {
+        max_iters: boundary_iters,
+        time_limit: sub_tl,
+        intensity: cfg.intensity,
+        ..Default::default()
+    };
+    let engine = Engine::in_place(
+        problem,
+        merged,
+        default_destroys_in_place(cfg.destroy_cap),
+        default_repairs_in_place(),
+        cfg.acceptance.build(boundary_iters),
+        boundary_cfg,
+    );
+    let out = engine.run_recorded(round_seed(seed, round, next_job), rec);
+    iterations += out.iterations;
+    let next = out.best;
+    let val = LnsProblem::objective(problem, &next);
+    if rec.is_active() {
+        rec.span_close("sra", "round", vec![("objective", val.into())]);
+    }
+    Ok((next, iterations, val))
 }
 
 #[cfg(test)]
@@ -445,6 +773,80 @@ mod tests {
         let inst = b.build().unwrap();
         let res = solve(&inst, &cfg(8)).unwrap();
         assert!(res.final_report.peak <= res.initial_report.peak + 1e-9);
+    }
+
+    #[test]
+    fn hierarchical_solve_improves_and_returns_quota() {
+        let inst = fleet(6, 18, 8, 13);
+        let c = SraConfig { depth: 2, ..cfg(2) };
+        let res = solve(&inst, &c).unwrap();
+        assert!(
+            res.final_report.peak < res.initial_report.peak,
+            "final {} vs initial {}",
+            res.final_report.peak,
+            res.initial_report.peak
+        );
+        res.assignment.check_target(&inst).unwrap();
+        assert_eq!(res.returned_machines.len(), inst.k_return);
+    }
+
+    #[test]
+    fn hierarchical_solve_is_deterministic() {
+        let inst = fleet(6, 18, 8, 17);
+        let c = SraConfig { depth: 3, ..cfg(2) };
+        let a = solve(&inst, &c).unwrap();
+        let b = solve(&inst, &c).unwrap();
+        assert_eq!(a.objective_value, b.objective_value);
+        assert_eq!(a.assignment.placement(), b.assignment.placement());
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn hierarchical_matches_flat_quality() {
+        let inst = fleet(6, 18, 8, 19);
+        let flat = solve(&inst, &cfg(4)).unwrap();
+        let hier = solve(&inst, &SraConfig { depth: 2, ..cfg(2) }).unwrap();
+        assert!(
+            hier.final_report.peak <= flat.final_report.peak * 1.01 + 1e-9,
+            "hierarchical {} vs flat {}",
+            hier.final_report.peak,
+            flat.final_report.peak
+        );
+    }
+
+    #[test]
+    fn hierarchical_respects_drain() {
+        let inst = fleet(6, 18, 8, 5);
+        let drain = [MachineId(0)];
+        let c = SraConfig { depth: 2, ..cfg(2) };
+        let res = solve_with_drain(&inst, &c, &drain).unwrap();
+        assert!(res.assignment.is_vacant(MachineId(0)));
+        assert!(!res.returned_machines.contains(&MachineId(0)));
+        res.assignment.check_target(&inst).unwrap();
+    }
+
+    #[test]
+    fn hierarchical_depth_one_is_the_flat_path() {
+        // depth = 1 must be byte-identical to the pre-hierarchy flat
+        // rounds: same seeds, same job numbering, same placement.
+        let inst = fleet(4, 8, 4, 3);
+        let flat = solve(&inst, &cfg(4)).unwrap();
+        let one = solve(&inst, &SraConfig { depth: 1, ..cfg(4) }).unwrap();
+        assert_eq!(flat.assignment.placement(), one.assignment.placement());
+        assert_eq!(flat.iterations, one.iterations);
+    }
+
+    #[test]
+    fn traced_hierarchical_matches_untraced_and_balances_spans() {
+        let inst = fleet(6, 18, 8, 9);
+        let c = SraConfig { depth: 2, ..cfg(2) };
+        let plain = solve(&inst, &c).unwrap();
+        let mut rec = Recorder::active();
+        let traced = solve_traced(&inst, &c, &[], &mut rec).unwrap();
+        assert_eq!(plain.objective_value, traced.objective_value);
+        assert_eq!(plain.assignment.placement(), traced.assignment.placement());
+        assert_eq!(plain.iterations, traced.iterations);
+        assert_eq!(rec.open_spans(), 0);
     }
 
     #[test]

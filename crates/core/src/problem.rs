@@ -143,8 +143,8 @@ impl<'a> SraProblem<'a> {
         } else {
             self.escapable[s.idx()] && {
                 let inflight = self.inst.demand(s).scaled(1.0 + self.inst.alpha);
-                asg.usage(m)
-                    .fits_after_add(&inflight, self.inst.capacity(m))
+                asg.usage_rows()
+                    .fits_after_add(m.idx(), &inflight, self.inst.capacity(m))
             }
         }
     }
@@ -165,9 +165,13 @@ impl<'a> SraProblem<'a> {
         if !self.admissible(asg, s, m) {
             return None;
         }
-        let mut usage = *asg.usage(m);
-        usage += self.inst.demand(s);
-        let load_after = usage.max_ratio(self.inst.capacity(m));
+        // Straight off the packed usage row — materializing a ResourceVec
+        // here costs ~20% of the whole search at web-scale fleet sizes.
+        let load_after = asg.usage_rows().max_ratio_after_add(
+            m.idx(),
+            self.inst.demand(s),
+            self.inst.capacity(m),
+        );
         let penalty = if m != self.inst.initial[s.idx()] && self.total_move_cost > 0.0 {
             self.objective.lambda * self.inst.shards[s.idx()].move_cost / self.total_move_cost
         } else {

@@ -63,6 +63,13 @@ pub struct SraConfig {
     /// [`crate::decomposed`] (clamped to half the machine count), and
     /// `workers` is ignored. `0` or `1` keeps the monolithic search.
     pub partitions: usize,
+    /// Hierarchical decomposition depth (only meaningful when
+    /// `partitions > 1`). `1` (the default) keeps the flat single-level
+    /// rounds; `d > 1` recursively re-partitions every neighborhood into
+    /// `partitions` children down to depth `d`, solves the leaves, and
+    /// repairs each internal level bottom-up before the global boundary
+    /// pass — the POP-style web-scale path of [`crate::decomposed`].
+    pub depth: usize,
     /// Deterministic seed.
     pub seed: u64,
     /// Migration-planner configuration.
@@ -82,6 +89,7 @@ impl Default for SraConfig {
             destroy_cap: 64,
             workers: 1,
             partitions: 0,
+            depth: 1,
             seed: 42,
             planner: PlannerConfig::default(),
             log_trajectory: false,

@@ -31,19 +31,65 @@ use crate::problem::SraProblem;
 use rex_cluster::{plan_migration, Assignment, Instance, MachineId, ShardId, UndoLog};
 use rex_lns::{LnsProblem, LnsProblemInPlace};
 
-/// Full cache resynchronization period, in commits. Each accumulator
-/// update contributes at most one rounding error (~1e-16 relative), so a
-/// few thousand commits keep the drift orders of magnitude below the 1e-9
-/// tolerance the tests assert.
-const RESYNC_EVERY: u32 = 4096;
+/// Full cache resynchronization period, in commits. With the compensated
+/// accumulators below, each update leaves at most one *delta-sized*
+/// rounding error (~`eps·|delta|`, not `eps·|sum|`), so drift stays
+/// orders of magnitude below the 1e-9 test tolerance even over millions
+/// of commits — the periodic resync is a belt-and-braces backstop, not a
+/// load-bearing correction, and fires effectively never in real runs
+/// (it used to run every 4096 commits to launder naive-summation drift).
+const RESYNC_EVERY: u32 = 1 << 20;
+
+/// Neumaier (Kahan–Babuška) compensated accumulator.
+///
+/// `value()` returns `sum + compensation`. Each `add` performs the
+/// classic two-branch compensation step: whichever operand is smaller in
+/// magnitude contributes its rounding loss to `c`. The result is a pure
+/// function of the add sequence — no data-dependent reordering — so the
+/// bit-determinism contracts (same seed / any thread count → same bytes)
+/// hold exactly as they did for naive `+=`.
+#[derive(Clone, Copy, Debug, Default)]
+struct Compensated {
+    sum: f64,
+    c: f64,
+}
+
+impl Compensated {
+    /// Resets to an exactly-known value (used by resync).
+    #[inline]
+    fn set(&mut self, v: f64) {
+        self.sum = v;
+        self.c = 0.0;
+    }
+
+    /// Adds `x` with Neumaier compensation.
+    #[inline]
+    fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.c += (self.sum - t) + x;
+        } else {
+            self.c += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    #[inline]
+    fn value(&self) -> f64 {
+        self.sum + self.c
+    }
+}
 
 /// Scalar accumulators snapshotted at each commit, restored on revert.
+/// Includes the compensation terms, so a revert restores the accumulators
+/// bit-exactly — compensation state and all.
 #[derive(Clone, Copy, Debug)]
 struct ScalarBase {
     peak: f64,
     peak_dirty: bool,
-    sumsq: f64,
-    mig_cost: f64,
+    sumsq: Compensated,
+    mig_cost: Compensated,
     vacant: usize,
 }
 
@@ -62,10 +108,12 @@ pub struct SraState {
     pub(crate) loads: Vec<f64>,
     peak: f64,
     peak_dirty: bool,
-    /// Un-normalized `Σ loads²`.
-    sumsq: f64,
-    /// Total move cost of shards currently off their initial machine.
-    mig_cost: f64,
+    /// Un-normalized `Σ loads²`, compensated (error-bounded, see
+    /// [`Compensated`]).
+    sumsq: Compensated,
+    /// Total move cost of shards currently off their initial machine,
+    /// compensated.
+    mig_cost: Compensated,
     /// Cached vacant-machine count.
     vacant: usize,
     /// `k_return` plus the number of draining machines (fixed per run).
@@ -92,6 +140,10 @@ pub struct SraState {
     pub(crate) order: Vec<u32>,
     /// Cached `inst.demand(s).norm()` per shard (static).
     pub(crate) demand_norm: Vec<f64>,
+    /// Machine capacities packed row-major (row `m` = machine `m`), the
+    /// static sibling of `Assignment::usage_rows` — lets resync run the
+    /// fused cache-blocked `ratio_scan_rows` kernel over two flat arrays.
+    caps: rex_cluster::PackedVecs,
 }
 
 /// Cached top-3 insertion choices of one detached shard, sorted by score.
@@ -123,15 +175,15 @@ impl SraState {
             loads: vec![0.0; n],
             peak: 0.0,
             peak_dirty: false,
-            sumsq: 0.0,
-            mig_cost: 0.0,
+            sumsq: Compensated::default(),
+            mig_cost: Compensated::default(),
             vacant: 0,
             reserved: p.reserved_vacancies(),
             base: ScalarBase {
                 peak: 0.0,
                 peak_dirty: false,
-                sumsq: 0.0,
-                mig_cost: 0.0,
+                sumsq: Compensated::default(),
+                mig_cost: Compensated::default(),
                 vacant: 0,
             },
             commits_since_resync: 0,
@@ -147,6 +199,10 @@ impl SraState {
             demand_norm: (0..inst.n_shards())
                 .map(|i| inst.demand(ShardId::from(i)).norm())
                 .collect(),
+            caps: rex_cluster::PackedVecs::from_vecs(
+                inst.dims,
+                inst.machines.iter().map(|m| &m.capacity),
+            ),
         };
         state.resync(inst);
         state.save_base();
@@ -188,7 +244,7 @@ impl SraState {
             self.vacant += 1;
         }
         if from != inst.initial[s.idx()] {
-            self.mig_cost -= inst.shards[s.idx()].move_cost;
+            self.mig_cost.add(-inst.shards[s.idx()].move_cost);
         }
         self.removed.push(s);
     }
@@ -203,7 +259,7 @@ impl SraState {
         self.asg.attach_shard_logged(inst, s, m, &mut self.undo);
         self.refresh_load(inst, m);
         if m != inst.initial[s.idx()] {
-            self.mig_cost += inst.shards[s.idx()].move_cost;
+            self.mig_cost.add(inst.shards[s.idx()].move_cost);
         }
     }
 
@@ -212,9 +268,9 @@ impl SraState {
     fn refresh_load(&mut self, inst: &Instance, m: MachineId) {
         let i = m.idx();
         let old = self.loads[i];
-        let new = self.asg.usage(m).max_ratio(inst.capacity(m));
+        let new = self.asg.usage_rows().max_ratio(i, inst.capacity(m));
         self.loads[i] = new;
-        self.sumsq += new * new - old * old;
+        self.sumsq.add(new * new - old * old);
         if !self.peak_dirty {
             if new >= self.peak {
                 self.peak = new; // grew past the peak: still exact
@@ -237,28 +293,33 @@ impl SraState {
 
     /// Rebuilds every cache from the assignment (drift resynchronization).
     ///
-    /// The scalar scan uses the same kernel as `Assignment::load_stats`, so
-    /// the resynced `sumsq` rounds identically to a full objective
-    /// recompute.
+    /// One fused, cache-blocked pass over the packed usage and capacity
+    /// arenas ([`rex_cluster::kernels::ratio_scan_rows`]) refreshes the
+    /// load vector and its aggregate in the same traversal. The kernel's
+    /// aggregate is bit-identical to `scan(&loads)` — the same kernel
+    /// `Assignment::load_stats` uses — so the resynced `sumsq` rounds
+    /// identically to a full objective recompute.
     fn resync(&mut self, inst: &Instance) {
-        for i in 0..inst.n_machines() {
-            let m = MachineId::from(i);
-            self.loads[i] = self.asg.usage(m).max_ratio(inst.capacity(m));
-        }
-        let (peak, sumsq) = rex_cluster::kernels::peak_and_sumsq(&self.loads);
-        self.sumsq = sumsq;
-        self.peak = peak;
+        let scan = rex_cluster::kernels::ratio_scan_rows(
+            inst.dims,
+            self.asg.usage_rows().as_flat(),
+            self.caps.as_flat(),
+            &mut self.loads,
+        );
+        self.sumsq.set(scan.sumsq);
+        self.peak = scan.peak.max(0.0);
         self.peak_dirty = false;
         self.vacant = self.asg.vacant_count();
-        self.mig_cost = self
-            .asg
-            .placement()
-            .iter()
-            .zip(&inst.initial)
-            .enumerate()
-            .filter(|&(i, (a, b))| a != b && !self.asg.is_detached(ShardId::from(i)))
-            .map(|(i, _)| inst.shards[i].move_cost)
-            .sum();
+        self.mig_cost.set(
+            self.asg
+                .placement()
+                .iter()
+                .zip(&inst.initial)
+                .enumerate()
+                .filter(|&(i, (a, b))| a != b && !self.asg.is_detached(ShardId::from(i)))
+                .map(|(i, _)| inst.shards[i].move_cost)
+                .sum(),
+        );
     }
 
     fn save_base(&mut self) {
@@ -283,15 +344,15 @@ impl LnsProblemInPlace for SraProblem<'_> {
         let n = self.inst.n_machines() as f64;
         let balance = match self.objective.kind {
             rex_cluster::ObjectiveKind::PeakLoad => state.current_peak(),
-            rex_cluster::ObjectiveKind::L2Imbalance => (state.sumsq / n).sqrt(),
+            rex_cluster::ObjectiveKind::L2Imbalance => (state.sumsq.value() / n).sqrt(),
         };
         let mut value = balance;
         let total = self.total_move_cost();
         if self.objective.lambda != 0.0 && total > 0.0 {
-            value += self.objective.lambda * state.mig_cost / total;
+            value += self.objective.lambda * state.mig_cost.value() / total;
         }
         if self.smoothing > 0.0 {
-            value += self.smoothing * state.sumsq / n;
+            value += self.smoothing * state.sumsq.value() / n;
         }
         value
     }
@@ -304,7 +365,11 @@ impl LnsProblemInPlace for SraProblem<'_> {
         // machines this burst touched can have gone over capacity or
         // violated the drain condition.
         for m in state.undo.touched_machines() {
-            if !state.asg.usage(m).fits_within(self.inst.capacity(m)) {
+            if !state
+                .asg
+                .usage_rows()
+                .fits_within(m.idx(), self.inst.capacity(m))
+            {
                 return false;
             }
             if self.is_drained(m) && !state.asg.is_vacant(m) {
@@ -340,7 +405,7 @@ impl LnsProblemInPlace for SraProblem<'_> {
         state.asg.revert(inst, &mut state.undo);
         for &m in &touched {
             // Pure function of the bit-exactly restored usage → bit-exact.
-            state.loads[m.idx()] = state.asg.usage(m).max_ratio(inst.capacity(m));
+            state.loads[m.idx()] = state.asg.usage_rows().max_ratio(m.idx(), inst.capacity(m));
         }
         state.touched = touched;
         state.peak = state.base.peak;
@@ -474,6 +539,50 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn compensated_accumulators_hold_without_resync() {
+        // 20k edit bursts — far past the old 4096-commit resync period and
+        // nowhere near the new one, so compensation alone must keep the
+        // running `sumsq`/`mig_cost` within the 1e-9 band of a from-scratch
+        // recompute.
+        let inst = inst();
+        let p = SraProblem::new(
+            &inst,
+            Objective {
+                kind: ObjectiveKind::L2Imbalance,
+                lambda: 0.3,
+            },
+        );
+        let mut state = p.make_state(Assignment::from_initial(&inst));
+        let mut rng = StdRng::seed_from_u64(91);
+        for round in 0..20_000u32 {
+            let s = ShardId::from(rng.random_range(0..inst.n_shards()));
+            state.detach(&p, s);
+            let mut target = None;
+            for mi in 0..inst.n_machines() {
+                let m = MachineId::from(mi);
+                if state.asg.fits(&inst, s, m) {
+                    target = Some(m);
+                    if rng.random_range(0..2) == 1 {
+                        break;
+                    }
+                }
+            }
+            state.removed.clear();
+            state.attach(&p, s, target.expect("shard fits somewhere"));
+            LnsProblemInPlace::commit(&p, &mut state);
+            if round % 977 == 0 {
+                let delta = p.state_objective(&mut state);
+                let full = full_objective(&p, &state.asg);
+                assert!(
+                    (delta - full).abs() < 1e-9,
+                    "round {round}: delta {delta} vs full {full}"
+                );
+            }
+        }
+        assert_eq!(state.resyncs, 0, "resync must not have fired");
     }
 
     #[test]

@@ -110,4 +110,20 @@ fn steady_state_hot_loop_does_not_allocate() {
         "steady-state destroy/repair/commit/revert allocated {grown} times \
          in 600 iterations; only rare shards_on high-water growth is allowed"
     );
+
+    // The kernel-backed fleet totals are scan_with reductions over fixed
+    // ResourceVec rows: strictly allocation-free, even repeated. (Same
+    // single-test file because the counter is process-global.)
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut acc = 0.0;
+    for _ in 0..100 {
+        acc += inst.total_demand().sum() + inst.total_capacity().sum();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(acc.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "total_demand/total_capacity must not allocate"
+    );
 }

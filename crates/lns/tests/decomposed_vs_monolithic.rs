@@ -108,12 +108,94 @@ fn decomposed_matches_monolithic_and_is_thread_count_invariant() {
         );
     }
     rayon::set_threads_override(None);
+
+    // Hierarchical path (depth > 1): same constraint set, ≤1% of the
+    // monolithic peak, and byte-identical across thread counts. This
+    // lives in the same #[test] because the thread override is
+    // process-global.
+    let hcfg = SraConfig { depth: 2, ..cfg(4) };
+    let hier = solve(&inst, &hcfg).expect("hierarchical solve");
+    check_constraints(&inst, &hier);
+    assert!(
+        hier.final_report.peak <= mono.final_report.peak * 1.01 + 1e-9,
+        "hierarchical peak {} vs monolithic {}",
+        hier.final_report.peak,
+        mono.final_report.peak
+    );
+    assert!(hier.final_report.peak < hier.initial_report.peak);
+    for threads in [1usize, 8] {
+        rayon::set_threads_override(Some(threads));
+        let run = solve(&inst, &hcfg).expect("hierarchical under override");
+        assert_eq!(
+            run.assignment.placement(),
+            hier.assignment.placement(),
+            "hierarchical placement must be byte-identical at {threads} threads"
+        );
+        assert_eq!(run.objective_value, hier.objective_value);
+        assert_eq!(run.iterations, hier.iterations);
+    }
+    rayon::set_threads_override(None);
 }
 
 mod prop {
     use super::*;
     use proptest::prelude::*;
-    use rex_cluster::{partition_fleet, Assignment};
+    use rex_cluster::{
+        partition_fleet, partition_subfleet, Assignment, MachineId, PartitionSpec, ShardId,
+    };
+    use std::collections::HashSet;
+
+    /// Recursively splits a node exactly like the hierarchical solver
+    /// (same stop rule: split while levels remain and every child can get
+    /// two machines) and checks, at every level, that the children
+    /// partition the parent's machines and shards exactly and that the
+    /// children's vacancy quotas sum to the parent's.
+    fn check_tree(
+        inst: &rex_cluster::Instance,
+        placement: &[MachineId],
+        loads: &[f64],
+        node: &PartitionSpec,
+        level: usize,
+        depth: usize,
+        k: usize,
+    ) -> Result<(), TestCaseError> {
+        if level >= depth || k < 2 || node.machines.len() < 2 * k {
+            return Ok(());
+        }
+        let children = partition_subfleet(
+            inst,
+            placement,
+            loads,
+            &node.machines,
+            &node.shards,
+            k,
+            node.vacancy_quota,
+            &[],
+        );
+        let mut mseen = HashSet::new();
+        let mut sseen = HashSet::new();
+        for c in &children {
+            for m in &c.machines {
+                prop_assert!(mseen.insert(*m), "machine {m} in two children");
+                prop_assert!(node.machines.contains(m), "machine {m} not in parent");
+            }
+            for s in &c.shards {
+                prop_assert!(sseen.insert(*s), "shard {s} in two children");
+                prop_assert!(
+                    c.machines.contains(&placement[s.idx()]),
+                    "shard {s} does not follow its machine"
+                );
+            }
+        }
+        prop_assert_eq!(mseen.len(), node.machines.len(), "machines lost in split");
+        prop_assert_eq!(sseen.len(), node.shards.len(), "shards lost in split");
+        let q: usize = children.iter().map(|c| c.vacancy_quota).sum();
+        prop_assert_eq!(q, node.vacancy_quota, "vacancy quota not conserved");
+        for c in &children {
+            check_tree(inst, placement, loads, c, level + 1, depth, k)?;
+        }
+        Ok(())
+    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
@@ -175,6 +257,58 @@ mod prop {
             verify_schedule(&inst, &inst.initial, res.assignment.placement(), &res.plan)
                 .expect("transient-feasible schedule");
             prop_assert!(res.assignment.vacant_count() >= inst.k_return);
+        }
+
+        /// The depth-d partition tree covers every machine and shard of
+        /// every node exactly once in its children, at every level, and
+        /// vacancy quotas are conserved all the way down.
+        #[test]
+        fn hierarchical_tree_covers_and_conserves_quota(
+            machines in 12usize..48,
+            shards_per in 2usize..10,
+            k in 2usize..5,
+            depth in 2usize..5,
+            seed in 0u64..500,
+        ) {
+            let inst = instance(machines, machines * shards_per, seed);
+            let asg = Assignment::from_initial(&inst);
+            let loads = asg.loads(&inst);
+            let root = PartitionSpec {
+                machines: (0..inst.n_machines()).map(MachineId::from).collect(),
+                shards: (0..inst.n_shards()).map(ShardId::from).collect(),
+                vacancy_quota: inst.k_return,
+            };
+            check_tree(&inst, &inst.initial, &loads, &root, 0, depth, k)?;
+        }
+    }
+
+    proptest! {
+        // Each case runs two full solves — keep the count modest.
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Hierarchical (depth 2) and flat decomposed solves agree within
+        /// a 1% quality band at the same iteration budget.
+        #[test]
+        fn hierarchical_matches_flat_within_one_percent(
+            machines in 20usize..36,
+            seed in 0u64..30,
+        ) {
+            let inst = instance(machines, machines * 8, seed);
+            let base = SraConfig {
+                iters: 600,
+                partitions: 4,
+                seed,
+                objective: Objective::pure(ObjectiveKind::PeakLoad),
+                ..Default::default()
+            };
+            let flat = solve(&inst, &base).expect("flat solve");
+            let hier = solve(&inst, &SraConfig { depth: 2, ..base }).expect("hierarchical solve");
+            prop_assert!(
+                hier.final_report.peak <= flat.final_report.peak * 1.01 + 1e-9,
+                "hierarchical peak {} vs flat {}",
+                hier.final_report.peak,
+                flat.final_report.peak
+            );
         }
     }
 }

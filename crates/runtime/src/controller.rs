@@ -224,7 +224,7 @@ fn greedy_evacuation(
             if failed.contains(&m) || !asg.fits(snapshot, s, m) {
                 continue;
             }
-            let mut after = *asg.usage(m);
+            let mut after = asg.usage(m);
             after += snapshot.demand(s);
             let load = after.max_ratio(snapshot.capacity(m));
             if best.is_none_or(|(_, b)| load < b) {

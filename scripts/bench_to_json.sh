@@ -30,7 +30,10 @@ done
 # the wall clock varies.
 export REX_THREADS="${REX_THREADS:-8}"
 
-cargo build --release -q -p rex-bench --bin bench_json
+# --features simd: the committed records measure the runtime-dispatched
+# SIMD scan kernels (bit-identical to the scalar oracle, so only timing
+# changes); kernel_scan records compare the two paths directly.
+cargo build --release -q -p rex-bench --bin bench_json --features simd
 
 if [ "$check" = 1 ]; then
     ./target/release/bench_json --check BENCH_solver.json >/dev/null

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 /// Iteration/parallelism knobs shared by every command that runs the SRA
 /// solver (`solve`, `trace`). Validated downstream by
 /// `rex_core::SolveOptions`.
-pub const SOLVER_FLAGS: &[&str] = &["iters", "workers", "partitions"];
+pub const SOLVER_FLAGS: &[&str] = &["iters", "workers", "partitions", "depth"];
 
 /// On-the-spot instance synthesis, shared by `generate`, `simulate`, and
 /// `trace`.

@@ -62,8 +62,8 @@ fn load_instance(args: &HashMap<String, String>) -> Result<Instance, String> {
 }
 
 /// Builds the validated solver configuration from the shared solver flags
-/// (`--iters`, `--workers`, `--partitions`, `--seed`) — the one config
-/// path `solve` and `trace` have in common.
+/// (`--iters`, `--workers`, `--partitions`, `--depth`, `--seed`) — the
+/// one config path `solve` and `trace` have in common.
 fn solver_config(
     args: &HashMap<String, String>,
     default_iters: &str,
@@ -73,6 +73,7 @@ fn solver_config(
         .iters(parse(get_or(args, "iters", default_iters), "u64")?)
         .workers(parse(get_or(args, "workers", "1"), "usize")?)
         .partitions(parse(get_or(args, "partitions", "0"), "usize")?)
+        .depth(parse(get_or(args, "depth", "1"), "usize")?)
         .seed(parse(get_or(args, "seed", "42"), "u64")?)
         .build_for(inst)
         .map_err(|e| e.to_string())
@@ -622,7 +623,8 @@ const USAGE: &str =
            [--shards N] [--dims N] [--stringency F] [--alpha F] [--seed N]
            [--profile homogeneous|two-tier|big-exchange]
   inspect  --inst FILE
-  solve    --inst FILE [--iters N] [--workers N] [--partitions K] [--seed N] [--out FILE]
+  solve    --inst FILE [--iters N] [--workers N] [--partitions K] [--depth D]
+           [--seed N] [--out FILE]
            [--drain M1,M2,...]   (machines to decommission: must end vacant)
   baseline --inst FILE [--method greedy|local-search|ffd]
   verify   --inst FILE --solution FILE
@@ -651,15 +653,18 @@ const USAGE: &str =
            (one scenario through both engines — tick aggregates and query
             events; errors out unless utilization gauges are byte-identical)
   trace    [--inst FILE | --machines N --shards N --exchange N]
-           [--iters N] [--workers N] [--partitions K] [--seed N] [--out FILE]
+           [--iters N] [--workers N] [--partitions K] [--depth D] [--seed N]
+           [--out FILE]
            (one traced SRA solve: prints the roll-up, --out writes JSONL)
 
 Solver scaling (shared by solve/trace): --workers W runs a W-way
 independent portfolio, --partitions K the cooperative decomposed solver
-over K shard-disjoint neighborhoods; both are deterministic for a fixed
-seed regardless of thread count (REX_THREADS). Out-of-range solver flags
-are rejected before the search starts (e.g. --iters 0, --partitions
-exceeding the fleet).";
+over K shard-disjoint neighborhoods, and --depth D (with K > 1) the
+hierarchical decomposition that re-partitions each neighborhood
+recursively to depth D for web-scale fleets; all are deterministic for a
+fixed seed regardless of thread count (REX_THREADS). Out-of-range solver
+flags are rejected before the search starts (e.g. --iters 0, --depth 0,
+--partitions exceeding the fleet).";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
