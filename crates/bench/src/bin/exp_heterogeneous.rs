@@ -1,0 +1,263 @@
+//! **E17 — heterogeneous fleets under popularity drift (the workload plane).**
+//!
+//! Every experiment before this one runs a uniform fleet. Real search
+//! tiers are bought in waves: each hardware generation is 2–4× the one
+//! before it, and the popularity distribution the shards serve drifts
+//! while the fleet ages. This experiment drives both planes through one
+//! engine-neutral [`rex_cluster::WorkloadSpec`] — the same spec format
+//! `rex simulate --workload` consumes (see
+//! `examples/workload_heterogeneous.json`):
+//!
+//! * **fleet** — three generations (1×, 2×, 4× capacity) plus an
+//!   exchange pool of old-generation spares (capacity-neutral loans);
+//! * **load** — a diurnal envelope times a Zipfian popularity ranking
+//!   that re-permutes every few hundred ticks (rank walk), so the hot
+//!   shards keep moving while total demand breathes.
+//!
+//! Part 1 rides the identical realized event sequence through the three
+//! controller policies (off / greedy / sra). Part 2 sweeps the
+//! exchangeable-pool size k with the SRA controller and locates the knee:
+//! the smallest pool that buys (nearly) all of the peak reduction.
+//!
+//! Reported per run: controller activity, steady-state peak utilization
+//! (mean over the last third), popularity epochs applied, tail latency,
+//! migration traffic, and the executor's transient-violation count
+//! (must be 0).
+
+use rex_bench::{f2, f4, scaled, Table};
+use rex_cluster::{FleetSpec, GenerationSpec, LoadScriptSpec, ScenarioSpec, SraSpec, WorkloadSpec};
+use rex_runtime::{ControllerPolicy, RuntimeConfig, Simulation};
+use rex_workload::synthetic::{generate_workload, Placement, SynthConfig};
+
+/// The one spec both parts lower: a 16-machine, three-generation fleet
+/// (6×1.0, 6×2.0, 4×4.0) with `k` old-generation exchange spares, under a
+/// diurnal envelope and a drifting Zipfian popularity ranking.
+fn hetero_workload(k: usize, ticks: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        scenario: ScenarioSpec {
+            ticks,
+            qps_per_tick: 8.0,
+            seed: 42,
+            sra: Some(SraSpec {
+                every_ticks: (ticks / 20).max(1),
+                iters: scaled(2_500) as u64,
+            }),
+            ..Default::default()
+        },
+        fleet: Some(FleetSpec {
+            generations: vec![
+                GenerationSpec {
+                    name: "gen-2019".into(),
+                    count: 6,
+                    scale: 1.0,
+                },
+                GenerationSpec {
+                    name: "gen-2021".into(),
+                    count: 6,
+                    scale: 2.0,
+                },
+                GenerationSpec {
+                    name: "gen-2023".into(),
+                    count: 4,
+                    scale: 4.0,
+                },
+            ],
+            exchange: k,
+            // Old-generation spares: the loan must be capacity-neutral, or
+            // the popularity budget (target_utilization x loaded capacity)
+            // would grow every time a completed plan rotates a big loaned
+            // machine into the fleet and hands a small one back -- the
+            // sweep would then measure demand growth, not the pool.
+            exchange_scale: 1.0,
+            racks: 4,
+        }),
+        load: Some(LoadScriptSpec {
+            diurnal_amplitude: 0.1,
+            ticks_per_hour: (ticks / 8).max(1),
+            zipf_alpha: 0.9,
+            drift_every_ticks: (ticks / 16).max(1),
+            swaps_per_epoch: 40,
+            // Tight: 75% mean utilization leaves ~8.5 capacity-units of
+            // slack across the whole fleet, so landing a hot shard on a
+            // new-generation machine takes real staging -- the regime
+            // where the exchange pool earns its keep (cf. E3a vs E3b).
+            target_utilization: 0.75,
+        }),
+        rack_crashes: Vec::new(),
+    }
+}
+
+fn build(w: &WorkloadSpec) -> rex_cluster::Instance {
+    generate_workload(
+        w,
+        &SynthConfig {
+            n_shards: scaled(160).max(96),
+            // One resource dimension: the popularity plane rewrites CPU
+            // demand each epoch, so side dimensions would stay frozen at
+            // their generated packing and pin every machine regardless of
+            // what the controller does.
+            dims: 1,
+            stringency: 0.65,
+            // Cheap handoff migration (2% serving overhead on the source):
+            // a popularity epoch clamps overflowing machines to 99.9% of
+            // capacity, and at the classic alpha = 0.1 that seals them —
+            // no shard's transient overhead fits the sliver of headroom,
+            // so no schedule can ever drain them (see
+            // `rex_core::problem::compute_escapable`). At 2% the
+            // smallest-first departure cascade unrolls and the clamped
+            // machines stay serviceable.
+            alpha: 0.02,
+            placement: Placement::Hotspot(0.35),
+            ..Default::default()
+        },
+    )
+    .expect("heterogeneous workload generates")
+}
+
+fn main() {
+    let ticks = scaled(8_000) as u64;
+
+    // Part 1: the identical workload through the three controller policies.
+    let w = hetero_workload(2, ticks);
+    let inst = build(&w);
+    let n = inst.n_machines();
+
+    let mut t1 = Table::new(&[
+        "policy",
+        "trig",
+        "done",
+        "pop epochs",
+        "steady peak",
+        "final peak",
+        "lat p50",
+        "lat p99",
+        "traffic",
+        "viol",
+    ]);
+
+    let mut steady = Vec::new();
+    for policy in [
+        ControllerPolicy::Off,
+        ControllerPolicy::Greedy,
+        ControllerPolicy::Sra,
+    ] {
+        let mut cfg = RuntimeConfig::from_workload(&w, n);
+        cfg.controller.policy = policy;
+        cfg.copy_bandwidth = 0.5;
+        let e = Simulation::new(inst.clone(), cfg).run();
+        assert_eq!(
+            e.counters.transient_violations,
+            0,
+            "{}: executor observed a transient violation",
+            policy.name()
+        );
+        assert!(
+            e.counters.popularity_epochs > 0,
+            "{}: the popularity plane never fired",
+            policy.name()
+        );
+        steady.push(e.steady_state_peak());
+        t1.row(vec![
+            policy.name().into(),
+            e.counters.rebalances_triggered.to_string(),
+            e.counters.rebalances_completed.to_string(),
+            e.counters.popularity_epochs.to_string(),
+            f4(e.steady_state_peak()),
+            f4(e.final_report.peak),
+            f2(e.latency.p50),
+            f2(e.latency.p99),
+            f2(e.counters.migration_traffic),
+            e.counters.transient_violations.to_string(),
+        ]);
+    }
+    // Quick mode shrinks the horizon so far that plans span whole epochs;
+    // the separation claim only holds at full scale.
+    assert!(
+        rex_bench::quick() || steady[2] < steady[0],
+        "SRA must beat no-controller on a drifting heterogeneous fleet \
+         (sra {:.4} vs off {:.4})",
+        steady[2],
+        steady[0]
+    );
+
+    t1.print("E17a — three-generation fleet under popularity drift: controller policies");
+    println!(
+        "\nOne identical workload per policy: 16 loaded machines in three \
+         generations (6 x 1.0, 6 x 2.0, 4 x 4.0) plus 2 old-generation \
+         exchange spares, {} shards, {} ticks at 75% mean utilization; \
+         Zipf(0.9) popularity re-permuted every {} ticks, diurnal \
+         amplitude 0.1.",
+        inst.n_shards(),
+        ticks,
+        (ticks / 16).max(1),
+    );
+    println!(
+        "Expected shape: `off` lets every popularity epoch land wherever the \
+         hot ranks fall and drifts to the worst steady peak and p99; `greedy` \
+         chases the hottest machine but has no exchange staging on the tight \
+         old generation; `sra` re-solves against the current ranking each \
+         trigger and holds the lowest steady peak. The violation column must \
+         stay 0 throughout."
+    );
+
+    // Part 2: how much exchangeable pool does the drift regime need?
+    let ks: Vec<usize> = if rex_bench::quick() {
+        vec![0, 1, 2]
+    } else {
+        vec![0, 1, 2, 4, 8]
+    };
+    let mut t2 = Table::new(&[
+        "k (exchange)",
+        "trig",
+        "done",
+        "steady peak",
+        "final peak",
+        "lat p99",
+        "traffic",
+    ]);
+    let mut peaks = Vec::new();
+    for &k in &ks {
+        let w = hetero_workload(k, ticks);
+        let inst = build(&w);
+        let mut cfg = RuntimeConfig::from_workload(&w, inst.n_machines());
+        cfg.copy_bandwidth = 0.5;
+        let e = Simulation::new(inst, cfg).run();
+        assert_eq!(e.counters.transient_violations, 0, "k={k}: violation");
+        peaks.push(e.steady_state_peak());
+        t2.row(vec![
+            k.to_string(),
+            e.counters.rebalances_triggered.to_string(),
+            e.counters.rebalances_completed.to_string(),
+            f4(e.steady_state_peak()),
+            f4(e.final_report.peak),
+            f2(e.latency.p99),
+            f2(e.counters.migration_traffic),
+        ]);
+    }
+    t2.print("E17b — exchangeable-pool sweep on the drifting heterogeneous fleet");
+
+    // The knee: the smallest pool that captures >= 80% of the best
+    // steady-peak reduction any pool size achieves over k = 0.
+    let best = peaks
+        .iter()
+        .fold(f64::INFINITY, |a, &b| if b < a { b } else { a });
+    let gain = peaks[0] - best;
+    let knee = ks
+        .iter()
+        .zip(&peaks)
+        .find(|(_, &p)| peaks[0] - p >= 0.8 * gain)
+        .map(|(&k, _)| k)
+        .unwrap_or(0);
+    println!(
+        "\nKnee: k = {} captures >= 80% of the total steady-peak reduction \
+         (k=0 peak {:.4} -> best {:.4}). Small pools pay for themselves as \
+         staging space: each epoch's hot shards need a drained \
+         new-generation machine to land on, and without a spare the \
+         schedule serializes into long eviction cascades that the next \
+         epoch interrupts. Past the knee the return quota turns against the \
+         solver -- every extra spare is a machine the plan must hand back \
+         vacant, and at 75% utilization the quota consumes the very \
+         headroom the placement needs, so steady peak drifts back up.",
+        knee, peaks[0], best
+    );
+}

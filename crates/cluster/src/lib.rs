@@ -48,7 +48,10 @@ pub use migration::{plan_migration, verify_schedule, MigrationPlan, Move, Planne
 pub use objective::{Objective, ObjectiveKind};
 pub use partition::{partition_fleet, partition_subfleet, PartitionSpec};
 pub use resources::{ResourceVec, MAX_DIMS};
-pub use scenario::{CrashSpec, ScenarioSpec, SpikeSpec, SraSpec};
+pub use scenario::{
+    CrashSpec, FleetSpec, GenerationSpec, LoadScriptSpec, RackCrashSpec, ScenarioError,
+    ScenarioSpec, SpikeSpec, SraSpec, WorkloadSpec,
+};
 pub use shard::{Shard, ShardId};
 
 /// Numerical tolerance used for all capacity comparisons.

@@ -8,8 +8,8 @@
 
 use proptest::prelude::*;
 use rex_cluster::{
-    plan_migration, verify_schedule, Assignment, ClusterError, Instance, InstanceBuilder,
-    MachineId, PlannerConfig, ResourceVec, ShardId,
+    partition_fleet, plan_migration, verify_schedule, Assignment, ClusterError, FleetSpec,
+    GenerationSpec, Instance, InstanceBuilder, MachineId, PlannerConfig, ResourceVec, ShardId,
 };
 
 /// Strategy: a random instance with `n_machines` machines (plus `n_exchange`
@@ -71,6 +71,83 @@ fn random_target(inst: &Instance, seed: u64, moves: usize) -> Vec<MachineId> {
         }
     }
     asg.into_placement()
+}
+
+/// Strategy: a heterogeneous fleet described by a generation table with a
+/// 2–4× capacity spread (the workload plane's [`FleetSpec`]), a vacant
+/// tail backing a nonzero return quota, and shards dealt round-robin over
+/// the loaded head. Yields `(instance, loaded_machine_count)`.
+fn arb_hetero_fleet() -> impl Strategy<Value = (Instance, usize)> {
+    (
+        2usize..5,      // small-generation count
+        2usize..5,      // big-generation count
+        2.0f64..4.0,    // capacity spread of the big generation
+        1usize..4,      // vacant tail machines
+        6usize..24,     // shards
+        0u64..u64::MAX, // seed
+    )
+        .prop_map(|(c1, c2, spread, vacant, ns, seed)| {
+            build_hetero_fleet(c1, c2, spread, vacant, ns, seed)
+        })
+}
+
+fn build_hetero_fleet(
+    c1: usize,
+    c2: usize,
+    spread: f64,
+    vacant: usize,
+    ns: usize,
+    seed: u64,
+) -> (Instance, usize) {
+    use rand::prelude::*;
+    let fleet = FleetSpec {
+        generations: vec![
+            GenerationSpec {
+                name: "small".into(),
+                count: c1,
+                scale: 1.0,
+            },
+            GenerationSpec {
+                name: "big".into(),
+                count: c2,
+                scale: spread,
+            },
+            GenerationSpec {
+                name: "spare".into(),
+                count: vacant,
+                scale: spread,
+            },
+        ],
+        exchange: 0,
+        exchange_scale: 1.0,
+        racks: 0,
+    };
+    // The generated table is a valid workload-plane fleet spec.
+    rex_cluster::WorkloadSpec {
+        scenario: Default::default(),
+        fleet: Some(fleet.clone()),
+        load: None,
+        rack_crashes: Vec::new(),
+    }
+    .validate()
+    .expect("generated fleet tables are valid");
+    let scales = fleet.loaded_scales();
+    let loaded = c1 + c2;
+    let base = 100.0;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new(1)
+        .alpha(0.1)
+        .label("hetero")
+        .k_return(vacant.min(2));
+    let machines: Vec<MachineId> = scales.iter().map(|s| b.machine(&[base * s])).collect();
+    // Round-robin over the loaded head keeps every machine under its
+    // smallest-generation capacity by construction.
+    let per = ns.div_ceil(loaded) as f64;
+    for i in 0..ns {
+        let demand = rng.random_range(1.0..0.9 * base / per);
+        b.shard(&[demand], rng.random_range(0.5..10.0), machines[i % loaded]);
+    }
+    (b.build().expect("hetero fleet must validate"), loaded)
 }
 
 proptest! {
@@ -204,5 +281,74 @@ proptest! {
             let asg = Assignment::from_placement(&inst, target).unwrap();
             prop_assert!(asg.is_capacity_feasible(&inst));
         }
+    }
+
+    /// On a heterogeneous generation-table fleet (2–4× capacity spread),
+    /// `partition_fleet` covers every machine exactly once, every shard
+    /// follows its machine, and the per-partition `vacancy_quota` shares
+    /// conserve the global quota while never exceeding a partition's own
+    /// vacancies.
+    #[test]
+    fn heterogeneous_partition_covers_and_conserves_quota(
+        (inst, loaded) in arb_hetero_fleet(),
+        k in 1usize..6,
+    ) {
+        let asg = Assignment::from_initial(&inst);
+        let loads = asg.loads(&inst);
+        let parts = partition_fleet(&inst, &inst.initial, &loads, k, inst.k_return, &[]);
+        prop_assert_eq!(parts.len(), k.min(inst.n_machines()));
+        let mut m_seen = vec![0usize; inst.n_machines()];
+        let mut s_seen = vec![0usize; inst.n_shards()];
+        for p in &parts {
+            for m in &p.machines {
+                m_seen[m.idx()] += 1;
+            }
+            for s in &p.shards {
+                s_seen[s.idx()] += 1;
+                prop_assert!(p.machines.contains(&inst.initial[s.idx()]));
+            }
+        }
+        prop_assert!(m_seen.iter().all(|&c| c == 1), "machine cover: {m_seen:?}");
+        prop_assert!(s_seen.iter().all(|&c| c == 1), "shard cover: {s_seen:?}");
+        let total: usize = parts.iter().map(|p| p.vacancy_quota).sum();
+        prop_assert_eq!(total, inst.k_return, "quota sum conserved");
+        for p in &parts {
+            let vacant = p
+                .machines
+                .iter()
+                .filter(|m| !inst.initial.contains(m))
+                .count();
+            prop_assert!(p.vacancy_quota <= vacant);
+        }
+        let _ = loaded;
+    }
+
+    /// The LPT split keeps headroom spread bounded even when machine
+    /// capacities differ 2–4×: the heaviest and lightest partition totals
+    /// differ by at most one machine's load (the classic LPT bound — the
+    /// partition that ends heaviest was lightest when its last loaded
+    /// machine landed).
+    #[test]
+    fn heterogeneous_partition_spread_is_lpt_bounded(
+        (inst, loaded) in arb_hetero_fleet(),
+        k in 2usize..5,
+    ) {
+        prop_assume!(k <= loaded);
+        let asg = Assignment::from_initial(&inst);
+        let loads = asg.loads(&inst);
+        let parts = partition_fleet(&inst, &inst.initial, &loads, k, inst.k_return, &[]);
+        let totals: Vec<f64> = parts
+            .iter()
+            .map(|p| p.machines.iter().map(|m| loads[m.idx()]).sum())
+            .collect();
+        let max_total = totals.iter().cloned().fold(f64::MIN, f64::max);
+        let min_total = totals.iter().cloned().fold(f64::MAX, f64::min);
+        let max_load = loads.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(
+            max_total - min_total <= max_load + 1e-9,
+            "spread {:.4} exceeds the heaviest machine {:.4}: totals {totals:?}",
+            max_total - min_total,
+            max_load
+        );
     }
 }

@@ -205,7 +205,7 @@ impl RouterConfig {
     /// owns crash/evacuation decisions and forwards failure flips through
     /// `Router::set_failed`.
     pub fn from_scenario(spec: &rex_cluster::ScenarioSpec, policy: PolicyKind) -> Self {
-        spec.validate();
+        spec.validate().expect("scenario spec must validate");
         Self {
             horizon_us: spec.horizon_us(),
             qps: spec.qps(),

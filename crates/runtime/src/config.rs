@@ -135,6 +135,20 @@ pub struct DriftSpec {
     pub target_utilization: f64,
 }
 
+/// Periodic Zipfian popularity drift — the workload plane's load script
+/// (delegates to `rex_workload::popularity::apply_popularity`).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PopularitySpec {
+    /// Ticks between popularity epochs.
+    pub every_ticks: u64,
+    /// Zipf exponent of the shard-popularity distribution.
+    pub zipf_alpha: f64,
+    /// Adjacent-rank transpositions per epoch (drift speed).
+    pub swaps_per_epoch: usize,
+    /// Aggregate CPU utilization the fleet is renormalized to.
+    pub target_utilization: f64,
+}
+
 /// Complete runtime configuration.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RuntimeConfig {
@@ -183,6 +197,11 @@ pub struct RuntimeConfig {
     pub faults: Vec<FaultSpec>,
     /// Periodic demand drift, if any.
     pub drift: Option<DriftSpec>,
+    /// Periodic Zipfian popularity drift, if any (the workload plane's
+    /// load script; `#[serde(default)]` keeps older config files
+    /// loadable).
+    #[serde(default)]
+    pub popularity: Option<PopularitySpec>,
 }
 
 impl Default for RuntimeConfig {
@@ -204,6 +223,7 @@ impl Default for RuntimeConfig {
             hotshard: HotShardConfig::default(),
             faults: Vec::new(),
             drift: None,
+            popularity: None,
         }
     }
 }
@@ -218,7 +238,7 @@ impl RuntimeConfig {
     /// controller is `Off`. The hot-shard plane and drift stay disabled —
     /// neither has an event-engine counterpart to converge against.
     pub fn from_scenario(spec: &rex_cluster::ScenarioSpec) -> Self {
-        spec.validate();
+        spec.validate().expect("scenario spec must validate");
         let mut faults = Vec::new();
         if let Some(sp) = spec.spike {
             faults.push(FaultSpec::Spike {
@@ -262,6 +282,41 @@ impl RuntimeConfig {
         }
     }
 
+    /// Lowers an engine-neutral [`rex_cluster::WorkloadSpec`] (DESIGN.md
+    /// §16). The embedded scenario lowers exactly as [`from_scenario`]
+    /// does — a degenerate workload produces a bit-identical config — then
+    /// the optional planes stack on top:
+    ///
+    /// * **rack crashes** expand to per-machine [`FaultSpec::Crash`]
+    ///   entries against `n_machines` loaded machines (id order within a
+    ///   rack, clause order across racks),
+    /// * the **load script** turns the diurnal envelope back on and
+    ///   installs the Zipfian [`PopularitySpec`].
+    ///
+    /// [`from_scenario`]: RuntimeConfig::from_scenario
+    pub fn from_workload(w: &rex_cluster::WorkloadSpec, n_machines: usize) -> Self {
+        w.validate().expect("workload spec must validate");
+        let mut cfg = Self::from_scenario(&w.scenario);
+        for cr in w.expand_rack_crashes(n_machines) {
+            cfg.faults.push(FaultSpec::Crash {
+                at: cr.at_tick,
+                machine: cr.machine as u32,
+                recover_at: cr.recover_at_tick,
+            });
+        }
+        if let Some(load) = &w.load {
+            cfg.diurnal_amplitude = load.diurnal_amplitude;
+            cfg.ticks_per_hour = load.ticks_per_hour;
+            cfg.popularity = Some(PopularitySpec {
+                every_ticks: load.drift_every_ticks,
+                zipf_alpha: load.zipf_alpha,
+                swaps_per_epoch: load.swaps_per_epoch,
+                target_utilization: load.target_utilization,
+            });
+        }
+        cfg
+    }
+
     /// Panics on nonsensical parameters; called once at simulation start.
     pub fn validate(&self) {
         assert!(self.ticks > 0, "ticks must be positive");
@@ -287,6 +342,26 @@ impl RuntimeConfig {
             "sra_lambda must be non-negative"
         );
         self.hotshard.validate();
+        if let Some(p) = &self.popularity {
+            assert!(p.every_ticks > 0, "popularity every_ticks must be positive");
+            assert!(
+                p.zipf_alpha.is_finite() && p.zipf_alpha >= 0.0,
+                "popularity zipf_alpha must be finite and non-negative"
+            );
+            assert!(
+                p.swaps_per_epoch > 0,
+                "popularity swaps_per_epoch must be positive"
+            );
+            assert!(
+                p.target_utilization > 0.0 && p.target_utilization < 1.0,
+                "popularity target_utilization must lie in (0, 1)"
+            );
+            assert!(
+                !self.hotshard.enabled,
+                "popularity drift and the hot-shard plane are mutually \
+                 exclusive: splits/merges renumber shards under the rank walk"
+            );
+        }
         for f in &self.faults {
             if let FaultSpec::Spike {
                 factor,
@@ -376,6 +451,110 @@ mod tests {
         // No SRA trigger in the spec → load-driven rebalancing stays off.
         let off = RuntimeConfig::from_scenario(&rex_cluster::ScenarioSpec::default());
         assert_eq!(off.controller.policy, ControllerPolicy::Off);
+    }
+
+    #[test]
+    fn degenerate_workload_lowers_bit_identically_to_its_scenario() {
+        let spec = rex_cluster::ScenarioSpec {
+            ticks: 300,
+            qps_per_tick: 5.0,
+            spike: Some(rex_cluster::SpikeSpec {
+                at_tick: 50,
+                duration_ticks: 40,
+                factor: 2.5,
+                shard_fraction: 0.1,
+            }),
+            sra: Some(rex_cluster::SraSpec {
+                every_ticks: 60,
+                iters: 400,
+            }),
+            ..Default::default()
+        };
+        let w = rex_cluster::WorkloadSpec::from_scenario(spec.clone());
+        let a = serde_json::to_string(&RuntimeConfig::from_scenario(&spec)).unwrap();
+        let b = serde_json::to_string(&RuntimeConfig::from_workload(&w, 16)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workload_lowering_expands_rack_crashes_and_load_script() {
+        let w = rex_cluster::WorkloadSpec {
+            scenario: rex_cluster::ScenarioSpec {
+                ticks: 400,
+                ..Default::default()
+            },
+            fleet: Some(rex_cluster::FleetSpec {
+                generations: vec![rex_cluster::GenerationSpec {
+                    name: "base".into(),
+                    count: 8,
+                    scale: 1.0,
+                }],
+                exchange: 1,
+                exchange_scale: 1.0,
+                racks: 4,
+            }),
+            load: Some(rex_cluster::LoadScriptSpec {
+                diurnal_amplitude: 0.4,
+                ticks_per_hour: 25,
+                zipf_alpha: 1.1,
+                drift_every_ticks: 100,
+                swaps_per_epoch: 6,
+                target_utilization: 0.7,
+            }),
+            rack_crashes: vec![rex_cluster::RackCrashSpec {
+                at_tick: 120,
+                rack: 1,
+                recover_at_tick: Some(250),
+            }],
+        };
+        let cfg = RuntimeConfig::from_workload(&w, 8);
+        cfg.validate();
+        // Rack 1 of 4 over 8 machines = machines 2 and 3, id order.
+        let crashes: Vec<u32> = cfg
+            .faults
+            .iter()
+            .map(|f| match f {
+                FaultSpec::Crash { machine, .. } => *machine,
+                other => panic!("unexpected fault {other:?}"),
+            })
+            .collect();
+        assert_eq!(crashes, vec![2, 3]);
+        assert_eq!(cfg.diurnal_amplitude, 0.4);
+        assert_eq!(cfg.ticks_per_hour, 25);
+        let p = cfg.popularity.expect("load script installs popularity");
+        assert_eq!(p.every_ticks, 100);
+        assert_eq!(p.swaps_per_epoch, 6);
+        assert_eq!(p.zipf_alpha, 1.1);
+        assert_eq!(p.target_utilization, 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually")]
+    fn popularity_and_hotshard_are_mutually_exclusive() {
+        let mut cfg = RuntimeConfig {
+            popularity: Some(PopularitySpec {
+                every_ticks: 100,
+                zipf_alpha: 1.0,
+                swaps_per_epoch: 4,
+                target_utilization: 0.7,
+            }),
+            ..Default::default()
+        };
+        cfg.hotshard.enabled = true;
+        cfg.validate();
+    }
+
+    /// `popularity` is `#[serde(default)]`: configs from before the
+    /// workload plane existed must still load (and keep the plane off).
+    #[test]
+    fn config_without_popularity_key_loads_with_default() {
+        let json = serde_json::to_string(&RuntimeConfig::default()).unwrap();
+        let stripped = json.replace("\"popularity\":null", "");
+        let stripped = stripped.replace(",}", "}").replace("{,", "{");
+        assert_ne!(stripped, json, "popularity must serialize");
+        let back: RuntimeConfig = serde_json::from_str(&stripped).unwrap();
+        assert!(back.popularity.is_none());
+        back.validate();
     }
 
     /// `fanout` is `#[serde(default)]`: configs from before sampled-fanout

@@ -44,6 +44,9 @@ pub enum Event {
     /// Apply one epoch of demand drift (defers itself while a migration is
     /// in flight).
     Drift,
+    /// Apply one epoch of the workload plane's Zipfian popularity walk
+    /// (defers itself while a migration is in flight).
+    Popularity,
     /// End of the simulation horizon.
     End,
 }

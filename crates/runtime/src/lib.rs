@@ -42,8 +42,11 @@ pub mod hotshard;
 pub mod metrics;
 pub mod server;
 pub mod sim;
+pub mod trace;
 
-pub use config::{ControllerConfig, ControllerPolicy, DriftSpec, FaultSpec, RuntimeConfig};
+pub use config::{
+    ControllerConfig, ControllerPolicy, DriftSpec, FaultSpec, PopularitySpec, RuntimeConfig,
+};
 pub use controller::Controller;
 pub use events::{Event, EventQueue};
 pub use exec::{
@@ -55,3 +58,4 @@ pub use hotshard::{
 };
 pub use metrics::{Counters, GaugeSample, LatencyHistogram, LatencySummary, MetricsExport};
 pub use sim::Simulation;
+pub use trace::{ReplayScript, TraceHeader, TraceLine};

@@ -170,6 +170,8 @@ pub struct Counters {
     pub spikes_ended: u64,
     /// Demand-drift epochs applied.
     pub drift_epochs: u64,
+    /// Popularity-drift epochs applied (the workload plane's load script).
+    pub popularity_epochs: u64,
     /// Hot shards split by the hot-shard control plane.
     pub shard_splits: u64,
     /// Cold sibling pairs merged back by the hot-shard control plane.

@@ -52,6 +52,7 @@ use crate::metrics::{GaugeSample, MetricsBus, MetricsExport, RunMeta};
 use crate::server::{
     diurnal_multiplier, effective_rho, sample_fanout_latency, sample_sampled_fanout_latency,
 };
+use crate::trace::{ReplayScript, TraceLine};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rex_cluster::{
@@ -60,6 +61,7 @@ use rex_cluster::{
 use rex_obs::Recorder;
 use rex_router::{AnyPolicy, PolicyKind, Router, RouterConfig};
 use rex_workload::evolve::{next_epoch, DriftConfig};
+use rex_workload::popularity::{apply_popularity, PopularityWalk};
 
 /// A plan being executed, one batch at a time.
 #[derive(Clone, Debug)]
@@ -153,6 +155,14 @@ pub struct Simulation {
     hotshard_max_shards: usize,
     /// Event-mode backend (`None` in pure tick mode).
     backend: Option<Box<EventBackend>>,
+    /// The popularity rank walk (present iff `cfg.popularity` is).
+    popwalk: Option<PopularityWalk>,
+    /// Workload-trace recording enabled ([`Simulation::run_recorded`]).
+    wtrace_enabled: bool,
+    /// Recorded workload-trace lines (append-only; never perturbs the run).
+    wtrace: Vec<TraceLine>,
+    /// Pinned realizations from a replayed trace, if any.
+    replay: Option<ReplayScript>,
     // Scratch buffers reused across ticks.
     rho: Vec<f64>,
     spike_cpu: Vec<f64>,
@@ -225,6 +235,12 @@ impl Simulation {
             arrivals_rng,
             latency_rng,
             backend: None,
+            popwalk: cfg
+                .popularity
+                .map(|p| PopularityWalk::new(inst.n_shards(), p.zipf_alpha)),
+            wtrace_enabled: false,
+            wtrace: Vec::new(),
+            replay: None,
             rho: Vec::with_capacity(n),
             spike_cpu: vec![0.0; n],
             serving: vec![false; n],
@@ -278,9 +294,81 @@ impl Simulation {
         sim
     }
 
+    /// Tick-mode simulation of an engine-neutral
+    /// [`rex_cluster::WorkloadSpec`]: the lowering of
+    /// [`RuntimeConfig::from_workload`] over `inst` — rack crashes expand
+    /// to per-machine faults and the load script arms the diurnal envelope
+    /// and the popularity walk.
+    pub fn from_workload(inst: Instance, w: &rex_cluster::WorkloadSpec) -> Self {
+        let n = inst.n_machines();
+        Self::new(inst, RuntimeConfig::from_workload(w, n))
+    }
+
+    /// Event-mode simulation of the same [`rex_cluster::WorkloadSpec`]:
+    /// the scenario plane lowers to the embedded router exactly as
+    /// [`Simulation::from_scenario_event`] does, and rack crashes forward
+    /// through the existing `set_failed`/evacuation paths.
+    ///
+    /// # Panics
+    /// If the workload carries a load script: the event engine has no
+    /// diurnal/popularity counterpart to converge against — run those
+    /// through the tick engine (`rex simulate`).
+    pub fn from_workload_event(
+        inst: Instance,
+        w: &rex_cluster::WorkloadSpec,
+        policy: PolicyKind,
+        ewma_controller: bool,
+    ) -> Self {
+        assert!(
+            w.load.is_none(),
+            "the event engine has no load-script counterpart; run diurnal/\
+             popularity workloads through the tick engine"
+        );
+        let rcfg = RouterConfig::from_scenario(&w.scenario, policy);
+        let router = Router::new(&inst, &rcfg);
+        let n = inst.n_machines();
+        let mut sim = Self::new(inst, RuntimeConfig::from_workload(w, n));
+        debug_assert!(
+            !sim.cfg.hotshard.enabled && sim.cfg.drift.is_none() && sim.cfg.popularity.is_none(),
+            "event mode mirrors placement moves only; membership mutation \
+             planes must stay off"
+        );
+        sim.backend = Some(Box::new(EventBackend {
+            router,
+            tick_us: w.scenario.tick_us,
+            base_service_us: w.scenario.base_service_us,
+            cursor: 0,
+            queries_seen: 0,
+            ewma_controller,
+            started: false,
+            observed_rho: Vec::new(),
+        }));
+        sim
+    }
+
+    /// Pins the RNG-dependent realizations (spike hot sets, popularity
+    /// rank permutations) to a recorded trace's values instead of
+    /// re-deriving them — the replay half of the trace layer.
+    pub fn set_replay(&mut self, script: ReplayScript) {
+        self.replay = Some(script);
+    }
+
     /// Runs to the horizon and returns the metrics export.
     pub fn run(self) -> MetricsExport {
         self.run_traced(&mut Recorder::noop())
+    }
+
+    /// Like [`run_traced`], additionally recording the realized workload
+    /// stream — every crash, recovery, spike flip (with its realized hot
+    /// set), and popularity epoch (with its rank permutation) — and
+    /// returning the trace lines alongside the export. Recording is an
+    /// append-only side channel: the export is byte-identical to an
+    /// unrecorded run.
+    ///
+    /// [`run_traced`]: Simulation::run_traced
+    pub fn run_recorded(mut self, rec: &mut Recorder) -> (MetricsExport, Vec<TraceLine>) {
+        self.wtrace_enabled = true;
+        self.run_core(rec)
     }
 
     /// Like [`run`], narrating the run into `rec` when it is recording: a
@@ -292,7 +380,11 @@ impl Simulation {
     /// trace afterwards. With a [`Recorder::Noop`] this is exactly [`run`].
     ///
     /// [`run`]: Simulation::run
-    pub fn run_traced(mut self, rec: &mut Recorder) -> MetricsExport {
+    pub fn run_traced(self, rec: &mut Recorder) -> MetricsExport {
+        self.run_core(rec).0
+    }
+
+    fn run_core(mut self, rec: &mut Recorder) -> (MetricsExport, Vec<TraceLine>) {
         self.obs = std::mem::take(rec);
         if self.obs.is_active() {
             self.obs.span_open(
@@ -336,6 +428,7 @@ impl Simulation {
                 ],
             );
         }
+        let trace = std::mem::take(&mut self.wtrace);
         let export = MetricsExport {
             meta: RunMeta {
                 instance: self.base_label.clone(),
@@ -350,7 +443,14 @@ impl Simulation {
             gauges: std::mem::take(&mut self.bus.gauges),
         };
         *rec = std::mem::take(&mut self.obs);
-        export
+        (export, trace)
+    }
+
+    /// Appends a realized-workload trace line when recording is on.
+    fn record(&mut self, line: TraceLine) {
+        if self.wtrace_enabled {
+            self.wtrace.push(line);
+        }
     }
 
     fn schedule_initial_events(&mut self) {
@@ -385,6 +485,9 @@ impl Simulation {
         if let Some(d) = self.cfg.drift {
             self.queue.schedule(d.every_ticks, Event::Drift);
         }
+        if let Some(p) = self.cfg.popularity {
+            self.queue.schedule(p.every_ticks, Event::Popularity);
+        }
         self.queue.schedule(self.cfg.ticks, Event::End);
     }
 
@@ -396,12 +499,13 @@ impl Simulation {
             Event::PlanStart(id) => self.on_plan_start(tick, id),
             Event::BatchComplete(id) => self.on_batch_complete(tick, id),
             Event::Crash(m) => self.on_crash(tick, m),
-            Event::Recover(m) => self.on_recover(m),
-            Event::SpikeStart(i) => self.on_spike_start(i),
-            Event::SpikeEnd(i) => self.on_spike_end(i),
+            Event::Recover(m) => self.on_recover(tick, m),
+            Event::SpikeStart(i) => self.on_spike_start(tick, i),
+            Event::SpikeEnd(i) => self.on_spike_end(tick, i),
             Event::HotShardPoll => self.on_hotshard_poll(tick),
             Event::EvacCheck => self.on_evac_check(tick),
             Event::Drift => self.on_drift(tick),
+            Event::Popularity => self.on_popularity(tick),
             Event::End => unreachable!("End terminates the loop"),
         }
     }
@@ -1330,6 +1434,10 @@ impl Simulation {
             be.router.set_failed(m.idx(), true);
         }
         self.bus.counters.crashes += 1;
+        self.record(TraceLine {
+            machine: m.0,
+            ..TraceLine::at(tick, "crash")
+        });
         if self.obs.is_active() {
             self.obs.event(
                 "runtime",
@@ -1376,7 +1484,7 @@ impl Simulation {
         self.queue.schedule(tick, Event::EvacCheck);
     }
 
-    fn on_recover(&mut self, m: MachineId) {
+    fn on_recover(&mut self, tick: u64, m: MachineId) {
         if !self.failed[m.idx()] {
             return;
         }
@@ -1385,6 +1493,10 @@ impl Simulation {
             be.router.set_failed(m.idx(), false);
         }
         self.bus.counters.recoveries += 1;
+        self.record(TraceLine {
+            machine: m.0,
+            ..TraceLine::at(tick, "recover")
+        });
         if self.obs.is_active() {
             self.obs
                 .event("runtime", "recover", vec![("machine", m.idx().into())]);
@@ -1397,15 +1509,24 @@ impl Simulation {
         }
     }
 
-    fn on_spike_start(&mut self, idx: usize) {
+    fn on_spike_start(&mut self, tick: u64, idx: usize) {
         let FaultSpec::Spike { shard_fraction, .. } = self.cfg.faults[idx] else {
             unreachable!("SpikeStart for a non-spike fault");
         };
         // Hottest shards by CPU demand at spike start, ties by id — the
         // shared selection both engines use, returned in ascending id
         // order so per-machine surcharge sums accumulate in the same
-        // float order as the router's.
-        let ids = rex_cluster::scenario::hot_set(&self.inst, shard_fraction);
+        // float order as the router's. A replay script pins the realized
+        // hot set instead (demands may have drifted differently by now).
+        let ids = match self.replay.as_ref().and_then(|r| r.spike_shards(idx)) {
+            Some(pinned) => pinned.iter().copied().map(ShardId).collect(),
+            None => rex_cluster::scenario::hot_set(&self.inst, shard_fraction),
+        };
+        self.record(TraceLine {
+            fault: idx,
+            shards: ids.iter().map(|s| s.0).collect(),
+            ..TraceLine::at(tick, "spike_start")
+        });
         if self.obs.is_active() {
             self.obs.event(
                 "runtime",
@@ -1417,9 +1538,13 @@ impl Simulation {
         self.bus.counters.spikes_started += 1;
     }
 
-    fn on_spike_end(&mut self, idx: usize) {
+    fn on_spike_end(&mut self, tick: u64, idx: usize) {
         if self.spikes[idx].take().is_some() {
             self.bus.counters.spikes_ended += 1;
+            self.record(TraceLine {
+                fault: idx,
+                ..TraceLine::at(tick, "spike_end")
+            });
             if self.obs.is_active() {
                 self.obs
                     .event("runtime", "spike_end", vec![("fault", idx.into())]);
@@ -1501,6 +1626,61 @@ impl Simulation {
         let next = tick + d.every_ticks;
         if next < self.cfg.ticks {
             self.queue.schedule(next, Event::Drift);
+        }
+    }
+
+    fn on_popularity(&mut self, tick: u64) {
+        let Some(p) = self.cfg.popularity else { return };
+        if self.active.is_some() {
+            // Same snapshot-dominance argument as drift: never reshape
+            // demands under an in-flight plan.
+            self.queue.schedule(tick + 1, Event::Popularity);
+            return;
+        }
+        let epoch = self.bus.counters.popularity_epochs;
+        let Some(walk) = self.popwalk.as_mut() else {
+            return;
+        };
+        match self
+            .replay
+            .as_ref()
+            .and_then(|r| r.popularity_ranks(epoch as usize))
+        {
+            Some(pinned) => walk.set_ranks(pinned.to_vec()),
+            None => {
+                let seed = self.cfg.seed.wrapping_mul(0x2B5D).wrapping_add(epoch);
+                walk.step(p.swaps_per_epoch, seed);
+            }
+        }
+        let ranks = walk.ranks().to_vec();
+        let placement = self.inst.initial.clone();
+        match apply_popularity(&self.inst, &placement, walk, p.target_utilization) {
+            Ok((mut inst, _clamped)) => {
+                inst.label = self.base_label.clone();
+                self.inst = inst;
+                // Demands changed under the shards' feet; rebuild usage.
+                self.asg = Assignment::from_initial(&self.inst);
+                self.bus.counters.popularity_epochs += 1;
+                self.record(TraceLine {
+                    ranks,
+                    ..TraceLine::at(tick, "popularity")
+                });
+                if self.obs.is_active() {
+                    self.obs.event(
+                        "runtime",
+                        "popularity",
+                        vec![("epoch", self.bus.counters.popularity_epochs.into())],
+                    );
+                }
+            }
+            Err(_) => {
+                // Extremely unlikely (apply_popularity clamps); skip this
+                // epoch.
+            }
+        }
+        let next = tick + p.every_ticks;
+        if next < self.cfg.ticks {
+            self.queue.schedule(next, Event::Popularity);
         }
     }
 
@@ -2166,5 +2346,153 @@ mod tests {
             e.counters
         );
         assert_eq!(e.counters.transient_violations, 0);
+    }
+
+    // ---- workload plane ----------------------------------------------------
+
+    /// A 3-generation fleet on 3 racks with a rack crash, a flash crowd,
+    /// and (optionally) a drifting-Zipfian load script — the full workload
+    /// plane in one spec.
+    fn heterogeneous_workload(with_load: bool) -> (Instance, rex_cluster::WorkloadSpec) {
+        let w = rex_cluster::WorkloadSpec {
+            scenario: rex_cluster::ScenarioSpec {
+                ticks: 800,
+                seed: 11,
+                spike: Some(rex_cluster::SpikeSpec {
+                    at_tick: 200,
+                    duration_ticks: 100,
+                    factor: 1.6,
+                    shard_fraction: 0.08,
+                }),
+                sra: Some(rex_cluster::SraSpec {
+                    every_ticks: 100,
+                    iters: 300,
+                }),
+                ..Default::default()
+            },
+            fleet: Some(rex_cluster::FleetSpec {
+                generations: vec![
+                    rex_cluster::GenerationSpec {
+                        name: "gen-a".into(),
+                        count: 4,
+                        scale: 1.0,
+                    },
+                    rex_cluster::GenerationSpec {
+                        name: "gen-b".into(),
+                        count: 4,
+                        scale: 2.0,
+                    },
+                    rex_cluster::GenerationSpec {
+                        name: "gen-c".into(),
+                        count: 4,
+                        scale: 4.0,
+                    },
+                ],
+                exchange: 2,
+                exchange_scale: 4.0,
+                racks: 3,
+            }),
+            load: with_load.then_some(rex_cluster::LoadScriptSpec {
+                diurnal_amplitude: 0.2,
+                ticks_per_hour: 200,
+                zipf_alpha: 0.9,
+                drift_every_ticks: 150,
+                swaps_per_epoch: 40,
+                target_utilization: 0.6,
+            }),
+            rack_crashes: vec![rex_cluster::RackCrashSpec {
+                at_tick: 350,
+                rack: 1,
+                recover_at_tick: Some(600),
+            }],
+        };
+        let inst = rex_workload::generate_workload(
+            &w,
+            &SynthConfig {
+                n_shards: 96,
+                stringency: 0.65,
+                alpha: 0.1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (inst, w)
+    }
+
+    #[test]
+    fn workload_popularity_and_rack_crashes_run_deterministically() {
+        let run = || {
+            let (inst, w) = heterogeneous_workload(true);
+            Simulation::from_workload(inst, &w).run()
+        };
+        let e = run();
+        assert_eq!(e.to_json(), run().to_json());
+        assert!(
+            e.counters.popularity_epochs > 0,
+            "the load script must drive popularity epochs: {:?}",
+            e.counters
+        );
+        // Rack 1 of 3 over 12 machines crashes machines 4..8 as one clause.
+        assert_eq!(e.counters.crashes, 4);
+        assert_eq!(e.counters.recoveries, 4);
+        assert_eq!(e.counters.transient_violations, 0);
+    }
+
+    #[test]
+    fn recording_never_perturbs_and_replay_is_byte_identical() {
+        let (inst, w) = heterogeneous_workload(true);
+        let plain = Simulation::from_workload(inst.clone(), &w).run().to_json();
+        let (recorded, lines) =
+            Simulation::from_workload(inst.clone(), &w).run_recorded(&mut Recorder::noop());
+        assert_eq!(
+            plain,
+            recorded.to_json(),
+            "recording must be an append-only side channel"
+        );
+        assert!(
+            lines.iter().any(|l| l.kind == "popularity"),
+            "trace must capture popularity epochs"
+        );
+        assert!(lines.iter().any(|l| l.kind == "crash"));
+        assert!(lines.iter().any(|l| l.kind == "spike_start"));
+        // Round-trip the trace through its JSONL file form, then replay.
+        let text = crate::trace::write_jsonl(&w, &inst, &lines);
+        let (w2, inst2, lines2) = crate::trace::parse_jsonl(&text).unwrap();
+        let mut sim = Simulation::from_workload(inst2, &w2);
+        sim.set_replay(ReplayScript::from_lines(&lines2));
+        assert_eq!(
+            plain,
+            sim.run().to_json(),
+            "a replayed trace must reproduce the run byte for byte"
+        );
+    }
+
+    #[test]
+    fn workload_replays_through_the_event_engine_too() {
+        let (inst, w) = heterogeneous_workload(false);
+        let run = |replay: Option<ReplayScript>| {
+            let mut sim =
+                Simulation::from_workload_event(inst.clone(), &w, PolicyKind::PowerOfD, false);
+            if let Some(script) = replay {
+                sim.set_replay(script);
+            }
+            sim.run_recorded(&mut Recorder::noop())
+        };
+        let (original, lines) = run(None);
+        assert_eq!(original.counters.crashes, 4);
+        assert!(original.counters.spikes_started > 0);
+        let (replayed, _) = run(Some(ReplayScript::from_lines(&lines)));
+        assert_eq!(
+            original.to_json(),
+            replayed.to_json(),
+            "event-engine replay must reproduce the run byte for byte"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "load-script")]
+    fn event_engine_rejects_load_scripts() {
+        let (inst, w) = heterogeneous_workload(true);
+        let _ = Simulation::from_workload_event(inst, &w, PolicyKind::PowerOfD, false);
     }
 }

@@ -9,7 +9,10 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use rex_cluster::{ClusterError, Instance, InstanceBuilder, MachineId};
+use rex_cluster::{
+    ClusterError, FleetSpec, GenerationSpec, Instance, InstanceBuilder, MachineId, ResourceVec,
+    WorkloadSpec,
+};
 use serde::{Deserialize, Serialize};
 
 /// How shard demand vectors are drawn (before normalization).
@@ -107,26 +110,71 @@ impl Default for SynthConfig {
     }
 }
 
-/// Per-machine capacity scale factors implied by the profile: first the
-/// loaded machines, then the exchange machines.
-fn capacity_scales(cfg: &SynthConfig) -> (Vec<f64>, Vec<f64>) {
-    match cfg.profile {
-        MachineProfile::Homogeneous => (vec![1.0; cfg.n_machines], vec![1.0; cfg.n_exchange]),
+/// The machine-generation table a [`MachineProfile`] implies: every
+/// profile is a special case of the workload plane's [`FleetSpec`]
+/// (DESIGN.md §16), so profile-driven generation routes through the same
+/// table as `--workload` files.
+pub fn profile_fleet(cfg: &SynthConfig) -> FleetSpec {
+    let (generations, exchange_scale) = match cfg.profile {
+        MachineProfile::Homogeneous => (
+            vec![GenerationSpec {
+                name: "base".into(),
+                count: cfg.n_machines,
+                scale: 1.0,
+            }],
+            1.0,
+        ),
         MachineProfile::TwoTier {
             big_fraction,
             ratio,
         } => {
             assert!((0.0..=1.0).contains(&big_fraction) && ratio > 1.0);
-            let n_big = ((cfg.n_machines as f64) * big_fraction).round() as usize;
-            let mut loaded = vec![ratio; n_big.min(cfg.n_machines)];
-            loaded.resize(cfg.n_machines, 1.0);
-            (loaded, vec![1.0; cfg.n_exchange])
+            let n_big =
+                (((cfg.n_machines as f64) * big_fraction).round() as usize).min(cfg.n_machines);
+            let mut generations = Vec::new();
+            if n_big > 0 {
+                generations.push(GenerationSpec {
+                    name: "big".into(),
+                    count: n_big,
+                    scale: ratio,
+                });
+            }
+            if cfg.n_machines > n_big {
+                generations.push(GenerationSpec {
+                    name: "base".into(),
+                    count: cfg.n_machines - n_big,
+                    scale: 1.0,
+                });
+            }
+            (generations, 1.0)
         }
         MachineProfile::BigExchange { factor } => {
             assert!(factor > 1.0);
-            (vec![1.0; cfg.n_machines], vec![factor; cfg.n_exchange])
+            (
+                vec![GenerationSpec {
+                    name: "base".into(),
+                    count: cfg.n_machines,
+                    scale: 1.0,
+                }],
+                factor,
+            )
         }
+    };
+    FleetSpec {
+        generations,
+        exchange: cfg.n_exchange,
+        exchange_scale,
+        racks: 0,
     }
+}
+
+/// Per-machine capacity scale factors implied by the profile: first the
+/// loaded machines, then the exchange machines.
+fn capacity_scales(cfg: &SynthConfig) -> (Vec<f64>, Vec<f64>) {
+    let fleet = profile_fleet(cfg);
+    let loaded = fleet.loaded_scales();
+    let exchange = vec![fleet.exchange_scale; fleet.exchange];
+    (loaded, exchange)
 }
 
 /// Generates an instance.
@@ -135,7 +183,70 @@ fn capacity_scales(cfg: &SynthConfig) -> (Vec<f64>, Vec<f64>) {
 /// Propagates instance validation errors; generation itself panics only on
 /// nonsensical parameters (zero counts, stringency outside `(0,1)`).
 pub fn generate(cfg: &SynthConfig) -> Result<Instance, ClusterError> {
+    let (loaded_scales, exchange_scales) = capacity_scales(cfg);
+    let label = format!(
+        "synth({:?},{:?},m={},x={},s={},u={:.2},seed={})",
+        cfg.family,
+        cfg.placement,
+        cfg.n_machines,
+        cfg.n_exchange,
+        cfg.n_shards,
+        cfg.stringency,
+        cfg.seed
+    );
+    generate_with_scales(cfg, &loaded_scales, &exchange_scales, label)
+}
+
+/// Generates a heterogeneous instance from a workload's fleet table
+/// (DESIGN.md §16): machine counts, capacity scales, and the exchange pool
+/// come from `w.fleet`; demand family, placement policy, dimensions, and
+/// shard count come from `base`.
+///
+/// With a degenerate fleet (one generation at scale 1, exchange scale 1)
+/// this produces bit-identical instances to [`generate`] modulo the label.
+///
+/// # Panics
+/// Panics when the workload carries no fleet table — callers decide the
+/// instance source before lowering.
+pub fn generate_workload(w: &WorkloadSpec, base: &SynthConfig) -> Result<Instance, ClusterError> {
+    let fleet = w
+        .fleet
+        .as_ref()
+        .expect("generate_workload needs a workload with a fleet table");
+    let cfg = SynthConfig {
+        n_machines: fleet.n_machines(),
+        n_exchange: fleet.exchange,
+        seed: w.scenario.seed,
+        ..*base
+    };
+    let loaded_scales = fleet.loaded_scales();
+    let exchange_scales = vec![fleet.exchange_scale; fleet.exchange];
+    let label = format!(
+        "workload({:?},{:?},m={},x={},s={},gens={},racks={},u={:.2},seed={})",
+        cfg.family,
+        cfg.placement,
+        cfg.n_machines,
+        cfg.n_exchange,
+        cfg.n_shards,
+        fleet.generations.len(),
+        fleet.racks,
+        cfg.stringency,
+        cfg.seed
+    );
+    generate_with_scales(&cfg, &loaded_scales, &exchange_scales, label)
+}
+
+/// Shared generation core: draws demands, normalizes them against the
+/// given capacity scales, places, and emits through the arena
+/// [`InstanceBuilder`].
+fn generate_with_scales(
+    cfg: &SynthConfig,
+    loaded_scales: &[f64],
+    exchange_scales: &[f64],
+    label: String,
+) -> Result<Instance, ClusterError> {
     assert!(cfg.n_machines > 0 && cfg.n_shards > 0 && cfg.dims >= 1);
+    assert_eq!(loaded_scales.len(), cfg.n_machines);
     assert!(
         cfg.stringency > 0.0 && cfg.stringency < 1.0,
         "stringency must be in (0,1)"
@@ -150,7 +261,6 @@ pub fn generate(cfg: &SynthConfig) -> Result<Instance, ClusterError> {
     // heavy-tailed families stay placeable. Clamping and rescaling
     // alternate until both the total and the cap hold.
     const MAX_SHARD_FRAC: f64 = 0.45;
-    let (loaded_scales, exchange_scales) = capacity_scales(cfg);
     let loaded_capacity: f64 = loaded_scales.iter().sum();
     // Shards must stay placeable on the *smallest* machine.
     let min_scale = loaded_scales.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -179,7 +289,7 @@ pub fn generate(cfg: &SynthConfig) -> Result<Instance, ClusterError> {
         }
     }
 
-    let placement = match place(cfg, &demands, &loaded_scales, &mut rng) {
+    let placement = match place(cfg, &demands, loaded_scales, &mut rng) {
         Some(p) => p,
         None => {
             // The decorated placement (hotspot/drift) can fail on tight
@@ -190,7 +300,7 @@ pub fn generate(cfg: &SynthConfig) -> Result<Instance, ClusterError> {
                 placement: Placement::BalancedBfd,
                 ..*cfg
             };
-            place(&fallback, &demands, &loaded_scales, &mut rng).ok_or(
+            place(&fallback, &demands, loaded_scales, &mut rng).ok_or(
                 rex_cluster::ClusterError::BadReturnCount {
                     k_return: cfg.n_exchange,
                     machines: cfg.n_machines,
@@ -199,29 +309,28 @@ pub fn generate(cfg: &SynthConfig) -> Result<Instance, ClusterError> {
         }
     };
 
-    let mut b = InstanceBuilder::new(cfg.dims)
-        .alpha(cfg.alpha)
-        .label(format!(
-            "synth({:?},{:?},m={},x={},s={},u={:.2},seed={})",
-            cfg.family,
-            cfg.placement,
-            cfg.n_machines,
-            cfg.n_exchange,
-            cfg.n_shards,
-            cfg.stringency,
-            cfg.seed
-        ));
+    let mut b = InstanceBuilder::with_capacity(
+        cfg.dims,
+        cfg.n_machines + exchange_scales.len(),
+        cfg.n_shards,
+    )
+    .alpha(cfg.alpha)
+    .label(label);
     let machines: Vec<MachineId> = loaded_scales
         .iter()
-        .map(|&c| b.machine(&vec![c; cfg.dims]))
+        .map(|&c| b.push_machine(ResourceVec::splat(cfg.dims, c)))
         .collect();
-    for &c in &exchange_scales {
-        b.exchange_machine(&vec![c; cfg.dims]);
+    for &c in exchange_scales {
+        b.push_exchange(ResourceVec::splat(cfg.dims, c));
     }
     for (i, d) in demands.iter().enumerate() {
         // Move cost: the shard's index footprint (last dimension = disk).
         let move_cost = d[cfg.dims - 1].max(1e-9);
-        b.shard(d, move_cost, machines[placement[i]]);
+        b.push_shard(
+            ResourceVec::from_slice(d),
+            move_cost,
+            machines[placement[i]],
+        );
     }
     b.build()
 }
@@ -378,6 +487,113 @@ mod tests {
             assert_eq!(inst.n_shards(), 160);
             assert_eq!(inst.n_exchange(), 2);
         }
+    }
+
+    #[test]
+    fn profile_fleet_subsumes_every_machine_profile() {
+        // The generation table is now the single source of capacity truth:
+        // expanding it must reproduce the historical per-profile scales
+        // bit for bit.
+        let cases = [
+            (MachineProfile::Homogeneous, vec![1.0; 6], vec![1.0; 2]),
+            (
+                MachineProfile::TwoTier {
+                    big_fraction: 0.5,
+                    ratio: 3.0,
+                },
+                vec![3.0, 3.0, 3.0, 1.0, 1.0, 1.0],
+                vec![1.0; 2],
+            ),
+            (
+                MachineProfile::BigExchange { factor: 2.5 },
+                vec![1.0; 6],
+                vec![2.5; 2],
+            ),
+        ];
+        for (profile, loaded, exchange) in cases {
+            let cfg = SynthConfig {
+                n_machines: 6,
+                n_exchange: 2,
+                profile,
+                ..Default::default()
+            };
+            let fleet = profile_fleet(&cfg);
+            assert_eq!(fleet.loaded_scales(), loaded, "{profile:?}");
+            assert_eq!(vec![fleet.exchange_scale; fleet.exchange], exchange);
+        }
+    }
+
+    #[test]
+    fn generate_workload_honors_the_fleet_table() {
+        let w = rex_cluster::WorkloadSpec {
+            scenario: rex_cluster::ScenarioSpec {
+                seed: 9,
+                ..Default::default()
+            },
+            fleet: Some(rex_cluster::FleetSpec {
+                generations: vec![
+                    GenerationSpec {
+                        name: "old".into(),
+                        count: 4,
+                        scale: 1.0,
+                    },
+                    GenerationSpec {
+                        name: "new".into(),
+                        count: 4,
+                        scale: 4.0,
+                    },
+                ],
+                exchange: 2,
+                exchange_scale: 4.0,
+                racks: 2,
+            }),
+            load: None,
+            rack_crashes: Vec::new(),
+        };
+        let base = SynthConfig {
+            n_shards: 64,
+            dims: 1,
+            stringency: 0.6,
+            ..Default::default()
+        };
+        let inst = generate_workload(&w, &base).unwrap();
+        inst.validate().unwrap();
+        assert_eq!(inst.n_machines(), 10);
+        assert_eq!(inst.n_exchange(), 2);
+        assert_eq!(inst.n_shards(), 64);
+        for m in 0..4 {
+            assert_eq!(inst.machines[m].capacity[0], 1.0);
+        }
+        for m in 4..10 {
+            assert_eq!(inst.machines[m].capacity[0], 4.0);
+        }
+        // Deterministic: same workload, same bytes.
+        let again = generate_workload(&w, &base).unwrap();
+        assert_eq!(crate::io::to_json(&inst), crate::io::to_json(&again));
+    }
+
+    #[test]
+    fn degenerate_fleet_matches_plain_generate_up_to_label() {
+        let base = SynthConfig {
+            seed: 11,
+            ..Default::default()
+        };
+        let w = rex_cluster::WorkloadSpec {
+            scenario: rex_cluster::ScenarioSpec {
+                seed: 11,
+                ..Default::default()
+            },
+            fleet: Some(profile_fleet(&base)),
+            load: None,
+            rack_crashes: Vec::new(),
+        };
+        let mut from_workload = generate_workload(&w, &base).unwrap();
+        let plain = generate(&base).unwrap();
+        from_workload.label = plain.label.clone();
+        assert_eq!(
+            crate::io::to_json(&from_workload),
+            crate::io::to_json(&plain)
+        );
     }
 
     #[test]

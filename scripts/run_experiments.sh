@@ -31,7 +31,7 @@ mkdir -p "$outdir"
 
 for exp in workloads headline exchange_sweep lns_convergence migration \
            scalability optgap stringency ablation alpha qos longrun \
-           closed_loop hotshard routing convergence; do
+           closed_loop hotshard routing convergence heterogeneous; do
     echo "=== exp_${exp} ==="
     if ! ./target/release/exp_${exp} | tee "$outdir/exp_${exp}.md"; then
         echo "FAILED: exp_${exp} (see output above)" >&2
@@ -82,6 +82,30 @@ cmp "$tracedir/rt1.json" "$tracedir/rt8.json"
 ./target/release/rex route $rt_flags --out "$tracedir/r3.json" --trace "$tracedir/r3.jsonl"
 cmp "$tracedir/r1.json" "$tracedir/r3.json"   # recording never perturbs the run
 test -s "$tracedir/r3.jsonl"
+echo "=== workload plane record/replay determinism ==="
+wl=examples/workload_rackfault.json
+# Record through the tick engine, replay the trace (the header embeds the
+# spec and instance): the export must come back byte for byte, and
+# recording must never perturb the run.
+./target/release/rex simulate --workload $wl --quiet --out "$tracedir/wp0.json"
+./target/release/rex simulate --workload $wl --quiet --record-trace "$tracedir/wp.jsonl" --out "$tracedir/wp1.json"
+cmp "$tracedir/wp0.json" "$tracedir/wp1.json"   # recording never perturbs
+test -s "$tracedir/wp.jsonl"
+./target/release/rex simulate --replay-trace "$tracedir/wp.jsonl" --quiet --out "$tracedir/wp2.json"
+cmp "$tracedir/wp1.json" "$tracedir/wp2.json"
+# Thread-count independence of the recorded bytes.
+REX_THREADS=1 ./target/release/rex simulate --workload $wl --quiet --record-trace "$tracedir/wp-1t.jsonl"
+REX_THREADS=8 ./target/release/rex simulate --workload $wl --quiet --record-trace "$tracedir/wp-8t.jsonl"
+cmp "$tracedir/wp-1t.jsonl" "$tracedir/wp-8t.jsonl"
+# The same trace drives both engines: converge records through the tick
+# engine and replays the stream through tick + event, re-checking the
+# cross-engine gauge identity.
+./target/release/rex converge --workload $wl --quiet --record-trace "$tracedir/wpc.jsonl" --out "$tracedir/wpc1.json"
+./target/release/rex converge --replay-trace "$tracedir/wpc.jsonl" --quiet --out "$tracedir/wpc2.json"
+cmp "$tracedir/wpc1.json" "$tracedir/wpc2.json"
+REX_THREADS=1 ./target/release/rex converge --replay-trace "$tracedir/wpc.jsonl" --quiet --out "$tracedir/wpc-1t.json"
+REX_THREADS=8 ./target/release/rex converge --replay-trace "$tracedir/wpc.jsonl" --quiet --out "$tracedir/wpc-8t.json"
+cmp "$tracedir/wpc-1t.json" "$tracedir/wpc-8t.json"
 echo "=== cross-engine convergence determinism (E16) ==="
 ./target/release/exp_convergence > "$tracedir/c1.md"
 ./target/release/exp_convergence > "$tracedir/c2.md"

@@ -26,6 +26,11 @@ pub const SYNTH_FLAGS: &[&str] = &["machines", "exchange", "shards"];
 /// Deterministic seed — accepted by every command that runs anything.
 pub const SEED_FLAG: &[&str] = &["seed"];
 
+/// The workload plane: an engine-neutral `WorkloadSpec` file plus the
+/// trace record/replay pair. Shared by both engines' closed-loop commands
+/// (`simulate`, `converge`); `route` accepts the spec file alone.
+pub const WORKLOAD_FLAGS: &[&str] = &["workload", "record-trace", "replay-trace"];
+
 /// What a command accepts: groups of `--key value` flags plus valueless
 /// `--switch` flags.
 pub struct ArgSpec {
@@ -110,6 +115,7 @@ pub const COMMANDS: &[CommandSpec] = &[
             values: &[
                 SYNTH_FLAGS,
                 SEED_FLAG,
+                WORKLOAD_FLAGS,
                 &[
                     "inst",
                     "ticks",
@@ -148,6 +154,7 @@ pub const COMMANDS: &[CommandSpec] = &[
                 SYNTH_FLAGS,
                 SEED_FLAG,
                 &[
+                    "workload",
                     "inst",
                     "policy",
                     "horizon",
@@ -175,6 +182,7 @@ pub const COMMANDS: &[CommandSpec] = &[
             values: &[
                 SYNTH_FLAGS,
                 SEED_FLAG,
+                WORKLOAD_FLAGS,
                 &[
                     "inst",
                     "ticks",
@@ -373,5 +381,19 @@ mod tests {
                 assert!(spec.is_value(flag), "{cmd} must accept --{flag}");
             }
         }
+    }
+
+    #[test]
+    fn workload_plane_flags_reach_both_engines() {
+        for flag in WORKLOAD_FLAGS {
+            for cmd in ["simulate", "converge"] {
+                let spec = spec_of(cmd).unwrap();
+                assert!(spec.is_value(flag), "{cmd} must accept --{flag}");
+            }
+        }
+        // `route` takes the spec file but has no closed-loop trace pair.
+        let route = spec_of("route").unwrap();
+        assert!(route.is_value("workload"));
+        assert!(!route.is_value("record-trace") && !route.is_value("replay-trace"));
     }
 }

@@ -30,15 +30,17 @@ use resource_exchange::baselines::{
 };
 use resource_exchange::cluster::{
     verify_schedule, Assignment, BalanceReport, CrashSpec, Instance, MachineId, MigrationPlan,
-    ScenarioSpec, SpikeSpec, SraSpec,
+    ScenarioSpec, SpikeSpec, SraSpec, WorkloadSpec,
 };
 use resource_exchange::core::{solve_traced, solve_with_drain, SolveOptions, SraConfig};
 use resource_exchange::obs::Recorder;
 use resource_exchange::router::{self, FlashCrowd, PolicyKind, RouterConfig, SraCoupling};
-use resource_exchange::runtime::{DriftSpec, FaultSpec, MetricsExport, RuntimeConfig, Simulation};
+use resource_exchange::runtime::{
+    trace, DriftSpec, FaultSpec, MetricsExport, ReplayScript, RuntimeConfig, Simulation,
+};
 use resource_exchange::workload::io;
 use resource_exchange::workload::synthetic::{
-    generate, DemandFamily, MachineProfile, Placement, SynthConfig,
+    generate, generate_workload, DemandFamily, MachineProfile, Placement, SynthConfig,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -59,6 +61,72 @@ struct SolutionFile {
 fn load_instance(args: &HashMap<String, String>) -> Result<Instance, String> {
     let path = get(args, "inst")?;
     io::load(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))
+}
+
+/// Loads and validates an engine-neutral [`WorkloadSpec`] file. The typed
+/// [`ScenarioError`](resource_exchange::cluster::ScenarioError) surfaces
+/// here with the file name attached instead of panicking downstream.
+fn load_workload(path: &str) -> Result<WorkloadSpec, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("loading {path}: {e}"))?;
+    let w: WorkloadSpec =
+        serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))?;
+    w.validate().map_err(|e| format!("{path}: {e}"))?;
+    Ok(w)
+}
+
+/// The instance a workload-mode run starts from: `--inst` wins, a fleet
+/// table synthesizes its heterogeneous machines through
+/// [`generate_workload`], and a degenerate spec falls back to the plain
+/// synth flags — always seeded by the workload's scenario so the run is a
+/// pure function of the spec file.
+fn workload_instance(
+    args: &HashMap<String, String>,
+    w: &WorkloadSpec,
+    base: SynthConfig,
+) -> Result<Instance, String> {
+    if args.contains_key("inst") {
+        return load_instance(args);
+    }
+    let cfg = SynthConfig {
+        n_machines: parse(
+            get_or(args, "machines", &base.n_machines.to_string()),
+            "usize",
+        )?,
+        n_exchange: parse(
+            get_or(args, "exchange", &base.n_exchange.to_string()),
+            "usize",
+        )?,
+        n_shards: parse(get_or(args, "shards", &base.n_shards.to_string()), "usize")?,
+        seed: w.scenario.seed,
+        ..base
+    };
+    if w.fleet.is_some() {
+        generate_workload(w, &cfg).map_err(|e| e.to_string())
+    } else {
+        generate(&cfg).map_err(|e| e.to_string())
+    }
+}
+
+/// Resolves the workload-plane inputs shared by `simulate` and `converge`:
+/// either a spec file (`--workload`, optionally recording the realized
+/// stream) or a recorded trace (`--replay-trace`, self-contained — the
+/// header carries the spec and the exact starting instance).
+fn workload_inputs(
+    args: &HashMap<String, String>,
+    base: SynthConfig,
+) -> Result<(WorkloadSpec, Instance, Option<ReplayScript>), String> {
+    if args.contains_key("workload") && args.contains_key("replay-trace") {
+        return Err("choose one of --workload / --replay-trace (a trace embeds its spec)".into());
+    }
+    if let Some(path) = args.get("replay-trace") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("loading {path}: {e}"))?;
+        let (w, inst, lines) = trace::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+        Ok((w, inst, Some(ReplayScript::from_lines(&lines))))
+    } else {
+        let w = load_workload(get(args, "workload")?)?;
+        let inst = workload_instance(args, &w, base)?;
+        Ok((w, inst, None))
+    }
 }
 
 /// Builds the validated solver configuration from the shared solver flags
@@ -235,6 +303,12 @@ fn cmd_verify(args: &HashMap<String, String>) -> Result<(), String> {
 /// Runs the closed-loop simulator over an instance (loaded from `--inst`
 /// or synthesized on the spot) and optionally writes the metrics JSON.
 fn cmd_simulate(args: &HashMap<String, String>) -> Result<(), String> {
+    if args.contains_key("workload") || args.contains_key("replay-trace") {
+        return cmd_simulate_workload(args);
+    }
+    if args.contains_key("record-trace") {
+        return Err("--record-trace needs --workload (the trace header embeds the spec)".into());
+    }
     let seed = parse(get_or(args, "seed", "42"), "u64")?;
     let inst = if args.contains_key("inst") {
         load_instance(args)?
@@ -325,6 +399,61 @@ fn cmd_simulate(args: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// The workload-plane arm of `simulate`: one engine-neutral spec file (or
+/// a recorded trace) drives the whole run — fleet table, rack crashes,
+/// diurnal envelope, popularity drift. The scenario flags (`--ticks`,
+/// `--crash-at`, ...) are owned by the spec and ignored here; the synth
+/// flags still size a degenerate (fleet-less) spec's instance.
+fn cmd_simulate_workload(args: &HashMap<String, String>) -> Result<(), String> {
+    let (w, inst, replay) = workload_inputs(
+        args,
+        SynthConfig {
+            n_machines: 16,
+            n_exchange: 2,
+            n_shards: 160,
+            placement: Placement::Hotspot(0.4),
+            ..Default::default()
+        },
+    )?;
+    let mut sim = Simulation::from_workload(inst.clone(), &w);
+    if let Some(script) = replay {
+        sim.set_replay(script);
+    }
+    let mut rec = if args.contains_key("trace") {
+        Recorder::active()
+    } else {
+        Recorder::noop()
+    };
+    let (export, lines) = if args.contains_key("record-trace") {
+        sim.run_recorded(&mut rec)
+    } else {
+        (sim.run_traced(&mut rec), Vec::new())
+    };
+    if let Some(path) = args.get("record-trace") {
+        std::fs::write(path, trace::write_jsonl(&w, &inst, &lines)).map_err(|e| e.to_string())?;
+        if !has(args, "quiet") {
+            println!("workload trace ({} events) written to {path}", lines.len());
+        }
+    }
+    if let Some(path) = args.get("trace") {
+        std::fs::write(path, rec.to_jsonl()).map_err(|e| e.to_string())?;
+        if !has(args, "quiet") {
+            print!("{}", rec.summary());
+            println!("trace written to {path}");
+        }
+    }
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, export.to_json()).map_err(|e| e.to_string())?;
+    }
+    if !has(args, "quiet") {
+        print!("{}", simulate_summary(&export, false));
+        if let Some(out) = args.get("out") {
+            println!("metrics written to {out}");
+        }
+    }
+    Ok(())
+}
+
 /// The human-readable `simulate` roll-up. The hot-shard block appears iff
 /// the control plane was enabled (`--hotshard`) — an active-but-idle plane
 /// reports its zeros, a disabled plane stays silent even though the
@@ -382,6 +511,34 @@ fn simulate_summary(export: &MetricsExport, hotshard_enabled: bool) -> String {
 /// report; `--out` writes the report JSON, `--trace` the obs event stream.
 /// Same flags → byte-identical outputs.
 fn cmd_route(args: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(path) = args.get("workload") {
+        // Workload mode: the spec's scenario plane owns every engine knob
+        // (horizon, qps, spike, SRA coupling); only the policy flag stays.
+        let w = load_workload(path)?;
+        if w.load.is_some() || !w.rack_crashes.is_empty() {
+            return Err(
+                "route drives the open-loop router: the load-script and rack-crash \
+                 planes need a closed loop — use simulate or converge"
+                    .into(),
+            );
+        }
+        let inst = workload_instance(
+            args,
+            &w,
+            SynthConfig {
+                n_machines: 16,
+                n_exchange: 0,
+                n_shards: 160,
+                dims: 1,
+                stringency: 0.55,
+                placement: Placement::Hotspot(0.3),
+                ..Default::default()
+            },
+        )?;
+        let policy = get_or(args, "policy", "power_of_d").parse::<PolicyKind>()?;
+        let cfg = RouterConfig::from_scenario(&w.scenario, policy);
+        return run_route(args, &inst, &cfg);
+    }
     let seed = parse(get_or(args, "seed", "42"), "u64")?;
     let inst = if args.contains_key("inst") {
         load_instance(args)?
@@ -430,12 +587,22 @@ fn cmd_route(args: &HashMap<String, String>) -> Result<(), String> {
         seed,
         ..Default::default()
     };
+    run_route(args, &inst, &cfg)
+}
+
+/// Runs the router over a finished config and prints/writes the report —
+/// the tail both `route` arms (flag-built and workload-built) share.
+fn run_route(
+    args: &HashMap<String, String>,
+    inst: &Instance,
+    cfg: &RouterConfig,
+) -> Result<(), String> {
     let mut rec = if args.contains_key("trace") {
         Recorder::active()
     } else {
         Recorder::noop()
     };
-    let report = router::run_traced(&inst, &cfg, &mut rec);
+    let report = router::run_traced(inst, cfg, &mut rec);
     if let Some(path) = args.get("trace") {
         std::fs::write(path, rec.to_jsonl()).map_err(|e| e.to_string())?;
         if !has(args, "quiet") {
@@ -493,6 +660,12 @@ fn cmd_route(args: &HashMap<String, String>) -> Result<(), String> {
 /// differential (DESIGN.md §14): utilization gauges must be
 /// byte-identical, latency percentiles agree within the convergence band.
 fn cmd_converge(args: &HashMap<String, String>) -> Result<(), String> {
+    if args.contains_key("workload") || args.contains_key("replay-trace") {
+        return cmd_converge_workload(args);
+    }
+    if args.contains_key("record-trace") {
+        return Err("--record-trace needs --workload (the trace header embeds the spec)".into());
+    }
     let seed = parse(get_or(args, "seed", "42"), "u64")?;
     let inst = if args.contains_key("inst") {
         load_instance(args)?
@@ -540,9 +713,71 @@ fn cmd_converge(args: &HashMap<String, String>) -> Result<(), String> {
             iters: parse(get_or(args, "sra-iters", "300"), "u64")?,
         });
     }
+    // A flag-built spec can be out of range (e.g. --spike-at past the
+    // horizon): surface the typed error instead of panicking downstream.
+    spec.validate()
+        .map_err(|e| format!("invalid scenario: {e}"))?;
     let policy = get_or(args, "policy", "round_robin").parse::<PolicyKind>()?;
     let tick = Simulation::from_scenario(inst.clone(), &spec).run();
     let event = Simulation::from_scenario_event(inst, &spec, policy, has(args, "ewma")).run();
+    converge_report(args, &spec, policy, &tick, &event)
+}
+
+/// The workload-plane arm of `converge`: one spec (or recorded trace)
+/// through both engines — rack crashes forward through `set_failed` and
+/// evacuation in each, and the differential contract is unchanged:
+/// utilization gauges must match byte for byte.
+fn cmd_converge_workload(args: &HashMap<String, String>) -> Result<(), String> {
+    let (w, inst, replay) = workload_inputs(
+        args,
+        SynthConfig {
+            n_machines: 8,
+            n_exchange: 0,
+            n_shards: 64,
+            dims: 1,
+            stringency: 0.4,
+            placement: Placement::BalancedBfd,
+            ..Default::default()
+        },
+    )?;
+    if w.load.is_some() {
+        return Err(
+            "the event engine has no load-script counterpart: converge runs the \
+             scenario/fleet/rack planes only — drive load scripts through simulate"
+                .into(),
+        );
+    }
+    let policy = get_or(args, "policy", "round_robin").parse::<PolicyKind>()?;
+    let mut tick_sim = Simulation::from_workload(inst.clone(), &w);
+    let mut event_sim =
+        Simulation::from_workload_event(inst.clone(), &w, policy, has(args, "ewma"));
+    if let Some(script) = replay {
+        tick_sim.set_replay(script.clone());
+        event_sim.set_replay(script);
+    }
+    let (tick, lines) = if args.contains_key("record-trace") {
+        tick_sim.run_recorded(&mut Recorder::noop())
+    } else {
+        (tick_sim.run(), Vec::new())
+    };
+    let event = event_sim.run();
+    if let Some(path) = args.get("record-trace") {
+        std::fs::write(path, trace::write_jsonl(&w, &inst, &lines)).map_err(|e| e.to_string())?;
+        if !has(args, "quiet") {
+            println!("workload trace ({} events) written to {path}", lines.len());
+        }
+    }
+    converge_report(args, &w.scenario, policy, &tick, &event)
+}
+
+/// The differential check and roll-up both `converge` arms share.
+fn converge_report(
+    args: &HashMap<String, String>,
+    spec: &ScenarioSpec,
+    policy: PolicyKind,
+    tick: &MetricsExport,
+    event: &MetricsExport,
+) -> Result<(), String> {
     let tick_gauges = serde_json::to_string(&tick.gauges).map_err(|e| e.to_string())?;
     let event_gauges = serde_json::to_string(&event.gauges).map_err(|e| e.to_string())?;
     if tick_gauges != event_gauges {
@@ -561,8 +796,8 @@ fn cmd_converge(args: &HashMap<String, String>) -> Result<(), String> {
     if !has(args, "quiet") {
         let band = |a: f64, b: f64| (a - b).abs() / a.max(b);
         println!(
-            "converge: policy {policy:?} seed {seed} | {} ticks, {} qps/tick",
-            spec.ticks, spec.qps_per_tick
+            "converge: policy {policy:?} seed {} | {} ticks, {} qps/tick",
+            spec.seed, spec.ticks, spec.qps_per_tick
         );
         println!("utilization gauges: byte-identical across engines");
         println!(
@@ -636,22 +871,32 @@ const USAGE: &str =
            [--hotshard [--split-threshold F] [--merge-threshold F]
             [--hotshard-poll N] [--hotshard-expiry N]]
            (--hotshard turns on the continuous split/merge control plane)
+           [--workload FILE [--record-trace FILE] | --replay-trace FILE]
+           (workload mode: one engine-neutral spec drives the fleet table,
+            rack crashes, diurnal envelope, and popularity drift; the
+            scenario flags above are owned by the spec. --record-trace
+            captures the realized fault/demand stream as JSONL;
+            --replay-trace reruns a recording byte-identically)
   route    [--inst FILE | --machines N --shards N --exchange N]
            [--policy random|round_robin|power_of_d|prequal|token] [--d N]
            [--horizon US] [--qps F] [--replication R] [--fanout K] [--service US]
            [--spike-at T [--spike-duration N] [--spike-factor F] [--spike-fraction F]]
            [--sra [--sra-every US] [--sra-iters N]] [--seed N]
-           [--out FILE] [--trace FILE] [--quiet]
+           [--out FILE] [--trace FILE] [--quiet] [--workload FILE]
            (query-level event engine: routes individual queries to shard
-            replicas; --sra couples mid-run resource-exchange solves)
+            replicas; --sra couples mid-run resource-exchange solves;
+            --workload lowers a spec's scenario plane instead of the flags)
   converge [--inst FILE | --machines N --shards N --exchange N]
            [--ticks N] [--qps F] [--fanout K] [--seed N]
            [--policy random|round_robin|power_of_d|prequal|token] [--ewma]
            [--crash-at T [--crash-machine M] [--recover-at T]]
            [--spike-at T [--spike-duration N] [--spike-factor F] [--spike-fraction F]]
            [--sra-every N [--sra-iters N]] [--out FILE] [--quiet]
+           [--workload FILE [--record-trace FILE] | --replay-trace FILE]
            (one scenario through both engines — tick aggregates and query
-            events; errors out unless utilization gauges are byte-identical)
+            events; errors out unless utilization gauges are byte-identical.
+            workload mode runs the spec's scenario/fleet/rack planes — load
+            scripts are tick-engine-only, use simulate)
   trace    [--inst FILE | --machines N --shards N --exchange N]
            [--iters N] [--workers N] [--partitions K] [--depth D] [--seed N]
            [--out FILE]
@@ -1047,5 +1292,182 @@ mod tests {
             .unwrap();
         assert!(splits >= 1, "hotshard switch did not reach the runtime");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A small full-plane workload spec (heterogeneous fleet, load script,
+    /// rack crash, flash crowd) as a JSON file on disk.
+    fn write_workload(dir: &Path) -> std::path::PathBuf {
+        let path = dir.join("workload.json");
+        std::fs::write(
+            &path,
+            r#"{
+              "scenario": {
+                "ticks": 500, "tick_us": 1000, "qps_per_tick": 6.0,
+                "fanout": 4, "base_service_us": 100.0, "rho_max": 0.95,
+                "seed": 11,
+                "spike": {"at_tick": 100, "duration_ticks": 80,
+                          "factor": 1.6, "shard_fraction": 0.08},
+                "crash": null,
+                "sra": {"every_ticks": 100, "iters": 300}
+              },
+              "fleet": {
+                "generations": [
+                  {"name": "gen-a", "count": 3, "scale": 1.0},
+                  {"name": "gen-b", "count": 3, "scale": 2.0}
+                ],
+                "exchange": 1, "exchange_scale": 2.0, "racks": 2
+              },
+              "load": {
+                "diurnal_amplitude": 0.2, "ticks_per_hour": 200,
+                "zipf_alpha": 0.9, "drift_every_ticks": 150,
+                "swaps_per_epoch": 20, "target_utilization": 0.55
+              },
+              "rack_crashes": [
+                {"at_tick": 200, "rack": 1, "recover_at_tick": 350}
+              ]
+            }"#,
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn simulate_workload_records_and_replays_byte_identically() {
+        let dir = std::env::temp_dir().join("rex-cli-workload");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = write_workload(&dir);
+        let (trace, a, b) = (dir.join("t.jsonl"), dir.join("a.json"), dir.join("b.json"));
+        cmd_simulate(&args(&[
+            ("workload", spec.to_str().unwrap()),
+            ("shards", "48"),
+            ("record-trace", trace.to_str().unwrap()),
+            ("out", a.to_str().unwrap()),
+            ("quiet", ""),
+        ]))
+        .unwrap();
+        // Replay is self-contained: no --workload, no synth flags needed.
+        cmd_simulate(&args(&[
+            ("replay-trace", trace.to_str().unwrap()),
+            ("out", b.to_str().unwrap()),
+            ("quiet", ""),
+        ]))
+        .unwrap();
+        let (ja, jb) = (
+            std::fs::read_to_string(&a).unwrap(),
+            std::fs::read_to_string(&b).unwrap(),
+        );
+        assert_eq!(ja, jb, "replayed metrics must be byte-identical");
+        // The full plane actually ran: rack crash (3 machines of rack 1)
+        // and popularity epochs show in the counters.
+        assert!(ja.contains("\"crashes\": 3"), "rack crash must expand");
+        assert!(!ja.contains("\"popularity_epochs\": 0"));
+        let tracefile = std::fs::read_to_string(&trace).unwrap();
+        assert!(tracefile.lines().count() > 1, "trace has header + events");
+        assert!(tracefile.contains("\"kind\":\"popularity\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn converge_runs_the_rackfault_example_and_replays_it() {
+        let dir = std::env::temp_dir().join("rex-cli-workload-conv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (trace, a, b) = (dir.join("t.jsonl"), dir.join("a.json"), dir.join("b.json"));
+        cmd_converge(&args(&[
+            ("workload", "examples/workload_rackfault.json"),
+            ("shards", "48"),
+            ("policy", "power_of_d"),
+            ("record-trace", trace.to_str().unwrap()),
+            ("out", a.to_str().unwrap()),
+            ("quiet", ""),
+        ]))
+        .unwrap();
+        cmd_converge(&args(&[
+            ("replay-trace", trace.to_str().unwrap()),
+            ("policy", "power_of_d"),
+            ("out", b.to_str().unwrap()),
+            ("quiet", ""),
+        ]))
+        .unwrap();
+        let (ja, jb) = (
+            std::fs::read_to_string(&a).unwrap(),
+            std::fs::read_to_string(&b).unwrap(),
+        );
+        assert_eq!(ja, jb, "replayed converge exports must be byte-identical");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn route_accepts_the_scenario_plane_of_a_workload() {
+        let dir = std::env::temp_dir().join("rex-cli-workload-route");
+        std::fs::create_dir_all(&dir).unwrap();
+        // The rackfault example carries rack crashes → route refuses it.
+        let e = cmd_route(&args(&[
+            ("workload", "examples/workload_rackfault.json"),
+            ("quiet", ""),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("closed loop"), "{e}");
+        // A degenerate (scenario-only) spec routes fine.
+        let spec = dir.join("plain.json");
+        std::fs::write(
+            &spec,
+            r#"{"scenario": {"ticks": 200, "tick_us": 1000, "qps_per_tick": 4.0,
+                "fanout": 4, "base_service_us": 100.0, "rho_max": 0.95,
+                "seed": 3, "spike": null, "crash": null, "sra": null}}"#,
+        )
+        .unwrap();
+        cmd_route(&args(&[
+            ("workload", spec.to_str().unwrap()),
+            ("machines", "8"),
+            ("shards", "48"),
+            ("quiet", ""),
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn workload_flag_misuse_is_rejected_with_typed_errors() {
+        let dir = std::env::temp_dir().join("rex-cli-workload-err");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Validation errors surface as Err with the spec's message, not a
+        // panic: spike starting past the horizon.
+        let bad = dir.join("bad.json");
+        std::fs::write(
+            &bad,
+            r#"{"scenario": {"ticks": 100, "tick_us": 1000, "qps_per_tick": 4.0,
+                "fanout": 4, "base_service_us": 100.0, "rho_max": 0.95,
+                "seed": 3, "crash": null, "sra": null,
+                "spike": {"at_tick": 500, "duration_ticks": 10,
+                          "factor": 2.0, "shard_fraction": 0.1}}}"#,
+        )
+        .unwrap();
+        let e = cmd_simulate(&args(&[("workload", bad.to_str().unwrap())])).unwrap_err();
+        assert!(e.contains("horizon"), "{e}");
+        // Mutually exclusive sources.
+        let spec = write_workload(&dir);
+        let e = cmd_simulate(&args(&[
+            ("workload", spec.to_str().unwrap()),
+            ("replay-trace", "whatever.jsonl"),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("choose one"), "{e}");
+        // Recording needs the spec for the trace header.
+        let e = cmd_simulate(&args(&[("record-trace", "t.jsonl")])).unwrap_err();
+        assert!(e.contains("--workload"), "{e}");
+        // Converge refuses load scripts (the event engine has none).
+        let e = cmd_converge(&args(&[("workload", spec.to_str().unwrap())])).unwrap_err();
+        assert!(e.contains("load-script"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn example_workload_files_stay_valid() {
+        let het = load_workload("examples/workload_heterogeneous.json").unwrap();
+        assert!(het.fleet.is_some() && het.load.is_some());
+        assert_eq!(het.fleet.as_ref().unwrap().generations.len(), 3);
+        let rack = load_workload("examples/workload_rackfault.json").unwrap();
+        assert!(rack.load.is_none());
+        assert_eq!(rack.rack_crashes.len(), 1);
     }
 }

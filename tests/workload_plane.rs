@@ -1,0 +1,213 @@
+//! The workload plane end to end (DESIGN.md §16).
+//!
+//! One engine-neutral [`rex_cluster::WorkloadSpec`] describes the fleet
+//! (generation table, rack topology), the load script (diurnal envelope ×
+//! drifting Zipfian popularity), and the fault stream (rack-scoped
+//! crashes plus the scenario plane's flash crowd). This suite locks the
+//! two contracts the refactor must not break:
+//!
+//! * **Degeneracy.** A `WorkloadSpec` carrying nothing but a scenario is
+//!   the scenario: both engines produce byte-identical exports through
+//!   `from_workload` and `from_scenario` — PR 8's differential suite keeps
+//!   meaning exactly what it meant.
+//! * **Record/replay.** The realized fault/demand stream of a run,
+//!   serialized as JSONL and replayed through either engine, reproduces
+//!   the original utilization gauges byte for byte — at any `REX_THREADS`
+//!   (CI runs 1 and 8).
+
+use rex_cluster::{
+    FleetSpec, GenerationSpec, LoadScriptSpec, RackCrashSpec, ScenarioSpec, SpikeSpec, SraSpec,
+    WorkloadSpec,
+};
+use rex_router::PolicyKind;
+use rex_runtime::trace::{parse_jsonl, write_jsonl, ReplayScript};
+use rex_runtime::Simulation;
+use rex_workload::synthetic::{generate, generate_workload, Placement, SynthConfig};
+
+fn scenario(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        ticks: 500,
+        qps_per_tick: 6.0,
+        seed,
+        spike: Some(SpikeSpec {
+            at_tick: 120,
+            duration_ticks: 100,
+            factor: 1.7,
+            shard_fraction: 0.1,
+        }),
+        crash: Some(rex_cluster::CrashSpec {
+            at_tick: 250,
+            machine: 1,
+            recover_at_tick: Some(400),
+        }),
+        sra: Some(SraSpec {
+            every_ticks: 80,
+            iters: 300,
+        }),
+        ..Default::default()
+    }
+}
+
+fn three_gen_workload(with_load: bool) -> WorkloadSpec {
+    WorkloadSpec {
+        scenario: scenario(13),
+        fleet: Some(FleetSpec {
+            generations: vec![
+                GenerationSpec {
+                    name: "gen-a".into(),
+                    count: 4,
+                    scale: 1.0,
+                },
+                GenerationSpec {
+                    name: "gen-b".into(),
+                    count: 4,
+                    scale: 2.0,
+                },
+                GenerationSpec {
+                    name: "gen-c".into(),
+                    count: 4,
+                    scale: 4.0,
+                },
+            ],
+            exchange: 2,
+            exchange_scale: 4.0,
+            racks: 3,
+        }),
+        load: with_load.then_some(LoadScriptSpec {
+            diurnal_amplitude: 0.25,
+            ticks_per_hour: 150,
+            zipf_alpha: 0.9,
+            drift_every_ticks: 120,
+            swaps_per_epoch: 30,
+            target_utilization: 0.6,
+        }),
+        rack_crashes: vec![RackCrashSpec {
+            at_tick: 300,
+            rack: 2,
+            recover_at_tick: None,
+        }],
+    }
+}
+
+fn workload_instance(w: &WorkloadSpec) -> rex_cluster::Instance {
+    generate_workload(
+        w,
+        &SynthConfig {
+            n_shards: 96,
+            stringency: 0.6,
+            alpha: 0.1,
+            placement: Placement::BalancedBfd,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+/// A degenerate workload (scenario only) is bit-for-bit the scenario, in
+/// both engines — the refactor's losslessness guarantee.
+#[test]
+fn degenerate_workload_is_byte_identical_to_the_scenario() {
+    let spec = scenario(7);
+    let w = WorkloadSpec::from_scenario(spec.clone());
+    assert!(w.is_degenerate());
+    let inst = generate(&SynthConfig {
+        n_machines: 8,
+        n_exchange: 1,
+        n_shards: 64,
+        dims: 1,
+        stringency: 0.5,
+        placement: Placement::Hotspot(0.3),
+        seed: 7,
+        ..Default::default()
+    })
+    .unwrap();
+    let tick_scenario = Simulation::from_scenario(inst.clone(), &spec).run();
+    let tick_workload = Simulation::from_workload(inst.clone(), &w).run();
+    assert_eq!(
+        tick_scenario.to_json(),
+        tick_workload.to_json(),
+        "tick engine: degenerate workload must equal the scenario"
+    );
+    let ev_scenario =
+        Simulation::from_scenario_event(inst.clone(), &spec, PolicyKind::PowerOfD, false).run();
+    let ev_workload = Simulation::from_workload_event(inst, &w, PolicyKind::PowerOfD, false).run();
+    assert_eq!(
+        ev_scenario.to_json(),
+        ev_workload.to_json(),
+        "event engine: degenerate workload must equal the scenario"
+    );
+}
+
+/// Record through the tick engine, replay through the tick engine: the
+/// utilization gauges (and the whole export) come back byte for byte,
+/// including the popularity-drift and rack-crash planes.
+#[test]
+fn recorded_trace_replays_byte_identically_through_the_tick_engine() {
+    let w = three_gen_workload(true);
+    let inst = workload_instance(&w);
+    let (original, lines) =
+        Simulation::from_workload(inst.clone(), &w).run_recorded(&mut rex_obs::Recorder::noop());
+    assert!(original.counters.popularity_epochs > 0);
+    assert_eq!(original.counters.crashes, 1 + 4, "scenario crash + rack 2");
+    // Through the file format, as the CLI does it.
+    let text = write_jsonl(&w, &inst, &lines);
+    let (w2, inst2, lines2) = parse_jsonl(&text).unwrap();
+    let mut sim = Simulation::from_workload(inst2, &w2);
+    sim.set_replay(ReplayScript::from_lines(&lines2));
+    let replayed = sim.run();
+    assert_eq!(
+        serde_json::to_string(&original.gauges).unwrap(),
+        serde_json::to_string(&replayed.gauges).unwrap(),
+        "replayed gauges must be byte-identical"
+    );
+    assert_eq!(original.to_json(), replayed.to_json());
+}
+
+/// The same spec (sans load script — the event engine converges the
+/// scenario/fleet/rack planes only) records and replays byte-identically
+/// through the event engine, and both engines still agree on utilization.
+#[test]
+fn recorded_trace_replays_byte_identically_through_the_event_engine() {
+    let w = three_gen_workload(false);
+    let inst = workload_instance(&w);
+    let (tick, lines) =
+        Simulation::from_workload(inst.clone(), &w).run_recorded(&mut rex_obs::Recorder::noop());
+    let script = ReplayScript::from_lines(&lines);
+    let mut ev = Simulation::from_workload_event(inst.clone(), &w, PolicyKind::PowerOfD, false);
+    ev.set_replay(script.clone());
+    let ev_replayed = ev.run();
+    let ev_fresh = Simulation::from_workload_event(inst, &w, PolicyKind::PowerOfD, false).run();
+    assert_eq!(
+        ev_fresh.to_json(),
+        ev_replayed.to_json(),
+        "event engine must be indifferent to pinned-vs-derived realizations \
+         of the same workload"
+    );
+    assert_eq!(
+        serde_json::to_string(&tick.gauges).unwrap(),
+        serde_json::to_string(&ev_replayed.gauges).unwrap(),
+        "differential contract: utilization gauges byte-identical across engines"
+    );
+}
+
+/// `FaultSpec` really is a derived view now: the lowered runtime config
+/// carries the scenario spike, the scenario crash, and every rack-expanded
+/// machine crash, in that order.
+#[test]
+fn rack_crashes_lower_to_per_machine_fault_specs() {
+    let w = three_gen_workload(false);
+    let cfg = rex_runtime::RuntimeConfig::from_workload(&w, 14);
+    // Scenario spike + scenario crash + 4 rack crashes (rack 2 of 3 over
+    // 12 loaded machines owns machines 8..12).
+    assert_eq!(cfg.faults.len(), 6);
+    let rack_machines: Vec<u32> = cfg
+        .faults
+        .iter()
+        .skip(2)
+        .map(|f| match f {
+            rex_runtime::FaultSpec::Crash { machine, .. } => *machine,
+            other => panic!("rack clause lowered to {other:?}"),
+        })
+        .collect();
+    assert_eq!(rack_machines, vec![8, 9, 10, 11]);
+}
